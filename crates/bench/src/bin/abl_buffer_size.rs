@@ -1,0 +1,52 @@
+//! Ablation: SRAM write-buffer size (§5.1 sizes it at one segment).
+//!
+//! A larger FIFO buffer absorbs more re-writes to hot pages before they
+//! are flushed, cutting Flash traffic (flushes per transaction) — at SRAM
+//! cost. Run on the synthetic hot/cold stream where the effect is
+//! clearest.
+
+use envy_bench::{emit, quick_mode};
+use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy_sim::dist::Bimodal;
+use envy_sim::report::{fmt_f64, Table};
+use envy_sim::rng::Rng;
+
+fn main() {
+    let writes: u64 = if quick_mode() { 200_000 } else { 600_000 };
+    let mut table = Table::new(&[
+        "buffer pages",
+        "flushes/write",
+        "cleaning cost",
+        "sram KB",
+    ]);
+    for buffer in [16usize, 64, 256, 1024, 4096] {
+        let config = EnvyConfig::scaled(8, 64, 512, 256)
+            .with_store_data(false)
+            .with_policy(PolicyKind::paper_default())
+            .with_buffer_pages(buffer);
+        let mut store = EnvyStore::new(config).expect("valid config");
+        store.prefill().expect("prefill");
+        let dist = Bimodal::from_spec(store.config().logical_pages, 10, 90);
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..writes / 2 {
+            store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+        }
+        let flushed0 = store.stats().pages_flushed.get();
+        for _ in 0..writes / 2 {
+            store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+        }
+        let flushed = store.stats().pages_flushed.get() - flushed0;
+        table.row(&[
+            buffer.to_string(),
+            fmt_f64(flushed as f64 / (writes / 2) as f64),
+            fmt_f64(store.stats().cleaning_cost()),
+            (buffer * 256 / 1024).to_string(),
+        ]);
+        eprintln!("  done buffer={buffer}");
+    }
+    emit(
+        "Ablation: write-buffer size",
+        "hot/cold 10/90 page writes, 64 segments, 80% utilization",
+        &table,
+    );
+}

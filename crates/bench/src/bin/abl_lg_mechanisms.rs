@@ -1,0 +1,64 @@
+//! Ablation: the two mechanisms inside locality gathering (§4.3).
+//!
+//! "Care must be taken to prevent flushes from the SRAM write buffer from
+//! destroying locality. When a page is placed into the SRAM buffer, we
+//! record which segment it comes from. When it is flushed, it is written
+//! back to the same segment." — flush-to-origin. The second mechanism is
+//! the free-space redistribution that equalizes (frequency × cost).
+//!
+//! This sweep disables each in turn under a skewed write stream.
+
+use envy_bench::{emit, locality_label, quick_mode};
+use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy_sim::dist::Bimodal;
+use envy_sim::report::{fmt_f64, Table};
+use envy_sim::rng::Rng;
+
+fn run(locality: (u32, u32), redistribute: bool, to_origin: bool, writes: u64) -> f64 {
+    let mut config = EnvyConfig::scaled(8, 64, 256, 256)
+        .with_store_data(false)
+        .with_policy(PolicyKind::LocalityGathering);
+    config.lg_redistribute = redistribute;
+    config.lg_flush_to_origin = to_origin;
+    let mut store = EnvyStore::new(config).expect("valid config");
+    store.prefill().expect("prefill");
+    let dist = Bimodal::from_spec(store.config().logical_pages, locality.0, locality.1);
+    let mut rng = Rng::seed_from(17);
+    for _ in 0..writes / 2 {
+        store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+    }
+    let f0 = store.stats().pages_flushed.get();
+    let c0 = store.stats().clean_programs.get();
+    for _ in 0..writes / 2 {
+        store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+    }
+    let flushed = store.stats().pages_flushed.get() - f0;
+    let programs = store.stats().clean_programs.get() - c0;
+    programs as f64 / flushed as f64
+}
+
+fn main() {
+    let writes: u64 = if quick_mode() { 300_000 } else { 800_000 };
+    let mut table = Table::new(&[
+        "locality",
+        "full LG",
+        "no redistribution",
+        "no flush-to-origin",
+        "neither",
+    ]);
+    for locality in [(50u32, 50u32), (20, 80), (5, 95)] {
+        table.row(&[
+            locality_label(locality),
+            fmt_f64(run(locality, true, true, writes)),
+            fmt_f64(run(locality, false, true, writes)),
+            fmt_f64(run(locality, true, false, writes)),
+            fmt_f64(run(locality, false, false, writes)),
+        ]);
+        eprintln!("  done {}", locality_label(locality));
+    }
+    emit(
+        "Ablation: locality-gathering mechanisms",
+        "cleaning cost with redistribution / flush-to-origin disabled (§4.3)",
+        &table,
+    );
+}

@@ -1,0 +1,57 @@
+//! Ablation: page size (§3.3's tradeoff).
+//!
+//! "Larger pages lead to a smaller page table and lower SRAM
+//! requirements. On the other hand, since an entire page has to be
+//! written to Flash with every flush, larger pages cause more unmodified
+//! data to be written for every word changed." The paper picks 256 bytes.
+//!
+//! This sweep runs word-granularity TPC-A-like record updates at several
+//! page sizes and reports bytes programmed per byte written (write
+//! amplification from page granularity alone) plus page-table SRAM cost.
+
+use envy_bench::{emit, quick_mode};
+use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy_sim::report::{fmt_f64, Table};
+use envy_sim::rng::Rng;
+
+fn main() {
+    let writes: u64 = if quick_mode() { 100_000 } else { 300_000 };
+    let mut table = Table::new(&[
+        "page bytes",
+        "flash bytes programmed / byte written",
+        "page-table SRAM per GB flash (MB)",
+    ]);
+    for page_bytes in [64u32, 128, 256, 512, 1024] {
+        // Constant array byte size: 8 MB.
+        let pps = 2048 * 256 / page_bytes;
+        let config = EnvyConfig::scaled(4, 16, pps, page_bytes)
+            .with_store_data(false)
+            .with_policy(PolicyKind::paper_default());
+        let mut store = EnvyStore::new(config).expect("valid config");
+        store.prefill().expect("prefill");
+        let mut rng = Rng::seed_from(5);
+        let logical_bytes = store.size();
+        // 8-byte record updates at uniformly random addresses.
+        for _ in 0..writes {
+            let addr = rng.below(logical_bytes - 8);
+            store.write(addr, &[0u8; 8]).expect("write");
+        }
+        let stats = store.stats();
+        let programs = stats.pages_flushed.get() + stats.clean_programs.get();
+        let programmed_bytes = programs * page_bytes as u64;
+        let written_bytes = writes * 8;
+        // §3.3: 6 bytes of page table per page.
+        let table_mb = (1u64 << 30) / page_bytes as u64 * 6 / (1024 * 1024);
+        table.row(&[
+            page_bytes.to_string(),
+            fmt_f64(programmed_bytes as f64 / written_bytes as f64),
+            table_mb.to_string(),
+        ]);
+        eprintln!("  done page={page_bytes}");
+    }
+    emit(
+        "Ablation: page size",
+        "8-byte uniform record updates; write amplification vs SRAM cost (§3.3)",
+        &table,
+    );
+}

@@ -1,0 +1,41 @@
+//! Internal: inspect backlog/pending dynamics at saturating load.
+use envy_bench::timed_system;
+use envy_workload::{run_timed, Transaction};
+use envy_sim::rng::Rng;
+use envy_sim::dist::Exponential;
+
+fn main() {
+    let (mut store, driver) = timed_system(0.8);
+    let arrivals = Exponential::with_rate_per_sec(60_000.0);
+    let mut rng = Rng::seed_from(42);
+    let scale = driver.layout().scale;
+    let mut arrival = store.now();
+    for i in 0..40_000u64 {
+        arrival += arrivals.sample(&mut rng);
+        let txn = Transaction::generate(scale, &mut rng);
+        driver.run_transaction_timed(&mut store, arrival, &txn).unwrap();
+        if i % 5000 == 4999 {
+            println!(
+                "txn {i}: sim={} backlog={} wr_lat={} suspensions={}",
+                store.now(),
+                store.backlog(),
+                store.stats().write_latency.mean(),
+                store.stats().suspensions.get(),
+            );
+        }
+    }
+    let b = store.stats().breakdown().unwrap();
+    println!("breakdown: r={:.2} w={:.2} f={:.2} c={:.2} e={:.2} s={:.2}",
+        b.reads, b.writes, b.flushing, b.cleaning, b.erasing, b.suspended);
+    let st = store.stats();
+    println!(
+        "busy={} wall={} reads/txn={:.1} writes/txn={:.1} rd_lat={} cost={:.2}",
+        st.busy_time(),
+        store.now(),
+        st.host_reads.get() as f64 / 40_000.0,
+        st.host_writes.get() as f64 / 40_000.0,
+        st.read_latency.mean(),
+        st.cleaning_cost(),
+    );
+    let _ = run_timed; // silence unused import paths if any
+}

@@ -1,0 +1,33 @@
+//! Internal calibration: sensitivity of the saturation point to the
+//! suspend/resume back-off ("waits a few microseconds", §3.4).
+
+use envy_bench::{quick_mode, timed_system};
+use envy_sim::time::Ns;
+use envy_workload::run_timed;
+
+fn main() {
+    let txns = if quick_mode() { 30_000 } else { 60_000 };
+    for gap_us in [0u64, 1, 2, 4] {
+        let (store0, driver) = timed_system(0.8);
+        let mut config = store0.config().clone();
+        drop(store0);
+        config.resume_gap = Ns::from_micros(gap_us);
+        config.store_data = false;
+        let mut store = envy_core::EnvyStore::new(config).unwrap();
+        store.prefill().unwrap();
+        let total = store.config().geometry.total_pages();
+        let free = total - store.config().logical_pages;
+        let mut rng = envy_sim::rng::Rng::seed_from(0xC0FFEE);
+        let accounts = driver.layout().scale.accounts();
+        for _ in 0..free * 2 {
+            let id = rng.below(accounts);
+            store.write(driver.layout().account_addr(id), &[0u8; 8]).unwrap();
+        }
+        let r = run_timed(&mut store, &driver, 60_000.0, txns / 10, txns, 42).unwrap();
+        println!(
+            "resume_gap={gap_us}us  peak TPS={:.0}  suspensions/txn={:.1}",
+            r.achieved_tps,
+            store.stats().suspensions.get() as f64 / (txns as f64 * 1.1)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Extension: the Sprite LFS cost-benefit cleaner as a baseline.
+//!
+//! §4.1 explains why eNVy does not use Sprite LFS's policy (few, large,
+//! hardware-defined segments; no seek costs; per-page age tracking too
+//! expensive). This sweep adds a cost-benefit victim selector
+//! (`age × (1−u) / 2u`, segment-granularity age) to the Figure 8
+//! comparison so that design decision can be quantified: cost-benefit
+//! improves on greedy under skew, but the hybrid — which exploits eNVy's
+//! freedom to write to many segments in quick succession — still wins.
+
+use envy_bench::{emit, locality_label, quick_mode, LOCALITIES};
+use envy_core::PolicyKind;
+use envy_sim::report::{fmt_f64, Table};
+use envy_workload::CleaningStudy;
+
+fn main() {
+    let pps = if quick_mode() { 128 } else { 512 };
+    let policies: [(&str, PolicyKind); 3] = [
+        ("greedy", PolicyKind::Greedy),
+        ("cost-benefit", PolicyKind::CostBenefit),
+        ("hybrid-16", PolicyKind::Hybrid { segments_per_partition: 16 }),
+    ];
+    let mut table = Table::new(&["locality", "greedy", "cost-benefit", "hybrid-16"]);
+    for locality in LOCALITIES {
+        let mut row = vec![locality_label(locality)];
+        for (_, policy) in policies {
+            let out = CleaningStudy::sized(128, pps, policy, locality)
+                .run()
+                .expect("study must run");
+            row.push(fmt_f64(out.cleaning_cost));
+        }
+        table.row(&row);
+        eprintln!("  done {}", locality_label(locality));
+    }
+    emit(
+        "Extension: cost-benefit baseline",
+        "Sprite LFS cost-benefit victim selection vs the paper's policies (§4.1)",
+        &table,
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 9: cleaning cost vs partition size for the hybrid approach.
+//!
+//! 128-segment array, partition sizes 1 → 128 segments. Size 1 is pure
+//! locality gathering; size 128 is pure FIFO. The paper finds the best
+//! overall cost at 16 segments per partition.
+
+use envy_bench::{emit, locality_label, quick_mode};
+use envy_core::PolicyKind;
+use envy_sim::report::{fmt_f64, Table};
+use envy_workload::CleaningStudy;
+
+fn main() {
+    let pps = if quick_mode() { 128 } else { 512 };
+    let localities = [(50u32, 50u32), (30, 70), (20, 80), (10, 90), (5, 95)];
+    let headers: Vec<String> = std::iter::once("segs/partition".to_string())
+        .chain(localities.iter().map(|&l| locality_label(l)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for k in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+        let mut row = vec![k.to_string()];
+        for &locality in &localities {
+            let study = CleaningStudy::sized(
+                128,
+                pps,
+                PolicyKind::Hybrid { segments_per_partition: k },
+                locality,
+            );
+            let out = study.run().expect("study must run");
+            row.push(fmt_f64(out.cleaning_cost));
+        }
+        table.row(&row);
+        eprintln!("  done k={k}");
+    }
+    emit(
+        "Figure 9",
+        "hybrid cleaning cost vs segments per partition, 128 segments",
+        &table,
+    );
+}

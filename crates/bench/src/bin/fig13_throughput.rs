@@ -1,0 +1,38 @@
+//! Figure 13: throughput for increasing request rates.
+//!
+//! TPC-A transactions arrive with exponential inter-arrival times at
+//! increasing offered rates; achieved throughput tracks the offered rate
+//! until the cleaning system saturates (the paper's 2 GB system peaks
+//! around 30 000 TPS), then plateaus.
+
+use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_sim::report::{fmt_f64, Table};
+use envy_workload::run_timed;
+
+fn main() {
+    let txns = arg_u64("txns", if quick_mode() { 10_000 } else { 40_000 });
+    let warmup = txns / 10;
+    let mut table = Table::new(&[
+        "offered TPS",
+        "achieved TPS",
+        "flushes/s",
+        "cleaning cost",
+    ]);
+    for rate in [5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000] {
+        let (mut store, driver) = timed_system(0.8);
+        let result = run_timed(&mut store, &driver, rate as f64, warmup, txns, 42)
+            .expect("timed run");
+        table.row(&[
+            rate.to_string(),
+            fmt_f64(result.achieved_tps),
+            fmt_f64(result.flushes_per_sec),
+            fmt_f64(result.cleaning_cost),
+        ]);
+        eprintln!("  done {rate} TPS");
+    }
+    emit(
+        "Figure 13",
+        "achieved throughput vs transaction request rate (TPC-A)",
+        &table,
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 14: throughput for various levels of Flash utilization.
+//!
+//! As the live-data fraction rises, cleaning cost u/(1-u) grows and more
+//! bandwidth goes to cleaning; past ~80 % utilization throughput drops
+//! steeply — the paper's rationale for capping the array at 80 %.
+
+use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_sim::report::{fmt_f64, Table};
+use envy_workload::run_timed;
+
+fn main() {
+    let txns = arg_u64("txns", if quick_mode() { 8_000 } else { 30_000 });
+    let warmup = txns / 10;
+    let rates = [10_000u64, 20_000, 30_000, 40_000];
+    let mut table = Table::new(&[
+        "utilization",
+        "10k TPS",
+        "20k TPS",
+        "30k TPS",
+        "40k TPS",
+        "cleaning cost",
+    ]);
+    for util_pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90, 95] {
+        let mut row = vec![format!("{util_pct}%")];
+        let mut last_cost = 0.0;
+        for rate in rates {
+            let (mut store, driver) = timed_system(util_pct as f64 / 100.0);
+            let result = run_timed(&mut store, &driver, rate as f64, warmup, txns, 42)
+                .expect("timed run");
+            row.push(fmt_f64(result.achieved_tps));
+            last_cost = result.cleaning_cost;
+        }
+        row.push(fmt_f64(last_cost));
+        table.row(&row);
+        eprintln!("  done {util_pct}%");
+    }
+    emit(
+        "Figure 14",
+        "achieved throughput vs flash array utilization (TPC-A)",
+        &table,
+    );
+}

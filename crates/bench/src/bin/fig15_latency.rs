@@ -1,0 +1,40 @@
+//! Figure 15: I/O latency for increasing request rates.
+//!
+//! Average read and write latencies stay nearly constant (the paper:
+//! ~180 ns reads, ~200 ns writes) until the request rate approaches the
+//! system's maximum throughput; past saturation, writes must wait for
+//! buffer slots — one flush program plus its share of cleaning — and the
+//! average write latency jumps by more than an order of magnitude while
+//! reads stay fast.
+
+use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_sim::report::Table;
+use envy_sim::time::Ns;
+use envy_workload::run_timed;
+
+fn main() {
+    let txns = arg_u64("txns", if quick_mode() { 8_000 } else { 30_000 });
+    let warmup = txns / 10;
+    let mut table = Table::new(&["offered TPS", "read latency", "write latency", "achieved TPS"]);
+    for rate in [5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000] {
+        let (mut store, driver) = timed_system(0.8);
+        let result = run_timed(&mut store, &driver, rate as f64, warmup, txns, 42)
+            .expect("timed run");
+        table.row(&[
+            rate.to_string(),
+            format_latency(result.read_latency),
+            format_latency(result.write_latency),
+            format!("{:.0}", result.achieved_tps),
+        ]);
+        eprintln!("  done {rate} TPS");
+    }
+    emit(
+        "Figure 15",
+        "average I/O latency vs transaction request rate (TPC-A)",
+        &table,
+    );
+}
+
+fn format_latency(l: Ns) -> String {
+    l.to_string()
+}

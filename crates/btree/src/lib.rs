@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # envy-btree — an order-32 B-Tree over linear memory
+//!
+//! The paper's TPC-A workload (§5.2) keeps its three index trees as
+//! "B-Tree\[s\] with 32 entries per node" stored directly in the eNVy
+//! memory array — the whole point of the word-addressable interface is
+//! that in-memory data structures need no disk-block layout.
+//!
+//! This crate implements that structure over any
+//! [`envy_core::Memory`], so the same tree runs on plain RAM
+//! (for differential testing) and on an [`envy_core::EnvyStore`].
+//!
+//! # Example
+//!
+//! ```
+//! use envy_btree::BTree;
+//! use envy_core::VecMemory;
+//!
+//! # fn main() -> Result<(), envy_btree::BTreeError> {
+//! let mut mem = VecMemory::new(64 * 1024);
+//! let mut tree = BTree::create(&mut mem, 0, 64 * 1024)?;
+//! tree.insert(&mut mem, 42, 4200)?;
+//! assert_eq!(tree.get(&mut mem, 42)?, Some(4200));
+//! assert_eq!(tree.get(&mut mem, 7)?, None);
+//! # Ok(())
+//! # }
+//! ```
+
+mod node;
+mod tree;
+
+pub use node::{Node, FANOUT, NODE_BYTES};
+pub use tree::{BTree, BTreeError};

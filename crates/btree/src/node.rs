@@ -1,0 +1,179 @@
+//! On-memory node layout.
+//!
+//! A node is 16 header bytes plus 32 slots of (u64 key, u64 value), 528
+//! bytes total, stored little-endian. Values are child node addresses in
+//! internal nodes and user payloads in leaves. Internal nodes use the
+//! *rightmost key ≤ search key* convention: entry `i` covers keys in
+//! `[key[i], key[i+1])`.
+
+use envy_core::{EnvyError, Memory};
+
+/// Entries per node (§5.2: "a B-Tree with 32 entries per node").
+pub const FANOUT: usize = 32;
+
+/// Node header size in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Bytes per (key, value) entry.
+pub const ENTRY_BYTES: usize = 16;
+
+/// Total node size in bytes.
+pub const NODE_BYTES: usize = HEADER_BYTES + FANOUT * ENTRY_BYTES;
+
+/// A decoded node (the in-memory working copy; [`Node::store`] writes it
+/// back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Whether this is a leaf.
+    pub leaf: bool,
+    /// Sorted (key, value) entries; at most [`FANOUT`].
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl Node {
+    /// An empty leaf.
+    pub fn new_leaf() -> Node {
+        Node {
+            leaf: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty internal node.
+    pub fn new_internal() -> Node {
+        Node {
+            leaf: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether the node is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= FANOUT
+    }
+
+    /// Load a node from memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn load<M: Memory>(mem: &mut M, addr: u64) -> Result<Node, EnvyError> {
+        let mut raw = [0u8; NODE_BYTES];
+        mem.read(addr, &mut raw)?;
+        let leaf = raw[0] == 1;
+        let count = (raw[1] as usize).min(FANOUT);
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = HEADER_BYTES + i * ENTRY_BYTES;
+            let key = u64::from_le_bytes(raw[off..off + 8].try_into().expect("slice is 8 bytes"));
+            let value =
+                u64::from_le_bytes(raw[off + 8..off + 16].try_into().expect("slice is 8 bytes"));
+            entries.push((key, value));
+        }
+        Ok(Node { leaf, entries })
+    }
+
+    /// Store the node to memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node holds more than [`FANOUT`] entries.
+    pub fn store<M: Memory>(&self, mem: &mut M, addr: u64) -> Result<(), EnvyError> {
+        assert!(self.entries.len() <= FANOUT, "node overflow");
+        let mut raw = [0u8; NODE_BYTES];
+        raw[0] = u8::from(self.leaf);
+        raw[1] = self.entries.len() as u8;
+        for (i, &(key, value)) in self.entries.iter().enumerate() {
+            let off = HEADER_BYTES + i * ENTRY_BYTES;
+            raw[off..off + 8].copy_from_slice(&key.to_le_bytes());
+            raw[off + 8..off + 16].copy_from_slice(&value.to_le_bytes());
+        }
+        mem.write(addr, &raw)
+    }
+
+    /// Position of `key` in a leaf: `Ok(i)` if present, `Err(i)` for the
+    /// insertion point.
+    pub fn leaf_search(&self, key: u64) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
+    /// Child index to descend into for `key` in an internal node: the
+    /// rightmost entry whose key is ≤ `key` (entry 0 if all keys are
+    /// greater, which only happens transiently for the leftmost path).
+    pub fn child_index(&self, key: u64) -> usize {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envy_core::VecMemory;
+
+    #[test]
+    fn layout_constants() {
+        assert_eq!(FANOUT, 32);
+        assert_eq!(NODE_BYTES, 528);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut mem = VecMemory::new(4096);
+        let mut n = Node::new_leaf();
+        for i in 0..10u64 {
+            n.entries.push((i * 3, i * 100));
+        }
+        n.store(&mut mem, 128).unwrap();
+        let back = Node::load(&mut mem, 128).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn internal_flag_roundtrips() {
+        let mut mem = VecMemory::new(1024);
+        let n = Node::new_internal();
+        n.store(&mut mem, 0).unwrap();
+        assert!(!Node::load(&mut mem, 0).unwrap().leaf);
+    }
+
+    #[test]
+    fn full_node_roundtrip() {
+        let mut mem = VecMemory::new(1024);
+        let mut n = Node::new_leaf();
+        for i in 0..FANOUT as u64 {
+            n.entries.push((i, i));
+        }
+        assert!(n.is_full());
+        n.store(&mut mem, 0).unwrap();
+        assert_eq!(Node::load(&mut mem, 0).unwrap().entries.len(), FANOUT);
+    }
+
+    #[test]
+    fn leaf_search_positions() {
+        let mut n = Node::new_leaf();
+        n.entries = vec![(10, 0), (20, 0), (30, 0)];
+        assert_eq!(n.leaf_search(20), Ok(1));
+        assert_eq!(n.leaf_search(5), Err(0));
+        assert_eq!(n.leaf_search(25), Err(2));
+        assert_eq!(n.leaf_search(99), Err(3));
+    }
+
+    #[test]
+    fn child_index_convention() {
+        let mut n = Node::new_internal();
+        n.entries = vec![(0, 100), (10, 200), (20, 300)];
+        assert_eq!(n.child_index(0), 0);
+        assert_eq!(n.child_index(5), 0);
+        assert_eq!(n.child_index(10), 1);
+        assert_eq!(n.child_index(15), 1);
+        assert_eq!(n.child_index(99), 2);
+    }
+}

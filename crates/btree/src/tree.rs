@@ -1,0 +1,589 @@
+//! The B-Tree proper: create/open, point lookups, inserts with preemptive
+//! splits, in-place value updates, and bottom-up bulk loading.
+
+use crate::node::{Node, ENTRY_BYTES, FANOUT, HEADER_BYTES, NODE_BYTES};
+use envy_core::{EnvyError, Memory};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u64 = 0x656E_5679_4254_7265; // "eNVyBTre"
+const REGION_HEADER: u64 = 32;
+
+/// Errors from B-Tree operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BTreeError {
+    /// The region cannot hold another node.
+    OutOfSpace,
+    /// The region header does not contain a B-Tree.
+    BadMagic,
+    /// Bulk-load input was not strictly ascending.
+    NotSorted,
+    /// An error from the underlying memory.
+    Memory(EnvyError),
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BTreeError::OutOfSpace => write!(f, "b-tree region out of space"),
+            BTreeError::BadMagic => write!(f, "region does not contain a b-tree"),
+            BTreeError::NotSorted => write!(f, "bulk-load input must be strictly ascending"),
+            BTreeError::Memory(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl Error for BTreeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BTreeError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnvyError> for BTreeError {
+    fn from(e: EnvyError) -> BTreeError {
+        BTreeError::Memory(e)
+    }
+}
+
+/// An order-32 B-Tree living in a region of linear memory.
+///
+/// The region starts with a 32-byte header (magic, root address, bump
+/// allocator cursor, region length) so a tree can be re-opened after a
+/// crash or from another process — everything lives in the non-volatile
+/// array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTree {
+    region: u64,
+    region_len: u64,
+    root: u64,
+    next_free: u64,
+}
+
+impl BTree {
+    /// Create a fresh tree occupying `[region, region + len)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BTreeError::OutOfSpace`] if the region cannot hold even the
+    /// root; memory errors.
+    pub fn create<M: Memory>(mem: &mut M, region: u64, len: u64) -> Result<BTree, BTreeError> {
+        if len < REGION_HEADER + NODE_BYTES as u64 {
+            return Err(BTreeError::OutOfSpace);
+        }
+        let mut tree = BTree {
+            region,
+            region_len: len,
+            root: region + REGION_HEADER,
+            next_free: region + REGION_HEADER,
+        };
+        let root = tree.alloc(mem)?;
+        debug_assert_eq!(root, tree.root);
+        Node::new_leaf().store(mem, root)?;
+        tree.write_header(mem)?;
+        Ok(tree)
+    }
+
+    /// Re-open a tree previously created in this region.
+    ///
+    /// # Errors
+    ///
+    /// [`BTreeError::BadMagic`] if the header is absent or corrupt.
+    pub fn open<M: Memory>(mem: &mut M, region: u64) -> Result<BTree, BTreeError> {
+        let mut header = [0u8; REGION_HEADER as usize];
+        mem.read(region, &mut header)?;
+        let word = |i: usize| u64::from_le_bytes(header[i * 8..i * 8 + 8].try_into().expect("8"));
+        if word(0) != MAGIC {
+            return Err(BTreeError::BadMagic);
+        }
+        Ok(BTree {
+            region,
+            region_len: word(3),
+            root: word(1),
+            next_free: word(2),
+        })
+    }
+
+    fn write_header<M: Memory>(&self, mem: &mut M) -> Result<(), BTreeError> {
+        let mut header = [0u8; REGION_HEADER as usize];
+        header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        header[8..16].copy_from_slice(&self.root.to_le_bytes());
+        header[16..24].copy_from_slice(&self.next_free.to_le_bytes());
+        header[24..32].copy_from_slice(&self.region_len.to_le_bytes());
+        mem.write(self.region, &header)?;
+        Ok(())
+    }
+
+    fn alloc<M: Memory>(&mut self, mem: &mut M) -> Result<u64, BTreeError> {
+        let addr = self.next_free;
+        if addr + NODE_BYTES as u64 > self.region + self.region_len {
+            return Err(BTreeError::OutOfSpace);
+        }
+        self.next_free += NODE_BYTES as u64;
+        self.write_header(mem)?;
+        Ok(addr)
+    }
+
+    /// The root node address.
+    pub fn root_addr(&self) -> u64 {
+        self.root
+    }
+
+    /// Bytes of the region consumed by nodes.
+    pub fn bytes_used(&self) -> u64 {
+        self.next_free - self.region
+    }
+
+    /// Look up a key, loading whole nodes (functional path).
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn get<M: Memory>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, BTreeError> {
+        let mut addr = self.root;
+        loop {
+            let node = Node::load(mem, addr)?;
+            if node.leaf {
+                return Ok(match node.leaf_search(key) {
+                    Ok(i) => Some(node.entries[i].1),
+                    Err(_) => None,
+                });
+            }
+            if node.entries.is_empty() {
+                return Ok(None);
+            }
+            addr = node.entries[node.child_index(key)].1;
+        }
+    }
+
+    /// Look up a key with the access pattern real hardware would see:
+    /// a header read plus a binary search of individual 8-byte key probes
+    /// per node, then one value read (§5.2's index search traffic).
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn get_probed<M: Memory>(&self, mem: &mut M, key: u64) -> Result<Option<u64>, BTreeError> {
+        let mut addr = self.root;
+        loop {
+            let mut header = [0u8; 2];
+            mem.read(addr, &mut header)?;
+            let leaf = header[0] == 1;
+            let count = header[1] as usize;
+            // Binary search over the entry keys, one probe per step.
+            let mut lo = 0usize;
+            let mut hi = count;
+            let mut found: Option<usize> = None;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let mut kb = [0u8; 8];
+                mem.read(addr + (HEADER_BYTES + mid * ENTRY_BYTES) as u64, &mut kb)?;
+                let k = u64::from_le_bytes(kb);
+                match k.cmp(&key) {
+                    std::cmp::Ordering::Equal => {
+                        found = Some(mid);
+                        break;
+                    }
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                }
+            }
+            let read_value = |mem: &mut M, i: usize| -> Result<u64, BTreeError> {
+                let mut vb = [0u8; 8];
+                mem.read(addr + (HEADER_BYTES + i * ENTRY_BYTES + 8) as u64, &mut vb)?;
+                Ok(u64::from_le_bytes(vb))
+            };
+            if leaf {
+                return Ok(match found {
+                    Some(i) => Some(read_value(mem, i)?),
+                    None => None,
+                });
+            }
+            if count == 0 {
+                return Ok(None);
+            }
+            let idx = match found {
+                Some(i) => i,
+                None => lo.saturating_sub(1),
+            };
+            addr = read_value(mem, idx)?;
+        }
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    ///
+    /// # Errors
+    ///
+    /// [`BTreeError::OutOfSpace`] when the region is exhausted; memory
+    /// errors.
+    pub fn insert<M: Memory>(
+        &mut self,
+        mem: &mut M,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, BTreeError> {
+        // Preemptive root split keeps the descent simple: every parent we
+        // descend from has room for a promoted separator.
+        let root_node = Node::load(mem, self.root)?;
+        if root_node.is_full() {
+            let (sep, right_addr) = self.split_node(mem, self.root, &root_node)?;
+            let left_first = root_node.entries[0].0;
+            let new_root_addr = self.alloc(mem)?;
+            let mut new_root = Node::new_internal();
+            new_root.entries.push((left_first, self.root));
+            new_root.entries.push((sep, right_addr));
+            new_root.store(mem, new_root_addr)?;
+            self.root = new_root_addr;
+            self.write_header(mem)?;
+        }
+        let mut addr = self.root;
+        loop {
+            let mut node = Node::load(mem, addr)?;
+            if node.leaf {
+                match node.leaf_search(key) {
+                    Ok(i) => {
+                        let old = node.entries[i].1;
+                        node.entries[i].1 = value;
+                        node.store(mem, addr)?;
+                        return Ok(Some(old));
+                    }
+                    Err(i) => {
+                        node.entries.insert(i, (key, value));
+                        node.store(mem, addr)?;
+                        return Ok(None);
+                    }
+                }
+            }
+            let idx = node.child_index(key);
+            let child_addr = node.entries[idx].1;
+            let child = Node::load(mem, child_addr)?;
+            if child.is_full() {
+                let (sep, right_addr) = self.split_node(mem, child_addr, &child)?;
+                node.entries.insert(idx + 1, (sep, right_addr));
+                // Descending into the leftmost child with a smaller key
+                // than any separator: keep the separator exact.
+                if key < node.entries[idx].0 {
+                    node.entries[idx].0 = node.entries[idx].0.min(key);
+                }
+                node.store(mem, addr)?;
+                addr = if key >= sep { right_addr } else { child_addr };
+            } else {
+                addr = child_addr;
+            }
+        }
+    }
+
+    /// Split `node` (stored at `addr`) in half; the upper half moves to a
+    /// new node. Returns the separator key and the new node's address.
+    fn split_node<M: Memory>(
+        &mut self,
+        mem: &mut M,
+        addr: u64,
+        node: &Node,
+    ) -> Result<(u64, u64), BTreeError> {
+        let mid = node.entries.len() / 2;
+        let right_addr = self.alloc(mem)?;
+        let mut left = node.clone();
+        let right_entries = left.entries.split_off(mid);
+        let sep = right_entries[0].0;
+        let right = Node {
+            leaf: node.leaf,
+            entries: right_entries,
+        };
+        left.store(mem, addr)?;
+        right.store(mem, right_addr)?;
+        Ok((sep, right_addr))
+    }
+
+    /// Update an existing key's value in place — exactly one 8-byte write
+    /// (the TPC-A balance update, §5.2). Returns `false` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn update<M: Memory>(
+        &self,
+        mem: &mut M,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, BTreeError> {
+        let mut addr = self.root;
+        loop {
+            let node = Node::load(mem, addr)?;
+            if node.leaf {
+                return match node.leaf_search(key) {
+                    Ok(i) => {
+                        let value_addr = addr + (HEADER_BYTES + i * ENTRY_BYTES + 8) as u64;
+                        mem.write(value_addr, &value.to_le_bytes())?;
+                        Ok(true)
+                    }
+                    Err(_) => Ok(false),
+                };
+            }
+            if node.entries.is_empty() {
+                return Ok(false);
+            }
+            addr = node.entries[node.child_index(key)].1;
+        }
+    }
+
+    /// Bulk-load a fresh tree from strictly ascending `(key, value)`
+    /// pairs, packing leaves full and building internal levels bottom-up
+    /// (how the TPC-A database is initialized).
+    ///
+    /// # Errors
+    ///
+    /// [`BTreeError::NotSorted`] on unordered input;
+    /// [`BTreeError::OutOfSpace`]; memory errors.
+    pub fn bulk_load<M, I>(mem: &mut M, region: u64, len: u64, pairs: I) -> Result<BTree, BTreeError>
+    where
+        M: Memory,
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut tree = BTree {
+            region,
+            region_len: len,
+            root: region + REGION_HEADER,
+            next_free: region + REGION_HEADER,
+        };
+        // Build the leaf level.
+        let mut level: Vec<(u64, u64)> = Vec::new(); // (first key, node addr)
+        let mut current = Node::new_leaf();
+        let mut last_key: Option<u64> = None;
+        for (key, value) in pairs {
+            if last_key.is_some_and(|k| key <= k) {
+                return Err(BTreeError::NotSorted);
+            }
+            last_key = Some(key);
+            if current.is_full() {
+                let addr = tree.alloc_quiet()?;
+                current.store(mem, addr)?;
+                level.push((current.entries[0].0, addr));
+                current = Node::new_leaf();
+            }
+            current.entries.push((key, value));
+        }
+        let addr = tree.alloc_quiet()?;
+        let first = current.entries.first().map_or(0, |e| e.0);
+        current.store(mem, addr)?;
+        level.push((first, addr));
+
+        // Build internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut next: Vec<(u64, u64)> = Vec::new();
+            for chunk in level.chunks(FANOUT) {
+                let addr = tree.alloc_quiet()?;
+                let node = Node {
+                    leaf: false,
+                    entries: chunk.to_vec(),
+                };
+                node.store(mem, addr)?;
+                next.push((chunk[0].0, addr));
+            }
+            level = next;
+        }
+        tree.root = level[0].1;
+        tree.write_header(mem)?;
+        Ok(tree)
+    }
+
+    fn alloc_quiet(&mut self) -> Result<u64, BTreeError> {
+        let addr = self.next_free;
+        if addr + NODE_BYTES as u64 > self.region + self.region_len {
+            return Err(BTreeError::OutOfSpace);
+        }
+        self.next_free += NODE_BYTES as u64;
+        Ok(addr)
+    }
+
+    /// Tree depth (1 for a lone leaf).
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn depth<M: Memory>(&self, mem: &mut M) -> Result<u32, BTreeError> {
+        let mut d = 1;
+        let mut addr = self.root;
+        loop {
+            let node = Node::load(mem, addr)?;
+            if node.leaf || node.entries.is_empty() {
+                return Ok(d);
+            }
+            d += 1;
+            addr = node.entries[0].1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envy_core::VecMemory;
+
+    fn mem() -> VecMemory {
+        VecMemory::new(2 * 1024 * 1024)
+    }
+
+    #[test]
+    fn empty_tree_lookups_miss() {
+        let mut m = mem();
+        let t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        assert_eq!(t.get(&mut m, 1).unwrap(), None);
+        assert_eq!(t.get_probed(&mut m, 1).unwrap(), None);
+        assert_eq!(t.depth(&mut m).unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        assert_eq!(t.insert(&mut m, 10, 100).unwrap(), None);
+        assert_eq!(t.insert(&mut m, 10, 200).unwrap(), Some(100));
+        assert_eq!(t.get(&mut m, 10).unwrap(), Some(200));
+    }
+
+    #[test]
+    fn many_inserts_ascending() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        for i in 0..5_000u64 {
+            t.insert(&mut m, i, i * 2).unwrap();
+        }
+        for i in 0..5_000u64 {
+            assert_eq!(t.get(&mut m, i).unwrap(), Some(i * 2), "key {i}");
+        }
+        assert!(t.depth(&mut m).unwrap() >= 3);
+    }
+
+    #[test]
+    fn many_inserts_shuffled() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        let mut keys: Vec<u64> = (0..5_000).collect();
+        let mut rng = envy_sim::rng::Rng::seed_from(3);
+        rng.shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(&mut m, k, k + 7).unwrap();
+        }
+        for k in 0..5_000u64 {
+            assert_eq!(t.get(&mut m, k).unwrap(), Some(k + 7), "key {k}");
+            assert_eq!(t.get_probed(&mut m, k).unwrap(), Some(k + 7), "probed {k}");
+        }
+        assert_eq!(t.get(&mut m, 5_000).unwrap(), None);
+    }
+
+    #[test]
+    fn probed_and_whole_node_agree() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        for i in (0..2_000u64).map(|i| i * 3) {
+            t.insert(&mut m, i, i).unwrap();
+        }
+        for probe in 0..6_000u64 {
+            assert_eq!(
+                t.get(&mut m, probe).unwrap(),
+                t.get_probed(&mut m, probe).unwrap(),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        for i in 0..1_000u64 {
+            t.insert(&mut m, i, 0).unwrap();
+        }
+        assert!(t.update(&mut m, 500, 9_999).unwrap());
+        assert_eq!(t.get(&mut m, 500).unwrap(), Some(9_999));
+        assert!(!t.update(&mut m, 1_001, 1).unwrap());
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let mut m = mem();
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i * 13)).collect();
+        let t = BTree::bulk_load(&mut m, 0, 2 * 1024 * 1024, pairs.iter().copied()).unwrap();
+        for &(k, v) in &pairs {
+            assert_eq!(t.get(&mut m, k).unwrap(), Some(v), "key {k}");
+        }
+        assert_eq!(t.get(&mut m, 10_000).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_load_depths_match_paper_figure_12() {
+        // Figure 12: 155 branches -> 2 levels, 1550 tellers -> 3 levels,
+        // 15.5M accounts -> 5 levels (we verify the formula at 15,500
+        // accounts -> ceil over fanout-32 levels).
+        let mut m = mem();
+        let t = BTree::bulk_load(&mut m, 0, 64 * 1024, (0..155).map(|i| (i, i))).unwrap();
+        assert_eq!(t.depth(&mut m).unwrap(), 2);
+        let mut m2 = mem();
+        let t2 = BTree::bulk_load(&mut m2, 0, 256 * 1024, (0..1_550).map(|i| (i, i))).unwrap();
+        assert_eq!(t2.depth(&mut m2).unwrap(), 3);
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let mut m = mem();
+        let r = BTree::bulk_load(&mut m, 0, 64 * 1024, vec![(2, 0), (1, 0)]);
+        assert_eq!(r.unwrap_err(), BTreeError::NotSorted);
+        let r = BTree::bulk_load(&mut m, 0, 64 * 1024, vec![(1, 0), (1, 0)]);
+        assert_eq!(r.unwrap_err(), BTreeError::NotSorted);
+    }
+
+    #[test]
+    fn open_reattaches_after_drop() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 4096, 512 * 1024).unwrap();
+        for i in 0..1_000u64 {
+            t.insert(&mut m, i, i).unwrap();
+        }
+        let reopened = BTree::open(&mut m, 4096).unwrap();
+        assert_eq!(reopened, t);
+        assert_eq!(reopened.get(&mut m, 999).unwrap(), Some(999));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut m = mem();
+        assert_eq!(BTree::open(&mut m, 0).unwrap_err(), BTreeError::BadMagic);
+    }
+
+    #[test]
+    fn out_of_space_is_clean_error() {
+        let mut m = mem();
+        // Room for only a few nodes.
+        let mut t = BTree::create(&mut m, 0, REGION_HEADER + 3 * NODE_BYTES as u64).unwrap();
+        let mut err = None;
+        for i in 0..10_000u64 {
+            if let Err(e) = t.insert(&mut m, i, i) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(BTreeError::OutOfSpace));
+    }
+
+    #[test]
+    fn differential_vs_btreemap() {
+        use std::collections::BTreeMap;
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 2 * 1024 * 1024).unwrap();
+        let mut model = BTreeMap::new();
+        let mut rng = envy_sim::rng::Rng::seed_from(77);
+        for _ in 0..20_000 {
+            let k = rng.below(3_000);
+            let v = rng.next_u64();
+            let expected = model.insert(k, v);
+            let got = t.insert(&mut m, k, v).unwrap();
+            assert_eq!(got, expected);
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(&mut m, *k).unwrap(), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Internal debugging driver for the locality-gathering dynamics.
+use envy_core::engine::Engine;
+use envy_core::{EnvyConfig, PolicyKind};
+use envy_sim::dist::Bimodal;
+use envy_sim::rng::Rng;
+
+fn main() {
+    let config = EnvyConfig::scaled(4, 16, 64, 256)
+        .with_policy(PolicyKind::LocalityGathering)
+        .with_utilization(0.8);
+    let mut e = Engine::new(config).unwrap();
+    e.prefill().unwrap();
+    let n = e.config().logical_pages;
+    let dist = Bimodal::from_spec(n, 10, 90);
+    let mut rng = Rng::seed_from(5);
+    let mut ops = Vec::new();
+    for step in 0..60_000u64 {
+        let lp = dist.sample(&mut rng);
+        e.write_page_bytes(lp, 0, &[1], &mut ops).unwrap();
+        ops.clear();
+        if step % 10000 == 9999 {
+            let utils: Vec<String> = (0..e.positions())
+                .map(|pos| format!("{:.2}", e.position_utilization(pos)))
+                .collect();
+            println!("step {step}: {}", utils.join(" "));
+            println!(
+                "   cost={:.2} sheds={} cleans={}",
+                e.stats().cleaning_cost(),
+                e.stats().shed_programs.get(),
+                e.stats().cleans.get()
+            );
+        }
+    }
+}

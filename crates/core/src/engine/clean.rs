@@ -1,0 +1,212 @@
+//! The cleaning driver (§3.4, §4).
+//!
+//! Cleaning copies a segment's live data, in page order, to the erased
+//! spare segment, then erases the victim, which becomes the new spare.
+//! Under locality gathering, some pages are diverted ("shed") to
+//! neighbouring partitions instead, re-apportioning free space. Shadow
+//! pages owned by open transactions are relocated along with live data
+//! (§6: the controller "has to keep track of the location of the shadow
+//! copies and protect them from being cleaned").
+
+use crate::addr::{FlashLocation, LogicalPage};
+use crate::engine::policy::{LgPlan, ShedPlan};
+use crate::engine::recovery::CleanJournal;
+use crate::engine::{Engine, POS_NONE};
+use crate::error::EnvyError;
+use crate::timing::{BgKind, BgOp};
+
+impl Engine {
+    /// Clean the segment at `pos`: shed per the locality-gathering plan,
+    /// copy remaining live data to the spare, erase, and swap the spare
+    /// into the position. Exposed publicly for maintenance-style forced
+    /// cleaning (e.g. draining invalid space before a planned shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Flash errors (engine bugs) and [`EnvyError::ArrayFull`]
+    /// from pathological utilization.
+    pub fn clean_position(
+        &mut self,
+        pos: u32,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
+        let mut shed = match self.lg_plan(pos) {
+            LgPlan::Shed(s) => s,
+            LgPlan::None => ShedPlan::default(),
+        };
+        let victim = self.order[pos as usize];
+        // A 100%-live victim cannot yield space by cleaning in place:
+        // divert pages somewhere else or fail.
+        if shed.total == 0
+            && self.flash.valid_pages(victim) == self.config.geometry.pages_per_segment()
+        {
+            shed = self.forced_shed_plan(pos);
+        }
+        self.clean_inner(pos, shed, None, ops)
+    }
+
+    /// Test/recovery hook: run a clean but stop after `after_copies` page
+    /// copies, leaving the persistent clean journal set, as if power
+    /// failed mid-clean. [`Engine::recover`] completes it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::clean_position`].
+    pub fn clean_interrupted(
+        &mut self,
+        pos: u32,
+        after_copies: u32,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
+        self.clean_inner(pos, ShedPlan::default(), Some(after_copies), ops)
+    }
+
+    fn clean_inner(
+        &mut self,
+        pos: u32,
+        plan: ShedPlan,
+        interrupt_after: Option<u32>,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
+        assert!(
+            interrupt_after.is_none() || plan.total == 0,
+            "interrupted cleans do not support redistribution"
+        );
+        let victim = self.order[pos as usize];
+        let dest = self.spare;
+        debug_assert_eq!(
+            self.flash.erased_pages(dest),
+            self.config.geometry.pages_per_segment(),
+            "spare must be fully erased"
+        );
+        // §3.4: "The state of the cleaning process is kept in persistent
+        // memory so the controller can recover quickly after a failure."
+        self.journal = Some(CleanJournal { pos, victim, dest });
+
+        let residents = self.page_table.residents_of(victim);
+        let n = residents.len();
+        let shed_n = (plan.total as usize).min(n);
+        // §4.3: pages headed for a higher-numbered (colder) partition are
+        // taken from the beginning (the cold end); pages headed lower are
+        // taken from the end (the hot end).
+        let shed_range = if plan.from_head {
+            0..shed_n
+        } else {
+            n - shed_n..n
+        };
+        let mut shed_slots = plan.dests.iter().flat_map(|&(pos, count)| {
+            std::iter::repeat_n(pos, count as usize)
+        });
+
+        let mut copied = 0u32;
+        for (i, &(page, lp)) in residents.iter().enumerate() {
+            let (to_seg, is_shed) = if shed_range.contains(&i) {
+                let slot = shed_slots.next().expect("plan covers shed range");
+                (self.order[slot as usize], true)
+            } else {
+                (dest, false)
+            };
+            let to_page = self.write_cursor(to_seg);
+            let t = self.copy_flash_page(
+                FlashLocation { segment: victim, page },
+                FlashLocation { segment: to_seg, page: to_page },
+                lp,
+            )?;
+            self.stats.clean_programs.incr();
+            if is_shed {
+                self.stats.shed_programs.incr();
+            }
+            ops.push(BgOp {
+                bank: self.flash.bank_of(to_seg),
+                kind: BgKind::CleanCopy,
+                duration: t,
+            });
+            copied += 1;
+            if interrupt_after == Some(copied) {
+                // Simulated mid-clean power failure: journal stays set.
+                return Ok(());
+            }
+        }
+        self.complete_clean_tail(pos, victim, dest, ops)
+    }
+
+    /// Copy one live Flash page (read on the wide datapath, program the
+    /// destination, invalidate the source, atomically repoint the page
+    /// table).
+    pub(crate) fn copy_flash_page(
+        &mut self,
+        from: FlashLocation,
+        to: FlashLocation,
+        lp: LogicalPage,
+    ) -> Result<envy_sim::time::Ns, EnvyError> {
+        let data = if self.flash.stores_data() {
+            self.flash
+                .read_page(from.segment, from.page, Some(&mut self.scratch))?;
+            Some(&self.scratch[..])
+        } else {
+            self.flash.read_page(from.segment, from.page, None)?;
+            None
+        };
+        let t = self.flash.program_page(to.segment, to.page, data)?;
+        self.flash.invalidate_page(from.segment, from.page)?;
+        self.page_table.map_flash(lp, to);
+        self.mmu.invalidate(lp);
+        Ok(t)
+    }
+
+    /// Shared tail of a clean: relocate shadow pages, erase the victim,
+    /// rotate the spare, and run the wear-leveling check.
+    pub(crate) fn complete_clean_tail(
+        &mut self,
+        pos: u32,
+        victim: u32,
+        dest: u32,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
+        // Relocate transaction shadow copies (§6). They are invalid pages
+        // in the array but their contents must survive the erase.
+        for (page, lp) in self.shadows.residents_of(victim) {
+            let to_page = self.write_cursor(dest);
+            let data = if self.flash.stores_data() {
+                self.flash.read_page(victim, page, Some(&mut self.scratch))?;
+                Some(&self.scratch[..])
+            } else {
+                self.flash.read_page(victim, page, None)?;
+                None
+            };
+            let t = self.flash.program_page(dest, to_page, data)?;
+            // The shadow is not live data: return it to the invalid state
+            // and update the shadow directory.
+            self.flash.invalidate_page(dest, to_page)?;
+            self.shadows.relocate(
+                lp,
+                FlashLocation { segment: dest, page: to_page },
+            );
+            self.stats.clean_programs.incr();
+            self.stats.shadow_programs.incr();
+            ops.push(BgOp {
+                bank: self.flash.bank_of(dest),
+                kind: BgKind::CleanCopy,
+                duration: t,
+            });
+        }
+
+        if self.wear_parked == Some(victim) {
+            self.wear_parked = None;
+        }
+        let t = self.flash.erase_segment(victim)?;
+        ops.push(BgOp {
+            bank: self.flash.bank_of(victim),
+            kind: BgKind::Erase,
+            duration: t,
+        });
+        self.order[pos as usize] = dest;
+        self.pos_of[dest as usize] = pos;
+        self.pos_of[victim as usize] = POS_NONE;
+        self.spare = victim;
+        self.stats.cleans.incr();
+        self.stats.erases.incr();
+        self.journal = None;
+        self.maybe_wear_level(ops)
+    }
+}

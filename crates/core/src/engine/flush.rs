@@ -1,0 +1,66 @@
+//! Flushing pages from the SRAM write buffer into Flash (§3.2, §3.4).
+
+use crate::addr::FlashLocation;
+use crate::engine::Engine;
+use crate::error::EnvyError;
+use crate::timing::{BgKind, BgOp};
+
+impl Engine {
+    /// Flush from the tail until the buffer is back at the threshold
+    /// (§3.2: "Pages are flushed from the buffer when their number
+    /// exceeds a certain threshold").
+    ///
+    /// # Errors
+    ///
+    /// Propagates cleaning errors.
+    pub(crate) fn maybe_flush(&mut self, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        while self.buffer.len() > self.config.flush_threshold {
+            self.flush_tail(ops)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the buffer completely (used by transaction begin and
+    /// shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cleaning errors.
+    pub fn flush_all(&mut self, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        while !self.buffer.is_empty() {
+            self.flush_tail(ops)?;
+        }
+        Ok(())
+    }
+
+    /// Flush the oldest buffered page to Flash, cleaning first if the
+    /// policy's target segment has no space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cleaning errors; does nothing on an empty buffer.
+    pub(crate) fn flush_tail(&mut self, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        let Some(tail) = self.buffer.peek_tail() else {
+            return Ok(());
+        };
+        let origin = tail.origin;
+        // Resolve the destination first — it may trigger a clean, which
+        // never touches the buffer — then commit the pop.
+        let pos = self.policy_flush_target(origin, ops)?;
+        let page = self.buffer.pop_tail().expect("peeked above");
+        let phys = self.order[pos as usize];
+        let pg = self.write_cursor(phys);
+        let t = self.flash.program_page(phys, pg, page.data.as_deref())?;
+        self.page_table
+            .map_flash(page.logical, FlashLocation { segment: phys, page: pg });
+        self.mmu.invalidate(page.logical);
+        self.stats.pages_flushed.incr();
+        self.seg_last_write[phys as usize] = self.stats.pages_flushed.get();
+        ops.push(BgOp {
+            bank: self.flash.bank_of(phys),
+            kind: BgKind::Flush,
+            duration: t,
+        });
+        Ok(())
+    }
+}

@@ -1,0 +1,185 @@
+//! Host-visible read and write paths (§3.1–3.2): transparent in-place
+//! update semantics via copy-on-write and page remapping.
+
+use crate::addr::{Location, LogicalPage};
+use crate::engine::Engine;
+use crate::error::EnvyError;
+use crate::timing::BgOp;
+
+/// Where a host read was serviced from (drives the latency model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSource {
+    /// The page was in the SRAM write buffer.
+    Sram,
+    /// The page was read from Flash.
+    Flash {
+        /// The bank accessed (for suspension modeling).
+        bank: u32,
+    },
+    /// The page was never written; erased (0xFF) bytes were returned.
+    Unmapped,
+}
+
+/// What a host write did (drives the latency model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// The page was already in SRAM; the write was absorbed in place.
+    SramHit,
+    /// A copy-on-write pulled the page from Flash into SRAM (§3.1–3.2).
+    CopyOnWrite {
+        /// The bank the original page was read from.
+        bank: u32,
+    },
+    /// First write to a never-written page: a fresh SRAM page was
+    /// allocated with erased contents.
+    Fresh,
+}
+
+/// Outcome of a host write at page granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteResult {
+    /// What the write did.
+    pub kind: WriteKind,
+}
+
+impl Engine {
+    fn check_page(&self, lp: LogicalPage, offset: usize, len: usize) -> Result<(), EnvyError> {
+        let pb = self.addr_map.page_bytes() as usize;
+        debug_assert!(offset + len <= pb, "chunk exceeds page bounds");
+        if lp >= self.config.logical_pages {
+            return Err(EnvyError::OutOfBounds {
+                addr: lp * pb as u64 + offset as u64,
+                size: self.config.logical_bytes(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read bytes from within one logical page.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::OutOfBounds`] if the page is outside the logical
+    /// array.
+    pub fn read_page_bytes(
+        &mut self,
+        lp: LogicalPage,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<ReadSource, EnvyError> {
+        self.check_page(lp, offset, buf.len())?;
+        match self.page_table.lookup(lp) {
+            Location::Sram => {
+                let found = self.buffer.read(lp, offset, buf);
+                debug_assert!(found, "SRAM mapping must be buffered");
+                if self.buffer.get(lp).is_none_or(|p| p.data.is_none()) {
+                    buf.fill(0xFF);
+                }
+                Ok(ReadSource::Sram)
+            }
+            Location::Flash(loc) => {
+                if self.flash.stores_data() {
+                    self.flash
+                        .read_page(loc.segment, loc.page, Some(&mut self.scratch))?;
+                    buf.copy_from_slice(&self.scratch[offset..offset + buf.len()]);
+                } else {
+                    self.flash.read_page(loc.segment, loc.page, None)?;
+                    buf.fill(0xFF);
+                }
+                Ok(ReadSource::Flash {
+                    bank: self.flash.bank_of(loc.segment),
+                })
+            }
+            Location::Unmapped => {
+                buf.fill(0xFF);
+                Ok(ReadSource::Unmapped)
+            }
+        }
+    }
+
+    /// Write bytes within one logical page, with transparent in-place
+    /// update semantics: a Flash-resident page is copied into SRAM first
+    /// (copy-on-write, §3.1), and the page table is repointed atomically.
+    /// Any flushing or cleaning this triggers is appended to `ops`.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::OutOfBounds`], or a propagated cleaning error.
+    pub fn write_page_bytes(
+        &mut self,
+        lp: LogicalPage,
+        offset: usize,
+        bytes: &[u8],
+        ops: &mut Vec<BgOp>,
+    ) -> Result<WriteResult, EnvyError> {
+        self.check_page(lp, offset, bytes.len())?;
+        match self.page_table.lookup(lp) {
+            Location::Sram => {
+                // §3.2: "Changes can be made directly in SRAM."
+                let found = self.buffer.write(lp, offset, bytes);
+                debug_assert!(found, "SRAM mapping must be buffered");
+                self.stats.sram_write_hits.incr();
+                Ok(WriteResult {
+                    kind: WriteKind::SramHit,
+                })
+            }
+            Location::Flash(loc) => {
+                // Copy-on-write (§3.2, Figure 3): make room, copy the
+                // original Flash page to SRAM, apply the write, update the
+                // page table, invalidate the old copy.
+                while self.buffer.is_full() {
+                    self.flush_tail(ops)?;
+                }
+                let initial = if self.flash.stores_data() {
+                    self.flash
+                        .read_page(loc.segment, loc.page, Some(&mut self.scratch))?;
+                    Some(&self.scratch[..])
+                } else {
+                    self.flash.read_page(loc.segment, loc.page, None)?;
+                    None
+                };
+                let origin = self.pos_of[loc.segment as usize];
+                debug_assert_ne!(origin, crate::engine::POS_NONE, "live data in the spare");
+                self.buffer
+                    .insert(lp, Some(origin), initial)
+                    .expect("buffer has space after flushing");
+                self.buffer.write(lp, offset, bytes);
+                // §6: the invalidated original is a free shadow copy for
+                // an open transaction.
+                if let Some(txn) = self.active_txn {
+                    self.shadows.insert_if_absent(lp, loc, txn);
+                }
+                self.flash.invalidate_page(loc.segment, loc.page)?;
+                self.page_table.map_sram(lp);
+                self.mmu.invalidate(lp);
+                self.stats.cow_ops.incr();
+                let bank = self.flash.bank_of(loc.segment);
+                self.maybe_flush(ops)?;
+                Ok(WriteResult {
+                    kind: WriteKind::CopyOnWrite { bank },
+                })
+            }
+            Location::Unmapped => {
+                while self.buffer.is_full() {
+                    self.flush_tail(ops)?;
+                }
+                // A page born inside a transaction has no Flash shadow;
+                // rollback must return it to the unmapped state.
+                if self.active_txn.is_some() {
+                    self.txn_fresh.insert(lp);
+                }
+                self.buffer
+                    .insert(lp, None, None)
+                    .expect("buffer has space after flushing");
+                self.buffer.write(lp, offset, bytes);
+                self.page_table.map_sram(lp);
+                self.mmu.invalidate(lp);
+                self.stats.fresh_allocs.incr();
+                self.maybe_flush(ops)?;
+                Ok(WriteResult {
+                    kind: WriteKind::Fresh,
+                })
+            }
+        }
+    }
+}

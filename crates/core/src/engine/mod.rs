@@ -1,0 +1,306 @@
+//! The eNVy controller engine: state and logical operations.
+//!
+//! The engine owns the Flash array, the SRAM write buffer, the page table
+//! and the cleaning-policy state, and implements every state transition of
+//! the system — copy-on-write, flushing, cleaning, wear leveling,
+//! transactions and recovery — as *logical* operations that also report
+//! the device time each step would cost (as [`crate::timing::BgOp`]s).
+//! The timing layer in [`crate::store`] replays that time against the
+//! simulated clock.
+//!
+//! # Segment positions
+//!
+//! Cleaning policies reason about stable *positions* (the paper's segment
+//! numbering for locality gathering), while physical segments rotate
+//! through the spare role. `order[position] = physical segment` and
+//! `pos_of[physical] = position` maintain the indirection; exactly one
+//! physical segment — the spare — has no position and is always erased
+//! (§3.4: "eNVy must always keep one segment completely erased").
+
+mod clean;
+mod flush;
+mod host;
+mod policy;
+mod recovery;
+#[cfg(test)]
+mod tests;
+mod txn;
+mod wear;
+
+pub use host::{ReadSource, WriteKind, WriteResult};
+pub use policy::PolicyState;
+pub use recovery::{CleanJournal, RecoveryReport};
+pub use txn::ShadowTable;
+
+use crate::addr::AddrMap;
+use crate::config::EnvyConfig;
+use crate::error::EnvyError;
+use crate::mmu::Mmu;
+use crate::page_table::PageTable;
+use crate::stats::EnvyStats;
+use envy_flash::FlashArray;
+use envy_sram::WriteBuffer;
+
+/// Marker for "this physical segment has no position" (it is the spare).
+pub(crate) const POS_NONE: u32 = u32::MAX;
+
+/// The eNVy controller state machine.
+///
+/// Most users interact through [`crate::store::EnvyStore`], which adds
+/// byte-granularity addressing and the timing model on top.
+#[derive(Debug)]
+pub struct Engine {
+    pub(crate) config: EnvyConfig,
+    pub(crate) addr_map: AddrMap,
+    pub(crate) flash: FlashArray,
+    pub(crate) buffer: WriteBuffer,
+    pub(crate) page_table: PageTable,
+    pub(crate) mmu: Mmu,
+    pub(crate) policy: PolicyState,
+    /// `order[position] = physical segment`.
+    pub(crate) order: Vec<u32>,
+    /// `pos_of[physical segment] = position`, [`POS_NONE`] for the spare.
+    pub(crate) pos_of: Vec<u32>,
+    /// The always-erased physical segment.
+    pub(crate) spare: u32,
+    pub(crate) stats: EnvyStats,
+    pub(crate) shadows: ShadowTable,
+    /// Pages first created (fresh-allocated) inside the open transaction:
+    /// they have no Flash shadow, and rollback returns them to unmapped.
+    pub(crate) txn_fresh: std::collections::HashSet<crate::addr::LogicalPage>,
+    pub(crate) active_txn: Option<u64>,
+    pub(crate) next_txn_id: u64,
+    pub(crate) journal: Option<CleanJournal>,
+    pub(crate) wear_in_progress: bool,
+    /// Segment parked with cold data by the last wear swap; ineligible
+    /// for another swap until normal cleaning recycles it.
+    pub(crate) wear_parked: Option<u32>,
+    /// Flush-sequence number of the most recent write into each physical
+    /// segment — the age input of the cost-benefit baseline policy.
+    pub(crate) seg_last_write: Vec<u64>,
+    /// Scratch page buffer reused by copies.
+    pub(crate) scratch: Vec<u8>,
+}
+
+impl Engine {
+    /// Build a controller from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvyError::BadConfig`] if the configuration is invalid.
+    pub fn new(config: EnvyConfig) -> Result<Engine, EnvyError> {
+        config.validate()?;
+        let geo = config.geometry;
+        let flash = FlashArray::new(geo, config.timings, config.store_data);
+        let buffer = WriteBuffer::new(
+            config.buffer_pages,
+            geo.page_bytes() as usize,
+            config.store_data,
+        );
+        let page_table = PageTable::new(config.logical_pages, &geo);
+        let mmu = Mmu::new(config.mmu_entries);
+        let positions = geo.segments() - 1;
+        let order: Vec<u32> = (0..positions).collect();
+        let mut pos_of = vec![POS_NONE; geo.segments() as usize];
+        for (pos, &phys) in order.iter().enumerate() {
+            pos_of[phys as usize] = pos as u32;
+        }
+        let spare = positions; // the last physical segment starts as spare
+        let policy = PolicyState::new(&config, positions);
+        Ok(Engine {
+            addr_map: AddrMap::new(geo.page_bytes()),
+            scratch: vec![0xFF; geo.page_bytes() as usize],
+            config,
+            flash,
+            buffer,
+            page_table,
+            mmu,
+            policy,
+            order,
+            pos_of,
+            spare,
+            stats: EnvyStats::default(),
+            shadows: ShadowTable::default(),
+            txn_fresh: std::collections::HashSet::new(),
+            active_txn: None,
+            next_txn_id: 1,
+            journal: None,
+            wear_in_progress: false,
+            wear_parked: None,
+            seg_last_write: vec![0; geo.segments() as usize],
+        })
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EnvyConfig {
+        &self.config
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &EnvyStats {
+        &self.stats
+    }
+
+    /// MMU hit/miss accounting.
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// The Flash substrate (wear and operation counters).
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// Number of pages currently in the SRAM write buffer.
+    pub fn buffered_pages(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Number of segment positions (segments minus the spare).
+    pub fn positions(&self) -> u32 {
+        self.order.len() as u32
+    }
+
+    /// The physical segment currently occupying a position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn segment_at(&self, pos: u32) -> u32 {
+        self.order[pos as usize]
+    }
+
+    /// Live-data fraction of the segment at a position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn position_utilization(&self, pos: u32) -> f64 {
+        self.flash.utilization(self.order[pos as usize])
+    }
+
+    /// First erased page index of a physical segment (pages are written
+    /// sequentially from the head, so erased pages form the tail).
+    pub(crate) fn write_cursor(&self, phys: u32) -> u32 {
+        self.config.geometry.pages_per_segment() - self.flash.erased_pages(phys)
+    }
+
+    /// Whether a physical segment has room for another page.
+    pub(crate) fn has_space(&self, phys: u32) -> bool {
+        self.flash.erased_pages(phys) > 0
+    }
+
+    /// Pre-populate the logical array: every logical page is programmed
+    /// directly into Flash, sequentially, leaving each segment at the
+    /// configured utilization. This is the steady-state starting point for
+    /// the paper's experiments (a freshly loaded database).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Flash errors (which indicate an engine bug) and
+    /// [`EnvyError::ArrayFull`] if the logical space cannot fit.
+    pub fn prefill(&mut self) -> Result<(), EnvyError> {
+        let pps = self.config.geometry.pages_per_segment() as u64;
+        let positions = self.order.len() as u64;
+        let logical = self.config.logical_pages;
+        // Spread logical pages evenly across positions, sequentially:
+        // position 0 gets pages [0, per), position 1 [per, 2*per), etc.
+        let per = logical.div_ceil(positions);
+        if per > pps {
+            return Err(EnvyError::ArrayFull);
+        }
+        let mut lp: u64 = 0;
+        'outer: for pos in 0..positions {
+            let phys = self.order[pos as usize];
+            for _ in 0..per {
+                if lp >= logical {
+                    break 'outer;
+                }
+                let page = self.write_cursor(phys);
+                let data = self.config.store_data.then(|| vec![0xFF; self.addr_map.page_bytes() as usize]);
+                self.flash.program_page(phys, page, data.as_deref())?;
+                self.page_table.map_flash(
+                    lp,
+                    crate::addr::FlashLocation {
+                        segment: phys,
+                        page,
+                    },
+                );
+                lp += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify every cross-structure invariant; used by tests and
+    /// [`Engine::recover`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.page_table.check_consistency()?;
+        let geo = &self.config.geometry;
+        // The spare is fully erased and has no position.
+        if self.flash.erased_pages(self.spare) != geo.pages_per_segment() {
+            return Err(format!("spare segment {} is not fully erased", self.spare));
+        }
+        if self.pos_of[self.spare as usize] != POS_NONE {
+            return Err("spare segment has a position".into());
+        }
+        // order/pos_of are mutually inverse and cover all non-spare
+        // segments.
+        for (pos, &phys) in self.order.iter().enumerate() {
+            if self.pos_of[phys as usize] != pos as u32 {
+                return Err(format!("order/pos_of mismatch at position {pos}"));
+            }
+        }
+        let placed = self
+            .pos_of
+            .iter()
+            .filter(|&&p| p != POS_NONE)
+            .count();
+        if placed != self.order.len() {
+            return Err("pos_of count does not match order".into());
+        }
+        // Valid page counts match page-table residency plus nothing else:
+        // every Valid flash page must be referenced by the page table.
+        for seg in 0..geo.segments() {
+            let resident = self.page_table.resident_count(seg);
+            let valid = self.flash.valid_pages(seg);
+            if resident != valid {
+                return Err(format!(
+                    "segment {seg}: {valid} valid pages but {resident} page-table residents"
+                ));
+            }
+            // Erased pages form the tail (sequential-write invariant).
+            let cursor = self.write_cursor(seg);
+            for page in cursor..geo.pages_per_segment() {
+                if self.flash.page_state(seg, page) != envy_flash::PageState::Erased {
+                    return Err(format!(
+                        "segment {seg} page {page} behind the write cursor is not erased"
+                    ));
+                }
+            }
+        }
+        // Buffered pages are exactly the SRAM-mapped logical pages.
+        let mut sram_mapped = 0u64;
+        for lp in 0..self.page_table.logical_pages() {
+            if self.page_table.lookup(lp) == crate::addr::Location::Sram {
+                sram_mapped += 1;
+                if !self.buffer.contains(lp) {
+                    return Err(format!("logical page {lp} maps to SRAM but is not buffered"));
+                }
+            }
+        }
+        if sram_mapped != self.buffer.len() as u64 {
+            return Err(format!(
+                "{} buffered pages but {sram_mapped} SRAM mappings",
+                self.buffer.len()
+            ));
+        }
+        // Shadow pages reference invalid flash pages.
+        self.shadows.check(&self.flash)?;
+        Ok(())
+    }
+}

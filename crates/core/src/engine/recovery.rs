@@ -1,0 +1,96 @@
+//! Crash and power-failure recovery.
+//!
+//! Everything the controller needs is in persistent memory: the Flash
+//! array (inherently non-volatile), the battery-backed SRAM write buffer
+//! and page table, and the cleaning journal (§3.4: "The state of the
+//! cleaning process is kept in persistent memory so the controller can
+//! recover quickly after a failure"). The only volatile state is the MMU
+//! mapping cache.
+
+use crate::engine::Engine;
+use crate::error::EnvyError;
+use crate::timing::BgOp;
+
+/// Persistent record of an in-progress clean (victim, destination and
+/// position); copied pages are recoverable from the page table itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanJournal {
+    /// The position being cleaned.
+    pub pos: u32,
+    /// The physical victim segment.
+    pub victim: u32,
+    /// The physical destination (the spare at clean start).
+    pub dest: u32,
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A mid-clean journal was found and the clean was completed.
+    pub resumed_clean: bool,
+    /// Pages that survived in the battery-backed write buffer.
+    pub buffered_pages: usize,
+    /// Shadow pages still protected for an open transaction.
+    pub shadow_pages: usize,
+}
+
+impl Engine {
+    /// Simulate a power failure: volatile state (the MMU cache) is lost;
+    /// Flash, the battery-backed buffer, page table and clean journal
+    /// survive.
+    pub fn power_failure(&mut self) {
+        self.mmu.invalidate_all();
+    }
+
+    /// Recover after a power failure: rebuild volatile state, complete
+    /// any interrupted clean from the journal, and verify consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::CorruptState`] if the persistent structures are
+    /// inconsistent (use [`Engine::check_invariants`] for details);
+    /// cleaning errors while completing an interrupted clean.
+    pub fn recover(&mut self, ops: &mut Vec<BgOp>) -> Result<RecoveryReport, EnvyError> {
+        self.mmu.invalidate_all();
+        let resumed_clean = if let Some(journal) = self.journal {
+            self.finish_clean(journal, ops)?;
+            true
+        } else {
+            false
+        };
+        self.check_invariants()
+            .map_err(|_| EnvyError::CorruptState)?;
+        Ok(RecoveryReport {
+            resumed_clean,
+            buffered_pages: self.buffer.len(),
+            shadow_pages: self.shadows.len(),
+        })
+    }
+
+    /// Complete an interrupted clean: pages already copied were remapped
+    /// before the crash, so the page table's remaining residents of the
+    /// victim are exactly the uncopied pages.
+    fn finish_clean(&mut self, journal: CleanJournal, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        let CleanJournal { pos, victim, dest } = journal;
+        for (page, lp) in self.page_table.residents_of(victim) {
+            let to_page = self.write_cursor(dest);
+            let t = self.copy_flash_page(
+                crate::addr::FlashLocation { segment: victim, page },
+                crate::addr::FlashLocation { segment: dest, page: to_page },
+                lp,
+            )?;
+            self.stats.clean_programs.incr();
+            ops.push(BgOp {
+                bank: self.flash.bank_of(dest),
+                kind: crate::timing::BgKind::CleanCopy,
+                duration: t,
+            });
+        }
+        self.complete_clean_tail(pos, victim, dest, ops)
+    }
+
+    /// Whether a clean is recorded as in progress (test support).
+    pub fn clean_in_progress(&self) -> bool {
+        self.journal.is_some()
+    }
+}

@@ -1,0 +1,186 @@
+//! Hardware atomic-transaction support (§6).
+//!
+//! "eNVy automatically copies all modified data from Flash to SRAM as part
+//! of its copy-on-write mechanism. The original data in Flash is not
+//! destroyed, and it can be used to provide a free shadow copy. An
+//! application can roll back a transaction simply by copying data back
+//! from Flash."
+//!
+//! The controller keeps a directory of shadow copies per open transaction,
+//! protects them across cleaning and wear leveling (they are relocated,
+//! not lost), commits by forgetting them, and aborts by repointing the
+//! page table at the shadows.
+
+use crate::addr::{FlashLocation, Location, LogicalPage};
+use crate::engine::Engine;
+use crate::error::EnvyError;
+use crate::timing::BgOp;
+use std::collections::HashMap;
+
+/// Directory of shadow copies for open transactions.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowTable {
+    entries: HashMap<LogicalPage, (FlashLocation, u64)>,
+}
+
+impl ShadowTable {
+    /// Number of shadow pages currently protected.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no shadows are protected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record the pre-transaction location of `lp`, keeping only the
+    /// first (oldest) shadow per page within a transaction.
+    pub(crate) fn insert_if_absent(&mut self, lp: LogicalPage, loc: FlashLocation, txn: u64) {
+        self.entries.entry(lp).or_insert((loc, txn));
+    }
+
+    /// The shadow pages located in `segment`, in page order.
+    pub(crate) fn residents_of(&self, segment: u32) -> Vec<(u32, LogicalPage)> {
+        let mut v: Vec<(u32, LogicalPage)> = self
+            .entries
+            .iter()
+            .filter(|(_, (loc, _))| loc.segment == segment)
+            .map(|(&lp, (loc, _))| (loc.page, lp))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Update a shadow's location after the cleaner moved it.
+    pub(crate) fn relocate(&mut self, lp: LogicalPage, loc: FlashLocation) {
+        if let Some((old, _)) = self.entries.get_mut(&lp) {
+            *old = loc;
+        }
+    }
+
+    /// Remove and return all shadows belonging to `txn`.
+    pub(crate) fn drop_txn(&mut self, txn: u64) -> Vec<(LogicalPage, FlashLocation)> {
+        let mut removed: Vec<(LogicalPage, FlashLocation)> = self
+            .entries
+            .iter()
+            .filter(|(_, (_, t))| *t == txn)
+            .map(|(&lp, (loc, _))| (lp, *loc))
+            .collect();
+        removed.sort_unstable_by_key(|&(lp, _)| lp);
+        for (lp, _) in &removed {
+            self.entries.remove(lp);
+        }
+        removed
+    }
+
+    /// Verify every shadow references an invalid Flash page (the state
+    /// the copy-on-write left it in).
+    pub(crate) fn check(&self, flash: &envy_flash::FlashArray) -> Result<(), String> {
+        for (&lp, (loc, _)) in &self.entries {
+            if flash.page_state(loc.segment, loc.page) != envy_flash::PageState::Invalid {
+                return Err(format!(
+                    "shadow for logical page {lp} at ({}, {}) is not invalid",
+                    loc.segment, loc.page
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Engine {
+    /// Open a transaction. The write buffer is drained first so every
+    /// logical page is Flash-resident and the copy-on-write of each
+    /// subsequent write yields a durable shadow copy.
+    ///
+    /// Only one transaction may be open at a time (the paper's hardware
+    /// mechanism is a single controller facility).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::TxnAlreadyOpen`] if a transaction is open; cleaning
+    /// errors from the drain.
+    pub fn txn_begin(&mut self, ops: &mut Vec<BgOp>) -> Result<u64, EnvyError> {
+        if let Some(txn) = self.active_txn {
+            return Err(EnvyError::TxnAlreadyOpen { txn });
+        }
+        self.flush_all(ops)?;
+        let id = self.next_txn_id;
+        self.next_txn_id += 1;
+        self.active_txn = Some(id);
+        Ok(id)
+    }
+
+    /// Commit: release the shadow pages (they become ordinary invalid
+    /// data for the cleaner to reclaim).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction.
+    pub fn txn_commit(&mut self, txn: u64) -> Result<(), EnvyError> {
+        if self.active_txn != Some(txn) {
+            return Err(EnvyError::NoSuchTxn { txn });
+        }
+        self.shadows.drop_txn(txn);
+        self.txn_fresh.clear();
+        self.active_txn = None;
+        Ok(())
+    }
+
+    /// Abort: restore every written page to its shadow copy by repointing
+    /// the page table back at the original Flash data (§6 rollback).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction.
+    pub fn txn_abort(&mut self, txn: u64) -> Result<(), EnvyError> {
+        if self.active_txn != Some(txn) {
+            return Err(EnvyError::NoSuchTxn { txn });
+        }
+        for (lp, shadow) in self.shadows.drop_txn(txn) {
+            match self.page_table.lookup(lp) {
+                Location::Sram => {
+                    self.buffer.remove(lp);
+                }
+                Location::Flash(cur) => {
+                    // The dirty version was flushed during the
+                    // transaction; discard it.
+                    self.flash.invalidate_page(cur.segment, cur.page)?;
+                }
+                Location::Unmapped => unreachable!("shadowed page cannot be unmapped"),
+            }
+            self.flash.revalidate_page(shadow.segment, shadow.page)?;
+            self.page_table.map_flash(lp, shadow);
+            self.mmu.invalidate(lp);
+        }
+        // Pages born inside the transaction return to the unmapped state
+        // (reads observe erased bytes again).
+        let fresh: Vec<crate::addr::LogicalPage> = self.txn_fresh.drain().collect();
+        for lp in fresh {
+            match self.page_table.lookup(lp) {
+                Location::Sram => {
+                    self.buffer.remove(lp);
+                }
+                Location::Flash(cur) => {
+                    self.flash.invalidate_page(cur.segment, cur.page)?;
+                }
+                Location::Unmapped => {}
+            }
+            self.page_table.unmap(lp);
+            self.mmu.invalidate(lp);
+        }
+        self.active_txn = None;
+        Ok(())
+    }
+
+    /// The currently open transaction, if any.
+    pub fn active_txn(&self) -> Option<u64> {
+        self.active_txn
+    }
+
+    /// Number of protected shadow pages.
+    pub fn shadow_pages(&self) -> usize {
+        self.shadows.len()
+    }
+}

@@ -1,0 +1,156 @@
+//! Wear leveling (§4.3).
+//!
+//! "eNVy keeps statistics on the number of program/erase cycles each
+//! segment has been exposed to and when the oldest segment gets over 100
+//! cycles older than the youngest, a cleaning operation is initiated that
+//! swaps the data in the two areas. This leads to an even wearing of the
+//! segments."
+
+use crate::engine::{Engine, POS_NONE};
+use crate::error::EnvyError;
+use crate::timing::{BgKind, BgOp};
+
+impl Engine {
+    /// Check the wear spread and swap the most- and least-worn segments'
+    /// data if it exceeds the configured threshold. Called after every
+    /// erase; re-entry during a swap is suppressed.
+    pub(crate) fn maybe_wear_level(&mut self, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        if self.wear_in_progress || self.config.wear_threshold == u64::MAX {
+            return Ok(());
+        }
+        let segments = self.config.geometry.segments();
+        let (mut worn, mut young) = (0u32, 0u32);
+        let (mut max_c, mut min_c) = (0u64, u64::MAX);
+        for seg in 0..segments {
+            let c = self.flash.erase_cycles(seg);
+            if c > max_c {
+                max_c = c;
+                worn = seg;
+            }
+            if c < min_c {
+                min_c = c;
+                young = seg;
+            }
+        }
+        if max_c - min_c <= self.config.wear_threshold {
+            return Ok(());
+        }
+        // The most-worn segment may already be resting under cold data
+        // from a previous swap; swapping it again would only add cycles.
+        // It becomes eligible again once normal cleaning recycles it.
+        if self.wear_parked == Some(worn) {
+            return Ok(());
+        }
+        self.wear_in_progress = true;
+        let result = self.wear_swap(worn, young, ops);
+        self.wear_in_progress = false;
+        result?;
+        self.wear_parked = Some(worn);
+        self.stats.wear_swaps.incr();
+        Ok(())
+    }
+
+    /// Swap the data of the most-worn and least-worn segments so the worn
+    /// one rests under cold data (or as the spare).
+    fn wear_swap(&mut self, worn: u32, young: u32, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        if young == self.spare {
+            // The least-worn segment is the (empty) spare: park the worn
+            // segment's data there and let the worn segment rest as the
+            // spare.
+            let pos = self.pos_of[worn as usize];
+            self.move_segment_data(worn, young, ops)?;
+            self.erase_for_wear(worn, ops)?;
+            self.order[pos as usize] = young;
+            self.pos_of[young as usize] = pos;
+            self.pos_of[worn as usize] = POS_NONE;
+            self.spare = worn;
+        } else if worn == self.spare {
+            // The most-worn segment is the spare: give it the youngest
+            // segment's (cold, rarely cleaned) data so it stops cycling.
+            let pos = self.pos_of[young as usize];
+            self.move_segment_data(young, worn, ops)?;
+            self.erase_for_wear(young, ops)?;
+            self.order[pos as usize] = worn;
+            self.pos_of[worn as usize] = pos;
+            self.pos_of[young as usize] = POS_NONE;
+            self.spare = young;
+        } else {
+            // General case: rotate through the spare. The worn segment's
+            // (hot) data moves to the spare; the young segment's (cold)
+            // data moves onto the worn segment; the young segment becomes
+            // the new spare and absorbs future cycles.
+            let spare = self.spare;
+            let pos_w = self.pos_of[worn as usize];
+            let pos_y = self.pos_of[young as usize];
+            self.move_segment_data(worn, spare, ops)?;
+            self.erase_for_wear(worn, ops)?;
+            self.order[pos_w as usize] = spare;
+            self.pos_of[spare as usize] = pos_w;
+            self.move_segment_data(young, worn, ops)?;
+            self.erase_for_wear(young, ops)?;
+            self.order[pos_y as usize] = worn;
+            self.pos_of[worn as usize] = pos_y;
+            self.pos_of[young as usize] = POS_NONE;
+            self.spare = young;
+        }
+        Ok(())
+    }
+
+    /// Copy every live page and shadow page of `from` into the (erased)
+    /// segment `to`, preserving order.
+    fn move_segment_data(
+        &mut self,
+        from: u32,
+        to: u32,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
+        for (page, lp) in self.page_table.residents_of(from) {
+            let to_page = self.write_cursor(to);
+            let t = self.copy_flash_page(
+                crate::addr::FlashLocation { segment: from, page },
+                crate::addr::FlashLocation { segment: to, page: to_page },
+                lp,
+            )?;
+            self.stats.wear_programs.incr();
+            ops.push(BgOp {
+                bank: self.flash.bank_of(to),
+                kind: BgKind::WearCopy,
+                duration: t,
+            });
+        }
+        for (page, lp) in self.shadows.residents_of(from) {
+            let to_page = self.write_cursor(to);
+            let data = if self.flash.stores_data() {
+                self.flash.read_page(from, page, Some(&mut self.scratch))?;
+                Some(&self.scratch[..])
+            } else {
+                self.flash.read_page(from, page, None)?;
+                None
+            };
+            let t = self.flash.program_page(to, to_page, data)?;
+            self.flash.invalidate_page(to, to_page)?;
+            self.shadows.relocate(
+                lp,
+                crate::addr::FlashLocation { segment: to, page: to_page },
+            );
+            self.stats.wear_programs.incr();
+            ops.push(BgOp {
+                bank: self.flash.bank_of(to),
+                kind: BgKind::WearCopy,
+                duration: t,
+            });
+        }
+        Ok(())
+    }
+
+    fn erase_for_wear(&mut self, seg: u32, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+        let t = self.flash.erase_segment(seg)?;
+        self.stats.erases.incr();
+        ops.push(BgOp {
+            bank: self.flash.bank_of(seg),
+            kind: BgKind::Erase,
+            duration: t,
+        });
+        Ok(())
+    }
+}

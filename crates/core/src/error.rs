@@ -1,0 +1,103 @@
+//! Controller error types.
+
+use envy_flash::FlashError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the eNVy controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvyError {
+    /// A host access fell outside the logical address space.
+    OutOfBounds {
+        /// Offending byte address.
+        addr: u64,
+        /// Size of the logical address space in bytes.
+        size: u64,
+    },
+    /// The array has no reclaimable space left: every segment is full of
+    /// live data. With the paper's 80 % utilization cap this cannot occur;
+    /// it indicates a misconfigured (oversubscribed) logical size.
+    ArrayFull,
+    /// The configuration is internally inconsistent.
+    BadConfig(&'static str),
+    /// An error bubbled up from the Flash substrate. The controller is
+    /// supposed to make these impossible; seeing one is a controller bug.
+    Flash(FlashError),
+    /// A transaction was opened while another is still open (the
+    /// controller supports one hardware transaction at a time, §6).
+    TxnAlreadyOpen {
+        /// The id of the open transaction.
+        txn: u64,
+    },
+    /// The transaction id is unknown (already committed or aborted).
+    NoSuchTxn {
+        /// Offending id.
+        txn: u64,
+    },
+    /// Recovery found the persistent structures inconsistent. Use
+    /// [`crate::engine::Engine::check_invariants`] for a description.
+    CorruptState,
+}
+
+impl fmt::Display for EnvyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EnvyError::OutOfBounds { addr, size } => {
+                write!(f, "address {addr:#x} outside logical array of {size} bytes")
+            }
+            EnvyError::ArrayFull => {
+                write!(f, "flash array has no reclaimable space (oversubscribed)")
+            }
+            EnvyError::BadConfig(why) => write!(f, "invalid configuration: {why}"),
+            EnvyError::Flash(e) => write!(f, "flash substrate error: {e}"),
+            EnvyError::TxnAlreadyOpen { txn } => {
+                write!(f, "transaction {txn} is already open")
+            }
+            EnvyError::NoSuchTxn { txn } => write!(f, "no open transaction with id {txn}"),
+            EnvyError::CorruptState => {
+                write!(f, "persistent state inconsistent after recovery")
+            }
+        }
+    }
+}
+
+impl Error for EnvyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnvyError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for EnvyError {
+    fn from(e: FlashError) -> EnvyError {
+        EnvyError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = EnvyError::OutOfBounds { addr: 0x100, size: 64 };
+        assert!(e.to_string().contains("0x100"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn flash_error_chains_as_source() {
+        let inner = FlashError::BadGeometry("x");
+        let e = EnvyError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("flash substrate"));
+    }
+
+    #[test]
+    fn send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<EnvyError>();
+    }
+}

@@ -1,0 +1,273 @@
+//! The logical-to-physical page table (§3.1, §3.3).
+//!
+//! "A page table maintains a mapping between the linear logical address
+//! space presented to the host and the physical address space of the Flash
+//! array." The table lives in battery-backed SRAM because mappings change
+//! on every copy-on-write and must update in place.
+//!
+//! Besides the forward map, the controller needs the reverse map — which
+//! logical page a physical Flash page holds — to repoint mappings during
+//! cleaning. Both directions are maintained here under a single invariant:
+//! they are mutually consistent bijections on the Flash-resident pages.
+
+use crate::addr::{FlashLocation, Location, LogicalPage};
+use envy_flash::FlashGeometry;
+
+const NO_PAGE: u64 = u64::MAX;
+
+/// Forward (logical → physical) and reverse (physical → logical) page
+/// mappings.
+///
+/// # Example
+///
+/// ```
+/// use envy_core::page_table::PageTable;
+/// use envy_core::addr::{FlashLocation, Location};
+/// use envy_flash::FlashGeometry;
+///
+/// let geo = FlashGeometry::new(1, 2, 4, 64).unwrap();
+/// let mut pt = PageTable::new(8, &geo);
+/// let loc = FlashLocation { segment: 1, page: 2 };
+/// pt.map_flash(5, loc);
+/// assert_eq!(pt.lookup(5), Location::Flash(loc));
+/// assert_eq!(pt.logical_at(loc), Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    forward: Vec<Location>,
+    /// `reverse[segment][page]` = logical page stored there, or `NO_PAGE`.
+    reverse: Vec<Vec<u64>>,
+    pages_per_segment: u32,
+}
+
+impl PageTable {
+    /// Create a table for `logical_pages` logical pages over the given
+    /// Flash geometry, with everything unmapped.
+    pub fn new(logical_pages: u64, geo: &FlashGeometry) -> PageTable {
+        PageTable {
+            forward: vec![Location::Unmapped; logical_pages as usize],
+            reverse: (0..geo.segments())
+                .map(|_| vec![NO_PAGE; geo.pages_per_segment() as usize])
+                .collect(),
+            pages_per_segment: geo.pages_per_segment(),
+        }
+    }
+
+    /// Number of logical pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.forward.len() as u64
+    }
+
+    /// Current location of a logical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lp` is out of range.
+    pub fn lookup(&self, lp: LogicalPage) -> Location {
+        self.forward[lp as usize]
+    }
+
+    /// The logical page stored at a physical location, if any.
+    pub fn logical_at(&self, loc: FlashLocation) -> Option<LogicalPage> {
+        let lp = self.reverse[loc.segment as usize][loc.page as usize];
+        (lp != NO_PAGE).then_some(lp)
+    }
+
+    /// Point a logical page at a Flash location (atomic repoint: the old
+    /// reverse entry, if any, is cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination already holds a different logical page —
+    /// the controller must never double-map a physical page.
+    pub fn map_flash(&mut self, lp: LogicalPage, loc: FlashLocation) {
+        let dest = &mut self.reverse[loc.segment as usize][loc.page as usize];
+        assert!(
+            *dest == NO_PAGE || *dest == lp,
+            "physical page already holds logical page {dest}"
+        );
+        if let Location::Flash(old) = self.forward[lp as usize] {
+            self.reverse[old.segment as usize][old.page as usize] = NO_PAGE;
+        }
+        self.forward[lp as usize] = Location::Flash(loc);
+        self.reverse[loc.segment as usize][loc.page as usize] = lp;
+    }
+
+    /// Point a logical page at the SRAM write buffer, clearing any Flash
+    /// reverse mapping.
+    pub fn map_sram(&mut self, lp: LogicalPage) {
+        if let Location::Flash(old) = self.forward[lp as usize] {
+            self.reverse[old.segment as usize][old.page as usize] = NO_PAGE;
+        }
+        self.forward[lp as usize] = Location::Sram;
+    }
+
+    /// Return a logical page to the unmapped state.
+    pub fn unmap(&mut self, lp: LogicalPage) {
+        if let Location::Flash(old) = self.forward[lp as usize] {
+            self.reverse[old.segment as usize][old.page as usize] = NO_PAGE;
+        }
+        self.forward[lp as usize] = Location::Unmapped;
+    }
+
+    /// Logical pages resident in a segment, in physical page order.
+    /// This is the order the cleaner copies them in (§4.3: "when cleaning
+    /// a segment, the order of the pages is maintained").
+    pub fn residents_of(&self, segment: u32) -> Vec<(u32, LogicalPage)> {
+        self.reverse[segment as usize]
+            .iter()
+            .enumerate()
+            .filter_map(|(page, &lp)| (lp != NO_PAGE).then_some((page as u32, lp)))
+            .collect()
+    }
+
+    /// Number of logical pages resident in a segment.
+    pub fn resident_count(&self, segment: u32) -> u32 {
+        self.reverse[segment as usize]
+            .iter()
+            .filter(|&&lp| lp != NO_PAGE)
+            .count() as u32
+    }
+
+    /// SRAM footprint of the table at the paper's 6 bytes per mapping.
+    pub fn sram_bytes(&self) -> u64 {
+        self.forward.len() as u64 * 6
+    }
+
+    /// Check forward/reverse consistency; used by tests and recovery.
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (lp, loc) in self.forward.iter().enumerate() {
+            if let Location::Flash(f) = loc {
+                if f.page >= self.pages_per_segment
+                    || f.segment as usize >= self.reverse.len()
+                {
+                    return Err(format!("logical page {lp} maps out of range"));
+                }
+                let back = self.reverse[f.segment as usize][f.page as usize];
+                if back != lp as u64 {
+                    return Err(format!(
+                        "logical page {lp} maps to ({}, {}) but reverse holds {back}",
+                        f.segment, f.page
+                    ));
+                }
+            }
+        }
+        for (seg, pages) in self.reverse.iter().enumerate() {
+            for (page, &lp) in pages.iter().enumerate() {
+                if lp != NO_PAGE {
+                    let fwd = self.forward.get(lp as usize).copied();
+                    match fwd {
+                        Some(Location::Flash(f))
+                            if f.segment as usize == seg && f.page as usize == page => {}
+                        _ => {
+                            return Err(format!(
+                                "reverse entry ({seg}, {page}) -> {lp} not mirrored forward"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        let geo = FlashGeometry::new(1, 4, 8, 64).unwrap();
+        PageTable::new(16, &geo)
+    }
+
+    #[test]
+    fn starts_unmapped() {
+        let pt = table();
+        for lp in 0..16 {
+            assert_eq!(pt.lookup(lp), Location::Unmapped);
+        }
+        assert_eq!(pt.logical_pages(), 16);
+        pt.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn map_flash_roundtrip() {
+        let mut pt = table();
+        let loc = FlashLocation { segment: 2, page: 3 };
+        pt.map_flash(7, loc);
+        assert_eq!(pt.lookup(7), Location::Flash(loc));
+        assert_eq!(pt.logical_at(loc), Some(7));
+        pt.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remap_clears_old_reverse_entry() {
+        let mut pt = table();
+        let a = FlashLocation { segment: 0, page: 0 };
+        let b = FlashLocation { segment: 1, page: 5 };
+        pt.map_flash(3, a);
+        pt.map_flash(3, b);
+        assert_eq!(pt.logical_at(a), None);
+        assert_eq!(pt.logical_at(b), Some(3));
+        pt.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn map_sram_clears_reverse() {
+        let mut pt = table();
+        let a = FlashLocation { segment: 0, page: 1 };
+        pt.map_flash(2, a);
+        pt.map_sram(2);
+        assert_eq!(pt.lookup(2), Location::Sram);
+        assert_eq!(pt.logical_at(a), None);
+        pt.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn unmap_restores_initial_state() {
+        let mut pt = table();
+        pt.map_flash(1, FlashLocation { segment: 3, page: 7 });
+        pt.unmap(1);
+        assert_eq!(pt.lookup(1), Location::Unmapped);
+        assert_eq!(pt.resident_count(3), 0);
+        pt.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_mapping_a_physical_page_panics() {
+        let mut pt = table();
+        let loc = FlashLocation { segment: 0, page: 0 };
+        pt.map_flash(1, loc);
+        pt.map_flash(2, loc);
+    }
+
+    #[test]
+    fn residents_in_page_order() {
+        let mut pt = table();
+        pt.map_flash(10, FlashLocation { segment: 1, page: 6 });
+        pt.map_flash(11, FlashLocation { segment: 1, page: 2 });
+        pt.map_flash(12, FlashLocation { segment: 1, page: 4 });
+        let r = pt.residents_of(1);
+        assert_eq!(r, vec![(2, 11), (4, 12), (6, 10)]);
+        assert_eq!(pt.resident_count(1), 3);
+    }
+
+    #[test]
+    fn sram_accounting_six_bytes_per_entry() {
+        assert_eq!(table().sram_bytes(), 16 * 6);
+    }
+
+    #[test]
+    fn idempotent_same_mapping() {
+        let mut pt = table();
+        let loc = FlashLocation { segment: 2, page: 2 };
+        pt.map_flash(5, loc);
+        pt.map_flash(5, loc); // same pair: allowed
+        assert_eq!(pt.logical_at(loc), Some(5));
+        pt.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,204 @@
+//! Controller statistics: the quantities the paper reports.
+
+use envy_sim::stats::{Counter, Histogram};
+use envy_sim::time::Ns;
+
+/// Counters and accumulators for one controller instance.
+///
+/// The central derived metric is [`EnvyStats::cleaning_cost`], the paper's
+/// §4.1 definition: "the number of Flash program operations performed by
+/// the cleaning algorithm for every page that is flushed from the write
+/// buffer" — it excludes reads and the initial flush program itself.
+#[derive(Debug, Clone, Default)]
+pub struct EnvyStats {
+    /// Host read accesses (word-granularity).
+    pub host_reads: Counter,
+    /// Host write accesses (word-granularity).
+    pub host_writes: Counter,
+    /// Latency of host reads (timed mode only).
+    pub read_latency: Histogram,
+    /// Latency of host writes (timed mode only).
+    pub write_latency: Histogram,
+    /// Copy-on-write operations (Flash page pulled into SRAM).
+    pub cow_ops: Counter,
+    /// Writes to pages never before written (no Flash copy to pull).
+    pub fresh_allocs: Counter,
+    /// Writes absorbed by a page already in the SRAM buffer.
+    pub sram_write_hits: Counter,
+    /// Pages flushed from the write buffer into Flash.
+    pub pages_flushed: Counter,
+    /// Pages programmed by the cleaner (segment copies and locality
+    /// redistribution, including shadow-page relocation).
+    pub clean_programs: Counter,
+    /// Subset of `clean_programs`: pages moved between partitions by
+    /// locality gathering.
+    pub shed_programs: Counter,
+    /// Subset of `clean_programs`: transaction shadow pages relocated.
+    pub shadow_programs: Counter,
+    /// Cleaning operations (segments cleaned).
+    pub cleans: Counter,
+    /// Segment erases.
+    pub erases: Counter,
+    /// Wear-leveling swaps triggered.
+    pub wear_swaps: Counter,
+    /// Pages programmed by wear-leveling swaps (not counted as cleaning).
+    pub wear_programs: Counter,
+    /// Simulated time the storage system spent servicing host reads.
+    pub time_reads: Ns,
+    /// Simulated time servicing host writes (including synchronous
+    /// stalls).
+    pub time_writes: Ns,
+    /// Background time programming buffer flushes.
+    pub time_flush: Ns,
+    /// Background time programming cleaning copies.
+    pub time_clean: Ns,
+    /// Background time erasing segments.
+    pub time_erase: Ns,
+    /// Background time lost to suspension back-offs (§3.4).
+    pub time_suspend: Ns,
+    /// Host accesses that had to suspend a long Flash operation.
+    pub suspensions: Counter,
+}
+
+/// A normalized busy-time breakdown, as in §5.3 ("approximately 40 % of
+/// the time is servicing reads … cleaning (30 %), flushing (15 %), or
+/// erasing (15 %)").
+///
+/// Fractions are of *productive* controller time (host service plus
+/// background device work). Suspension time — background work frozen
+/// while the host bursts through the array — overlaps host service time
+/// by construction and is reported separately as a ratio against the
+/// productive total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Fraction of productive time servicing reads.
+    pub reads: f64,
+    /// Fraction servicing writes.
+    pub writes: f64,
+    /// Fraction flushing buffer pages.
+    pub flushing: f64,
+    /// Fraction copying live data while cleaning.
+    pub cleaning: f64,
+    /// Fraction erasing segments.
+    pub erasing: f64,
+    /// Suspension (background frozen with work pending) relative to
+    /// productive time; overlaps the host fractions.
+    pub suspended: f64,
+}
+
+impl EnvyStats {
+    /// The paper's cleaning-cost metric (§4.1). Zero before any flush.
+    pub fn cleaning_cost(&self) -> f64 {
+        let flushed = self.pages_flushed.get();
+        if flushed == 0 {
+            0.0
+        } else {
+            self.clean_programs.get() as f64 / flushed as f64
+        }
+    }
+
+    /// Total productive time across host service and background device
+    /// work (suspension overlap excluded).
+    pub fn busy_time(&self) -> Ns {
+        self.time_reads
+            + self.time_writes
+            + self.time_flush
+            + self.time_clean
+            + self.time_erase
+    }
+
+    /// Fractional busy-time breakdown; `None` if nothing has been timed.
+    pub fn breakdown(&self) -> Option<TimeBreakdown> {
+        let total = self.busy_time().as_nanos() as f64;
+        if total == 0.0 {
+            return None;
+        }
+        Some(TimeBreakdown {
+            reads: self.time_reads.as_nanos() as f64 / total,
+            writes: self.time_writes.as_nanos() as f64 / total,
+            flushing: self.time_flush.as_nanos() as f64 / total,
+            cleaning: self.time_clean.as_nanos() as f64 / total,
+            erasing: self.time_erase.as_nanos() as f64 / total,
+            suspended: self.time_suspend.as_nanos() as f64 / total,
+        })
+    }
+}
+
+/// Estimate system lifetime with the paper's §5.5 formula.
+///
+/// `Lifetime = WriteCapacity / PageWriteRate`, where write capacity is
+/// `total_pages × rated_cycles` page writes and the page write rate is
+/// `flushes_per_sec × (1 + cleaning_cost)`.
+///
+/// Returns the lifetime in days of continuous use (infinite if the write
+/// rate is zero).
+pub fn lifetime_days(
+    total_pages: u64,
+    rated_cycles: u64,
+    flushes_per_sec: f64,
+    cleaning_cost: f64,
+) -> f64 {
+    let capacity = total_pages as f64 * rated_cycles as f64;
+    let rate = flushes_per_sec * (1.0 + cleaning_cost);
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    capacity / rate / 86_400.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleaning_cost_definition() {
+        let mut s = EnvyStats::default();
+        assert_eq!(s.cleaning_cost(), 0.0);
+        s.pages_flushed.add(100);
+        s.clean_programs.add(197);
+        assert!((s.cleaning_cost() - 1.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let s = EnvyStats {
+            time_reads: Ns::from_nanos(40),
+            time_flush: Ns::from_nanos(15),
+            time_clean: Ns::from_nanos(30),
+            time_erase: Ns::from_nanos(15),
+            ..EnvyStats::default()
+        };
+        let b = s.breakdown().unwrap();
+        let sum = b.reads + b.writes + b.flushing + b.cleaning + b.erasing;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((b.reads - 0.4).abs() < 1e-12);
+        assert_eq!(b.suspended, 0.0);
+    }
+
+    #[test]
+    fn breakdown_empty_is_none() {
+        assert_eq!(EnvyStats::default().breakdown(), None);
+    }
+
+    #[test]
+    fn lifetime_reproduces_section_5_5() {
+        // 2 GB / 256 B pages = 8 Mi pages, 1 M cycles, 10 376 pages/s
+        // flushed at cleaning cost 1.97 → "3,151 days (8.63 years)".
+        let pages = 2u64 * 1024 * 1024 * 1024 / 256;
+        let days = lifetime_days(pages, 1_000_000, 10_376.0, 1.97);
+        assert!((days - 3151.0).abs() < 15.0, "days = {days}");
+        assert!((days / 365.25 - 8.63).abs() < 0.05);
+    }
+
+    #[test]
+    fn lifetime_zero_rate_is_infinite() {
+        assert!(lifetime_days(100, 100, 0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn lifetime_proportional_to_array_size() {
+        let full = lifetime_days(1000, 10, 5.0, 1.0);
+        let half = lifetime_days(500, 10, 5.0, 1.0);
+        assert!((full / half - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,625 @@
+//! The public eNVy storage interface: a byte-addressable, non-volatile
+//! linear array with in-place update semantics.
+//!
+//! Two access paths are provided:
+//!
+//! * **Untimed** ([`EnvyStore::read`] / [`EnvyStore::write`]): performs
+//!   every state transition (copy-on-write, flushing, cleaning, wear
+//!   leveling) but treats background device time as instantaneous. Used
+//!   for functional code (B-Trees, filesystems) and the cleaning-cost
+//!   studies, where only program-operation counts matter.
+//! * **Timed** ([`EnvyStore::read_at`] / [`EnvyStore::write_at`]): the
+//!   caller supplies the simulated arrival time of each access; the store
+//!   splits it into host-bus words, replays background work against the
+//!   clock, models long-operation suspension and buffer-full stalls, and
+//!   returns per-access latency — the model behind Figures 13–15.
+
+use crate::addr::Chunk;
+use crate::config::EnvyConfig;
+use crate::engine::{Engine, ReadSource, RecoveryReport, WriteKind};
+use crate::error::EnvyError;
+use crate::memory::Memory;
+use crate::stats::EnvyStats;
+use crate::timing::{BgOp, TimingState};
+use envy_sim::time::Ns;
+
+/// Timing of one host access (a byte range split into word accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedAccess {
+    /// Simulated completion time.
+    pub completed: Ns,
+    /// Total latency from issue to completion.
+    pub latency: Ns,
+    /// Number of host-bus word accesses performed.
+    pub words: u32,
+}
+
+/// An eNVy storage system: Flash array + controller + SRAM, presented as
+/// linear non-volatile memory.
+///
+/// # Example
+///
+/// ```
+/// use envy_core::{EnvyConfig, EnvyStore};
+///
+/// # fn main() -> Result<(), envy_core::EnvyError> {
+/// let mut store = EnvyStore::new(EnvyConfig::small_test())?;
+/// store.write(4096, b"hello")?;
+/// let mut buf = [0u8; 5];
+/// store.read(4096, &mut buf)?;
+/// assert_eq!(&buf, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EnvyStore {
+    engine: Engine,
+    timing: TimingState,
+    clock: Ns,
+    ops: Vec<BgOp>,
+}
+
+impl EnvyStore {
+    /// Build a store from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::BadConfig`] if the configuration is inconsistent.
+    pub fn new(config: EnvyConfig) -> Result<EnvyStore, EnvyError> {
+        let timing = TimingState::new(config.parallel_ops, config.resume_gap);
+        let engine = Engine::new(config)?;
+        Ok(EnvyStore {
+            engine,
+            timing,
+            clock: Ns::ZERO,
+            ops: Vec::new(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnvyConfig {
+        self.engine.config()
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &EnvyStats {
+        self.engine.stats()
+    }
+
+    /// The underlying controller engine (wear reports, invariants, …).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine for advanced scenarios (interrupted
+    /// cleans, direct policy inspection). Background time emitted by
+    /// operations invoked this way is not replayed by the timing model.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Size of the logical array in bytes.
+    pub fn size(&self) -> u64 {
+        self.engine.config().logical_bytes()
+    }
+
+    /// Pre-populate the logical array at the configured utilization (the
+    /// paper's steady-state starting point).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::prefill`].
+    pub fn prefill(&mut self) -> Result<(), EnvyError> {
+        self.engine.prefill()
+    }
+
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), EnvyError> {
+        let size = self.size();
+        if addr + len as u64 > size {
+            return Err(EnvyError::OutOfBounds { addr, size });
+        }
+        Ok(())
+    }
+
+    fn words_in(&self, len: usize) -> u32 {
+        let w = self.engine.config().word_bytes as usize;
+        (len.div_ceil(w)) as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Untimed path
+    // ------------------------------------------------------------------
+
+    /// Read a byte range (untimed).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::OutOfBounds`] if the range exceeds the logical array.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EnvyError> {
+        self.check_range(addr, buf.len())?;
+        let mut cursor = 0;
+        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, buf.len()).collect();
+        for c in chunks {
+            self.engine
+                .read_page_bytes(c.page, c.offset, &mut buf[cursor..cursor + c.len])?;
+            self.engine.stats.host_reads.add(self.words_in(c.len) as u64);
+            cursor += c.len;
+        }
+        Ok(())
+    }
+
+    /// Write a byte range (untimed). Background work (flushes, cleans)
+    /// executes logically but its device time is treated as instantaneous.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::OutOfBounds`], or cleaning errors.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
+        self.check_range(addr, bytes.len())?;
+        let mut cursor = 0;
+        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, bytes.len()).collect();
+        for c in chunks {
+            self.ops.clear();
+            self.engine.write_page_bytes(
+                c.page,
+                c.offset,
+                &bytes[cursor..cursor + c.len],
+                &mut self.ops,
+            )?;
+            self.engine.stats.host_writes.add(self.words_in(c.len) as u64);
+            cursor += c.len;
+        }
+        self.ops.clear();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Timed path
+    // ------------------------------------------------------------------
+
+    /// Read a byte range with full timing: the access starts at `now` (or
+    /// when the previous access completed, whichever is later) and is
+    /// split into sequential host-bus word accesses.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::OutOfBounds`].
+    pub fn read_at(&mut self, now: Ns, addr: u64, buf: &mut [u8]) -> Result<TimedAccess, EnvyError> {
+        self.check_range(addr, buf.len())?;
+        let start = now.max(self.clock);
+        let mut t = start;
+        let mut words_total = 0;
+        let cfg = self.engine.config();
+        let bus = cfg.bus_overhead;
+        let suspend = cfg.suspend_penalty;
+        let sram_t = Ns::from_nanos(100);
+        let flash_t = cfg.timings.read;
+        let mut cursor = 0;
+        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, buf.len()).collect();
+        for c in chunks {
+            let src = self
+                .engine
+                .read_page_bytes(c.page, c.offset, &mut buf[cursor..cursor + c.len])?;
+            cursor += c.len;
+            let words = self.words_in(c.len);
+            words_total += words;
+            let (device_t, bank) = match src {
+                ReadSource::Sram => (sram_t, None),
+                ReadSource::Flash { bank } => (flash_t, Some(bank)),
+                ReadSource::Unmapped => (sram_t, None),
+            };
+            for w in 0..words {
+                // Only the first word of a page run can miss the MMU.
+                let miss = w == 0 && !self.engine.mmu.access(c.page);
+                let collided = self
+                    .timing
+                    .host_access(t, bank, &mut self.engine.stats);
+                let mut lat = bus + device_t;
+                if miss {
+                    lat += sram_t; // page-table lookup in SRAM
+                }
+                if collided {
+                    lat += suspend;
+                }
+                self.engine.stats.host_reads.incr();
+                self.engine.stats.read_latency.record(lat);
+                self.engine.stats.time_reads += lat;
+                t += lat;
+            }
+        }
+        self.clock = t;
+        Ok(TimedAccess {
+            completed: t,
+            latency: t - start,
+            words: words_total,
+        })
+    }
+
+    /// Write a byte range with full timing. The first word of each page
+    /// run carries the copy-on-write transfer when one occurs; if the
+    /// write buffer's un-executed flush backlog exceeds its headroom, the
+    /// write stalls while the controller catches up — the paper's
+    /// post-saturation latency jump (Figure 15).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::OutOfBounds`], or cleaning errors.
+    pub fn write_at(&mut self, now: Ns, addr: u64, bytes: &[u8]) -> Result<TimedAccess, EnvyError> {
+        self.check_range(addr, bytes.len())?;
+        let start = now.max(self.clock);
+        let mut t = start;
+        let mut words_total = 0;
+        let cfg = self.engine.config();
+        let bus = cfg.bus_overhead;
+        let suspend = cfg.suspend_penalty;
+        let headroom = cfg.buffer_pages - cfg.flush_threshold;
+        let sram_t = Ns::from_nanos(100);
+        let flash_t = cfg.timings.read;
+        let mut cursor = 0;
+        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, bytes.len()).collect();
+        for c in chunks {
+            // Buffer-full condition: pages logically flushed but whose
+            // program time has not executed still occupy (virtual) frames.
+            // Post-saturation (Figure 15): the blocked write waits for
+            // exactly one buffer slot — one flush program plus its
+            // amortized share of the cleaning and erasing queued ahead.
+            let mut stall = Ns::ZERO;
+            if self.timing.pending_flushes() >= headroom {
+                stall = self
+                    .timing
+                    .drain_flushes(headroom - 1, &mut self.engine.stats);
+            }
+            self.ops.clear();
+            let result = self.engine.write_page_bytes(
+                c.page,
+                c.offset,
+                &bytes[cursor..cursor + c.len],
+                &mut self.ops,
+            )?;
+            self.timing.enqueue(&self.ops);
+            self.ops.clear();
+            cursor += c.len;
+            let words = self.words_in(c.len);
+            words_total += words;
+            let cow_bank = match result.kind {
+                WriteKind::CopyOnWrite { bank } => Some(bank),
+                _ => None,
+            };
+            for w in 0..words {
+                let miss = w == 0 && !self.engine.mmu.access(c.page);
+                // The COW transfer happens on the first word and touches
+                // the source bank.
+                let bank = if w == 0 { cow_bank } else { None };
+                let collided = self
+                    .timing
+                    .host_access(t, bank, &mut self.engine.stats);
+                let mut lat = bus + sram_t;
+                if miss {
+                    lat += sram_t;
+                }
+                if w == 0 {
+                    if bank.is_some() {
+                        lat += flash_t; // wide-bus Flash→SRAM page transfer
+                    }
+                    lat += stall;
+                }
+                if collided {
+                    lat += suspend;
+                }
+                self.engine.stats.host_writes.incr();
+                self.engine.stats.write_latency.record(lat);
+                // The drain stall's interval was already attributed to
+                // the executed background work; charge only the
+                // host-productive part here.
+                self.engine.stats.time_writes += lat.saturating_sub(if w == 0 {
+                    stall
+                } else {
+                    Ns::ZERO
+                });
+                t += lat;
+            }
+        }
+        self.clock = t;
+        Ok(TimedAccess {
+            completed: t,
+            latency: t - start,
+            words: words_total,
+        })
+    }
+
+    /// Let background work execute up to `now` without a host access
+    /// (e.g. between transactions).
+    pub fn idle_until(&mut self, now: Ns) {
+        self.clock = self.clock.max(now);
+        self.timing.run_until(now, &mut self.engine.stats);
+    }
+
+    /// The store's internal clock (completion time of the latest access).
+    pub fn now(&self) -> Ns {
+        self.clock
+    }
+
+    /// Un-executed background device time.
+    pub fn backlog(&self) -> Ns {
+        self.timing.backlog()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions, recovery, maintenance
+    // ------------------------------------------------------------------
+
+    /// Open a hardware transaction (§6). See [`Engine::txn_begin`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::txn_begin`].
+    pub fn txn_begin(&mut self) -> Result<u64, EnvyError> {
+        self.ops.clear();
+        let mut ops = std::mem::take(&mut self.ops);
+        let id = self.engine.txn_begin(&mut ops);
+        ops.clear();
+        self.ops = ops;
+        id
+    }
+
+    /// Commit a transaction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::txn_commit`].
+    pub fn txn_commit(&mut self, txn: u64) -> Result<(), EnvyError> {
+        self.engine.txn_commit(txn)
+    }
+
+    /// Roll a transaction back to its shadow copies.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::txn_abort`].
+    pub fn txn_abort(&mut self, txn: u64) -> Result<(), EnvyError> {
+        self.engine.txn_abort(txn)
+    }
+
+    /// Drain the write buffer to Flash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cleaning errors.
+    pub fn flush_all(&mut self) -> Result<(), EnvyError> {
+        self.ops.clear();
+        let mut ops = std::mem::take(&mut self.ops);
+        let r = self.engine.flush_all(&mut ops);
+        ops.clear();
+        self.ops = ops;
+        r
+    }
+
+    /// Simulate a power failure (volatile state lost).
+    pub fn power_failure(&mut self) {
+        self.engine.power_failure();
+    }
+
+    /// Recover after a power failure.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::recover`].
+    pub fn recover(&mut self) -> Result<RecoveryReport, EnvyError> {
+        self.ops.clear();
+        let mut ops = std::mem::take(&mut self.ops);
+        let r = self.engine.recover(&mut ops);
+        ops.clear();
+        self.ops = ops;
+        r
+    }
+
+    /// Verify all cross-structure invariants (test support).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.engine.check_invariants()
+    }
+}
+
+impl Memory for EnvyStore {
+    fn size(&self) -> u64 {
+        EnvyStore::size(self)
+    }
+
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EnvyError> {
+        EnvyStore::read(self, addr, buf)
+    }
+
+    fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
+        EnvyStore::write(self, addr, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+
+    fn store() -> EnvyStore {
+        let mut s = EnvyStore::new(EnvyConfig::small_test()).unwrap();
+        s.prefill().unwrap();
+        s
+    }
+
+    #[test]
+    fn byte_range_roundtrip_across_pages() {
+        let mut s = store();
+        let data: Vec<u8> = (0..1000).map(|i| (i * 7) as u8).collect();
+        s.write(100, &data).unwrap(); // spans 4+ 256-byte pages
+        let mut out = vec![0u8; 1000];
+        s.read(100, &mut out).unwrap();
+        assert_eq!(out, data);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_ranges_rejected() {
+        let mut s = store();
+        let size = s.size();
+        assert!(s.write(size - 2, &[0u8; 4]).is_err());
+        let mut buf = [0u8; 4];
+        assert!(s.read(size, &mut buf).is_err());
+        // Exactly at the end is fine.
+        s.write(size - 4, &[1, 2, 3, 4]).unwrap();
+    }
+
+    #[test]
+    fn memory_trait_object() {
+        let mut s = store();
+        let mem: &mut dyn Memory = &mut s;
+        mem.write(0, b"abc").unwrap();
+        let mut out = [0u8; 3];
+        mem.read(0, &mut out).unwrap();
+        assert_eq!(&out, b"abc");
+    }
+
+    #[test]
+    fn timed_read_latency_near_paper_values() {
+        let mut s = store();
+        // Flash-resident page, cold MMU: 60 + 100 (PT) + 100 (flash).
+        let mut b = [0u8; 4];
+        let a = s.read_at(Ns::from_micros(1), 0, &mut b).unwrap();
+        assert_eq!(a.words, 1);
+        assert_eq!(a.latency, Ns::from_nanos(260));
+        // Warm MMU: 60 + 100.
+        let a2 = s.read_at(a.completed, 0, &mut b).unwrap();
+        assert_eq!(a2.latency, Ns::from_nanos(160));
+    }
+
+    #[test]
+    fn timed_write_cow_then_sram_hits() {
+        let mut s = store();
+        // First write: COW (60 + 100 transfer + 100 sram + 100 PT miss).
+        let a = s.write_at(Ns::from_micros(1), 0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(a.words, 1);
+        assert_eq!(a.latency, Ns::from_nanos(360));
+        // Second write to the same page: SRAM hit, warm MMU: 160ns.
+        let a2 = s.write_at(a.completed, 4, &[5, 6, 7, 8]).unwrap();
+        assert_eq!(a2.latency, Ns::from_nanos(160));
+    }
+
+    #[test]
+    fn timed_multi_word_access_sums_words() {
+        let mut s = store();
+        let mut buf = [0u8; 64];
+        let a = s.read_at(Ns::ZERO, 0, &mut buf).unwrap();
+        assert_eq!(a.words, 16); // 64 bytes / 4-byte words
+        // 1 cold + 15 warm words.
+        assert_eq!(
+            a.latency,
+            Ns::from_nanos(260 + 15 * 160)
+        );
+    }
+
+    #[test]
+    fn clock_is_monotonic_even_with_stale_now() {
+        let mut s = store();
+        let mut b = [0u8; 4];
+        let a1 = s.read_at(Ns::from_micros(100), 0, &mut b).unwrap();
+        // An "earlier" arrival cannot start before the previous completion.
+        let a2 = s.read_at(Ns::ZERO, 256, &mut b).unwrap();
+        assert!(a2.completed > a1.completed);
+        assert_eq!(s.now(), a2.completed);
+    }
+
+    #[test]
+    fn background_backlog_drains_when_idle() {
+        let mut s = store();
+        // Generate flush work by writing more pages than the threshold.
+        let threshold = s.config().flush_threshold as u64;
+        let mut t = Ns::ZERO;
+        for lp in 0..(threshold + 8) {
+            let a = s.write_at(t, lp * 256, &[1]).unwrap();
+            t = a.completed;
+        }
+        assert!(s.backlog() > Ns::ZERO, "flushes must be pending");
+        s.idle_until(t + Ns::from_secs(1));
+        assert_eq!(s.backlog(), Ns::ZERO);
+        assert!(s.stats().time_flush > Ns::ZERO);
+    }
+
+    #[test]
+    fn saturation_spikes_write_latency() {
+        // Hammer writes back-to-back with no idle time: the flush backlog
+        // exceeds the buffer headroom and writes stall (Figure 15).
+        let config = EnvyConfig::small_test().with_buffer_pages(16);
+        let mut s = EnvyStore::new(config).unwrap();
+        s.prefill().unwrap();
+        let mut t = Ns::ZERO;
+        let mut worst = Ns::ZERO;
+        let pages = s.config().logical_pages;
+        for i in 0..2_000u64 {
+            let lp = (i * 7) % pages;
+            let a = s.write_at(t, lp * 256, &[1]).unwrap();
+            t = a.completed;
+            worst = worst.max(a.latency);
+        }
+        assert!(
+            worst >= Ns::from_micros(4),
+            "saturated write latency should reach program time, got {worst}"
+        );
+        assert!(s.stats().suspensions.get() < s.stats().host_writes.get());
+    }
+
+    #[test]
+    fn txn_api_through_store() {
+        let mut s = store();
+        s.write(512, &[7; 16]).unwrap();
+        let txn = s.txn_begin().unwrap();
+        s.write(512, &[9; 16]).unwrap();
+        s.txn_abort(txn).unwrap();
+        let mut out = [0u8; 16];
+        s.read(512, &mut out).unwrap();
+        assert_eq!(out, [7; 16]);
+
+        let txn = s.txn_begin().unwrap();
+        s.write(512, &[1; 16]).unwrap();
+        s.txn_commit(txn).unwrap();
+        s.read(512, &mut out).unwrap();
+        assert_eq!(out, [1; 16]);
+    }
+
+    #[test]
+    fn recovery_through_store() {
+        let mut s = store();
+        s.write(0, &[0xEE; 8]).unwrap();
+        s.power_failure();
+        let report = s.recover().unwrap();
+        assert!(!report.resumed_clean);
+        let mut out = [0u8; 8];
+        s.read(0, &mut out).unwrap();
+        assert_eq!(out, [0xEE; 8]);
+    }
+
+    #[test]
+    fn stats_accessible_and_consistent() {
+        let mut s = store();
+        s.write(0, &[1; 4]).unwrap();
+        let mut b = [0u8; 4];
+        s.read(0, &mut b).unwrap();
+        assert_eq!(s.stats().host_writes.get(), 1);
+        assert_eq!(s.stats().host_reads.get(), 1);
+        assert_eq!(s.stats().cow_ops.get(), 1);
+    }
+
+    #[test]
+    fn greedy_policy_via_store_heavy_churn() {
+        let config = EnvyConfig::small_test().with_policy(PolicyKind::Greedy);
+        let mut s = EnvyStore::new(config).unwrap();
+        s.prefill().unwrap();
+        let pages = s.config().logical_pages;
+        for i in 0..20_000u64 {
+            let lp = (i * 31) % pages;
+            s.write(lp * 256 + (i % 64), &[i as u8]).unwrap();
+        }
+        assert!(s.stats().cleaning_cost() > 0.0);
+        s.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,325 @@
+//! The timing model: background-operation scheduling, suspension, and
+//! latency accounting.
+//!
+//! The eNVy controller hides Flash's long operations from the host (§3.4,
+//! §5.1): flushes, cleaning copies and erases are executed by the cleaning
+//! processor one at a time. A host Flash access suspends the in-progress
+//! long operation and is serviced at memory speed; the operation resumes
+//! only after a short back-off ("waits a few microseconds before resuming
+//! … to avoid spurious restarts during bursts of I/O activity"). During a
+//! burst of host accesses the resume point keeps moving out, so background
+//! work effectively runs in the gaps between transactions — which is why
+//! the paper's §5.3 busy-time breakdown (reads + cleaning + flushing +
+//! erasing) sums to 100 % of wall-clock at saturation.
+//!
+//! The engine performs state changes logically and emits [`BgOp`]s — the
+//! device time each step costs. [`TimingState`] replays that time against
+//! the simulated clock and stalls host *writes* when the backlog of
+//! un-executed flushes exceeds the write buffer's headroom — the condition
+//! behind the paper's post-saturation write-latency jump (Figure 15).
+
+use crate::stats::EnvyStats;
+use envy_sim::time::Ns;
+use std::collections::VecDeque;
+
+/// What kind of background work a [`BgOp`] represents (for §5.3 busy-time
+/// attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BgKind {
+    /// Programming a page flushed from the write buffer.
+    Flush,
+    /// Programming a page copied by the cleaner (including locality
+    /// redistribution and shadow relocation).
+    CleanCopy,
+    /// Erasing a segment.
+    Erase,
+    /// Programming a page moved by wear leveling.
+    WearCopy,
+}
+
+/// One unit of background device work emitted by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgOp {
+    /// The bank the operation occupies.
+    pub bank: u32,
+    /// Operation class.
+    pub kind: BgKind,
+    /// Device time.
+    pub duration: Ns,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    kind: BgKind,
+    remaining: Ns,
+}
+
+/// Replays background device time against the simulated clock.
+#[derive(Debug, Clone)]
+pub struct TimingState {
+    cursor: Ns,
+    queue: VecDeque<Pending>,
+    current: Option<Pending>,
+    pending_flushes: usize,
+    parallel_ops: u32,
+    resume_gap: Ns,
+    /// Background work may not execute before this instant (suspension).
+    suspended_until: Ns,
+}
+
+impl TimingState {
+    /// Create an idle timeline.
+    pub fn new(parallel_ops: u32, resume_gap: Ns) -> TimingState {
+        TimingState {
+            cursor: Ns::ZERO,
+            queue: VecDeque::new(),
+            current: None,
+            pending_flushes: 0,
+            parallel_ops: parallel_ops.max(1),
+            resume_gap,
+            suspended_until: Ns::ZERO,
+        }
+    }
+
+    /// Queue background work emitted by the engine. Program and erase
+    /// durations are divided by the §6 parallel-operation factor.
+    pub fn enqueue(&mut self, ops: &[BgOp]) {
+        for op in ops {
+            if op.kind == BgKind::Flush {
+                self.pending_flushes += 1;
+            }
+            self.queue.push_back(Pending {
+                kind: op.kind,
+                remaining: op.duration / self.parallel_ops as u64,
+            });
+        }
+    }
+
+    /// Number of flush programs not yet executed.
+    pub fn pending_flushes(&self) -> usize {
+        self.pending_flushes
+    }
+
+    /// Total backlog of background device time.
+    pub fn backlog(&self) -> Ns {
+        let queued: Ns = self.queue.iter().map(|p| p.remaining).sum();
+        queued + self.current.map_or(Ns::ZERO, |c| c.remaining)
+    }
+
+    fn attribute(stats: &mut EnvyStats, kind: BgKind, t: Ns) {
+        match kind {
+            BgKind::Flush => stats.time_flush += t,
+            BgKind::CleanCopy | BgKind::WearCopy => stats.time_clean += t,
+            BgKind::Erase => stats.time_erase += t,
+        }
+    }
+
+    /// Execute background work in the window up to `now`, honouring any
+    /// suspension in force. Time spent suspended while work was pending
+    /// is attributed to suspension overhead.
+    pub fn run_until(&mut self, now: Ns, stats: &mut EnvyStats) {
+        while self.cursor < now {
+            if self.current.is_none() {
+                self.current = self.queue.pop_front();
+            }
+            if self.current.is_none() {
+                self.cursor = now;
+                return;
+            }
+            if self.cursor < self.suspended_until {
+                let skip = self.suspended_until.min(now) - self.cursor;
+                self.cursor += skip;
+                stats.time_suspend += skip;
+                continue;
+            }
+            let op = self.current.as_mut().expect("checked above");
+            let window = now - self.cursor;
+            let step = op.remaining.min(window);
+            op.remaining -= step;
+            self.cursor += step;
+            let done = op.remaining == Ns::ZERO;
+            let kind = op.kind;
+            Self::attribute(stats, kind, step);
+            if done {
+                if kind == BgKind::Flush {
+                    self.pending_flushes -= 1;
+                }
+                self.current = None;
+            }
+        }
+    }
+
+    /// Account for a host Flash access at `now` (`bank` is `None` for
+    /// SRAM accesses, which do not touch the Flash array and never
+    /// suspend anything).
+    ///
+    /// Returns `true` only when the access interrupted a *running*
+    /// operation — that access pays the suspend-command latency; accesses
+    /// within an ongoing suspension burst find the array already readable
+    /// and merely push the resume point out.
+    pub fn host_access(&mut self, now: Ns, bank: Option<u32>, stats: &mut EnvyStats) -> bool {
+        self.run_until(now, stats);
+        if bank.is_none() {
+            return false;
+        }
+        let busy = self
+            .current
+            .as_ref()
+            .is_some_and(|op| op.remaining > Ns::ZERO);
+        if !busy {
+            return false;
+        }
+        let fresh_suspend = now >= self.suspended_until;
+        self.suspended_until = now + self.resume_gap;
+        if fresh_suspend {
+            stats.suspensions.incr();
+        }
+        fresh_suspend
+    }
+
+    /// Synchronously execute backlog until at most `max_pending` flush
+    /// programs remain, ignoring any suspension (the blocked host write
+    /// forces the controller to catch up); returns the device time
+    /// consumed. This is the paper's buffer-full path: "the controller
+    /// must flush a page to Flash before it can proceed" (§5.4).
+    pub fn drain_flushes(&mut self, max_pending: usize, stats: &mut EnvyStats) -> Ns {
+        let mut spent = Ns::ZERO;
+        while self.pending_flushes > max_pending {
+            if self.current.is_none() {
+                self.current = self.queue.pop_front();
+            }
+            let Some(op) = self.current.take() else { break };
+            spent += op.remaining;
+            Self::attribute(stats, op.kind, op.remaining);
+            if op.kind == BgKind::Flush {
+                self.pending_flushes -= 1;
+            }
+        }
+        self.cursor += spent;
+        spent
+    }
+
+    /// The timeline's internal clock (how far background work has been
+    /// settled).
+    pub fn cursor(&self) -> Ns {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: BgKind, us: u64, bank: u32) -> BgOp {
+        BgOp {
+            bank,
+            kind,
+            duration: Ns::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn idle_time_executes_backlog() {
+        let mut t = TimingState::new(1, Ns::from_micros(2));
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[op(BgKind::Flush, 4, 0)]);
+        assert_eq!(t.pending_flushes(), 1);
+        t.run_until(Ns::from_micros(10), &mut stats);
+        assert_eq!(t.pending_flushes(), 0);
+        assert_eq!(stats.time_flush, Ns::from_micros(4));
+        assert_eq!(t.backlog(), Ns::ZERO);
+    }
+
+    #[test]
+    fn partial_windows_accumulate() {
+        let mut t = TimingState::new(1, Ns::ZERO);
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[op(BgKind::Erase, 10, 0)]);
+        t.run_until(Ns::from_micros(4), &mut stats);
+        assert_eq!(t.backlog(), Ns::from_micros(6));
+        t.run_until(Ns::from_micros(12), &mut stats);
+        assert_eq!(t.backlog(), Ns::ZERO);
+        assert_eq!(stats.time_erase, Ns::from_micros(10));
+    }
+
+    #[test]
+    fn suspension_freezes_background_work() {
+        let mut t = TimingState::new(1, Ns::from_micros(2));
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[op(BgKind::CleanCopy, 4, 3)]);
+        // Run 1us in; op has 3us left.
+        t.run_until(Ns::from_micros(1), &mut stats);
+        assert_eq!(t.backlog(), Ns::from_micros(3));
+        // Host Flash access suspends the running op (pays the penalty).
+        assert!(t.host_access(Ns::from_micros(1), Some(3), &mut stats));
+        assert_eq!(stats.suspensions.get(), 1);
+        // 500ns later, within the burst: array already readable, no
+        // penalty, resume point pushed out; no background progress.
+        assert!(!t.host_access(Ns::from_nanos(1_500), Some(7), &mut stats));
+        assert_eq!(stats.suspensions.get(), 1);
+        assert_eq!(t.backlog(), Ns::from_micros(3));
+        // SRAM accesses never suspend.
+        assert!(!t.host_access(Ns::from_nanos(1_600), None, &mut stats));
+        // After the burst, the op resumes at 1.5us + 2us = 3.5us and
+        // finishes its remaining 3us at 6.5us.
+        t.run_until(Ns::from_micros(10), &mut stats);
+        assert_eq!(t.backlog(), Ns::ZERO);
+        assert_eq!(stats.time_clean, Ns::from_micros(4));
+        // Suspended-with-work-pending time: 1.0us → 3.5us = 2.5us.
+        assert_eq!(stats.time_suspend, Ns::from_nanos(2_500));
+    }
+
+    #[test]
+    fn no_suspension_when_idle() {
+        let mut t = TimingState::new(1, Ns::from_micros(2));
+        let mut stats = EnvyStats::default();
+        assert!(!t.host_access(Ns::from_micros(5), Some(0), &mut stats));
+        assert_eq!(stats.suspensions.get(), 0);
+    }
+
+    #[test]
+    fn drain_flushes_charges_time_and_ignores_suspension() {
+        let mut t = TimingState::new(1, Ns::from_micros(2));
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[
+            op(BgKind::CleanCopy, 4, 0),
+            op(BgKind::Flush, 4, 0),
+            op(BgKind::Flush, 4, 0),
+        ]);
+        t.run_until(Ns::from_nanos(100), &mut stats);
+        t.host_access(Ns::from_nanos(100), Some(0), &mut stats); // suspend
+        // Drain until at most 1 flush pending: executes the remaining
+        // clean copy (3.9us) and the first flush (4us), suspension or not.
+        let spent = t.drain_flushes(1, &mut stats);
+        assert_eq!(spent, Ns::from_nanos(7_900));
+        assert_eq!(t.pending_flushes(), 1);
+        assert_eq!(stats.time_clean, Ns::from_micros(4));
+        assert_eq!(stats.time_flush, Ns::from_micros(4));
+    }
+
+    #[test]
+    fn parallel_ops_scale_durations() {
+        let mut t = TimingState::new(4, Ns::ZERO);
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[op(BgKind::Flush, 4, 0)]);
+        assert_eq!(t.backlog(), Ns::from_micros(1)); // 4us / 4
+        t.run_until(Ns::from_micros(1), &mut stats);
+        assert_eq!(t.pending_flushes(), 0);
+    }
+
+    #[test]
+    fn drain_with_nothing_pending_is_free() {
+        let mut t = TimingState::new(1, Ns::ZERO);
+        let mut stats = EnvyStats::default();
+        assert_eq!(t.drain_flushes(0, &mut stats), Ns::ZERO);
+    }
+
+    #[test]
+    fn idle_skip_attributes_nothing() {
+        let mut t = TimingState::new(1, Ns::from_micros(2));
+        let mut stats = EnvyStats::default();
+        t.run_until(Ns::from_micros(50), &mut stats);
+        assert_eq!(stats.time_suspend, Ns::ZERO);
+        assert_eq!(t.cursor(), Ns::from_micros(50));
+    }
+}

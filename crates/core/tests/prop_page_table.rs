@@ -1,0 +1,89 @@
+//! Property test: the page table's forward and reverse maps stay
+//! mutually consistent under arbitrary map/unmap sequences.
+
+use envy_core::addr::{FlashLocation, Location};
+use envy_core::page_table::PageTable;
+use envy_flash::FlashGeometry;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    MapFlash { lp: u64, seg: u32, page: u32 },
+    MapSram { lp: u64 },
+    Unmap { lp: u64 },
+}
+
+const LPS: u64 = 32;
+const SEGS: u32 = 4;
+const PPS: u32 = 8;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..LPS, 0..SEGS, 0..PPS).prop_map(|(lp, seg, page)| Op::MapFlash { lp, seg, page }),
+        (0..LPS).prop_map(|lp| Op::MapSram { lp }),
+        (0..LPS).prop_map(|lp| Op::Unmap { lp }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn forward_reverse_consistent(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let geo = FlashGeometry::new(2, SEGS, PPS, 16).unwrap();
+        let mut pt = PageTable::new(LPS, &geo);
+        // Model: lp -> location, plus reverse occupancy.
+        let mut fwd: HashMap<u64, Option<FlashLocation>> = HashMap::new();
+        let mut occupied: HashMap<(u32, u32), u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::MapFlash { lp, seg, page } => {
+                    // Skip mappings that would double-book a physical page
+                    // (the controller never does this; the table asserts).
+                    if occupied.get(&(seg, page)).is_some_and(|&o| o != lp) {
+                        continue;
+                    }
+                    if let Some(Some(old)) = fwd.get(&lp) {
+                        occupied.remove(&(old.segment, old.page));
+                    }
+                    pt.map_flash(lp, FlashLocation { segment: seg, page });
+                    fwd.insert(lp, Some(FlashLocation { segment: seg, page }));
+                    occupied.insert((seg, page), lp);
+                }
+                Op::MapSram { lp } => {
+                    if let Some(Some(old)) = fwd.get(&lp) {
+                        occupied.remove(&(old.segment, old.page));
+                    }
+                    pt.map_sram(lp);
+                    fwd.insert(lp, None);
+                }
+                Op::Unmap { lp } => {
+                    if let Some(Some(old)) = fwd.get(&lp) {
+                        occupied.remove(&(old.segment, old.page));
+                    }
+                    pt.unmap(lp);
+                    fwd.remove(&lp);
+                }
+            }
+            pt.check_consistency().unwrap();
+        }
+
+        // Final cross-check against the model.
+        for lp in 0..LPS {
+            match fwd.get(&lp) {
+                Some(Some(loc)) => {
+                    prop_assert_eq!(pt.lookup(lp), Location::Flash(*loc));
+                    prop_assert_eq!(pt.logical_at(*loc), Some(lp));
+                }
+                Some(None) => prop_assert_eq!(pt.lookup(lp), Location::Sram),
+                None => prop_assert_eq!(pt.lookup(lp), Location::Unmapped),
+            }
+        }
+        for seg in 0..SEGS {
+            let count = occupied.keys().filter(|(s, _)| *s == seg).count() as u32;
+            prop_assert_eq!(pt.resident_count(seg), count);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The aggregate Flash array: banks × segments × pages.
+//!
+//! The eNVy controller manages Flash at page and segment granularity: a
+//! page (256 bytes in the paper) moves across the wide datapath in one
+//! cycle, and a segment (an erase-block row across a bank) is the erase
+//! unit. Because all 256 chips of a bank act in lock-step, this model
+//! tracks state per page rather than per chip; the per-chip rules
+//! (write-once, bulk erase, wear) are identical to
+//! [`crate::chip::FlashChip`].
+
+use crate::error::FlashError;
+use crate::geometry::{FlashGeometry, FlashTimings};
+use envy_sim::stats::Counter;
+use envy_sim::time::Ns;
+
+/// Lifecycle state of one Flash page.
+///
+/// A page moves `Erased → Valid → Invalid → (segment erase) → Erased`.
+/// There is no path from `Valid` or `Invalid` back to `Erased` except a
+/// bulk segment erase — that is the constraint the whole eNVy design
+/// exists to manage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and programmable.
+    Erased,
+    /// Holds live data.
+    Valid,
+    /// Holds stale data awaiting cleaning.
+    Invalid,
+}
+
+/// Operation counters for the array.
+#[derive(Debug, Clone, Default)]
+pub struct FlashStats {
+    /// Page reads serviced.
+    pub page_reads: Counter,
+    /// Page program operations.
+    pub page_programs: Counter,
+    /// Segment erases.
+    pub segment_erases: Counter,
+    /// Total simulated time spent programming.
+    pub program_time: Ns,
+    /// Total simulated time spent erasing.
+    pub erase_time: Ns,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    pages: Vec<PageState>,
+    data: Option<Vec<u8>>,
+    erase_cycles: u64,
+    valid: u32,
+    invalid: u32,
+}
+
+impl Segment {
+    fn new(pages_per_segment: u32, page_bytes: u32, store_data: bool) -> Segment {
+        Segment {
+            pages: vec![PageState::Erased; pages_per_segment as usize],
+            data: store_data
+                .then(|| vec![0xFF; (pages_per_segment * page_bytes) as usize]),
+            erase_cycles: 0,
+            valid: 0,
+            invalid: 0,
+        }
+    }
+}
+
+/// A Flash array of banks, segments and pages with eNVy's semantics.
+///
+/// Payload storage is optional: timing studies at the paper's full 2 GB
+/// scale track page state only (`store_data = false`), while functional
+/// tests verify byte-level integrity with storage enabled.
+///
+/// # Example
+///
+/// ```
+/// use envy_flash::{FlashArray, FlashGeometry, FlashTimings};
+///
+/// # fn main() -> Result<(), envy_flash::FlashError> {
+/// let geo = FlashGeometry::new(1, 4, 8, 64)?;
+/// let mut a = FlashArray::new(geo, FlashTimings::paper(), false);
+/// a.program_page(2, 0, None)?;
+/// assert_eq!(a.valid_pages(2), 1);
+/// a.invalidate_page(2, 0)?;
+/// a.erase_segment(2)?;
+/// assert_eq!(a.erase_cycles(2), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geo: FlashGeometry,
+    timings: FlashTimings,
+    segments: Vec<Segment>,
+    stats: FlashStats,
+}
+
+impl FlashArray {
+    /// Create an array, fully erased.
+    pub fn new(geo: FlashGeometry, timings: FlashTimings, store_data: bool) -> FlashArray {
+        let segments = (0..geo.segments())
+            .map(|_| Segment::new(geo.pages_per_segment(), geo.page_bytes(), store_data))
+            .collect();
+        FlashArray {
+            geo,
+            timings,
+            segments,
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geo
+    }
+
+    /// The device timings.
+    pub fn timings(&self) -> &FlashTimings {
+        &self.timings
+    }
+
+    /// Whether payload bytes are stored.
+    pub fn stores_data(&self) -> bool {
+        self.segments[0].data.is_some()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    fn check(&self, segment: u32, page: u32) -> Result<(), FlashError> {
+        if segment >= self.geo.segments() {
+            return Err(FlashError::OutOfRange {
+                segment,
+                page: u32::MAX,
+            });
+        }
+        if page >= self.geo.pages_per_segment() {
+            return Err(FlashError::OutOfRange { segment, page });
+        }
+        Ok(())
+    }
+
+    /// State of one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn page_state(&self, segment: u32, page: u32) -> PageState {
+        self.check(segment, page).expect("page index in range");
+        self.segments[segment as usize].pages[page as usize]
+    }
+
+    /// Read a page. If payload storage is enabled and `buf` is provided,
+    /// the page contents are copied out (`buf` must be page-sized).
+    ///
+    /// Returns the device time for one wide-bus read cycle. Reading any
+    /// page state is allowed (reading invalid data is how shadow-copy
+    /// rollback works, §6).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] or [`FlashError::BadBufferLength`].
+    pub fn read_page(
+        &mut self,
+        segment: u32,
+        page: u32,
+        buf: Option<&mut [u8]>,
+    ) -> Result<Ns, FlashError> {
+        self.check(segment, page)?;
+        if let Some(buf) = buf {
+            let pb = self.geo.page_bytes() as usize;
+            if buf.len() != pb {
+                return Err(FlashError::BadBufferLength {
+                    expected: pb,
+                    actual: buf.len(),
+                });
+            }
+            if let Some(data) = &self.segments[segment as usize].data {
+                let start = page as usize * pb;
+                buf.copy_from_slice(&data[start..start + pb]);
+            } else {
+                buf.fill(0xFF);
+            }
+        }
+        self.stats.page_reads.incr();
+        Ok(self.timings.read)
+    }
+
+    /// Program a page (one wide-bus transfer plus the Flash program time).
+    ///
+    /// The page must be erased — Flash cannot update in place. If payload
+    /// storage is enabled and `data` is provided it is written; programming
+    /// with `None` marks the page valid with unspecified contents (used by
+    /// state-only simulations).
+    ///
+    /// Returns the device program time (subject to wear degradation).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ProgramToNonErased`] if the page is not erased,
+    /// [`FlashError::OutOfRange`], or [`FlashError::BadBufferLength`].
+    pub fn program_page(
+        &mut self,
+        segment: u32,
+        page: u32,
+        data: Option<&[u8]>,
+    ) -> Result<Ns, FlashError> {
+        self.check(segment, page)?;
+        let pb = self.geo.page_bytes() as usize;
+        if let Some(data) = data {
+            if data.len() != pb {
+                return Err(FlashError::BadBufferLength {
+                    expected: pb,
+                    actual: data.len(),
+                });
+            }
+        }
+        let seg = &mut self.segments[segment as usize];
+        if seg.pages[page as usize] != PageState::Erased {
+            return Err(FlashError::ProgramToNonErased { segment, page });
+        }
+        seg.pages[page as usize] = PageState::Valid;
+        seg.valid += 1;
+        if let (Some(store), Some(data)) = (&mut seg.data, data) {
+            let start = page as usize * pb;
+            store[start..start + pb].copy_from_slice(data);
+        }
+        let cost = self.timings.program_at(seg.erase_cycles);
+        self.stats.page_programs.incr();
+        self.stats.program_time += cost;
+        Ok(cost)
+    }
+
+    /// Mark a valid page invalid (the copy-on-write retired it).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::InvalidateNonValid`] if the page is not valid, or
+    /// [`FlashError::OutOfRange`].
+    pub fn invalidate_page(&mut self, segment: u32, page: u32) -> Result<(), FlashError> {
+        self.check(segment, page)?;
+        let seg = &mut self.segments[segment as usize];
+        if seg.pages[page as usize] != PageState::Valid {
+            return Err(FlashError::InvalidateNonValid { segment, page });
+        }
+        seg.pages[page as usize] = PageState::Invalid;
+        seg.valid -= 1;
+        seg.invalid += 1;
+        Ok(())
+    }
+
+    /// Restore an invalid page to valid (§6 hardware transactions: the
+    /// invalidated copy-on-write original is a shadow copy, and rollback
+    /// makes it the live copy again). Purely a metadata transition — the
+    /// data was never destroyed.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::InvalidateNonValid`] if the page is not invalid (the
+    /// shadow was lost), or [`FlashError::OutOfRange`].
+    pub fn revalidate_page(&mut self, segment: u32, page: u32) -> Result<(), FlashError> {
+        self.check(segment, page)?;
+        let seg = &mut self.segments[segment as usize];
+        if seg.pages[page as usize] != PageState::Invalid {
+            return Err(FlashError::InvalidateNonValid { segment, page });
+        }
+        seg.pages[page as usize] = PageState::Valid;
+        seg.invalid -= 1;
+        seg.valid += 1;
+        Ok(())
+    }
+
+    /// Erase a segment. Every page must be invalid or already erased; the
+    /// eNVy cleaner guarantees this by copying live data out first.
+    ///
+    /// Returns the device erase time (subject to wear degradation).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::EraseWithLiveData`] if any page is still valid, or
+    /// [`FlashError::OutOfRange`].
+    pub fn erase_segment(&mut self, segment: u32) -> Result<Ns, FlashError> {
+        self.check(segment, 0)?;
+        let seg = &mut self.segments[segment as usize];
+        if seg.valid > 0 {
+            return Err(FlashError::EraseWithLiveData {
+                segment,
+                live_pages: seg.valid,
+            });
+        }
+        seg.pages.fill(PageState::Erased);
+        seg.invalid = 0;
+        seg.erase_cycles += 1;
+        if let Some(data) = &mut seg.data {
+            data.fill(0xFF);
+        }
+        let cost = self.timings.erase_at(seg.erase_cycles);
+        self.stats.segment_erases.incr();
+        self.stats.erase_time += cost;
+        Ok(cost)
+    }
+
+    /// Number of valid (live) pages in a segment.
+    pub fn valid_pages(&self, segment: u32) -> u32 {
+        self.segments[segment as usize].valid
+    }
+
+    /// Number of invalid (dead) pages in a segment.
+    pub fn invalid_pages(&self, segment: u32) -> u32 {
+        self.segments[segment as usize].invalid
+    }
+
+    /// Number of erased (writable) pages in a segment.
+    pub fn erased_pages(&self, segment: u32) -> u32 {
+        let seg = &self.segments[segment as usize];
+        self.geo.pages_per_segment() - seg.valid - seg.invalid
+    }
+
+    /// Live-data fraction of a segment.
+    pub fn utilization(&self, segment: u32) -> f64 {
+        self.segments[segment as usize].valid as f64 / self.geo.pages_per_segment() as f64
+    }
+
+    /// Erase cycles a segment has sustained.
+    pub fn erase_cycles(&self, segment: u32) -> u64 {
+        self.segments[segment as usize].erase_cycles
+    }
+
+    /// The least-worn segment's cycle count.
+    pub fn min_erase_cycles(&self) -> u64 {
+        self.segments.iter().map(|s| s.erase_cycles).min().unwrap_or(0)
+    }
+
+    /// The most-worn segment's cycle count.
+    pub fn max_erase_cycles(&self) -> u64 {
+        self.segments.iter().map(|s| s.erase_cycles).max().unwrap_or(0)
+    }
+
+    /// Total live pages across the array.
+    pub fn total_valid_pages(&self) -> u64 {
+        self.segments.iter().map(|s| s.valid as u64).sum()
+    }
+
+    /// Live-data fraction of the whole array.
+    pub fn array_utilization(&self) -> f64 {
+        self.total_valid_pages() as f64 / self.geo.total_pages() as f64
+    }
+
+    /// The bank a segment lives in.
+    pub fn bank_of(&self, segment: u32) -> u32 {
+        self.geo.bank_of(segment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlashArray {
+        let geo = FlashGeometry::new(2, 4, 8, 16).unwrap();
+        FlashArray::new(geo, FlashTimings::paper(), true)
+    }
+
+    #[test]
+    fn fresh_array_is_erased() {
+        let a = small();
+        for s in 0..4 {
+            assert_eq!(a.valid_pages(s), 0);
+            assert_eq!(a.invalid_pages(s), 0);
+            assert_eq!(a.erased_pages(s), 8);
+            assert_eq!(a.erase_cycles(s), 0);
+        }
+        assert_eq!(a.array_utilization(), 0.0);
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let mut a = small();
+        let data: Vec<u8> = (0..16).collect();
+        let cost = a.program_page(1, 3, Some(&data)).unwrap();
+        assert_eq!(cost, Ns::from_micros(4));
+        assert_eq!(a.page_state(1, 3), PageState::Valid);
+        let mut out = vec![0; 16];
+        let rcost = a.read_page(1, 3, Some(&mut out)).unwrap();
+        assert_eq!(rcost, Ns::from_nanos(100));
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn program_twice_fails() {
+        let mut a = small();
+        a.program_page(0, 0, None).unwrap();
+        let err = a.program_page(0, 0, None).unwrap_err();
+        assert_eq!(err, FlashError::ProgramToNonErased { segment: 0, page: 0 });
+    }
+
+    #[test]
+    fn program_invalid_page_fails() {
+        let mut a = small();
+        a.program_page(0, 0, None).unwrap();
+        a.invalidate_page(0, 0).unwrap();
+        assert!(a.program_page(0, 0, None).is_err());
+    }
+
+    #[test]
+    fn invalidate_requires_valid() {
+        let mut a = small();
+        let err = a.invalidate_page(0, 5).unwrap_err();
+        assert_eq!(err, FlashError::InvalidateNonValid { segment: 0, page: 5 });
+        a.program_page(0, 5, None).unwrap();
+        a.invalidate_page(0, 5).unwrap();
+        // Double invalidate also fails.
+        assert!(a.invalidate_page(0, 5).is_err());
+    }
+
+    #[test]
+    fn erase_requires_no_live_data() {
+        let mut a = small();
+        a.program_page(2, 0, None).unwrap();
+        a.program_page(2, 1, None).unwrap();
+        let err = a.erase_segment(2).unwrap_err();
+        assert_eq!(err, FlashError::EraseWithLiveData { segment: 2, live_pages: 2 });
+        a.invalidate_page(2, 0).unwrap();
+        a.invalidate_page(2, 1).unwrap();
+        let cost = a.erase_segment(2).unwrap();
+        assert_eq!(cost, Ns::from_millis(50));
+        assert_eq!(a.erased_pages(2), 8);
+        assert_eq!(a.erase_cycles(2), 1);
+    }
+
+    #[test]
+    fn erase_resets_data_to_ff() {
+        let mut a = small();
+        let data = vec![0u8; 16];
+        a.program_page(0, 0, Some(&data)).unwrap();
+        a.invalidate_page(0, 0).unwrap();
+        a.erase_segment(0).unwrap();
+        a.program_page(0, 0, None).unwrap(); // valid, contents unspecified
+        let mut out = vec![0; 16];
+        a.read_page(0, 0, Some(&mut out)).unwrap();
+        assert_eq!(out, vec![0xFF; 16]);
+    }
+
+    #[test]
+    fn counts_track_state_transitions() {
+        let mut a = small();
+        a.program_page(3, 0, None).unwrap();
+        a.program_page(3, 1, None).unwrap();
+        a.program_page(3, 2, None).unwrap();
+        a.invalidate_page(3, 1).unwrap();
+        assert_eq!(a.valid_pages(3), 2);
+        assert_eq!(a.invalid_pages(3), 1);
+        assert_eq!(a.erased_pages(3), 5);
+        assert!((a.utilization(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = small();
+        a.program_page(0, 0, None).unwrap();
+        a.read_page(0, 0, None).unwrap();
+        a.invalidate_page(0, 0).unwrap();
+        a.erase_segment(0).unwrap();
+        assert_eq!(a.stats().page_programs.get(), 1);
+        assert_eq!(a.stats().page_reads.get(), 1);
+        assert_eq!(a.stats().segment_erases.get(), 1);
+        assert_eq!(a.stats().program_time, Ns::from_micros(4));
+        assert_eq!(a.stats().erase_time, Ns::from_millis(50));
+    }
+
+    #[test]
+    fn revalidate_restores_shadow_copy() {
+        let mut a = small();
+        let data: Vec<u8> = (100..116).collect();
+        a.program_page(0, 0, Some(&data)).unwrap();
+        a.invalidate_page(0, 0).unwrap();
+        a.revalidate_page(0, 0).unwrap();
+        assert_eq!(a.page_state(0, 0), PageState::Valid);
+        assert_eq!(a.valid_pages(0), 1);
+        assert_eq!(a.invalid_pages(0), 0);
+        // Data intact: it was never destroyed.
+        let mut out = vec![0; 16];
+        a.read_page(0, 0, Some(&mut out)).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn revalidate_requires_invalid() {
+        let mut a = small();
+        assert!(a.revalidate_page(0, 0).is_err()); // erased
+        a.program_page(0, 0, None).unwrap();
+        assert!(a.revalidate_page(0, 0).is_err()); // valid
+    }
+
+    #[test]
+    fn out_of_range_checks() {
+        let mut a = small();
+        assert!(a.program_page(4, 0, None).is_err());
+        assert!(a.program_page(0, 8, None).is_err());
+        assert!(a.read_page(9, 0, None).is_err());
+        assert!(a.erase_segment(11).is_err());
+    }
+
+    #[test]
+    fn bad_buffer_lengths() {
+        let mut a = small();
+        let short = vec![0u8; 3];
+        assert!(matches!(
+            a.program_page(0, 0, Some(&short)),
+            Err(FlashError::BadBufferLength { expected: 16, actual: 3 })
+        ));
+        let mut out = vec![0u8; 99];
+        assert!(a.read_page(0, 0, Some(&mut out)).is_err());
+    }
+
+    #[test]
+    fn stateless_mode_reads_ff() {
+        let geo = FlashGeometry::new(1, 1, 4, 8).unwrap();
+        let mut a = FlashArray::new(geo, FlashTimings::paper(), false);
+        assert!(!a.stores_data());
+        a.program_page(0, 0, None).unwrap();
+        let mut out = vec![0; 8];
+        a.read_page(0, 0, Some(&mut out)).unwrap();
+        assert_eq!(out, vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn wear_tracking_across_segments() {
+        let mut a = small();
+        for _ in 0..3 {
+            a.erase_segment(1).unwrap();
+        }
+        a.erase_segment(2).unwrap();
+        assert_eq!(a.erase_cycles(1), 3);
+        assert_eq!(a.min_erase_cycles(), 0);
+        assert_eq!(a.max_erase_cycles(), 3);
+    }
+
+    #[test]
+    fn utilization_accounting_whole_array() {
+        let mut a = small();
+        // 32 pages total; fill 8.
+        for p in 0..8 {
+            a.program_page(0, p, None).unwrap();
+        }
+        assert!((a.array_utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(a.total_valid_pages(), 8);
+    }
+
+    #[test]
+    fn bank_mapping_exposed() {
+        let a = small();
+        assert_eq!(a.bank_of(0), 0);
+        assert_eq!(a.bank_of(1), 0);
+        assert_eq!(a.bank_of(2), 1);
+        assert_eq!(a.bank_of(3), 1);
+    }
+
+    #[test]
+    fn wear_degradation_applies_to_array_ops() {
+        let geo = FlashGeometry::new(1, 1, 2, 8).unwrap();
+        let timings = FlashTimings {
+            wear_slowdown: 1.0,
+            rated_cycles: 2,
+            ..FlashTimings::paper()
+        };
+        let mut a = FlashArray::new(geo, timings, false);
+        a.erase_segment(0).unwrap();
+        a.erase_segment(0).unwrap(); // cycles = 2 = rated
+        let cost = a.program_page(0, 0, None).unwrap();
+        assert_eq!(cost, Ns::from_micros(8));
+    }
+}

@@ -1,0 +1,441 @@
+//! A single Flash chip with the paper's Command User Interface.
+//!
+//! §2 of the paper: "A Flash chip normally operates in an EPROM-like read
+//! only mode. All other functions are initiated by writing commands to an
+//! internal Command User Interface (CUI). Commands exist for programming
+//! and verifying bytes, erasing blocks, checking status, and suspending
+//! long operations."
+//!
+//! This module models one byte-wide chip at that level of fidelity:
+//! write-once bit semantics (programming can only clear bits), block-bulk
+//! erase, per-block cycle counts, and suspendable long operations. The
+//! aggregate [`crate::array::FlashArray`] applies the same rules per
+//! 256-chip bank; unit tests cross-check the two.
+
+use crate::error::FlashError;
+use crate::geometry::FlashTimings;
+use envy_sim::time::Ns;
+
+/// Operating state of the chip's command interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipState {
+    /// EPROM-like array read mode (the default).
+    ReadArray,
+    /// A byte program is in progress.
+    Programming {
+        /// Remaining busy time.
+        remaining: Ns,
+    },
+    /// A block erase is in progress.
+    Erasing {
+        /// Block being erased.
+        block: u32,
+        /// Remaining busy time.
+        remaining: Ns,
+    },
+    /// A long operation is suspended; the array is readable.
+    Suspended {
+        /// Block being erased when suspended (`None` for a suspended
+        /// program).
+        block: Option<u32>,
+        /// Busy time left when the operation resumes.
+        remaining: Ns,
+    },
+}
+
+/// Status register bits, modeled after the Intel-style status word the
+/// paper's chips expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Status {
+    /// Device is ready for a new command.
+    pub ready: bool,
+    /// The last program failed verification (attempted to set a 0 bit
+    /// back to 1 without an erase).
+    pub program_error: bool,
+    /// The last erase failed.
+    pub erase_error: bool,
+}
+
+/// Commands accepted by the CUI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Return to array read mode.
+    ReadArray,
+    /// Program (AND) one byte at `addr`.
+    Program {
+        /// Byte address within the chip.
+        addr: u32,
+        /// Value to program; only 1→0 bit transitions take effect.
+        value: u8,
+    },
+    /// Erase one block (all bytes to 0xFF).
+    EraseBlock {
+        /// Block index.
+        block: u32,
+    },
+    /// Suspend an in-progress program or erase so the array can be read.
+    Suspend,
+    /// Resume a suspended operation.
+    Resume,
+    /// Clear the error bits of the status register.
+    ClearStatus,
+}
+
+/// The result of issuing a command: how long the chip is busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issued {
+    /// Time until the chip accepts the next command.
+    pub busy: Ns,
+}
+
+/// One byte-wide Flash chip divided into bulk-erase blocks.
+///
+/// # Example
+///
+/// ```
+/// use envy_flash::chip::{Command, FlashChip};
+/// use envy_flash::FlashTimings;
+///
+/// # fn main() -> Result<(), envy_flash::FlashError> {
+/// let mut chip = FlashChip::new(4, 1024, FlashTimings::paper());
+/// chip.issue(Command::Program { addr: 10, value: 0x5A })?;
+/// chip.issue(Command::ReadArray)?;
+/// assert_eq!(chip.read(10), 0x5A);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashChip {
+    block_bytes: u32,
+    data: Vec<u8>,
+    erase_cycles: Vec<u64>,
+    state: ChipState,
+    status: Status,
+    timings: FlashTimings,
+}
+
+impl FlashChip {
+    /// Create a chip with `blocks` erase blocks of `block_bytes` bytes,
+    /// initially erased (all 0xFF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(blocks: u32, block_bytes: u32, timings: FlashTimings) -> FlashChip {
+        assert!(blocks > 0 && block_bytes > 0, "chip dimensions must be non-zero");
+        FlashChip {
+            block_bytes,
+            data: vec![0xFF; (blocks * block_bytes) as usize],
+            erase_cycles: vec![0; blocks as usize],
+            state: ChipState::ReadArray,
+            status: Status {
+                ready: true,
+                ..Status::default()
+            },
+            timings,
+        }
+    }
+
+    /// Number of erase blocks.
+    pub fn blocks(&self) -> u32 {
+        self.erase_cycles.len() as u32
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Current command-interface state.
+    pub fn state(&self) -> ChipState {
+        self.state
+    }
+
+    /// Current status register.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Program/erase cycles a block has sustained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn cycles(&self, block: u32) -> u64 {
+        self.erase_cycles[block as usize]
+    }
+
+    /// Read one byte in array mode.
+    ///
+    /// Reading is legal in `ReadArray` and `Suspended` states (the whole
+    /// point of suspension). During a program or erase the chip returns
+    /// status-like garbage on real hardware; here we return `0xFF` and set
+    /// no error, since the eNVy controller never reads a busy chip.
+    pub fn read(&self, addr: u32) -> u8 {
+        match self.state {
+            ChipState::ReadArray | ChipState::Suspended { .. } => {
+                self.data[addr as usize]
+            }
+            _ => 0xFF,
+        }
+    }
+
+    /// Complete any in-progress long operation (the simulated time has
+    /// passed); used by callers that account for busy time externally.
+    pub fn settle(&mut self) {
+        match self.state {
+            ChipState::Programming { .. } | ChipState::Erasing { .. } => {
+                self.state = ChipState::ReadArray;
+                self.status.ready = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Issue a CUI command.
+    ///
+    /// Returns how long the chip is busy executing it. Long operations
+    /// leave the chip in a busy state; callers either wait out the busy
+    /// time and call [`FlashChip::settle`], or suspend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] for bad addresses or block
+    /// indices. Programming a byte that would require setting a cleared
+    /// bit *succeeds at the interface level* but leaves the
+    /// `program_error` status bit set and the cell unchanged beyond the
+    /// AND, mirroring real program-verify behaviour.
+    pub fn issue(&mut self, cmd: Command) -> Result<Issued, FlashError> {
+        match cmd {
+            Command::ReadArray => {
+                if matches!(self.state, ChipState::ReadArray | ChipState::Suspended { .. }) {
+                    self.state = ChipState::ReadArray;
+                }
+                self.settle();
+                self.state = ChipState::ReadArray;
+                Ok(Issued { busy: Ns::ZERO })
+            }
+            Command::Program { addr, value } => {
+                if addr as usize >= self.data.len() {
+                    return Err(FlashError::OutOfRange {
+                        segment: addr / self.block_bytes,
+                        page: addr,
+                    });
+                }
+                self.settle();
+                let before = self.data[addr as usize];
+                let after = before & value;
+                self.data[addr as usize] = after;
+                // Verify step: did we get the bits we asked for?
+                if after != value {
+                    self.status.program_error = true;
+                }
+                let block = addr / self.block_bytes;
+                let busy = self.timings.program_at(self.erase_cycles[block as usize]);
+                self.state = ChipState::Programming { remaining: busy };
+                self.status.ready = false;
+                Ok(Issued { busy })
+            }
+            Command::EraseBlock { block } => {
+                if block >= self.blocks() {
+                    return Err(FlashError::OutOfRange {
+                        segment: block,
+                        page: u32::MAX,
+                    });
+                }
+                self.settle();
+                let start = (block * self.block_bytes) as usize;
+                let end = start + self.block_bytes as usize;
+                self.data[start..end].fill(0xFF);
+                self.erase_cycles[block as usize] += 1;
+                let busy = self.timings.erase_at(self.erase_cycles[block as usize]);
+                self.state = ChipState::Erasing {
+                    block,
+                    remaining: busy,
+                };
+                self.status.ready = false;
+                Ok(Issued { busy })
+            }
+            Command::Suspend => {
+                match self.state {
+                    ChipState::Programming { remaining } => {
+                        self.state = ChipState::Suspended {
+                            block: None,
+                            remaining,
+                        };
+                        self.status.ready = true;
+                    }
+                    ChipState::Erasing { block, remaining } => {
+                        self.state = ChipState::Suspended {
+                            block: Some(block),
+                            remaining,
+                        };
+                        self.status.ready = true;
+                    }
+                    _ => {}
+                }
+                Ok(Issued { busy: Ns::ZERO })
+            }
+            Command::Resume => {
+                if let ChipState::Suspended { block, remaining } = self.state {
+                    self.state = match block {
+                        Some(block) => ChipState::Erasing { block, remaining },
+                        None => ChipState::Programming { remaining },
+                    };
+                    self.status.ready = false;
+                    Ok(Issued { busy: remaining })
+                } else {
+                    Ok(Issued { busy: Ns::ZERO })
+                }
+            }
+            Command::ClearStatus => {
+                self.status.program_error = false;
+                self.status.erase_error = false;
+                Ok(Issued { busy: Ns::ZERO })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> FlashChip {
+        FlashChip::new(4, 256, FlashTimings::paper())
+    }
+
+    #[test]
+    fn fresh_chip_is_erased() {
+        let c = chip();
+        assert_eq!(c.capacity(), 1024);
+        assert_eq!(c.blocks(), 4);
+        for a in [0, 511, 1023] {
+            assert_eq!(c.read(a), 0xFF);
+        }
+        assert!(c.status().ready);
+    }
+
+    #[test]
+    fn program_then_read() {
+        let mut c = chip();
+        let issued = c.issue(Command::Program { addr: 5, value: 0xA5 }).unwrap();
+        assert_eq!(issued.busy, Ns::from_micros(4));
+        assert!(!c.status().ready);
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(5), 0xA5);
+        assert!(c.status().ready);
+        assert!(!c.status().program_error);
+    }
+
+    #[test]
+    fn program_is_write_once_bits_only_clear() {
+        let mut c = chip();
+        c.issue(Command::Program { addr: 0, value: 0x0F }).unwrap();
+        // Attempt to set bits back to 1: the AND keeps them 0 and the
+        // verify step flags an error.
+        c.issue(Command::Program { addr: 0, value: 0xF0 }).unwrap();
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(0), 0x00);
+        assert!(c.status().program_error);
+        c.issue(Command::ClearStatus).unwrap();
+        assert!(!c.status().program_error);
+    }
+
+    #[test]
+    fn overlapping_clear_programs_do_not_error() {
+        let mut c = chip();
+        c.issue(Command::Program { addr: 0, value: 0x0F }).unwrap();
+        // Clearing more bits is always legal.
+        c.issue(Command::Program { addr: 0, value: 0x03 }).unwrap();
+        assert!(!c.status().program_error);
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(0), 0x03);
+    }
+
+    #[test]
+    fn erase_restores_block_and_counts_cycles() {
+        let mut c = chip();
+        c.issue(Command::Program { addr: 300, value: 0x00 }).unwrap();
+        assert_eq!(c.cycles(1), 0);
+        let issued = c.issue(Command::EraseBlock { block: 1 }).unwrap();
+        assert_eq!(issued.busy, Ns::from_millis(50));
+        assert_eq!(c.cycles(1), 1);
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(300), 0xFF);
+        // Other blocks untouched.
+        assert_eq!(c.cycles(0), 0);
+    }
+
+    #[test]
+    fn erase_only_affects_target_block() {
+        let mut c = chip();
+        c.issue(Command::Program { addr: 0, value: 0x11 }).unwrap();
+        c.issue(Command::EraseBlock { block: 1 }).unwrap();
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(0), 0x11);
+    }
+
+    #[test]
+    fn suspend_and_resume_erase() {
+        let mut c = chip();
+        c.issue(Command::EraseBlock { block: 0 }).unwrap();
+        assert!(matches!(c.state(), ChipState::Erasing { .. }));
+        c.issue(Command::Suspend).unwrap();
+        assert!(matches!(c.state(), ChipState::Suspended { block: Some(0), .. }));
+        // Array readable while suspended: the whole point (§3.4 "long"
+        // operations are suspended to service host accesses).
+        assert_eq!(c.read(700), 0xFF);
+        let resumed = c.issue(Command::Resume).unwrap();
+        assert_eq!(resumed.busy, Ns::from_millis(50));
+        assert!(matches!(c.state(), ChipState::Erasing { .. }));
+    }
+
+    #[test]
+    fn suspend_program() {
+        let mut c = chip();
+        c.issue(Command::Program { addr: 1, value: 0x00 }).unwrap();
+        c.issue(Command::Suspend).unwrap();
+        assert!(matches!(c.state(), ChipState::Suspended { block: None, .. }));
+        assert!(c.status().ready);
+        c.issue(Command::Resume).unwrap();
+        assert!(matches!(c.state(), ChipState::Programming { .. }));
+    }
+
+    #[test]
+    fn suspend_when_idle_is_noop() {
+        let mut c = chip();
+        c.issue(Command::Suspend).unwrap();
+        assert_eq!(c.state(), ChipState::ReadArray);
+        c.issue(Command::Resume).unwrap();
+        assert_eq!(c.state(), ChipState::ReadArray);
+    }
+
+    #[test]
+    fn out_of_range_program() {
+        let mut c = chip();
+        assert!(c.issue(Command::Program { addr: 1024, value: 0 }).is_err());
+    }
+
+    #[test]
+    fn out_of_range_erase() {
+        let mut c = chip();
+        assert!(c.issue(Command::EraseBlock { block: 4 }).is_err());
+    }
+
+    #[test]
+    fn wear_degradation_reflected_in_busy_time() {
+        let t = FlashTimings {
+            wear_slowdown: 1.0,
+            rated_cycles: 10,
+            ..FlashTimings::paper()
+        };
+        let mut c = FlashChip::new(1, 64, t);
+        for _ in 0..10 {
+            c.issue(Command::EraseBlock { block: 0 }).unwrap();
+        }
+        // Cycle count is 10 = rated; program should take 2x the base time.
+        let issued = c.issue(Command::Program { addr: 0, value: 0 }).unwrap();
+        assert_eq!(issued.busy, Ns::from_micros(8));
+    }
+}

@@ -1,0 +1,117 @@
+//! Flash error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the Flash substrate.
+///
+/// These correspond to operations that real hardware would corrupt data on
+/// (re-programming without an erase) or that the eNVy controller is
+/// responsible for never issuing (erasing a segment that still holds live
+/// data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// A program was issued to a page that is not in the erased state.
+    /// Flash is write-once: bits can only be cleared, not set, until the
+    /// whole block is erased.
+    ProgramToNonErased {
+        /// Segment index.
+        segment: u32,
+        /// Page index within the segment.
+        page: u32,
+    },
+    /// An erase was issued to a segment that still contains valid pages.
+    EraseWithLiveData {
+        /// Segment index.
+        segment: u32,
+        /// Number of still-valid pages.
+        live_pages: u32,
+    },
+    /// An invalidate was issued to a page that is not valid.
+    InvalidateNonValid {
+        /// Segment index.
+        segment: u32,
+        /// Page index within the segment.
+        page: u32,
+    },
+    /// A segment or page index was out of range for the array geometry.
+    OutOfRange {
+        /// Segment index.
+        segment: u32,
+        /// Page index within the segment (`u32::MAX` if only the segment
+        /// was out of range).
+        page: u32,
+    },
+    /// The requested geometry is invalid (zero-sized dimension, or segment
+    /// count not divisible by bank count).
+    BadGeometry(&'static str),
+    /// A data buffer did not match the page size.
+    BadBufferLength {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Provided length in bytes.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FlashError::ProgramToNonErased { segment, page } => {
+                write!(f, "program issued to non-erased page {page} of segment {segment}")
+            }
+            FlashError::EraseWithLiveData { segment, live_pages } => write!(
+                f,
+                "erase issued to segment {segment} which still holds {live_pages} valid pages"
+            ),
+            FlashError::InvalidateNonValid { segment, page } => {
+                write!(f, "invalidate issued to non-valid page {page} of segment {segment}")
+            }
+            FlashError::OutOfRange { segment, page } => {
+                if page == u32::MAX {
+                    write!(f, "segment index {segment} out of range")
+                } else {
+                    write!(f, "page {page} of segment {segment} out of range")
+                }
+            }
+            FlashError::BadGeometry(why) => write!(f, "invalid flash geometry: {why}"),
+            FlashError::BadBufferLength { expected, actual } => {
+                write!(f, "buffer length {actual} does not match page size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = FlashError::ProgramToNonErased { segment: 3, page: 7 };
+        let msg = e.to_string();
+        assert!(msg.contains("segment 3"));
+        assert!(msg.contains("page 7"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn out_of_range_segment_only() {
+        let e = FlashError::OutOfRange { segment: 9, page: u32::MAX };
+        assert_eq!(e.to_string(), "segment index 9 out of range");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(FlashError::BadGeometry("zero banks"));
+        assert!(e.to_string().contains("zero banks"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlashError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! Array geometry and device timing parameters.
+
+use crate::error::FlashError;
+use envy_sim::time::Ns;
+
+/// Shape of a Flash array: banks, segments, pages.
+///
+/// In the paper's hardware (Figure 4, Figure 12), a bank is 256 byte-wide
+/// chips; a *segment* — the smallest independently erasable unit — is one
+/// erase block across every chip of a bank. The 2 GB system has 8 banks and
+/// 128 segments of 65 536 × 256-byte pages (16 MB each).
+///
+/// Simulations may scale `pages_per_segment` down: cleaning behaviour
+/// depends on utilization and locality, not on absolute segment size
+/// (within the paper's own observation, Figure 10, that what matters is the
+/// *number* of segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashGeometry {
+    banks: u32,
+    segments: u32,
+    pages_per_segment: u32,
+    page_bytes: u32,
+}
+
+impl FlashGeometry {
+    /// Create a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BadGeometry`] if any dimension is zero or the
+    /// segment count is not divisible by the bank count (each bank must
+    /// hold the same number of erase-block rows).
+    pub fn new(
+        banks: u32,
+        segments: u32,
+        pages_per_segment: u32,
+        page_bytes: u32,
+    ) -> Result<FlashGeometry, FlashError> {
+        if banks == 0 {
+            return Err(FlashError::BadGeometry("bank count must be non-zero"));
+        }
+        if segments == 0 {
+            return Err(FlashError::BadGeometry("segment count must be non-zero"));
+        }
+        if pages_per_segment == 0 {
+            return Err(FlashError::BadGeometry("pages per segment must be non-zero"));
+        }
+        if page_bytes == 0 {
+            return Err(FlashError::BadGeometry("page size must be non-zero"));
+        }
+        if !segments.is_multiple_of(banks) {
+            return Err(FlashError::BadGeometry(
+                "segment count must be divisible by bank count",
+            ));
+        }
+        Ok(FlashGeometry {
+            banks,
+            segments,
+            pages_per_segment,
+            page_bytes,
+        })
+    }
+
+    /// The paper's 2 GB configuration (Figure 12): 8 banks, 128 segments of
+    /// 16 MB, 256-byte pages.
+    pub fn paper_2gb() -> FlashGeometry {
+        FlashGeometry::new(8, 128, 65_536, 256).expect("paper geometry is valid")
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// Pages in each segment.
+    pub fn pages_per_segment(&self) -> u32 {
+        self.pages_per_segment
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u32 {
+        self.page_bytes
+    }
+
+    /// Segments per bank.
+    pub fn segments_per_bank(&self) -> u32 {
+        self.segments / self.banks
+    }
+
+    /// Which bank a segment lives in. Segments are laid out contiguously
+    /// within banks, matching Figure 4 (blocks stacked within a bank).
+    pub fn bank_of(&self, segment: u32) -> u32 {
+        segment / self.segments_per_bank()
+    }
+
+    /// Total pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.segments as u64 * self.pages_per_segment as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Bytes per segment.
+    pub fn segment_bytes(&self) -> u64 {
+        self.pages_per_segment as u64 * self.page_bytes as u64
+    }
+}
+
+/// Per-operation device timings (Figure 12).
+///
+/// `read` and `write` are single memory-cycle times for the wide datapath;
+/// `program` is the per-page Flash program time; `erase` is the segment
+/// (block) erase time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashTimings {
+    /// One read cycle (chip access).
+    pub read: Ns,
+    /// One write cycle on the wide bus (used for page transfers to SRAM).
+    pub write: Ns,
+    /// Program one page (all chips of a bank in parallel).
+    pub program: Ns,
+    /// Erase one segment.
+    pub erase: Ns,
+    /// Cycles each chip is rated for (used for lifetime estimates and the
+    /// wear-degradation model).
+    pub rated_cycles: u64,
+    /// Fractional slow-down of `program` per rated lifetime consumed
+    /// (e.g. `0.5` means programs take 1.5× `program` at `rated_cycles`).
+    /// The paper observes real chips degrade far more slowly than their
+    /// specifications guarantee; the default model is no degradation.
+    pub wear_slowdown: f64,
+}
+
+impl FlashTimings {
+    /// The paper's simulation parameters (Figure 12): 100 ns read/write,
+    /// 4 µs program, 50 ms erase, 1 M-cycle parts.
+    pub fn paper() -> FlashTimings {
+        FlashTimings {
+            read: Ns::from_nanos(100),
+            write: Ns::from_nanos(100),
+            program: Ns::from_micros(4),
+            erase: Ns::from_millis(50),
+            rated_cycles: 1_000_000,
+            wear_slowdown: 0.0,
+        }
+    }
+
+    /// Effective program time at a given cycle count, applying the wear
+    /// degradation model.
+    pub fn program_at(&self, cycles: u64) -> Ns {
+        if self.wear_slowdown == 0.0 {
+            return self.program;
+        }
+        let frac = cycles as f64 / self.rated_cycles as f64;
+        let scaled = self.program.as_nanos() as f64 * (1.0 + self.wear_slowdown * frac);
+        Ns::from_nanos(scaled as u64)
+    }
+
+    /// Effective erase time at a given cycle count, applying the wear
+    /// degradation model.
+    pub fn erase_at(&self, cycles: u64) -> Ns {
+        if self.wear_slowdown == 0.0 {
+            return self.erase;
+        }
+        let frac = cycles as f64 / self.rated_cycles as f64;
+        let scaled = self.erase.as_nanos() as f64 * (1.0 + self.wear_slowdown * frac);
+        Ns::from_nanos(scaled as u64)
+    }
+}
+
+impl Default for FlashTimings {
+    fn default() -> FlashTimings {
+        FlashTimings::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_figure_12() {
+        let g = FlashGeometry::paper_2gb();
+        assert_eq!(g.banks(), 8);
+        assert_eq!(g.segments(), 128);
+        assert_eq!(g.segments_per_bank(), 16);
+        assert_eq!(g.page_bytes(), 256);
+        assert_eq!(g.segment_bytes(), 16 * 1024 * 1024); // 16 MB segments
+        assert_eq!(g.total_bytes(), 2 * 1024 * 1024 * 1024); // 2 GB
+    }
+
+    #[test]
+    fn bank_mapping_is_contiguous() {
+        let g = FlashGeometry::paper_2gb();
+        assert_eq!(g.bank_of(0), 0);
+        assert_eq!(g.bank_of(15), 0);
+        assert_eq!(g.bank_of(16), 1);
+        assert_eq!(g.bank_of(127), 7);
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(FlashGeometry::new(0, 8, 16, 256).is_err());
+        assert!(FlashGeometry::new(2, 0, 16, 256).is_err());
+        assert!(FlashGeometry::new(2, 8, 0, 256).is_err());
+        assert!(FlashGeometry::new(2, 8, 16, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_indivisible_banks() {
+        let err = FlashGeometry::new(3, 8, 16, 256).unwrap_err();
+        assert!(matches!(err, FlashError::BadGeometry(_)));
+    }
+
+    #[test]
+    fn paper_timings_match_figure_12() {
+        let t = FlashTimings::paper();
+        assert_eq!(t.read, Ns::from_nanos(100));
+        assert_eq!(t.write, Ns::from_nanos(100));
+        assert_eq!(t.program, Ns::from_micros(4));
+        assert_eq!(t.erase, Ns::from_millis(50));
+        assert_eq!(t.rated_cycles, 1_000_000);
+    }
+
+    #[test]
+    fn no_degradation_by_default() {
+        let t = FlashTimings::paper();
+        assert_eq!(t.program_at(0), t.program);
+        assert_eq!(t.program_at(1_000_000), t.program);
+        assert_eq!(t.erase_at(999_999), t.erase);
+    }
+
+    #[test]
+    fn wear_degradation_scales_linearly() {
+        let t = FlashTimings {
+            wear_slowdown: 1.0,
+            ..FlashTimings::paper()
+        };
+        assert_eq!(t.program_at(0), t.program);
+        assert_eq!(t.program_at(500_000), t.program + t.program / 2);
+        assert_eq!(t.program_at(1_000_000), t.program * 2);
+        assert_eq!(t.erase_at(1_000_000), t.erase * 2);
+    }
+}

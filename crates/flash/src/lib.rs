@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! The Flash memory substrate of the eNVy reproduction.
+//!
+//! eNVy (Wu & Zwaenepoel, ASPLOS '94) is built on NOR Flash organized as
+//! wide memory banks: 256 byte-wide chips per bank, so a 256-byte page
+//! transfers in a single memory cycle, and the smallest independently
+//! erasable unit — a **segment** — is one erase block across every chip of
+//! a bank (16 MB with 64 KB-block chips).
+//!
+//! This crate models that hierarchy at two levels:
+//!
+//! * [`chip::FlashChip`] — a single chip with the paper's Command User
+//!   Interface (§2): an EPROM-like read mode plus explicit
+//!   program/erase/verify/suspend commands, write-once semantics, and
+//!   cycle-dependent wear.
+//! * [`array::FlashArray`] — the aggregate bank/segment/page array the eNVy
+//!   controller manages. Chips within a bank operate in lock-step for page
+//!   transfers, so the array tracks page state per segment rather than
+//!   instantiating thousands of chip objects; the timing and wear rules are
+//!   identical to the chip model (asserted by tests).
+//!
+//! # Example
+//!
+//! ```
+//! use envy_flash::{FlashArray, FlashGeometry, FlashTimings};
+//!
+//! # fn main() -> Result<(), envy_flash::FlashError> {
+//! let geo = FlashGeometry::new(2, 8, 16, 256)?; // 2 banks, 8 segments
+//! let mut array = FlashArray::new(geo, FlashTimings::paper(), true);
+//!
+//! let data = vec![0xAB; 256];
+//! array.program_page(0, 0, Some(&data))?;
+//! let mut out = vec![0; 256];
+//! array.read_page(0, 0, Some(&mut out));
+//! assert_eq!(out, data);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod array;
+pub mod chip;
+pub mod error;
+pub mod geometry;
+
+pub use array::{FlashArray, FlashStats, PageState};
+pub use chip::{ChipState, FlashChip};
+pub use error::FlashError;
+pub use geometry::{FlashGeometry, FlashTimings};

@@ -1,0 +1,506 @@
+//! A persistent free-list allocator.
+//!
+//! All metadata — region header, block headers, the free list — lives in
+//! the underlying memory, so an arena re-opened after a restart or power
+//! failure is fully usable. Layout:
+//!
+//! ```text
+//! region header (48 B): magic, region_len, free_head, high_water,
+//!                       allocated_blocks, allocated_bytes
+//! block: header (16 B: size, tag) + payload (free blocks keep their
+//!        next-free pointer in the first 8 payload bytes)
+//! ```
+//!
+//! Allocation is first-fit with block splitting; `free` coalesces with
+//! the physically following block when that is also free.
+
+use crate::HeapError;
+use envy_core::Memory;
+
+const MAGIC: u64 = 0x654E_5679_4845_4150; // "eNVyHEAP"
+const REGION_HEADER: u64 = 48;
+const BLOCK_HEADER: u64 = 16;
+const MIN_PAYLOAD: u64 = 16;
+const TAG_USED: u64 = 0x55_53_45_44; // "USED"
+const TAG_FREE: u64 = 0x46_52_45_45; // "FREE"
+
+/// Usage statistics for an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Currently allocated blocks.
+    pub allocated_blocks: u64,
+    /// Currently allocated payload bytes (as requested, rounded to 8).
+    pub allocated_bytes: u64,
+    /// Blocks on the free list.
+    pub free_blocks: u64,
+    /// Bytes between the region start and the high-water mark.
+    pub used_region: u64,
+}
+
+/// A persistent allocator over `[region, region + len)` of a
+/// [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arena {
+    region: u64,
+    region_len: u64,
+}
+
+impl Arena {
+    /// Create a fresh arena (overwrites the region header).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfSpace`] if the region cannot hold the header
+    /// plus one minimal block; memory errors.
+    pub fn create<M: Memory>(mem: &mut M, region: u64, len: u64) -> Result<Arena, HeapError> {
+        if len < REGION_HEADER + BLOCK_HEADER + MIN_PAYLOAD {
+            return Err(HeapError::OutOfSpace);
+        }
+        let arena = Arena {
+            region,
+            region_len: len,
+        };
+        arena.write_header(mem, 0, region + REGION_HEADER, 0, 0)?;
+        Ok(arena)
+    }
+
+    /// Re-open an existing arena.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadMagic`] if the region holds no arena; memory
+    /// errors.
+    pub fn open<M: Memory>(mem: &mut M, region: u64) -> Result<Arena, HeapError> {
+        let mut header = [0u8; REGION_HEADER as usize];
+        mem.read(region, &mut header)?;
+        let word = |i: usize| u64::from_le_bytes(header[i * 8..i * 8 + 8].try_into().expect("8"));
+        if word(0) != MAGIC {
+            return Err(HeapError::BadMagic);
+        }
+        Ok(Arena {
+            region,
+            region_len: word(1),
+        })
+    }
+
+    fn write_header<M: Memory>(
+        &self,
+        mem: &mut M,
+        free_head: u64,
+        high_water: u64,
+        blocks: u64,
+        bytes: u64,
+    ) -> Result<(), HeapError> {
+        let mut header = [0u8; REGION_HEADER as usize];
+        header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        header[8..16].copy_from_slice(&self.region_len.to_le_bytes());
+        header[16..24].copy_from_slice(&free_head.to_le_bytes());
+        header[24..32].copy_from_slice(&high_water.to_le_bytes());
+        header[32..40].copy_from_slice(&blocks.to_le_bytes());
+        header[40..48].copy_from_slice(&bytes.to_le_bytes());
+        mem.write(self.region, &header)?;
+        Ok(())
+    }
+
+    fn read_header<M: Memory>(&self, mem: &mut M) -> Result<(u64, u64, u64, u64), HeapError> {
+        let mut header = [0u8; REGION_HEADER as usize];
+        mem.read(self.region, &mut header)?;
+        let word = |i: usize| u64::from_le_bytes(header[i * 8..i * 8 + 8].try_into().expect("8"));
+        Ok((word(2), word(3), word(4), word(5)))
+    }
+
+    fn read_u64<M: Memory>(mem: &mut M, addr: u64) -> Result<u64, HeapError> {
+        let mut b = [0u8; 8];
+        mem.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_u64<M: Memory>(mem: &mut M, addr: u64, v: u64) -> Result<(), HeapError> {
+        mem.write(addr, &v.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn block_size<M: Memory>(mem: &mut M, block: u64) -> Result<u64, HeapError> {
+        Self::read_u64(mem, block)
+    }
+
+    fn block_tag<M: Memory>(mem: &mut M, block: u64) -> Result<u64, HeapError> {
+        Self::read_u64(mem, block + 8)
+    }
+
+    fn set_block<M: Memory>(mem: &mut M, block: u64, size: u64, tag: u64) -> Result<(), HeapError> {
+        Self::write_u64(mem, block, size)?;
+        Self::write_u64(mem, block + 8, tag)
+    }
+
+    /// Allocate `size` bytes; returns the payload address.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadSize`] for a zero size,
+    /// [`HeapError::OutOfSpace`] when neither the free list nor the
+    /// region tail can satisfy the request; memory errors.
+    pub fn alloc<M: Memory>(&mut self, mem: &mut M, size: u64) -> Result<u64, HeapError> {
+        if size == 0 {
+            return Err(HeapError::BadSize { size });
+        }
+        let payload = size.div_ceil(8) * 8;
+        let need = BLOCK_HEADER + payload.max(MIN_PAYLOAD);
+        let (mut free_head, mut high_water, blocks, bytes) = self.read_header(mem)?;
+
+        // First fit on the free list.
+        let mut prev: Option<u64> = None;
+        let mut cursor = free_head;
+        while cursor != 0 {
+            let bsize = Self::block_size(mem, cursor)?;
+            let next = Self::read_u64(mem, cursor + BLOCK_HEADER)?;
+            if bsize >= need {
+                // Unlink.
+                match prev {
+                    None => free_head = next,
+                    Some(p) => Self::write_u64(mem, p + BLOCK_HEADER, next)?,
+                }
+                // Split when the remainder can hold a block of its own.
+                if bsize - need >= BLOCK_HEADER + MIN_PAYLOAD {
+                    let rest = cursor + need;
+                    Self::set_block(mem, rest, bsize - need, TAG_FREE)?;
+                    Self::write_u64(mem, rest + BLOCK_HEADER, free_head)?;
+                    free_head = rest;
+                    Self::set_block(mem, cursor, need, TAG_USED)?;
+                } else {
+                    Self::set_block(mem, cursor, bsize, TAG_USED)?;
+                }
+                self.write_header(mem, free_head, high_water, blocks + 1, bytes + payload)?;
+                return Ok(cursor + BLOCK_HEADER);
+            }
+            prev = Some(cursor);
+            cursor = next;
+        }
+
+        // Bump allocation from the high-water mark.
+        if high_water + need > self.region + self.region_len {
+            return Err(HeapError::OutOfSpace);
+        }
+        let block = high_water;
+        Self::set_block(mem, block, need, TAG_USED)?;
+        high_water += need;
+        self.write_header(mem, free_head, high_water, blocks + 1, bytes + payload)?;
+        Ok(block + BLOCK_HEADER)
+    }
+
+    /// Free a previously allocated payload address.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NotABlock`] if `addr` is not the payload address of
+    /// a live allocation; memory errors.
+    pub fn free<M: Memory>(&mut self, mem: &mut M, addr: u64) -> Result<(), HeapError> {
+        if addr < self.region + REGION_HEADER + BLOCK_HEADER {
+            return Err(HeapError::NotABlock { addr });
+        }
+        let block = addr - BLOCK_HEADER;
+        let (mut free_head, high_water, blocks, bytes) = self.read_header(mem)?;
+        if block >= high_water || Self::block_tag(mem, block)? != TAG_USED {
+            return Err(HeapError::NotABlock { addr });
+        }
+        let mut size = Self::block_size(mem, block)?;
+        let payload = size - BLOCK_HEADER;
+
+        // Coalesce with the physically following block if it is free.
+        let next_block = block + size;
+        if next_block < high_water && Self::block_tag(mem, next_block)? == TAG_FREE {
+            let next_size = Self::block_size(mem, next_block)?;
+            // Unlink the neighbour from the free list.
+            let mut prev: Option<u64> = None;
+            let mut cursor = free_head;
+            while cursor != 0 {
+                let next = Self::read_u64(mem, cursor + BLOCK_HEADER)?;
+                if cursor == next_block {
+                    match prev {
+                        None => free_head = next,
+                        Some(p) => Self::write_u64(mem, p + BLOCK_HEADER, next)?,
+                    }
+                    break;
+                }
+                prev = Some(cursor);
+                cursor = next;
+            }
+            size += next_size;
+        }
+
+        Self::set_block(mem, block, size, TAG_FREE)?;
+        Self::write_u64(mem, block + BLOCK_HEADER, free_head)?;
+        self.write_header(
+            mem,
+            block,
+            high_water,
+            blocks - 1,
+            bytes.saturating_sub(payload),
+        )?;
+        Ok(())
+    }
+
+    /// Usage statistics.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn stats<M: Memory>(&self, mem: &mut M) -> Result<ArenaStats, HeapError> {
+        let (free_head, high_water, blocks, bytes) = self.read_header(mem)?;
+        let mut free_blocks = 0;
+        let mut cursor = free_head;
+        while cursor != 0 {
+            free_blocks += 1;
+            cursor = Self::read_u64(mem, cursor + BLOCK_HEADER)?;
+        }
+        Ok(ArenaStats {
+            allocated_blocks: blocks,
+            allocated_bytes: bytes,
+            free_blocks,
+            used_region: high_water - self.region,
+        })
+    }
+
+    /// Verify structural consistency: every block between the header and
+    /// the high-water mark is tagged and sized sanely, and the free list
+    /// references only free blocks. Test/recovery support.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first inconsistency.
+    pub fn check<M: Memory>(&self, mem: &mut M) -> Result<(), String> {
+        let (free_head, high_water, ..) = self.read_header(mem).map_err(|e| e.to_string())?;
+        let mut block = self.region + REGION_HEADER;
+        let mut free_seen = 0u64;
+        while block < high_water {
+            let size = Self::block_size(mem, block).map_err(|e| e.to_string())?;
+            let tag = Self::block_tag(mem, block).map_err(|e| e.to_string())?;
+            if size < BLOCK_HEADER + MIN_PAYLOAD || block + size > high_water {
+                return Err(format!("block {block:#x} has bad size {size}"));
+            }
+            match tag {
+                TAG_USED => {}
+                TAG_FREE => free_seen += 1,
+                other => return Err(format!("block {block:#x} has bad tag {other:#x}")),
+            }
+            block += size;
+        }
+        if block != high_water {
+            return Err("blocks do not tile the used region".into());
+        }
+        let mut cursor = free_head;
+        let mut on_list = 0u64;
+        while cursor != 0 {
+            let tag = Self::block_tag(mem, cursor).map_err(|e| e.to_string())?;
+            if tag != TAG_FREE {
+                return Err(format!("free list points at non-free block {cursor:#x}"));
+            }
+            on_list += 1;
+            if on_list > free_seen {
+                return Err("free list longer than free blocks (cycle?)".into());
+            }
+            cursor = Self::read_u64(mem, cursor + BLOCK_HEADER).map_err(|e| e.to_string())?;
+        }
+        if on_list != free_seen {
+            return Err(format!("{free_seen} free blocks but {on_list} on the list"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envy_core::VecMemory;
+
+    fn setup() -> (VecMemory, Arena) {
+        let mut mem = VecMemory::new(64 * 1024);
+        let arena = Arena::create(&mut mem, 0, 64 * 1024).unwrap();
+        (mem, arena)
+    }
+
+    #[test]
+    fn alloc_returns_writable_disjoint_blocks() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 100).unwrap();
+        let y = a.alloc(&mut mem, 100).unwrap();
+        assert!(y >= x + 100 || x >= y + 100, "blocks overlap");
+        mem.write(x, &[1u8; 100]).unwrap();
+        mem.write(y, &[2u8; 100]).unwrap();
+        let mut b = [0u8; 100];
+        mem.read(x, &mut b).unwrap();
+        assert_eq!(b, [1u8; 100]);
+        a.check(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_space() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 256).unwrap();
+        a.free(&mut mem, x).unwrap();
+        let y = a.alloc(&mut mem, 256).unwrap();
+        assert_eq!(x, y, "first fit should reuse the freed block");
+        a.check(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn split_leaves_usable_remainder() {
+        let (mut mem, mut a) = setup();
+        let big = a.alloc(&mut mem, 1024).unwrap();
+        a.free(&mut mem, big).unwrap();
+        let small = a.alloc(&mut mem, 64).unwrap();
+        assert_eq!(small, big, "first fit");
+        // The remainder should satisfy another allocation without
+        // growing the region.
+        let before = a.stats(&mut mem).unwrap().used_region;
+        let _second = a.alloc(&mut mem, 64).unwrap();
+        let after = a.stats(&mut mem).unwrap().used_region;
+        assert_eq!(before, after, "second alloc should come from the split");
+        a.check(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 100).unwrap();
+        let y = a.alloc(&mut mem, 100).unwrap();
+        let _guard = a.alloc(&mut mem, 8).unwrap();
+        // Free in address order: y joins the free list, then freeing x
+        // absorbs y.
+        a.free(&mut mem, y).unwrap();
+        a.free(&mut mem, x).unwrap();
+        let stats = a.stats(&mut mem).unwrap();
+        assert_eq!(stats.free_blocks, 1, "x and y should have coalesced");
+        // And a larger allocation fits in the merged block.
+        let z = a.alloc(&mut mem, 200).unwrap();
+        assert_eq!(z, x);
+        a.check(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 64).unwrap();
+        a.free(&mut mem, x).unwrap();
+        assert!(matches!(
+            a.free(&mut mem, x),
+            Err(HeapError::NotABlock { .. })
+        ));
+    }
+
+    #[test]
+    fn bogus_frees_rejected() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 64).unwrap();
+        assert!(a.free(&mut mem, x + 8).is_err());
+        assert!(a.free(&mut mem, 0).is_err());
+        assert!(a.free(&mut mem, 1 << 40).is_err());
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let (mut mem, mut a) = setup();
+        assert!(matches!(a.alloc(&mut mem, 0), Err(HeapError::BadSize { .. })));
+    }
+
+    #[test]
+    fn out_of_space_is_clean() {
+        let mut mem = VecMemory::new(1024);
+        let mut a = Arena::create(&mut mem, 0, 1024).unwrap();
+        let mut live = Vec::new();
+        loop {
+            match a.alloc(&mut mem, 64) {
+                Ok(addr) => live.push(addr),
+                Err(HeapError::OutOfSpace) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(!live.is_empty());
+        // Free everything; a big allocation still fails (no cross-block
+        // compaction), but small ones succeed again.
+        for addr in live {
+            a.free(&mut mem, addr).unwrap();
+        }
+        assert!(a.alloc(&mut mem, 64).is_ok());
+        a.check(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn open_reattaches() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 128).unwrap();
+        mem.write(x, b"survives").unwrap();
+        let mut reopened = Arena::open(&mut mem, 0).unwrap();
+        assert_eq!(reopened, a);
+        let mut b = [0u8; 8];
+        mem.read(x, &mut b).unwrap();
+        assert_eq!(&b, b"survives");
+        // The reopened handle can free the old allocation.
+        reopened.free(&mut mem, x).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut mem = VecMemory::new(1024);
+        assert_eq!(Arena::open(&mut mem, 0).unwrap_err(), HeapError::BadMagic);
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let (mut mem, mut a) = setup();
+        let x = a.alloc(&mut mem, 100).unwrap();
+        let _y = a.alloc(&mut mem, 50).unwrap();
+        let s = a.stats(&mut mem).unwrap();
+        assert_eq!(s.allocated_blocks, 2);
+        assert_eq!(s.allocated_bytes, 104 + 56); // rounded to 8
+        a.free(&mut mem, x).unwrap();
+        let s = a.stats(&mut mem).unwrap();
+        assert_eq!(s.allocated_blocks, 1);
+        assert_eq!(s.free_blocks, 1);
+    }
+
+    #[test]
+    fn alloc_free_fuzz_against_model() {
+        use envy_sim::rng::Rng;
+        let mut mem = VecMemory::new(256 * 1024);
+        let mut a = Arena::create(&mut mem, 4096, 200 * 1024).unwrap();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (addr, size)
+        let mut rng = Rng::seed_from(31);
+        for round in 0..5_000 {
+            if live.is_empty() || rng.chance(0.6) {
+                let size = rng.range(1, 512);
+                match a.alloc(&mut mem, size) {
+                    Ok(addr) => {
+                        // No overlap with any live block.
+                        for &(other, osize) in &live {
+                            assert!(
+                                addr + size <= other || other + osize <= addr,
+                                "overlap at round {round}"
+                            );
+                        }
+                        live.push((addr, size));
+                    }
+                    Err(HeapError::OutOfSpace) => {
+                        // Free half the blocks and continue.
+                        for _ in 0..live.len() / 2 {
+                            let i = rng.below(live.len() as u64) as usize;
+                            let (addr, _) = live.swap_remove(i);
+                            a.free(&mut mem, addr).unwrap();
+                        }
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            } else {
+                let i = rng.below(live.len() as u64) as usize;
+                let (addr, _) = live.swap_remove(i);
+                a.free(&mut mem, addr).unwrap();
+            }
+            if round % 512 == 0 {
+                a.check(&mut mem).unwrap();
+            }
+        }
+        a.check(&mut mem).unwrap();
+        let s = a.stats(&mut mem).unwrap();
+        assert_eq!(s.allocated_blocks, live.len() as u64);
+    }
+}

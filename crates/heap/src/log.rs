@@ -1,0 +1,356 @@
+//! A crash-safe append-only record log.
+//!
+//! The write-ahead-log primitive the paper's §6 transaction discussion
+//! assumes applications build ("traditional transaction processing
+//! systems use some sort of software controlled logging/checkpointing
+//! procedure"). Records carry a CRC-32; replay after a crash stops at
+//! the first record that fails validation — a torn append is simply
+//! absent, never half-applied.
+//!
+//! Layout:
+//!
+//! ```text
+//! log header (32 B): magic, region_len, tail offset, record count
+//! record: len u32, crc32 u32, payload (padded to 8)
+//! ```
+//!
+//! The record is written before the header's tail pointer advances, so a
+//! crash between the two leaves the old tail — and the half-written
+//! record invisible. (On eNVy the 8-byte header update is a single
+//! atomic word store, exactly the in-place update the array provides.)
+
+use crate::crc::crc32;
+use crate::HeapError;
+use envy_core::Memory;
+
+const MAGIC: u64 = 0x654E_5679_4C4F_4721; // "eNVyLOG!"
+const LOG_HEADER: u64 = 32;
+const RECORD_HEADER: u64 = 8;
+
+/// A persistent append-only log over `[region, region + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log {
+    region: u64,
+    region_len: u64,
+}
+
+/// One validated record returned by iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Sequence number (0-based position in the log).
+    pub index: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Log {
+    /// Create a fresh, empty log.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfSpace`] if the region cannot hold the header;
+    /// memory errors.
+    pub fn create<M: Memory>(mem: &mut M, region: u64, len: u64) -> Result<Log, HeapError> {
+        if len < LOG_HEADER + RECORD_HEADER + 8 {
+            return Err(HeapError::OutOfSpace);
+        }
+        let log = Log {
+            region,
+            region_len: len,
+        };
+        log.write_header(mem, LOG_HEADER, 0)?;
+        Ok(log)
+    }
+
+    /// Re-open an existing log.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadMagic`]; memory errors.
+    pub fn open<M: Memory>(mem: &mut M, region: u64) -> Result<Log, HeapError> {
+        let mut header = [0u8; LOG_HEADER as usize];
+        mem.read(region, &mut header)?;
+        let word = |i: usize| u64::from_le_bytes(header[i * 8..i * 8 + 8].try_into().expect("8"));
+        if word(0) != MAGIC {
+            return Err(HeapError::BadMagic);
+        }
+        Ok(Log {
+            region,
+            region_len: word(1),
+        })
+    }
+
+    fn write_header<M: Memory>(&self, mem: &mut M, tail: u64, count: u64) -> Result<(), HeapError> {
+        let mut header = [0u8; LOG_HEADER as usize];
+        header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        header[8..16].copy_from_slice(&self.region_len.to_le_bytes());
+        header[16..24].copy_from_slice(&tail.to_le_bytes());
+        header[24..32].copy_from_slice(&count.to_le_bytes());
+        mem.write(self.region, &header)?;
+        Ok(())
+    }
+
+    fn read_header<M: Memory>(&self, mem: &mut M) -> Result<(u64, u64), HeapError> {
+        let mut header = [0u8; LOG_HEADER as usize];
+        mem.read(self.region, &mut header)?;
+        let word = |i: usize| u64::from_le_bytes(header[i * 8..i * 8 + 8].try_into().expect("8"));
+        Ok((word(2), word(3)))
+    }
+
+    /// Number of committed records.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn len<M: Memory>(&self, mem: &mut M) -> Result<u64, HeapError> {
+        Ok(self.read_header(mem)?.1)
+    }
+
+    /// Whether the log holds no records.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn is_empty<M: Memory>(&self, mem: &mut M) -> Result<bool, HeapError> {
+        Ok(self.len(mem)? == 0)
+    }
+
+    /// Bytes of the region in use.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn bytes_used<M: Memory>(&self, mem: &mut M) -> Result<u64, HeapError> {
+        Ok(self.read_header(mem)?.0)
+    }
+
+    /// Append a record; it is committed once this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::RecordTooLarge`] if the payload cannot fit the
+    /// region even when empty, [`HeapError::OutOfSpace`] when the
+    /// remaining space is insufficient; memory errors.
+    pub fn append<M: Memory>(&self, mem: &mut M, payload: &[u8]) -> Result<u64, HeapError> {
+        let padded = (payload.len() as u64).div_ceil(8) * 8;
+        let need = RECORD_HEADER + padded;
+        if LOG_HEADER + need > self.region_len {
+            return Err(HeapError::RecordTooLarge { len: payload.len() });
+        }
+        let (tail, count) = self.read_header(mem)?;
+        if tail + need > self.region_len {
+            return Err(HeapError::OutOfSpace);
+        }
+        let at = self.region + tail;
+        let mut rec_header = [0u8; RECORD_HEADER as usize];
+        rec_header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec_header[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
+        mem.write(at, &rec_header)?;
+        if !payload.is_empty() {
+            mem.write(at + RECORD_HEADER, payload)?;
+        }
+        // Commit point: the tail pointer advances only after the record
+        // is fully in place.
+        self.write_header(mem, tail + need, count + 1)?;
+        Ok(count)
+    }
+
+    /// Iterate the committed records, validating each CRC; iteration
+    /// ends early at the first corrupt record (salvage semantics).
+    pub fn iter<'m, M: Memory>(&self, mem: &'m mut M) -> LogIter<'m, M> {
+        LogIter {
+            log: *self,
+            mem,
+            offset: LOG_HEADER,
+            index: 0,
+        }
+    }
+
+    /// Read and validate every record (convenience over [`Log::iter`]).
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn records<M: Memory>(&self, mem: &mut M) -> Result<Vec<LogRecord>, HeapError> {
+        Ok(self.iter(mem).collect())
+    }
+
+    /// Discard all records.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn reset<M: Memory>(&self, mem: &mut M) -> Result<(), HeapError> {
+        self.write_header(mem, LOG_HEADER, 0)
+    }
+}
+
+/// Iterator over validated log records. See [`Log::iter`].
+#[derive(Debug)]
+pub struct LogIter<'m, M> {
+    log: Log,
+    mem: &'m mut M,
+    offset: u64,
+    index: u64,
+}
+
+impl<M: Memory> Iterator for LogIter<'_, M> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<LogRecord> {
+        let (tail, count) = self.log.read_header(self.mem).ok()?;
+        if self.index >= count || self.offset >= tail {
+            return None;
+        }
+        let at = self.log.region + self.offset;
+        let mut rec_header = [0u8; RECORD_HEADER as usize];
+        self.mem.read(at, &mut rec_header).ok()?;
+        let len = u32::from_le_bytes(rec_header[0..4].try_into().expect("4")) as u64;
+        let stored_crc = u32::from_le_bytes(rec_header[4..8].try_into().expect("4"));
+        let padded = len.div_ceil(8) * 8;
+        if self.offset + RECORD_HEADER + padded > tail {
+            return None; // truncated tail record
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.mem.read(at + RECORD_HEADER, &mut payload).ok()?;
+        if crc32(&payload) != stored_crc {
+            return None; // corruption: salvage stops here
+        }
+        let record = LogRecord {
+            index: self.index,
+            payload,
+        };
+        self.index += 1;
+        self.offset += RECORD_HEADER + padded;
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envy_core::VecMemory;
+
+    fn setup() -> (VecMemory, Log) {
+        let mut mem = VecMemory::new(64 * 1024);
+        let log = Log::create(&mut mem, 0, 64 * 1024).unwrap();
+        (mem, log)
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let (mut mem, log) = setup();
+        assert!(log.is_empty(&mut mem).unwrap());
+        log.append(&mut mem, b"first").unwrap();
+        log.append(&mut mem, b"second record").unwrap();
+        log.append(&mut mem, b"").unwrap(); // empty records are legal
+        let records = log.records(&mut mem).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].payload, b"first");
+        assert_eq!(records[1].payload, b"second record");
+        assert_eq!(records[2].payload, b"");
+        assert_eq!(records[2].index, 2);
+    }
+
+    #[test]
+    fn append_returns_sequence_numbers() {
+        let (mut mem, log) = setup();
+        assert_eq!(log.append(&mut mem, b"a").unwrap(), 0);
+        assert_eq!(log.append(&mut mem, b"b").unwrap(), 1);
+        assert_eq!(log.len(&mut mem).unwrap(), 2);
+    }
+
+    #[test]
+    fn open_reattaches() {
+        let (mut mem, log) = setup();
+        log.append(&mut mem, b"durable").unwrap();
+        let reopened = Log::open(&mut mem, 0).unwrap();
+        assert_eq!(reopened, log);
+        assert_eq!(reopened.records(&mut mem).unwrap()[0].payload, b"durable");
+    }
+
+    #[test]
+    fn corruption_stops_replay_at_the_damage() {
+        let (mut mem, log) = setup();
+        log.append(&mut mem, b"good one").unwrap();
+        let off = log.bytes_used(&mut mem).unwrap();
+        log.append(&mut mem, b"to be damaged").unwrap();
+        log.append(&mut mem, b"after the damage").unwrap();
+        // Flip a payload byte of the second record.
+        mem.write(off + RECORD_HEADER, &[0xFF]).unwrap();
+        let records = log.records(&mut mem).unwrap();
+        assert_eq!(records.len(), 1, "salvage stops at the corrupt record");
+        assert_eq!(records[0].payload, b"good one");
+    }
+
+    #[test]
+    fn torn_append_is_invisible() {
+        // Simulate a crash between writing the record and committing the
+        // header: write record bytes manually without advancing the tail.
+        let (mut mem, log) = setup();
+        log.append(&mut mem, b"committed").unwrap();
+        let tail = log.bytes_used(&mut mem).unwrap();
+        let mut torn = [0u8; 8];
+        torn[0..4].copy_from_slice(&5u32.to_le_bytes());
+        mem.write(tail, &torn).unwrap(); // header of a never-committed record
+        let records = log.records(&mut mem).unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn fills_to_out_of_space() {
+        let mut mem = VecMemory::new(1024);
+        let log = Log::create(&mut mem, 0, 512).unwrap();
+        let mut appended = 0;
+        loop {
+            match log.append(&mut mem, &[7u8; 48]) {
+                Ok(_) => appended += 1,
+                Err(HeapError::OutOfSpace) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(appended > 0);
+        assert_eq!(log.records(&mut mem).unwrap().len(), appended);
+    }
+
+    #[test]
+    fn oversized_record_rejected_upfront() {
+        let mut mem = VecMemory::new(4096);
+        let log = Log::create(&mut mem, 0, 256).unwrap();
+        assert!(matches!(
+            log.append(&mut mem, &[0u8; 512]),
+            Err(HeapError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let (mut mem, log) = setup();
+        log.append(&mut mem, b"gone soon").unwrap();
+        log.reset(&mut mem).unwrap();
+        assert!(log.is_empty(&mut mem).unwrap());
+        assert_eq!(log.records(&mut mem).unwrap().len(), 0);
+        // And appends work again.
+        log.append(&mut mem, b"fresh").unwrap();
+        assert_eq!(log.records(&mut mem).unwrap()[0].payload, b"fresh");
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut mem = VecMemory::new(256);
+        assert_eq!(Log::open(&mut mem, 0).unwrap_err(), HeapError::BadMagic);
+    }
+
+    #[test]
+    fn many_records_roundtrip() {
+        let (mut mem, log) = setup();
+        for i in 0..500u32 {
+            log.append(&mut mem, &i.to_le_bytes()).unwrap();
+        }
+        let records = log.records(&mut mem).unwrap();
+        assert_eq!(records.len(), 500);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(u32::from_le_bytes(r.payload[..].try_into().unwrap()), i as u32);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! A minimal FAT-style filesystem over a [`BlockDevice`].
+//!
+//! On-disk layout (all little-endian):
+//!
+//! * block 0 — superblock: magic, geometry, region offsets
+//! * blocks `1 .. 1+fat_blocks` — the allocation table, one `u32` per
+//!   data block (`FREE`, `END`, or the next block in the chain)
+//! * directory blocks — 64-byte entries: name (47 bytes + NUL flag),
+//!   size, first block
+//! * data blocks
+
+use crate::device::BlockDevice;
+use envy_core::{EnvyError, Memory};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u64 = 0x654E_5679_4653_0001;
+const FREE: u32 = 0;
+const END: u32 = u32::MAX;
+const DIR_ENTRY_BYTES: u64 = 64;
+const NAME_BYTES: usize = 46;
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The device does not contain a formatted filesystem.
+    BadMagic,
+    /// The device is too small to format.
+    DeviceTooSmall,
+    /// No file with that name.
+    NotFound,
+    /// The directory is full.
+    TooManyFiles,
+    /// No free data blocks left.
+    NoSpace,
+    /// File names are limited to 46 bytes.
+    NameTooLong,
+    /// An error from the underlying memory.
+    Memory(EnvyError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::BadMagic => write!(f, "device is not a SimpleFs volume"),
+            FsError::DeviceTooSmall => write!(f, "device too small to format"),
+            FsError::NotFound => write!(f, "file not found"),
+            FsError::TooManyFiles => write!(f, "directory is full"),
+            FsError::NoSpace => write!(f, "no free data blocks"),
+            FsError::NameTooLong => write!(f, "file name exceeds 46 bytes"),
+            FsError::Memory(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl Error for FsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FsError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnvyError> for FsError {
+    fn from(e: EnvyError) -> FsError {
+        FsError::Memory(e)
+    }
+}
+
+/// A mounted SimpleFs volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleFs {
+    dev: BlockDevice,
+    fat_base: u64,   // first FAT block
+    dir_base: u64,   // first directory block
+    dir_entries: u64,
+    data_base: u64,  // first data block
+    data_blocks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DirEntry {
+    used: bool,
+    name: String,
+    size: u64,
+    first: u32,
+}
+
+impl SimpleFs {
+    /// Format a device and mount the empty volume.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DeviceTooSmall`] if the device cannot hold the
+    /// metadata plus at least one data block; memory errors.
+    pub fn format<M: Memory>(mem: &mut M, dev: BlockDevice) -> Result<SimpleFs, FsError> {
+        let bb = dev.block_bytes() as u64;
+        let dir_entries = 64u64;
+        let dir_blocks = (dir_entries * DIR_ENTRY_BYTES).div_ceil(bb);
+        // Solve for the FAT size: each data block needs 4 bytes of FAT.
+        let mut fat_blocks = 1u64;
+        loop {
+            let overhead = 1 + fat_blocks + dir_blocks;
+            if overhead >= dev.blocks() {
+                return Err(FsError::DeviceTooSmall);
+            }
+            let data = dev.blocks() - overhead;
+            if fat_blocks * bb >= data * 4 {
+                break;
+            }
+            fat_blocks += 1;
+        }
+        let fs = SimpleFs {
+            dev,
+            fat_base: 1,
+            dir_base: 1 + fat_blocks,
+            dir_entries,
+            data_base: 1 + fat_blocks + dir_blocks,
+            data_blocks: dev.blocks() - 1 - fat_blocks - dir_blocks,
+        };
+        // Zero the metadata blocks (FAT all-FREE, directory all-unused).
+        let zero = vec![0u8; bb as usize];
+        for b in 0..fs.data_base {
+            dev.write_block(mem, b, &zero)?;
+        }
+        // Superblock.
+        let mut sb = vec![0u8; bb as usize];
+        sb[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        sb[8..16].copy_from_slice(&fat_blocks.to_le_bytes());
+        sb[16..24].copy_from_slice(&dir_blocks.to_le_bytes());
+        sb[24..32].copy_from_slice(&dir_entries.to_le_bytes());
+        sb[32..40].copy_from_slice(&fs.data_blocks.to_le_bytes());
+        dev.write_block(mem, 0, &sb)?;
+        Ok(fs)
+    }
+
+    /// Mount an existing volume.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadMagic`] if the device is not formatted; memory
+    /// errors.
+    pub fn mount<M: Memory>(mem: &mut M, dev: BlockDevice) -> Result<SimpleFs, FsError> {
+        let bb = dev.block_bytes() as usize;
+        let mut sb = vec![0u8; bb];
+        dev.read_block(mem, 0, &mut sb)?;
+        let word = |i: usize| u64::from_le_bytes(sb[i..i + 8].try_into().expect("8 bytes"));
+        if word(0) != MAGIC {
+            return Err(FsError::BadMagic);
+        }
+        let fat_blocks = word(8);
+        let dir_blocks = word(16);
+        Ok(SimpleFs {
+            dev,
+            fat_base: 1,
+            dir_base: 1 + fat_blocks,
+            dir_entries: word(24),
+            data_base: 1 + fat_blocks + dir_blocks,
+            data_blocks: word(32),
+        })
+    }
+
+    // -- FAT access -----------------------------------------------------
+
+    fn fat_addr(&self, data_block: u64) -> (u64, usize) {
+        let bb = self.dev.block_bytes() as u64;
+        let byte = data_block * 4;
+        (self.fat_base + byte / bb, (byte % bb) as usize)
+    }
+
+    fn fat_get<M: Memory>(&self, mem: &mut M, data_block: u64) -> Result<u32, FsError> {
+        let bb = self.dev.block_bytes() as usize;
+        let (block, off) = self.fat_addr(data_block);
+        let mut raw = vec![0u8; bb];
+        self.dev.read_block(mem, block, &mut raw)?;
+        Ok(u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes")))
+    }
+
+    fn fat_set<M: Memory>(&self, mem: &mut M, data_block: u64, value: u32) -> Result<(), FsError> {
+        let bb = self.dev.block_bytes() as usize;
+        let (block, off) = self.fat_addr(data_block);
+        let mut raw = vec![0u8; bb];
+        self.dev.read_block(mem, block, &mut raw)?;
+        raw[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        self.dev.write_block(mem, block, &raw)?;
+        Ok(())
+    }
+
+    fn alloc_block<M: Memory>(&self, mem: &mut M) -> Result<u64, FsError> {
+        for b in 0..self.data_blocks {
+            if self.fat_get(mem, b)? == FREE {
+                self.fat_set(mem, b, END)?;
+                return Ok(b);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    // -- Directory access ------------------------------------------------
+
+    fn dir_slot_addr(&self, slot: u64) -> (u64, usize) {
+        let bb = self.dev.block_bytes() as u64;
+        let byte = slot * DIR_ENTRY_BYTES;
+        (self.dir_base + byte / bb, (byte % bb) as usize)
+    }
+
+    fn read_entry<M: Memory>(&self, mem: &mut M, slot: u64) -> Result<DirEntry, FsError> {
+        let bb = self.dev.block_bytes() as usize;
+        let (block, off) = self.dir_slot_addr(slot);
+        let mut raw = vec![0u8; bb];
+        self.dev.read_block(mem, block, &mut raw)?;
+        let e = &raw[off..off + DIR_ENTRY_BYTES as usize];
+        let used = e[0] == 1;
+        let name_len = (e[1] as usize).min(NAME_BYTES);
+        let name = String::from_utf8_lossy(&e[2..2 + name_len]).into_owned();
+        let size = u64::from_le_bytes(e[48..56].try_into().expect("8 bytes"));
+        let first = u32::from_le_bytes(e[56..60].try_into().expect("4 bytes"));
+        Ok(DirEntry {
+            used,
+            name,
+            size,
+            first,
+        })
+    }
+
+    fn write_entry<M: Memory>(
+        &self,
+        mem: &mut M,
+        slot: u64,
+        entry: &DirEntry,
+    ) -> Result<(), FsError> {
+        let bb = self.dev.block_bytes() as usize;
+        let (block, off) = self.dir_slot_addr(slot);
+        let mut raw = vec![0u8; bb];
+        self.dev.read_block(mem, block, &mut raw)?;
+        let e = &mut raw[off..off + DIR_ENTRY_BYTES as usize];
+        e.fill(0);
+        e[0] = u8::from(entry.used);
+        let name = entry.name.as_bytes();
+        e[1] = name.len() as u8;
+        e[2..2 + name.len()].copy_from_slice(name);
+        e[48..56].copy_from_slice(&entry.size.to_le_bytes());
+        e[56..60].copy_from_slice(&entry.first.to_le_bytes());
+        self.dev.write_block(mem, block, &raw)?;
+        Ok(())
+    }
+
+    fn find<M: Memory>(&self, mem: &mut M, name: &str) -> Result<Option<u64>, FsError> {
+        for slot in 0..self.dir_entries {
+            let e = self.read_entry(mem, slot)?;
+            if e.used && e.name == name {
+                return Ok(Some(slot));
+            }
+        }
+        Ok(None)
+    }
+
+    // -- Public file API ---------------------------------------------------
+
+    /// Create or replace a file with the given contents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NameTooLong`], [`FsError::TooManyFiles`],
+    /// [`FsError::NoSpace`], or memory errors. On `NoSpace` the file is
+    /// left deleted.
+    pub fn write_file<M: Memory>(
+        &mut self,
+        mem: &mut M,
+        name: &str,
+        data: &[u8],
+    ) -> Result<(), FsError> {
+        if name.len() > NAME_BYTES {
+            return Err(FsError::NameTooLong);
+        }
+        // Replace semantics: drop any existing chain first.
+        if self.find(mem, name)?.is_some() {
+            self.delete(mem, name)?;
+        }
+        let slot = {
+            let mut free = None;
+            for s in 0..self.dir_entries {
+                if !self.read_entry(mem, s)?.used {
+                    free = Some(s);
+                    break;
+                }
+            }
+            free.ok_or(FsError::TooManyFiles)?
+        };
+        let bb = self.dev.block_bytes() as usize;
+        let mut first: u32 = END;
+        let mut prev: Option<u64> = None;
+        let mut written = 0usize;
+        while written < data.len() || (data.is_empty() && first == END) {
+            let block = self.alloc_block(mem)?;
+            if let Some(p) = prev {
+                self.fat_set(mem, p, block as u32)?;
+            } else {
+                first = block as u32;
+            }
+            let mut sector = vec![0u8; bb];
+            let take = bb.min(data.len() - written);
+            sector[..take].copy_from_slice(&data[written..written + take]);
+            self.dev
+                .write_block(mem, self.data_base + block, &sector)?;
+            written += take;
+            prev = Some(block);
+            if data.is_empty() {
+                break;
+            }
+        }
+        self.write_entry(
+            mem,
+            slot,
+            &DirEntry {
+                used: true,
+                name: name.to_string(),
+                size: data.len() as u64,
+                first,
+            },
+        )
+    }
+
+    /// Read a whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or memory errors.
+    pub fn read_file<M: Memory>(&self, mem: &mut M, name: &str) -> Result<Vec<u8>, FsError> {
+        let slot = self.find(mem, name)?.ok_or(FsError::NotFound)?;
+        let entry = self.read_entry(mem, slot)?;
+        let bb = self.dev.block_bytes() as usize;
+        let mut out = Vec::with_capacity(entry.size as usize);
+        let mut block = entry.first;
+        let mut sector = vec![0u8; bb];
+        while block != END && (out.len() as u64) < entry.size {
+            self.dev
+                .read_block(mem, self.data_base + block as u64, &mut sector)?;
+            let take = bb.min(entry.size as usize - out.len());
+            out.extend_from_slice(&sector[..take]);
+            block = self.fat_get(mem, block as u64)?;
+        }
+        Ok(out)
+    }
+
+    /// Delete a file, freeing its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or memory errors.
+    pub fn delete<M: Memory>(&mut self, mem: &mut M, name: &str) -> Result<(), FsError> {
+        let slot = self.find(mem, name)?.ok_or(FsError::NotFound)?;
+        let entry = self.read_entry(mem, slot)?;
+        let mut block = entry.first;
+        while block != END {
+            let next = self.fat_get(mem, block as u64)?;
+            self.fat_set(mem, block as u64, FREE)?;
+            block = next;
+        }
+        self.write_entry(
+            mem,
+            slot,
+            &DirEntry {
+                used: false,
+                name: String::new(),
+                size: 0,
+                first: END,
+            },
+        )
+    }
+
+    /// List files as (name, size) pairs.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn list<M: Memory>(&self, mem: &mut M) -> Result<Vec<(String, u64)>, FsError> {
+        let mut out = Vec::new();
+        for slot in 0..self.dir_entries {
+            let e = self.read_entry(mem, slot)?;
+            if e.used {
+                out.push((e.name, e.size));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of free data blocks.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn free_blocks<M: Memory>(&self, mem: &mut M) -> Result<u64, FsError> {
+        let mut free = 0;
+        for b in 0..self.data_blocks {
+            if self.fat_get(mem, b)? == FREE {
+                free += 1;
+            }
+        }
+        Ok(free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use envy_core::VecMemory;
+
+    fn setup() -> (VecMemory, SimpleFs) {
+        let mut mem = VecMemory::new(1024 * 1024);
+        let dev = BlockDevice::new(0, 512, 2048);
+        let fs = SimpleFs::format(&mut mem, dev).unwrap();
+        (mem, fs)
+    }
+
+    #[test]
+    fn format_and_mount() {
+        let (mut mem, fs) = setup();
+        let mounted = SimpleFs::mount(&mut mem, BlockDevice::new(0, 512, 2048)).unwrap();
+        assert_eq!(mounted, fs);
+    }
+
+    #[test]
+    fn mount_unformatted_fails() {
+        let mut mem = VecMemory::new(64 * 1024);
+        let dev = BlockDevice::new(0, 512, 128);
+        assert_eq!(SimpleFs::mount(&mut mem, dev).unwrap_err(), FsError::BadMagic);
+    }
+
+    #[test]
+    fn write_read_roundtrip_multiblock() {
+        let (mut mem, mut fs) = setup();
+        let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        fs.write_file(&mut mem, "big.bin", &data).unwrap();
+        assert_eq!(fs.read_file(&mut mem, "big.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn empty_file() {
+        let (mut mem, mut fs) = setup();
+        fs.write_file(&mut mem, "empty", b"").unwrap();
+        assert_eq!(fs.read_file(&mut mem, "empty").unwrap(), b"");
+        assert_eq!(fs.list(&mut mem).unwrap(), vec![("empty".to_string(), 0)]);
+    }
+
+    #[test]
+    fn replace_file_reclaims_blocks() {
+        let (mut mem, mut fs) = setup();
+        let before = fs.free_blocks(&mut mem).unwrap();
+        fs.write_file(&mut mem, "f", &vec![1u8; 10_000]).unwrap();
+        fs.write_file(&mut mem, "f", b"short").unwrap();
+        assert_eq!(fs.read_file(&mut mem, "f").unwrap(), b"short");
+        assert_eq!(fs.free_blocks(&mut mem).unwrap(), before - 1);
+    }
+
+    #[test]
+    fn delete_frees_everything() {
+        let (mut mem, mut fs) = setup();
+        let before = fs.free_blocks(&mut mem).unwrap();
+        fs.write_file(&mut mem, "f", &vec![1u8; 10_000]).unwrap();
+        fs.delete(&mut mem, "f").unwrap();
+        assert_eq!(fs.free_blocks(&mut mem).unwrap(), before);
+        assert_eq!(fs.read_file(&mut mem, "f").unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn many_files_listed() {
+        let (mut mem, mut fs) = setup();
+        for i in 0..10 {
+            fs.write_file(&mut mem, &format!("file{i}"), &[i as u8; 100])
+                .unwrap();
+        }
+        let mut names: Vec<String> = fs.list(&mut mem).unwrap().into_iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names.len(), 10);
+        assert_eq!(names[0], "file0");
+    }
+
+    #[test]
+    fn fills_to_no_space() {
+        let mut mem = VecMemory::new(64 * 1024);
+        let dev = BlockDevice::new(0, 512, 64);
+        let mut fs = SimpleFs::format(&mut mem, dev).unwrap();
+        let big = vec![0u8; 512 * 128];
+        assert_eq!(fs.write_file(&mut mem, "big", &big).unwrap_err(), FsError::NoSpace);
+    }
+
+    #[test]
+    fn too_many_files() {
+        let (mut mem, mut fs) = setup();
+        let mut err = None;
+        for i in 0..100 {
+            if let Err(e) = fs.write_file(&mut mem, &format!("f{i}"), b"x") {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(FsError::TooManyFiles));
+    }
+
+    #[test]
+    fn long_name_rejected() {
+        let (mut mem, mut fs) = setup();
+        let name = "x".repeat(47);
+        assert_eq!(
+            fs.write_file(&mut mem, &name, b"data").unwrap_err(),
+            FsError::NameTooLong
+        );
+        // 46 bytes is fine.
+        fs.write_file(&mut mem, &"y".repeat(46), b"data").unwrap();
+    }
+
+    #[test]
+    fn persistence_across_remount() {
+        let (mut mem, mut fs) = setup();
+        fs.write_file(&mut mem, "keep", b"persistent data").unwrap();
+        // Mount a second handle from the on-device metadata alone.
+        let fs2 = SimpleFs::mount(&mut mem, BlockDevice::new(0, 512, 2048)).unwrap();
+        assert_eq!(fs2.read_file(&mut mem, "keep").unwrap(), b"persistent data");
+    }
+
+    #[test]
+    fn too_small_device_rejected() {
+        let mut mem = VecMemory::new(64 * 1024);
+        let dev = BlockDevice::new(0, 512, 4);
+        assert_eq!(
+            SimpleFs::format(&mut mem, dev).unwrap_err(),
+            FsError::DeviceTooSmall
+        );
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # envy-ramdisk — block-device compatibility for the eNVy array
+//!
+//! §1 of the paper: "For backwards compatibility, a simple RAM disk
+//! program can make a memory array usable by a standard file system."
+//!
+//! This crate provides that path: [`BlockDevice`] exposes any
+//! [`envy_core::Memory`] as fixed-size sectors, and [`SimpleFs`] is a
+//! small FAT-style filesystem over it (superblock, allocation table,
+//! fixed directory, chained data blocks) demonstrating that disk-shaped
+//! software runs unmodified on the word-addressable array.
+//!
+//! # Example
+//!
+//! ```
+//! use envy_core::VecMemory;
+//! use envy_ramdisk::{BlockDevice, SimpleFs};
+//!
+//! # fn main() -> Result<(), envy_ramdisk::FsError> {
+//! let mut mem = VecMemory::new(256 * 1024);
+//! let dev = BlockDevice::new(0, 512, 512);
+//! let mut fs = SimpleFs::format(&mut mem, dev)?;
+//! fs.write_file(&mut mem, "hello.txt", b"hi there")?;
+//! assert_eq!(fs.read_file(&mut mem, "hello.txt")?, b"hi there");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod device;
+pub mod fs;
+
+pub use device::BlockDevice;
+pub use fs::{FsError, SimpleFs};

@@ -1,0 +1,330 @@
+//! Random distributions used by the paper's workloads.
+//!
+//! The evaluation section uses three distributions:
+//!
+//! * **Uniform** account selection for TPC-A (§5.2).
+//! * **Exponential** transaction inter-arrival times (§5.2).
+//! * **Bimodal** "x/y" locality-of-reference distributions for the cleaning
+//!   studies (Figures 8–10): "10/90 means that 90 % of all accesses go to
+//!   10 % of the data, while 10 % goes to the remaining 90 % of data".
+//!
+//! A [`Zipf`] distribution is also provided for extension experiments.
+
+use crate::rng::Rng;
+use crate::time::Ns;
+
+/// Uniform distribution over an integer range `[lo, hi)`.
+///
+/// # Example
+///
+/// ```
+/// use envy_sim::{rng::Rng, dist::UniformRange};
+/// let mut rng = Rng::seed_from(1);
+/// let d = UniformRange::new(10, 20);
+/// let v = d.sample(&mut rng);
+/// assert!((10..20).contains(&v));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformRange {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformRange {
+    /// Create a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: u64, hi: u64) -> UniformRange {
+        assert!(lo < hi, "UniformRange requires lo < hi");
+        UniformRange { lo, hi }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        rng.range(self.lo, self.hi)
+    }
+}
+
+/// Exponential distribution over simulated durations.
+///
+/// Used for transaction inter-arrival times: "transaction arrival times are
+/// exponentially distributed with a mean corresponding to the transaction
+/// rate being simulated" (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean_ns: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn with_mean(mean: Ns) -> Exponential {
+        assert!(mean > Ns::ZERO, "Exponential requires a positive mean");
+        Exponential {
+            mean_ns: mean.as_nanos() as f64,
+        }
+    }
+
+    /// Create from an event rate in events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_sec` is not a positive, finite number.
+    pub fn with_rate_per_sec(per_sec: f64) -> Exponential {
+        assert!(
+            per_sec.is_finite() && per_sec > 0.0,
+            "rate must be positive and finite"
+        );
+        Exponential {
+            mean_ns: 1e9 / per_sec,
+        }
+    }
+
+    /// Draw one inter-arrival gap (always at least 1 ns so simulated time
+    /// strictly advances).
+    pub fn sample(&self, rng: &mut Rng) -> Ns {
+        // Inverse CDF; 1-u avoids ln(0).
+        let u = 1.0 - rng.f64();
+        let v = -self.mean_ns * u.ln();
+        Ns::from_nanos((v as u64).max(1))
+    }
+}
+
+/// The paper's bimodal "hot/cold" access distribution over `n` items.
+///
+/// `Bimodal::from_spec(n, 10, 90)` reproduces the paper's "10/90" label:
+/// 90 % of accesses target the first 10 % of items (the *hot* region) and
+/// the remaining 10 % of accesses target the other 90 % (the *cold*
+/// region). `50/50` degenerates to a uniform distribution.
+///
+/// # Example
+///
+/// ```
+/// use envy_sim::{rng::Rng, dist::Bimodal};
+/// let mut rng = Rng::seed_from(1);
+/// let d = Bimodal::from_spec(1000, 10, 90);
+/// let hits = (0..10_000).filter(|_| d.sample(&mut rng) < 100).count();
+/// assert!(hits > 8_500); // ~90% of accesses in the first 10% of items
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bimodal {
+    n: u64,
+    hot_items: u64,
+    hot_prob: f64,
+}
+
+impl Bimodal {
+    /// Create from the paper's `data%/access%` notation.
+    ///
+    /// `data_pct` is the share of items that are hot; `access_pct` is the
+    /// share of accesses that go to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or either percentage is outside `1..=99`…
+    /// except that `data_pct + access_pct` must equal 100 in the paper's
+    /// notation, which is *not* enforced: other mixes are legal and useful
+    /// for ablations.
+    pub fn from_spec(n: u64, data_pct: u32, access_pct: u32) -> Bimodal {
+        assert!(n > 0, "Bimodal requires at least one item");
+        assert!(
+            (1..=99).contains(&data_pct) && (1..=99).contains(&access_pct),
+            "percentages must be in 1..=99"
+        );
+        let hot_items = ((n as u128 * data_pct as u128) / 100).max(1) as u64;
+        Bimodal {
+            n,
+            hot_items: hot_items.min(n),
+            hot_prob: access_pct as f64 / 100.0,
+        }
+    }
+
+    /// A uniform distribution expressed as the trivial bimodal (50/50).
+    pub fn uniform(n: u64) -> Bimodal {
+        Bimodal::from_spec(n, 50, 50)
+    }
+
+    /// The number of items in the hot region.
+    pub fn hot_items(&self) -> u64 {
+        self.hot_items
+    }
+
+    /// Total number of items.
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one item index in `[0, n)`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if rng.chance(self.hot_prob) {
+            rng.below(self.hot_items)
+        } else if self.hot_items == self.n {
+            rng.below(self.n)
+        } else {
+            rng.range(self.hot_items, self.n)
+        }
+    }
+}
+
+/// Zipf distribution over `[0, n)` with exponent `s` (extension workloads).
+///
+/// Sampled by inversion over the precomputed CDF; construction is `O(n)`
+/// and sampling is `O(log n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf requires at least one item");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one item index; index 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) | Err(i) => (i as u64).min(self.cdf.len() as u64 - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_range_covers_interval() {
+        let mut rng = Rng::seed_from(1);
+        let d = UniformRange::new(5, 8);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((5..8).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_range_rejects_empty() {
+        UniformRange::new(8, 8);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = Rng::seed_from(2);
+        let mean = Ns::from_micros(100);
+        let d = Exponential::with_mean(mean);
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng).as_nanos()).sum();
+        let observed = total as f64 / n as f64;
+        let expected = mean.as_nanos() as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.02,
+            "observed mean {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn exponential_rate_construction() {
+        let d = Exponential::with_rate_per_sec(10_000.0);
+        // 10k/sec -> 100us mean
+        assert!((d.mean_ns - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_strictly_positive() {
+        let mut rng = Rng::seed_from(3);
+        let d = Exponential::with_mean(Ns::from_nanos(2));
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= Ns::from_nanos(1));
+        }
+    }
+
+    #[test]
+    fn bimodal_10_90_concentrates_accesses() {
+        let mut rng = Rng::seed_from(4);
+        let d = Bimodal::from_spec(10_000, 10, 90);
+        assert_eq!(d.hot_items(), 1_000);
+        let n = 100_000;
+        let hot_hits = (0..n).filter(|_| d.sample(&mut rng) < 1_000).count();
+        let frac = hot_hits as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn bimodal_50_50_is_uniform() {
+        let mut rng = Rng::seed_from(5);
+        let d = Bimodal::uniform(1_000);
+        let n = 100_000;
+        let lower_half = (0..n).filter(|_| d.sample(&mut rng) < 500).count();
+        let frac = lower_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "lower-half fraction {frac}");
+    }
+
+    #[test]
+    fn bimodal_samples_in_range() {
+        let mut rng = Rng::seed_from(6);
+        let d = Bimodal::from_spec(37, 5, 95);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) < 37);
+        }
+    }
+
+    #[test]
+    fn bimodal_cold_region_reachable() {
+        let mut rng = Rng::seed_from(7);
+        let d = Bimodal::from_spec(100, 10, 90);
+        assert!((0..10_000).any(|_| d.sample(&mut rng) >= 10));
+    }
+
+    #[test]
+    fn zipf_head_is_hottest() {
+        let mut rng = Rng::seed_from(8);
+        let d = Zipf::new(100, 1.0);
+        let n = 100_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut rng = Rng::seed_from(9);
+        let d = Zipf::new(10, 0.0);
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| d.sample(&mut rng) == 0).count();
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "item-0 fraction {frac}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every experiment in the workspace must be reproducible bit-for-bit, so
+//! rather than depending on an external RNG whose stream may change between
+//! library versions, the kernel carries its own implementation of
+//! xoshiro256** (Blackman & Vigna), seeded through SplitMix64 exactly as the
+//! reference implementation recommends.
+
+/// A deterministic xoshiro256** PRNG.
+///
+/// # Example
+///
+/// ```
+/// use envy_sim::rng::Rng;
+///
+/// let mut a = Rng::seed_from(7);
+/// let mut b = Rng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a single seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    ///
+    /// Any seed (including 0) produces a valid, full-period generator: the
+    /// state is expanded through SplitMix64, which never yields the all-zero
+    /// state.
+    pub fn seed_from(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a non-zero bound");
+        // Lemire's unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range() requires lo < hi");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// `p <= 0.0` never fires and `p >= 1.0` always fires.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fork a statistically independent child generator.
+    ///
+    /// Useful for giving each workload component its own stream while
+    /// keeping a single root seed.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::seed_from(12345);
+        let mut b = Rng::seed_from(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "independent streams should almost never collide");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::seed_from(0);
+        // The all-zero state is a fixed point of xoshiro; SplitMix64
+        // expansion must avoid it.
+        let outputs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(outputs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::seed_from(7);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+        for _ in 0..100 {
+            assert_eq!(r.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::seed_from(99);
+        let mut buckets = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[r.below(10) as usize] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        for &b in &buckets {
+            let dev = (b as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn below_zero_panics() {
+        Rng::seed_from(1).below(0);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = Rng::seed_from(3);
+        for _ in 0..10_000 {
+            let v = r.range(100, 110);
+            assert!((100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from(11);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seed_from(5);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = Rng::seed_from(21);
+        let hits = (0..100_000).filter(|_| r.chance(0.9)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.9).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = Rng::seed_from(8);
+        let mut child = parent.fork();
+        let a = parent.next_u64();
+        let b = child.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order");
+    }
+}

@@ -1,0 +1,431 @@
+//! Statistics gathering: counters, running moments, histograms, and
+//! time-weighted averages.
+//!
+//! These are the building blocks for the paper's reported metrics: average
+//! read/write latency (Figure 15), achieved throughput (Figures 13–14),
+//! cleaning cost (Figures 6, 8–10), and the controller time breakdown
+//! (§5.3).
+
+use crate::time::Ns;
+use std::fmt;
+
+/// A plain event counter.
+///
+/// # Example
+///
+/// ```
+/// use envy_sim::stats::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Reset to zero, returning the prior value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean and variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanVar {
+    /// Create an empty accumulator.
+    pub fn new() -> MeanVar {
+        MeanVar {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if no observations).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Latency histogram with logarithmic buckets.
+///
+/// Bucket `i` covers durations whose nanosecond count has `i` significant
+/// bits, i.e. `[2^(i-1), 2^i)`; this spans 1 ns to ~584 years in 64
+/// buckets, plenty for read latencies (180 ns) through segment erases
+/// (50 ms) and beyond.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Ns) {
+        let n = d.as_nanos();
+        let bucket = (64 - n.leading_zeros()) as usize; // 0 for n == 0
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.sum_ns += n;
+        self.min_ns = self.min_ns.min(n);
+        self.max_ns = self.max_ns.max(n);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration ([`Ns::ZERO`] if empty).
+    pub fn mean(&self) -> Ns {
+        match self.sum_ns.checked_div(self.count) {
+            Some(mean) => Ns::from_nanos(mean),
+            None => Ns::ZERO,
+        }
+    }
+
+    /// Smallest recorded duration (`None` if empty).
+    pub fn min(&self) -> Option<Ns> {
+        (self.count > 0).then(|| Ns::from_nanos(self.min_ns))
+    }
+
+    /// Largest recorded duration (`None` if empty).
+    pub fn max(&self) -> Option<Ns> {
+        (self.count > 0).then(|| Ns::from_nanos(self.max_ns))
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), resolved to bucket upper
+    /// bounds; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<Ns> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                return Some(Ns::from_nanos(upper.min(self.max_ns).max(self.min_ns)));
+            }
+        }
+        Some(Ns::from_nanos(self.max_ns))
+    }
+
+    /// Total of all recorded durations.
+    pub fn sum(&self) -> Ns {
+        Ns::from_nanos(self.sum_ns)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity (e.g. write
+/// buffer occupancy, device utilization).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeWeighted {
+    last_time: Ns,
+    last_value: f64,
+    integral: f64,
+    started: bool,
+}
+
+impl TimeWeighted {
+    /// Create an empty accumulator.
+    pub fn new() -> TimeWeighted {
+        TimeWeighted::default()
+    }
+
+    /// Record that the quantity changed to `value` at time `now`.
+    ///
+    /// The previous value is integrated over `[last_time, now)`. Calls must
+    /// have non-decreasing `now`; an earlier `now` is ignored.
+    pub fn set(&mut self, now: Ns, value: f64) {
+        if self.started && now > self.last_time {
+            self.integral +=
+                self.last_value * (now.as_nanos() - self.last_time.as_nanos()) as f64;
+        }
+        if !self.started || now >= self.last_time {
+            self.last_time = now;
+            self.last_value = value;
+            self.started = true;
+        }
+    }
+
+    /// Time-weighted mean over `[first set, now)`.
+    pub fn mean_until(&self, now: Ns) -> f64 {
+        if !self.started || now <= Ns::ZERO {
+            return 0.0;
+        }
+        let mut integral = self.integral;
+        if now > self.last_time {
+            integral += self.last_value * (now.as_nanos() - self.last_time.as_nanos()) as f64;
+        }
+        let span = now.as_nanos() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            integral / span
+        }
+    }
+}
+
+/// Exponentially-weighted moving average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create with smoothing factor `alpha` in `(0, 1]`; larger alpha
+    /// weights recent samples more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current smoothed value (`None` before the first sample).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn meanvar_known_values() {
+        let mut m = MeanVar::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+    }
+
+    #[test]
+    fn meanvar_empty() {
+        let m = MeanVar::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+    }
+
+    #[test]
+    fn histogram_mean_and_extremes() {
+        let mut h = Histogram::new();
+        h.record(Ns::from_nanos(100));
+        h.record(Ns::from_nanos(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Ns::from_nanos(200));
+        assert_eq!(h.min(), Some(Ns::from_nanos(100)));
+        assert_eq!(h.max(), Some(Ns::from_nanos(300)));
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Ns::from_nanos(i * 10));
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!(q99 <= h.max().unwrap());
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Ns::from_nanos(10));
+        b.record(Ns::from_nanos(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(Ns::from_nanos(10)));
+        assert_eq!(a.max(), Some(Ns::from_nanos(1000)));
+    }
+
+    #[test]
+    fn histogram_zero_duration() {
+        let mut h = Histogram::new();
+        h.record(Ns::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Ns::ZERO);
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Ns::from_nanos(0), 0.0);
+        tw.set(Ns::from_nanos(50), 1.0);
+        // 0 for 50ns, 1 for 50ns -> mean 0.5 at t=100.
+        let mean = tw.mean_until(Ns::from_nanos(100));
+        assert!((mean - 0.5).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn time_weighted_constant() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Ns::ZERO, 3.0);
+        assert!((tw.mean_until(Ns::from_secs(1)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.record(0.0);
+        for _ in 0..64 {
+            e.record(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+}

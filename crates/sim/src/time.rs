@@ -1,0 +1,236 @@
+//! Simulated time.
+//!
+//! All timing in the workspace is expressed in integer nanoseconds via
+//! [`Ns`]. The paper's quantities span eight orders of magnitude — 100 ns
+//! chip reads up to 50 ms segment erases — which a `u64` covers for
+//! simulations of several centuries of simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant in simulated nanoseconds.
+///
+/// `Ns` is used both as a point on the simulated clock and as a span
+/// between two points; the arithmetic is the same and the simulator does
+/// not benefit from distinguishing the two at the type level.
+///
+/// # Example
+///
+/// ```
+/// use envy_sim::time::Ns;
+///
+/// let program = Ns::from_micros(4);
+/// let erase = Ns::from_millis(50);
+/// assert!(erase > program);
+/// assert_eq!(program * 3, Ns::from_micros(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero nanoseconds.
+    pub const ZERO: Ns = Ns(0);
+    /// One microsecond.
+    pub const MICRO: Ns = Ns(1_000);
+    /// One millisecond.
+    pub const MILLI: Ns = Ns(1_000_000);
+    /// One second.
+    pub const SEC: Ns = Ns(1_000_000_000);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(n: u64) -> Ns {
+        Ns(n)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This duration expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: returns [`Ns::ZERO`] instead of wrapping.
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Ns) -> Option<Ns> {
+        self.0.checked_sub(rhs.0).map(Ns)
+    }
+
+    /// The larger of `self` and `rhs`.
+    pub fn max(self, rhs: Ns) -> Ns {
+        Ns(self.0.max(rhs.0))
+    }
+
+    /// The smaller of `self` and `rhs`.
+    pub fn min(self, rhs: Ns) -> Ns {
+        Ns(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Ns {
+    /// Human-readable display with an automatically chosen unit.
+    ///
+    /// ```
+    /// use envy_sim::time::Ns;
+    /// assert_eq!(Ns::from_nanos(180).to_string(), "180ns");
+    /// assert_eq!(Ns::from_micros(4).to_string(), "4.000us");
+    /// assert_eq!(Ns::from_millis(50).to_string(), "50.000ms");
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n < 1_000 {
+            write!(f, "{n}ns")
+        } else if n < 1_000_000 {
+            write!(f, "{:.3}us", n as f64 / 1e3)
+        } else if n < 1_000_000_000 {
+            write!(f, "{:.3}ms", n as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", n as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Ns::from_micros(1), Ns::MICRO);
+        assert_eq!(Ns::from_millis(1), Ns::MILLI);
+        assert_eq!(Ns::from_secs(1), Ns::SEC);
+        assert_eq!(Ns::from_nanos(7).as_nanos(), 7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ns::from_nanos(100);
+        let b = Ns::from_nanos(60);
+        assert_eq!(a + b, Ns::from_nanos(160));
+        assert_eq!(a - b, Ns::from_nanos(40));
+        assert_eq!(a * 2, Ns::from_nanos(200));
+        assert_eq!(a / 4, Ns::from_nanos(25));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Ns::from_nanos(160));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_and_checked_sub() {
+        let a = Ns::from_nanos(5);
+        let b = Ns::from_nanos(9);
+        assert_eq!(a.saturating_sub(b), Ns::ZERO);
+        assert_eq!(b.saturating_sub(a), Ns::from_nanos(4));
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Ns::from_nanos(4)));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Ns::from_nanos(5);
+        let b = Ns::from_nanos(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Ns = (1..=4).map(Ns::from_nanos).sum();
+        assert_eq!(total, Ns::from_nanos(10));
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(Ns::from_micros(2).as_micros_f64(), 2.0);
+        assert_eq!(Ns::from_secs(3).as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Ns::from_nanos(999).to_string(), "999ns");
+        assert_eq!(Ns::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(Ns::from_millis(50).to_string(), "50.000ms");
+        assert_eq!(Ns::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ns::from_millis(50) > Ns::from_micros(4));
+        assert!(Ns::ZERO < Ns::from_nanos(1));
+    }
+}

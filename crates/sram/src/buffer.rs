@@ -1,0 +1,350 @@
+//! The FIFO write buffer (§3.2).
+//!
+//! "The SRAM is managed as a FIFO write buffer. New pages are inserted at
+//! the head and pages are flushed from the tail. … The ability to retain
+//! pages in SRAM for some time helps to reduce traffic to the Flash array
+//! since multiple writes to the same page do not require additional
+//! copy-on-write operations."
+//!
+//! Each buffered page records its *origin* — the Flash segment (or
+//! partition) it was copied from — because the locality-gathering cleaner
+//! flushes pages back to where they came from (§4.3: "When a page is
+//! placed into the SRAM buffer, we record which segment it comes from.
+//! When it is flushed, it is written back to the same segment.").
+
+use std::collections::HashMap;
+
+/// A page held in the SRAM write buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferedPage {
+    /// Logical page number.
+    pub logical: u64,
+    /// Origin segment (or partition, under the hybrid policy) recorded at
+    /// copy-on-write time; `None` for pages that never lived in Flash.
+    pub origin: Option<u32>,
+    /// Page contents when payload storage is enabled.
+    pub data: Option<Box<[u8]>>,
+}
+
+/// FIFO write buffer of page frames.
+///
+/// Frames are stored in a slab so that a buffered page's contents can be
+/// updated in place (that is the buffer's purpose) while FIFO order is
+/// tracked separately.
+///
+/// # Example
+///
+/// ```
+/// use envy_sram::WriteBuffer;
+///
+/// let mut buf = WriteBuffer::new(2, 16, false);
+/// buf.insert(7, Some(3), None).unwrap();
+/// buf.insert(9, None, None).unwrap();
+/// assert!(buf.is_full());
+/// let oldest = buf.pop_tail().unwrap();
+/// assert_eq!(oldest.logical, 7); // FIFO: first in, first out
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: usize,
+    page_bytes: usize,
+    store_data: bool,
+    slots: Vec<Option<BufferedPage>>,
+    free: Vec<usize>,
+    fifo: std::collections::VecDeque<usize>,
+    index: HashMap<u64, usize>,
+}
+
+impl WriteBuffer {
+    /// Create a buffer of `capacity` page frames of `page_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `page_bytes` is zero.
+    pub fn new(capacity: usize, page_bytes: usize, store_data: bool) -> WriteBuffer {
+        assert!(capacity > 0, "buffer capacity must be non-zero");
+        assert!(page_bytes > 0, "page size must be non-zero");
+        WriteBuffer {
+            capacity,
+            page_bytes,
+            store_data,
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().collect(),
+            fifo: std::collections::VecDeque::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of buffered pages.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the buffer holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether every frame is occupied.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Whether a logical page is buffered.
+    pub fn contains(&self, logical: u64) -> bool {
+        self.index.contains_key(&logical)
+    }
+
+    /// Insert a page at the FIFO head.
+    ///
+    /// `initial` seeds the frame contents (the Flash copy made by
+    /// copy-on-write); ignored when payload storage is disabled.
+    ///
+    /// Returns `Err(())` if the buffer is full — the caller must flush
+    /// first — or if the page is already buffered (re-writes go through
+    /// [`WriteBuffer::write`], not a second insert).
+    ///
+    /// # Errors
+    ///
+    /// See above; the error carries no payload.
+    #[allow(clippy::result_unit_err)]
+    pub fn insert(
+        &mut self,
+        logical: u64,
+        origin: Option<u32>,
+        initial: Option<&[u8]>,
+    ) -> Result<(), ()> {
+        if self.is_full() || self.contains(logical) {
+            return Err(());
+        }
+        let slot = self.free.pop().expect("free list tracks occupancy");
+        let data = if self.store_data {
+            let mut page = vec![0xFF; self.page_bytes].into_boxed_slice();
+            if let Some(initial) = initial {
+                page.copy_from_slice(initial);
+            }
+            Some(page)
+        } else {
+            None
+        };
+        self.slots[slot] = Some(BufferedPage {
+            logical,
+            origin,
+            data,
+        });
+        self.fifo.push_back(slot);
+        self.index.insert(logical, slot);
+        Ok(())
+    }
+
+    /// Write bytes into a buffered page.
+    ///
+    /// Returns `false` if the page is not buffered. With payload storage
+    /// disabled this only confirms residency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + bytes.len()` exceeds the page size.
+    pub fn write(&mut self, logical: u64, offset: usize, bytes: &[u8]) -> bool {
+        assert!(
+            offset + bytes.len() <= self.page_bytes,
+            "write exceeds page bounds"
+        );
+        let Some(&slot) = self.index.get(&logical) else {
+            return false;
+        };
+        if let Some(page) = self.slots[slot].as_mut().and_then(|p| p.data.as_mut()) {
+            page[offset..offset + bytes.len()].copy_from_slice(bytes);
+        }
+        true
+    }
+
+    /// Read bytes from a buffered page.
+    ///
+    /// Returns `false` if the page is not buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + buf.len()` exceeds the page size.
+    pub fn read(&self, logical: u64, offset: usize, buf: &mut [u8]) -> bool {
+        assert!(
+            offset + buf.len() <= self.page_bytes,
+            "read exceeds page bounds"
+        );
+        let Some(&slot) = self.index.get(&logical) else {
+            return false;
+        };
+        if let Some(page) = self.slots[slot].as_ref().and_then(|p| p.data.as_ref()) {
+            buf.copy_from_slice(&page[offset..offset + buf.len()]);
+        }
+        true
+    }
+
+    /// Borrow a buffered page.
+    pub fn get(&self, logical: u64) -> Option<&BufferedPage> {
+        self.index
+            .get(&logical)
+            .and_then(|&slot| self.slots[slot].as_ref())
+    }
+
+    /// The oldest page (next flush candidate) without removing it.
+    pub fn peek_tail(&self) -> Option<&BufferedPage> {
+        self.fifo
+            .front()
+            .and_then(|&slot| self.slots[slot].as_ref())
+    }
+
+    /// Remove and return the oldest page.
+    pub fn pop_tail(&mut self) -> Option<BufferedPage> {
+        let slot = self.fifo.pop_front()?;
+        let page = self.slots[slot].take().expect("fifo tracks live slots");
+        self.index.remove(&page.logical);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    /// Remove a specific page (used when a cleaned/rolled-back page must
+    /// leave the buffer out of FIFO order).
+    pub fn remove(&mut self, logical: u64) -> Option<BufferedPage> {
+        let slot = self.index.remove(&logical)?;
+        let page = self.slots[slot].take().expect("index tracks live slots");
+        self.fifo.retain(|&s| s != slot);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    /// Iterate over buffered pages in FIFO order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &BufferedPage> {
+        self.fifo
+            .iter()
+            .filter_map(move |&slot| self.slots[slot].as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_insertion_order() {
+        let mut b = WriteBuffer::new(4, 8, false);
+        for lp in [10, 20, 30] {
+            b.insert(lp, None, None).unwrap();
+        }
+        assert_eq!(b.pop_tail().unwrap().logical, 10);
+        assert_eq!(b.pop_tail().unwrap().logical, 20);
+        assert_eq!(b.pop_tail().unwrap().logical, 30);
+        assert_eq!(b.pop_tail(), None);
+    }
+
+    #[test]
+    fn rewrite_does_not_change_fifo_position() {
+        let mut b = WriteBuffer::new(4, 8, true);
+        b.insert(1, None, None).unwrap();
+        b.insert(2, None, None).unwrap();
+        assert!(b.write(1, 0, &[42])); // rewrite of oldest page
+        assert_eq!(b.peek_tail().unwrap().logical, 1);
+    }
+
+    #[test]
+    fn insert_full_fails() {
+        let mut b = WriteBuffer::new(2, 8, false);
+        b.insert(1, None, None).unwrap();
+        b.insert(2, None, None).unwrap();
+        assert!(b.is_full());
+        assert!(b.insert(3, None, None).is_err());
+    }
+
+    #[test]
+    fn duplicate_insert_fails() {
+        let mut b = WriteBuffer::new(4, 8, false);
+        b.insert(1, None, None).unwrap();
+        assert!(b.insert(1, None, None).is_err());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn data_roundtrip_with_seed() {
+        let mut b = WriteBuffer::new(2, 4, true);
+        b.insert(5, Some(9), Some(&[1, 2, 3, 4])).unwrap();
+        b.write(5, 1, &[9, 9]);
+        let mut out = [0; 4];
+        assert!(b.read(5, 0, &mut out));
+        assert_eq!(out, [1, 9, 9, 4]);
+        let page = b.get(5).unwrap();
+        assert_eq!(page.origin, Some(9));
+        assert_eq!(page.data.as_deref(), Some(&[1u8, 9, 9, 4][..]));
+    }
+
+    #[test]
+    fn read_write_missing_page() {
+        let mut b = WriteBuffer::new(2, 4, true);
+        assert!(!b.write(7, 0, &[0]));
+        let mut out = [0; 1];
+        assert!(!b.read(7, 0, &mut out));
+    }
+
+    #[test]
+    fn remove_out_of_order_keeps_fifo_consistent() {
+        let mut b = WriteBuffer::new(4, 8, false);
+        for lp in [1, 2, 3] {
+            b.insert(lp, None, None).unwrap();
+        }
+        let removed = b.remove(2).unwrap();
+        assert_eq!(removed.logical, 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop_tail().unwrap().logical, 1);
+        assert_eq!(b.pop_tail().unwrap().logical, 3);
+        // Slot can be reused.
+        b.insert(9, None, None).unwrap();
+        assert!(b.contains(9));
+    }
+
+    #[test]
+    fn slots_recycle_under_churn() {
+        let mut b = WriteBuffer::new(3, 8, true);
+        for round in 0..100u64 {
+            b.insert(round, None, None).unwrap();
+            if b.is_full() {
+                b.pop_tail();
+            }
+        }
+        assert!(b.len() <= 3);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut b = WriteBuffer::new(4, 8, false);
+        for lp in [5, 6, 7] {
+            b.insert(lp, None, None).unwrap();
+        }
+        let order: Vec<u64> = b.iter().map(|p| p.logical).collect();
+        assert_eq!(order, vec![5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page bounds")]
+    fn write_past_page_end_panics() {
+        let mut b = WriteBuffer::new(1, 4, true);
+        b.insert(1, None, None).unwrap();
+        b.write(1, 3, &[0, 0]);
+    }
+
+    #[test]
+    fn stateless_mode_tracks_residency_only() {
+        let mut b = WriteBuffer::new(2, 8, false);
+        b.insert(1, Some(0), None).unwrap();
+        assert!(b.write(1, 0, &[1, 2]));
+        assert!(b.get(1).unwrap().data.is_none());
+    }
+}

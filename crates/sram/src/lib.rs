@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Battery-backed SRAM substrate for the eNVy reproduction.
+//!
+//! eNVy pairs its Flash array with a relatively small battery-backed SRAM
+//! (§3.2–3.3): a **FIFO write buffer** absorbs copy-on-write traffic and
+//! multiple writes to hot pages, and the **page table** lives in SRAM
+//! because mappings change frequently and must update in place.
+//!
+//! * [`array::SramArray`] — a raw SRAM device with access timing and
+//!   battery-backed/volatile persistence semantics.
+//! * [`buffer::WriteBuffer`] — the FIFO page buffer: pages enter at the
+//!   head, are flushed from the tail, and track their segment of origin
+//!   (needed by the locality-gathering cleaner, §4.3).
+
+pub mod array;
+pub mod buffer;
+
+pub use array::SramArray;
+pub use buffer::{BufferedPage, WriteBuffer};

@@ -1,0 +1,583 @@
+//! The TPC-A storage workload (§5.2).
+//!
+//! "TPC-A models a banking transaction system made up of several banks
+//! \[branches\], bank tellers, and individual accounts such that for every
+//! bank, there are 10 tellers, each of which is responsible for 10,000
+//! accounts. Balance information for each bank, teller, and account is
+//! kept in the form of a 100 byte record. Each transaction involves an
+//! atomic operation consisting of changing the balance of an individual
+//! account and updating the corresponding bank and teller records … For
+//! each transaction, three index trees have to be searched … The
+//! simulator implements each index tree as a B-Tree with 32 entries per
+//! node."
+//!
+//! Two drivers share one address layout:
+//!
+//! * [`FunctionalTpca`] maintains real records and real
+//!   [`envy_btree::BTree`] indexes through the [`Memory`] interface —
+//!   used for correctness tests and examples.
+//! * [`AnalyticTpca`] generates the *identical* word-level address trace
+//!   arithmetically (the trees are static, bulk-loaded structures), so
+//!   full-scale 2 GB timing runs need not store payload bytes. A test
+//!   cross-validates the two traces.
+
+use envy_btree::{BTree, BTreeError, FANOUT, NODE_BYTES};
+use envy_core::{EnvyError, EnvyStore, Memory};
+use envy_sim::dist::Exponential;
+use envy_sim::rng::Rng;
+use envy_sim::time::Ns;
+
+/// Bytes per balance record (§5.2).
+pub const RECORD_BYTES: u64 = 100;
+
+/// Region header used by [`BTree`] bulk loading.
+const TREE_HEADER: u64 = 32;
+
+/// Scale of a TPC-A database, defined by its branch count; tellers and
+/// accounts follow the 1 : 10 : 100 000 ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcaScale {
+    /// Number of branches ("banks").
+    pub branches: u64,
+}
+
+impl TpcaScale {
+    /// The paper's 2 GB database: 155 branches, 1 550 tellers,
+    /// 15.5 million accounts (Figure 12).
+    pub fn paper() -> TpcaScale {
+        TpcaScale { branches: 155 }
+    }
+
+    /// Number of tellers.
+    pub fn tellers(&self) -> u64 {
+        self.branches * 10
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> u64 {
+        self.branches * 100_000
+    }
+
+    /// The largest scale whose layout (records + indexes) fits in
+    /// `bytes`. ("The database can be scaled to fit any storage system
+    /// using the ratios described above.")
+    pub fn fit_bytes(bytes: u64) -> TpcaScale {
+        let mut lo = 1u64;
+        let mut hi = 1u64;
+        while TpcaLayout::new(TpcaScale { branches: hi * 2 }).total_bytes <= bytes {
+            hi *= 2;
+        }
+        hi *= 2;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if TpcaLayout::new(TpcaScale { branches: mid }).total_bytes <= bytes {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        TpcaScale { branches: lo.max(1) }
+    }
+}
+
+/// One level of a bulk-loaded B-Tree, leaves first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeLevel {
+    /// Address of the level's first node.
+    pub base: u64,
+    /// Nodes in the level.
+    pub nodes: u64,
+}
+
+/// The arithmetic shape of a bulk-loaded order-32 B-Tree over dense keys
+/// `0..n` — node addresses are computable from the key alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Region start (the [`BTree`] header lives here).
+    pub region: u64,
+    /// Number of keys indexed.
+    pub keys: u64,
+    /// Levels, leaves first; the last level is the single root.
+    pub levels: Vec<TreeLevel>,
+    /// End of the region (exclusive).
+    pub end: u64,
+}
+
+impl TreeShape {
+    /// Shape of a bulk-loaded tree over `keys` dense keys at `region`.
+    pub fn new(region: u64, keys: u64) -> TreeShape {
+        let keys = keys.max(1);
+        let mut levels = Vec::new();
+        let mut cursor = region + TREE_HEADER;
+        let mut nodes = keys.div_ceil(FANOUT as u64).max(1);
+        loop {
+            levels.push(TreeLevel { base: cursor, nodes });
+            cursor += nodes * NODE_BYTES as u64;
+            if nodes == 1 {
+                break;
+            }
+            nodes = nodes.div_ceil(FANOUT as u64);
+        }
+        TreeShape {
+            region,
+            keys,
+            levels,
+            end: cursor,
+        }
+    }
+
+    /// Tree depth (number of levels).
+    pub fn depth(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Address of node `idx` in `level` (0 = leaves).
+    pub fn node_addr(&self, level: usize, idx: u64) -> u64 {
+        self.levels[level].base + idx * NODE_BYTES as u64
+    }
+
+    /// Visit the address trace of a root-to-leaf search for `key`,
+    /// mirroring [`BTree::get_probed`]: per node a 2-byte header read,
+    /// a binary-search sequence of 8-byte key probes, and one 8-byte
+    /// value read.
+    pub fn for_each_search_access<F: FnMut(u64, usize)>(&self, key: u64, mut access: F) {
+        let top = self.levels.len() - 1;
+        for level in (0..=top).rev() {
+            // Keys per entry at this level; an internal entry's key is the
+            // first key of the subtree below it.
+            let unit = (FANOUT as u64).pow(level as u32);
+            let group = unit * FANOUT as u64;
+            let node_idx = key / group;
+            let node = self.node_addr(level, node_idx);
+            access(node, 2); // header (leaf flag + count)
+            let count = self.node_entries(level, node_idx);
+            let entry_key = |j: u64| (node_idx * FANOUT as u64 + j) * unit;
+            let mut lo = 0u64;
+            let mut hi = count;
+            let mut found = None;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                access(node + 16 + mid * 16, 8); // key probe
+                match entry_key(mid).cmp(&key) {
+                    std::cmp::Ordering::Equal => {
+                        found = Some(mid);
+                        break;
+                    }
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                }
+            }
+            let idx = found.unwrap_or_else(|| lo.saturating_sub(1));
+            access(node + 16 + idx * 16 + 8, 8); // value (child or record)
+        }
+    }
+
+    /// Number of entries in a node (all nodes are full except the last
+    /// of each level).
+    fn node_entries(&self, level: usize, idx: u64) -> u64 {
+        let this = self.levels[level].nodes;
+        let items = if level == 0 {
+            self.keys
+        } else {
+            self.levels[level - 1].nodes
+        };
+        if idx + 1 < this {
+            FANOUT as u64
+        } else {
+            items - (this - 1) * FANOUT as u64
+        }
+    }
+}
+
+/// The address layout of a TPC-A database in the linear array: three
+/// record regions followed by three index trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpcaLayout {
+    /// Database scale.
+    pub scale: TpcaScale,
+    /// Base of branch records.
+    pub branch_rec: u64,
+    /// Base of teller records.
+    pub teller_rec: u64,
+    /// Base of account records.
+    pub account_rec: u64,
+    /// Branch index shape.
+    pub branch_tree: TreeShape,
+    /// Teller index shape.
+    pub teller_tree: TreeShape,
+    /// Account index shape.
+    pub account_tree: TreeShape,
+    /// Total bytes of the layout.
+    pub total_bytes: u64,
+}
+
+impl TpcaLayout {
+    /// Lay out a database of the given scale starting at address 0.
+    pub fn new(scale: TpcaScale) -> TpcaLayout {
+        let branch_rec = 0;
+        let teller_rec = branch_rec + scale.branches * RECORD_BYTES;
+        let account_rec = teller_rec + scale.tellers() * RECORD_BYTES;
+        let trees_base = account_rec + scale.accounts() * RECORD_BYTES;
+        let branch_tree = TreeShape::new(trees_base, scale.branches);
+        let teller_tree = TreeShape::new(branch_tree.end, scale.tellers());
+        let account_tree = TreeShape::new(teller_tree.end, scale.accounts());
+        TpcaLayout {
+            scale,
+            branch_rec,
+            teller_rec,
+            account_rec,
+            total_bytes: account_tree.end,
+            branch_tree,
+            teller_tree,
+            account_tree,
+        }
+    }
+
+    /// Address of a branch record.
+    pub fn branch_addr(&self, id: u64) -> u64 {
+        self.branch_rec + id * RECORD_BYTES
+    }
+
+    /// Address of a teller record.
+    pub fn teller_addr(&self, id: u64) -> u64 {
+        self.teller_rec + id * RECORD_BYTES
+    }
+
+    /// Address of an account record.
+    pub fn account_addr(&self, id: u64) -> u64 {
+        self.account_rec + id * RECORD_BYTES
+    }
+}
+
+/// One TPC-A transaction: debit/credit `delta` against an account and
+/// its teller and branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    /// Account id (uniformly distributed, §5.2).
+    pub account: u64,
+    /// The account's teller.
+    pub teller: u64,
+    /// The teller's branch.
+    pub branch: u64,
+    /// Balance change.
+    pub delta: i64,
+}
+
+impl Transaction {
+    /// Draw a transaction: uniform account; teller and branch follow
+    /// from the 1 : 10 : 100 000 hierarchy.
+    pub fn generate(scale: TpcaScale, rng: &mut Rng) -> Transaction {
+        let account = rng.below(scale.accounts());
+        let teller = account / 10_000;
+        let branch = teller / 10;
+        let delta = (rng.below(2_000) as i64) - 1_000;
+        Transaction {
+            account,
+            teller,
+            branch,
+            delta,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Functional driver
+// ---------------------------------------------------------------------
+
+/// A real TPC-A database over any [`Memory`]: three B-Tree indexes
+/// mapping ids to record addresses, with 100-byte balance records.
+#[derive(Debug, Clone)]
+pub struct FunctionalTpca {
+    layout: TpcaLayout,
+    branch_tree: BTree,
+    teller_tree: BTree,
+    account_tree: BTree,
+}
+
+impl FunctionalTpca {
+    /// Build the database: records zeroed, indexes bulk-loaded.
+    ///
+    /// # Errors
+    ///
+    /// Tree or memory errors (typically: the memory is too small for the
+    /// scale).
+    pub fn setup<M: Memory>(mem: &mut M, scale: TpcaScale) -> Result<FunctionalTpca, BTreeError> {
+        let layout = TpcaLayout::new(scale);
+        let zero = [0u8; RECORD_BYTES as usize];
+        for b in 0..scale.branches {
+            mem.write(layout.branch_addr(b), &zero)?;
+        }
+        for t in 0..scale.tellers() {
+            mem.write(layout.teller_addr(t), &zero)?;
+        }
+        for a in 0..scale.accounts() {
+            mem.write(layout.account_addr(a), &zero)?;
+        }
+        let tree_len = |shape: &TreeShape| shape.end - shape.region;
+        let branch_tree = BTree::bulk_load(
+            mem,
+            layout.branch_tree.region,
+            tree_len(&layout.branch_tree),
+            (0..scale.branches).map(|b| (b, layout.branch_addr(b))),
+        )?;
+        let teller_tree = BTree::bulk_load(
+            mem,
+            layout.teller_tree.region,
+            tree_len(&layout.teller_tree),
+            (0..scale.tellers()).map(|t| (t, layout.teller_addr(t))),
+        )?;
+        let account_tree = BTree::bulk_load(
+            mem,
+            layout.account_tree.region,
+            tree_len(&layout.account_tree),
+            (0..scale.accounts()).map(|a| (a, layout.account_addr(a))),
+        )?;
+        Ok(FunctionalTpca {
+            layout,
+            branch_tree,
+            teller_tree,
+            account_tree,
+        })
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> &TpcaLayout {
+        &self.layout
+    }
+
+    /// Execute one transaction: three index searches, three balance
+    /// read-modify-writes.
+    ///
+    /// # Errors
+    ///
+    /// Tree or memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an indexed id is missing (database corruption).
+    pub fn run_transaction<M: Memory>(
+        &self,
+        mem: &mut M,
+        txn: &Transaction,
+    ) -> Result<(), BTreeError> {
+        let targets = [
+            (&self.account_tree, txn.account),
+            (&self.teller_tree, txn.teller),
+            (&self.branch_tree, txn.branch),
+        ];
+        for (tree, key) in targets {
+            let addr = tree
+                .get_probed(mem, key)?
+                .expect("indexed id must resolve");
+            let mut bal = [0u8; 8];
+            mem.read(addr, &mut bal)?;
+            let new = i64::from_le_bytes(bal) + txn.delta;
+            mem.write(addr, &new.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Read a balance directly (test support). `kind` 0 = branch,
+    /// 1 = teller, 2 = account.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn balance<M: Memory>(&self, mem: &mut M, kind: u8, id: u64) -> Result<i64, BTreeError> {
+        let addr = match kind {
+            0 => self.layout.branch_addr(id),
+            1 => self.layout.teller_addr(id),
+            _ => self.layout.account_addr(id),
+        };
+        let mut bal = [0u8; 8];
+        mem.read(addr, &mut bal)?;
+        Ok(i64::from_le_bytes(bal))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analytic driver
+// ---------------------------------------------------------------------
+
+/// One address in a transaction's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Access length in bytes.
+    pub len: usize,
+    /// Write (`true`) or read.
+    pub write: bool,
+}
+
+/// Generates TPC-A address traces arithmetically from the layout — no
+/// payload storage required, enabling the paper's full 2 GB timing runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyticTpca {
+    layout: TpcaLayout,
+}
+
+impl AnalyticTpca {
+    /// Create a driver for the given scale.
+    pub fn new(scale: TpcaScale) -> AnalyticTpca {
+        AnalyticTpca {
+            layout: TpcaLayout::new(scale),
+        }
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> &TpcaLayout {
+        &self.layout
+    }
+
+    /// Visit every access of a transaction, in issue order.
+    pub fn for_each_access<F: FnMut(TraceAccess)>(&self, txn: &Transaction, mut f: F) {
+        let searches = [
+            (&self.layout.account_tree, txn.account, self.layout.account_addr(txn.account)),
+            (&self.layout.teller_tree, txn.teller, self.layout.teller_addr(txn.teller)),
+            (&self.layout.branch_tree, txn.branch, self.layout.branch_addr(txn.branch)),
+        ];
+        for (tree, key, record) in searches {
+            tree.for_each_search_access(key, |addr, len| {
+                f(TraceAccess {
+                    addr,
+                    len,
+                    write: false,
+                })
+            });
+            // Balance read-modify-write on the record.
+            f(TraceAccess {
+                addr: record,
+                len: 8,
+                write: false,
+            });
+            f(TraceAccess {
+                addr: record,
+                len: 8,
+                write: true,
+            });
+        }
+    }
+
+    /// Execute one transaction against a timed store starting at `now`;
+    /// returns the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Store errors (the layout must fit the logical array).
+    pub fn run_transaction_timed(
+        &self,
+        store: &mut EnvyStore,
+        now: Ns,
+        txn: &Transaction,
+    ) -> Result<Ns, EnvyError> {
+        let mut t = now;
+        let mut scratch = [0u8; 8];
+        let mut result: Result<(), EnvyError> = Ok(());
+        self.for_each_access(txn, |a| {
+            if result.is_err() {
+                return;
+            }
+            let outcome = if a.write {
+                store.write_at(t, a.addr, &scratch[..a.len.min(8)])
+            } else {
+                store.read_at(t, a.addr, &mut scratch[..a.len.min(8)])
+            };
+            match outcome {
+                Ok(done) => t = done.completed,
+                Err(e) => result = Err(e),
+            }
+        });
+        result?;
+        Ok(t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timed runner
+// ---------------------------------------------------------------------
+
+/// Results of a timed TPC-A run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Offered transaction rate (requests per second).
+    pub offered_tps: f64,
+    /// Achieved throughput (completed per simulated second).
+    pub achieved_tps: f64,
+    /// Simulated duration.
+    pub sim_time: Ns,
+    /// Transactions completed.
+    pub completed: u64,
+    /// Mean read latency over the run.
+    pub read_latency: Ns,
+    /// Mean write latency over the run.
+    pub write_latency: Ns,
+    /// Pages flushed per simulated second.
+    pub flushes_per_sec: f64,
+    /// Cleaning cost over the run (§4.1).
+    pub cleaning_cost: f64,
+}
+
+/// Drive a timed store with TPC-A transactions at `rate_tps` with
+/// exponential inter-arrival times (§5.2), measuring from a clean stats
+/// baseline after `warmup` transactions.
+///
+/// # Errors
+///
+/// Store errors.
+pub fn run_timed(
+    store: &mut EnvyStore,
+    driver: &AnalyticTpca,
+    rate_tps: f64,
+    warmup: u64,
+    transactions: u64,
+    seed: u64,
+) -> Result<RunResult, EnvyError> {
+    let scale = driver.layout().scale;
+    let arrivals = Exponential::with_rate_per_sec(rate_tps);
+    let mut rng = Rng::seed_from(seed);
+    let mut arrival = store.now();
+
+    for _ in 0..warmup {
+        arrival += arrivals.sample(&mut rng);
+        let txn = Transaction::generate(scale, &mut rng);
+        driver.run_transaction_timed(store, arrival, &txn)?;
+    }
+    let t0 = store.now();
+    let reads0 = (store.stats().read_latency.count(), store.stats().read_latency.sum());
+    let writes0 = (store.stats().write_latency.count(), store.stats().write_latency.sum());
+    let flushed0 = store.stats().pages_flushed.get();
+    let programs0 = store.stats().clean_programs.get();
+
+    for _ in 0..transactions {
+        arrival += arrivals.sample(&mut rng);
+        let txn = Transaction::generate(scale, &mut rng);
+        driver.run_transaction_timed(store, arrival, &txn)?;
+    }
+    let t1 = store.now();
+    let sim_time = t1 - t0;
+    let secs = sim_time.as_secs_f64();
+    let dr = store.stats().read_latency.count() - reads0.0;
+    let drs = store.stats().read_latency.sum() - reads0.1;
+    let dw = store.stats().write_latency.count() - writes0.0;
+    let dws = store.stats().write_latency.sum() - writes0.1;
+    let flushed = store.stats().pages_flushed.get() - flushed0;
+    let programs = store.stats().clean_programs.get() - programs0;
+    Ok(RunResult {
+        offered_tps: rate_tps,
+        achieved_tps: transactions as f64 / secs,
+        sim_time,
+        completed: transactions,
+        read_latency: if dr == 0 { Ns::ZERO } else { drs / dr },
+        write_latency: if dw == 0 { Ns::ZERO } else { dws / dw },
+        flushes_per_sec: flushed as f64 / secs,
+        cleaning_cost: if flushed == 0 {
+            0.0
+        } else {
+            programs as f64 / flushed as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,248 @@
+//! TPC-A workload tests, including the analytic-vs-functional
+//! cross-validation that justifies the 2 GB analytic timing runs.
+
+use super::*;
+use envy_core::{EnvyConfig, VecMemory};
+
+fn tiny() -> TpcaScale {
+    // 1 branch = 10 tellers = 100k accounts would still be 10 MB+; use a
+    // sub-ratio scale for unit tests by constructing layout directly.
+    TpcaScale { branches: 1 }
+}
+
+#[test]
+fn scale_ratios_match_paper() {
+    let s = TpcaScale::paper();
+    assert_eq!(s.branches, 155);
+    assert_eq!(s.tellers(), 1_550);
+    assert_eq!(s.accounts(), 15_500_000);
+}
+
+#[test]
+fn tree_depths_match_figure_12() {
+    // Figure 12: branch 2 levels, teller 3 levels, account 5 levels.
+    let layout = TpcaLayout::new(TpcaScale::paper());
+    assert_eq!(layout.branch_tree.depth(), 2);
+    assert_eq!(layout.teller_tree.depth(), 3);
+    assert_eq!(layout.account_tree.depth(), 5);
+}
+
+#[test]
+fn paper_layout_fits_80pct_of_2gb() {
+    let layout = TpcaLayout::new(TpcaScale::paper());
+    let gb = 1024u64 * 1024 * 1024;
+    assert!(layout.total_bytes < 2 * gb, "total {}", layout.total_bytes);
+    // Records alone are ~1.55 GB (§5.2).
+    let records = TpcaScale::paper().accounts() * RECORD_BYTES;
+    assert!(records > gb * 14 / 10);
+}
+
+#[test]
+fn fit_bytes_is_maximal() {
+    let budget = 200 * 1024 * 1024;
+    let scale = TpcaScale::fit_bytes(budget);
+    assert!(TpcaLayout::new(scale).total_bytes <= budget);
+    let bigger = TpcaScale { branches: scale.branches + 1 };
+    assert!(TpcaLayout::new(bigger).total_bytes > budget);
+}
+
+#[test]
+fn layout_regions_do_not_overlap() {
+    let l = TpcaLayout::new(tiny());
+    assert!(l.branch_rec < l.teller_rec);
+    assert!(l.teller_rec < l.account_rec);
+    assert!(l.account_addr(l.scale.accounts() - 1) + RECORD_BYTES <= l.branch_tree.region);
+    assert!(l.branch_tree.end <= l.teller_tree.region);
+    assert!(l.teller_tree.end <= l.account_tree.region);
+    assert_eq!(l.total_bytes, l.account_tree.end);
+}
+
+#[test]
+fn transactions_respect_hierarchy() {
+    let mut rng = Rng::seed_from(1);
+    let scale = TpcaScale::paper();
+    for _ in 0..1_000 {
+        let t = Transaction::generate(scale, &mut rng);
+        assert!(t.account < scale.accounts());
+        assert_eq!(t.teller, t.account / 10_000);
+        assert_eq!(t.branch, t.teller / 10);
+    }
+}
+
+#[test]
+fn functional_tpca_updates_balances() {
+    let mut mem = VecMemory::new(64 * 1024 * 1024);
+    let scale = tiny();
+    let db = FunctionalTpca::setup(&mut mem, scale).unwrap();
+    let txn = Transaction {
+        account: 12_345,
+        teller: 1,
+        branch: 0,
+        delta: 500,
+    };
+    db.run_transaction(&mut mem, &txn).unwrap();
+    db.run_transaction(&mut mem, &txn).unwrap();
+    assert_eq!(db.balance(&mut mem, 2, 12_345).unwrap(), 1_000);
+    assert_eq!(db.balance(&mut mem, 1, 1).unwrap(), 1_000);
+    assert_eq!(db.balance(&mut mem, 0, 0).unwrap(), 1_000);
+    // Untouched records stay zero.
+    assert_eq!(db.balance(&mut mem, 2, 99_999).unwrap(), 0);
+}
+
+#[test]
+fn functional_tpca_conserves_money() {
+    let mut mem = VecMemory::new(64 * 1024 * 1024);
+    let scale = tiny();
+    let db = FunctionalTpca::setup(&mut mem, scale).unwrap();
+    let mut rng = Rng::seed_from(9);
+    let mut total = 0i64;
+    for _ in 0..500 {
+        let txn = Transaction::generate(scale, &mut rng);
+        total += txn.delta;
+        db.run_transaction(&mut mem, &txn).unwrap();
+    }
+    // Branch balances aggregate every delta.
+    let mut branches = 0i64;
+    for b in 0..scale.branches {
+        branches += db.balance(&mut mem, 0, b).unwrap();
+    }
+    assert_eq!(branches, total);
+}
+
+#[test]
+fn functional_tpca_on_envy_store() {
+    // The same database through the eNVy controller, exercising COW,
+    // flushing and cleaning under a real data structure.
+    let scale = tiny();
+    let need = TpcaLayout::new(scale).total_bytes;
+    // Pick a geometry comfortably holding the layout at ~70% utilization.
+    let page = 256u64;
+    let pages_needed = (need * 10 / 7) / page;
+    let pps = 2048u32;
+    let segments = (pages_needed / pps as u64 + 2).next_multiple_of(4) as u32;
+    let config = EnvyConfig::scaled(4, segments, pps, page as u32).with_utilization(0.75);
+    let mut store = EnvyStore::new(config).unwrap();
+    assert!(store.size() >= need);
+    let db = FunctionalTpca::setup(&mut store, scale).unwrap();
+    let mut rng = Rng::seed_from(13);
+    let mut total = 0i64;
+    for _ in 0..300 {
+        let txn = Transaction::generate(scale, &mut rng);
+        total += txn.delta;
+        db.run_transaction(&mut store, &txn).unwrap();
+    }
+    let mut branches = 0i64;
+    for b in 0..scale.branches {
+        branches += db.balance(&mut store, 0, b).unwrap();
+    }
+    assert_eq!(branches, total);
+    store.check_invariants().unwrap();
+}
+
+#[test]
+fn analytic_trace_matches_functional_addresses() {
+    // Record the addresses the *functional* driver touches and check the
+    // analytic trace visits the same ones (the searches' probe sets and
+    // the record read-modify-writes).
+    use envy_core::{EnvyError, Memory};
+
+    struct Tracing {
+        inner: VecMemory,
+        log: Vec<(u64, usize, bool)>,
+        active: bool,
+    }
+    impl Memory for Tracing {
+        fn size(&self) -> u64 {
+            self.inner.size()
+        }
+        fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EnvyError> {
+            if self.active {
+                self.log.push((addr, buf.len(), false));
+            }
+            self.inner.read(addr, buf)
+        }
+        fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
+            if self.active {
+                self.log.push((addr, bytes.len(), true));
+            }
+            self.inner.write(addr, bytes)
+        }
+    }
+
+    let scale = tiny();
+    let mut mem = Tracing {
+        inner: VecMemory::new(64 * 1024 * 1024),
+        log: Vec::new(),
+        active: false,
+    };
+    let db = FunctionalTpca::setup(&mut mem, scale).unwrap();
+    let analytic = AnalyticTpca::new(scale);
+    let mut rng = Rng::seed_from(55);
+    for _ in 0..50 {
+        let txn = Transaction::generate(scale, &mut rng);
+        mem.log.clear();
+        mem.active = true;
+        db.run_transaction(&mut mem, &txn).unwrap();
+        mem.active = false;
+        let functional = mem.log.clone();
+        let mut analytic_trace = Vec::new();
+        analytic.for_each_access(&txn, |a| analytic_trace.push((a.addr, a.len, a.write)));
+        assert_eq!(
+            analytic_trace, functional,
+            "trace mismatch for {txn:?}"
+        );
+    }
+}
+
+#[test]
+fn analytic_access_counts_are_paper_scale() {
+    // The paper's I/O budget: ~10 node visits per transaction across
+    // depths 2 + 3 + 5, a handful of probes per node, three record
+    // updates.
+    let analytic = AnalyticTpca::new(TpcaScale::paper());
+    let txn = Transaction {
+        account: 7_654_321,
+        teller: 765,
+        branch: 76,
+        delta: 1,
+    };
+    let mut reads = 0;
+    let mut writes = 0;
+    analytic.for_each_access(&txn, |a| {
+        if a.write {
+            writes += 1;
+        } else {
+            reads += 1;
+        }
+    });
+    assert_eq!(writes, 3, "three balance updates");
+    assert!(
+        (40..=90).contains(&reads),
+        "search+read traffic should be tens of accesses, got {reads}"
+    );
+}
+
+#[test]
+fn timed_run_reports_sane_metrics() {
+    // A scaled-down timed run: low rate, so latencies sit at the
+    // unloaded values and throughput tracks the offered rate.
+    let scale = TpcaScale { branches: 2 };
+    let layout_bytes = TpcaLayout::new(scale).total_bytes;
+    let pages = (layout_bytes / 256 + 1) * 10 / 8;
+    let pps = 4096u32;
+    let segments = ((pages / pps as u64) + 2).next_multiple_of(4) as u32;
+    let config = EnvyConfig::scaled(4, segments, pps, 256)
+        .with_store_data(false)
+        .with_utilization(0.8);
+    let mut store = EnvyStore::new(config).unwrap();
+    assert!(store.size() >= layout_bytes);
+    store.prefill().unwrap();
+    let driver = AnalyticTpca::new(scale);
+    let result = run_timed(&mut store, &driver, 2_000.0, 200, 2_000, 3).unwrap();
+    assert!(result.achieved_tps > 1_800.0, "tps {}", result.achieved_tps);
+    assert!(result.read_latency >= Ns::from_nanos(160));
+    assert!(result.read_latency < Ns::from_nanos(400));
+    assert!(result.write_latency >= Ns::from_nanos(160));
+    assert!(result.flushes_per_sec > 0.0);
+    store.check_invariants().unwrap();
+}

@@ -1,0 +1,40 @@
+//! Cleaning-policy comparison in miniature (§4 / Figure 8).
+//!
+//! Runs the four cleaning policies against a uniform and a highly skewed
+//! write stream on a small array and prints the resulting cleaning costs
+//! — the number of cleaner program operations per flushed page.
+//!
+//! Run with: `cargo run --release --example cleaning_policies`
+
+use envy::core::PolicyKind;
+use envy::sim::report::{fmt_f64, Table};
+use envy::workload::CleaningStudy;
+
+fn main() {
+    let policies: [(&str, PolicyKind); 4] = [
+        ("greedy", PolicyKind::Greedy),
+        ("fifo", PolicyKind::Fifo),
+        ("locality-gathering", PolicyKind::LocalityGathering),
+        ("hybrid-8", PolicyKind::Hybrid { segments_per_partition: 8 }),
+    ];
+    let mut table = Table::new(&["policy", "uniform 50/50", "skewed 10/90"]);
+    for (name, policy) in policies {
+        let uniform = CleaningStudy::sized(64, 128, policy, (50, 50))
+            .run()
+            .expect("study");
+        let skewed = CleaningStudy::sized(64, 128, policy, (10, 90))
+            .run()
+            .expect("study");
+        table.row(&[
+            name.to_string(),
+            fmt_f64(uniform.cleaning_cost),
+            fmt_f64(skewed.cleaning_cost),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("the paper's conclusions in miniature:");
+    println!(" - greedy/FIFO handle uniform traffic well but degrade with locality");
+    println!(" - locality gathering is expensive for uniform traffic, good under skew");
+    println!(" - the hybrid tracks the best of both (§4.4)");
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every figure/table of the paper's evaluation.
+# Usage: ./run_experiments.sh [--quick]
+set -e
+MODE="$1"
+OUT=results
+mkdir -p "$OUT"
+for bin in table_fig01 table_fig12 fig06_cleaning_cost fig08_policy_comparison \
+           fig09_partition_size fig10_segment_count fig13_throughput \
+           fig14_utilization fig15_latency breakdown_53 lifetime_55 ext_parallel ext_cost_benefit \
+           abl_buffer_size abl_page_size abl_wear_threshold abl_lg_mechanisms abl_mmu \
+           abl_drifting_hotspot; do
+  echo "=== $bin ==="
+  cargo run --release -p envy-bench --bin "$bin" -- $MODE > "$OUT/$bin.txt"
+done
+echo "all results in $OUT/"

@@ -1,0 +1,241 @@
+//! `envy-cli` — command-line driver for the eNVy simulator.
+//!
+//! ```text
+//! envy-cli info                          print the paper's configuration
+//! envy-cli cleaning [options]            run a cleaning-cost study
+//! envy-cli tpca [options]                run a timed TPC-A experiment
+//! envy-cli trace-gen [options]           generate a TPC-A access trace
+//! envy-cli trace-replay --file <path>    replay a trace on an eNVy store
+//! ```
+//!
+//! Run `envy-cli <command> --help` for per-command options.
+
+use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy::sim::report::{fmt_f64, Table};
+use envy::sim::time::Ns;
+use envy::workload::{run_timed, AnalyticTpca, CleaningStudy, Trace, TpcaScale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "info" => cmd_info(),
+        "cleaning" => cmd_cleaning(&args[1..]),
+        "tpca" => cmd_tpca(&args[1..]),
+        "trace-gen" => cmd_trace_gen(&args[1..]),
+        "trace-replay" => cmd_trace_replay(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("envy-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: envy-cli <command> [options]
+
+commands:
+  info                      the paper's 2 GB configuration and cost model
+  cleaning                  steady-state cleaning-cost study (Figure 8 style)
+      --policy <greedy|cost-benefit|fifo|lg|hybrid:<k>>   (default hybrid:16)
+      --locality <d/a>      bimodal locality, e.g. 10/90    (default 50/50)
+      --segments <n>        segment count                   (default 64)
+      --pages <n>           pages per segment               (default 256)
+      --util <f>            array utilization               (default 0.8)
+  tpca                      timed TPC-A run on a scaled eNVy system
+      --rate <tps>          offered transaction rate        (default 10000)
+      --txns <n>            measured transactions           (default 20000)
+      --util <f>            array utilization               (default 0.8)
+  trace-gen                 emit a timed TPC-A access trace (text) to stdout
+      --rate <tps>          arrival rate                    (default 1000)
+      --txns <n>            transactions                    (default 100)
+      --seed <n>            RNG seed                        (default 42)
+  trace-replay              replay a trace file on a fresh eNVy store
+      --file <path>         trace file (required)
+      --untimed             ignore timestamps (state-only replay)";
+
+/// Find `--name <value>` in `args`.
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match opt(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for {name}")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn cmd_info() -> Result<(), String> {
+    let c = EnvyConfig::paper_2gb();
+    let g = &c.geometry;
+    let mut t = Table::new(&["parameter", "value"]);
+    t.row(&["flash array".into(), format!("{} MB", g.total_bytes() >> 20)]);
+    t.row(&["banks".into(), g.banks().to_string()]);
+    t.row(&["segments".into(), format!("{} x {} MB", g.segments(), g.segment_bytes() >> 20)]);
+    t.row(&["page size".into(), format!("{} B", g.page_bytes())]);
+    t.row(&["write buffer".into(), format!("{} pages", c.buffer_pages)]);
+    t.row(&["page-table SRAM".into(), format!("{} MB", c.page_table_sram_bytes() >> 20)]);
+    t.row(&["program time".into(), c.timings.program.to_string()]);
+    t.row(&["erase time".into(), c.timings.erase.to_string()]);
+    t.row(&["policy".into(), format!("{:?}", c.policy)]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "greedy" => Ok(PolicyKind::Greedy),
+        "cost-benefit" => Ok(PolicyKind::CostBenefit),
+        "fifo" => Ok(PolicyKind::Fifo),
+        "lg" | "locality-gathering" => Ok(PolicyKind::LocalityGathering),
+        other => match other.strip_prefix("hybrid:") {
+            Some(k) => {
+                let k: u32 = k.parse().map_err(|_| format!("bad partition size in `{other}`"))?;
+                Ok(PolicyKind::Hybrid { segments_per_partition: k })
+            }
+            None => Err(format!("unknown policy `{other}`")),
+        },
+    }
+}
+
+fn parse_locality(s: &str) -> Result<(u32, u32), String> {
+    let (d, a) = s
+        .split_once('/')
+        .ok_or_else(|| format!("locality `{s}` must be d/a, e.g. 10/90"))?;
+    let d = d.parse().map_err(|_| format!("bad locality `{s}`"))?;
+    let a = a.parse().map_err(|_| format!("bad locality `{s}`"))?;
+    Ok((d, a))
+}
+
+fn cmd_cleaning(args: &[String]) -> Result<(), String> {
+    let policy = parse_policy(opt(args, "--policy").unwrap_or("hybrid:16"))?;
+    let locality = parse_locality(opt(args, "--locality").unwrap_or("50/50"))?;
+    let segments: u32 = opt_parse(args, "--segments", 64)?;
+    let pages: u32 = opt_parse(args, "--pages", 256)?;
+    let util: f64 = opt_parse(args, "--util", 0.8)?;
+    let mut study = CleaningStudy::sized(segments, pages, policy, locality);
+    study.utilization = util;
+    let out = study.run().map_err(|e| e.to_string())?;
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["cleaning cost".into(), fmt_f64(out.cleaning_cost)]);
+    t.row(&["pages flushed".into(), out.pages_flushed.to_string()]);
+    t.row(&["cleaner programs".into(), out.clean_programs.to_string()]);
+    t.row(&["segments cleaned".into(), out.cleans.to_string()]);
+    t.row(&["wear spread".into(), out.wear_spread.to_string()]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn scaled_tpca(util: f64) -> Result<(EnvyStore, AnalyticTpca), String> {
+    let mut config = EnvyConfig::scaled(8, 128, 2048, 256).with_store_data(false);
+    config.word_bytes = 8;
+    config.timings.erase = Ns::from_nanos(50_000_000 * 2048 / 65_536);
+    let config = config.with_utilization(util);
+    let scale = TpcaScale::fit_bytes(config.logical_bytes());
+    let mut store = EnvyStore::new(config).map_err(|e| e.to_string())?;
+    store.prefill().map_err(|e| e.to_string())?;
+    let driver = AnalyticTpca::new(scale);
+    // Churn to steady state.
+    let free = store.config().geometry.total_pages() - store.config().logical_pages;
+    let mut rng = envy::sim::rng::Rng::seed_from(0xC0FFEE);
+    for _ in 0..free * 2 {
+        let id = rng.below(scale.accounts());
+        store
+            .write(driver.layout().account_addr(id), &[0u8; 8])
+            .map_err(|e| e.to_string())?;
+    }
+    Ok((store, driver))
+}
+
+fn cmd_tpca(args: &[String]) -> Result<(), String> {
+    let rate: f64 = opt_parse(args, "--rate", 10_000.0)?;
+    let txns: u64 = opt_parse(args, "--txns", 20_000)?;
+    let util: f64 = opt_parse(args, "--util", 0.8)?;
+    let (mut store, driver) = scaled_tpca(util)?;
+    let r = run_timed(&mut store, &driver, rate, txns / 10, txns, 42).map_err(|e| e.to_string())?;
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["offered TPS".into(), fmt_f64(r.offered_tps)]);
+    t.row(&["achieved TPS".into(), fmt_f64(r.achieved_tps)]);
+    t.row(&["read latency".into(), r.read_latency.to_string()]);
+    t.row(&["write latency".into(), r.write_latency.to_string()]);
+    t.row(&["flushes/s".into(), fmt_f64(r.flushes_per_sec)]);
+    t.row(&["cleaning cost".into(), fmt_f64(r.cleaning_cost)]);
+    if let Some(b) = store.stats().breakdown() {
+        t.row(&["busy: reads".into(), format!("{:.1}%", b.reads * 100.0)]);
+        t.row(&["busy: cleaning".into(), format!("{:.1}%", b.cleaning * 100.0)]);
+        t.row(&["busy: flushing".into(), format!("{:.1}%", b.flushing * 100.0)]);
+        t.row(&["busy: erasing".into(), format!("{:.1}%", b.erasing * 100.0)]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_trace_gen(args: &[String]) -> Result<(), String> {
+    let rate: f64 = opt_parse(args, "--rate", 1_000.0)?;
+    let txns: u64 = opt_parse(args, "--txns", 100)?;
+    let seed: u64 = opt_parse(args, "--seed", 42)?;
+    let driver = AnalyticTpca::new(TpcaScale { branches: 1 });
+    let trace = Trace::from_tpca(&driver, rate, txns, seed);
+    println!("# TPC-A trace: {txns} transactions at {rate} TPS, seed {seed}");
+    print!("{}", trace.to_text());
+    Ok(())
+}
+
+fn cmd_trace_replay(args: &[String]) -> Result<(), String> {
+    let path = opt(args, "--file").ok_or("trace-replay requires --file <path>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::from_text(&text).map_err(|e| e.to_string())?;
+    // Size the store to cover the trace's address range.
+    let max_addr = trace
+        .events()
+        .iter()
+        .map(|e| e.addr + e.len as u64)
+        .max()
+        .unwrap_or(4096);
+    let pps = 2048u32;
+    let pages = (max_addr / 256 + 1) * 10 / 8;
+    let segments = ((pages / pps as u64) + 2).next_multiple_of(4).max(8) as u32;
+    let mut config = EnvyConfig::scaled(4, segments, pps, 256).with_store_data(false);
+    config.word_bytes = 8;
+    let config = config.with_utilization(0.8);
+    let mut store = EnvyStore::new(config).map_err(|e| e.to_string())?;
+    store.prefill().map_err(|e| e.to_string())?;
+
+    let mut t = Table::new(&["metric", "value"]);
+    if flag(args, "--untimed") {
+        trace.replay(&mut store).map_err(|e| e.to_string())?;
+        t.row(&["events".into(), trace.len().to_string()]);
+    } else {
+        let stats = trace.replay_timed(&mut store).map_err(|e| e.to_string())?;
+        t.row(&["events".into(), stats.events.to_string()]);
+        t.row(&["simulated time".into(), stats.sim_time.to_string()]);
+        t.row(&["read latency".into(), stats.read_latency.to_string()]);
+        t.row(&["write latency".into(), stats.write_latency.to_string()]);
+    }
+    t.row(&["flushes".into(), store.stats().pages_flushed.get().to_string()]);
+    t.row(&["cleans".into(), store.stats().cleans.get().to_string()]);
+    print!("{}", t.render());
+    store.check_invariants().map_err(|e| format!("invariant violation: {e}"))?;
+    Ok(())
+}

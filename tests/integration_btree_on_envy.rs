@@ -1,0 +1,98 @@
+//! Cross-crate integration: B-Trees living in the eNVy array, under
+//! cleaning pressure and across power failures.
+
+use envy::btree::BTree;
+use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy::sim::rng::Rng;
+use std::collections::BTreeMap;
+
+fn store(policy: PolicyKind) -> EnvyStore {
+    let config = EnvyConfig::scaled(4, 16, 256, 256)
+        .with_policy(policy)
+        .with_utilization(0.7);
+    EnvyStore::new(config).expect("valid config")
+}
+
+#[test]
+fn btree_grows_through_cleaning() {
+    let mut s = store(PolicyKind::paper_default());
+    let region_len = 512 * 1024;
+    let mut tree = BTree::create(&mut s, 0, region_len).unwrap();
+    let mut model = BTreeMap::new();
+    let mut rng = Rng::seed_from(1);
+    for _ in 0..20_000u32 {
+        let k = rng.below(4_000);
+        let v = rng.next_u64();
+        model.insert(k, v);
+        tree.insert(&mut s, k, v).unwrap();
+    }
+    // Insert churn rewrote nodes repeatedly: cleaning must have run.
+    assert!(s.stats().cleans.get() > 0, "cleaning should have occurred");
+    for (&k, &v) in &model {
+        assert_eq!(tree.get(&mut s, k).unwrap(), Some(v));
+        assert_eq!(tree.get_probed(&mut s, k).unwrap(), Some(v));
+    }
+    s.check_invariants().unwrap();
+}
+
+#[test]
+fn btree_survives_power_failure() {
+    let mut s = store(PolicyKind::Greedy);
+    let mut tree = BTree::create(&mut s, 4096, 256 * 1024).unwrap();
+    for k in 0..2_000u64 {
+        tree.insert(&mut s, k, k * 3).unwrap();
+    }
+    s.power_failure();
+    s.recover().unwrap();
+    // Reopen from the non-volatile header.
+    let reopened = BTree::open(&mut s, 4096).unwrap();
+    for k in 0..2_000u64 {
+        assert_eq!(reopened.get(&mut s, k).unwrap(), Some(k * 3));
+    }
+}
+
+#[test]
+fn btree_survives_interrupted_clean() {
+    let mut s = store(PolicyKind::Fifo);
+    let mut tree = BTree::create(&mut s, 0, 512 * 1024).unwrap();
+    let mut rng = Rng::seed_from(9);
+    for _ in 0..10_000u32 {
+        tree.insert(&mut s, rng.below(3_000), rng.next_u64()).unwrap();
+    }
+    // Interrupt a clean of the fullest position mid-copy, crash, recover.
+    let pos = (0..s.engine().positions())
+        .max_by_key(|&p| s.engine().flash().valid_pages(s.engine().segment_at(p)))
+        .expect("positions exist");
+    let mut ops = Vec::new();
+    s.engine_mut().clean_interrupted(pos, 7, &mut ops).unwrap();
+    s.power_failure();
+    let report = s.recover().unwrap();
+    assert!(report.resumed_clean);
+    // Every key is still present with a consistent value.
+    let reopened = BTree::open(&mut s, 0).unwrap();
+    let mut rng = Rng::seed_from(9);
+    let mut model = BTreeMap::new();
+    for _ in 0..10_000u32 {
+        model.insert(rng.below(3_000), rng.next_u64());
+    }
+    for (&k, &v) in &model {
+        assert_eq!(reopened.get(&mut s, k).unwrap(), Some(v), "key {k}");
+    }
+    s.check_invariants().unwrap();
+}
+
+#[test]
+fn two_trees_share_the_array() {
+    let mut s = store(PolicyKind::LocalityGathering);
+    let mut left = BTree::create(&mut s, 0, 128 * 1024).unwrap();
+    let mut right = BTree::create(&mut s, 512 * 1024, 128 * 1024).unwrap();
+    for k in 0..1_500u64 {
+        left.insert(&mut s, k, k).unwrap();
+        right.insert(&mut s, k, k + 1_000_000).unwrap();
+    }
+    for k in 0..1_500u64 {
+        assert_eq!(left.get(&mut s, k).unwrap(), Some(k));
+        assert_eq!(right.get(&mut s, k).unwrap(), Some(k + 1_000_000));
+    }
+    s.check_invariants().unwrap();
+}

@@ -1,0 +1,66 @@
+//! Cross-crate integration: the filesystem stack over the eNVy array.
+
+use envy::core::{EnvyConfig, EnvyStore};
+use envy::ramdisk::{BlockDevice, SimpleFs};
+use envy::sim::rng::Rng;
+
+fn fs_store() -> (EnvyStore, BlockDevice) {
+    let config = EnvyConfig::scaled(4, 32, 256, 256).with_utilization(0.7);
+    let store = EnvyStore::new(config).expect("valid config");
+    let blocks = store.size() / 512 - 16;
+    (store, BlockDevice::new(0, 512, blocks))
+}
+
+#[test]
+fn file_churn_over_envy_triggers_cleaning() {
+    let (mut store, dev) = fs_store();
+    let mut fs = SimpleFs::format(&mut store, dev).unwrap();
+    let mut rng = Rng::seed_from(3);
+    // Repeatedly rewrite a rotating set of files with random sizes.
+    for round in 0..600u32 {
+        let name = format!("file{}", round % 8);
+        let size = 512 + (rng.below(20) as usize) * 512;
+        let byte = (round % 251) as u8;
+        fs.write_file(&mut store, &name, &vec![byte; size]).unwrap();
+    }
+    assert!(store.stats().cleans.get() > 0, "cleaning under file churn");
+    // The last write of each name wins.
+    for slot in 0..8u32 {
+        let name = format!("file{slot}");
+        let contents = fs.read_file(&mut store, &name).unwrap();
+        let last_round = (592..600).find(|r| r % 8 == slot).unwrap();
+        assert!(contents.iter().all(|&b| b == (last_round % 251) as u8));
+    }
+    store.check_invariants().unwrap();
+}
+
+#[test]
+fn filesystem_survives_power_failure_mid_usage() {
+    let (mut store, dev) = fs_store();
+    let mut fs = SimpleFs::format(&mut store, dev).unwrap();
+    fs.write_file(&mut store, "a", &[1u8; 5_000]).unwrap();
+    fs.write_file(&mut store, "b", &[2u8; 3_000]).unwrap();
+    store.power_failure();
+    store.recover().unwrap();
+    let fs2 = SimpleFs::mount(&mut store, dev).unwrap();
+    assert_eq!(fs2.read_file(&mut store, "a").unwrap(), vec![1u8; 5_000]);
+    assert_eq!(fs2.read_file(&mut store, "b").unwrap(), vec![2u8; 3_000]);
+}
+
+#[test]
+fn filesystem_survives_interrupted_clean() {
+    let (mut store, dev) = fs_store();
+    let mut fs = SimpleFs::format(&mut store, dev).unwrap();
+    fs.write_file(&mut store, "precious", &[0xABu8; 20_000]).unwrap();
+    let pos = (0..store.engine().positions())
+        .max_by_key(|&p| store.engine().flash().valid_pages(store.engine().segment_at(p)))
+        .expect("positions exist");
+    let mut ops = Vec::new();
+    store.engine_mut().clean_interrupted(pos, 5, &mut ops).unwrap();
+    store.power_failure();
+    let report = store.recover().unwrap();
+    assert!(report.resumed_clean);
+    let fs2 = SimpleFs::mount(&mut store, dev).unwrap();
+    assert_eq!(fs2.read_file(&mut store, "precious").unwrap(), vec![0xABu8; 20_000]);
+    store.check_invariants().unwrap();
+}

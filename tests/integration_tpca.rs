@@ -1,0 +1,115 @@
+//! Cross-crate integration: the full TPC-A stack on the eNVy controller
+//! under every cleaning policy.
+
+use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy::sim::rng::Rng;
+use envy::workload::{FunctionalTpca, TpcaLayout, TpcaScale, Transaction};
+
+fn tpca_store(policy: PolicyKind) -> (EnvyStore, TpcaScale) {
+    let scale = TpcaScale { branches: 1 };
+    let need = TpcaLayout::new(scale).total_bytes;
+    let pages_needed = (need * 10 / 7) / 256;
+    let pps = 2048u32;
+    let segments = (pages_needed / pps as u64 + 2).next_multiple_of(4) as u32;
+    let config = EnvyConfig::scaled(4, segments, pps, 256)
+        .with_policy(policy)
+        .with_utilization(0.75);
+    (EnvyStore::new(config).expect("valid config"), scale)
+}
+
+fn run_and_check(policy: PolicyKind, transactions: u32, seed: u64) {
+    let (mut store, scale) = tpca_store(policy);
+    let db = FunctionalTpca::setup(&mut store, scale).expect("setup");
+    let mut rng = Rng::seed_from(seed);
+    let mut expected_total = 0i64;
+    let mut teller_expect = vec![0i64; scale.tellers() as usize];
+    for _ in 0..transactions {
+        let txn = Transaction::generate(scale, &mut rng);
+        expected_total += txn.delta;
+        teller_expect[txn.teller as usize] += txn.delta;
+        db.run_transaction(&mut store, &txn).expect("transaction");
+    }
+    // Conservation at every level of the hierarchy.
+    let mut branches = 0i64;
+    for b in 0..scale.branches {
+        branches += db.balance(&mut store, 0, b).unwrap();
+    }
+    assert_eq!(branches, expected_total, "{policy:?}: branch conservation");
+    for t in 0..scale.tellers() {
+        assert_eq!(
+            db.balance(&mut store, 1, t).unwrap(),
+            teller_expect[t as usize],
+            "{policy:?}: teller {t}"
+        );
+    }
+    store.check_invariants().unwrap();
+}
+
+#[test]
+fn tpca_on_greedy() {
+    run_and_check(PolicyKind::Greedy, 3_000, 11);
+}
+
+#[test]
+fn tpca_on_fifo() {
+    run_and_check(PolicyKind::Fifo, 3_000, 12);
+}
+
+#[test]
+fn tpca_on_locality_gathering() {
+    run_and_check(PolicyKind::LocalityGathering, 3_000, 13);
+}
+
+#[test]
+fn tpca_on_hybrid() {
+    run_and_check(PolicyKind::paper_default(), 3_000, 14);
+}
+
+#[test]
+fn tpca_with_power_failures_between_batches() {
+    let (mut store, scale) = tpca_store(PolicyKind::paper_default());
+    let db = FunctionalTpca::setup(&mut store, scale).expect("setup");
+    let mut rng = Rng::seed_from(77);
+    let mut expected_total = 0i64;
+    for batch in 0..5 {
+        for _ in 0..500 {
+            let txn = Transaction::generate(scale, &mut rng);
+            expected_total += txn.delta;
+            db.run_transaction(&mut store, &txn).expect("transaction");
+        }
+        store.power_failure();
+        let report = store.recover().unwrap();
+        assert!(!report.resumed_clean, "batch {batch}: no clean was running");
+    }
+    let mut branches = 0i64;
+    for b in 0..scale.branches {
+        branches += db.balance(&mut store, 0, b).unwrap();
+    }
+    assert_eq!(branches, expected_total);
+}
+
+#[test]
+fn tpca_transactional_abort_reverses_a_transfer() {
+    let (mut store, scale) = tpca_store(PolicyKind::paper_default());
+    let db = FunctionalTpca::setup(&mut store, scale).expect("setup");
+    let txn_spec = Transaction {
+        account: 42_000,
+        teller: 4,
+        branch: 0,
+        delta: 777,
+    };
+    // Committed baseline.
+    db.run_transaction(&mut store, &txn_spec).unwrap();
+    assert_eq!(db.balance(&mut store, 2, 42_000).unwrap(), 777);
+
+    // Wrap the storage-level transaction (§6) around a TPC-A update and
+    // abort: all three record updates roll back together.
+    let hw = store.txn_begin().unwrap();
+    db.run_transaction(&mut store, &txn_spec).unwrap();
+    assert_eq!(db.balance(&mut store, 2, 42_000).unwrap(), 1_554);
+    store.txn_abort(hw).unwrap();
+    assert_eq!(db.balance(&mut store, 2, 42_000).unwrap(), 777);
+    assert_eq!(db.balance(&mut store, 1, 4).unwrap(), 777);
+    assert_eq!(db.balance(&mut store, 0, 0).unwrap(), 777);
+    store.check_invariants().unwrap();
+}

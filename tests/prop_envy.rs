@@ -1,0 +1,144 @@
+//! Property-based tests: the eNVy store behaves exactly like plain RAM
+//! (differential model), and structural invariants hold after arbitrary
+//! operation sequences.
+
+use envy::core::{EnvyConfig, EnvyStore, Memory, PolicyKind, VecMemory};
+use proptest::prelude::*;
+
+/// An operation against the linear array.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, bytes: Vec<u8> },
+    Read { addr: u64, len: usize },
+    PowerFail,
+    FlushAll,
+}
+
+const SIZE: u64 = 16 * 16 * 256 / 2; // small_test logical bytes (50% of 16x16 pages)
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..SIZE - 64, prop::collection::vec(any::<u8>(), 1..64)).prop_map(|(addr, bytes)| {
+            Op::Write { addr, bytes }
+        }),
+        3 => (0..SIZE - 64, 1..64usize).prop_map(|(addr, len)| Op::Read { addr, len }),
+        1 => Just(Op::PowerFail),
+        1 => Just(Op::FlushAll),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Greedy),
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::LocalityGathering),
+        Just(PolicyKind::Hybrid { segments_per_partition: 4 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential test: any sequence of writes/reads/power-failures
+    /// observed through eNVy matches plain RAM initialized to 0xFF.
+    #[test]
+    fn envy_equals_plain_ram(policy in policy_strategy(), ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let config = EnvyConfig::small_test().with_policy(policy);
+        let mut envy = EnvyStore::new(config).unwrap();
+        let mut model = VecMemory::new(SIZE);
+        // eNVy reads 0xFF from unwritten pages; align the model.
+        let ff = vec![0xFFu8; SIZE as usize];
+        model.write(0, &ff).unwrap();
+
+        for op in &ops {
+            match op {
+                Op::Write { addr, bytes } => {
+                    envy.write(*addr, bytes).unwrap();
+                    model.write(*addr, bytes).unwrap();
+                }
+                Op::Read { addr, len } => {
+                    let mut a = vec![0u8; *len];
+                    let mut b = vec![0u8; *len];
+                    envy.read(*addr, &mut a).unwrap();
+                    model.read(*addr, &mut b).unwrap();
+                    prop_assert_eq!(&a, &b);
+                }
+                Op::PowerFail => {
+                    envy.power_failure();
+                    envy.recover().unwrap();
+                }
+                Op::FlushAll => envy.flush_all().unwrap(),
+            }
+        }
+        // Full-array sweep at the end.
+        let mut a = vec![0u8; SIZE as usize];
+        let mut b = vec![0u8; SIZE as usize];
+        envy.read(0, &mut a).unwrap();
+        model.read(0, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert!(envy.check_invariants().is_ok());
+    }
+
+    /// Transactions: abort restores exactly the pre-transaction state;
+    /// commit preserves exactly the post-transaction state.
+    #[test]
+    fn txn_abort_is_exact_inverse(
+        pre in prop::collection::vec((0..SIZE - 8, any::<u64>()), 1..20),
+        during in prop::collection::vec((0..SIZE - 8, any::<u64>()), 1..20),
+        commit in any::<bool>(),
+    ) {
+        let mut envy = EnvyStore::new(EnvyConfig::small_test()).unwrap();
+        for (addr, v) in &pre {
+            envy.write(*addr, &v.to_le_bytes()).unwrap();
+        }
+        let mut snapshot = vec![0u8; SIZE as usize];
+        envy.read(0, &mut snapshot).unwrap();
+
+        let txn = envy.txn_begin().unwrap();
+        for (addr, v) in &during {
+            envy.write(*addr, &v.to_le_bytes()).unwrap();
+        }
+        let mut dirty = vec![0u8; SIZE as usize];
+        envy.read(0, &mut dirty).unwrap();
+
+        if commit {
+            envy.txn_commit(txn).unwrap();
+            let mut after = vec![0u8; SIZE as usize];
+            envy.read(0, &mut after).unwrap();
+            prop_assert_eq!(after, dirty);
+        } else {
+            envy.txn_abort(txn).unwrap();
+            let mut after = vec![0u8; SIZE as usize];
+            envy.read(0, &mut after).unwrap();
+            prop_assert_eq!(after, snapshot);
+        }
+        prop_assert!(envy.check_invariants().is_ok());
+    }
+
+    /// Interrupted cleans recover to a consistent state with no data
+    /// loss, wherever the interruption lands.
+    #[test]
+    fn interrupted_clean_never_loses_data(
+        writes in prop::collection::vec((0..SIZE - 8, any::<u64>()), 10..60),
+        pos in 0u32..15,
+        after in 1u32..10,
+    ) {
+        let mut envy = EnvyStore::new(EnvyConfig::small_test()).unwrap();
+        envy.prefill().unwrap();
+        for (addr, v) in &writes {
+            envy.write(*addr, &v.to_le_bytes()).unwrap();
+        }
+        let mut before = vec![0u8; SIZE as usize];
+        envy.read(0, &mut before).unwrap();
+
+        let mut ops = Vec::new();
+        envy.engine_mut().clean_interrupted(pos, after, &mut ops).unwrap();
+        envy.power_failure();
+        envy.recover().unwrap();
+
+        let mut recovered = vec![0u8; SIZE as usize];
+        envy.read(0, &mut recovered).unwrap();
+        prop_assert_eq!(before, recovered);
+        prop_assert!(envy.check_invariants().is_ok());
+    }
+}
