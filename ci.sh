@@ -1,0 +1,24 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, tests, and one end-to-end figure
+# regeneration smoke test. Requires only the Rust toolchain — the
+# workspace has no external crate dependencies, so everything below runs
+# without network access.
+set -e
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== smoke: fig13_throughput --quick --jobs 2 =="
+mkdir -p results
+cargo run --release -q -p envy-bench --bin fig13_throughput -- --quick --jobs 2 \
+  > results/ci_smoke_fig13.txt
+test -s results/ci_smoke_fig13.txt
+test -s results/BENCH_fig13_throughput.json
+
+echo "ci: all checks passed"

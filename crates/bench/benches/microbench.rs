@@ -1,14 +1,70 @@
-//! Criterion micro-benchmarks: simulator operation costs (host-machine
-//! wall time, not simulated time) for the primitives every experiment is
-//! built from. Useful for keeping the figure-regeneration binaries fast.
+//! Micro-benchmarks: simulator operation costs (host-machine wall time,
+//! not simulated time) for the primitives every experiment is built
+//! from. Useful for keeping the figure-regeneration binaries fast.
+//!
+//! Runs on a minimal in-repo timer harness (the workspace builds with no
+//! network access, so no external benchmark framework): each benchmark
+//! is warmed up, then run in growing batches until a target measurement
+//! time is reached, and the mean ns/iteration is reported. Invoke with
+//! `cargo bench -p envy-bench`; pass a substring argument to filter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use envy_btree::BTree;
 use envy_core::{EnvyConfig, EnvyStore, PolicyKind, VecMemory};
 use envy_sim::dist::Bimodal;
 use envy_sim::rng::Rng;
 use envy_sim::time::Ns;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimal timer harness: warm up briefly, then time batches until the
+/// measurement budget is spent.
+struct Harness {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Harness {
+    fn from_args() -> Harness {
+        // Cargo's bench runner passes flags like `--bench`; any other
+        // free argument filters benchmarks by substring.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Harness {
+            filter,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+
+    fn bench(&self, name: &str, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            f();
+            warm_iters += 1;
+        }
+        // Pick a batch size that keeps per-batch timing overhead small.
+        let batch = (warm_iters / 50).max(1);
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            spent += t0.elapsed();
+            iters += batch;
+        }
+        let ns_per_iter = spent.as_nanos() as f64 / iters as f64;
+        println!("{name:40} {ns_per_iter:12.1} ns/iter  ({iters} iters)");
+    }
+}
 
 fn store_with_data() -> EnvyStore {
     let mut s = EnvyStore::new(EnvyConfig::scaled(4, 32, 256, 256).with_utilization(0.7))
@@ -17,102 +73,91 @@ fn store_with_data() -> EnvyStore {
     s
 }
 
-fn bench_host_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("host_paths");
-
+fn bench_host_paths(h: &Harness) {
     let mut s = store_with_data();
     let mut buf = [0u8; 8];
-    g.bench_function("read_flash_8B", |b| {
-        let mut addr = 0u64;
-        b.iter(|| {
-            s.read(black_box(addr % (s.size() - 8)), &mut buf).unwrap();
-            addr += 4096;
-        })
+    let mut addr = 0u64;
+    h.bench("host_paths/read_flash_8B", || {
+        s.read(black_box(addr % (s.size() - 8)), &mut buf).unwrap();
+        addr += 4096;
     });
 
     let mut s = store_with_data();
     s.write(0, &[1u8; 8]).unwrap(); // page now in SRAM
-    g.bench_function("write_sram_hit_8B", |b| {
-        b.iter(|| s.write(black_box(0), &[2u8; 8]).unwrap())
+    h.bench("host_paths/write_sram_hit_8B", || {
+        s.write(black_box(0), &[2u8; 8]).unwrap();
     });
 
     let mut s = store_with_data();
     let pages = s.config().logical_pages;
-    g.bench_function("write_cow_plus_flush_8B", |b| {
-        let mut lp = 0u64;
-        b.iter(|| {
-            // Every write hits a different page: steady-state COW+flush
-            // (and amortized cleaning).
-            s.write(black_box((lp % pages) * 256), &[3u8; 8]).unwrap();
-            lp += 1;
-        })
+    let mut lp = 0u64;
+    h.bench("host_paths/write_cow_plus_flush_8B", || {
+        // Every write hits a different page: steady-state COW+flush
+        // (and amortized cleaning).
+        s.write(black_box((lp % pages) * 256), &[3u8; 8]).unwrap();
+        lp += 1;
     });
 
     let mut s = store_with_data();
-    g.bench_function("timed_read_8B", |b| {
-        let mut t = Ns::ZERO;
-        let mut addr = 0u64;
-        b.iter(|| {
-            let a = s.read_at(t, addr % (s.size() - 8), &mut buf).unwrap();
-            t = a.completed;
-            addr += 4096;
-        })
+    let mut t = Ns::ZERO;
+    let mut addr = 0u64;
+    h.bench("host_paths/timed_read_8B", || {
+        let a = s.read_at(t, addr % (s.size() - 8), &mut buf).unwrap();
+        t = a.completed;
+        addr += 4096;
     });
-    g.finish();
 }
 
-fn bench_cleaning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cleaning");
-    g.bench_function("steady_state_page_write", |b| {
-        let config = EnvyConfig::scaled(8, 64, 128, 256)
-            .with_store_data(false)
-            .with_policy(PolicyKind::paper_default());
-        let mut s = EnvyStore::new(config).expect("valid");
-        s.prefill().expect("prefill");
-        let mut rng = Rng::seed_from(1);
-        let dist = Bimodal::from_spec(s.config().logical_pages, 10, 90);
-        // Warm into cleaning steady state.
-        for _ in 0..40_000 {
-            s.write(dist.sample(&mut rng) * 256, &[0]).unwrap();
-        }
-        b.iter(|| {
-            s.write(black_box(dist.sample(&mut rng) * 256), &[0]).unwrap();
-        })
+fn bench_cleaning(h: &Harness) {
+    let config = EnvyConfig::scaled(8, 64, 128, 256)
+        .with_store_data(false)
+        .with_policy(PolicyKind::paper_default());
+    let mut s = EnvyStore::new(config).expect("valid");
+    s.prefill().expect("prefill");
+    let mut rng = Rng::seed_from(1);
+    let dist = Bimodal::from_spec(s.config().logical_pages, 10, 90);
+    // Warm into cleaning steady state.
+    for _ in 0..40_000 {
+        s.write(dist.sample(&mut rng) * 256, &[0]).unwrap();
+    }
+    h.bench("cleaning/steady_state_page_write", || {
+        s.write(black_box(dist.sample(&mut rng) * 256), &[0])
+            .unwrap();
     });
-    g.finish();
 }
 
-fn bench_btree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree");
+fn bench_btree(h: &Harness) {
     let mut mem = VecMemory::new(8 * 1024 * 1024);
     let mut tree = BTree::create(&mut mem, 0, 8 * 1024 * 1024).unwrap();
     for k in 0..100_000u64 {
         tree.insert(&mut mem, k, k).unwrap();
     }
     let mut rng = Rng::seed_from(2);
-    g.bench_function("get_100k", |b| {
-        b.iter(|| tree.get(&mut mem, black_box(rng.below(100_000))).unwrap())
+    h.bench("btree/get_100k", || {
+        tree.get(&mut mem, black_box(rng.below(100_000))).unwrap();
     });
-    g.bench_function("get_probed_100k", |b| {
-        b.iter(|| tree.get_probed(&mut mem, black_box(rng.below(100_000))).unwrap())
+    h.bench("btree/get_probed_100k", || {
+        tree.get_probed(&mut mem, black_box(rng.below(100_000)))
+            .unwrap();
     });
-    g.bench_function("update_100k", |b| {
-        b.iter(|| tree.update(&mut mem, black_box(rng.below(100_000)), 7).unwrap())
+    h.bench("btree/update_100k", || {
+        tree.update(&mut mem, black_box(rng.below(100_000)), 7)
+            .unwrap();
     });
-    g.finish();
 }
 
-fn bench_distributions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("distributions");
+fn bench_distributions(h: &Harness) {
     let mut rng = Rng::seed_from(3);
     let bimodal = Bimodal::from_spec(1 << 20, 10, 90);
-    g.bench_function("bimodal_sample", |b| b.iter(|| bimodal.sample(&mut rng)));
-    g.finish();
+    h.bench("distributions/bimodal_sample", || {
+        black_box(bimodal.sample(&mut rng));
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_host_paths, bench_cleaning, bench_btree, bench_distributions
+fn main() {
+    let h = Harness::from_args();
+    bench_host_paths(&h);
+    bench_cleaning(&h);
+    bench_btree(&h);
+    bench_distributions(&h);
 }
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! cost. Run on the synthetic hot/cold stream where the effect is
 //! clearest.
 
-use envy_bench::{emit, quick_mode};
+use envy_bench::{emit, quick_mode, PointResult, SweepSpec};
 use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy_sim::dist::Bimodal;
 use envy_sim::report::{fmt_f64, Table};
@@ -13,13 +13,8 @@ use envy_sim::rng::Rng;
 
 fn main() {
     let writes: u64 = if quick_mode() { 200_000 } else { 600_000 };
-    let mut table = Table::new(&[
-        "buffer pages",
-        "flushes/write",
-        "cleaning cost",
-        "sram KB",
-    ]);
-    for buffer in [16usize, 64, 256, 1024, 4096] {
+    let sizes = vec![16usize, 64, 256, 1024, 4096];
+    let outcome = SweepSpec::new("abl_buffer_size", sizes).run(|_, &buffer| {
         let config = EnvyConfig::scaled(8, 64, 512, 256)
             .with_store_data(false)
             .with_policy(PolicyKind::paper_default())
@@ -29,20 +24,34 @@ fn main() {
         let dist = Bimodal::from_spec(store.config().logical_pages, 10, 90);
         let mut rng = Rng::seed_from(7);
         for _ in 0..writes / 2 {
-            store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+            store
+                .write(dist.sample(&mut rng) * 256, &[0])
+                .expect("write");
         }
         let flushed0 = store.stats().pages_flushed.get();
         for _ in 0..writes / 2 {
-            store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+            store
+                .write(dist.sample(&mut rng) * 256, &[0])
+                .expect("write");
         }
         let flushed = store.stats().pages_flushed.get() - flushed0;
-        table.row(&[
-            buffer.to_string(),
-            fmt_f64(flushed as f64 / (writes / 2) as f64),
-            fmt_f64(store.stats().cleaning_cost()),
-            (buffer * 256 / 1024).to_string(),
-        ]);
-        eprintln!("  done buffer={buffer}");
+        let flushes_per_write = flushed as f64 / (writes / 2) as f64;
+        PointResult::row(
+            format!("buffer={buffer}"),
+            vec![
+                buffer.to_string(),
+                fmt_f64(flushes_per_write),
+                fmt_f64(store.stats().cleaning_cost()),
+                (buffer * 256 / 1024).to_string(),
+            ],
+        )
+        .metric("buffer_pages", buffer as f64)
+        .metric("flushes_per_write", flushes_per_write)
+        .metric("cleaning_cost", store.stats().cleaning_cost())
+    });
+    let mut table = Table::new(&["buffer pages", "flushes/write", "cleaning cost", "sram KB"]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Ablation: write-buffer size",

@@ -7,7 +7,7 @@
 //! recovers — testing the adaptive part of the algorithm (frequency
 //! estimates, redistribution) rather than the initial placement.
 
-use envy_bench::{emit, quick_mode};
+use envy_bench::{emit, quick_mode, PointResult, SweepSpec};
 use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy_sim::report::{fmt_f64, Table};
 use envy_sim::rng::Rng;
@@ -34,11 +34,17 @@ fn run(policy: PolicyKind, writes: u64) -> (f64, f64, f64) {
         let f0 = store.stats().pages_flushed.get();
         let c0 = store.stats().clean_programs.get();
         for _ in 0..w {
-            store.write(sample(&mut rng, n, hot) * 256, &[0]).expect("write");
+            store
+                .write(sample(&mut rng, n, hot) * 256, &[0])
+                .expect("write");
         }
         let df = store.stats().pages_flushed.get() - f0;
         let dc = store.stats().clean_programs.get() - c0;
-        if df == 0 { 0.0 } else { dc as f64 / df as f64 }
+        if df == 0 {
+            0.0
+        } else {
+            dc as f64 / df as f64
+        }
     };
     // Phase 1: hot spot at the front (warm + measure).
     cost_between(&mut store, 0, writes);
@@ -54,26 +60,39 @@ fn run(policy: PolicyKind, writes: u64) -> (f64, f64, f64) {
 
 fn main() {
     let writes: u64 = if quick_mode() { 200_000 } else { 500_000 };
+    let policies: Vec<(&'static str, PolicyKind)> = vec![
+        ("greedy", PolicyKind::Greedy),
+        ("locality-gathering", PolicyKind::LocalityGathering),
+        (
+            "hybrid-8",
+            PolicyKind::Hybrid {
+                segments_per_partition: 8,
+            },
+        ),
+    ];
+    let outcome = SweepSpec::new("abl_drifting_hotspot", policies).run(|_, &(name, policy)| {
+        let (settled, transient, recovered) = run(policy, writes);
+        PointResult::row(
+            name,
+            vec![
+                name.to_string(),
+                fmt_f64(settled),
+                fmt_f64(transient),
+                fmt_f64(recovered),
+            ],
+        )
+        .metric("settled_cost", settled)
+        .metric("transient_cost", transient)
+        .metric("recovered_cost", recovered)
+    });
     let mut table = Table::new(&[
         "policy",
         "settled cost",
         "right after hot-spot jump",
         "after re-convergence",
     ]);
-    let policies: [(&str, PolicyKind); 3] = [
-        ("greedy", PolicyKind::Greedy),
-        ("locality-gathering", PolicyKind::LocalityGathering),
-        ("hybrid-8", PolicyKind::Hybrid { segments_per_partition: 8 }),
-    ];
-    for (name, policy) in policies {
-        let (settled, transient, recovered) = run(policy, writes);
-        table.row(&[
-            name.to_string(),
-            fmt_f64(settled),
-            fmt_f64(transient),
-            fmt_f64(recovered),
-        ]);
-        eprintln!("  done {name}");
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Ablation: drifting hot spot",

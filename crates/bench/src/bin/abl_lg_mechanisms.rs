@@ -8,7 +8,7 @@
 //!
 //! This sweep disables each in turn under a skewed write stream.
 
-use envy_bench::{emit, locality_label, quick_mode};
+use envy_bench::{emit, locality_label, quick_mode, PointResult, SweepSpec};
 use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy_sim::dist::Bimodal;
 use envy_sim::report::{fmt_f64, Table};
@@ -25,12 +25,16 @@ fn run(locality: (u32, u32), redistribute: bool, to_origin: bool, writes: u64) -
     let dist = Bimodal::from_spec(store.config().logical_pages, locality.0, locality.1);
     let mut rng = Rng::seed_from(17);
     for _ in 0..writes / 2 {
-        store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+        store
+            .write(dist.sample(&mut rng) * 256, &[0])
+            .expect("write");
     }
     let f0 = store.stats().pages_flushed.get();
     let c0 = store.stats().clean_programs.get();
     for _ in 0..writes / 2 {
-        store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+        store
+            .write(dist.sample(&mut rng) * 256, &[0])
+            .expect("write");
     }
     let flushed = store.stats().pages_flushed.get() - f0;
     let programs = store.stats().clean_programs.get() - c0;
@@ -39,6 +43,27 @@ fn run(locality: (u32, u32), redistribute: bool, to_origin: bool, writes: u64) -
 
 fn main() {
     let writes: u64 = if quick_mode() { 300_000 } else { 800_000 };
+    let localities = vec![(50u32, 50u32), (20, 80), (5, 95)];
+    let outcome = SweepSpec::new("abl_lg_mechanisms", localities).run(|_, &locality| {
+        let full = run(locality, true, true, writes);
+        let no_redistribution = run(locality, false, true, writes);
+        let no_flush_to_origin = run(locality, true, false, writes);
+        let neither = run(locality, false, false, writes);
+        PointResult::row(
+            locality_label(locality),
+            vec![
+                locality_label(locality),
+                fmt_f64(full),
+                fmt_f64(no_redistribution),
+                fmt_f64(no_flush_to_origin),
+                fmt_f64(neither),
+            ],
+        )
+        .metric("full_lg", full)
+        .metric("no_redistribution", no_redistribution)
+        .metric("no_flush_to_origin", no_flush_to_origin)
+        .metric("neither", neither)
+    });
     let mut table = Table::new(&[
         "locality",
         "full LG",
@@ -46,15 +71,8 @@ fn main() {
         "no flush-to-origin",
         "neither",
     ]);
-    for locality in [(50u32, 50u32), (20, 80), (5, 95)] {
-        table.row(&[
-            locality_label(locality),
-            fmt_f64(run(locality, true, true, writes)),
-            fmt_f64(run(locality, false, true, writes)),
-            fmt_f64(run(locality, true, false, writes)),
-            fmt_f64(run(locality, false, false, writes)),
-        ]);
-        eprintln!("  done {}", locality_label(locality));
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Ablation: locality-gathering mechanisms",

@@ -5,29 +5,41 @@
 //! access pays an extra SRAM page-table lookup. The sweep runs TPC-A
 //! with different cache sizes and reports hit rate and mean read latency.
 
-use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_bench::{arg_u64, emit, quick_mode, timed_config, timed_driver, PointResult, SweepSpec};
 use envy_core::EnvyStore;
 use envy_sim::report::Table;
 use envy_workload::run_timed;
 
 fn main() {
     let txns = arg_u64("txns", if quick_mode() { 6_000 } else { 20_000 });
-    let mut table = Table::new(&["mmu entries", "hit rate", "read latency", "write latency"]);
-    for entries in [0usize, 64, 512, 4096, 32_768] {
-        let (store0, driver) = timed_system(0.8);
-        let config = store0.config().clone().with_mmu_entries(entries);
-        drop(store0);
+    let sizes = vec![0usize, 64, 512, 4096, 32_768];
+    let outcome = SweepSpec::new("abl_mmu", sizes).run(|_, &entries| {
+        // The cache size changes the device config, so each point builds
+        // its own system; `run_timed`'s warmup window covers settling.
+        let config = timed_config(0.8).with_mmu_entries(entries);
+        let driver = timed_driver(&config);
         let mut store = EnvyStore::new(config).expect("valid config");
         store.prefill().expect("prefill");
-        let result = run_timed(&mut store, &driver, 10_000.0, txns / 10, txns, 42)
-            .expect("timed run");
-        table.row(&[
-            entries.to_string(),
-            format!("{:.1}%", store.engine().mmu().hit_rate() * 100.0),
-            result.read_latency.to_string(),
-            result.write_latency.to_string(),
-        ]);
-        eprintln!("  done mmu={entries}");
+        let result =
+            run_timed(&mut store, &driver, 10_000.0, txns / 10, txns, 42).expect("timed run");
+        let hit_rate = store.engine().mmu().hit_rate();
+        PointResult::row(
+            format!("mmu={entries}"),
+            vec![
+                entries.to_string(),
+                format!("{:.1}%", hit_rate * 100.0),
+                result.read_latency.to_string(),
+                result.write_latency.to_string(),
+            ],
+        )
+        .metric("mmu_entries", entries as f64)
+        .metric("hit_rate", hit_rate)
+        .metric("read_latency_ns", result.read_latency.as_nanos() as f64)
+        .metric("write_latency_ns", result.write_latency.as_nanos() as f64)
+    });
+    let mut table = Table::new(&["mmu entries", "hit rate", "read latency", "write latency"]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Ablation: MMU mapping-cache size",

@@ -9,19 +9,15 @@
 //! page sizes and reports bytes programmed per byte written (write
 //! amplification from page granularity alone) plus page-table SRAM cost.
 
-use envy_bench::{emit, quick_mode};
+use envy_bench::{emit, quick_mode, PointResult, SweepSpec};
 use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy_sim::report::{fmt_f64, Table};
 use envy_sim::rng::Rng;
 
 fn main() {
     let writes: u64 = if quick_mode() { 100_000 } else { 300_000 };
-    let mut table = Table::new(&[
-        "page bytes",
-        "flash bytes programmed / byte written",
-        "page-table SRAM per GB flash (MB)",
-    ]);
-    for page_bytes in [64u32, 128, 256, 512, 1024] {
+    let sizes = vec![64u32, 128, 256, 512, 1024];
+    let outcome = SweepSpec::new("abl_page_size", sizes).run(|_, &page_bytes| {
         // Constant array byte size: 8 MB.
         let pps = 2048 * 256 / page_bytes;
         let config = EnvyConfig::scaled(4, 16, pps, page_bytes)
@@ -38,16 +34,30 @@ fn main() {
         }
         let stats = store.stats();
         let programs = stats.pages_flushed.get() + stats.clean_programs.get();
-        let programmed_bytes = programs * page_bytes as u64;
+        let programmed_bytes = programs * u64::from(page_bytes);
         let written_bytes = writes * 8;
+        let amplification = programmed_bytes as f64 / written_bytes as f64;
         // §3.3: 6 bytes of page table per page.
-        let table_mb = (1u64 << 30) / page_bytes as u64 * 6 / (1024 * 1024);
-        table.row(&[
-            page_bytes.to_string(),
-            fmt_f64(programmed_bytes as f64 / written_bytes as f64),
-            table_mb.to_string(),
-        ]);
-        eprintln!("  done page={page_bytes}");
+        let table_mb = (1u64 << 30) / u64::from(page_bytes) * 6 / (1024 * 1024);
+        PointResult::row(
+            format!("page={page_bytes}"),
+            vec![
+                page_bytes.to_string(),
+                fmt_f64(amplification),
+                table_mb.to_string(),
+            ],
+        )
+        .metric("page_bytes", f64::from(page_bytes))
+        .metric("write_amplification", amplification)
+        .metric("page_table_mb_per_gb", table_mb as f64)
+    });
+    let mut table = Table::new(&[
+        "page bytes",
+        "flash bytes programmed / byte written",
+        "page-table SRAM per GB flash (MB)",
+    ]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Ablation: page size",

@@ -3,7 +3,7 @@
 //! A lower threshold keeps wear more even (longer array life) at the
 //! price of extra swap copies; `off` shows the unlevelled spread.
 
-use envy_bench::{emit, quick_mode};
+use envy_bench::{emit, quick_mode, PointResult, SweepSpec};
 use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy_sim::dist::Bimodal;
 use envy_sim::report::{fmt_f64, Table};
@@ -11,14 +11,8 @@ use envy_sim::rng::Rng;
 
 fn main() {
     let writes: u64 = if quick_mode() { 300_000 } else { 1_000_000 };
-    let mut table = Table::new(&[
-        "threshold",
-        "cycle spread",
-        "max cycles",
-        "swaps",
-        "swap programs / flush",
-    ]);
-    for threshold in [u64::MAX, 200, 100, 50, 10] {
+    let thresholds = vec![u64::MAX, 200, 100, 50, 10];
+    let outcome = SweepSpec::new("abl_wear_threshold", thresholds).run(|_, &threshold| {
         let config = EnvyConfig::scaled(4, 16, 256, 256)
             .with_store_data(false)
             .with_policy(PolicyKind::LocalityGathering)
@@ -30,7 +24,9 @@ fn main() {
         let dist = Bimodal::from_spec(store.config().logical_pages, 5, 95);
         let mut rng = Rng::seed_from(3);
         for _ in 0..writes {
-            store.write(dist.sample(&mut rng) * 256, &[0]).expect("write");
+            store
+                .write(dist.sample(&mut rng) * 256, &[0])
+                .expect("write");
         }
         let flash = store.engine().flash();
         let stats = store.stats();
@@ -39,14 +35,33 @@ fn main() {
         } else {
             threshold.to_string()
         };
-        table.row(&[
-            label,
-            (flash.max_erase_cycles() - flash.min_erase_cycles()).to_string(),
-            flash.max_erase_cycles().to_string(),
-            stats.wear_swaps.get().to_string(),
-            fmt_f64(stats.wear_programs.get() as f64 / stats.pages_flushed.get() as f64),
-        ]);
-        eprintln!("  done threshold={threshold}");
+        let spread = flash.max_erase_cycles() - flash.min_erase_cycles();
+        let swap_programs_per_flush =
+            stats.wear_programs.get() as f64 / stats.pages_flushed.get() as f64;
+        PointResult::row(
+            format!("threshold={label}"),
+            vec![
+                label,
+                spread.to_string(),
+                flash.max_erase_cycles().to_string(),
+                stats.wear_swaps.get().to_string(),
+                fmt_f64(swap_programs_per_flush),
+            ],
+        )
+        .metric("cycle_spread", spread as f64)
+        .metric("max_cycles", flash.max_erase_cycles() as f64)
+        .metric("swaps", stats.wear_swaps.get() as f64)
+        .metric("swap_programs_per_flush", swap_programs_per_flush)
+    });
+    let mut table = Table::new(&[
+        "threshold",
+        "cycle spread",
+        "max cycles",
+        "swaps",
+        "swap programs / flush",
+    ]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Ablation: wear-leveling threshold",

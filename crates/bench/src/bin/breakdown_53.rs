@@ -12,6 +12,7 @@ use envy_sim::report::Table;
 use envy_workload::run_timed;
 
 fn main() {
+    let start = std::time::Instant::now();
     let txns = arg_u64("txns", if quick_mode() { 10_000 } else { 40_000 });
     let rate = arg_u64("rate", 30_000) as f64;
     let (mut store, driver) = timed_system(0.8);
@@ -27,7 +28,11 @@ fn main() {
     table.row(&["cleaning".into(), pct(b.cleaning), "~30%".into()]);
     table.row(&["flushing".into(), pct(b.flushing), "~15%".into()]);
     table.row(&["erasing".into(), pct(b.erasing), "~15%".into()]);
-    table.row(&["suspension back-off".into(), pct(b.suspended), "(not separated)".into()]);
+    table.row(&[
+        "suspension back-off".into(),
+        pct(b.suspended),
+        "(not separated)".into(),
+    ]);
     emit(
         "Section 5.3",
         &format!(
@@ -36,4 +41,24 @@ fn main() {
         ),
         &table,
     );
+    let points = vec![(
+        format!("{rate} TPS"),
+        vec![
+            ("achieved_tps", result.achieved_tps),
+            ("reads", b.reads),
+            ("writes", b.writes),
+            ("cleaning", b.cleaning),
+            ("flushing", b.flushing),
+            ("erasing", b.erasing),
+            ("suspended", b.suspended),
+        ],
+    )];
+    if let Err(e) = envy_bench::sweep::write_report_raw(
+        "breakdown_53",
+        1,
+        start.elapsed().as_secs_f64(),
+        &points,
+    ) {
+        eprintln!("  warning: could not write report: {e}");
+    }
 }

@@ -1,10 +1,11 @@
 //! Internal: inspect backlog/pending dynamics at saturating load.
 use envy_bench::timed_system;
-use envy_workload::{run_timed, Transaction};
-use envy_sim::rng::Rng;
 use envy_sim::dist::Exponential;
+use envy_sim::rng::Rng;
+use envy_workload::{run_timed, Transaction};
 
 fn main() {
+    let start = std::time::Instant::now();
     let (mut store, driver) = timed_system(0.8);
     let arrivals = Exponential::with_rate_per_sec(60_000.0);
     let mut rng = Rng::seed_from(42);
@@ -13,7 +14,9 @@ fn main() {
     for i in 0..40_000u64 {
         arrival += arrivals.sample(&mut rng);
         let txn = Transaction::generate(scale, &mut rng);
-        driver.run_transaction_timed(&mut store, arrival, &txn).unwrap();
+        driver
+            .run_transaction_timed(&mut store, arrival, &txn)
+            .unwrap();
         if i % 5000 == 4999 {
             println!(
                 "txn {i}: sim={} backlog={} wr_lat={} suspensions={}",
@@ -25,8 +28,10 @@ fn main() {
         }
     }
     let b = store.stats().breakdown().unwrap();
-    println!("breakdown: r={:.2} w={:.2} f={:.2} c={:.2} e={:.2} s={:.2}",
-        b.reads, b.writes, b.flushing, b.cleaning, b.erasing, b.suspended);
+    println!(
+        "breakdown: r={:.2} w={:.2} f={:.2} c={:.2} e={:.2} s={:.2}",
+        b.reads, b.writes, b.flushing, b.cleaning, b.erasing, b.suspended
+    );
     let st = store.stats();
     println!(
         "busy={} wall={} reads/txn={:.1} writes/txn={:.1} rd_lat={} cost={:.2}",
@@ -38,4 +43,21 @@ fn main() {
         st.cleaning_cost(),
     );
     let _ = run_timed; // silence unused import paths if any
+    let points = vec![(
+        "saturating load".to_string(),
+        vec![
+            ("reads_per_txn", st.host_reads.get() as f64 / 40_000.0),
+            ("writes_per_txn", st.host_writes.get() as f64 / 40_000.0),
+            ("cleaning_cost", st.cleaning_cost()),
+            ("suspensions", st.suspensions.get() as f64),
+        ],
+    )];
+    if let Err(e) = envy_bench::sweep::write_report_raw(
+        "calib_debug",
+        1,
+        start.elapsed().as_secs_f64(),
+        &points,
+    ) {
+        eprintln!("  warning: could not write report: {e}");
+    }
 }

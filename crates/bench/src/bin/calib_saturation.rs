@@ -1,33 +1,39 @@
 //! Internal calibration: sensitivity of the saturation point to the
 //! suspend/resume back-off ("waits a few microseconds", §3.4).
 
-use envy_bench::{quick_mode, timed_system};
+use envy_bench::{
+    churn_to_steady_state, quick_mode, timed_config, timed_driver, PointResult, SweepSpec,
+};
 use envy_sim::time::Ns;
 use envy_workload::run_timed;
 
 fn main() {
     let txns = if quick_mode() { 30_000 } else { 60_000 };
-    for gap_us in [0u64, 1, 2, 4] {
-        let (store0, driver) = timed_system(0.8);
-        let mut config = store0.config().clone();
-        drop(store0);
+    let gaps = vec![0u64, 1, 2, 4];
+    let outcome = SweepSpec::new("calib_saturation", gaps).run(|_, &gap_us| {
+        // The resume gap changes the device config, so each point builds
+        // (and churns) its own system.
+        let mut config = timed_config(0.8);
         config.resume_gap = Ns::from_micros(gap_us);
         config.store_data = false;
+        let driver = timed_driver(&config);
         let mut store = envy_core::EnvyStore::new(config).unwrap();
         store.prefill().unwrap();
-        let total = store.config().geometry.total_pages();
-        let free = total - store.config().logical_pages;
-        let mut rng = envy_sim::rng::Rng::seed_from(0xC0FFEE);
-        let accounts = driver.layout().scale.accounts();
-        for _ in 0..free * 2 {
-            let id = rng.below(accounts);
-            store.write(driver.layout().account_addr(id), &[0u8; 8]).unwrap();
-        }
+        churn_to_steady_state(&mut store, &driver);
         let r = run_timed(&mut store, &driver, 60_000.0, txns / 10, txns, 42).unwrap();
-        println!(
-            "resume_gap={gap_us}us  peak TPS={:.0}  suspensions/txn={:.1}",
-            r.achieved_tps,
-            store.stats().suspensions.get() as f64 / (txns as f64 * 1.1)
-        );
+        let suspensions_per_txn = store.stats().suspensions.get() as f64 / (txns as f64 * 1.1);
+        PointResult::row(
+            format!("gap={gap_us}us"),
+            vec![format!(
+                "resume_gap={gap_us}us  peak TPS={:.0}  suspensions/txn={:.1}",
+                r.achieved_tps, suspensions_per_txn
+            )],
+        )
+        .metric("resume_gap_us", gap_us as f64)
+        .metric("peak_tps", r.achieved_tps)
+        .metric("suspensions_per_txn", suspensions_per_txn)
+    });
+    for row in &outcome.rows {
+        println!("{}", row[0]);
     }
 }

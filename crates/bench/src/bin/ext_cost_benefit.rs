@@ -8,29 +8,39 @@
 //! improves on greedy under skew, but the hybrid — which exploits eNVy's
 //! freedom to write to many segments in quick succession — still wins.
 
-use envy_bench::{emit, locality_label, quick_mode, LOCALITIES};
+use envy_bench::{emit, locality_label, quick_mode, PointResult, SweepSpec, LOCALITIES};
 use envy_core::PolicyKind;
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::CleaningStudy;
 
 fn main() {
     let pps = if quick_mode() { 128 } else { 512 };
-    let policies: [(&str, PolicyKind); 3] = [
+    let policies: [(&'static str, PolicyKind); 3] = [
         ("greedy", PolicyKind::Greedy),
         ("cost-benefit", PolicyKind::CostBenefit),
-        ("hybrid-16", PolicyKind::Hybrid { segments_per_partition: 16 }),
+        (
+            "hybrid-16",
+            PolicyKind::Hybrid {
+                segments_per_partition: 16,
+            },
+        ),
     ];
-    let mut table = Table::new(&["locality", "greedy", "cost-benefit", "hybrid-16"]);
-    for locality in LOCALITIES {
+    let outcome = SweepSpec::new("ext_cost_benefit", LOCALITIES.to_vec()).run(|_, &locality| {
         let mut row = vec![locality_label(locality)];
-        for (_, policy) in policies {
+        let mut result = PointResult::row(locality_label(locality), Vec::new());
+        for (name, policy) in policies {
             let out = CleaningStudy::sized(128, pps, policy, locality)
                 .run()
                 .expect("study must run");
             row.push(fmt_f64(out.cleaning_cost));
+            result.metrics.push((name, out.cleaning_cost));
         }
-        table.row(&row);
-        eprintln!("  done {}", locality_label(locality));
+        result.rows = vec![row];
+        result
+    });
+    let mut table = Table::new(&["locality", "greedy", "cost-benefit", "hybrid-16"]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Extension: cost-benefit baseline",

@@ -9,49 +9,51 @@
 //! background operations and reports achieved throughput and the
 //! effective per-flush background time.
 
-use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_bench::{
+    arg_u64, churn_to_steady_state, emit, quick_mode, timed_config, timed_driver, PointResult,
+    SweepSpec,
+};
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::run_timed;
 
 fn main() {
     let txns = arg_u64("txns", if quick_mode() { 8_000 } else { 30_000 });
     let rate = arg_u64("rate", 50_000) as f64; // past base-system saturation
+    let levels = vec![1u32, 2, 4, 8];
+    let outcome = SweepSpec::new("ext_parallel", levels).run(|_, &parallel| {
+        // The parallel-ops setting changes the device config, so each
+        // point builds (and churns) its own system.
+        let mut config = timed_config(0.8).with_parallel_ops(parallel);
+        config.store_data = false;
+        let driver = timed_driver(&config);
+        let mut store = envy_core::EnvyStore::new(config).expect("config valid");
+        store.prefill().expect("prefill");
+        churn_to_steady_state(&mut store, &driver);
+        let result = run_timed(&mut store, &driver, rate, txns / 10, txns, 42).expect("timed run");
+        let stats = store.stats();
+        let flush_time_us = stats.time_flush.as_micros_f64() / stats.pages_flushed.get() as f64;
+        PointResult::row(
+            format!("parallel={parallel}"),
+            vec![
+                parallel.to_string(),
+                fmt_f64(result.achieved_tps),
+                fmt_f64(flush_time_us),
+                result.write_latency.to_string(),
+            ],
+        )
+        .metric("parallel_ops", f64::from(parallel))
+        .metric("achieved_tps", result.achieved_tps)
+        .metric("effective_us_per_flush", flush_time_us)
+        .metric("write_latency_ns", result.write_latency.as_nanos() as f64)
+    });
     let mut table = Table::new(&[
         "parallel ops",
         "achieved TPS",
         "effective us/flush",
         "write latency",
     ]);
-    for parallel in [1u32, 2, 4, 8] {
-        let (store0, driver) = timed_system(0.8);
-        let mut config = store0.config().clone().with_parallel_ops(parallel);
-        config.store_data = false;
-        drop(store0);
-        // Rebuild with the parallel setting (timed_system builds at 1).
-        let mut store = envy_core::EnvyStore::new(config).expect("config valid");
-        store.prefill().expect("prefill");
-        // Quick churn to steady state.
-        let total = store.config().geometry.total_pages();
-        let free = total - store.config().logical_pages;
-        let mut rng = envy_sim::rng::Rng::seed_from(0xC0FFEE);
-        let accounts = driver.layout().scale.accounts();
-        for _ in 0..free * 2 {
-            let id = rng.below(accounts);
-            store
-                .write(driver.layout().account_addr(id), &[0u8; 8])
-                .expect("churn");
-        }
-        let result =
-            run_timed(&mut store, &driver, rate, txns / 10, txns, 42).expect("timed run");
-        let stats = store.stats();
-        let flush_time_us = stats.time_flush.as_micros_f64() / stats.pages_flushed.get() as f64;
-        table.row(&[
-            parallel.to_string(),
-            fmt_f64(result.achieved_tps),
-            fmt_f64(flush_time_us),
-            result.write_latency.to_string(),
-        ]);
-        eprintln!("  done parallel={parallel}");
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Section 6",

@@ -9,7 +9,7 @@
 //! measured cost sits *below* the naive curve while preserving its shape
 //! (compare the §4.2 discussion).
 
-use envy_bench::{arg_u64, emit, quick_mode};
+use envy_bench::{arg_u64, emit, quick_mode, PointResult, SweepSpec};
 use envy_core::PolicyKind;
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::CleaningStudy;
@@ -17,19 +17,28 @@ use envy_workload::CleaningStudy;
 fn main() {
     let pps = if quick_mode() { 128 } else { 256 };
     let segments = arg_u64("segments", 64) as u32;
-    let mut table = Table::new(&["utilization", "analytic u/(1-u)", "measured FIFO uniform"]);
-    for util_pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90, 95] {
-        let u = util_pct as f64 / 100.0;
+    let utils = vec![10u32, 20, 30, 40, 50, 60, 70, 80, 90, 95];
+    let outcome = SweepSpec::new("fig06_cleaning_cost", utils).run(|_, &util_pct| {
+        let u = f64::from(util_pct) / 100.0;
         let analytic = u / (1.0 - u);
         let mut study = CleaningStudy::sized(segments, pps, PolicyKind::Fifo, (50, 50));
         study.utilization = u;
         let out = study.run().expect("study must run");
-        table.row(&[
+        PointResult::row(
             format!("{util_pct}%"),
-            fmt_f64(analytic),
-            fmt_f64(out.cleaning_cost),
-        ]);
-        eprintln!("  done {util_pct}%");
+            vec![
+                format!("{util_pct}%"),
+                fmt_f64(analytic),
+                fmt_f64(out.cleaning_cost),
+            ],
+        )
+        .metric("utilization", u)
+        .metric("analytic_cost", analytic)
+        .metric("measured_cost", out.cleaning_cost)
+    });
+    let mut table = Table::new(&["utilization", "analytic u/(1-u)", "measured FIFO uniform"]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 6",

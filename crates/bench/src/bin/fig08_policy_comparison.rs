@@ -9,33 +9,45 @@
 //! and improves with locality; the hybrid tracks greedy at uniform and
 //! locality gathering at high skew, beating pure LG everywhere.
 
-use envy_bench::{emit, locality_label, quick_mode, LOCALITIES};
+use envy_bench::{emit, locality_label, quick_mode, PointResult, SweepSpec, LOCALITIES};
 use envy_core::PolicyKind;
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::CleaningStudy;
 
 fn main() {
     let pps = if quick_mode() { 128 } else { 512 };
-    let policies: [(&str, PolicyKind); 3] = [
+    let policies: [(&'static str, PolicyKind); 3] = [
         ("greedy", PolicyKind::Greedy),
         ("locality-gathering", PolicyKind::LocalityGathering),
-        ("hybrid-16", PolicyKind::Hybrid { segments_per_partition: 16 }),
+        (
+            "hybrid-16",
+            PolicyKind::Hybrid {
+                segments_per_partition: 16,
+            },
+        ),
     ];
-    let mut table = Table::new(&["locality", "greedy", "locality-gathering", "hybrid-16"]);
-    for locality in LOCALITIES {
-        let mut row = vec![locality_label(locality)];
-        for (_, policy) in policies {
-            let mut study = CleaningStudy::sized(128, pps, policy, locality);
-            // Locality gathering's frequency estimates converge slowly
-            // across 127 single-segment partitions; give it extra warmup.
-            if policy == PolicyKind::LocalityGathering && !quick_mode() {
-                study.warmup_writes *= 3;
+    let outcome =
+        SweepSpec::new("fig08_policy_comparison", LOCALITIES.to_vec()).run(|_, &locality| {
+            let mut row = vec![locality_label(locality)];
+            let mut result = PointResult::row(locality_label(locality), Vec::new());
+            for (name, policy) in policies {
+                let mut study = CleaningStudy::sized(128, pps, policy, locality);
+                // Locality gathering's frequency estimates converge slowly
+                // across 127 single-segment partitions; give it extra
+                // warmup.
+                if policy == PolicyKind::LocalityGathering && !quick_mode() {
+                    study.warmup_writes *= 3;
+                }
+                let out = study.run().expect("study must run");
+                row.push(fmt_f64(out.cleaning_cost));
+                result.metrics.push((name, out.cleaning_cost));
             }
-            let out = study.run().expect("study must run");
-            row.push(fmt_f64(out.cleaning_cost));
-        }
-        table.row(&row);
-        eprintln!("  done {}", locality_label(locality));
+            result.rows = vec![row];
+            result
+        });
+    let mut table = Table::new(&["locality", "greedy", "locality-gathering", "hybrid-16"]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 8",

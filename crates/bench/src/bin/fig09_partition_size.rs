@@ -4,33 +4,49 @@
 //! locality gathering; size 128 is pure FIFO. The paper finds the best
 //! overall cost at 16 segments per partition.
 
-use envy_bench::{emit, locality_label, quick_mode};
+use envy_bench::{emit, locality_label, quick_mode, PointResult, SweepSpec};
 use envy_core::PolicyKind;
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::CleaningStudy;
 
+const LOCALITIES: [(u32, u32); 5] = [(50, 50), (30, 70), (20, 80), (10, 90), (5, 95)];
+const METRIC_NAMES: [&str; 5] = [
+    "cost_50_50",
+    "cost_30_70",
+    "cost_20_80",
+    "cost_10_90",
+    "cost_5_95",
+];
+
 fn main() {
     let pps = if quick_mode() { 128 } else { 512 };
-    let localities = [(50u32, 50u32), (30, 70), (20, 80), (10, 90), (5, 95)];
-    let headers: Vec<String> = std::iter::once("segs/partition".to_string())
-        .chain(localities.iter().map(|&l| locality_label(l)))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(&header_refs);
-    for k in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+    let sizes = vec![1u32, 2, 4, 8, 16, 32, 64, 128];
+    let outcome = SweepSpec::new("fig09_partition_size", sizes).run(|_, &k| {
         let mut row = vec![k.to_string()];
-        for &locality in &localities {
+        let mut result = PointResult::row(format!("k={k}"), Vec::new());
+        for (&locality, name) in LOCALITIES.iter().zip(METRIC_NAMES) {
             let study = CleaningStudy::sized(
                 128,
                 pps,
-                PolicyKind::Hybrid { segments_per_partition: k },
+                PolicyKind::Hybrid {
+                    segments_per_partition: k,
+                },
                 locality,
             );
             let out = study.run().expect("study must run");
             row.push(fmt_f64(out.cleaning_cost));
+            result.metrics.push((name, out.cleaning_cost));
         }
-        table.row(&row);
-        eprintln!("  done k={k}");
+        result.rows = vec![row];
+        result
+    });
+    let headers: Vec<String> = std::iter::once("segs/partition".to_string())
+        .chain(LOCALITIES.iter().map(|&l| locality_label(l)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 9",

@@ -5,37 +5,47 @@
 //! segments. Finer segments clean more efficiently, with diminishing
 //! returns once each segment is below ~1 % of the array.
 
-use envy_bench::{emit, locality_label, quick_mode};
+use envy_bench::{emit, locality_label, quick_mode, PointResult, SweepSpec};
 use envy_core::PolicyKind;
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::CleaningStudy;
+
+const LOCALITIES: [(u32, u32); 4] = [(50, 50), (20, 80), (10, 90), (5, 95)];
+const METRIC_NAMES: [&str; 4] = ["cost_50_50", "cost_20_80", "cost_10_90", "cost_5_95"];
 
 fn main() {
     // Fixed array capacity in pages; pages-per-segment shrinks as the
     // segment count grows.
     let total_pages: u64 = if quick_mode() { 1 << 15 } else { 1 << 17 };
-    let localities = [(50u32, 50u32), (20, 80), (10, 90), (5, 95)];
-    let headers: Vec<String> = std::iter::once("segments".to_string())
-        .chain(localities.iter().map(|&l| locality_label(l)))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(&header_refs);
-    for segments in [32u32, 64, 128, 256, 512, 1024] {
-        let pps = (total_pages / segments as u64) as u32;
+    let counts = vec![32u32, 64, 128, 256, 512, 1024];
+    let outcome = SweepSpec::new("fig10_segment_count", counts).run(|_, &segments| {
+        let pps = (total_pages / u64::from(segments)) as u32;
         let k = (segments / 8).max(1); // 8 partitions throughout
         let mut row = vec![segments.to_string()];
-        for &locality in &localities {
+        let mut result = PointResult::row(format!("{segments} segments"), Vec::new());
+        for (&locality, name) in LOCALITIES.iter().zip(METRIC_NAMES) {
             let study = CleaningStudy::sized(
                 segments,
                 pps,
-                PolicyKind::Hybrid { segments_per_partition: k },
+                PolicyKind::Hybrid {
+                    segments_per_partition: k,
+                },
                 locality,
             );
             let out = study.run().expect("study must run");
             row.push(fmt_f64(out.cleaning_cost));
+            result.metrics.push((name, out.cleaning_cost));
         }
-        table.row(&row);
-        eprintln!("  done {segments} segments");
+        result.rows = vec![row];
+        result
+    });
+    let headers: Vec<String> = std::iter::once("segments".to_string())
+        .chain(LOCALITIES.iter().map(|&l| locality_label(l)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 10",

@@ -5,30 +5,39 @@
 //! until the cleaning system saturates (the paper's 2 GB system peaks
 //! around 30 000 TPS), then plateaus.
 
-use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_bench::{arg_u64, emit, quick_mode, timed_system, PointResult, SweepSpec};
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::run_timed;
 
 fn main() {
     let txns = arg_u64("txns", if quick_mode() { 10_000 } else { 40_000 });
     let warmup = txns / 10;
-    let mut table = Table::new(&[
-        "offered TPS",
-        "achieved TPS",
-        "flushes/s",
-        "cleaning cost",
-    ]);
-    for rate in [5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000] {
-        let (mut store, driver) = timed_system(0.8);
-        let result = run_timed(&mut store, &driver, rate as f64, warmup, txns, 42)
-            .expect("timed run");
-        table.row(&[
-            rate.to_string(),
-            fmt_f64(result.achieved_tps),
-            fmt_f64(result.flushes_per_sec),
-            fmt_f64(result.cleaning_cost),
-        ]);
-        eprintln!("  done {rate} TPS");
+    // Build, prefill and churn the baseline once; every rate forks it.
+    let (base, driver) = timed_system(0.8);
+    let rates = vec![
+        5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000,
+    ];
+    let outcome = SweepSpec::new("fig13_throughput", rates).run(|_, &rate| {
+        let mut store = base.fork();
+        let result =
+            run_timed(&mut store, &driver, rate as f64, warmup, txns, 42).expect("timed run");
+        PointResult::row(
+            format!("{rate} TPS"),
+            vec![
+                rate.to_string(),
+                fmt_f64(result.achieved_tps),
+                fmt_f64(result.flushes_per_sec),
+                fmt_f64(result.cleaning_cost),
+            ],
+        )
+        .metric("offered_tps", rate as f64)
+        .metric("achieved_tps", result.achieved_tps)
+        .metric("flushes_per_sec", result.flushes_per_sec)
+        .metric("cleaning_cost", result.cleaning_cost)
+    });
+    let mut table = Table::new(&["offered TPS", "achieved TPS", "flushes/s", "cleaning cost"]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 13",

@@ -4,7 +4,7 @@
 //! bandwidth goes to cleaning; past ~80 % utilization throughput drops
 //! steeply — the paper's rationale for capping the array at 80 %.
 
-use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_bench::{arg_u64, emit, quick_mode, timed_system, PointResult, SweepSpec};
 use envy_sim::report::{fmt_f64, Table};
 use envy_workload::run_timed;
 
@@ -12,6 +12,33 @@ fn main() {
     let txns = arg_u64("txns", if quick_mode() { 8_000 } else { 30_000 });
     let warmup = txns / 10;
     let rates = [10_000u64, 20_000, 30_000, 40_000];
+    let utils = vec![10u32, 20, 30, 40, 50, 60, 70, 80, 90, 95];
+    let outcome = SweepSpec::new("fig14_utilization", utils).run(|_, &util_pct| {
+        // One baseline per utilization point, forked for each rate.
+        let (base, driver) = timed_system(util_pct as f64 / 100.0);
+        let mut row = vec![format!("{util_pct}%")];
+        let mut result = PointResult::row(format!("{util_pct}%"), Vec::new());
+        let mut last_cost = 0.0;
+        for rate in rates {
+            let mut store = base.fork();
+            let r =
+                run_timed(&mut store, &driver, rate as f64, warmup, txns, 42).expect("timed run");
+            row.push(fmt_f64(r.achieved_tps));
+            last_cost = r.cleaning_cost;
+            result.metrics.push((
+                match rate {
+                    10_000 => "achieved_tps_at_10k",
+                    20_000 => "achieved_tps_at_20k",
+                    30_000 => "achieved_tps_at_30k",
+                    _ => "achieved_tps_at_40k",
+                },
+                r.achieved_tps,
+            ));
+        }
+        row.push(fmt_f64(last_cost));
+        result.rows = vec![row];
+        result.metric("cleaning_cost", last_cost)
+    });
     let mut table = Table::new(&[
         "utilization",
         "10k TPS",
@@ -20,19 +47,8 @@ fn main() {
         "40k TPS",
         "cleaning cost",
     ]);
-    for util_pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90, 95] {
-        let mut row = vec![format!("{util_pct}%")];
-        let mut last_cost = 0.0;
-        for rate in rates {
-            let (mut store, driver) = timed_system(util_pct as f64 / 100.0);
-            let result = run_timed(&mut store, &driver, rate as f64, warmup, txns, 42)
-                .expect("timed run");
-            row.push(fmt_f64(result.achieved_tps));
-            last_cost = result.cleaning_cost;
-        }
-        row.push(fmt_f64(last_cost));
-        table.row(&row);
-        eprintln!("  done {util_pct}%");
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 14",

@@ -7,7 +7,7 @@
 //! average write latency jumps by more than an order of magnitude while
 //! reads stay fast.
 
-use envy_bench::{arg_u64, emit, quick_mode, timed_system};
+use envy_bench::{arg_u64, emit, quick_mode, timed_system, PointResult, SweepSpec};
 use envy_sim::report::Table;
 use envy_sim::time::Ns;
 use envy_workload::run_timed;
@@ -15,18 +15,37 @@ use envy_workload::run_timed;
 fn main() {
     let txns = arg_u64("txns", if quick_mode() { 8_000 } else { 30_000 });
     let warmup = txns / 10;
-    let mut table = Table::new(&["offered TPS", "read latency", "write latency", "achieved TPS"]);
-    for rate in [5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000] {
-        let (mut store, driver) = timed_system(0.8);
-        let result = run_timed(&mut store, &driver, rate as f64, warmup, txns, 42)
-            .expect("timed run");
-        table.row(&[
-            rate.to_string(),
-            format_latency(result.read_latency),
-            format_latency(result.write_latency),
-            format!("{:.0}", result.achieved_tps),
-        ]);
-        eprintln!("  done {rate} TPS");
+    // Build, prefill and churn the baseline once; every rate forks it.
+    let (base, driver) = timed_system(0.8);
+    let rates = vec![
+        5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000,
+    ];
+    let outcome = SweepSpec::new("fig15_latency", rates).run(|_, &rate| {
+        let mut store = base.fork();
+        let result =
+            run_timed(&mut store, &driver, rate as f64, warmup, txns, 42).expect("timed run");
+        PointResult::row(
+            format!("{rate} TPS"),
+            vec![
+                rate.to_string(),
+                format_latency(result.read_latency),
+                format_latency(result.write_latency),
+                format!("{:.0}", result.achieved_tps),
+            ],
+        )
+        .metric("offered_tps", rate as f64)
+        .metric("read_latency_ns", result.read_latency.as_nanos() as f64)
+        .metric("write_latency_ns", result.write_latency.as_nanos() as f64)
+        .metric("achieved_tps", result.achieved_tps)
+    });
+    let mut table = Table::new(&[
+        "offered TPS",
+        "read latency",
+        "write latency",
+        "achieved TPS",
+    ]);
+    for row in &outcome.rows {
+        table.row(row);
     }
     emit(
         "Figure 15",

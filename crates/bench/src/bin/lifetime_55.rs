@@ -11,6 +11,7 @@ use envy_sim::report::{fmt_f64, Table};
 use envy_workload::run_timed;
 
 fn main() {
+    let start = std::time::Instant::now();
     let txns = arg_u64("txns", if quick_mode() { 10_000 } else { 40_000 });
     let rate = arg_u64("rate", 10_000) as f64;
     let (mut store, driver) = timed_system(0.8);
@@ -51,4 +52,21 @@ fn main() {
         &format!("estimated lifetime at {rate} TPS on the 2 GB array (1M-cycle parts)"),
         &table,
     );
+    let points = vec![(
+        format!("{rate} TPS"),
+        vec![
+            ("pages_flushed_per_sec", projected_flush_rate),
+            ("cleaning_cost", result.cleaning_cost),
+            ("lifetime_days", days),
+            ("lifetime_years", days / 365.25),
+        ],
+    )];
+    if let Err(e) = envy_bench::sweep::write_report_raw(
+        "lifetime_55",
+        1,
+        start.elapsed().as_secs_f64(),
+        &points,
+    ) {
+        eprintln!("  warning: could not write report: {e}");
+    }
 }

@@ -6,6 +6,7 @@ use envy_core::params::{CostEstimate, TECHNOLOGIES};
 use envy_sim::report::Table;
 
 fn main() {
+    let start = std::time::Instant::now();
     let mut table = Table::new(&[
         "technology",
         "read",
@@ -31,17 +32,41 @@ fn main() {
             format!("{}", t.retention_amps_per_gb),
         ]);
     }
-    emit("Figure 1", "feature comparison of storage technologies", &table);
+    emit(
+        "Figure 1",
+        "feature comparison of storage technologies",
+        &table,
+    );
 
     const GB: u64 = 1024 * 1024 * 1024;
     let envy = CostEstimate::for_sizes(2 * GB, 64 * 1024 * 1024);
     let sram = CostEstimate::pure_sram_equivalent(2 * GB);
     let mut costs = Table::new(&["system", "memory cost"]);
-    costs.row(&["eNVy 2 GB (Flash + 64 MB SRAM)".into(), format!("${:.0}", envy.total())]);
-    costs.row(&["pure SRAM 2 GB".into(), format!("${:.0}", sram)]);
     costs.row(&[
-        "ratio".into(),
-        format!("{:.1}x", sram / envy.total()),
+        "eNVy 2 GB (Flash + 64 MB SRAM)".into(),
+        format!("${:.0}", envy.total()),
     ]);
-    emit("Section 5.1", "system cost estimates from Figure 1 prices", &costs);
+    costs.row(&["pure SRAM 2 GB".into(), format!("${:.0}", sram)]);
+    costs.row(&["ratio".into(), format!("{:.1}x", sram / envy.total())]);
+    emit(
+        "Section 5.1",
+        "system cost estimates from Figure 1 prices",
+        &costs,
+    );
+    let points = vec![(
+        "cost model".to_string(),
+        vec![
+            ("envy_2gb_cost_usd", envy.total()),
+            ("pure_sram_2gb_cost_usd", sram),
+            ("cost_ratio", sram / envy.total()),
+        ],
+    )];
+    if let Err(e) = envy_bench::sweep::write_report_raw(
+        "table_fig01",
+        1,
+        start.elapsed().as_secs_f64(),
+        &points,
+    ) {
+        eprintln!("  warning: could not write report: {e}");
+    }
 }

@@ -7,6 +7,7 @@ use envy_sim::report::Table;
 use envy_workload::{TpcaLayout, TpcaScale};
 
 fn main() {
+    let start = std::time::Instant::now();
     let c = EnvyConfig::paper_2gb();
     let g = &c.geometry;
     let mb = |b: u64| format!("{} MB", b / (1024 * 1024));
@@ -29,7 +30,10 @@ fn main() {
         "write buffer".into(),
         mb(c.buffer_pages as u64 * g.page_bytes() as u64),
     ]);
-    sram.row(&["flush threshold".into(), format!("{} pages", c.flush_threshold)]);
+    sram.row(&[
+        "flush threshold".into(),
+        format!("{} pages", c.flush_threshold),
+    ]);
     sram.row(&["page table".into(), mb(c.page_table_sram_bytes())]);
     emit("Figure 12b", "sram parameters", &sram);
 
@@ -53,4 +57,23 @@ fn main() {
     ]);
     tpc.row(&["b-tree fanout".into(), "32".into(), "-".into()]);
     emit("Figure 12c", "TPC-A parameters", &tpc);
+    let points = vec![(
+        "paper 2 GB configuration".to_string(),
+        vec![
+            ("array_bytes", g.total_bytes() as f64),
+            ("banks", g.banks() as f64),
+            ("segments", g.segments() as f64),
+            ("page_bytes", g.page_bytes() as f64),
+            ("buffer_pages", c.buffer_pages as f64),
+            ("accounts", scale.accounts() as f64),
+        ],
+    )];
+    if let Err(e) = envy_bench::sweep::write_report_raw(
+        "table_fig12",
+        1,
+        start.elapsed().as_secs_f64(),
+        &points,
+    ) {
+        eprintln!("  warning: could not write report: {e}");
+    }
 }

@@ -6,19 +6,20 @@
 //! CSV block. Pass `--quick` for a scaled-down run (fewer writes /
 //! transactions); the default parameters match EXPERIMENTS.md.
 
+pub mod sweep;
+
 use envy_core::{EnvyConfig, EnvyStore};
 use envy_sim::report::Table;
 use envy_workload::{AnalyticTpca, TpcaScale};
 
-/// Build the timed TPC-A system: the paper's 2 GB array with `--paper`,
+pub use sweep::{jobs_arg, point_seed, PointResult, SweepOutcome, SweepSpec};
+
+/// The timed TPC-A configuration: the paper's 2 GB array with `--paper`,
 /// otherwise a 256 MB scaled version (same geometry ratios: 128 segments,
 /// 8 banks, one-segment write buffer, and an erase time scaled with the
 /// segment size so erase work per reclaimed page matches the paper's
-/// hardware). The array is prefilled at `utilization` with a TPC-A
-/// database scaled to fill the logical space, then churned (untimed) to
-/// cleaning steady state — the paper measures a long-running system, not
-/// a freshly formatted one.
-pub fn timed_system(utilization: f64) -> (EnvyStore, AnalyticTpca) {
+/// hardware), at the given utilization.
+pub fn timed_config(utilization: f64) -> EnvyConfig {
     let paper = std::env::args().any(|a| a == "--paper");
     let mut config = if paper {
         EnvyConfig::paper_2gb()
@@ -32,28 +33,47 @@ pub fn timed_system(utilization: f64) -> (EnvyStore, AnalyticTpca) {
         c
     };
     config.word_bytes = 8; // 64-bit host bus (Figure 11)
-    let config = config.with_utilization(utilization);
-    let scale = TpcaScale::fit_bytes(config.logical_bytes());
-    let mut store = EnvyStore::new(config).expect("config is valid");
-    store.prefill().expect("prefill fits");
+    config.with_utilization(utilization)
+}
 
-    // Untimed churn: overwrite uniform account records until the initial
-    // free space has been consumed twice, so the timed window runs at
-    // steady-state cleaning.
-    let driver = AnalyticTpca::new(scale);
+/// The TPC-A driver for a configuration, with the database scaled to
+/// fill the logical space.
+pub fn timed_driver(config: &EnvyConfig) -> AnalyticTpca {
+    AnalyticTpca::new(TpcaScale::fit_bytes(config.logical_bytes()))
+}
+
+/// Churn the store (untimed) to cleaning steady state: overwrite uniform
+/// account records until the initial free space has been consumed twice
+/// (2.5 times at the paper's 2 GB, where the measured windows are
+/// comparatively shorter), so a timed window runs at steady-state
+/// cleaning — the paper measures a long-running system, not a freshly
+/// formatted one.
+pub fn churn_to_steady_state(store: &mut EnvyStore, driver: &AnalyticTpca) {
+    let paper = std::env::args().any(|a| a == "--paper");
     let total = store.config().geometry.total_pages();
     let free = total - store.config().logical_pages;
-    // Enough overwrites to cycle the free space well past the first
-    // round of cleaning (2 rounds at scale, 2.5 at the paper's 2 GB where
-    // the measured windows are comparatively shorter).
     let churn = if paper { free * 5 / 2 } else { free * 2 };
     let mut rng = envy_sim::rng::Rng::seed_from(0xC0FFEE);
-    let accounts = scale.accounts();
+    let accounts = driver.layout().scale.accounts();
     for _ in 0..churn {
         let id = rng.below(accounts);
         let addr = driver.layout().account_addr(id);
         store.write(addr, &[0u8; 8]).expect("churn write");
     }
+}
+
+/// Build the timed TPC-A system ([`timed_config`]), prefilled at
+/// `utilization` and churned to cleaning steady state
+/// ([`churn_to_steady_state`]).
+///
+/// Sweeps that vary only workload parameters should build this once and
+/// [`EnvyStore::fork`] it per point instead of rebuilding.
+pub fn timed_system(utilization: f64) -> (EnvyStore, AnalyticTpca) {
+    let config = timed_config(utilization);
+    let driver = timed_driver(&config);
+    let mut store = EnvyStore::new(config).expect("config is valid");
+    store.prefill().expect("prefill fits");
+    churn_to_steady_state(&mut store, &driver);
     (store, driver)
 }
 
@@ -62,12 +82,22 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
-/// Parse `--name=value` as u64, with a default.
+/// Parse `--name=value` or `--name value` as u64, with a default.
 pub fn arg_u64(name: &str, default: u64) -> u64 {
     let prefix = format!("--{name}=");
-    std::env::args()
-        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
-        .unwrap_or(default)
+    let flag = format!("--{name}");
+    let mut args = std::env::args().peekable();
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix(&prefix).and_then(|v| v.parse().ok()) {
+            return v;
+        }
+        if a == flag {
+            if let Some(v) = args.peek().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
 }
 
 /// Print a figure's results: header line, aligned table, CSV block.

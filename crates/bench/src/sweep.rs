@@ -1,0 +1,304 @@
+//! Shared sweep execution for the figure-regeneration binaries.
+//!
+//! Every figure or ablation binary evaluates a list of independent
+//! points (arrival rates, utilizations, policies, …) and renders the
+//! results as a table. This module factors that shape out: a
+//! [`SweepSpec`] names the sweep and lists its points, and a per-point
+//! closure produces the table rows and JSON metrics for one point.
+//!
+//! Points run on a scoped [`std::thread`] pool sized by `--jobs=N`
+//! (default: available cores; `1` reproduces a fully sequential run).
+//! Each point builds its state from fixed seeds or from a shared
+//! immutable baseline (see `EnvyStore::fork`), so results are
+//! independent of execution order; collection is in point order, which
+//! makes the emitted text table and CSV **byte-identical** across any
+//! `--jobs` value.
+//!
+//! Every run also records a machine-readable report at
+//! `results/BENCH_<name>.json` — point labels, per-point metrics,
+//! wall-clock seconds and the number of jobs used — so regeneration
+//! time and results can be tracked across commits.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What one sweep point produced: table rows (in order) plus named
+/// metrics for the JSON report.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Progress label, printed to stderr when the point completes and
+    /// recorded in the JSON report.
+    pub label: String,
+    /// Rows this point contributes to the table, in order. Most points
+    /// contribute exactly one row.
+    pub rows: Vec<Vec<String>>,
+    /// Named scalar metrics recorded in the JSON report.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl PointResult {
+    /// A single-row result with no metrics yet.
+    pub fn row(label: impl Into<String>, row: Vec<String>) -> PointResult {
+        PointResult {
+            label: label.into(),
+            rows: vec![row],
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach a named metric (builder-style).
+    #[must_use]
+    pub fn metric(mut self, name: &'static str, value: f64) -> PointResult {
+        self.metrics.push((name, value));
+        self
+    }
+}
+
+/// A declarative sweep: a benchmark name (for the JSON report) and the
+/// list of points to evaluate.
+pub struct SweepSpec<'a, P> {
+    name: &'a str,
+    points: Vec<P>,
+}
+
+/// The collected results of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// All table rows, in point order.
+    pub rows: Vec<Vec<String>>,
+    /// Per-point `(label, metrics)` in point order.
+    pub points: Vec<(String, Vec<(&'static str, f64)>)>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time spent evaluating the points.
+    pub wall_seconds: f64,
+}
+
+impl<'a, P: Sync> SweepSpec<'a, P> {
+    /// Declare a sweep.
+    pub fn new(name: &'a str, points: Vec<P>) -> SweepSpec<'a, P> {
+        SweepSpec { name, points }
+    }
+
+    /// Evaluate every point with `--jobs` worker threads and write the
+    /// JSON report under `results/`.
+    ///
+    /// The closure receives `(point index, point)` and must derive all
+    /// randomness from fixed or per-point seeds (see [`point_seed`]) so
+    /// its result does not depend on execution order.
+    pub fn run<F>(self, run_point: F) -> SweepOutcome
+    where
+        F: Fn(usize, &P) -> PointResult + Sync,
+    {
+        let outcome = self.run_with_jobs(jobs_arg(), run_point);
+        match write_report(self.name, &outcome) {
+            Ok(path) => eprintln!("  report: {}", path.display()),
+            Err(e) => eprintln!("  warning: could not write report: {e}"),
+        }
+        outcome
+    }
+
+    /// Evaluate every point with an explicit worker count, without
+    /// writing a report (used by tests and embedders).
+    pub fn run_with_jobs<F>(&self, jobs: usize, run_point: F) -> SweepOutcome
+    where
+        F: Fn(usize, &P) -> PointResult + Sync,
+    {
+        let start = Instant::now();
+        let n = self.points.len();
+        let jobs = jobs.clamp(1, n.max(1));
+        let mut slots: Vec<Option<PointResult>> = (0..n).map(|_| None).collect();
+        if jobs == 1 {
+            for (i, (point, slot)) in self.points.iter().zip(&mut slots).enumerate() {
+                let result = run_point(i, point);
+                eprintln!("  done {}", result.label);
+                *slot = Some(result);
+            }
+        } else {
+            // Work-stealing over an atomic index: each worker claims the
+            // next unevaluated point. Workers return (index, result)
+            // pairs; results are then placed back in point order, so the
+            // output is identical to the sequential run.
+            let next = AtomicUsize::new(0);
+            let points = &self.points;
+            let run_point = &run_point;
+            let completed = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let result = run_point(i, &points[i]);
+                                eprintln!("  done {}", result.label);
+                                local.push((i, result));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, result) in completed {
+                slots[i] = Some(result);
+            }
+        }
+        let results: Vec<PointResult> = slots
+            .into_iter()
+            .map(|r| r.expect("every point evaluated"))
+            .collect();
+        SweepOutcome {
+            rows: results.iter().flat_map(|r| r.rows.clone()).collect(),
+            points: results.into_iter().map(|r| (r.label, r.metrics)).collect(),
+            jobs,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The `--jobs=N` argument; defaults to the available cores.
+pub fn jobs_arg() -> usize {
+    let default = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    crate::arg_u64("jobs", default as u64).max(1) as usize
+}
+
+/// Derive an independent per-point seed from a sweep's base seed.
+///
+/// SplitMix64-style mixing: nearby indices give unrelated seeds, and the
+/// result depends only on `(base, index)` — never on execution order.
+pub fn point_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Write `results/BENCH_<name>.json` for a completed sweep.
+///
+/// # Errors
+///
+/// I/O errors creating `results/` or writing the file.
+pub fn write_report(name: &str, outcome: &SweepOutcome) -> std::io::Result<PathBuf> {
+    write_report_raw(name, outcome.jobs, outcome.wall_seconds, &outcome.points)
+}
+
+/// Write `results/BENCH_<name>.json` from explicit parts — for binaries
+/// that are not sweeps (single-configuration tables) but still record
+/// their metrics and wall-clock time.
+///
+/// # Errors
+///
+/// I/O errors creating `results/` or writing the file.
+pub fn write_report_raw(
+    name: &str,
+    jobs: usize,
+    wall_seconds: f64,
+    points: &[(String, Vec<(&'static str, f64)>)],
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": {},\n", json_string(name)));
+    json.push_str(&format!("  \"quick\": {},\n", crate::quick_mode()));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!(
+        "  \"wall_seconds\": {},\n",
+        json_number(wall_seconds)
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, (label, metrics)) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": {}, \"metrics\": {{",
+            json_string(label)
+        ));
+        for (j, (name, value)) in metrics.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("{}: {}", json_string(name), json_number(*value)));
+        }
+        json.push_str("}}");
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// JSON string literal (quotes, escapes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal (`null` for non-finite values, which JSON cannot
+/// represent).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_seed_varies_by_index_not_order() {
+        let a: Vec<u64> = (0..8).map(|i| point_seed(99, i)).collect();
+        let b: Vec<u64> = (0..8).rev().map(|i| point_seed(99, i)).rev().collect();
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), a.len());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn sequential_and_parallel_results_match() {
+        let spec = SweepSpec::new("unit", (0u64..7).collect());
+        let run = |i: usize, p: &u64| {
+            PointResult::row(
+                format!("p{p}"),
+                vec![p.to_string(), point_seed(1, i as u64).to_string()],
+            )
+            .metric("value", *p as f64)
+        };
+        let seq = spec.run_with_jobs(1, run);
+        let par = spec.run_with_jobs(4, run);
+        assert_eq!(seq.rows, par.rows);
+        assert_eq!(seq.points, par.points);
+        assert_eq!(seq.jobs, 1);
+        assert_eq!(par.jobs, 4);
+    }
+}

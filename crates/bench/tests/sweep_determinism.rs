@@ -1,0 +1,94 @@
+//! Integration tests for the shared sweep layer: parallel execution must
+//! be byte-identical to sequential, and `fork()` must behave exactly like
+//! continuing the original store.
+
+use envy_bench::{point_seed, PointResult, SweepSpec};
+use envy_core::{EnvyConfig, EnvyStore};
+use envy_sim::report::Table;
+use envy_sim::rng::Rng;
+
+/// A 4-point sweep run on 4 workers renders the same text table and CSV,
+/// byte for byte, as the same sweep run sequentially.
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let points: Vec<u64> = vec![3, 1, 4, 1];
+    let work = |index: usize, &p: &u64| {
+        // Deterministic per-point work: derive everything from the point
+        // seed, never from thread identity or timing.
+        let mut rng = Rng::seed_from(point_seed(0xFEED, index as u64));
+        let mut acc = 0u64;
+        for _ in 0..1_000 * (p + 1) {
+            acc = acc.wrapping_add(rng.below(1_000_000));
+        }
+        PointResult::row(
+            format!("p={p}"),
+            vec![format!("{p}"), format!("{index}"), format!("{acc}")],
+        )
+        .metric("acc", acc as f64)
+    };
+
+    let spec = SweepSpec::new("test_sweep", points);
+    let seq = spec.run_with_jobs(1, work);
+    let par = spec.run_with_jobs(4, work);
+
+    let render = |rows: &[Vec<String>]| {
+        let mut table = Table::new(&["point", "index", "acc"]);
+        for row in rows {
+            table.row(row);
+        }
+        (table.render(), table.to_csv())
+    };
+    let (seq_text, seq_csv) = render(&seq.rows);
+    let (par_text, par_csv) = render(&par.rows);
+    assert_eq!(seq_text, par_text, "text tables must match byte-for-byte");
+    assert_eq!(seq_csv, par_csv, "CSV must match byte-for-byte");
+    assert_eq!(seq.points, par.points, "JSON metric points must match");
+    assert_eq!(seq.jobs, 1);
+    assert_eq!(par.jobs, 4);
+}
+
+fn write_stream(store: &mut EnvyStore, seed: u64, writes: u64) {
+    let pages = store.config().logical_pages;
+    let page_bytes = 256u64;
+    let mut rng = Rng::seed_from(seed);
+    for _ in 0..writes {
+        store
+            .write(rng.below(pages) * page_bytes, &[0xAB])
+            .expect("write");
+    }
+}
+
+/// `fork()` clones the full engine state but zeroes the statistics, so a
+/// forked store fed the same write stream as the original must report
+/// exactly the original's stat *deltas*.
+#[test]
+fn fork_then_identical_writes_gives_identical_stats() {
+    let config = EnvyConfig::scaled(4, 16, 128, 256).with_store_data(false);
+    let mut base = EnvyStore::new(config).expect("valid config");
+    base.prefill().expect("prefill");
+    write_stream(&mut base, 9, 20_000);
+
+    let mut forked = base.fork();
+    assert_eq!(forked.stats().host_writes.get(), 0, "fork resets stats");
+    assert_eq!(forked.stats().pages_flushed.get(), 0, "fork resets stats");
+
+    let w0 = base.stats().host_writes.get();
+    let f0 = base.stats().pages_flushed.get();
+    let c0 = base.stats().clean_programs.get();
+
+    write_stream(&mut base, 77, 20_000);
+    write_stream(&mut forked, 77, 20_000);
+
+    assert_eq!(
+        forked.stats().host_writes.get(),
+        base.stats().host_writes.get() - w0
+    );
+    assert_eq!(
+        forked.stats().pages_flushed.get(),
+        base.stats().pages_flushed.get() - f0
+    );
+    assert_eq!(
+        forked.stats().clean_programs.get(),
+        base.stats().clean_programs.get() - c0
+    );
+}

@@ -303,12 +303,7 @@ impl BTree {
     /// # Errors
     ///
     /// Memory errors.
-    pub fn update<M: Memory>(
-        &self,
-        mem: &mut M,
-        key: u64,
-        value: u64,
-    ) -> Result<bool, BTreeError> {
+    pub fn update<M: Memory>(&self, mem: &mut M, key: u64, value: u64) -> Result<bool, BTreeError> {
         let mut addr = self.root;
         loop {
             let node = Node::load(mem, addr)?;
@@ -337,7 +332,12 @@ impl BTree {
     ///
     /// [`BTreeError::NotSorted`] on unordered input;
     /// [`BTreeError::OutOfSpace`]; memory errors.
-    pub fn bulk_load<M, I>(mem: &mut M, region: u64, len: u64, pairs: I) -> Result<BTree, BTreeError>
+    pub fn bulk_load<M, I>(
+        mem: &mut M,
+        region: u64,
+        len: u64,
+        pairs: I,
+    ) -> Result<BTree, BTreeError>
     where
         M: Memory,
         I: IntoIterator<Item = (u64, u64)>,

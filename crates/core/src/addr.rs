@@ -123,7 +123,14 @@ mod tests {
     fn chunks_within_one_page() {
         let m = AddrMap::new(256);
         let chunks: Vec<Chunk> = m.chunks(10, 20).collect();
-        assert_eq!(chunks, vec![Chunk { page: 0, offset: 10, len: 20 }]);
+        assert_eq!(
+            chunks,
+            vec![Chunk {
+                page: 0,
+                offset: 10,
+                len: 20
+            }]
+        );
     }
 
     #[test]
@@ -133,9 +140,21 @@ mod tests {
         assert_eq!(
             chunks,
             vec![
-                Chunk { page: 0, offset: 12, len: 4 },
-                Chunk { page: 1, offset: 0, len: 16 },
-                Chunk { page: 2, offset: 0, len: 4 },
+                Chunk {
+                    page: 0,
+                    offset: 12,
+                    len: 4
+                },
+                Chunk {
+                    page: 1,
+                    offset: 0,
+                    len: 16
+                },
+                Chunk {
+                    page: 2,
+                    offset: 0,
+                    len: 4
+                },
             ]
         );
         let total: usize = chunks.iter().map(|c| c.len).sum();
@@ -152,6 +171,13 @@ mod tests {
     fn chunk_boundaries_are_exact() {
         let m = AddrMap::new(8);
         let chunks: Vec<Chunk> = m.chunks(8, 8).collect();
-        assert_eq!(chunks, vec![Chunk { page: 1, offset: 0, len: 8 }]);
+        assert_eq!(
+            chunks,
+            vec![Chunk {
+                page: 1,
+                offset: 0,
+                len: 8
+            }]
+        );
     }
 }

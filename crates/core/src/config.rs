@@ -146,7 +146,12 @@ impl EnvyConfig {
     ///
     /// Panics if the geometry is invalid (see
     /// [`FlashGeometry::new`]).
-    pub fn scaled(banks: u32, segments: u32, pages_per_segment: u32, page_bytes: u32) -> EnvyConfig {
+    pub fn scaled(
+        banks: u32,
+        segments: u32,
+        pages_per_segment: u32,
+        page_bytes: u32,
+    ) -> EnvyConfig {
         let geometry = FlashGeometry::new(banks, segments, pages_per_segment, page_bytes)
             .expect("scaled geometry must be valid");
         let total_pages = geometry.total_pages();
@@ -286,7 +291,10 @@ impl EnvyConfig {
         if self.parallel_ops == 0 {
             return Err(EnvyError::BadConfig("parallel_ops must be at least 1"));
         }
-        if let PolicyKind::Hybrid { segments_per_partition } = self.policy {
+        if let PolicyKind::Hybrid {
+            segments_per_partition,
+        } = self.policy
+        {
             if segments_per_partition == 0 {
                 return Err(EnvyError::BadConfig(
                     "hybrid partitions must contain at least one segment",
@@ -391,7 +399,9 @@ mod tests {
     fn paper_default_policy_is_hybrid_16() {
         assert_eq!(
             PolicyKind::paper_default(),
-            PolicyKind::Hybrid { segments_per_partition: 16 }
+            PolicyKind::Hybrid {
+                segments_per_partition: 16
+            }
         );
     }
 }

@@ -25,11 +25,7 @@ impl Engine {
     ///
     /// Propagates Flash errors (engine bugs) and [`EnvyError::ArrayFull`]
     /// from pathological utilization.
-    pub fn clean_position(
-        &mut self,
-        pos: u32,
-        ops: &mut Vec<BgOp>,
-    ) -> Result<(), EnvyError> {
+    pub fn clean_position(&mut self, pos: u32, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
         let mut shed = match self.lg_plan(pos) {
             LgPlan::Shed(s) => s,
             LgPlan::None => ShedPlan::default(),
@@ -94,9 +90,10 @@ impl Engine {
         } else {
             n - shed_n..n
         };
-        let mut shed_slots = plan.dests.iter().flat_map(|&(pos, count)| {
-            std::iter::repeat_n(pos, count as usize)
-        });
+        let mut shed_slots = plan
+            .dests
+            .iter()
+            .flat_map(|&(pos, count)| std::iter::repeat_n(pos, count as usize));
 
         let mut copied = 0u32;
         for (i, &(page, lp)) in residents.iter().enumerate() {
@@ -108,8 +105,14 @@ impl Engine {
             };
             let to_page = self.write_cursor(to_seg);
             let t = self.copy_flash_page(
-                FlashLocation { segment: victim, page },
-                FlashLocation { segment: to_seg, page: to_page },
+                FlashLocation {
+                    segment: victim,
+                    page,
+                },
+                FlashLocation {
+                    segment: to_seg,
+                    page: to_page,
+                },
                 lp,
             )?;
             self.stats.clean_programs.incr();
@@ -168,7 +171,8 @@ impl Engine {
         for (page, lp) in self.shadows.residents_of(victim) {
             let to_page = self.write_cursor(dest);
             let data = if self.flash.stores_data() {
-                self.flash.read_page(victim, page, Some(&mut self.scratch))?;
+                self.flash
+                    .read_page(victim, page, Some(&mut self.scratch))?;
                 Some(&self.scratch[..])
             } else {
                 self.flash.read_page(victim, page, None)?;
@@ -180,7 +184,10 @@ impl Engine {
             self.flash.invalidate_page(dest, to_page)?;
             self.shadows.relocate(
                 lp,
-                FlashLocation { segment: dest, page: to_page },
+                FlashLocation {
+                    segment: dest,
+                    page: to_page,
+                },
             );
             self.stats.clean_programs.incr();
             self.stats.shadow_programs.incr();

@@ -51,16 +51,27 @@ impl Engine {
         let phys = self.order[pos as usize];
         let pg = self.write_cursor(phys);
         let t = self.flash.program_page(phys, pg, page.data.as_deref())?;
-        self.page_table
-            .map_flash(page.logical, FlashLocation { segment: phys, page: pg });
+        self.page_table.map_flash(
+            page.logical,
+            FlashLocation {
+                segment: phys,
+                page: pg,
+            },
+        );
         self.mmu.invalidate(page.logical);
         self.stats.pages_flushed.incr();
-        self.seg_last_write[phys as usize] = self.stats.pages_flushed.get();
+        self.flush_clock += 1;
+        self.seg_last_write[phys as usize] = self.flush_clock;
         ops.push(BgOp {
             bank: self.flash.bank_of(phys),
             kind: BgKind::Flush,
             duration: t,
         });
+        // The frame's contents are now in Flash; hand it back so the next
+        // copy-on-write insert reuses it instead of allocating.
+        if let Some(frame) = page.data {
+            self.buffer.recycle_frame(frame);
+        }
         Ok(())
     }
 }

@@ -47,8 +47,10 @@ pub(crate) const POS_NONE: u32 = u32::MAX;
 /// The eNVy controller state machine.
 ///
 /// Most users interact through [`crate::store::EnvyStore`], which adds
-/// byte-granularity addressing and the timing model on top.
-#[derive(Debug)]
+/// byte-granularity addressing and the timing model on top. The engine
+/// is `Clone`: every field is plain owned state, so a clone is an exact,
+/// independent snapshot — the basis of [`Engine::fork`].
+#[derive(Debug, Clone)]
 pub struct Engine {
     pub(crate) config: EnvyConfig,
     pub(crate) addr_map: AddrMap,
@@ -78,6 +80,11 @@ pub struct Engine {
     /// Flush-sequence number of the most recent write into each physical
     /// segment — the age input of the cost-benefit baseline policy.
     pub(crate) seg_last_write: Vec<u64>,
+    /// Logical clock advanced by every page flush. Policies measure
+    /// segment age and cleaning frequency against this clock; unlike the
+    /// `pages_flushed` statistic it is never reset (see [`Engine::fork`]),
+    /// so it stays coherent with `seg_last_write`.
+    pub(crate) flush_clock: u64,
     /// Scratch page buffer reused by copies.
     pub(crate) scratch: Vec<u8>,
 }
@@ -128,12 +135,29 @@ impl Engine {
             wear_in_progress: false,
             wear_parked: None,
             seg_last_write: vec![0; geo.segments() as usize],
+            flush_clock: 0,
         })
     }
 
     /// The configuration this engine was built with.
     pub fn config(&self) -> &EnvyConfig {
         &self.config
+    }
+
+    /// Snapshot the engine for an independent experiment run: the clone
+    /// carries the full device state (Flash contents and wear, buffered
+    /// pages, page table, policy state) but starts measuring from zero —
+    /// controller, MMU and Flash operation counters are all reset.
+    ///
+    /// This lets a sweep build and warm one baseline system, then fork it
+    /// per point instead of repeating the prefill/churn for every point.
+    #[must_use]
+    pub fn fork(&self) -> Engine {
+        let mut forked = self.clone();
+        forked.stats = EnvyStats::default();
+        forked.mmu.reset_stats();
+        forked.flash.reset_stats();
+        forked
     }
 
     /// Controller statistics.
@@ -209,6 +233,12 @@ impl Engine {
         if per > pps {
             return Err(EnvyError::ArrayFull);
         }
+        // One erased frame shared by every programmed page (the array
+        // copies it in), instead of an allocation per page.
+        let erased = self
+            .config
+            .store_data
+            .then(|| vec![0xFF; self.addr_map.page_bytes() as usize]);
         let mut lp: u64 = 0;
         'outer: for pos in 0..positions {
             let phys = self.order[pos as usize];
@@ -217,8 +247,7 @@ impl Engine {
                     break 'outer;
                 }
                 let page = self.write_cursor(phys);
-                let data = self.config.store_data.then(|| vec![0xFF; self.addr_map.page_bytes() as usize]);
-                self.flash.program_page(phys, page, data.as_deref())?;
+                self.flash.program_page(phys, page, erased.as_deref())?;
                 self.page_table.map_flash(
                     lp,
                     crate::addr::FlashLocation {
@@ -255,11 +284,7 @@ impl Engine {
                 return Err(format!("order/pos_of mismatch at position {pos}"));
             }
         }
-        let placed = self
-            .pos_of
-            .iter()
-            .filter(|&&p| p != POS_NONE)
-            .count();
+        let placed = self.pos_of.iter().filter(|&&p| p != POS_NONE).count();
         if placed != self.order.len() {
             return Err("pos_of count does not match order".into());
         }
@@ -289,7 +314,9 @@ impl Engine {
             if self.page_table.lookup(lp) == crate::addr::Location::Sram {
                 sram_mapped += 1;
                 if !self.buffer.contains(lp) {
-                    return Err(format!("logical page {lp} maps to SRAM but is not buffered"));
+                    return Err(format!(
+                        "logical page {lp} maps to SRAM but is not buffered"
+                    ));
                 }
             }
         }

@@ -105,9 +105,9 @@ impl PolicyState {
             }
             PolicyKind::Fifo => positions,
             PolicyKind::LocalityGathering => 1,
-            PolicyKind::Hybrid { segments_per_partition } => {
-                segments_per_partition.min(positions)
-            }
+            PolicyKind::Hybrid {
+                segments_per_partition,
+            } => segments_per_partition.min(positions),
         };
         let nparts = positions.div_ceil(k);
         PolicyState::Partitioned(PartitionedState {
@@ -140,7 +140,6 @@ impl PartitionedState {
         let start = part * self.k;
         start..(start + self.k).min(self.positions)
     }
-
 }
 
 impl Engine {
@@ -231,7 +230,7 @@ impl Engine {
     /// (the `2u`: read + rewrite of live data) weighted by how long the
     /// segment's free space would likely remain stable (age).
     fn cost_benefit_victim(&self) -> Result<u32, EnvyError> {
-        let now = self.stats.pages_flushed.get();
+        let now = self.flush_clock;
         let pps = self.config.geometry.pages_per_segment() as f64;
         let mut best: Option<(u32, f64)> = None;
         for (pos, &phys) in self.order.iter().enumerate() {
@@ -268,7 +267,11 @@ impl Engine {
         }
         for _ in 0..len {
             // Advance FIFO within the partition.
-            pos = if pos + 1 >= range.end { range.start } else { pos + 1 };
+            pos = if pos + 1 >= range.end {
+                range.start
+            } else {
+                pos + 1
+            };
             if !self.has_space(self.order[pos as usize]) {
                 self.clean_position(pos, ops)?;
             }
@@ -303,16 +306,14 @@ impl Engine {
             return LgPlan::None;
         }
         let part = p.partition_of(pos);
-        let flushes = self.stats.pages_flushed.get();
+        let flushes = self.flush_clock;
 
         // Update this partition's cleaning-frequency estimate from the
         // inter-clean gap measured in flushed pages.
         let gap = flushes.saturating_sub(p.last_clean_flush[part as usize]) + 1;
         p.last_clean_flush[part as usize] = flushes;
         p.freq[part as usize].record(1.0 / gap as f64);
-        let freq = p.freq[part as usize]
-            .value()
-            .expect("recorded above");
+        let freq = p.freq[part as usize].value().expect("recorded above");
 
         // Partition utilization and cleaning cost u/(1-u), Figure 6.
         let pps = self.config.geometry.pages_per_segment() as f64;

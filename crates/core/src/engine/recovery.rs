@@ -70,13 +70,23 @@ impl Engine {
     /// Complete an interrupted clean: pages already copied were remapped
     /// before the crash, so the page table's remaining residents of the
     /// victim are exactly the uncopied pages.
-    fn finish_clean(&mut self, journal: CleanJournal, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
+    fn finish_clean(
+        &mut self,
+        journal: CleanJournal,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
         let CleanJournal { pos, victim, dest } = journal;
         for (page, lp) in self.page_table.residents_of(victim) {
             let to_page = self.write_cursor(dest);
             let t = self.copy_flash_page(
-                crate::addr::FlashLocation { segment: victim, page },
-                crate::addr::FlashLocation { segment: dest, page: to_page },
+                crate::addr::FlashLocation {
+                    segment: victim,
+                    page,
+                },
+                crate::addr::FlashLocation {
+                    segment: dest,
+                    page: to_page,
+                },
                 lp,
             )?;
             self.stats.clean_programs.incr();

@@ -42,7 +42,10 @@ fn prefill_spreads_evenly() {
     let per: Vec<u32> = e.order.iter().map(|&s| e.flash.valid_pages(s)).collect();
     let max = per.iter().max().unwrap();
     let min = per.iter().min().unwrap();
-    assert!(max - min <= per[0].div_ceil(1).min(64), "uneven fill: {per:?}");
+    assert!(
+        max - min <= per[0].div_ceil(1).min(64),
+        "uneven fill: {per:?}"
+    );
     // Spare untouched.
     assert_eq!(e.flash.valid_pages(e.spare), 0);
 }
@@ -69,7 +72,10 @@ fn cow_invalidates_flash_copy_and_remaps() {
     let Location::Flash(loc) = e.page_table.lookup(lp) else {
         panic!("prefilled page must be in flash");
     };
-    assert!(matches!(write_lp(&mut e, lp, 0x11), WriteKind::CopyOnWrite { .. }));
+    assert!(matches!(
+        write_lp(&mut e, lp, 0x11),
+        WriteKind::CopyOnWrite { .. }
+    ));
     assert_eq!(e.page_table.lookup(lp), Location::Sram);
     assert_eq!(
         e.flash.page_state(loc.segment, loc.page),
@@ -131,9 +137,7 @@ fn flush_records_bg_ops() {
     write_lp(&mut e, 2, 1);
     let mut ops = Vec::new();
     e.flush_all(&mut ops).unwrap();
-    assert!(ops
-        .iter()
-        .any(|op| op.kind == crate::timing::BgKind::Flush));
+    assert!(ops.iter().any(|op| op.kind == crate::timing::BgKind::Flush));
 }
 
 fn churn(e: &mut Engine, writes: u64, seed: u64) {
@@ -172,7 +176,9 @@ fn locality_gathering_survives_heavy_churn() {
 
 #[test]
 fn hybrid_survives_heavy_churn() {
-    let mut e = small(PolicyKind::Hybrid { segments_per_partition: 4 });
+    let mut e = small(PolicyKind::Hybrid {
+        segments_per_partition: 4,
+    });
     churn(&mut e, 20_000, 4);
     assert!(e.stats().cleans.get() > 0);
     e.check_invariants().unwrap();
@@ -213,7 +219,9 @@ fn data_integrity_under_churn_all_policies() {
         PolicyKind::CostBenefit,
         PolicyKind::Fifo,
         PolicyKind::LocalityGathering,
-        PolicyKind::Hybrid { segments_per_partition: 4 },
+        PolicyKind::Hybrid {
+            segments_per_partition: 4,
+        },
     ] {
         let mut e = small(policy);
         let n = e.config().logical_pages;
@@ -399,7 +407,10 @@ fn txn_shadow_survives_cleaning() {
     for pos in 0..e.positions() {
         e.clean_position(pos, &mut ops).unwrap();
     }
-    assert!(e.stats().shadow_programs.get() > 0, "shadow must be relocated");
+    assert!(
+        e.stats().shadow_programs.get() > 0,
+        "shadow must be relocated"
+    );
     e.txn_abort(txn).unwrap();
     assert_eq!(read_byte(&mut e, 6), 0x55);
     e.check_invariants().unwrap();
@@ -536,7 +547,9 @@ fn spare_rotates_through_cleans() {
 
 #[test]
 fn policy_partition_counts() {
-    let e = small(PolicyKind::Hybrid { segments_per_partition: 4 });
+    let e = small(PolicyKind::Hybrid {
+        segments_per_partition: 4,
+    });
     // 16 segments -> 15 positions -> ceil(15/4) = 4 partitions.
     assert_eq!(e.policy.partitions(), 4);
     let e = small(PolicyKind::LocalityGathering);

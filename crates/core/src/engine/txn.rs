@@ -141,7 +141,9 @@ impl Engine {
         for (lp, shadow) in self.shadows.drop_txn(txn) {
             match self.page_table.lookup(lp) {
                 Location::Sram => {
-                    self.buffer.remove(lp);
+                    if let Some(frame) = self.buffer.remove(lp).and_then(|p| p.data) {
+                        self.buffer.recycle_frame(frame);
+                    }
                 }
                 Location::Flash(cur) => {
                     // The dirty version was flushed during the
@@ -160,7 +162,9 @@ impl Engine {
         for lp in fresh {
             match self.page_table.lookup(lp) {
                 Location::Sram => {
-                    self.buffer.remove(lp);
+                    if let Some(frame) = self.buffer.remove(lp).and_then(|p| p.data) {
+                        self.buffer.recycle_frame(frame);
+                    }
                 }
                 Location::Flash(cur) => {
                     self.flash.invalidate_page(cur.segment, cur.page)?;

@@ -107,8 +107,14 @@ impl Engine {
         for (page, lp) in self.page_table.residents_of(from) {
             let to_page = self.write_cursor(to);
             let t = self.copy_flash_page(
-                crate::addr::FlashLocation { segment: from, page },
-                crate::addr::FlashLocation { segment: to, page: to_page },
+                crate::addr::FlashLocation {
+                    segment: from,
+                    page,
+                },
+                crate::addr::FlashLocation {
+                    segment: to,
+                    page: to_page,
+                },
                 lp,
             )?;
             self.stats.wear_programs.incr();
@@ -131,7 +137,10 @@ impl Engine {
             self.flash.invalidate_page(to, to_page)?;
             self.shadows.relocate(
                 lp,
-                crate::addr::FlashLocation { segment: to, page: to_page },
+                crate::addr::FlashLocation {
+                    segment: to,
+                    page: to_page,
+                },
             );
             self.stats.wear_programs.incr();
             ops.push(BgOp {

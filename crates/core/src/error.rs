@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = EnvyError::OutOfBounds { addr: 0x100, size: 64 };
+        let e = EnvyError::OutOfBounds {
+            addr: 0x100,
+            size: 64,
+        };
         assert!(e.to_string().contains("0x100"));
         assert!(e.to_string().contains("64"));
     }

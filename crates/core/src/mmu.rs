@@ -84,6 +84,13 @@ impl Mmu {
         self.misses.get()
     }
 
+    /// Zero the hit/miss counters; cached tags are kept, so a warmed
+    /// cache can be measured from a clean slate.
+    pub fn reset_stats(&mut self) {
+        self.hits = Counter::default();
+        self.misses = Counter::default();
+    }
+
     /// Hit fraction (0 if no accesses).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits.get() + self.misses.get();

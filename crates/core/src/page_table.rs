@@ -140,9 +140,7 @@ impl PageTable {
     pub fn check_consistency(&self) -> Result<(), String> {
         for (lp, loc) in self.forward.iter().enumerate() {
             if let Location::Flash(f) = loc {
-                if f.page >= self.pages_per_segment
-                    || f.segment as usize >= self.reverse.len()
-                {
+                if f.page >= self.pages_per_segment || f.segment as usize >= self.reverse.len() {
                     return Err(format!("logical page {lp} maps out of range"));
                 }
                 let back = self.reverse[f.segment as usize][f.page as usize];
@@ -196,7 +194,10 @@ mod tests {
     #[test]
     fn map_flash_roundtrip() {
         let mut pt = table();
-        let loc = FlashLocation { segment: 2, page: 3 };
+        let loc = FlashLocation {
+            segment: 2,
+            page: 3,
+        };
         pt.map_flash(7, loc);
         assert_eq!(pt.lookup(7), Location::Flash(loc));
         assert_eq!(pt.logical_at(loc), Some(7));
@@ -206,8 +207,14 @@ mod tests {
     #[test]
     fn remap_clears_old_reverse_entry() {
         let mut pt = table();
-        let a = FlashLocation { segment: 0, page: 0 };
-        let b = FlashLocation { segment: 1, page: 5 };
+        let a = FlashLocation {
+            segment: 0,
+            page: 0,
+        };
+        let b = FlashLocation {
+            segment: 1,
+            page: 5,
+        };
         pt.map_flash(3, a);
         pt.map_flash(3, b);
         assert_eq!(pt.logical_at(a), None);
@@ -218,7 +225,10 @@ mod tests {
     #[test]
     fn map_sram_clears_reverse() {
         let mut pt = table();
-        let a = FlashLocation { segment: 0, page: 1 };
+        let a = FlashLocation {
+            segment: 0,
+            page: 1,
+        };
         pt.map_flash(2, a);
         pt.map_sram(2);
         assert_eq!(pt.lookup(2), Location::Sram);
@@ -229,7 +239,13 @@ mod tests {
     #[test]
     fn unmap_restores_initial_state() {
         let mut pt = table();
-        pt.map_flash(1, FlashLocation { segment: 3, page: 7 });
+        pt.map_flash(
+            1,
+            FlashLocation {
+                segment: 3,
+                page: 7,
+            },
+        );
         pt.unmap(1);
         assert_eq!(pt.lookup(1), Location::Unmapped);
         assert_eq!(pt.resident_count(3), 0);
@@ -240,7 +256,10 @@ mod tests {
     #[should_panic(expected = "already holds")]
     fn double_mapping_a_physical_page_panics() {
         let mut pt = table();
-        let loc = FlashLocation { segment: 0, page: 0 };
+        let loc = FlashLocation {
+            segment: 0,
+            page: 0,
+        };
         pt.map_flash(1, loc);
         pt.map_flash(2, loc);
     }
@@ -248,9 +267,27 @@ mod tests {
     #[test]
     fn residents_in_page_order() {
         let mut pt = table();
-        pt.map_flash(10, FlashLocation { segment: 1, page: 6 });
-        pt.map_flash(11, FlashLocation { segment: 1, page: 2 });
-        pt.map_flash(12, FlashLocation { segment: 1, page: 4 });
+        pt.map_flash(
+            10,
+            FlashLocation {
+                segment: 1,
+                page: 6,
+            },
+        );
+        pt.map_flash(
+            11,
+            FlashLocation {
+                segment: 1,
+                page: 2,
+            },
+        );
+        pt.map_flash(
+            12,
+            FlashLocation {
+                segment: 1,
+                page: 4,
+            },
+        );
         let r = pt.residents_of(1);
         assert_eq!(r, vec![(2, 11), (4, 12), (6, 10)]);
         assert_eq!(pt.resident_count(1), 3);
@@ -264,7 +301,10 @@ mod tests {
     #[test]
     fn idempotent_same_mapping() {
         let mut pt = table();
-        let loc = FlashLocation { segment: 2, page: 2 };
+        let loc = FlashLocation {
+            segment: 2,
+            page: 2,
+        };
         pt.map_flash(5, loc);
         pt.map_flash(5, loc); // same pair: allowed
         assert_eq!(pt.logical_at(loc), Some(5));

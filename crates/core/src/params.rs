@@ -110,7 +110,11 @@ mod tests {
         // 2 GB Flash + 64 MB SRAM (16 write buffer + 48 page table).
         let est = CostEstimate::for_sizes(2 * GB, 64 * 1024 * 1024);
         // "about $70,000"
-        assert!((est.total() - 69_120.0).abs() < 1.0, "total {}", est.total());
+        assert!(
+            (est.total() - 69_120.0).abs() < 1.0,
+            "total {}",
+            est.total()
+        );
         // "one quarter of a pure SRAM system of the same size ($250,000)"
         let sram_only = CostEstimate::pure_sram_equivalent(2 * GB);
         assert!((sram_only - 245_760.0).abs() < 1.0);

@@ -100,11 +100,7 @@ impl EnvyStats {
     /// Total productive time across host service and background device
     /// work (suspension overlap excluded).
     pub fn busy_time(&self) -> Ns {
-        self.time_reads
-            + self.time_writes
-            + self.time_flush
-            + self.time_clean
-            + self.time_erase
+        self.time_reads + self.time_writes + self.time_flush + self.time_clean + self.time_erase
     }
 
     /// Fractional busy-time breakdown; `None` if nothing has been timed.

@@ -14,7 +14,6 @@
 //!   clock, models long-operation suspension and buffer-full stalls, and
 //!   returns per-access latency — the model behind Figures 13–15.
 
-use crate::addr::Chunk;
 use crate::config::EnvyConfig;
 use crate::engine::{Engine, ReadSource, RecoveryReport, WriteKind};
 use crate::error::EnvyError;
@@ -74,6 +73,30 @@ impl EnvyStore {
             clock: Ns::ZERO,
             ops: Vec::new(),
         })
+    }
+
+    /// Snapshot the store for an independent experiment run.
+    ///
+    /// The fork inherits the full device state — Flash contents and wear,
+    /// buffered pages, page table, cleaning-policy state — but all
+    /// statistics are reset, the simulated clock restarts at zero, and no
+    /// background work is pending. A sweep that varies only workload
+    /// parameters (arrival rate, seed, threshold) can therefore build,
+    /// prefill and churn one baseline store and fork it per point.
+    ///
+    /// Forking with background operations still in flight (a timed run
+    /// that was not drained) would silently drop that work, so the device
+    /// state is snapshotted as-is; callers fork from an untimed or
+    /// drained baseline.
+    #[must_use]
+    pub fn fork(&self) -> EnvyStore {
+        let config = self.engine.config();
+        EnvyStore {
+            engine: self.engine.fork(),
+            timing: TimingState::new(config.parallel_ops, config.resume_gap),
+            clock: Ns::ZERO,
+            ops: Vec::new(),
+        }
     }
 
     /// The configuration.
@@ -138,11 +161,15 @@ impl EnvyStore {
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EnvyError> {
         self.check_range(addr, buf.len())?;
         let mut cursor = 0;
-        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, buf.len()).collect();
-        for c in chunks {
+        // ChunkIter copies the (plain-value) address map, so iterating
+        // holds no borrow on the engine and needs no temporary Vec.
+        for c in self.engine.addr_map.chunks(addr, buf.len()) {
             self.engine
                 .read_page_bytes(c.page, c.offset, &mut buf[cursor..cursor + c.len])?;
-            self.engine.stats.host_reads.add(self.words_in(c.len) as u64);
+            self.engine
+                .stats
+                .host_reads
+                .add(self.words_in(c.len) as u64);
             cursor += c.len;
         }
         Ok(())
@@ -157,8 +184,7 @@ impl EnvyStore {
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
         self.check_range(addr, bytes.len())?;
         let mut cursor = 0;
-        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, bytes.len()).collect();
-        for c in chunks {
+        for c in self.engine.addr_map.chunks(addr, bytes.len()) {
             self.ops.clear();
             self.engine.write_page_bytes(
                 c.page,
@@ -166,7 +192,10 @@ impl EnvyStore {
                 &bytes[cursor..cursor + c.len],
                 &mut self.ops,
             )?;
-            self.engine.stats.host_writes.add(self.words_in(c.len) as u64);
+            self.engine
+                .stats
+                .host_writes
+                .add(self.words_in(c.len) as u64);
             cursor += c.len;
         }
         self.ops.clear();
@@ -184,7 +213,12 @@ impl EnvyStore {
     /// # Errors
     ///
     /// [`EnvyError::OutOfBounds`].
-    pub fn read_at(&mut self, now: Ns, addr: u64, buf: &mut [u8]) -> Result<TimedAccess, EnvyError> {
+    pub fn read_at(
+        &mut self,
+        now: Ns,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<TimedAccess, EnvyError> {
         self.check_range(addr, buf.len())?;
         let start = now.max(self.clock);
         let mut t = start;
@@ -195,11 +229,10 @@ impl EnvyStore {
         let sram_t = Ns::from_nanos(100);
         let flash_t = cfg.timings.read;
         let mut cursor = 0;
-        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, buf.len()).collect();
-        for c in chunks {
-            let src = self
-                .engine
-                .read_page_bytes(c.page, c.offset, &mut buf[cursor..cursor + c.len])?;
+        for c in self.engine.addr_map.chunks(addr, buf.len()) {
+            let src =
+                self.engine
+                    .read_page_bytes(c.page, c.offset, &mut buf[cursor..cursor + c.len])?;
             cursor += c.len;
             let words = self.words_in(c.len);
             words_total += words;
@@ -211,9 +244,7 @@ impl EnvyStore {
             for w in 0..words {
                 // Only the first word of a page run can miss the MMU.
                 let miss = w == 0 && !self.engine.mmu.access(c.page);
-                let collided = self
-                    .timing
-                    .host_access(t, bank, &mut self.engine.stats);
+                let collided = self.timing.host_access(t, bank, &mut self.engine.stats);
                 let mut lat = bus + device_t;
                 if miss {
                     lat += sram_t; // page-table lookup in SRAM
@@ -256,8 +287,7 @@ impl EnvyStore {
         let sram_t = Ns::from_nanos(100);
         let flash_t = cfg.timings.read;
         let mut cursor = 0;
-        let chunks: Vec<Chunk> = self.engine.addr_map.chunks(addr, bytes.len()).collect();
-        for c in chunks {
+        for c in self.engine.addr_map.chunks(addr, bytes.len()) {
             // Buffer-full condition: pages logically flushed but whose
             // program time has not executed still occupy (virtual) frames.
             // Post-saturation (Figure 15): the blocked write waits for
@@ -290,9 +320,7 @@ impl EnvyStore {
                 // The COW transfer happens on the first word and touches
                 // the source bank.
                 let bank = if w == 0 { cow_bank } else { None };
-                let collided = self
-                    .timing
-                    .host_access(t, bank, &mut self.engine.stats);
+                let collided = self.timing.host_access(t, bank, &mut self.engine.stats);
                 let mut lat = bus + sram_t;
                 if miss {
                     lat += sram_t;
@@ -311,11 +339,8 @@ impl EnvyStore {
                 // The drain stall's interval was already attributed to
                 // the executed background work; charge only the
                 // host-productive part here.
-                self.engine.stats.time_writes += lat.saturating_sub(if w == 0 {
-                    stall
-                } else {
-                    Ns::ZERO
-                });
+                self.engine.stats.time_writes +=
+                    lat.saturating_sub(if w == 0 { stall } else { Ns::ZERO });
                 t += lat;
             }
         }
@@ -511,11 +536,8 @@ mod tests {
         let mut buf = [0u8; 64];
         let a = s.read_at(Ns::ZERO, 0, &mut buf).unwrap();
         assert_eq!(a.words, 16); // 64 bytes / 4-byte words
-        // 1 cold + 15 warm words.
-        assert_eq!(
-            a.latency,
-            Ns::from_nanos(260 + 15 * 160)
-        );
+                                 // 1 cold + 15 warm words.
+        assert_eq!(a.latency, Ns::from_nanos(260 + 15 * 160));
     }
 
     #[test]

@@ -288,8 +288,8 @@ mod tests {
         ]);
         t.run_until(Ns::from_nanos(100), &mut stats);
         t.host_access(Ns::from_nanos(100), Some(0), &mut stats); // suspend
-        // Drain until at most 1 flush pending: executes the remaining
-        // clean copy (3.9us) and the first flush (4us), suspension or not.
+                                                                 // Drain until at most 1 flush pending: executes the remaining
+                                                                 // clean copy (3.9us) and the first flush (4us), suspension or not.
         let spent = t.drain_flushes(1, &mut stats);
         assert_eq!(spent, Ns::from_nanos(7_900));
         assert_eq!(t.pending_flushes(), 1);

@@ -1,10 +1,10 @@
-//! Property test: the page table's forward and reverse maps stay
+//! Randomized test: the page table's forward and reverse maps stay
 //! mutually consistent under arbitrary map/unmap sequences.
 
 use envy_core::addr::{FlashLocation, Location};
 use envy_core::page_table::PageTable;
 use envy_flash::FlashGeometry;
-use proptest::prelude::*;
+use envy_sim::check::{cases, Gen};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -18,19 +18,22 @@ const LPS: u64 = 32;
 const SEGS: u32 = 4;
 const PPS: u32 = 8;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..LPS, 0..SEGS, 0..PPS).prop_map(|(lp, seg, page)| Op::MapFlash { lp, seg, page }),
-        (0..LPS).prop_map(|lp| Op::MapSram { lp }),
-        (0..LPS).prop_map(|lp| Op::Unmap { lp }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.below(3) {
+        0 => Op::MapFlash {
+            lp: g.below(LPS),
+            seg: g.below(SEGS as u64) as u32,
+            page: g.below(PPS as u64) as u32,
+        },
+        1 => Op::MapSram { lp: g.below(LPS) },
+        _ => Op::Unmap { lp: g.below(LPS) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn forward_reverse_consistent(ops in prop::collection::vec(op_strategy(), 1..150)) {
+#[test]
+fn forward_reverse_consistent() {
+    cases(0x9A6E_7AB1, 256, |g| {
+        let ops = g.vec_of(1, 150, gen_op);
         let geo = FlashGeometry::new(2, SEGS, PPS, 16).unwrap();
         let mut pt = PageTable::new(LPS, &geo);
         // Model: lp -> location, plus reverse occupancy.
@@ -74,16 +77,16 @@ proptest! {
         for lp in 0..LPS {
             match fwd.get(&lp) {
                 Some(Some(loc)) => {
-                    prop_assert_eq!(pt.lookup(lp), Location::Flash(*loc));
-                    prop_assert_eq!(pt.logical_at(*loc), Some(lp));
+                    assert_eq!(pt.lookup(lp), Location::Flash(*loc));
+                    assert_eq!(pt.logical_at(*loc), Some(lp));
                 }
-                Some(None) => prop_assert_eq!(pt.lookup(lp), Location::Sram),
-                None => prop_assert_eq!(pt.lookup(lp), Location::Unmapped),
+                Some(None) => assert_eq!(pt.lookup(lp), Location::Sram),
+                None => assert_eq!(pt.lookup(lp), Location::Unmapped),
             }
         }
         for seg in 0..SEGS {
             let count = occupied.keys().filter(|(s, _)| *s == seg).count() as u32;
-            prop_assert_eq!(pt.resident_count(seg), count);
+            assert_eq!(pt.resident_count(seg), count);
         }
-    }
+    });
 }

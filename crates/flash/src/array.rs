@@ -57,8 +57,7 @@ impl Segment {
     fn new(pages_per_segment: u32, page_bytes: u32, store_data: bool) -> Segment {
         Segment {
             pages: vec![PageState::Erased; pages_per_segment as usize],
-            data: store_data
-                .then(|| vec![0xFF; (pages_per_segment * page_bytes) as usize]),
+            data: store_data.then(|| vec![0xFF; (pages_per_segment * page_bytes) as usize]),
             erase_cycles: 0,
             valid: 0,
             invalid: 0,
@@ -128,6 +127,13 @@ impl FlashArray {
     /// Operation counters.
     pub fn stats(&self) -> &FlashStats {
         &self.stats
+    }
+
+    /// Zero the operation counters. Wear state (erase cycles) and page
+    /// contents are untouched — this separates *measurement* from *state*
+    /// so a warmed-up array can serve as the baseline for an experiment.
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::default();
     }
 
     fn check(&self, segment: u32, page: u32) -> Result<(), FlashError> {
@@ -208,21 +214,31 @@ impl FlashArray {
         page: u32,
         data: Option<&[u8]>,
     ) -> Result<Ns, FlashError> {
-        self.check(segment, page)?;
-        let pb = self.geo.page_bytes() as usize;
-        if let Some(data) = data {
-            if data.len() != pb {
-                return Err(FlashError::BadBufferLength {
-                    expected: pb,
-                    actual: data.len(),
-                });
-            }
+        // Locate the segment with a single bounds probe; the no-data path
+        // (state-only simulations) then touches nothing but the page-state
+        // slot — no buffer-length or payload branches.
+        let pps = self.geo.pages_per_segment();
+        let Some(seg) = self.segments.get_mut(segment as usize) else {
+            return Err(FlashError::OutOfRange {
+                segment,
+                page: u32::MAX,
+            });
+        };
+        if page >= pps {
+            return Err(FlashError::OutOfRange { segment, page });
         }
-        let seg = &mut self.segments[segment as usize];
-        if seg.pages[page as usize] != PageState::Erased {
+        let pb = self.geo.page_bytes() as usize;
+        if data.is_some_and(|d| d.len() != pb) {
+            return Err(FlashError::BadBufferLength {
+                expected: pb,
+                actual: data.map_or(0, <[u8]>::len),
+            });
+        }
+        let state = &mut seg.pages[page as usize];
+        if *state != PageState::Erased {
             return Err(FlashError::ProgramToNonErased { segment, page });
         }
-        seg.pages[page as usize] = PageState::Valid;
+        *state = PageState::Valid;
         seg.valid += 1;
         if let (Some(store), Some(data)) = (&mut seg.data, data) {
             let start = page as usize * pb;
@@ -331,12 +347,20 @@ impl FlashArray {
 
     /// The least-worn segment's cycle count.
     pub fn min_erase_cycles(&self) -> u64 {
-        self.segments.iter().map(|s| s.erase_cycles).min().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(|s| s.erase_cycles)
+            .min()
+            .unwrap_or(0)
     }
 
     /// The most-worn segment's cycle count.
     pub fn max_erase_cycles(&self) -> u64 {
-        self.segments.iter().map(|s| s.erase_cycles).max().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(|s| s.erase_cycles)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total live pages across the array.
@@ -394,7 +418,13 @@ mod tests {
         let mut a = small();
         a.program_page(0, 0, None).unwrap();
         let err = a.program_page(0, 0, None).unwrap_err();
-        assert_eq!(err, FlashError::ProgramToNonErased { segment: 0, page: 0 });
+        assert_eq!(
+            err,
+            FlashError::ProgramToNonErased {
+                segment: 0,
+                page: 0
+            }
+        );
     }
 
     #[test]
@@ -409,7 +439,13 @@ mod tests {
     fn invalidate_requires_valid() {
         let mut a = small();
         let err = a.invalidate_page(0, 5).unwrap_err();
-        assert_eq!(err, FlashError::InvalidateNonValid { segment: 0, page: 5 });
+        assert_eq!(
+            err,
+            FlashError::InvalidateNonValid {
+                segment: 0,
+                page: 5
+            }
+        );
         a.program_page(0, 5, None).unwrap();
         a.invalidate_page(0, 5).unwrap();
         // Double invalidate also fails.
@@ -422,7 +458,13 @@ mod tests {
         a.program_page(2, 0, None).unwrap();
         a.program_page(2, 1, None).unwrap();
         let err = a.erase_segment(2).unwrap_err();
-        assert_eq!(err, FlashError::EraseWithLiveData { segment: 2, live_pages: 2 });
+        assert_eq!(
+            err,
+            FlashError::EraseWithLiveData {
+                segment: 2,
+                live_pages: 2
+            }
+        );
         a.invalidate_page(2, 0).unwrap();
         a.invalidate_page(2, 1).unwrap();
         let cost = a.erase_segment(2).unwrap();
@@ -510,7 +552,10 @@ mod tests {
         let short = vec![0u8; 3];
         assert!(matches!(
             a.program_page(0, 0, Some(&short)),
-            Err(FlashError::BadBufferLength { expected: 16, actual: 3 })
+            Err(FlashError::BadBufferLength {
+                expected: 16,
+                actual: 3
+            })
         ));
         let mut out = vec![0u8; 99];
         assert!(a.read_page(0, 0, Some(&mut out)).is_err());

@@ -122,7 +122,10 @@ impl FlashChip {
     ///
     /// Panics if either dimension is zero.
     pub fn new(blocks: u32, block_bytes: u32, timings: FlashTimings) -> FlashChip {
-        assert!(blocks > 0 && block_bytes > 0, "chip dimensions must be non-zero");
+        assert!(
+            blocks > 0 && block_bytes > 0,
+            "chip dimensions must be non-zero"
+        );
         FlashChip {
             block_bytes,
             data: vec![0xFF; (blocks * block_bytes) as usize],
@@ -173,9 +176,7 @@ impl FlashChip {
     /// no error, since the eNVy controller never reads a busy chip.
     pub fn read(&self, addr: u32) -> u8 {
         match self.state {
-            ChipState::ReadArray | ChipState::Suspended { .. } => {
-                self.data[addr as usize]
-            }
+            ChipState::ReadArray | ChipState::Suspended { .. } => self.data[addr as usize],
             _ => 0xFF,
         }
     }
@@ -208,7 +209,10 @@ impl FlashChip {
     pub fn issue(&mut self, cmd: Command) -> Result<Issued, FlashError> {
         match cmd {
             Command::ReadArray => {
-                if matches!(self.state, ChipState::ReadArray | ChipState::Suspended { .. }) {
+                if matches!(
+                    self.state,
+                    ChipState::ReadArray | ChipState::Suspended { .. }
+                ) {
                     self.state = ChipState::ReadArray;
                 }
                 self.settle();
@@ -319,7 +323,12 @@ mod tests {
     #[test]
     fn program_then_read() {
         let mut c = chip();
-        let issued = c.issue(Command::Program { addr: 5, value: 0xA5 }).unwrap();
+        let issued = c
+            .issue(Command::Program {
+                addr: 5,
+                value: 0xA5,
+            })
+            .unwrap();
         assert_eq!(issued.busy, Ns::from_micros(4));
         assert!(!c.status().ready);
         c.issue(Command::ReadArray).unwrap();
@@ -331,10 +340,18 @@ mod tests {
     #[test]
     fn program_is_write_once_bits_only_clear() {
         let mut c = chip();
-        c.issue(Command::Program { addr: 0, value: 0x0F }).unwrap();
+        c.issue(Command::Program {
+            addr: 0,
+            value: 0x0F,
+        })
+        .unwrap();
         // Attempt to set bits back to 1: the AND keeps them 0 and the
         // verify step flags an error.
-        c.issue(Command::Program { addr: 0, value: 0xF0 }).unwrap();
+        c.issue(Command::Program {
+            addr: 0,
+            value: 0xF0,
+        })
+        .unwrap();
         c.issue(Command::ReadArray).unwrap();
         assert_eq!(c.read(0), 0x00);
         assert!(c.status().program_error);
@@ -345,9 +362,17 @@ mod tests {
     #[test]
     fn overlapping_clear_programs_do_not_error() {
         let mut c = chip();
-        c.issue(Command::Program { addr: 0, value: 0x0F }).unwrap();
+        c.issue(Command::Program {
+            addr: 0,
+            value: 0x0F,
+        })
+        .unwrap();
         // Clearing more bits is always legal.
-        c.issue(Command::Program { addr: 0, value: 0x03 }).unwrap();
+        c.issue(Command::Program {
+            addr: 0,
+            value: 0x03,
+        })
+        .unwrap();
         assert!(!c.status().program_error);
         c.issue(Command::ReadArray).unwrap();
         assert_eq!(c.read(0), 0x03);
@@ -356,7 +381,11 @@ mod tests {
     #[test]
     fn erase_restores_block_and_counts_cycles() {
         let mut c = chip();
-        c.issue(Command::Program { addr: 300, value: 0x00 }).unwrap();
+        c.issue(Command::Program {
+            addr: 300,
+            value: 0x00,
+        })
+        .unwrap();
         assert_eq!(c.cycles(1), 0);
         let issued = c.issue(Command::EraseBlock { block: 1 }).unwrap();
         assert_eq!(issued.busy, Ns::from_millis(50));
@@ -370,7 +399,11 @@ mod tests {
     #[test]
     fn erase_only_affects_target_block() {
         let mut c = chip();
-        c.issue(Command::Program { addr: 0, value: 0x11 }).unwrap();
+        c.issue(Command::Program {
+            addr: 0,
+            value: 0x11,
+        })
+        .unwrap();
         c.issue(Command::EraseBlock { block: 1 }).unwrap();
         c.issue(Command::ReadArray).unwrap();
         assert_eq!(c.read(0), 0x11);
@@ -382,7 +415,10 @@ mod tests {
         c.issue(Command::EraseBlock { block: 0 }).unwrap();
         assert!(matches!(c.state(), ChipState::Erasing { .. }));
         c.issue(Command::Suspend).unwrap();
-        assert!(matches!(c.state(), ChipState::Suspended { block: Some(0), .. }));
+        assert!(matches!(
+            c.state(),
+            ChipState::Suspended { block: Some(0), .. }
+        ));
         // Array readable while suspended: the whole point (§3.4 "long"
         // operations are suspended to service host accesses).
         assert_eq!(c.read(700), 0xFF);
@@ -394,9 +430,16 @@ mod tests {
     #[test]
     fn suspend_program() {
         let mut c = chip();
-        c.issue(Command::Program { addr: 1, value: 0x00 }).unwrap();
+        c.issue(Command::Program {
+            addr: 1,
+            value: 0x00,
+        })
+        .unwrap();
         c.issue(Command::Suspend).unwrap();
-        assert!(matches!(c.state(), ChipState::Suspended { block: None, .. }));
+        assert!(matches!(
+            c.state(),
+            ChipState::Suspended { block: None, .. }
+        ));
         assert!(c.status().ready);
         c.issue(Command::Resume).unwrap();
         assert!(matches!(c.state(), ChipState::Programming { .. }));
@@ -414,7 +457,12 @@ mod tests {
     #[test]
     fn out_of_range_program() {
         let mut c = chip();
-        assert!(c.issue(Command::Program { addr: 1024, value: 0 }).is_err());
+        assert!(c
+            .issue(Command::Program {
+                addr: 1024,
+                value: 0
+            })
+            .is_err());
     }
 
     #[test]

@@ -58,14 +58,23 @@ impl fmt::Display for FlashError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             FlashError::ProgramToNonErased { segment, page } => {
-                write!(f, "program issued to non-erased page {page} of segment {segment}")
+                write!(
+                    f,
+                    "program issued to non-erased page {page} of segment {segment}"
+                )
             }
-            FlashError::EraseWithLiveData { segment, live_pages } => write!(
+            FlashError::EraseWithLiveData {
+                segment,
+                live_pages,
+            } => write!(
                 f,
                 "erase issued to segment {segment} which still holds {live_pages} valid pages"
             ),
             FlashError::InvalidateNonValid { segment, page } => {
-                write!(f, "invalidate issued to non-valid page {page} of segment {segment}")
+                write!(
+                    f,
+                    "invalidate issued to non-valid page {page} of segment {segment}"
+                )
             }
             FlashError::OutOfRange { segment, page } => {
                 if page == u32::MAX {
@@ -76,7 +85,10 @@ impl fmt::Display for FlashError {
             }
             FlashError::BadGeometry(why) => write!(f, "invalid flash geometry: {why}"),
             FlashError::BadBufferLength { expected, actual } => {
-                write!(f, "buffer length {actual} does not match page size {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match page size {expected}"
+                )
             }
         }
     }
@@ -90,7 +102,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_specific() {
-        let e = FlashError::ProgramToNonErased { segment: 3, page: 7 };
+        let e = FlashError::ProgramToNonErased {
+            segment: 3,
+            page: 7,
+        };
         let msg = e.to_string();
         assert!(msg.contains("segment 3"));
         assert!(msg.contains("page 7"));
@@ -99,7 +114,10 @@ mod tests {
 
     #[test]
     fn out_of_range_segment_only() {
-        let e = FlashError::OutOfRange { segment: 9, page: u32::MAX };
+        let e = FlashError::OutOfRange {
+            segment: 9,
+            page: u32::MAX,
+        };
         assert_eq!(e.to_string(), "segment index 9 out of range");
     }
 

@@ -43,7 +43,9 @@ impl FlashGeometry {
             return Err(FlashError::BadGeometry("segment count must be non-zero"));
         }
         if pages_per_segment == 0 {
-            return Err(FlashError::BadGeometry("pages per segment must be non-zero"));
+            return Err(FlashError::BadGeometry(
+                "pages per segment must be non-zero",
+            ));
         }
         if page_bytes == 0 {
             return Err(FlashError::BadGeometry("page size must be non-zero"));

@@ -1,11 +1,11 @@
-//! Property test: the Flash array's page state machine against a model.
+//! Randomized test: the Flash array's page state machine against a model.
 //!
 //! Random program/invalidate/erase sequences must keep the per-segment
 //! valid/invalid/erased counts consistent with an explicit model, and
 //! illegal transitions must be rejected exactly when the model says so.
 
 use envy_flash::{FlashArray, FlashGeometry, FlashTimings, PageState};
-use proptest::prelude::*;
+use envy_sim::check::{cases, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -17,19 +17,26 @@ enum Op {
 const SEGS: u32 = 4;
 const PPS: u32 = 8;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..SEGS, 0..PPS).prop_map(|(seg, page)| Op::Program { seg, page }),
-        (0..SEGS, 0..PPS).prop_map(|(seg, page)| Op::Invalidate { seg, page }),
-        (0..SEGS).prop_map(|seg| Op::Erase { seg }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.below(3) {
+        0 => Op::Program {
+            seg: g.below(SEGS as u64) as u32,
+            page: g.below(PPS as u64) as u32,
+        },
+        1 => Op::Invalidate {
+            seg: g.below(SEGS as u64) as u32,
+            page: g.below(PPS as u64) as u32,
+        },
+        _ => Op::Erase {
+            seg: g.below(SEGS as u64) as u32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn array_matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn array_matches_model() {
+    cases(0xF1A5_4001, 128, |g| {
+        let ops = g.vec_of(1, 200, gen_op);
         let geo = FlashGeometry::new(2, SEGS, PPS, 16).unwrap();
         let mut array = FlashArray::new(geo, FlashTimings::paper(), false);
         let mut model = vec![[PageState::Erased; PPS as usize]; SEGS as usize];
@@ -40,7 +47,7 @@ proptest! {
                 Op::Program { seg, page } => {
                     let legal = model[seg as usize][page as usize] == PageState::Erased;
                     let got = array.program_page(seg, page, None);
-                    prop_assert_eq!(got.is_ok(), legal);
+                    assert_eq!(got.is_ok(), legal, "{op:?}");
                     if legal {
                         model[seg as usize][page as usize] = PageState::Valid;
                     }
@@ -48,17 +55,15 @@ proptest! {
                 Op::Invalidate { seg, page } => {
                     let legal = model[seg as usize][page as usize] == PageState::Valid;
                     let got = array.invalidate_page(seg, page);
-                    prop_assert_eq!(got.is_ok(), legal);
+                    assert_eq!(got.is_ok(), legal, "{op:?}");
                     if legal {
                         model[seg as usize][page as usize] = PageState::Invalid;
                     }
                 }
                 Op::Erase { seg } => {
-                    let legal = model[seg as usize]
-                        .iter()
-                        .all(|&s| s != PageState::Valid);
+                    let legal = model[seg as usize].iter().all(|&s| s != PageState::Valid);
                     let got = array.erase_segment(seg);
-                    prop_assert_eq!(got.is_ok(), legal);
+                    assert_eq!(got.is_ok(), legal, "{op:?}");
                     if legal {
                         model[seg as usize] = [PageState::Erased; PPS as usize];
                         cycles[seg as usize] += 1;
@@ -67,20 +72,27 @@ proptest! {
             }
             // Counts agree with the model after every step.
             for seg in 0..SEGS {
-                let valid = model[seg as usize].iter().filter(|&&s| s == PageState::Valid).count() as u32;
-                let invalid = model[seg as usize].iter().filter(|&&s| s == PageState::Invalid).count() as u32;
-                prop_assert_eq!(array.valid_pages(seg), valid);
-                prop_assert_eq!(array.invalid_pages(seg), invalid);
-                prop_assert_eq!(array.erased_pages(seg), PPS - valid - invalid);
-                prop_assert_eq!(array.erase_cycles(seg), cycles[seg as usize]);
+                let valid = model[seg as usize]
+                    .iter()
+                    .filter(|&&s| s == PageState::Valid)
+                    .count() as u32;
+                let invalid = model[seg as usize]
+                    .iter()
+                    .filter(|&&s| s == PageState::Invalid)
+                    .count() as u32;
+                assert_eq!(array.valid_pages(seg), valid);
+                assert_eq!(array.invalid_pages(seg), invalid);
+                assert_eq!(array.erased_pages(seg), PPS - valid - invalid);
+                assert_eq!(array.erase_cycles(seg), cycles[seg as usize]);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn data_mode_preserves_last_programmed_bytes(
-        rounds in prop::collection::vec(any::<u8>(), 1..20)
-    ) {
+#[test]
+fn data_mode_preserves_last_programmed_bytes() {
+    cases(0xF1A5_4002, 64, |g| {
+        let rounds = g.bytes(1, 20);
         let geo = FlashGeometry::new(1, 2, 4, 8).unwrap();
         let mut array = FlashArray::new(geo, FlashTimings::paper(), true);
         for (i, &byte) in rounds.iter().enumerate() {
@@ -98,8 +110,8 @@ proptest! {
                 array.program_page(0, page, Some(&data)).unwrap();
                 let mut out = [0u8; 8];
                 array.read_page(0, page, Some(&mut out)).unwrap();
-                prop_assert_eq!(out, data);
+                assert_eq!(out, data);
             }
         }
-    }
+    });
 }

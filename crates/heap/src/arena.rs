@@ -400,7 +400,10 @@ mod tests {
     #[test]
     fn zero_alloc_rejected() {
         let (mut mem, mut a) = setup();
-        assert!(matches!(a.alloc(&mut mem, 0), Err(HeapError::BadSize { .. })));
+        assert!(matches!(
+            a.alloc(&mut mem, 0),
+            Err(HeapError::BadSize { .. })
+        ));
     }
 
     #[test]

@@ -350,7 +350,10 @@ mod tests {
         let records = log.records(&mut mem).unwrap();
         assert_eq!(records.len(), 500);
         for (i, r) in records.iter().enumerate() {
-            assert_eq!(u32::from_le_bytes(r.payload[..].try_into().unwrap()), i as u32);
+            assert_eq!(
+                u32::from_le_bytes(r.payload[..].try_into().unwrap()),
+                i as u32
+            );
         }
     }
 }

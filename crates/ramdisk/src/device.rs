@@ -61,7 +61,11 @@ impl BlockDevice {
         block: u64,
         buf: &mut [u8],
     ) -> Result<(), EnvyError> {
-        assert_eq!(buf.len(), self.block_bytes as usize, "buffer must be sector-sized");
+        assert_eq!(
+            buf.len(),
+            self.block_bytes as usize,
+            "buffer must be sector-sized"
+        );
         mem.read(self.addr_of(block), buf)
     }
 
@@ -80,7 +84,11 @@ impl BlockDevice {
         block: u64,
         data: &[u8],
     ) -> Result<(), EnvyError> {
-        assert_eq!(data.len(), self.block_bytes as usize, "buffer must be sector-sized");
+        assert_eq!(
+            data.len(),
+            self.block_bytes as usize,
+            "buffer must be sector-sized"
+        );
         mem.write(self.addr_of(block), data)
     }
 }

@@ -72,10 +72,10 @@ impl From<EnvyError> for FsError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimpleFs {
     dev: BlockDevice,
-    fat_base: u64,   // first FAT block
-    dir_base: u64,   // first directory block
+    fat_base: u64, // first FAT block
+    dir_base: u64, // first directory block
     dir_entries: u64,
-    data_base: u64,  // first data block
+    data_base: u64, // first data block
     data_blocks: u64,
 }
 
@@ -174,7 +174,9 @@ impl SimpleFs {
         let (block, off) = self.fat_addr(data_block);
         let mut raw = vec![0u8; bb];
         self.dev.read_block(mem, block, &mut raw)?;
-        Ok(u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            raw[off..off + 4].try_into().expect("4 bytes"),
+        ))
     }
 
     fn fat_set<M: Memory>(&self, mem: &mut M, data_block: u64, value: u32) -> Result<(), FsError> {
@@ -302,8 +304,7 @@ impl SimpleFs {
             let mut sector = vec![0u8; bb];
             let take = bb.min(data.len() - written);
             sector[..take].copy_from_slice(&data[written..written + take]);
-            self.dev
-                .write_block(mem, self.data_base + block, &sector)?;
+            self.dev.write_block(mem, self.data_base + block, &sector)?;
             written += take;
             prev = Some(block);
             if data.is_empty() {
@@ -425,7 +426,10 @@ mod tests {
     fn mount_unformatted_fails() {
         let mut mem = VecMemory::new(64 * 1024);
         let dev = BlockDevice::new(0, 512, 128);
-        assert_eq!(SimpleFs::mount(&mut mem, dev).unwrap_err(), FsError::BadMagic);
+        assert_eq!(
+            SimpleFs::mount(&mut mem, dev).unwrap_err(),
+            FsError::BadMagic
+        );
     }
 
     #[test]
@@ -471,7 +475,12 @@ mod tests {
             fs.write_file(&mut mem, &format!("file{i}"), &[i as u8; 100])
                 .unwrap();
         }
-        let mut names: Vec<String> = fs.list(&mut mem).unwrap().into_iter().map(|(n, _)| n).collect();
+        let mut names: Vec<String> = fs
+            .list(&mut mem)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         names.sort();
         assert_eq!(names.len(), 10);
         assert_eq!(names[0], "file0");
@@ -483,7 +492,10 @@ mod tests {
         let dev = BlockDevice::new(0, 512, 64);
         let mut fs = SimpleFs::format(&mut mem, dev).unwrap();
         let big = vec![0u8; 512 * 128];
-        assert_eq!(fs.write_file(&mut mem, "big", &big).unwrap_err(), FsError::NoSpace);
+        assert_eq!(
+            fs.write_file(&mut mem, "big", &big).unwrap_err(),
+            FsError::NoSpace
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: u64, s: f64) -> Zipf {
         assert!(n > 0, "Zipf requires at least one item");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
         for k in 1..=n {

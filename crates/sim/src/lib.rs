@@ -29,6 +29,7 @@
 //! assert!(gap > Ns::ZERO);
 //! ```
 
+pub mod check;
 pub mod dist;
 pub mod event;
 pub mod report;

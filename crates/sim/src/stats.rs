@@ -249,8 +249,7 @@ impl TimeWeighted {
     /// have non-decreasing `now`; an earlier `now` is ignored.
     pub fn set(&mut self, now: Ns, value: f64) {
         if self.started && now > self.last_time {
-            self.integral +=
-                self.last_value * (now.as_nanos() - self.last_time.as_nanos()) as f64;
+            self.integral += self.last_value * (now.as_nanos() - self.last_time.as_nanos()) as f64;
         }
         if !self.started || now >= self.last_time {
             self.last_time = now;

@@ -53,6 +53,10 @@ pub struct WriteBuffer {
     free: Vec<usize>,
     fifo: std::collections::VecDeque<usize>,
     index: HashMap<u64, usize>,
+    /// Page frames handed back via [`WriteBuffer::recycle_frame`], reused
+    /// by the next insert so steady-state copy-on-write/flush cycles do
+    /// not allocate. Bounded by `capacity`.
+    spare_frames: Vec<Box<[u8]>>,
 }
 
 impl WriteBuffer {
@@ -72,6 +76,7 @@ impl WriteBuffer {
             free: (0..capacity).rev().collect(),
             fifo: std::collections::VecDeque::with_capacity(capacity),
             index: HashMap::with_capacity(capacity),
+            spare_frames: Vec::new(),
         }
     }
 
@@ -129,9 +134,13 @@ impl WriteBuffer {
         }
         let slot = self.free.pop().expect("free list tracks occupancy");
         let data = if self.store_data {
-            let mut page = vec![0xFF; self.page_bytes].into_boxed_slice();
-            if let Some(initial) = initial {
-                page.copy_from_slice(initial);
+            let mut page = self
+                .spare_frames
+                .pop()
+                .unwrap_or_else(|| vec![0xFF; self.page_bytes].into_boxed_slice());
+            match initial {
+                Some(initial) => page.copy_from_slice(initial),
+                None => page.fill(0xFF),
             }
             Some(page)
         } else {
@@ -221,6 +230,15 @@ impl WriteBuffer {
         self.fifo.retain(|&s| s != slot);
         self.free.push(slot);
         Some(page)
+    }
+
+    /// Return a page frame (taken from a popped [`BufferedPage`]) for
+    /// reuse by future inserts. Wrong-sized frames and overflow beyond
+    /// one frame per slot are dropped.
+    pub fn recycle_frame(&mut self, frame: Box<[u8]>) {
+        if frame.len() == self.page_bytes && self.spare_frames.len() < self.capacity {
+            self.spare_frames.push(frame);
+        }
     }
 
     /// Iterate over buffered pages in FIFO order (oldest first).

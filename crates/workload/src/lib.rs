@@ -20,5 +20,7 @@ pub mod tpca;
 pub mod trace;
 
 pub use synthetic::{CleaningOutcome, CleaningStudy};
+pub use tpca::{
+    run_timed, AnalyticTpca, FunctionalTpca, RunResult, TpcaLayout, TpcaScale, Transaction,
+};
 pub use trace::{ReplayStats, Trace, TraceEvent, TracingMemory};
-pub use tpca::{run_timed, AnalyticTpca, FunctionalTpca, RunResult, TpcaLayout, TpcaScale, Transaction};

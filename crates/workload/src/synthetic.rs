@@ -104,7 +104,9 @@ impl CleaningStudy {
         let flushed = store.stats().pages_flushed.get() - flushed_before;
         let clean_programs = store.stats().clean_programs.get() - programs_before;
         let cleans = store.stats().cleans.get() - cleans_before;
-        store.check_invariants().map_err(|_| EnvyError::CorruptState)?;
+        store
+            .check_invariants()
+            .map_err(|_| EnvyError::CorruptState)?;
         Ok(CleaningOutcome {
             cleaning_cost: if flushed == 0 {
                 0.0
@@ -185,7 +187,12 @@ mod tests {
 
     #[test]
     fn hybrid_beats_locality_gathering_at_uniform() {
-        let hybrid = quick(PolicyKind::Hybrid { segments_per_partition: 8 }, (50, 50));
+        let hybrid = quick(
+            PolicyKind::Hybrid {
+                segments_per_partition: 8,
+            },
+            (50, 50),
+        );
         let lg = quick(PolicyKind::LocalityGathering, (50, 50));
         assert!(
             hybrid.cleaning_cost < lg.cleaning_cost,

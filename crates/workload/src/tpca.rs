@@ -76,7 +76,9 @@ impl TpcaScale {
                 hi = mid - 1;
             }
         }
-        TpcaScale { branches: lo.max(1) }
+        TpcaScale {
+            branches: lo.max(1),
+        }
     }
 }
 
@@ -111,7 +113,10 @@ impl TreeShape {
         let mut cursor = region + TREE_HEADER;
         let mut nodes = keys.div_ceil(FANOUT as u64).max(1);
         loop {
-            levels.push(TreeLevel { base: cursor, nodes });
+            levels.push(TreeLevel {
+                base: cursor,
+                nodes,
+            });
             cursor += nodes * NODE_BYTES as u64;
             if nodes == 1 {
                 break;
@@ -366,9 +371,7 @@ impl FunctionalTpca {
             (&self.branch_tree, txn.branch),
         ];
         for (tree, key) in targets {
-            let addr = tree
-                .get_probed(mem, key)?
-                .expect("indexed id must resolve");
+            let addr = tree.get_probed(mem, key)?.expect("indexed id must resolve");
             let mut bal = [0u8; 8];
             mem.read(addr, &mut bal)?;
             let new = i64::from_le_bytes(bal) + txn.delta;
@@ -433,9 +436,21 @@ impl AnalyticTpca {
     /// Visit every access of a transaction, in issue order.
     pub fn for_each_access<F: FnMut(TraceAccess)>(&self, txn: &Transaction, mut f: F) {
         let searches = [
-            (&self.layout.account_tree, txn.account, self.layout.account_addr(txn.account)),
-            (&self.layout.teller_tree, txn.teller, self.layout.teller_addr(txn.teller)),
-            (&self.layout.branch_tree, txn.branch, self.layout.branch_addr(txn.branch)),
+            (
+                &self.layout.account_tree,
+                txn.account,
+                self.layout.account_addr(txn.account),
+            ),
+            (
+                &self.layout.teller_tree,
+                txn.teller,
+                self.layout.teller_addr(txn.teller),
+            ),
+            (
+                &self.layout.branch_tree,
+                txn.branch,
+                self.layout.branch_addr(txn.branch),
+            ),
         ];
         for (tree, key, record) in searches {
             tree.for_each_search_access(key, |addr, len| {
@@ -544,8 +559,14 @@ pub fn run_timed(
         driver.run_transaction_timed(store, arrival, &txn)?;
     }
     let t0 = store.now();
-    let reads0 = (store.stats().read_latency.count(), store.stats().read_latency.sum());
-    let writes0 = (store.stats().write_latency.count(), store.stats().write_latency.sum());
+    let reads0 = (
+        store.stats().read_latency.count(),
+        store.stats().read_latency.sum(),
+    );
+    let writes0 = (
+        store.stats().write_latency.count(),
+        store.stats().write_latency.sum(),
+    );
     let flushed0 = store.stats().pages_flushed.get();
     let programs0 = store.stats().clean_programs.get();
 

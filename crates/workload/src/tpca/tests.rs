@@ -42,7 +42,9 @@ fn fit_bytes_is_maximal() {
     let budget = 200 * 1024 * 1024;
     let scale = TpcaScale::fit_bytes(budget);
     assert!(TpcaLayout::new(scale).total_bytes <= budget);
-    let bigger = TpcaScale { branches: scale.branches + 1 };
+    let bigger = TpcaScale {
+        branches: scale.branches + 1,
+    };
     assert!(TpcaLayout::new(bigger).total_bytes > budget);
 }
 
@@ -187,10 +189,7 @@ fn analytic_trace_matches_functional_addresses() {
         let functional = mem.log.clone();
         let mut analytic_trace = Vec::new();
         analytic.for_each_access(&txn, |a| analytic_trace.push((a.addr, a.len, a.write)));
-        assert_eq!(
-            analytic_trace, functional,
-            "trace mismatch for {txn:?}"
-        );
+        assert_eq!(analytic_trace, functional, "trace mismatch for {txn:?}");
     }
 }
 

@@ -101,12 +101,7 @@ impl Trace {
 
     /// Generate a timed TPC-A trace analytically: `transactions`
     /// arrivals at `rate_tps` with exponential inter-arrival times.
-    pub fn from_tpca(
-        driver: &AnalyticTpca,
-        rate_tps: f64,
-        transactions: u64,
-        seed: u64,
-    ) -> Trace {
+    pub fn from_tpca(driver: &AnalyticTpca, rate_tps: f64, transactions: u64, seed: u64) -> Trace {
         let mut trace = Trace::new();
         let scale = driver.layout().scale;
         let arrivals = Exponential::with_rate_per_sec(rate_tps);
@@ -177,14 +172,17 @@ impl Trace {
                 .ok_or_else(|| err("bad length"))?;
             let at = match parts.next() {
                 None => None,
-                Some(s) => Some(Ns::from_nanos(
-                    s.parse().map_err(|_| err("bad timestamp"))?,
-                )),
+                Some(s) => Some(Ns::from_nanos(s.parse().map_err(|_| err("bad timestamp"))?)),
             };
             if parts.next().is_some() {
                 return Err(err("trailing fields"));
             }
-            trace.push(TraceEvent { addr, len, write, at });
+            trace.push(TraceEvent {
+                addr,
+                len,
+                write,
+                at,
+            });
         }
         Ok(trace)
     }
@@ -218,8 +216,14 @@ impl Trace {
     /// Store errors.
     pub fn replay_timed(&self, store: &mut EnvyStore) -> Result<ReplayStats, EnvyError> {
         let t0 = store.now();
-        let reads0 = (store.stats().read_latency.count(), store.stats().read_latency.sum());
-        let writes0 = (store.stats().write_latency.count(), store.stats().write_latency.sum());
+        let reads0 = (
+            store.stats().read_latency.count(),
+            store.stats().read_latency.sum(),
+        );
+        let writes0 = (
+            store.stats().write_latency.count(),
+            store.stats().write_latency.sum(),
+        );
         let mut buf = vec![0u8; 64];
         let mut t = t0;
         for e in &self.events {
@@ -321,8 +325,18 @@ mod tests {
     #[test]
     fn text_roundtrip() {
         let mut t = Trace::new();
-        t.push(TraceEvent { addr: 100, len: 8, write: false, at: None });
-        t.push(TraceEvent { addr: 200, len: 2, write: true, at: Some(Ns::from_nanos(500)) });
+        t.push(TraceEvent {
+            addr: 100,
+            len: 8,
+            write: false,
+            at: None,
+        });
+        t.push(TraceEvent {
+            addr: 200,
+            len: 2,
+            write: true,
+            at: Some(Ns::from_nanos(500)),
+        });
         let text = t.to_text();
         assert_eq!(text, "R 100 8\nW 200 2 500\n");
         assert_eq!(Trace::from_text(&text).unwrap(), t);
@@ -382,7 +396,11 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.len() > 100, "10 transactions produce many accesses");
         // Timestamps are monotone non-decreasing.
-        let times: Vec<u64> = a.events().iter().map(|e| e.at.unwrap().as_nanos()).collect();
+        let times: Vec<u64> = a
+            .events()
+            .iter()
+            .map(|e| e.at.unwrap().as_nanos())
+            .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -15,7 +15,12 @@ fn main() {
         ("greedy", PolicyKind::Greedy),
         ("fifo", PolicyKind::Fifo),
         ("locality-gathering", PolicyKind::LocalityGathering),
-        ("hybrid-8", PolicyKind::Hybrid { segments_per_partition: 8 }),
+        (
+            "hybrid-8",
+            PolicyKind::Hybrid {
+                segments_per_partition: 8,
+            },
+        ),
     ];
     let mut table = Table::new(&["policy", "uniform 50/50", "skewed 10/90"]);
     for (name, policy) in policies {

@@ -31,7 +31,13 @@ fn main() {
 
     // Every mutation is one appended record — committed the moment
     // append returns, because the array is non-volatile.
-    for op in ["lang=rust", "paper=eNVy", "year=1994", "venue=ASPLOS", "lang=Rust"] {
+    for op in [
+        "lang=rust",
+        "paper=eNVy",
+        "year=1994",
+        "venue=ASPLOS",
+        "lang=Rust",
+    ] {
         log.append(&mut store, op.as_bytes()).expect("append");
     }
     log.append(&mut store, b"year").expect("append"); // delete "year"
@@ -43,7 +49,11 @@ fn main() {
     // A fresh process re-opens the log from the array and replays.
     let log = Log::open(&mut store, 0).expect("log present");
     let map = replay(&mut store, &log);
-    println!("recovered {} keys from {} log records:", map.len(), log.len(&mut store).unwrap());
+    println!(
+        "recovered {} keys from {} log records:",
+        map.len(),
+        log.len(&mut store).unwrap()
+    );
     let mut keys: Vec<_> = map.iter().collect();
     keys.sort();
     for (k, v) in keys {

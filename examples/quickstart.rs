@@ -27,7 +27,11 @@ fn main() -> Result<(), EnvyError> {
 
     let mut text = [0u8; 11];
     store.read(0x1008, &mut text)?;
-    println!("read back: {} / {:?}", u64::from_le_bytes(word), std::str::from_utf8(&text));
+    println!(
+        "read back: {} / {:?}",
+        u64::from_le_bytes(word),
+        std::str::from_utf8(&text)
+    );
 
     // Overwrite in place — on Flash this is a copy-on-write behind the
     // scenes, but the interface never shows it.

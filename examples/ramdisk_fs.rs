@@ -22,11 +22,16 @@ fn main() {
     );
 
     let mut fs = SimpleFs::format(&mut store, dev).expect("format");
-    fs.write_file(&mut store, "readme.txt", b"eNVy: non-volatile main memory storage")
-        .expect("write");
+    fs.write_file(
+        &mut store,
+        "readme.txt",
+        b"eNVy: non-volatile main memory storage",
+    )
+    .expect("write");
     let big: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
     fs.write_file(&mut store, "data.bin", &big).expect("write");
-    fs.write_file(&mut store, "temp.log", b"scratch").expect("write");
+    fs.write_file(&mut store, "temp.log", b"scratch")
+        .expect("write");
     fs.delete(&mut store, "temp.log").expect("delete");
 
     println!("files:");
@@ -40,7 +45,10 @@ fn main() {
     let fs2 = SimpleFs::mount(&mut store, dev).expect("remount");
     let contents = fs2.read_file(&mut store, "data.bin").expect("read");
     assert_eq!(contents, big);
-    println!("power failure survived: data.bin intact after remount ({} bytes)", contents.len());
+    println!(
+        "power failure survived: data.bin intact after remount ({} bytes)",
+        contents.len()
+    );
 
     let stats = store.stats();
     println!(

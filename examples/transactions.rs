@@ -45,7 +45,10 @@ fn main() -> Result<(), EnvyError> {
     let txn = store.txn_begin()?;
     set_balance(&mut store, ALICE, 0)?;
     set_balance(&mut store, BOB, 1_250)?;
-    println!("  mid-transaction: alice=0 bob=1250, shadows={}", store.engine().shadow_pages());
+    println!(
+        "  mid-transaction: alice=0 bob=1250, shadows={}",
+        store.engine().shadow_pages()
+    );
     store.txn_abort(txn)?;
     println!(
         "after abort: alice={} bob={} (restored from Flash shadows)",

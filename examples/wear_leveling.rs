@@ -34,7 +34,10 @@ fn run(wear_threshold: u64) -> (u64, u64, u64) {
 
 fn main() {
     let (min_off, max_off, _) = run(u64::MAX);
-    println!("without wear leveling: cycles span {min_off}..{max_off} (spread {})", max_off - min_off);
+    println!(
+        "without wear leveling: cycles span {min_off}..{max_off} (spread {})",
+        max_off - min_off
+    );
     let (min_on, max_on, swaps) = run(10);
     println!(
         "with wear leveling (threshold 10): cycles span {min_on}..{max_on} (spread {}, {swaps} swaps)",

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Regenerate every figure/table of the paper's evaluation.
-# Usage: ./run_experiments.sh [--quick]
+# Usage: ./run_experiments.sh [--quick] [--jobs N] [--paper]
+# All flags are forwarded to every benchmark binary; --jobs N runs each
+# binary's parameter sweep on N worker threads (default: all cores).
 set -e
-MODE="$1"
 OUT=results
 mkdir -p "$OUT"
 for bin in table_fig01 table_fig12 fig06_cleaning_cost fig08_policy_comparison \
@@ -11,6 +12,6 @@ for bin in table_fig01 table_fig12 fig06_cleaning_cost fig08_policy_comparison \
            abl_buffer_size abl_page_size abl_wear_threshold abl_lg_mechanisms abl_mmu \
            abl_drifting_hotspot; do
   echo "=== $bin ==="
-  cargo run --release -p envy-bench --bin "$bin" -- $MODE > "$OUT/$bin.txt"
+  cargo run --release -p envy-bench --bin "$bin" -- "$@" > "$OUT/$bin.txt"
 done
 echo "all results in $OUT/"

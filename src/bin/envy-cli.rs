@@ -13,7 +13,7 @@
 use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy::sim::report::{fmt_f64, Table};
 use envy::sim::time::Ns;
-use envy::workload::{run_timed, AnalyticTpca, CleaningStudy, Trace, TpcaScale};
+use envy::workload::{run_timed, AnalyticTpca, CleaningStudy, TpcaScale, Trace};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -90,12 +90,21 @@ fn cmd_info() -> Result<(), String> {
     let c = EnvyConfig::paper_2gb();
     let g = &c.geometry;
     let mut t = Table::new(&["parameter", "value"]);
-    t.row(&["flash array".into(), format!("{} MB", g.total_bytes() >> 20)]);
+    t.row(&[
+        "flash array".into(),
+        format!("{} MB", g.total_bytes() >> 20),
+    ]);
     t.row(&["banks".into(), g.banks().to_string()]);
-    t.row(&["segments".into(), format!("{} x {} MB", g.segments(), g.segment_bytes() >> 20)]);
+    t.row(&[
+        "segments".into(),
+        format!("{} x {} MB", g.segments(), g.segment_bytes() >> 20),
+    ]);
     t.row(&["page size".into(), format!("{} B", g.page_bytes())]);
     t.row(&["write buffer".into(), format!("{} pages", c.buffer_pages)]);
-    t.row(&["page-table SRAM".into(), format!("{} MB", c.page_table_sram_bytes() >> 20)]);
+    t.row(&[
+        "page-table SRAM".into(),
+        format!("{} MB", c.page_table_sram_bytes() >> 20),
+    ]);
     t.row(&["program time".into(), c.timings.program.to_string()]);
     t.row(&["erase time".into(), c.timings.erase.to_string()]);
     t.row(&["policy".into(), format!("{:?}", c.policy)]);
@@ -111,8 +120,12 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
         "lg" | "locality-gathering" => Ok(PolicyKind::LocalityGathering),
         other => match other.strip_prefix("hybrid:") {
             Some(k) => {
-                let k: u32 = k.parse().map_err(|_| format!("bad partition size in `{other}`"))?;
-                Ok(PolicyKind::Hybrid { segments_per_partition: k })
+                let k: u32 = k
+                    .parse()
+                    .map_err(|_| format!("bad partition size in `{other}`"))?;
+                Ok(PolicyKind::Hybrid {
+                    segments_per_partition: k,
+                })
             }
             None => Err(format!("unknown policy `{other}`")),
         },
@@ -183,8 +196,14 @@ fn cmd_tpca(args: &[String]) -> Result<(), String> {
     t.row(&["cleaning cost".into(), fmt_f64(r.cleaning_cost)]);
     if let Some(b) = store.stats().breakdown() {
         t.row(&["busy: reads".into(), format!("{:.1}%", b.reads * 100.0)]);
-        t.row(&["busy: cleaning".into(), format!("{:.1}%", b.cleaning * 100.0)]);
-        t.row(&["busy: flushing".into(), format!("{:.1}%", b.flushing * 100.0)]);
+        t.row(&[
+            "busy: cleaning".into(),
+            format!("{:.1}%", b.cleaning * 100.0),
+        ]);
+        t.row(&[
+            "busy: flushing".into(),
+            format!("{:.1}%", b.flushing * 100.0),
+        ]);
         t.row(&["busy: erasing".into(), format!("{:.1}%", b.erasing * 100.0)]);
     }
     print!("{}", t.render());
@@ -233,9 +252,14 @@ fn cmd_trace_replay(args: &[String]) -> Result<(), String> {
         t.row(&["read latency".into(), stats.read_latency.to_string()]);
         t.row(&["write latency".into(), stats.write_latency.to_string()]);
     }
-    t.row(&["flushes".into(), store.stats().pages_flushed.get().to_string()]);
+    t.row(&[
+        "flushes".into(),
+        store.stats().pages_flushed.get().to_string(),
+    ]);
     t.row(&["cleans".into(), store.stats().cleans.get().to_string()]);
     print!("{}", t.render());
-    store.check_invariants().map_err(|e| format!("invariant violation: {e}"))?;
+    store
+        .check_invariants()
+        .map_err(|e| format!("invariant violation: {e}"))?;
     Ok(())
 }

@@ -57,7 +57,8 @@ fn btree_survives_interrupted_clean() {
     let mut tree = BTree::create(&mut s, 0, 512 * 1024).unwrap();
     let mut rng = Rng::seed_from(9);
     for _ in 0..10_000u32 {
-        tree.insert(&mut s, rng.below(3_000), rng.next_u64()).unwrap();
+        tree.insert(&mut s, rng.below(3_000), rng.next_u64())
+            .unwrap();
     }
     // Interrupt a clean of the fullest position mid-copy, crash, recover.
     let pos = (0..s.engine().positions())

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the persistent heap structures over the
 //! eNVy controller, across cleaning and power failures.
 
-use envy::core::{EnvyConfig, EnvyStore, Memory, PolicyKind};
+use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy::heap::{Arena, Log};
 use envy::sim::rng::Rng;
 
@@ -57,7 +57,10 @@ fn arena_churn_under_cleaning() {
             arena.free(&mut s, addr).unwrap();
         }
     }
-    assert!(s.stats().cleans.get() > 0, "heap churn should trigger cleaning");
+    assert!(
+        s.stats().cleans.get() > 0,
+        "heap churn should trigger cleaning"
+    );
     arena.check(&mut s).unwrap();
     s.check_invariants().unwrap();
 }
@@ -67,7 +70,8 @@ fn log_survives_interrupted_clean() {
     let mut s = store();
     let log = Log::create(&mut s, 4096, 128 * 1024).unwrap();
     for i in 0..200u32 {
-        log.append(&mut s, format!("record {i}").as_bytes()).unwrap();
+        log.append(&mut s, format!("record {i}").as_bytes())
+            .unwrap();
     }
     // Push the buffered log pages into Flash so the clean has real work.
     s.flush_all().unwrap();

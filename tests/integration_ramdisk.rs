@@ -51,16 +51,28 @@ fn filesystem_survives_power_failure_mid_usage() {
 fn filesystem_survives_interrupted_clean() {
     let (mut store, dev) = fs_store();
     let mut fs = SimpleFs::format(&mut store, dev).unwrap();
-    fs.write_file(&mut store, "precious", &[0xABu8; 20_000]).unwrap();
+    fs.write_file(&mut store, "precious", &[0xABu8; 20_000])
+        .unwrap();
     let pos = (0..store.engine().positions())
-        .max_by_key(|&p| store.engine().flash().valid_pages(store.engine().segment_at(p)))
+        .max_by_key(|&p| {
+            store
+                .engine()
+                .flash()
+                .valid_pages(store.engine().segment_at(p))
+        })
         .expect("positions exist");
     let mut ops = Vec::new();
-    store.engine_mut().clean_interrupted(pos, 5, &mut ops).unwrap();
+    store
+        .engine_mut()
+        .clean_interrupted(pos, 5, &mut ops)
+        .unwrap();
     store.power_failure();
     let report = store.recover().unwrap();
     assert!(report.resumed_clean);
     let fs2 = SimpleFs::mount(&mut store, dev).unwrap();
-    assert_eq!(fs2.read_file(&mut store, "precious").unwrap(), vec![0xABu8; 20_000]);
+    assert_eq!(
+        fs2.read_file(&mut store, "precious").unwrap(),
+        vec![0xABu8; 20_000]
+    );
     store.check_invariants().unwrap();
 }

@@ -50,7 +50,9 @@ fn claim_hybrid_is_best_of_both() {
     };
     for locality in [(50u32, 50u32), (20, 80), (5, 95)] {
         let hybrid = study(
-            PolicyKind::Hybrid { segments_per_partition: 16 },
+            PolicyKind::Hybrid {
+                segments_per_partition: 16,
+            },
             locality,
         );
         let lg = study(PolicyKind::LocalityGathering, locality);
@@ -62,7 +64,9 @@ fn claim_hybrid_is_best_of_both() {
         );
     }
     let hybrid_uniform = study(
-        PolicyKind::Hybrid { segments_per_partition: 16 },
+        PolicyKind::Hybrid {
+            segments_per_partition: 16,
+        },
         (50, 50),
     );
     let greedy_uniform = study(PolicyKind::Greedy, (50, 50));
@@ -77,7 +81,12 @@ fn claim_hybrid_is_best_of_both() {
 #[test]
 fn claim_partition_size_sweet_spot() {
     let at = |k: u32, loc: (u32, u32)| {
-        quick_study(PolicyKind::Hybrid { segments_per_partition: k }, loc)
+        quick_study(
+            PolicyKind::Hybrid {
+                segments_per_partition: k,
+            },
+            loc,
+        )
     };
     // Mid-size wins under skew vs full-array FIFO…
     assert!(at(8, (5, 95)) < at(63, (5, 95)));
@@ -113,7 +122,9 @@ fn timed_tpca() -> (EnvyStore, AnalyticTpca) {
     let mut rng = envy::sim::rng::Rng::seed_from(1);
     for _ in 0..free * 2 {
         let id = rng.below(scale.accounts());
-        store.write(driver.layout().account_addr(id), &[0u8; 8]).unwrap();
+        store
+            .write(driver.layout().account_addr(id), &[0u8; 8])
+            .unwrap();
     }
     (store, driver)
 }
@@ -186,7 +197,9 @@ fn claim_parallel_ops_help_at_saturation() {
         let mut rng = envy::sim::rng::Rng::seed_from(1);
         for _ in 0..free * 2 {
             let id = rng.below(scale.accounts());
-            store.write(driver.layout().account_addr(id), &[0u8; 8]).unwrap();
+            store
+                .write(driver.layout().account_addr(id), &[0u8; 8])
+                .unwrap();
         }
         run_timed(&mut store, &driver, 80_000.0, 1_000, 12_000, 42)
             .unwrap()

@@ -1,20 +1,19 @@
-//! Property-based tests for the data structures built on the array:
+//! Randomized tests for the data structures built on the array:
 //! B-Trees against `std::collections::BTreeMap`, the filesystem against
 //! an in-memory map of files.
 
 use envy::btree::BTree;
 use envy::core::{EnvyConfig, EnvyStore, VecMemory};
 use envy::ramdisk::{BlockDevice, SimpleFs};
-use proptest::prelude::*;
+use envy::sim::check::cases;
 use std::collections::{BTreeMap, HashMap};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// B-Tree over plain RAM matches BTreeMap for arbitrary insert/get
-    /// interleavings.
-    #[test]
-    fn btree_matches_btreemap_on_ram(ops in prop::collection::vec((any::<bool>(), 0u64..500, any::<u64>()), 1..400)) {
+/// B-Tree over plain RAM matches BTreeMap for arbitrary insert/get
+/// interleavings.
+#[test]
+fn btree_matches_btreemap_on_ram() {
+    cases(0xB7EE_0001, 48, |g| {
+        let ops = g.vec_of(1, 400, |g| (g.chance(0.5), g.below(500), g.u64()));
         let mut mem = VecMemory::new(2 * 1024 * 1024);
         let mut tree = BTree::create(&mut mem, 0, 2 * 1024 * 1024).unwrap();
         let mut model = BTreeMap::new();
@@ -22,18 +21,24 @@ proptest! {
             if is_insert {
                 let expected = model.insert(k, v);
                 let got = tree.insert(&mut mem, k, v).unwrap();
-                prop_assert_eq!(got, expected);
+                assert_eq!(got, expected);
             } else {
-                prop_assert_eq!(tree.get(&mut mem, k).unwrap(), model.get(&k).copied());
-                prop_assert_eq!(tree.get_probed(&mut mem, k).unwrap(), model.get(&k).copied());
+                assert_eq!(tree.get(&mut mem, k).unwrap(), model.get(&k).copied());
+                assert_eq!(
+                    tree.get_probed(&mut mem, k).unwrap(),
+                    model.get(&k).copied()
+                );
             }
         }
-    }
+    });
+}
 
-    /// The same B-Tree behaviour holds over the eNVy store (copy-on-write
-    /// and cleaning underneath must be invisible).
-    #[test]
-    fn btree_matches_btreemap_on_envy(ops in prop::collection::vec((0u64..300, any::<u64>()), 1..200)) {
+/// The same B-Tree behaviour holds over the eNVy store (copy-on-write
+/// and cleaning underneath must be invisible).
+#[test]
+fn btree_matches_btreemap_on_envy() {
+    cases(0xB7EE_0002, 48, |g| {
+        let ops = g.vec_of(1, 200, |g| (g.below(300), g.u64()));
         let config = EnvyConfig::scaled(4, 16, 128, 256).with_utilization(0.6);
         let mut store = EnvyStore::new(config).unwrap();
         let region = 128 * 1024;
@@ -44,15 +49,18 @@ proptest! {
             tree.insert(&mut store, k, v).unwrap();
         }
         for (&k, &v) in &model {
-            prop_assert_eq!(tree.get(&mut store, k).unwrap(), Some(v));
+            assert_eq!(tree.get(&mut store, k).unwrap(), Some(v));
         }
-        prop_assert!(store.check_invariants().is_ok());
-    }
+        store.check_invariants().unwrap();
+    });
+}
 
-    /// Filesystem write/delete sequences match a HashMap<String, Vec<u8>>
-    /// model.
-    #[test]
-    fn simplefs_matches_file_map(ops in prop::collection::vec((0u8..6, 0usize..2000, any::<u8>()), 1..60)) {
+/// Filesystem write/delete sequences match a HashMap<String, Vec<u8>>
+/// model.
+#[test]
+fn simplefs_matches_file_map() {
+    cases(0xB7EE_0003, 48, |g| {
+        let ops = g.vec_of(1, 60, |g| (g.below(6) as u8, g.usize_in(0, 2000), g.byte()));
         let mut mem = VecMemory::new(2 * 1024 * 1024);
         let dev = BlockDevice::new(0, 512, 4096);
         let mut fs = SimpleFs::format(&mut mem, dev).unwrap();
@@ -68,13 +76,18 @@ proptest! {
                 model.insert(name, data);
             }
         }
-        let mut listed: Vec<String> = fs.list(&mut mem).unwrap().into_iter().map(|(n, _)| n).collect();
+        let mut listed: Vec<String> = fs
+            .list(&mut mem)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         listed.sort();
         let mut expected: Vec<String> = model.keys().cloned().collect();
         expected.sort();
-        prop_assert_eq!(listed, expected);
+        assert_eq!(listed, expected);
         for (name, data) in &model {
-            prop_assert_eq!(&fs.read_file(&mut mem, name).unwrap(), data);
+            assert_eq!(&fs.read_file(&mut mem, name).unwrap(), data);
         }
-    }
+    });
 }

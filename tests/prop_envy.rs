@@ -1,9 +1,9 @@
-//! Property-based tests: the eNVy store behaves exactly like plain RAM
-//! (differential model), and structural invariants hold after arbitrary
-//! operation sequences.
+//! Randomized differential tests: the eNVy store behaves exactly like
+//! plain RAM (differential model), and structural invariants hold after
+//! arbitrary operation sequences.
 
 use envy::core::{EnvyConfig, EnvyStore, Memory, PolicyKind, VecMemory};
-use proptest::prelude::*;
+use envy::sim::check::{cases, Gen};
 
 /// An operation against the linear array.
 #[derive(Debug, Clone)]
@@ -16,33 +16,40 @@ enum Op {
 
 const SIZE: u64 = 16 * 16 * 256 / 2; // small_test logical bytes (50% of 16x16 pages)
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..SIZE - 64, prop::collection::vec(any::<u8>(), 1..64)).prop_map(|(addr, bytes)| {
-            Op::Write { addr, bytes }
-        }),
-        3 => (0..SIZE - 64, 1..64usize).prop_map(|(addr, len)| Op::Read { addr, len }),
-        1 => Just(Op::PowerFail),
-        1 => Just(Op::FlushAll),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    // Weights mirror the original strategy: 4 write : 3 read : 1 : 1.
+    match g.below(9) {
+        0..=3 => Op::Write {
+            addr: g.below(SIZE - 64),
+            bytes: g.bytes(1, 64),
+        },
+        4..=6 => Op::Read {
+            addr: g.below(SIZE - 64),
+            len: g.usize_in(1, 64),
+        },
+        7 => Op::PowerFail,
+        _ => Op::FlushAll,
+    }
 }
 
-fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Greedy),
-        Just(PolicyKind::Fifo),
-        Just(PolicyKind::LocalityGathering),
-        Just(PolicyKind::Hybrid { segments_per_partition: 4 }),
-    ]
+fn gen_policy(g: &mut Gen) -> PolicyKind {
+    *g.pick(&[
+        PolicyKind::Greedy,
+        PolicyKind::Fifo,
+        PolicyKind::LocalityGathering,
+        PolicyKind::Hybrid {
+            segments_per_partition: 4,
+        },
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Differential test: any sequence of writes/reads/power-failures
-    /// observed through eNVy matches plain RAM initialized to 0xFF.
-    #[test]
-    fn envy_equals_plain_ram(policy in policy_strategy(), ops in prop::collection::vec(op_strategy(), 1..120)) {
+/// Differential test: any sequence of writes/reads/power-failures
+/// observed through eNVy matches plain RAM initialized to 0xFF.
+#[test]
+fn envy_equals_plain_ram() {
+    cases(0xE4E4_0001, 64, |g| {
+        let policy = gen_policy(g);
+        let ops = g.vec_of(1, 120, gen_op);
         let config = EnvyConfig::small_test().with_policy(policy);
         let mut envy = EnvyStore::new(config).unwrap();
         let mut model = VecMemory::new(SIZE);
@@ -61,7 +68,7 @@ proptest! {
                     let mut b = vec![0u8; *len];
                     envy.read(*addr, &mut a).unwrap();
                     model.read(*addr, &mut b).unwrap();
-                    prop_assert_eq!(&a, &b);
+                    assert_eq!(&a, &b);
                 }
                 Op::PowerFail => {
                     envy.power_failure();
@@ -75,18 +82,19 @@ proptest! {
         let mut b = vec![0u8; SIZE as usize];
         envy.read(0, &mut a).unwrap();
         model.read(0, &mut b).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert!(envy.check_invariants().is_ok());
-    }
+        assert_eq!(a, b);
+        envy.check_invariants().unwrap();
+    });
+}
 
-    /// Transactions: abort restores exactly the pre-transaction state;
-    /// commit preserves exactly the post-transaction state.
-    #[test]
-    fn txn_abort_is_exact_inverse(
-        pre in prop::collection::vec((0..SIZE - 8, any::<u64>()), 1..20),
-        during in prop::collection::vec((0..SIZE - 8, any::<u64>()), 1..20),
-        commit in any::<bool>(),
-    ) {
+/// Transactions: abort restores exactly the pre-transaction state;
+/// commit preserves exactly the post-transaction state.
+#[test]
+fn txn_abort_is_exact_inverse() {
+    cases(0xE4E4_0002, 64, |g| {
+        let pre = g.vec_of(1, 20, |g| (g.below(SIZE - 8), g.u64()));
+        let during = g.vec_of(1, 20, |g| (g.below(SIZE - 8), g.u64()));
+        let commit = g.chance(0.5);
         let mut envy = EnvyStore::new(EnvyConfig::small_test()).unwrap();
         for (addr, v) in &pre {
             envy.write(*addr, &v.to_le_bytes()).unwrap();
@@ -105,24 +113,25 @@ proptest! {
             envy.txn_commit(txn).unwrap();
             let mut after = vec![0u8; SIZE as usize];
             envy.read(0, &mut after).unwrap();
-            prop_assert_eq!(after, dirty);
+            assert_eq!(after, dirty);
         } else {
             envy.txn_abort(txn).unwrap();
             let mut after = vec![0u8; SIZE as usize];
             envy.read(0, &mut after).unwrap();
-            prop_assert_eq!(after, snapshot);
+            assert_eq!(after, snapshot);
         }
-        prop_assert!(envy.check_invariants().is_ok());
-    }
+        envy.check_invariants().unwrap();
+    });
+}
 
-    /// Interrupted cleans recover to a consistent state with no data
-    /// loss, wherever the interruption lands.
-    #[test]
-    fn interrupted_clean_never_loses_data(
-        writes in prop::collection::vec((0..SIZE - 8, any::<u64>()), 10..60),
-        pos in 0u32..15,
-        after in 1u32..10,
-    ) {
+/// Interrupted cleans recover to a consistent state with no data loss,
+/// wherever the interruption lands.
+#[test]
+fn interrupted_clean_never_loses_data() {
+    cases(0xE4E4_0003, 64, |g| {
+        let writes = g.vec_of(10, 60, |g| (g.below(SIZE - 8), g.u64()));
+        let pos = g.below(15) as u32;
+        let after = g.range(1, 10) as u32;
         let mut envy = EnvyStore::new(EnvyConfig::small_test()).unwrap();
         envy.prefill().unwrap();
         for (addr, v) in &writes {
@@ -132,13 +141,15 @@ proptest! {
         envy.read(0, &mut before).unwrap();
 
         let mut ops = Vec::new();
-        envy.engine_mut().clean_interrupted(pos, after, &mut ops).unwrap();
+        envy.engine_mut()
+            .clean_interrupted(pos, after, &mut ops)
+            .unwrap();
         envy.power_failure();
         envy.recover().unwrap();
 
         let mut recovered = vec![0u8; SIZE as usize];
         envy.read(0, &mut recovered).unwrap();
-        prop_assert_eq!(before, recovered);
-        prop_assert!(envy.check_invariants().is_ok());
-    }
+        assert_eq!(before, recovered);
+        envy.check_invariants().unwrap();
+    });
 }
