@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "== cargo test =="
 cargo test --workspace -q
 
@@ -20,5 +23,13 @@ cargo run --release -q -p envy-bench --bin fig13_throughput -- --quick --jobs 2 
   > results/ci_smoke_fig13.txt
 test -s results/ci_smoke_fig13.txt
 test -s results/BENCH_fig13_throughput.json
+
+echo "== smoke: ext_fault_recovery --quick --jobs 2 =="
+# Deterministic fault-injection smoke: crash at every injection point
+# once (fixed seeds); the binary exits nonzero if any recovery fails.
+cargo run --release -q -p envy-bench --bin ext_fault_recovery -- --quick --jobs 2 \
+  > results/ci_smoke_fault_recovery.txt
+grep -q "17/17 injection points crashed and recovered" results/ci_smoke_fault_recovery.txt
+test -s results/BENCH_ext_fault_recovery.json
 
 echo "ci: all checks passed"

@@ -1,0 +1,219 @@
+//! Extension: fault injection and crash-recovery characterization.
+//!
+//! The paper argues (§3.4) that keeping the cleaning state in persistent
+//! memory lets the controller "recover quickly after a failure", but
+//! reports no recovery measurements. This extension exercises the
+//! repository's deterministic fault layer two ways:
+//!
+//! * **Crash matrix** — for every numbered injection point (flush,
+//!   clean, erase, wear swap, transaction commit) a workload is driven
+//!   until the armed power failure fires, then the store is recovered
+//!   and the recovery report is tabulated: what debris each crash class
+//!   leaves (orphaned programs scavenged, stale buffer entries dropped,
+//!   stale shadows released, a clean resumed from the journal).
+//! * **Fault-rate sweep** — steady-state churn under increasing injected
+//!   `program_error` rates, showing the retry/remap cost surfacing in
+//!   [`envy_core::EnvyStats`] and the effect on cleaning cost. Rate 0
+//!   arms nothing and is byte-identical to an unfaulted run.
+//!
+//! See `docs/CRASH_CONSISTENCY.md` for the recovery contract behind the
+//! crash matrix.
+
+use envy_bench::{arg_u64, emit, quick_mode, PointResult, SweepSpec};
+use envy_core::{
+    EnvyConfig, EnvyError, EnvyStore, FaultPlan, InjectionPoint, PolicyKind, RecoveryReport,
+};
+use envy_sim::report::{fmt_f64, Table};
+use envy_sim::rng::Rng;
+
+const PAGE: u64 = 256;
+
+/// One sweep point: a crash-matrix entry or a fault-rate entry.
+#[derive(Debug, Clone, Copy)]
+enum Point {
+    Crash(InjectionPoint),
+    Rate(u64), // injected program failures per 10k programs
+}
+
+/// Small untimed store with frequent cleaning and wear swaps, so every
+/// injection point is reachable quickly.
+fn crash_config() -> EnvyConfig {
+    EnvyConfig::scaled(2, 8, 32, PAGE as u32)
+        .with_policy(PolicyKind::LocalityGathering)
+        .with_utilization(0.7)
+        .with_buffer_pages(8)
+        .with_wear_threshold(5)
+}
+
+/// Drive writes and transactions until the armed crash fires; returns
+/// the steps taken and the recovery report.
+fn crash_point(point: InjectionPoint, max_steps: u64) -> (u64, RecoveryReport) {
+    let mut s = EnvyStore::new(crash_config()).expect("config is valid");
+    s.prefill().expect("prefill fits");
+    let n = s.config().logical_pages;
+    s.arm_faults(FaultPlan::crash_at(point, 1));
+    let mut rng = Rng::seed_from(0xFA17 ^ point.index() as u64);
+    let mut txn: Option<u64> = None;
+    let mut steps = 0;
+    for step in 0..max_steps {
+        steps = step + 1;
+        let phase = step % 37;
+        let r = if phase == 0 && txn.is_none() {
+            match s.txn_begin() {
+                Ok(id) => {
+                    txn = Some(id);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if phase == 20 && txn.is_some() {
+            let r = s.txn_commit(txn.unwrap());
+            if r.is_ok() {
+                txn = None;
+            }
+            r
+        } else {
+            // Hot region with occasional full-range writes (see the
+            // wear-leveling test recipe).
+            let lp = if step % 8 == 7 {
+                rng.below(n)
+            } else {
+                rng.below(64.min(n))
+            };
+            s.write(lp * PAGE, &[rng.next_u64() as u8; 4])
+        };
+        match r {
+            Ok(()) => {}
+            Err(EnvyError::PowerLoss) => break,
+            Err(e) => panic!("unexpected error driving {point:?}: {e}"),
+        }
+    }
+    assert!(s.engine().crash_fired(), "workload never reached {point:?}");
+    s.power_failure();
+    let report = s.recover().expect("recovery must succeed");
+    s.check_invariants().expect("invariants after recovery");
+    (steps, report)
+}
+
+/// Steady-state churn under an injected program-failure rate (failures
+/// per 10k program operations); returns the store for stats readout.
+fn rate_run(rate: u64, writes: u64) -> EnvyStore {
+    let config = EnvyConfig::scaled(2, 16, 128, PAGE as u32).with_buffer_pages(32);
+    let mut s = EnvyStore::new(config).expect("config is valid");
+    s.prefill().expect("prefill fits");
+    if rate > 0 {
+        let period = 10_000 / rate;
+        // Cover far more program ops than the churn can issue.
+        let schedule = (1..).map(|i| i * period).take_while(|&op| op < writes * 8);
+        s.arm_faults(FaultPlan::default().with_program_failures(schedule));
+    }
+    let n = s.config().logical_pages;
+    let mut rng = Rng::seed_from(0x5EED);
+    for _ in 0..writes {
+        let lp = rng.below(n);
+        s.write(lp * PAGE, &[rng.next_u64() as u8; 4])
+            .expect("faulted writes are retried, not failed");
+    }
+    s.check_invariants().expect("invariants after churn");
+    s
+}
+
+fn main() {
+    let quick = quick_mode();
+    let max_steps = arg_u64("max-steps", 60_000);
+    let writes = arg_u64("writes", if quick { 20_000 } else { 100_000 });
+    let rates: &[u64] = &[0, 5, 20, 50, 100];
+
+    let mut points: Vec<Point> = InjectionPoint::ALL
+        .iter()
+        .copied()
+        .map(Point::Crash)
+        .collect();
+    points.extend(rates.iter().copied().map(Point::Rate));
+
+    let crash_count = InjectionPoint::ALL.len();
+    let outcome = SweepSpec::new("ext_fault_recovery", points).run(|_, &point| match point {
+        Point::Crash(p) => {
+            let (steps, r) = crash_point(p, max_steps);
+            PointResult::row(
+                format!("crash:{}", p.label()),
+                vec![
+                    p.label().to_string(),
+                    steps.to_string(),
+                    if r.resumed_clean { "yes" } else { "no" }.to_string(),
+                    r.scavenged_pages.to_string(),
+                    r.dropped_buffer_pages.to_string(),
+                    r.released_shadows.to_string(),
+                    r.buffered_pages.to_string(),
+                ],
+            )
+            .metric("steps_to_crash", steps as f64)
+            .metric("scavenged", r.scavenged_pages as f64)
+            .metric("dropped_buffer", r.dropped_buffer_pages as f64)
+            .metric("released_shadows", r.released_shadows as f64)
+            .metric("resumed_clean", r.resumed_clean as u64 as f64)
+        }
+        Point::Rate(rate) => {
+            let s = rate_run(rate, writes);
+            let st = s.stats();
+            let flushed = st.pages_flushed.get().max(1);
+            let cost = st.clean_programs.get() as f64 / flushed as f64;
+            PointResult::row(
+                format!("rate:{rate}"),
+                vec![
+                    rate.to_string(),
+                    st.program_faults.get().to_string(),
+                    st.program_retries.get().to_string(),
+                    st.program_remaps.get().to_string(),
+                    st.cleans.get().to_string(),
+                    fmt_f64(cost),
+                ],
+            )
+            .metric("program_faults", st.program_faults.get() as f64)
+            .metric("program_retries", st.program_retries.get() as f64)
+            .metric("program_remaps", st.program_remaps.get() as f64)
+            .metric("cleaning_cost", cost)
+        }
+    });
+
+    let recovered = crash_count; // crash_point panics on any failure
+    println!("== Extension: fault injection and crash recovery ==");
+    println!();
+    println!("crash matrix: {recovered}/{crash_count} injection points crashed and recovered");
+    println!();
+
+    let mut crash_table = Table::new(&[
+        "injection point",
+        "steps",
+        "resumed clean",
+        "scavenged",
+        "dropped buf",
+        "released shadows",
+        "buffered",
+    ]);
+    for row in &outcome.rows[..crash_count] {
+        crash_table.row(row);
+    }
+    emit(
+        "Crash matrix",
+        "recovery debris per injection point (docs/CRASH_CONSISTENCY.md)",
+        &crash_table,
+    );
+
+    let mut rate_table = Table::new(&[
+        "faults/10k programs",
+        "faults",
+        "retries",
+        "remaps",
+        "cleans",
+        "clean programs per flush",
+    ]);
+    for row in &outcome.rows[crash_count..] {
+        rate_table.row(row);
+    }
+    emit(
+        "Fault-rate sweep",
+        "retry/remap cost of injected program failures",
+        &rate_table,
+    );
+}

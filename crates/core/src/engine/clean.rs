@@ -11,9 +11,11 @@
 use crate::addr::{FlashLocation, LogicalPage};
 use crate::engine::policy::{LgPlan, ShedPlan};
 use crate::engine::recovery::CleanJournal;
-use crate::engine::{Engine, POS_NONE};
+use crate::engine::{Engine, InjectionPoint, POS_NONE};
 use crate::error::EnvyError;
 use crate::timing::{BgKind, BgOp};
+use envy_flash::FlashError;
+use envy_sim::time::Ns;
 
 impl Engine {
     /// Clean the segment at `pos`: shed per the locality-gathering plan,
@@ -78,6 +80,7 @@ impl Engine {
         // §3.4: "The state of the cleaning process is kept in persistent
         // memory so the controller can recover quickly after a failure."
         self.journal = Some(CleanJournal { pos, victim, dest });
+        self.crash_point(InjectionPoint::CleanAfterJournal)?;
 
         let residents = self.page_table.residents_of(victim);
         let n = residents.len();
@@ -103,17 +106,14 @@ impl Engine {
             } else {
                 (dest, false)
             };
-            let to_page = self.write_cursor(to_seg);
             let t = self.copy_flash_page(
                 FlashLocation {
                     segment: victim,
                     page,
                 },
-                FlashLocation {
-                    segment: to_seg,
-                    page: to_page,
-                },
+                to_seg,
                 lp,
+                Some(InjectionPoint::CleanDuringCopy),
             )?;
             self.stats.clean_programs.incr();
             if is_shed {
@@ -124,41 +124,115 @@ impl Engine {
                 kind: BgKind::CleanCopy,
                 duration: t,
             });
+            self.crash_point(InjectionPoint::CleanAfterCopy)?;
             copied += 1;
             if interrupt_after == Some(copied) {
                 // Simulated mid-clean power failure: journal stays set.
                 return Ok(());
             }
         }
-        self.complete_clean_tail(pos, victim, dest, ops)
+        self.complete_clean_tail(pos, victim, dest, ops)?;
+        self.stats.cleans.incr();
+        Ok(())
     }
 
     /// Copy one live Flash page (read on the wide datapath, program the
-    /// destination, invalidate the source, atomically repoint the page
-    /// table).
+    /// first erased page of `to_seg`, invalidate the source, atomically
+    /// repoint the page table).
+    ///
+    /// Injected program faults are retried on the next erased page of
+    /// the destination (see [`Engine::program_scratch_retrying`]). When
+    /// `torn` names an armed injection point the program is cut
+    /// mid-transfer and [`EnvyError::PowerLoss`] returned: the source
+    /// stays valid and mapped, so recovery merely scavenges the torn
+    /// destination page.
     pub(crate) fn copy_flash_page(
         &mut self,
         from: FlashLocation,
-        to: FlashLocation,
+        to_seg: u32,
         lp: LogicalPage,
-    ) -> Result<envy_sim::time::Ns, EnvyError> {
-        let data = if self.flash.stores_data() {
+        torn: Option<InjectionPoint>,
+    ) -> Result<Ns, EnvyError> {
+        if self.flash.stores_data() {
             self.flash
                 .read_page(from.segment, from.page, Some(&mut self.scratch))?;
-            Some(&self.scratch[..])
         } else {
             self.flash.read_page(from.segment, from.page, None)?;
-            None
-        };
-        let t = self.flash.program_page(to.segment, to.page, data)?;
+        }
+        if let Some(point) = torn {
+            if self.crash_armed(point) {
+                let chips = self.torn_chips();
+                let page = self.write_cursor(to_seg);
+                let data = self.flash.stores_data().then_some(&self.scratch[..]);
+                self.flash.program_page_torn(to_seg, page, data, chips)?;
+                return Err(EnvyError::PowerLoss);
+            }
+        }
+        let (t, to_page) = self.program_scratch_retrying(to_seg)?;
         self.flash.invalidate_page(from.segment, from.page)?;
-        self.page_table.map_flash(lp, to);
+        self.page_table.map_flash(
+            lp,
+            FlashLocation {
+                segment: to_seg,
+                page: to_page,
+            },
+        );
         self.mmu.invalidate(lp);
         Ok(t)
     }
 
+    /// Program the scratch buffer (or a stateless page when payloads are
+    /// not stored) into the first erased page of `seg`, retrying on the
+    /// next erased page after an injected verify failure. Returns the
+    /// program time and the page that finally took the data.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvyError::ArrayFull`] if injected faults exhaust the segment's
+    /// erased pages — copy destinations are sized for the fault-free
+    /// case, so a cleaning destination can in principle overflow under
+    /// heavy injected faults; callers surface the error.
+    pub(crate) fn program_scratch_retrying(&mut self, seg: u32) -> Result<(Ns, u32), EnvyError> {
+        loop {
+            if !self.has_space(seg) {
+                return Err(EnvyError::ArrayFull);
+            }
+            let page = self.write_cursor(seg);
+            let data = self.flash.stores_data().then_some(&self.scratch[..]);
+            match self.flash.program_page(seg, page, data) {
+                Ok(t) => return Ok((t, page)),
+                Err(FlashError::ProgramFailed { .. }) => {
+                    self.stats.program_faults.incr();
+                    self.stats.program_retries.incr();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Erase a segment, reissuing the erase after an injected verify
+    /// failure (a failed erase leaves every page indeterminate, which
+    /// the array models as invalid — exactly the precondition for the
+    /// retry). Only the successful pulse's time is returned.
+    pub(crate) fn erase_retrying(&mut self, seg: u32) -> Result<Ns, EnvyError> {
+        loop {
+            match self.flash.erase_segment(seg) {
+                Ok(t) => return Ok(t),
+                Err(FlashError::EraseFailed { .. }) => {
+                    self.stats.erase_faults.incr();
+                    self.stats.erase_retries.incr();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
     /// Shared tail of a clean: relocate shadow pages, erase the victim,
-    /// rotate the spare, and run the wear-leveling check.
+    /// rotate the spare, and run the wear-leveling check. Also the tail
+    /// of a journaled wear relocation and of journal replay, so every
+    /// step is idempotent under re-execution after a crash (the
+    /// `cleans` statistic is counted by the callers, not here, so wear
+    /// relocations do not inflate it).
     pub(crate) fn complete_clean_tail(
         &mut self,
         pos: u32,
@@ -169,16 +243,23 @@ impl Engine {
         // Relocate transaction shadow copies (§6). They are invalid pages
         // in the array but their contents must survive the erase.
         for (page, lp) in self.shadows.residents_of(victim) {
-            let to_page = self.write_cursor(dest);
-            let data = if self.flash.stores_data() {
+            if self.flash.stores_data() {
                 self.flash
                     .read_page(victim, page, Some(&mut self.scratch))?;
-                Some(&self.scratch[..])
             } else {
                 self.flash.read_page(victim, page, None)?;
-                None
-            };
-            let t = self.flash.program_page(dest, to_page, data)?;
+            }
+            if self.crash_armed(InjectionPoint::CleanDuringShadowCopy) {
+                // Torn shadow relocation: the original shadow survives in
+                // the victim; the torn destination page becomes garbage
+                // for recovery to scavenge.
+                let chips = self.torn_chips();
+                let to_page = self.write_cursor(dest);
+                let data = self.flash.stores_data().then_some(&self.scratch[..]);
+                self.flash.program_page_torn(dest, to_page, data, chips)?;
+                return Err(EnvyError::PowerLoss);
+            }
+            let (t, to_page) = self.program_scratch_retrying(dest)?;
             // The shadow is not live data: return it to the invalid state
             // and update the shadow directory.
             self.flash.invalidate_page(dest, to_page)?;
@@ -197,22 +278,30 @@ impl Engine {
                 duration: t,
             });
         }
+        self.crash_point(InjectionPoint::CleanBeforeErase)?;
 
         if self.wear_parked == Some(victim) {
             self.wear_parked = None;
         }
-        let t = self.flash.erase_segment(victim)?;
+        if self.crash_armed(InjectionPoint::CleanDuringErase) {
+            // Torn erase: every page of the victim left indeterminate;
+            // recovery's journal replay reissues the erase.
+            self.flash.erase_segment_torn(victim)?;
+            return Err(EnvyError::PowerLoss);
+        }
+        let t = self.erase_retrying(victim)?;
         ops.push(BgOp {
             bank: self.flash.bank_of(victim),
             kind: BgKind::Erase,
             duration: t,
         });
+        self.crash_point(InjectionPoint::CleanAfterErase)?;
         self.order[pos as usize] = dest;
         self.pos_of[dest as usize] = pos;
         self.pos_of[victim as usize] = POS_NONE;
         self.spare = victim;
-        self.stats.cleans.incr();
         self.stats.erases.incr();
+        self.crash_point(InjectionPoint::CleanAfterRotate)?;
         self.journal = None;
         self.maybe_wear_level(ops)
     }

@@ -1,0 +1,389 @@
+//! Deterministic fault injection: power loss at numbered points, chip
+//! verify failures, and torn multi-chip programs.
+//!
+//! The paper's recovery story (§3.4) rests on every controller operation
+//! being safe to lose power in the middle of: the write buffer and page
+//! table live in battery-backed SRAM, the clean journal is persistent,
+//! and everything else is reconstructed. This module makes that claim
+//! testable. A [`FaultPlan`] arms the engine so that a chosen
+//! [`InjectionPoint`] aborts the operation in flight with
+//! [`EnvyError::PowerLoss`], leaving all persistent state *exactly* as a
+//! real power cut would; the harness then calls
+//! [`Engine::power_failure`] and [`Engine::recover`] and verifies the
+//! recovery contract (see `docs/CRASH_CONSISTENCY.md`).
+//!
+//! Fault plans are fully deterministic: the same plan over the same
+//! workload crashes at the same operation, so every failure a randomized
+//! checker finds is replayable from its seed.
+
+use crate::engine::Engine;
+use crate::error::EnvyError;
+use envy_flash::FlashFaults;
+
+/// A numbered place inside a controller operation where a power failure
+/// can be injected.
+///
+/// Each point sits between (or inside) the primitive steps of flush,
+/// clean, wear-leveling and transaction commit. The `During*` points
+/// model *torn* operations: the flash op itself is cut mid-way (some of
+/// the 256 chips in the bank programmed, others not), not just the
+/// controller losing its place between ops. The invariant recovery must
+/// restore at each point is cataloged in `docs/CRASH_CONSISTENCY.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InjectionPoint {
+    /// Flush: destination resolved (cleaning done), nothing programmed.
+    FlushBeforeProgram,
+    /// Flush: the page program torn mid-transfer (prefix of chips
+    /// written). The buffered SRAM copy is still the page of record.
+    FlushDuringProgram,
+    /// Flush: page fully programmed, page table still points at SRAM.
+    FlushAfterProgram,
+    /// Flush: page table repointed at Flash, page not yet popped from
+    /// the buffer.
+    FlushAfterMap,
+    /// Clean: journal written, no data copied yet.
+    CleanAfterJournal,
+    /// Clean: a live-page copy torn mid-transfer.
+    CleanDuringCopy,
+    /// Clean: between two live-page copies (some pages moved and
+    /// remapped, the rest still in the victim).
+    CleanAfterCopy,
+    /// Clean: a transaction shadow-page relocation torn mid-transfer.
+    CleanDuringShadowCopy,
+    /// Clean: all data out of the victim, erase not yet issued.
+    CleanBeforeErase,
+    /// Clean: the victim erase torn (every page indeterminate).
+    CleanDuringErase,
+    /// Clean: victim erased, segment rotation not yet performed.
+    CleanAfterErase,
+    /// Clean: rotation done, journal not yet cleared.
+    CleanAfterRotate,
+    /// Wear swap: journal written for a wear relocation, nothing copied.
+    WearAfterJournal,
+    /// Wear swap: a relocation copy torn mid-transfer.
+    WearDuringCopy,
+    /// Wear swap: between two relocation copies.
+    WearAfterCopy,
+    /// Commit: requested but the commit point not yet reached — the
+    /// transaction must abort on recovery.
+    CommitBefore,
+    /// Commit: the atomic commit point passed, shadow bookkeeping not
+    /// yet released — the transaction must be durable on recovery.
+    CommitAfterPoint,
+}
+
+impl InjectionPoint {
+    /// Every injection point, in catalog order. `ALL[i].index() == i`.
+    pub const ALL: [InjectionPoint; 17] = [
+        InjectionPoint::FlushBeforeProgram,
+        InjectionPoint::FlushDuringProgram,
+        InjectionPoint::FlushAfterProgram,
+        InjectionPoint::FlushAfterMap,
+        InjectionPoint::CleanAfterJournal,
+        InjectionPoint::CleanDuringCopy,
+        InjectionPoint::CleanAfterCopy,
+        InjectionPoint::CleanDuringShadowCopy,
+        InjectionPoint::CleanBeforeErase,
+        InjectionPoint::CleanDuringErase,
+        InjectionPoint::CleanAfterErase,
+        InjectionPoint::CleanAfterRotate,
+        InjectionPoint::WearAfterJournal,
+        InjectionPoint::WearDuringCopy,
+        InjectionPoint::WearAfterCopy,
+        InjectionPoint::CommitBefore,
+        InjectionPoint::CommitAfterPoint,
+    ];
+
+    /// Stable catalog number of this point.
+    pub fn index(self) -> usize {
+        InjectionPoint::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("every point is in ALL")
+    }
+
+    /// Whether this point tears a flash operation mid-transfer rather
+    /// than cutting power between operations.
+    pub fn is_torn(self) -> bool {
+        matches!(
+            self,
+            InjectionPoint::FlushDuringProgram
+                | InjectionPoint::CleanDuringCopy
+                | InjectionPoint::CleanDuringShadowCopy
+                | InjectionPoint::CleanDuringErase
+                | InjectionPoint::WearDuringCopy
+        )
+    }
+
+    /// Short stable name for reports and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectionPoint::FlushBeforeProgram => "flush_before_program",
+            InjectionPoint::FlushDuringProgram => "flush_during_program",
+            InjectionPoint::FlushAfterProgram => "flush_after_program",
+            InjectionPoint::FlushAfterMap => "flush_after_map",
+            InjectionPoint::CleanAfterJournal => "clean_after_journal",
+            InjectionPoint::CleanDuringCopy => "clean_during_copy",
+            InjectionPoint::CleanAfterCopy => "clean_after_copy",
+            InjectionPoint::CleanDuringShadowCopy => "clean_during_shadow_copy",
+            InjectionPoint::CleanBeforeErase => "clean_before_erase",
+            InjectionPoint::CleanDuringErase => "clean_during_erase",
+            InjectionPoint::CleanAfterErase => "clean_after_erase",
+            InjectionPoint::CleanAfterRotate => "clean_after_rotate",
+            InjectionPoint::WearAfterJournal => "wear_after_journal",
+            InjectionPoint::WearDuringCopy => "wear_during_copy",
+            InjectionPoint::WearAfterCopy => "wear_after_copy",
+            InjectionPoint::CommitBefore => "commit_before",
+            InjectionPoint::CommitAfterPoint => "commit_after_point",
+        }
+    }
+}
+
+/// A deterministic, seedable fault schedule for one engine.
+///
+/// Arm it with [`Engine::arm_faults`]. All schedules are counted in
+/// operation order, so a plan replays identically over the same
+/// workload:
+///
+/// * `crash` — power-fail at the given [`InjectionPoint`] the Nth time
+///   execution reaches it (1-based). Fires once, then disarms, so
+///   recovery itself never crashes.
+/// * `torn_chips` — for `During*` program points, how many of the
+///   bank's chips latch their byte before the cut (a byte prefix of the
+///   page).
+/// * `program_fail_ops` / `erase_fail_ops` — 1-based global operation
+///   numbers at which the flash array reports `program_error` /
+///   `erase_error`, exercising the controller's retry-then-remap path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Power-fail at `(point, nth_hit)`; `None` for no crash.
+    pub crash: Option<(InjectionPoint, u64)>,
+    /// Chips programmed before the cut in torn programs (bytes of the
+    /// page that latch). Clamped to the page size by the flash layer.
+    pub torn_chips: u32,
+    /// 1-based page-program operation numbers that fail verify.
+    pub program_fail_ops: Vec<u64>,
+    /// 1-based segment-erase operation numbers that fail verify.
+    pub erase_fail_ops: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Plan a single power failure at `point`, the `nth` (1-based) time
+    /// it is reached, with a default half-bank tear for torn points.
+    pub fn crash_at(point: InjectionPoint, nth: u64) -> FaultPlan {
+        FaultPlan {
+            crash: Some((point, nth.max(1))),
+            torn_chips: 128,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Override how many chips latch before a torn program is cut.
+    #[must_use]
+    pub fn with_torn_chips(mut self, chips: u32) -> FaultPlan {
+        self.torn_chips = chips;
+        self
+    }
+
+    /// Add program verify failures at the given 1-based operation
+    /// numbers.
+    #[must_use]
+    pub fn with_program_failures(mut self, ops: impl IntoIterator<Item = u64>) -> FaultPlan {
+        self.program_fail_ops.extend(ops);
+        self
+    }
+
+    /// Add erase verify failures at the given 1-based operation numbers.
+    #[must_use]
+    pub fn with_erase_failures(mut self, ops: impl IntoIterator<Item = u64>) -> FaultPlan {
+        self.erase_fail_ops.extend(ops);
+        self
+    }
+
+    fn flash_faults(&self) -> Option<FlashFaults> {
+        if self.program_fail_ops.is_empty() && self.erase_fail_ops.is_empty() {
+            return None;
+        }
+        let mut faults = FlashFaults::default();
+        faults
+            .program_fail_ops
+            .extend(self.program_fail_ops.iter().copied());
+        faults
+            .erase_fail_ops
+            .extend(self.erase_fail_ops.iter().copied());
+        Some(faults)
+    }
+}
+
+/// Armed fault state carried by the engine (crash countdown + tear
+/// width). The verify-failure schedules live in the flash array itself.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    /// Remaining hits before the crash fires: `(point, countdown)`.
+    crash: Option<(InjectionPoint, u64)>,
+    /// Set once the crash has fired (and the countdown disarmed).
+    fired: bool,
+    torn_chips: u32,
+}
+
+impl Engine {
+    /// Arm a fault plan on this engine, replacing any previous plan.
+    ///
+    /// With an empty plan this is equivalent to [`Engine::disarm_faults`]
+    /// — the engine behaves byte-identically to an unarmed one.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.flash.set_faults(plan.flash_faults());
+        self.faults = plan.crash.map(|crash| {
+            Box::new(FaultState {
+                crash: Some(crash),
+                fired: false,
+                torn_chips: plan.torn_chips,
+            })
+        });
+    }
+
+    /// Remove every armed fault; the engine runs clean from here on.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+        self.flash.set_faults(None);
+    }
+
+    /// Whether an armed power-failure crash has fired. After a fired
+    /// crash the countdown is disarmed, so recovery cannot crash again.
+    pub fn crash_fired(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.fired)
+    }
+
+    /// Count a hit on `point`; `true` exactly when the armed countdown
+    /// reaches zero here (the caller must then stop as if power was
+    /// lost). Used directly by torn points, which perform the partial
+    /// flash op before returning [`EnvyError::PowerLoss`].
+    pub(crate) fn crash_armed(&mut self, point: InjectionPoint) -> bool {
+        let Some(faults) = self.faults.as_deref_mut() else {
+            return false;
+        };
+        match &mut faults.crash {
+            Some((armed, countdown)) if *armed == point => {
+                *countdown -= 1;
+                if *countdown == 0 {
+                    faults.crash = None;
+                    faults.fired = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Count a hit on `point` and cut power (return
+    /// [`EnvyError::PowerLoss`]) if the countdown fires here.
+    pub(crate) fn crash_point(&mut self, point: InjectionPoint) -> Result<(), EnvyError> {
+        if self.crash_armed(point) {
+            Err(EnvyError::PowerLoss)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Chips latched before the cut for torn programs (plan value, or
+    /// a half bank when unarmed — unreachable in practice because torn
+    /// points only tear when armed).
+    pub(crate) fn torn_chips(&self) -> u32 {
+        self.faults.as_ref().map_or(128, |f| f.torn_chips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvyConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EnvyConfig::small_test()).unwrap()
+    }
+
+    #[test]
+    fn all_points_are_distinct_and_indexed_in_order() {
+        for (i, p) in InjectionPoint::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let labels: std::collections::HashSet<_> =
+            InjectionPoint::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), InjectionPoint::ALL.len());
+    }
+
+    #[test]
+    fn crash_countdown_fires_on_nth_hit_then_disarms() {
+        let mut e = engine();
+        e.arm_faults(FaultPlan::crash_at(InjectionPoint::FlushBeforeProgram, 3));
+        assert!(!e.crash_armed(InjectionPoint::FlushBeforeProgram));
+        // A different point never consumes the countdown.
+        assert!(!e.crash_armed(InjectionPoint::CleanBeforeErase));
+        assert!(!e.crash_armed(InjectionPoint::FlushBeforeProgram));
+        assert!(!e.crash_fired());
+        assert!(e.crash_armed(InjectionPoint::FlushBeforeProgram));
+        assert!(e.crash_fired());
+        // Fired once; never again.
+        assert!(!e.crash_armed(InjectionPoint::FlushBeforeProgram));
+    }
+
+    #[test]
+    fn crash_point_returns_power_loss() {
+        let mut e = engine();
+        e.arm_faults(FaultPlan::crash_at(InjectionPoint::CommitBefore, 1));
+        assert_eq!(
+            e.crash_point(InjectionPoint::CommitBefore),
+            Err(EnvyError::PowerLoss)
+        );
+        assert!(e.crash_point(InjectionPoint::CommitBefore).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_is_fully_disarmed() {
+        let mut e = engine();
+        e.arm_faults(FaultPlan::default());
+        assert!(e.faults.is_none());
+        assert!(e.flash.faults().is_none());
+        e.arm_faults(FaultPlan::crash_at(InjectionPoint::FlushAfterMap, 1));
+        e.disarm_faults();
+        assert!(e.faults.is_none());
+        assert!(!e.crash_armed(InjectionPoint::FlushAfterMap));
+    }
+
+    #[test]
+    fn plan_builders_compose() {
+        let plan = FaultPlan::crash_at(InjectionPoint::CleanDuringCopy, 2)
+            .with_torn_chips(7)
+            .with_program_failures([1, 4])
+            .with_erase_failures([2]);
+        assert_eq!(plan.crash, Some((InjectionPoint::CleanDuringCopy, 2)));
+        assert_eq!(plan.torn_chips, 7);
+        let mut e = engine();
+        e.arm_faults(plan);
+        assert_eq!(e.torn_chips(), 7);
+        let flash_faults = e.flash.faults().unwrap();
+        assert!(flash_faults.program_fail_ops.contains(&4));
+        assert!(flash_faults.erase_fail_ops.contains(&2));
+    }
+
+    #[test]
+    fn torn_points_are_the_during_variants() {
+        let torn: Vec<_> = InjectionPoint::ALL
+            .iter()
+            .filter(|p| p.is_torn())
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(
+            torn,
+            [
+                "flush_during_program",
+                "clean_during_copy",
+                "clean_during_shadow_copy",
+                "clean_during_erase",
+                "wear_during_copy",
+            ]
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! (§3.4: "eNVy must always keep one segment completely erased").
 
 mod clean;
+mod faults;
 mod flush;
 mod host;
 mod policy;
@@ -27,6 +28,7 @@ mod tests;
 mod txn;
 mod wear;
 
+pub use faults::{FaultPlan, InjectionPoint};
 pub use host::{ReadSource, WriteKind, WriteResult};
 pub use policy::PolicyState;
 pub use recovery::{CleanJournal, RecoveryReport};
@@ -87,6 +89,9 @@ pub struct Engine {
     pub(crate) flush_clock: u64,
     /// Scratch page buffer reused by copies.
     pub(crate) scratch: Vec<u8>,
+    /// Armed fault-injection state ([`FaultPlan`]); `None` when running
+    /// clean. Boxed so the unarmed fast path carries one pointer.
+    pub(crate) faults: Option<Box<faults::FaultState>>,
 }
 
 impl Engine {
@@ -136,6 +141,7 @@ impl Engine {
             wear_parked: None,
             seg_last_write: vec![0; geo.segments() as usize],
             flush_clock: 0,
+            faults: None,
         })
     }
 
@@ -157,6 +163,7 @@ impl Engine {
         forked.stats = EnvyStats::default();
         forked.mmu.reset_stats();
         forked.flash.reset_stats();
+        forked.disarm_faults();
         forked
     }
 

@@ -2,17 +2,36 @@
 //!
 //! Everything the controller needs is in persistent memory: the Flash
 //! array (inherently non-volatile), the battery-backed SRAM write buffer
-//! and page table, and the cleaning journal (§3.4: "The state of the
-//! cleaning process is kept in persistent memory so the controller can
-//! recover quickly after a failure"). The only volatile state is the MMU
-//! mapping cache.
+//! and page table, the transaction state, and the cleaning journal
+//! (§3.4: "The state of the cleaning process is kept in persistent
+//! memory so the controller can recover quickly after a failure").
+//! Volatile state — the MMU mapping cache, the copy scratch buffer, and
+//! in-flight background-operation timing — is discarded by
+//! [`Engine::power_failure`] and rebuilt here.
+//!
+//! [`Engine::recover`] restores the invariants in four steps, each
+//! matched to the debris one class of crash leaves behind (the full
+//! catalog is in `docs/CRASH_CONSISTENCY.md`):
+//!
+//! 1. release shadow bookkeeping of transactions that already passed
+//!    their commit point (crash between commit point and release);
+//! 2. scavenge *orphans* — valid flash pages no logical page references
+//!    (a flush or copy that programmed, possibly torn, but never
+//!    repointed the page table);
+//! 3. drop buffered pages whose logical page no longer maps to SRAM (a
+//!    flush that repointed the page table but never popped the buffer);
+//! 4. replay the clean journal, completing any interrupted clean or
+//!    wear relocation.
 
+use crate::addr::{Location, LogicalPage};
 use crate::engine::Engine;
 use crate::error::EnvyError;
 use crate::timing::BgOp;
+use envy_flash::PageState;
 
-/// Persistent record of an in-progress clean (victim, destination and
-/// position); copied pages are recoverable from the page table itself.
+/// Persistent record of an in-progress clean or wear relocation (victim,
+/// destination and position); copied pages are recoverable from the page
+/// table itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CleanJournal {
     /// The position being cleaned.
@@ -32,26 +51,57 @@ pub struct RecoveryReport {
     pub buffered_pages: usize,
     /// Shadow pages still protected for an open transaction.
     pub shadow_pages: usize,
+    /// Orphaned valid flash pages invalidated (torn or unmapped
+    /// programs cut by the failure).
+    pub scavenged_pages: u64,
+    /// Buffered pages discarded because their logical page already
+    /// mapped to flash (the flush completed; only the pop was lost).
+    pub dropped_buffer_pages: u64,
+    /// Shadow entries released because their transaction had already
+    /// passed its commit point.
+    pub released_shadows: u64,
 }
 
 impl Engine {
-    /// Simulate a power failure: volatile state (the MMU cache) is lost;
-    /// Flash, the battery-backed buffer, page table and clean journal
-    /// survive.
+    /// Simulate a power failure: volatile state is lost; Flash, the
+    /// battery-backed buffer, page table, transaction ids and clean
+    /// journal survive.
+    ///
+    /// Volatile state means the MMU mapping cache, the controller's copy
+    /// scratch buffer (poisoned, so recovery cannot silently rely on
+    /// mid-operation contents), and the in-progress flag of a wear swap.
+    /// Callers holding un-replayed [`BgOp`]s must drop them — the timed
+    /// store does this in [`crate::store::EnvyStore::power_failure`].
     pub fn power_failure(&mut self) {
         self.mmu.invalidate_all();
+        self.scratch.fill(0xA5);
+        self.wear_in_progress = false;
     }
 
-    /// Recover after a power failure: rebuild volatile state, complete
-    /// any interrupted clean from the journal, and verify consistency.
+    /// Recover after a power failure: rebuild volatile state, clear the
+    /// debris of the interrupted operation, complete any journaled clean
+    /// and verify consistency. See the module docs for the step-by-step
+    /// contract.
     ///
     /// # Errors
     ///
     /// [`EnvyError::CorruptState`] if the persistent structures are
-    /// inconsistent (use [`Engine::check_invariants`] for details);
-    /// cleaning errors while completing an interrupted clean.
+    /// inconsistent after repair (use [`Engine::check_invariants`] for
+    /// details); cleaning errors while completing an interrupted clean.
     pub fn recover(&mut self, ops: &mut Vec<BgOp>) -> Result<RecoveryReport, EnvyError> {
         self.mmu.invalidate_all();
+        // 1. Transactions past their commit point: the shadow directory
+        // may still hold entries for them; release them. With no open
+        // transaction, fresh-page tracking is stale too.
+        let released_shadows = self.shadows.release_stale(self.active_txn);
+        self.stats.recovery_stale_shadows.add(released_shadows);
+        if self.active_txn.is_none() {
+            self.txn_fresh.clear();
+        }
+        // 2–3. Flush/copy debris.
+        let scavenged_pages = self.scavenge_orphans()?;
+        let dropped_buffer_pages = self.drop_stale_buffer_entries();
+        // 4. Journal replay.
         let resumed_clean = if let Some(journal) = self.journal {
             self.finish_clean(journal, ops)?;
             true
@@ -64,12 +114,65 @@ impl Engine {
             resumed_clean,
             buffered_pages: self.buffer.len(),
             shadow_pages: self.shadows.len(),
+            scavenged_pages,
+            dropped_buffer_pages,
+            released_shadows,
         })
+    }
+
+    /// Invalidate every valid flash page that no logical page
+    /// references: the debris of a program (whole or torn) whose page-
+    /// table update was cut off. Shadow pages are untouched — they are
+    /// already invalid in the array.
+    fn scavenge_orphans(&mut self) -> Result<u64, EnvyError> {
+        let segments = self.config.geometry.segments();
+        let pps = self.config.geometry.pages_per_segment();
+        let mut referenced = vec![false; (segments as usize) * (pps as usize)];
+        for lp in 0..self.page_table.logical_pages() {
+            if let Location::Flash(loc) = self.page_table.lookup(lp) {
+                referenced[(loc.segment * pps + loc.page) as usize] = true;
+            }
+        }
+        let mut scavenged = 0u64;
+        for seg in 0..segments {
+            for page in 0..pps {
+                if self.flash.page_state(seg, page) == PageState::Valid
+                    && !referenced[(seg * pps + page) as usize]
+                {
+                    self.flash.invalidate_page(seg, page)?;
+                    scavenged += 1;
+                }
+            }
+        }
+        self.stats.recovery_scavenged.add(scavenged);
+        Ok(scavenged)
+    }
+
+    /// Drop buffered pages whose logical page does not map to SRAM: the
+    /// flush already made the flash copy the page of record; only the
+    /// buffer pop was lost.
+    fn drop_stale_buffer_entries(&mut self) -> u64 {
+        let stale: Vec<LogicalPage> = self
+            .buffer
+            .iter()
+            .map(|p| p.logical)
+            .filter(|&lp| self.page_table.lookup(lp) != Location::Sram)
+            .collect();
+        let dropped = stale.len() as u64;
+        for lp in stale {
+            if let Some(frame) = self.buffer.remove(lp).and_then(|p| p.data) {
+                self.buffer.recycle_frame(frame);
+            }
+        }
+        self.stats.recovery_dropped_buffer.add(dropped);
+        dropped
     }
 
     /// Complete an interrupted clean: pages already copied were remapped
     /// before the crash, so the page table's remaining residents of the
-    /// victim are exactly the uncopied pages.
+    /// victim are exactly the uncopied pages. Re-executing the tail is
+    /// idempotent — at worst the victim is erased a second time (one
+    /// extra cycle) when the crash hit after the erase.
     fn finish_clean(
         &mut self,
         journal: CleanJournal,
@@ -77,17 +180,14 @@ impl Engine {
     ) -> Result<(), EnvyError> {
         let CleanJournal { pos, victim, dest } = journal;
         for (page, lp) in self.page_table.residents_of(victim) {
-            let to_page = self.write_cursor(dest);
             let t = self.copy_flash_page(
                 crate::addr::FlashLocation {
                     segment: victim,
                     page,
                 },
-                crate::addr::FlashLocation {
-                    segment: dest,
-                    page: to_page,
-                },
+                dest,
                 lp,
+                None,
             )?;
             self.stats.clean_programs.incr();
             ops.push(BgOp {
@@ -96,7 +196,9 @@ impl Engine {
                 duration: t,
             });
         }
-        self.complete_clean_tail(pos, victim, dest, ops)
+        self.complete_clean_tail(pos, victim, dest, ops)?;
+        self.stats.cleans.incr();
+        Ok(())
     }
 
     /// Whether a clean is recorded as in progress (test support).

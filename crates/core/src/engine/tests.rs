@@ -545,6 +545,322 @@ fn spare_rotates_through_cleans() {
     let _ = spare_before; // rotation is probabilistic; erasedness is the invariant
 }
 
+// ---------------------------------------------------------------------
+// Recovery paths (table-driven) and fault injection
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovery_paths_table() {
+    struct Case {
+        name: &'static str,
+        setup: fn(&mut Engine, &mut Vec<BgOp>),
+        check: fn(&RecoveryReport),
+    }
+    let cases = [
+        Case {
+            name: "non-empty write buffer",
+            setup: |e, _| {
+                write_lp(e, 8, 0xCD);
+                write_lp(e, 9, 0xCE);
+            },
+            check: |r| {
+                assert!(!r.resumed_clean);
+                assert_eq!(r.buffered_pages, 2);
+                assert_eq!(r.scavenged_pages, 0);
+            },
+        },
+        Case {
+            name: "mid-clean journal replay",
+            setup: |e, ops| {
+                churn(e, 2_000, 61);
+                e.clean_interrupted(0, 3, ops).unwrap();
+                assert!(e.clean_in_progress());
+            },
+            check: |r| assert!(r.resumed_clean),
+        },
+        Case {
+            name: "open-transaction shadow pages",
+            setup: |e, ops| {
+                write_lp(e, 3, 1);
+                let txn = e.txn_begin(ops).unwrap();
+                write_lp(e, 3, 2);
+                let _ = txn;
+            },
+            check: |r| {
+                assert_eq!(r.shadow_pages, 1);
+                assert_eq!(r.released_shadows, 0);
+            },
+        },
+        Case {
+            name: "idle engine",
+            setup: |_, _| {},
+            check: |r| {
+                assert!(!r.resumed_clean);
+                assert_eq!(r.buffered_pages, 0);
+                assert_eq!(r.dropped_buffer_pages, 0);
+            },
+        },
+    ];
+    for case in cases {
+        let mut e = small(PolicyKind::paper_default());
+        let mut ops = Vec::new();
+        (case.setup)(&mut e, &mut ops);
+        e.power_failure();
+        let report = e.recover(&mut ops).unwrap();
+        (case.check)(&report);
+        e.check_invariants()
+            .unwrap_or_else(|err| panic!("{}: {err}", case.name));
+    }
+}
+
+#[test]
+fn power_failure_drops_volatile_controller_state() {
+    let mut e = small(PolicyKind::paper_default());
+    write_lp(&mut e, 3, 1);
+    assert!(!e.mmu.access(3));
+    assert!(e.mmu.access(3), "translation cached");
+    e.power_failure();
+    // MMU cache gone, copy scratch poisoned; battery-backed state intact.
+    assert!(!e.mmu.access(3), "MMU cache must not survive power loss");
+    assert!(e.scratch.iter().all(|&b| b == 0xA5), "scratch not dropped");
+    assert!(!e.wear_in_progress);
+    let mut ops = Vec::new();
+    e.recover(&mut ops).unwrap();
+    assert_eq!(read_byte(&mut e, 3), 1);
+}
+
+#[test]
+fn injected_program_fault_on_flush_is_retried_and_counted() {
+    let mut e = small(PolicyKind::paper_default());
+    write_lp(&mut e, 12, 0x5A);
+    // Fail the first program issued from here on (the flush itself).
+    e.arm_faults(FaultPlan::default().with_program_failures([1]));
+    let mut ops = Vec::new();
+    e.flush_all(&mut ops).unwrap();
+    assert_eq!(e.stats().program_faults.get(), 1);
+    assert_eq!(e.stats().program_retries.get(), 1);
+    assert_eq!(e.stats().program_remaps.get(), 0);
+    assert_eq!(read_byte(&mut e, 12), 0x5A);
+    e.check_invariants().unwrap();
+}
+
+#[test]
+fn program_faults_exhausting_the_target_segment_remap() {
+    // Low utilization so the remapped target has erased room beyond the
+    // remaining fault schedule.
+    let config = EnvyConfig::scaled(2, 8, 32, 256)
+        .with_policy(PolicyKind::Greedy)
+        .with_utilization(0.3);
+    let mut e = Engine::new(config).unwrap();
+    e.prefill().unwrap();
+    write_lp(&mut e, 0, 0x77);
+    // Fail every program until well past one segment's erased capacity.
+    e.arm_faults(FaultPlan::default().with_program_failures(1..=32));
+    let mut ops = Vec::new();
+    e.flush_all(&mut ops).unwrap();
+    assert_eq!(e.stats().program_faults.get(), 32);
+    assert!(
+        e.stats().program_remaps.get() >= 1,
+        "exhausting the target must remap"
+    );
+    assert_eq!(read_byte(&mut e, 0), 0x77);
+    e.check_invariants().unwrap();
+}
+
+#[test]
+fn injected_erase_fault_is_retried_and_counted() {
+    let mut e = small(PolicyKind::paper_default());
+    churn(&mut e, 2_000, 71);
+    e.arm_faults(FaultPlan::default().with_erase_failures([1]));
+    let mut ops = Vec::new();
+    e.clean_position(0, &mut ops).unwrap();
+    assert_eq!(e.stats().erase_faults.get(), 1);
+    assert_eq!(e.stats().erase_retries.get(), 1);
+    e.check_invariants().unwrap();
+}
+
+#[test]
+fn empty_fault_plan_is_behavior_neutral() {
+    let mut plain = small(PolicyKind::paper_default());
+    let mut armed = small(PolicyKind::paper_default());
+    armed.arm_faults(FaultPlan::default());
+    churn(&mut plain, 8_000, 77);
+    churn(&mut armed, 8_000, 77);
+    let (p, a) = (plain.stats(), armed.stats());
+    assert_eq!(p.pages_flushed.get(), a.pages_flushed.get());
+    assert_eq!(p.clean_programs.get(), a.clean_programs.get());
+    assert_eq!(p.cleans.get(), a.cleans.get());
+    assert_eq!(p.erases.get(), a.erases.get());
+    assert_eq!(p.wear_swaps.get(), a.wear_swaps.get());
+    assert_eq!(p.program_faults.get(), 0);
+    assert_eq!(a.program_faults.get(), 0);
+    for lp in 0..plain.config().logical_pages {
+        assert_eq!(read_byte(&mut plain, lp), read_byte(&mut armed, lp));
+    }
+}
+
+#[test]
+fn commit_crash_before_point_leaves_txn_open_and_abortable() {
+    let mut e = small(PolicyKind::paper_default());
+    write_lp(&mut e, 5, 0x10);
+    let mut ops = Vec::new();
+    let txn = e.txn_begin(&mut ops).unwrap();
+    write_lp(&mut e, 5, 0x20);
+    e.arm_faults(FaultPlan::crash_at(InjectionPoint::CommitBefore, 1));
+    assert_eq!(e.txn_commit(txn), Err(crate::error::EnvyError::PowerLoss));
+    e.power_failure();
+    let report = e.recover(&mut ops).unwrap();
+    // The commit was never acknowledged: the transaction is still open
+    // and the application rolls it back.
+    assert_eq!(e.active_txn(), Some(txn));
+    assert_eq!(report.shadow_pages, 1);
+    e.txn_abort(txn).unwrap();
+    assert_eq!(read_byte(&mut e, 5), 0x10);
+    e.check_invariants().unwrap();
+}
+
+#[test]
+fn commit_crash_after_point_is_durable() {
+    let mut e = small(PolicyKind::paper_default());
+    write_lp(&mut e, 5, 0x10);
+    let mut ops = Vec::new();
+    let txn = e.txn_begin(&mut ops).unwrap();
+    write_lp(&mut e, 5, 0x20);
+    e.arm_faults(FaultPlan::crash_at(InjectionPoint::CommitAfterPoint, 1));
+    assert_eq!(e.txn_commit(txn), Err(crate::error::EnvyError::PowerLoss));
+    e.power_failure();
+    let report = e.recover(&mut ops).unwrap();
+    // The commit point was passed: the transaction is durable; recovery
+    // released the stale shadow bookkeeping.
+    assert_eq!(e.active_txn(), None);
+    assert_eq!(report.released_shadows, 1);
+    assert_eq!(report.shadow_pages, 0);
+    assert!(e.txn_abort(txn).is_err(), "nothing left to abort");
+    assert_eq!(read_byte(&mut e, 5), 0x20);
+    e.check_invariants().unwrap();
+}
+
+/// Drive a mixed workload (plain writes plus transactions) against an
+/// engine armed to crash at `point`, then power-fail, recover, and
+/// verify the recovery contract: invariants hold, every acknowledged
+/// write reads back, and the single in-flight write is either fully old
+/// or fully new. Returns `false` if the workload never reached `point`.
+fn crash_recover_verify(point: InjectionPoint, seed: u64) -> bool {
+    let config = EnvyConfig::scaled(2, 8, 32, 256)
+        .with_policy(PolicyKind::LocalityGathering)
+        .with_utilization(0.7)
+        .with_buffer_pages(8)
+        .with_wear_threshold(5);
+    let mut e = Engine::new(config).unwrap();
+    e.prefill().unwrap();
+    let n = e.config().logical_pages;
+    let mut mirror = vec![0xFFu8; n as usize];
+    let mut rng = Rng::seed_from(seed);
+    e.arm_faults(FaultPlan::crash_at(point, 1));
+    let mut ops = Vec::new();
+    // Open transaction: (id, mirror snapshot at begin).
+    let mut txn: Option<(u64, Vec<u8>)> = None;
+    // Plain write cut off by the crash: may be old or new.
+    let mut in_flight: Option<(u64, u8)> = None;
+    let mut crashed = false;
+    for step in 0..60_000u64 {
+        use crate::error::EnvyError::PowerLoss;
+        let phase = step % 37;
+        if phase == 0 && txn.is_none() {
+            match e.txn_begin(&mut ops) {
+                Ok(id) => txn = Some((id, mirror.clone())),
+                Err(PowerLoss) => {
+                    crashed = true;
+                    break;
+                }
+                Err(err) => panic!("txn_begin: {err}"),
+            }
+            continue;
+        }
+        if phase == 20 {
+            if let Some((id, _)) = txn {
+                match e.txn_commit(id) {
+                    Ok(()) => txn = None,
+                    Err(PowerLoss) => {
+                        crashed = true;
+                        break;
+                    }
+                    Err(err) => panic!("txn_commit: {err}"),
+                }
+                continue;
+            }
+        }
+        // Hammer a hot region (concentrates cleaning and wear on a few
+        // segments) with occasional full-range writes for coverage.
+        let lp = if step % 8 == 7 {
+            rng.below(n)
+        } else {
+            rng.below(64.min(n))
+        };
+        let v = rng.next_u64() as u8;
+        ops.clear();
+        match e.write_page_bytes(lp, 0, &[v], &mut ops) {
+            Ok(_) => mirror[lp as usize] = v,
+            Err(PowerLoss) => {
+                in_flight = Some((lp, v));
+                crashed = true;
+                break;
+            }
+            Err(err) => panic!("write: {err}"),
+        }
+    }
+    if !crashed {
+        return false;
+    }
+    assert!(e.crash_fired());
+    e.power_failure();
+    let mut rops = Vec::new();
+    e.recover(&mut rops)
+        .unwrap_or_else(|err| panic!("recover after {point:?}: {err}"));
+    e.check_invariants()
+        .unwrap_or_else(|err| panic!("invariants after {point:?}: {err}"));
+    if let Some((id, snapshot)) = txn {
+        if e.active_txn() == Some(id) {
+            // The unacknowledged transaction is rolled back; every page
+            // it touched (including the in-flight one) reverts.
+            e.txn_abort(id).unwrap();
+            mirror = snapshot;
+            in_flight = None;
+        }
+        // Otherwise the commit point was passed: txn writes are durable.
+    }
+    if let Some((lp, v)) = in_flight {
+        let got = read_byte(&mut e, lp);
+        assert!(
+            got == mirror[lp as usize] || got == v,
+            "page {lp} after {point:?}: got {got:#x}, want old {:#x} or new {v:#x}",
+            mirror[lp as usize]
+        );
+        mirror[lp as usize] = got;
+    }
+    for lp in 0..n {
+        assert_eq!(
+            read_byte(&mut e, lp),
+            mirror[lp as usize],
+            "acknowledged write lost at page {lp} after crash at {point:?}"
+        );
+    }
+    e.check_invariants().unwrap();
+    // The engine keeps working after recovery.
+    e.disarm_faults();
+    churn(&mut e, 500, seed ^ 0x5eed);
+    e.check_invariants().unwrap();
+    true
+}
+
+#[test]
+fn crash_at_every_injection_point_recovers() {
+    for (i, &point) in InjectionPoint::ALL.iter().enumerate() {
+        let fired = crash_recover_verify(point, 1000 + i as u64);
+        assert!(fired, "workload never reached {point:?}");
+    }
+}
+
 #[test]
 fn policy_partition_counts() {
     let e = small(PolicyKind::Hybrid {

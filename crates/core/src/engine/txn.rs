@@ -12,7 +12,7 @@
 //! page table at the shadows.
 
 use crate::addr::{FlashLocation, Location, LogicalPage};
-use crate::engine::Engine;
+use crate::engine::{Engine, InjectionPoint};
 use crate::error::EnvyError;
 use crate::timing::BgOp;
 use std::collections::HashMap;
@@ -57,6 +57,15 @@ impl ShadowTable {
         if let Some((old, _)) = self.entries.get_mut(&lp) {
             *old = loc;
         }
+    }
+
+    /// Remove every shadow whose transaction is not the `active` one —
+    /// bookkeeping left behind when power failed between a commit point
+    /// and the release. Returns how many were released.
+    pub(crate) fn release_stale(&mut self, active: Option<u64>) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, (_, txn)| Some(*txn) == active);
+        (before - self.entries.len()) as u64
     }
 
     /// Remove and return all shadows belonging to `txn`.
@@ -115,16 +124,25 @@ impl Engine {
     /// Commit: release the shadow pages (they become ordinary invalid
     /// data for the cleaner to reclaim).
     ///
+    /// The atomic commit point is clearing the transaction id in
+    /// battery-backed SRAM. A power failure before it leaves the
+    /// transaction open (the unacknowledged commit never happened); one
+    /// after it leaves a committed transaction whose stale shadow
+    /// bookkeeping [`Engine::recover`] releases.
+    ///
     /// # Errors
     ///
-    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction.
+    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction;
+    /// [`EnvyError::PowerLoss`] at an armed injection point.
     pub fn txn_commit(&mut self, txn: u64) -> Result<(), EnvyError> {
         if self.active_txn != Some(txn) {
             return Err(EnvyError::NoSuchTxn { txn });
         }
+        self.crash_point(InjectionPoint::CommitBefore)?;
+        self.active_txn = None;
+        self.crash_point(InjectionPoint::CommitAfterPoint)?;
         self.shadows.drop_txn(txn);
         self.txn_fresh.clear();
-        self.active_txn = None;
         Ok(())
     }
 

@@ -6,7 +6,8 @@
 //! swaps the data in the two areas. This leads to an even wearing of the
 //! segments."
 
-use crate::engine::{Engine, POS_NONE};
+use crate::engine::recovery::CleanJournal;
+use crate::engine::{Engine, InjectionPoint};
 use crate::error::EnvyError;
 use crate::timing::{BgKind, BgOp};
 
@@ -51,49 +52,50 @@ impl Engine {
     }
 
     /// Swap the data of the most-worn and least-worn segments so the worn
-    /// one rests under cold data (or as the spare).
+    /// one rests under cold data (or as the spare). The paper calls the
+    /// swap "a cleaning operation", and it is built as one or two
+    /// journaled [`Engine::wear_relocate`] steps so a power failure at
+    /// any point is recovered by the same journal replay as a clean.
     fn wear_swap(&mut self, worn: u32, young: u32, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
         if young == self.spare {
             // The least-worn segment is the (empty) spare: park the worn
             // segment's data there and let the worn segment rest as the
             // spare.
-            let pos = self.pos_of[worn as usize];
-            self.move_segment_data(worn, young, ops)?;
-            self.erase_for_wear(worn, ops)?;
-            self.order[pos as usize] = young;
-            self.pos_of[young as usize] = pos;
-            self.pos_of[worn as usize] = POS_NONE;
-            self.spare = worn;
+            self.wear_relocate(worn, young, ops)
         } else if worn == self.spare {
             // The most-worn segment is the spare: give it the youngest
             // segment's (cold, rarely cleaned) data so it stops cycling.
-            let pos = self.pos_of[young as usize];
-            self.move_segment_data(young, worn, ops)?;
-            self.erase_for_wear(young, ops)?;
-            self.order[pos as usize] = worn;
-            self.pos_of[worn as usize] = pos;
-            self.pos_of[young as usize] = POS_NONE;
-            self.spare = young;
+            self.wear_relocate(young, worn, ops)
         } else {
             // General case: rotate through the spare. The worn segment's
             // (hot) data moves to the spare; the young segment's (cold)
-            // data moves onto the worn segment; the young segment becomes
-            // the new spare and absorbs future cycles.
-            let spare = self.spare;
-            let pos_w = self.pos_of[worn as usize];
-            let pos_y = self.pos_of[young as usize];
-            self.move_segment_data(worn, spare, ops)?;
-            self.erase_for_wear(worn, ops)?;
-            self.order[pos_w as usize] = spare;
-            self.pos_of[spare as usize] = pos_w;
-            self.move_segment_data(young, worn, ops)?;
-            self.erase_for_wear(young, ops)?;
-            self.order[pos_y as usize] = worn;
-            self.pos_of[worn as usize] = pos_y;
-            self.pos_of[young as usize] = POS_NONE;
-            self.spare = young;
+            // data moves onto the worn segment (the spare after the first
+            // step); the young segment becomes the new spare and absorbs
+            // future cycles. A crash between the two steps abandons the
+            // second — the wear spread is still over threshold, so the
+            // next erase re-triggers it.
+            self.wear_relocate(worn, self.spare, ops)?;
+            self.wear_relocate(young, worn, ops)
         }
-        Ok(())
+    }
+
+    /// One journaled wear relocation: move `victim`'s data (live and
+    /// shadow pages) onto the erased spare `dest`, erase the victim and
+    /// rotate it into the spare role. Structurally identical to the
+    /// data-moving half of a clean, so the persistent [`CleanJournal`]
+    /// covers it and [`Engine::recover`] completes it after a crash.
+    fn wear_relocate(
+        &mut self,
+        victim: u32,
+        dest: u32,
+        ops: &mut Vec<BgOp>,
+    ) -> Result<(), EnvyError> {
+        debug_assert_eq!(dest, self.spare, "wear relocations fill the spare");
+        let pos = self.pos_of[victim as usize];
+        self.journal = Some(CleanJournal { pos, victim, dest });
+        self.crash_point(InjectionPoint::WearAfterJournal)?;
+        self.move_segment_data(victim, dest, ops)?;
+        self.complete_clean_tail(pos, victim, dest, ops)
     }
 
     /// Copy every live page and shadow page of `from` into the (erased)
@@ -105,17 +107,14 @@ impl Engine {
         ops: &mut Vec<BgOp>,
     ) -> Result<(), EnvyError> {
         for (page, lp) in self.page_table.residents_of(from) {
-            let to_page = self.write_cursor(to);
             let t = self.copy_flash_page(
                 crate::addr::FlashLocation {
                     segment: from,
                     page,
                 },
-                crate::addr::FlashLocation {
-                    segment: to,
-                    page: to_page,
-                },
+                to,
                 lp,
+                Some(InjectionPoint::WearDuringCopy),
             )?;
             self.stats.wear_programs.incr();
             ops.push(BgOp {
@@ -123,17 +122,15 @@ impl Engine {
                 kind: BgKind::WearCopy,
                 duration: t,
             });
+            self.crash_point(InjectionPoint::WearAfterCopy)?;
         }
         for (page, lp) in self.shadows.residents_of(from) {
-            let to_page = self.write_cursor(to);
-            let data = if self.flash.stores_data() {
+            if self.flash.stores_data() {
                 self.flash.read_page(from, page, Some(&mut self.scratch))?;
-                Some(&self.scratch[..])
             } else {
                 self.flash.read_page(from, page, None)?;
-                None
-            };
-            let t = self.flash.program_page(to, to_page, data)?;
+            }
+            let (t, to_page) = self.program_scratch_retrying(to)?;
             self.flash.invalidate_page(to, to_page)?;
             self.shadows.relocate(
                 lp,
@@ -148,18 +145,8 @@ impl Engine {
                 kind: BgKind::WearCopy,
                 duration: t,
             });
+            self.crash_point(InjectionPoint::WearAfterCopy)?;
         }
-        Ok(())
-    }
-
-    fn erase_for_wear(&mut self, seg: u32, ops: &mut Vec<BgOp>) -> Result<(), EnvyError> {
-        let t = self.flash.erase_segment(seg)?;
-        self.stats.erases.incr();
-        ops.push(BgOp {
-            bank: self.flash.bank_of(seg),
-            kind: BgKind::Erase,
-            duration: t,
-        });
         Ok(())
     }
 }

@@ -37,6 +37,12 @@ pub enum EnvyError {
     /// Recovery found the persistent structures inconsistent. Use
     /// [`crate::engine::Engine::check_invariants`] for a description.
     CorruptState,
+    /// A simulated power failure fired at an armed fault-injection point
+    /// (see [`crate::engine::InjectionPoint`]). The operation in flight
+    /// stops exactly where the power was cut; the caller must invoke
+    /// [`crate::engine::Engine::power_failure`] and then
+    /// [`crate::engine::Engine::recover`] before using the engine again.
+    PowerLoss,
 }
 
 impl fmt::Display for EnvyError {
@@ -56,6 +62,9 @@ impl fmt::Display for EnvyError {
             EnvyError::NoSuchTxn { txn } => write!(f, "no open transaction with id {txn}"),
             EnvyError::CorruptState => {
                 write!(f, "persistent state inconsistent after recovery")
+            }
+            EnvyError::PowerLoss => {
+                write!(f, "simulated power failure at an armed injection point")
             }
         }
     }
@@ -96,6 +105,13 @@ mod tests {
         let e = EnvyError::from(inner);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("flash substrate"));
+    }
+
+    #[test]
+    fn power_loss_display_names_the_mechanism() {
+        let msg = EnvyError::PowerLoss.to_string();
+        assert!(msg.contains("power failure"));
+        assert!(msg.contains("injection point"));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod store;
 pub mod timing;
 
 pub use config::{EnvyConfig, PolicyKind};
-pub use engine::{Engine, ReadSource, RecoveryReport, WriteKind};
+pub use engine::{Engine, FaultPlan, InjectionPoint, ReadSource, RecoveryReport, WriteKind};
 pub use error::EnvyError;
 pub use memory::{Memory, VecMemory};
 pub use stats::{lifetime_days, EnvyStats, TimeBreakdown};

@@ -58,6 +58,27 @@ pub struct EnvyStats {
     pub time_suspend: Ns,
     /// Host accesses that had to suspend a long Flash operation.
     pub suspensions: Counter,
+    /// Injected `program_error` faults observed (chip verify failures).
+    pub program_faults: Counter,
+    /// Program operations reissued after a verify failure (same
+    /// segment, next erased page).
+    pub program_retries: Counter,
+    /// Programs that had to be remapped to a different segment because
+    /// the target segment ran out of erased pages during retries.
+    pub program_remaps: Counter,
+    /// Injected `erase_error` faults observed.
+    pub erase_faults: Counter,
+    /// Erase operations reissued after a verify failure.
+    pub erase_retries: Counter,
+    /// Orphaned flash pages scavenged by recovery (valid in the array
+    /// but unreferenced by the page table — torn or unmapped programs).
+    pub recovery_scavenged: Counter,
+    /// Buffered pages dropped by recovery because their logical page no
+    /// longer maps to SRAM (flush crashed after the map update).
+    pub recovery_dropped_buffer: Counter,
+    /// Shadow pages released by recovery because their transaction was
+    /// already committed or aborted at the crash.
+    pub recovery_stale_shadows: Counter,
 }
 
 /// A normalized busy-time breakdown, as in §5.3 ("approximately 40 % of

@@ -15,7 +15,7 @@
 //!   returns per-access latency — the model behind Figures 13–15.
 
 use crate::config::EnvyConfig;
-use crate::engine::{Engine, ReadSource, RecoveryReport, WriteKind};
+use crate::engine::{Engine, FaultPlan, ReadSource, RecoveryReport, WriteKind};
 use crate::error::EnvyError;
 use crate::memory::Memory;
 use crate::stats::EnvyStats;
@@ -420,8 +420,24 @@ impl EnvyStore {
     }
 
     /// Simulate a power failure (volatile state lost).
+    ///
+    /// Besides the engine's volatile state (MMU cache, copy scratch),
+    /// the store drops its own: queued-but-unexecuted background
+    /// operations and the in-flight timing of the devices. The simulated
+    /// clock is kept — it models wall time, which a power cut does not
+    /// rewind.
     pub fn power_failure(&mut self) {
         self.engine.power_failure();
+        self.ops.clear();
+        let config = self.engine.config();
+        self.timing = TimingState::new(config.parallel_ops, config.resume_gap);
+    }
+
+    /// Arm a deterministic [`FaultPlan`] on the underlying engine
+    /// (power-failure injection points, program/erase verify failures,
+    /// torn programs). An empty plan disarms everything.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.engine.arm_faults(plan);
     }
 
     /// Recover after a power failure.
@@ -618,6 +634,49 @@ mod tests {
         let mut out = [0u8; 8];
         s.read(0, &mut out).unwrap();
         assert_eq!(out, [0xEE; 8]);
+    }
+
+    #[test]
+    fn power_failure_drops_pending_background_work() {
+        let mut s = store();
+        // Rapid timed writes queue background device time (flushes,
+        // cleans) faster than it executes.
+        let mut now = Ns::ZERO;
+        let mut i = 0u64;
+        while s.backlog() == Ns::ZERO && i < 50_000 {
+            let a = s
+                .write_at(now, (i * 256) % (s.size() - 256), &[i as u8; 4])
+                .unwrap();
+            now = a.completed;
+            i += 1;
+        }
+        assert!(s.backlog() > Ns::ZERO, "no backlog after {i} writes");
+        s.power_failure();
+        // In-flight device work is volatile; the clock (wall time) is not.
+        assert_eq!(s.backlog(), Ns::ZERO);
+        assert_eq!(s.now(), now);
+        s.recover().unwrap();
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn faults_armable_through_store() {
+        let mut s = store();
+        s.write(0, &[0x42; 4]).unwrap();
+        s.arm_faults(FaultPlan::crash_at(
+            crate::engine::InjectionPoint::FlushAfterProgram,
+            1,
+        ));
+        match s.flush_all() {
+            Err(EnvyError::PowerLoss) => {}
+            other => panic!("expected PowerLoss, got {other:?}"),
+        }
+        s.power_failure();
+        let report = s.recover().unwrap();
+        assert_eq!(report.scavenged_pages, 1);
+        let mut out = [0u8; 4];
+        s.read(0, &mut out).unwrap();
+        assert_eq!(out, [0x42; 4]);
     }
 
     #[test]

@@ -44,6 +44,47 @@ pub struct FlashStats {
     pub erase_time: Ns,
 }
 
+/// A deterministic schedule of injected chip faults for a [`FlashArray`].
+///
+/// Operation indices are 1-based and count only the matching operation
+/// kind: `program_fail_ops = {3}` makes the third program operation after
+/// the schedule is armed report `program_error`. Each scheduled failure
+/// fires once and is consumed. An empty schedule never perturbs the
+/// array, and an array with no schedule armed behaves identically to one
+/// built before this mechanism existed.
+#[derive(Debug, Clone, Default)]
+pub struct FlashFaults {
+    /// 1-based program-operation indices that must fail verify.
+    pub program_fail_ops: std::collections::BTreeSet<u64>,
+    /// 1-based erase-operation indices that must fail verify.
+    pub erase_fail_ops: std::collections::BTreeSet<u64>,
+    programs_seen: u64,
+    erases_seen: u64,
+}
+
+impl FlashFaults {
+    /// A schedule failing the given (1-based) program operations.
+    pub fn fail_programs(ops: impl IntoIterator<Item = u64>) -> FlashFaults {
+        FlashFaults {
+            program_fail_ops: ops.into_iter().collect(),
+            ..FlashFaults::default()
+        }
+    }
+
+    /// A schedule failing the given (1-based) erase operations.
+    pub fn fail_erases(ops: impl IntoIterator<Item = u64>) -> FlashFaults {
+        FlashFaults {
+            erase_fail_ops: ops.into_iter().collect(),
+            ..FlashFaults::default()
+        }
+    }
+
+    /// Whether every scheduled failure has fired.
+    pub fn exhausted(&self) -> bool {
+        self.program_fail_ops.is_empty() && self.erase_fail_ops.is_empty()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Segment {
     pages: Vec<PageState>,
@@ -93,6 +134,9 @@ pub struct FlashArray {
     timings: FlashTimings,
     segments: Vec<Segment>,
     stats: FlashStats,
+    /// Armed fault schedule; `None` (the default) is the zero-overhead
+    /// fault-free path.
+    faults: Option<Box<FlashFaults>>,
 }
 
 impl FlashArray {
@@ -106,7 +150,19 @@ impl FlashArray {
             timings,
             segments,
             stats: FlashStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arm a deterministic fault schedule (replacing any previous one).
+    /// Pass `None` to disarm and restore fault-free operation.
+    pub fn set_faults(&mut self, faults: Option<FlashFaults>) {
+        self.faults = faults.map(Box::new);
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn faults(&self) -> Option<&FlashFaults> {
+        self.faults.as_deref()
     }
 
     /// The array geometry.
@@ -238,6 +294,17 @@ impl FlashArray {
         if *state != PageState::Erased {
             return Err(FlashError::ProgramToNonErased { segment, page });
         }
+        if let Some(f) = &mut self.faults {
+            f.programs_seen += 1;
+            if f.program_fail_ops.remove(&f.programs_seen) {
+                // The program pulse ran but verify failed: the page holds
+                // partially-cleared bits and cannot be reused until its
+                // segment is erased.
+                *state = PageState::Invalid;
+                seg.invalid += 1;
+                return Err(FlashError::ProgramFailed { segment, page });
+            }
+        }
         *state = PageState::Valid;
         seg.valid += 1;
         if let (Some(store), Some(data)) = (&mut seg.data, data) {
@@ -248,6 +315,79 @@ impl FlashArray {
         self.stats.page_programs.incr();
         self.stats.program_time += cost;
         Ok(cost)
+    }
+
+    /// A program operation torn by power loss partway through the wide
+    /// transfer: of the 256 lock-step chips holding the page, only the
+    /// first `chips_programmed` byte lanes latched their data (one byte
+    /// per chip, as in the paper's bank layout). The page is left
+    /// neither erased nor trustworthy; it is unreferenced garbage that
+    /// recovery must scavenge before the segment can be cleaned.
+    ///
+    /// No operation counters are advanced — power died before the chip
+    /// could report completion.
+    ///
+    /// # Errors
+    ///
+    /// Same validity errors as [`FlashArray::program_page`].
+    pub fn program_page_torn(
+        &mut self,
+        segment: u32,
+        page: u32,
+        data: Option<&[u8]>,
+        chips_programmed: u32,
+    ) -> Result<(), FlashError> {
+        self.check(segment, page)?;
+        let pb = self.geo.page_bytes() as usize;
+        if data.is_some_and(|d| d.len() != pb) {
+            return Err(FlashError::BadBufferLength {
+                expected: pb,
+                actual: data.map_or(0, <[u8]>::len),
+            });
+        }
+        let seg = &mut self.segments[segment as usize];
+        let state = &mut seg.pages[page as usize];
+        if *state != PageState::Erased {
+            return Err(FlashError::ProgramToNonErased { segment, page });
+        }
+        // The torn page reads back as a mix of programmed and erased
+        // lanes; it is recorded as Valid (bits were cleared) so the
+        // scavenger can find and invalidate it.
+        *state = PageState::Valid;
+        seg.valid += 1;
+        if let (Some(store), Some(data)) = (&mut seg.data, data) {
+            let torn = (chips_programmed as usize).min(pb);
+            let start = page as usize * pb;
+            store[start..start + torn].copy_from_slice(&data[..torn]);
+        }
+        Ok(())
+    }
+
+    /// An erase torn by power loss mid-pulse: every page of the segment
+    /// is left indeterminate (recorded as invalid) and the erase must be
+    /// reissued. Cycle counters are not advanced — the pulse did not
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::EraseWithLiveData`] or [`FlashError::OutOfRange`],
+    /// as for [`FlashArray::erase_segment`].
+    pub fn erase_segment_torn(&mut self, segment: u32) -> Result<(), FlashError> {
+        self.check(segment, 0)?;
+        let pps = self.geo.pages_per_segment();
+        let seg = &mut self.segments[segment as usize];
+        if seg.valid > 0 {
+            return Err(FlashError::EraseWithLiveData {
+                segment,
+                live_pages: seg.valid,
+            });
+        }
+        seg.pages.fill(PageState::Invalid);
+        seg.invalid = pps;
+        if let Some(data) = &mut seg.data {
+            data.fill(0x00);
+        }
+        Ok(())
     }
 
     /// Mark a valid page invalid (the copy-on-write retired it).
@@ -300,12 +440,26 @@ impl FlashArray {
     /// [`FlashError::OutOfRange`].
     pub fn erase_segment(&mut self, segment: u32) -> Result<Ns, FlashError> {
         self.check(segment, 0)?;
+        let pps = self.geo.pages_per_segment();
         let seg = &mut self.segments[segment as usize];
         if seg.valid > 0 {
             return Err(FlashError::EraseWithLiveData {
                 segment,
                 live_pages: seg.valid,
             });
+        }
+        if let Some(f) = &mut self.faults {
+            f.erases_seen += 1;
+            if f.erase_fail_ops.remove(&f.erases_seen) {
+                // The erase pulse ran but verify failed: every page is
+                // indeterminate until a successful erase.
+                seg.pages.fill(PageState::Invalid);
+                seg.invalid = pps;
+                if let Some(data) = &mut seg.data {
+                    data.fill(0x00);
+                }
+                return Err(FlashError::EraseFailed { segment });
+            }
         }
         seg.pages.fill(PageState::Erased);
         seg.invalid = 0;
@@ -617,5 +771,80 @@ mod tests {
         a.erase_segment(0).unwrap(); // cycles = 2 = rated
         let cost = a.program_page(0, 0, None).unwrap();
         assert_eq!(cost, Ns::from_micros(8));
+    }
+
+    #[test]
+    fn injected_program_fault_fires_on_nth_op_and_kills_the_page() {
+        let mut a = small();
+        a.set_faults(Some(FlashFaults::fail_programs([2])));
+        a.program_page(0, 0, None).unwrap(); // op 1: fine
+        let err = a.program_page(0, 1, None).unwrap_err(); // op 2: fails
+        assert_eq!(
+            err,
+            FlashError::ProgramFailed {
+                segment: 0,
+                page: 1
+            }
+        );
+        // The failed page is dead until erase; the next page still works.
+        assert_eq!(a.page_state(0, 1), PageState::Invalid);
+        assert!(a.program_page(0, 1, None).is_err());
+        a.program_page(0, 2, None).unwrap(); // op 3: schedule exhausted
+        assert!(a.faults().unwrap().exhausted());
+    }
+
+    #[test]
+    fn injected_erase_fault_leaves_segment_unusable_until_retry() {
+        let mut a = small();
+        a.program_page(1, 0, None).unwrap();
+        a.invalidate_page(1, 0).unwrap();
+        a.set_faults(Some(FlashFaults::fail_erases([1])));
+        let err = a.erase_segment(1).unwrap_err();
+        assert_eq!(err, FlashError::EraseFailed { segment: 1 });
+        assert_eq!(a.erased_pages(1), 0);
+        assert_eq!(a.erase_cycles(1), 0, "torn pulse does not count");
+        // Retry succeeds and fully restores the segment.
+        a.erase_segment(1).unwrap();
+        assert_eq!(a.erased_pages(1), 8);
+    }
+
+    #[test]
+    fn disarmed_faults_behave_identically() {
+        let mut a = small();
+        a.set_faults(Some(FlashFaults::fail_programs([1])));
+        a.set_faults(None);
+        a.program_page(0, 0, None).unwrap();
+        assert!(a.faults().is_none());
+    }
+
+    #[test]
+    fn torn_program_writes_prefix_lanes_only() {
+        let mut a = small();
+        let data = vec![0x00u8; 16];
+        a.program_page_torn(0, 0, Some(&data), 5).unwrap();
+        assert_eq!(a.page_state(0, 0), PageState::Valid);
+        let mut out = vec![0u8; 16];
+        a.read_page(0, 0, Some(&mut out)).unwrap();
+        // First 5 byte lanes latched; the rest still read erased.
+        assert_eq!(&out[..5], &[0x00; 5]);
+        assert_eq!(&out[5..], &[0xFF; 11]);
+        // Write-once: the torn page cannot be programmed again.
+        assert!(a.program_page(0, 0, Some(&data)).is_err());
+    }
+
+    #[test]
+    fn torn_erase_requires_reissue() {
+        let mut a = small();
+        a.program_page(2, 0, None).unwrap();
+        a.invalidate_page(2, 0).unwrap();
+        a.erase_segment_torn(2).unwrap();
+        assert_eq!(a.erased_pages(2), 0);
+        assert_eq!(a.invalid_pages(2), 8);
+        assert_eq!(a.erase_cycles(2), 0);
+        a.erase_segment(2).unwrap();
+        assert_eq!(a.erased_pages(2), 8);
+        // A torn erase refuses segments with live data, like a real one.
+        a.program_page(3, 0, None).unwrap();
+        assert!(a.erase_segment_torn(3).is_err());
     }
 }

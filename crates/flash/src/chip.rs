@@ -112,6 +112,8 @@ pub struct FlashChip {
     state: ChipState,
     status: Status,
     timings: FlashTimings,
+    fail_next_program: bool,
+    fail_next_erase: bool,
 }
 
 impl FlashChip {
@@ -136,7 +138,24 @@ impl FlashChip {
                 ..Status::default()
             },
             timings,
+            fail_next_program: false,
+            fail_next_erase: false,
         }
+    }
+
+    /// Make the next `Program` command fail verify: the cell is written
+    /// but cannot be trusted, and `program_error` is raised. Models a
+    /// weak cell discovered at program time (test support for the
+    /// controller's retry-then-remap path).
+    pub fn inject_program_fault(&mut self) {
+        self.fail_next_program = true;
+    }
+
+    /// Make the next `EraseBlock` command fail verify: the block is left
+    /// indeterminate (all bytes `0x00`), the cycle is not counted, and
+    /// `erase_error` is raised until cleared.
+    pub fn inject_erase_fault(&mut self) {
+        self.fail_next_erase = true;
     }
 
     /// Number of erase blocks.
@@ -234,6 +253,10 @@ impl FlashChip {
                 if after != value {
                     self.status.program_error = true;
                 }
+                if self.fail_next_program {
+                    self.fail_next_program = false;
+                    self.status.program_error = true;
+                }
                 let block = addr / self.block_bytes;
                 let busy = self.timings.program_at(self.erase_cycles[block as usize]);
                 self.state = ChipState::Programming { remaining: busy };
@@ -250,6 +273,13 @@ impl FlashChip {
                 self.settle();
                 let start = (block * self.block_bytes) as usize;
                 let end = start + self.block_bytes as usize;
+                if self.fail_next_erase {
+                    self.fail_next_erase = false;
+                    self.data[start..end].fill(0x00);
+                    self.status.erase_error = true;
+                    self.status.ready = true;
+                    return Ok(Issued { busy: Ns::ZERO });
+                }
                 self.data[start..end].fill(0xFF);
                 self.erase_cycles[block as usize] += 1;
                 let busy = self.timings.erase_at(self.erase_cycles[block as usize]);
@@ -469,6 +499,45 @@ mod tests {
     fn out_of_range_erase() {
         let mut c = chip();
         assert!(c.issue(Command::EraseBlock { block: 4 }).is_err());
+    }
+
+    #[test]
+    fn injected_program_fault_raises_status_bit() {
+        let mut c = chip();
+        c.inject_program_fault();
+        c.issue(Command::Program {
+            addr: 0,
+            value: 0xF0,
+        })
+        .unwrap();
+        assert!(c.status().program_error);
+        c.issue(Command::ClearStatus).unwrap();
+        assert!(!c.status().program_error);
+        // The next program is back to normal.
+        c.issue(Command::Program {
+            addr: 1,
+            value: 0xF0,
+        })
+        .unwrap();
+        assert!(!c.status().program_error);
+    }
+
+    #[test]
+    fn injected_erase_fault_leaves_block_indeterminate() {
+        let mut c = chip();
+        c.inject_erase_fault();
+        c.issue(Command::EraseBlock { block: 0 }).unwrap();
+        assert!(c.status().erase_error);
+        assert_eq!(c.cycles(0), 0, "failed pulse does not count a cycle");
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(0), 0x00);
+        // Retry succeeds.
+        c.issue(Command::ClearStatus).unwrap();
+        c.issue(Command::EraseBlock { block: 0 }).unwrap();
+        assert!(!c.status().erase_error);
+        c.issue(Command::ReadArray).unwrap();
+        assert_eq!(c.read(0), 0xFF);
+        assert_eq!(c.cycles(0), 1);
     }
 
     #[test]

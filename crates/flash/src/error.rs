@@ -52,6 +52,25 @@ pub enum FlashError {
         /// Provided length in bytes.
         actual: usize,
     },
+    /// A program operation failed verify (the chip raised its
+    /// `program_error` status bit). The page is left partially
+    /// programmed — neither erased nor trustworthy — and cannot be
+    /// reused until its segment is erased; the controller must retry
+    /// the data elsewhere.
+    ProgramFailed {
+        /// Segment index.
+        segment: u32,
+        /// Page index within the segment.
+        page: u32,
+    },
+    /// A segment erase failed verify (the chip raised its `erase_error`
+    /// status bit). Every page of the segment is left indeterminate and
+    /// the controller must retry the erase before the segment can hold
+    /// data again.
+    EraseFailed {
+        /// Segment index.
+        segment: u32,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -89,6 +108,15 @@ impl fmt::Display for FlashError {
                     f,
                     "buffer length {actual} does not match page size {expected}"
                 )
+            }
+            FlashError::ProgramFailed { segment, page } => {
+                write!(
+                    f,
+                    "program of page {page} in segment {segment} failed verify (program_error)"
+                )
+            }
+            FlashError::EraseFailed { segment } => {
+                write!(f, "erase of segment {segment} failed verify (erase_error)")
             }
         }
     }
@@ -131,5 +159,17 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FlashError>();
+    }
+
+    #[test]
+    fn injected_fault_messages_name_status_bits() {
+        let p = FlashError::ProgramFailed {
+            segment: 2,
+            page: 9,
+        };
+        assert!(p.to_string().contains("program_error"));
+        let e = FlashError::EraseFailed { segment: 4 };
+        assert!(e.to_string().contains("erase_error"));
+        assert!(e.to_string().contains("segment 4"));
     }
 }

@@ -42,7 +42,7 @@ pub mod chip;
 pub mod error;
 pub mod geometry;
 
-pub use array::{FlashArray, FlashStats, PageState};
+pub use array::{FlashArray, FlashFaults, FlashStats, PageState};
 pub use chip::{ChipState, FlashChip};
 pub use error::FlashError;
 pub use geometry::{FlashGeometry, FlashTimings};
