@@ -32,4 +32,18 @@ cargo run --release -q -p envy-bench --bin ext_fault_recovery -- --quick --jobs 
 grep -q "17/17 injection points crashed and recovered" results/ci_smoke_fault_recovery.txt
 test -s results/BENCH_ext_fault_recovery.json
 
+echo "== smoke: trace overhead (tracing must be behavior-neutral) =="
+# The controller trace observes, never perturbs: the same benchmark run
+# with tracing enabled (ENVY_TRACE=1) must produce byte-identical output.
+cargo run --release -q -p envy-bench --bin fig13_throughput -- --quick --jobs 2 \
+  > results/ci_smoke_fig13_plain.txt
+ENVY_TRACE=1 cargo run --release -q -p envy-bench --bin fig13_throughput -- --quick --jobs 2 \
+  > results/ci_smoke_fig13_traced.txt
+cmp results/ci_smoke_fig13_plain.txt results/ci_smoke_fig13_traced.txt
+rm -f results/ci_smoke_fig13_plain.txt results/ci_smoke_fig13_traced.txt
+
+echo "== report schema check =="
+# Every committed results/BENCH_*.json must parse and carry report_version.
+cargo test --release -q -p envy-bench --test report_schema
+
 echo "ci: all checks passed"

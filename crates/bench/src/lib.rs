@@ -6,13 +6,17 @@
 //! CSV block. Pass `--quick` for a scaled-down run (fewer writes /
 //! transactions); the default parameters match EXPERIMENTS.md.
 
+pub mod json;
 pub mod sweep;
 
 use envy_core::{EnvyConfig, EnvyStore};
 use envy_sim::report::Table;
 use envy_workload::{AnalyticTpca, TpcaScale};
 
-pub use sweep::{jobs_arg, point_seed, PointResult, SweepOutcome, SweepSpec};
+pub use sweep::{
+    jobs_arg, point_seed, time_series_json, trace_json, write_report_full, PointResult,
+    SweepOutcome, SweepSpec, REPORT_VERSION,
+};
 
 /// The timed TPC-A configuration: the paper's 2 GB array with `--paper`,
 /// otherwise a 256 MB scaled version (same geometry ratios: 128 segments,
@@ -74,7 +78,23 @@ pub fn timed_system(utilization: f64) -> (EnvyStore, AnalyticTpca) {
     let mut store = EnvyStore::new(config).expect("config is valid");
     store.prefill().expect("prefill fits");
     churn_to_steady_state(&mut store, &driver);
+    if let Some(capacity) = trace_capacity_env() {
+        store.enable_trace(capacity);
+    }
     (store, driver)
+}
+
+/// The `ENVY_TRACE` environment variable: when set, [`timed_system`]
+/// enables controller tracing on the baseline store with the given ring
+/// capacity (or 65 536 records for non-numeric values like `1`).
+/// Tracing is behavior-neutral, so a benchmark's output must be
+/// byte-identical with and without it — CI smoke-checks exactly that.
+pub fn trace_capacity_env() -> Option<usize> {
+    let v = std::env::var("ENVY_TRACE").ok()?;
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    Some(v.parse().ok().filter(|&n| n > 1).unwrap_or(65_536))
 }
 
 /// Whether `--quick` was passed (scaled-down runs for smoke testing).

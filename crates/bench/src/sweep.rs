@@ -23,6 +23,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Version of the `BENCH_<name>.json` report schema. Bumped when the
+/// report shape changes; the CI schema check requires every committed
+/// report to carry it.
+pub const REPORT_VERSION: u64 = 1;
+
 /// What one sweep point produced: table rows (in order) plus named
 /// metrics for the JSON report.
 #[derive(Debug, Clone)]
@@ -202,18 +207,62 @@ pub fn write_report_raw(
     wall_seconds: f64,
     points: &[(String, Vec<(&'static str, f64)>)],
 ) -> std::io::Result<PathBuf> {
+    write_report_full(name, jobs, wall_seconds, points, &[])
+}
+
+/// Write `results/BENCH_<name>.json` with extra top-level sections —
+/// each `(key, value)` pair is spliced in as `"key": value`, where
+/// `value` must already be valid JSON (see [`time_series_json`] and
+/// [`trace_json`]). Used by observability-oriented binaries to embed a
+/// sampled time series or a trace excerpt alongside the point metrics.
+///
+/// # Errors
+///
+/// I/O errors creating `results/` or writing the file.
+pub fn write_report_full(
+    name: &str,
+    jobs: usize,
+    wall_seconds: f64,
+    points: &[(String, Vec<(&'static str, f64)>)],
+    extras: &[(&str, String)],
+) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
+    let json = render_report(
+        name,
+        crate::quick_mode(),
+        jobs,
+        wall_seconds,
+        points,
+        extras,
+    );
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Render the report document (see [`write_report_full`]).
+pub(crate) fn render_report(
+    name: &str,
+    quick: bool,
+    jobs: usize,
+    wall_seconds: f64,
+    points: &[(String, Vec<(&'static str, f64)>)],
+    extras: &[(&str, String)],
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!("  \"report_version\": {REPORT_VERSION},\n"));
     json.push_str(&format!("  \"bench\": {},\n", json_string(name)));
-    json.push_str(&format!("  \"quick\": {},\n", crate::quick_mode()));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"jobs\": {jobs},\n"));
     json.push_str(&format!(
         "  \"wall_seconds\": {},\n",
         json_number(wall_seconds)
     ));
+    for (key, value) in extras {
+        json.push_str(&format!("  {}: {value},\n", json_string(key)));
+    }
     json.push_str("  \"points\": [\n");
     for (i, (label, metrics)) in points.iter().enumerate() {
         json.push_str(&format!(
@@ -230,8 +279,59 @@ pub fn write_report_raw(
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&path, json)?;
-    Ok(path)
+    json
+}
+
+/// Serialize a sampled [`envy_sim::stats::TimeSeries`] as a JSON object:
+/// window, column names, and one `[end_us, values...]` row per sample.
+pub fn time_series_json(series: &envy_sim::stats::TimeSeries) -> String {
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"window_us\": {}, \"columns\": [",
+        json_number(series.window().as_nanos() as f64 / 1_000.0)
+    ));
+    for (i, col) in series.columns().iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&json_string(col));
+    }
+    json.push_str("], \"rows\": [");
+    for (i, (end, values)) in series.rows().iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "[{}",
+            json_number(end.as_nanos() as f64 / 1_000.0)
+        ));
+        for v in values {
+            json.push_str(&format!(", {}", json_number(*v)));
+        }
+        json.push(']');
+    }
+    json.push_str("]}");
+    json
+}
+
+/// Serialize the most recent `last_n` records of a trace ring as a JSON
+/// array of `{"at_us", "seq", "event"}` objects (the event rendered in
+/// its compact display form).
+pub fn trace_json(trace: &envy_core::TraceRing, last_n: usize) -> String {
+    let mut json = String::from("[");
+    for (i, rec) in trace.last(last_n).enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "{{\"at_us\": {}, \"seq\": {}, \"event\": {}}}",
+            json_number(rec.at.as_nanos() as f64 / 1_000.0),
+            rec.seq,
+            json_string(&rec.event.to_string())
+        ));
+    }
+    json.push(']');
+    json
 }
 
 /// JSON string literal (quotes, escapes).

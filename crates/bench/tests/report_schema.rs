@@ -1,0 +1,58 @@
+//! Schema check for the committed benchmark reports: every
+//! `results/BENCH_*.json` must parse as JSON and carry the fields the
+//! tooling relies on — in particular `report_version`, so report
+//! consumers can detect shape changes. Run directly by `ci.sh`.
+
+use envy_bench::json::{parse, Value};
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[test]
+fn every_committed_report_parses_and_is_versioned() {
+    let dir = results_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("results/ exists") {
+        let path = entry.expect("readable entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable report");
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        let version = doc
+            .get("report_version")
+            .unwrap_or_else(|| panic!("{name}: missing report_version"))
+            .as_number()
+            .unwrap_or_else(|| panic!("{name}: non-numeric report_version"));
+        assert!(
+            version >= 1.0,
+            "{name}: report_version {version} out of range"
+        );
+        let bench = doc
+            .get("bench")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("{name}: missing bench name"));
+        assert_eq!(
+            name,
+            format!("BENCH_{bench}.json"),
+            "{name}: bench field must match the file name"
+        );
+        let points = doc
+            .get("points")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("{name}: missing points array"));
+        assert!(!points.is_empty(), "{name}: no points");
+        for p in points {
+            assert!(
+                p.get("label").and_then(Value::as_str).is_some(),
+                "{name}: point without a label"
+            );
+            assert!(p.get("metrics").is_some(), "{name}: point without metrics");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} reports found in results/");
+}

@@ -84,6 +84,11 @@ impl Engine {
 
         let residents = self.page_table.residents_of(victim);
         let n = residents.len();
+        self.trace.emit(crate::trace::TraceEvent::CleanStart {
+            position: pos,
+            victim,
+            live_pages: n as u32,
+        });
         let shed_n = (plan.total as usize).min(n);
         // §4.3: pages headed for a higher-numbered (colder) partition are
         // taken from the beginning (the cold end); pages headed lower are
@@ -118,6 +123,10 @@ impl Engine {
             self.stats.clean_programs.incr();
             if is_shed {
                 self.stats.shed_programs.incr();
+                self.trace.emit(crate::trace::TraceEvent::Shed {
+                    lp,
+                    to_segment: to_seg,
+                });
             }
             ops.push(BgOp {
                 bank: self.flash.bank_of(to_seg),
@@ -133,6 +142,8 @@ impl Engine {
         }
         self.complete_clean_tail(pos, victim, dest, ops)?;
         self.stats.cleans.incr();
+        self.trace
+            .emit(crate::trace::TraceEvent::CleanEnd { victim });
         Ok(())
     }
 
@@ -204,6 +215,8 @@ impl Engine {
                 Err(FlashError::ProgramFailed { .. }) => {
                     self.stats.program_faults.incr();
                     self.stats.program_retries.incr();
+                    self.trace
+                        .emit(crate::trace::TraceEvent::ProgramFault { segment: seg });
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -221,6 +234,8 @@ impl Engine {
                 Err(FlashError::EraseFailed { .. }) => {
                     self.stats.erase_faults.incr();
                     self.stats.erase_retries.incr();
+                    self.trace
+                        .emit(crate::trace::TraceEvent::EraseFault { segment: seg });
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -290,6 +305,10 @@ impl Engine {
             return Err(EnvyError::PowerLoss);
         }
         let t = self.erase_retrying(victim)?;
+        self.trace.emit(crate::trace::TraceEvent::Erase {
+            segment: victim,
+            cycles: self.flash.erase_cycles(victim),
+        });
         ops.push(BgOp {
             bank: self.flash.bank_of(victim),
             kind: BgKind::Erase,

@@ -76,8 +76,11 @@ impl Engine {
         let (t, pg) = loop {
             if !self.has_space(phys) {
                 let npos = self.policy_flush_target(origin, ops)?;
+                let exhausted = phys;
                 phys = self.order[npos as usize];
                 self.stats.program_remaps.incr();
+                self.trace
+                    .emit(crate::trace::TraceEvent::Remap { segment: exhausted });
             }
             let pg = self.write_cursor(phys);
             let data = self.buffer.peek_tail().and_then(|t| t.data.as_deref());
@@ -86,6 +89,8 @@ impl Engine {
                 Err(FlashError::ProgramFailed { .. }) => {
                     self.stats.program_faults.incr();
                     self.stats.program_retries.incr();
+                    self.trace
+                        .emit(crate::trace::TraceEvent::ProgramFault { segment: phys });
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -102,6 +107,10 @@ impl Engine {
         self.crash_point(InjectionPoint::FlushAfterMap)?;
         let page = self.buffer.pop_tail().expect("peeked above");
         self.stats.pages_flushed.incr();
+        self.trace.emit(crate::trace::TraceEvent::Flush {
+            lp: logical,
+            segment: phys,
+        });
         self.flush_clock += 1;
         self.seg_last_write[phys as usize] = self.flush_clock;
         ops.push(BgOp {

@@ -119,6 +119,7 @@ impl Engine {
                 let found = self.buffer.write(lp, offset, bytes);
                 debug_assert!(found, "SRAM mapping must be buffered");
                 self.stats.sram_write_hits.incr();
+                self.trace.emit(crate::trace::TraceEvent::BufferHit { lp });
                 Ok(WriteResult {
                     kind: WriteKind::SramHit,
                 })
@@ -153,6 +154,10 @@ impl Engine {
                 self.page_table.map_sram(lp);
                 self.mmu.invalidate(lp);
                 self.stats.cow_ops.incr();
+                self.trace.emit(crate::trace::TraceEvent::Cow {
+                    lp,
+                    segment: loc.segment,
+                });
                 let bank = self.flash.bank_of(loc.segment);
                 self.maybe_flush(ops)?;
                 Ok(WriteResult {
@@ -175,6 +180,7 @@ impl Engine {
                 self.page_table.map_sram(lp);
                 self.mmu.invalidate(lp);
                 self.stats.fresh_allocs.incr();
+                self.trace.emit(crate::trace::TraceEvent::FreshAlloc { lp });
                 self.maybe_flush(ops)?;
                 Ok(WriteResult {
                     kind: WriteKind::Fresh,

@@ -92,6 +92,9 @@ pub struct Engine {
     /// Armed fault-injection state ([`FaultPlan`]); `None` when running
     /// clean. Boxed so the unarmed fast path carries one pointer.
     pub(crate) faults: Option<Box<faults::FaultState>>,
+    /// Structured event trace ([`crate::trace::TraceRing`]); disabled by
+    /// default and behavior-neutral when enabled.
+    pub(crate) trace: crate::trace::TraceRing,
 }
 
 impl Engine {
@@ -142,6 +145,7 @@ impl Engine {
             seg_last_write: vec![0; geo.segments() as usize],
             flush_clock: 0,
             faults: None,
+            trace: crate::trace::TraceRing::default(),
         })
     }
 
@@ -164,12 +168,23 @@ impl Engine {
         forked.mmu.reset_stats();
         forked.flash.reset_stats();
         forked.disarm_faults();
+        forked.trace.clear();
         forked
     }
 
     /// Controller statistics.
     pub fn stats(&self) -> &EnvyStats {
         &self.stats
+    }
+
+    /// The structured event trace (disabled by default).
+    pub fn trace(&self) -> &crate::trace::TraceRing {
+        &self.trace
+    }
+
+    /// Mutable trace access (enable/disable, timestamp advance).
+    pub fn trace_mut(&mut self) -> &mut crate::trace::TraceRing {
+        &mut self.trace
     }
 
     /// MMU hit/miss accounting.

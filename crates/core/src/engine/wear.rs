@@ -48,6 +48,8 @@ impl Engine {
         result?;
         self.wear_parked = Some(worn);
         self.stats.wear_swaps.incr();
+        self.trace
+            .emit(crate::trace::TraceEvent::WearSwap { worn, young });
         Ok(())
     }
 

@@ -45,12 +45,16 @@ pub mod page_table;
 pub mod params;
 pub mod stats;
 pub mod store;
+pub mod telemetry;
 pub mod timing;
+pub mod trace;
 
 pub use config::{EnvyConfig, PolicyKind};
 pub use engine::{Engine, FaultPlan, InjectionPoint, ReadSource, RecoveryReport, WriteKind};
 pub use error::EnvyError;
 pub use memory::{Memory, VecMemory};
 pub use stats::{lifetime_days, EnvyStats, TimeBreakdown};
-pub use store::{EnvyStore, TimedAccess};
+pub use store::{EnvyStore, TimedAccess, SAMPLER_COLUMNS};
+pub use telemetry::{SegmentReport, SegmentSnapshot};
 pub use timing::{BgKind, BgOp};
+pub use trace::{TraceEvent, TraceRecord, TraceRing};

@@ -9,7 +9,7 @@ use envy_sim::time::Ns;
 /// §4.1 definition: "the number of Flash program operations performed by
 /// the cleaning algorithm for every page that is flushed from the write
 /// buffer" — it excludes reads and the initial flush program itself.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnvyStats {
     /// Host read accesses (word-granularity).
     pub host_reads: Counter,

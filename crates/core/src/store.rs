@@ -20,7 +20,36 @@ use crate::error::EnvyError;
 use crate::memory::Memory;
 use crate::stats::EnvyStats;
 use crate::timing::{BgOp, TimingState};
+use crate::trace::{TraceEvent, TraceRing};
+use envy_sim::stats::TimeSeries;
 use envy_sim::time::Ns;
+
+/// Columns of the store's periodic time series (see
+/// [`EnvyStore::enable_sampler`]): per-window host word counts and
+/// controller activity, the per-window cleaning cost, and instantaneous
+/// backlog and buffer occupancy at the sample point.
+pub const SAMPLER_COLUMNS: &[&str] = &[
+    "host_reads",
+    "host_writes",
+    "pages_flushed",
+    "clean_programs",
+    "erases",
+    "cleaning_cost",
+    "backlog_us",
+    "buffer_pages",
+];
+
+/// Periodic sampler state: the series plus the counter values at the end
+/// of the previous window (so each row holds per-window deltas).
+#[derive(Debug)]
+struct Sampler {
+    series: TimeSeries,
+    last_reads: u64,
+    last_writes: u64,
+    last_flushes: u64,
+    last_cleans: u64,
+    last_erases: u64,
+}
 
 /// Timing of one host access (a byte range split into word accesses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +85,7 @@ pub struct EnvyStore {
     timing: TimingState,
     clock: Ns,
     ops: Vec<BgOp>,
+    sampler: Option<Sampler>,
 }
 
 impl EnvyStore {
@@ -72,6 +102,7 @@ impl EnvyStore {
             timing,
             clock: Ns::ZERO,
             ops: Vec::new(),
+            sampler: None,
         })
     }
 
@@ -96,6 +127,7 @@ impl EnvyStore {
             timing: TimingState::new(config.parallel_ops, config.resume_gap),
             clock: Ns::ZERO,
             ops: Vec::new(),
+            sampler: None,
         }
     }
 
@@ -107,6 +139,102 @@ impl EnvyStore {
     /// Controller statistics.
     pub fn stats(&self) -> &EnvyStats {
         self.engine.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Start recording controller trace events into a bounded ring of
+    /// `capacity` records. Tracing is behavior-neutral: it changes no
+    /// statistic, timing decision, or device state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.engine.trace_mut().enable(capacity);
+    }
+
+    /// Stop tracing and drop all buffered records.
+    pub fn disable_trace(&mut self) {
+        self.engine.trace_mut().disable();
+    }
+
+    /// The controller trace ring (empty unless [`EnvyStore::enable_trace`]
+    /// was called).
+    pub fn trace(&self) -> &TraceRing {
+        self.engine.trace()
+    }
+
+    /// Start periodic telemetry sampling: every `window` of simulated
+    /// time, one row of [`SAMPLER_COLUMNS`] values is recorded, keeping
+    /// at most `max_rows` recent rows. Samples are taken as timed
+    /// accesses and [`EnvyStore::idle_until`] advance the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `max_rows` is zero.
+    pub fn enable_sampler(&mut self, window: Ns, max_rows: usize) {
+        let stats = self.engine.stats();
+        self.sampler = Some(Sampler {
+            series: TimeSeries::new(window, SAMPLER_COLUMNS, max_rows),
+            last_reads: stats.host_reads.get(),
+            last_writes: stats.host_writes.get(),
+            last_flushes: stats.pages_flushed.get(),
+            last_cleans: stats.clean_programs.get(),
+            last_erases: stats.erases.get(),
+        });
+    }
+
+    /// The sampled time series (`None` unless
+    /// [`EnvyStore::enable_sampler`] was called).
+    pub fn time_series(&self) -> Option<&TimeSeries> {
+        self.sampler.as_ref().map(|s| &s.series)
+    }
+
+    /// Record a sampler row if the current window has elapsed.
+    fn sample_if_due(&mut self) {
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        if !sampler.series.due(self.clock) {
+            return;
+        }
+        let stats = &self.engine.stats;
+        let reads = stats.host_reads.get();
+        let writes = stats.host_writes.get();
+        let flushes = stats.pages_flushed.get();
+        let cleans = stats.clean_programs.get();
+        let erases = stats.erases.get();
+        let d_flush = flushes - sampler.last_flushes;
+        let d_clean = cleans - sampler.last_cleans;
+        // Per-window cleaning cost, same definition as the aggregate
+        // [`crate::stats::EnvyStats::cleaning_cost`]: cleaner programs
+        // per flushed page.
+        let cost = if d_flush == 0 {
+            0.0
+        } else {
+            d_clean as f64 / d_flush as f64
+        };
+        sampler.series.record(
+            self.clock,
+            vec![
+                (reads - sampler.last_reads) as f64,
+                (writes - sampler.last_writes) as f64,
+                d_flush as f64,
+                d_clean as f64,
+                (erases - sampler.last_erases) as f64,
+                cost,
+                self.timing.backlog().as_nanos() as f64 / 1_000.0,
+                self.engine.buffer.len() as f64,
+            ],
+        );
+        sampler.last_reads = reads;
+        sampler.last_writes = writes;
+        sampler.last_flushes = flushes;
+        sampler.last_cleans = cleans;
+        sampler.last_erases = erases;
     }
 
     /// The underlying controller engine (wear reports, invariants, …).
@@ -229,6 +357,7 @@ impl EnvyStore {
         let sram_t = Ns::from_nanos(100);
         let flash_t = cfg.timings.read;
         let mut cursor = 0;
+        self.engine.trace.set_now(start);
         for c in self.engine.addr_map.chunks(addr, buf.len()) {
             let src =
                 self.engine
@@ -251,6 +380,10 @@ impl EnvyStore {
                 }
                 if collided {
                     lat += suspend;
+                    self.engine.trace.set_now(t);
+                    self.engine.trace.emit(TraceEvent::Suspend {
+                        bank: bank.expect("collisions require a bank"),
+                    });
                 }
                 self.engine.stats.host_reads.incr();
                 self.engine.stats.read_latency.record(lat);
@@ -259,6 +392,7 @@ impl EnvyStore {
             }
         }
         self.clock = t;
+        self.sample_if_due();
         Ok(TimedAccess {
             completed: t,
             latency: t - start,
@@ -287,6 +421,7 @@ impl EnvyStore {
         let sram_t = Ns::from_nanos(100);
         let flash_t = cfg.timings.read;
         let mut cursor = 0;
+        self.engine.trace.set_now(start);
         for c in self.engine.addr_map.chunks(addr, bytes.len()) {
             // Buffer-full condition: pages logically flushed but whose
             // program time has not executed still occupy (virtual) frames.
@@ -298,6 +433,10 @@ impl EnvyStore {
                 stall = self
                     .timing
                     .drain_flushes(headroom - 1, &mut self.engine.stats);
+                if stall > Ns::ZERO {
+                    self.engine.trace.set_now(t);
+                    self.engine.trace.emit(TraceEvent::Stall { waited: stall });
+                }
             }
             self.ops.clear();
             let result = self.engine.write_page_bytes(
@@ -333,6 +472,10 @@ impl EnvyStore {
                 }
                 if collided {
                     lat += suspend;
+                    self.engine.trace.set_now(t);
+                    self.engine.trace.emit(TraceEvent::Suspend {
+                        bank: bank.expect("collisions require a bank"),
+                    });
                 }
                 self.engine.stats.host_writes.incr();
                 self.engine.stats.write_latency.record(lat);
@@ -345,6 +488,7 @@ impl EnvyStore {
             }
         }
         self.clock = t;
+        self.sample_if_due();
         Ok(TimedAccess {
             completed: t,
             latency: t - start,
@@ -357,6 +501,8 @@ impl EnvyStore {
     pub fn idle_until(&mut self, now: Ns) {
         self.clock = self.clock.max(now);
         self.timing.run_until(now, &mut self.engine.stats);
+        self.engine.trace.set_now(self.clock);
+        self.sample_if_due();
     }
 
     /// The store's internal clock (completion time of the latest access).
@@ -688,6 +834,63 @@ mod tests {
         assert_eq!(s.stats().host_writes.get(), 1);
         assert_eq!(s.stats().host_reads.get(), 1);
         assert_eq!(s.stats().cow_ops.get(), 1);
+    }
+
+    #[test]
+    fn tracing_is_behavior_neutral_and_captures_events() {
+        // Identical workloads with and without tracing: every statistic
+        // must match (tracing observes, never perturbs), and the traced
+        // run must have captured the controller's transitions.
+        let run = |traced: bool| {
+            let mut s = store();
+            if traced {
+                s.enable_trace(4096);
+            }
+            let pages = s.config().logical_pages;
+            let mut t = Ns::ZERO;
+            for i in 0..3_000u64 {
+                let lp = (i * 13) % pages;
+                let a = s.write_at(t, lp * 256, &[i as u8]).unwrap();
+                t = a.completed;
+            }
+            s
+        };
+        let plain = run(false);
+        let traced = run(true);
+        assert_eq!(plain.stats(), traced.stats());
+        assert_eq!(plain.now(), traced.now());
+        assert!(plain.trace().is_empty());
+        assert!(!traced.trace().is_empty());
+        let evs: Vec<_> = traced.trace().records().map(|r| r.event).collect();
+        assert!(evs.iter().any(|e| matches!(e, TraceEvent::Flush { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CleanStart { .. })));
+        // Timestamps are monotone.
+        let times: Vec<_> = traced.trace().records().map(|r| r.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sampler_records_per_window_rows() {
+        let mut s = store();
+        s.enable_sampler(Ns::from_micros(100), 64);
+        let pages = s.config().logical_pages;
+        let mut t = Ns::ZERO;
+        for i in 0..2_000u64 {
+            let lp = (i * 7) % pages;
+            let a = s.write_at(t, lp * 256, &[1]).unwrap();
+            t = a.completed;
+        }
+        s.idle_until(t + Ns::from_millis(1));
+        let series = s.time_series().expect("sampler enabled");
+        assert_eq!(series.columns(), SAMPLER_COLUMNS);
+        assert!(series.rows().len() >= 2, "windows elapsed");
+        // Host write deltas across rows cannot exceed the total.
+        let writes_col = 1;
+        let total: f64 = series.rows().iter().map(|(_, v)| v[writes_col]).sum();
+        assert!(total <= s.stats().host_writes.get() as f64);
+        assert!(total > 0.0);
     }
 
     #[test]

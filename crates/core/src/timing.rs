@@ -51,6 +51,7 @@ pub struct BgOp {
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     kind: BgKind,
+    bank: u32,
     remaining: Ns,
 }
 
@@ -82,7 +83,9 @@ impl TimingState {
     }
 
     /// Queue background work emitted by the engine. Program and erase
-    /// durations are divided by the §6 parallel-operation factor.
+    /// durations are divided by the §6 parallel-operation factor,
+    /// rounding up so no operation loses time to truncation (a 4 µs
+    /// program at `parallel_ops = 3` costs 1334 ns, never 0).
     pub fn enqueue(&mut self, ops: &[BgOp]) {
         for op in ops {
             if op.kind == BgKind::Flush {
@@ -90,7 +93,10 @@ impl TimingState {
             }
             self.queue.push_back(Pending {
                 kind: op.kind,
-                remaining: op.duration / self.parallel_ops as u64,
+                bank: op.bank,
+                remaining: Ns::from_nanos(
+                    op.duration.as_nanos().div_ceil(self.parallel_ops as u64),
+                ),
             });
         }
     }
@@ -153,19 +159,24 @@ impl TimingState {
     /// SRAM accesses, which do not touch the Flash array and never
     /// suspend anything).
     ///
+    /// Banks are independent (§3.4, §6): only an access to the bank the
+    /// in-progress operation occupies collides with it — other banks'
+    /// arrays stay readable and the background operation keeps running.
+    ///
     /// Returns `true` only when the access interrupted a *running*
-    /// operation — that access pays the suspend-command latency; accesses
-    /// within an ongoing suspension burst find the array already readable
-    /// and merely push the resume point out.
+    /// operation on its own bank — that access pays the suspend-command
+    /// latency; same-bank accesses within an ongoing suspension burst
+    /// find the array already readable and merely push the resume point
+    /// out.
     pub fn host_access(&mut self, now: Ns, bank: Option<u32>, stats: &mut EnvyStats) -> bool {
         self.run_until(now, stats);
-        if bank.is_none() {
+        let Some(bank) = bank else {
             return false;
-        }
+        };
         let busy = self
             .current
             .as_ref()
-            .is_some_and(|op| op.remaining > Ns::ZERO);
+            .is_some_and(|op| op.remaining > Ns::ZERO && op.bank == bank);
         if !busy {
             return false;
         }
@@ -250,12 +261,14 @@ mod tests {
         // Run 1us in; op has 3us left.
         t.run_until(Ns::from_micros(1), &mut stats);
         assert_eq!(t.backlog(), Ns::from_micros(3));
-        // Host Flash access suspends the running op (pays the penalty).
+        // Host Flash access to the op's bank suspends it (pays the
+        // penalty).
         assert!(t.host_access(Ns::from_micros(1), Some(3), &mut stats));
         assert_eq!(stats.suspensions.get(), 1);
-        // 500ns later, within the burst: array already readable, no
-        // penalty, resume point pushed out; no background progress.
-        assert!(!t.host_access(Ns::from_nanos(1_500), Some(7), &mut stats));
+        // 500ns later, within the burst, same bank: array already
+        // readable, no penalty, resume point pushed out; no background
+        // progress.
+        assert!(!t.host_access(Ns::from_nanos(1_500), Some(3), &mut stats));
         assert_eq!(stats.suspensions.get(), 1);
         assert_eq!(t.backlog(), Ns::from_micros(3));
         // SRAM accesses never suspend.
@@ -267,6 +280,80 @@ mod tests {
         assert_eq!(stats.time_clean, Ns::from_micros(4));
         // Suspended-with-work-pending time: 1.0us → 3.5us = 2.5us.
         assert_eq!(stats.time_suspend, Ns::from_nanos(2_500));
+    }
+
+    /// Regression test: `BgOp::bank` used to be dropped on the floor, so
+    /// a host access to bank A suspended a background operation running
+    /// on bank B, contradicting §3.4/§6 bank independence. An access to
+    /// a different bank must neither suspend the operation nor delay it.
+    #[test]
+    fn suspension_only_on_matching_bank() {
+        let mut t = TimingState::new(1, Ns::from_micros(2));
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[op(BgKind::CleanCopy, 4, 2)]);
+        t.run_until(Ns::from_micros(1), &mut stats);
+        assert_eq!(t.backlog(), Ns::from_micros(3));
+        // Bank 5 access: the op occupies bank 2, so bank 5's array is
+        // free — no suspension, no penalty.
+        assert!(!t.host_access(Ns::from_micros(1), Some(5), &mut stats));
+        assert_eq!(stats.suspensions.get(), 0);
+        // The operation keeps running: it finishes its remaining 3us at
+        // 4us, with no suspension gap.
+        t.run_until(Ns::from_micros(10), &mut stats);
+        assert_eq!(t.backlog(), Ns::ZERO);
+        assert_eq!(stats.time_clean, Ns::from_micros(4));
+        assert_eq!(stats.time_suspend, Ns::ZERO);
+        // A matching-bank access against a fresh op does suspend.
+        t.enqueue(&[op(BgKind::CleanCopy, 4, 2)]);
+        t.run_until(Ns::from_micros(11), &mut stats);
+        assert!(t.host_access(Ns::from_micros(11), Some(2), &mut stats));
+        assert_eq!(stats.suspensions.get(), 1);
+    }
+
+    /// Regression test: `enqueue` used truncating division by
+    /// `parallel_ops`, losing up to `parallel_ops - 1` ns per operation
+    /// (short ops could become zero-duration). With round-up division
+    /// the attributed background time is conserved: every op costs
+    /// `ceil(duration / parallel_ops)` and no op with nonzero duration
+    /// vanishes.
+    #[test]
+    fn enqueue_rounds_durations_up_conserving_time() {
+        for parallel in [1u32, 2, 3, 4, 7, 16] {
+            let mut t = TimingState::new(parallel, Ns::ZERO);
+            let mut stats = EnvyStats::default();
+            // Durations chosen to not divide evenly: 1ns, 5ns, 4001ns.
+            let ops = [
+                BgOp {
+                    bank: 0,
+                    kind: BgKind::Flush,
+                    duration: Ns::from_nanos(1),
+                },
+                BgOp {
+                    bank: 1,
+                    kind: BgKind::CleanCopy,
+                    duration: Ns::from_nanos(5),
+                },
+                BgOp {
+                    bank: 2,
+                    kind: BgKind::Erase,
+                    duration: Ns::from_nanos(4_001),
+                },
+            ];
+            t.enqueue(&ops);
+            let expected: u64 = ops
+                .iter()
+                .map(|o| o.duration.as_nanos().div_ceil(parallel as u64))
+                .sum();
+            assert_eq!(t.backlog(), Ns::from_nanos(expected), "p={parallel}");
+            t.run_until(Ns::from_secs(1), &mut stats);
+            let attributed = stats.time_flush + stats.time_clean + stats.time_erase;
+            assert_eq!(attributed, Ns::from_nanos(expected), "p={parallel}");
+            // No op with nonzero duration may vanish: each contributes
+            // at least 1ns to its own attribution class.
+            assert!(stats.time_flush >= Ns::from_nanos(1), "p={parallel}");
+            assert!(stats.time_clean >= Ns::from_nanos(1), "p={parallel}");
+            assert!(stats.time_erase >= Ns::from_nanos(1), "p={parallel}");
+        }
     }
 
     #[test]
@@ -305,6 +392,58 @@ mod tests {
         assert_eq!(t.backlog(), Ns::from_micros(1)); // 4us / 4
         t.run_until(Ns::from_micros(1), &mut stats);
         assert_eq!(t.pending_flushes(), 0);
+    }
+
+    #[test]
+    fn drain_flushes_accounts_pending_cursor_and_passing_ops() {
+        let mut t = TimingState::new(1, Ns::ZERO);
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[
+            op(BgKind::CleanCopy, 4, 0),
+            op(BgKind::Flush, 4, 1),
+            op(BgKind::Flush, 4, 2),
+            op(BgKind::Flush, 4, 3),
+        ]);
+        assert_eq!(t.pending_flushes(), 3);
+        // Partially execute the clean copy: 2us done, 2us remaining.
+        t.run_until(Ns::from_micros(2), &mut stats);
+        assert_eq!(stats.time_clean, Ns::from_micros(2));
+        assert_eq!(t.cursor(), Ns::from_micros(2));
+        // Drain until one flush remains: finishes the partially-executed
+        // current op (2us, attributed as cleaning — a non-flush op
+        // drained in passing) plus two full flushes (8us).
+        let spent = t.drain_flushes(1, &mut stats);
+        assert_eq!(spent, Ns::from_micros(10));
+        assert_eq!(t.pending_flushes(), 1);
+        // Only the remaining portion of the current op is charged.
+        assert_eq!(stats.time_clean, Ns::from_micros(4));
+        assert_eq!(stats.time_flush, Ns::from_micros(8));
+        // The cursor advances by exactly the drained device time.
+        assert_eq!(t.cursor(), Ns::from_micros(12));
+        assert_eq!(t.backlog(), Ns::from_micros(4));
+        // Draining the rest completes the accounting.
+        let spent = t.drain_flushes(0, &mut stats);
+        assert_eq!(spent, Ns::from_micros(4));
+        assert_eq!(t.pending_flushes(), 0);
+        assert_eq!(stats.time_flush, Ns::from_micros(12));
+        assert_eq!(t.backlog(), Ns::ZERO);
+    }
+
+    #[test]
+    fn drain_flushes_with_partially_executed_flush() {
+        let mut t = TimingState::new(1, Ns::ZERO);
+        let mut stats = EnvyStats::default();
+        t.enqueue(&[op(BgKind::Flush, 4, 0), op(BgKind::Flush, 4, 1)]);
+        // 1us into the first flush.
+        t.run_until(Ns::from_micros(1), &mut stats);
+        assert_eq!(t.pending_flushes(), 2);
+        // Draining to one pending completes only the current flush's
+        // remaining 3us and decrements the pending count once.
+        let spent = t.drain_flushes(1, &mut stats);
+        assert_eq!(spent, Ns::from_micros(3));
+        assert_eq!(t.pending_flushes(), 1);
+        assert_eq!(stats.time_flush, Ns::from_micros(4));
+        assert_eq!(t.cursor(), Ns::from_micros(4));
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod time;
 pub use dist::{Bimodal, Exponential, UniformRange, Zipf};
 pub use event::EventQueue;
 pub use rng::Rng;
-pub use stats::{Counter, Histogram, MeanVar, TimeWeighted};
+pub use stats::{Counter, Histogram, MeanVar, TimeSeries, TimeWeighted};
 pub use time::Ns;

@@ -4,6 +4,8 @@
 //! envy-cli info                          print the paper's configuration
 //! envy-cli cleaning [options]            run a cleaning-cost study
 //! envy-cli tpca [options]                run a timed TPC-A experiment
+//! envy-cli stats [options]               timed run + percentiles, breakdown, wear
+//! envy-cli trace [options]               timed run + controller trace tail
 //! envy-cli trace-gen [options]           generate a TPC-A access trace
 //! envy-cli trace-replay --file <path>    replay a trace on an eNVy store
 //! ```
@@ -26,6 +28,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(),
         "cleaning" => cmd_cleaning(&args[1..]),
         "tpca" => cmd_tpca(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "trace-gen" => cmd_trace_gen(&args[1..]),
         "trace-replay" => cmd_trace_replay(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -57,6 +61,16 @@ commands:
       --rate <tps>          offered transaction rate        (default 10000)
       --txns <n>            measured transactions           (default 20000)
       --util <f>            array utilization               (default 0.8)
+  stats                     timed TPC-A run, then the full observability report:
+                            latency percentiles, busy breakdown, per-segment wear
+      --rate <tps>          offered transaction rate        (default 10000)
+      --txns <n>            measured transactions           (default 20000)
+      --util <f>            array utilization               (default 0.8)
+  trace                     timed TPC-A run, then the controller trace tail
+      --rate <tps>          offered transaction rate        (default 10000)
+      --txns <n>            measured transactions           (default 20000)
+      --util <f>            array utilization               (default 0.8)
+      --last <n>            trace records to print          (default 40)
   trace-gen                 emit a timed TPC-A access trace (text) to stdout
       --rate <tps>          arrival rate                    (default 1000)
       --txns <n>            transactions                    (default 100)
@@ -205,6 +219,145 @@ fn cmd_tpca(args: &[String]) -> Result<(), String> {
             format!("{:.1}%", b.flushing * 100.0),
         ]);
         t.row(&["busy: erasing".into(), format!("{:.1}%", b.erasing * 100.0)]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// Shared timed run behind `stats` and `trace`: build the scaled TPC-A
+/// system, enable the requested observability, run, return the store.
+fn instrumented_run(args: &[String], trace_capacity: Option<usize>) -> Result<EnvyStore, String> {
+    let rate: f64 = opt_parse(args, "--rate", 10_000.0)?;
+    let txns: u64 = opt_parse(args, "--txns", 20_000)?;
+    let util: f64 = opt_parse(args, "--util", 0.8)?;
+    let (mut store, driver) = scaled_tpca(util)?;
+    if let Some(capacity) = trace_capacity {
+        store.enable_trace(capacity);
+    }
+    store.enable_sampler(Ns::from_millis(10), 1_024);
+    run_timed(&mut store, &driver, rate, txns / 10, txns, 42).map_err(|e| e.to_string())?;
+    Ok(store)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let store = instrumented_run(args, None)?;
+    let stats = store.stats();
+
+    println!("-- latency percentiles --");
+    let mut t = Table::new(&["series", "p50", "p95", "p99", "p999", "mean", "max"]);
+    for (name, h) in [
+        ("read", &stats.read_latency),
+        ("write", &stats.write_latency),
+    ] {
+        let p = h.percentiles().ok_or("timed run recorded no latencies")?;
+        let mut row = vec![name.to_string()];
+        row.extend(p.iter().map(ToString::to_string));
+        row.push(h.mean().to_string());
+        row.push(h.max().map_or("-".into(), |m| m.to_string()));
+        t.row(&row);
+    }
+    print!("{}", t.render());
+
+    println!();
+    println!("-- controller activity --");
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["host reads".into(), stats.host_reads.to_string()]);
+    t.row(&["host writes".into(), stats.host_writes.to_string()]);
+    t.row(&["buffer hits".into(), stats.sram_write_hits.to_string()]);
+    t.row(&["copy-on-writes".into(), stats.cow_ops.to_string()]);
+    t.row(&["pages flushed".into(), stats.pages_flushed.to_string()]);
+    t.row(&["cleaner programs".into(), stats.clean_programs.to_string()]);
+    t.row(&["segments cleaned".into(), stats.cleans.to_string()]);
+    t.row(&["erases".into(), stats.erases.to_string()]);
+    t.row(&["suspensions".into(), stats.suspensions.to_string()]);
+    t.row(&["cleaning cost".into(), fmt_f64(stats.cleaning_cost())]);
+    if let Some(b) = stats.breakdown() {
+        t.row(&["busy: reads".into(), format!("{:.1}%", b.reads * 100.0)]);
+        t.row(&[
+            "busy: cleaning".into(),
+            format!("{:.1}%", b.cleaning * 100.0),
+        ]);
+        t.row(&[
+            "busy: flushing".into(),
+            format!("{:.1}%", b.flushing * 100.0),
+        ]);
+        t.row(&["busy: erasing".into(), format!("{:.1}%", b.erasing * 100.0)]);
+    }
+    print!("{}", t.render());
+
+    println!();
+    println!("-- per-segment wear --");
+    let wear = store.engine().segment_report();
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["segments".into(), wear.segments.len().to_string()]);
+    t.row(&[
+        "erase cycles (min/mean/max)".into(),
+        format!(
+            "{} / {} / {}",
+            wear.min_erase_cycles,
+            fmt_f64(wear.mean_erase_cycles),
+            wear.max_erase_cycles
+        ),
+    ]);
+    t.row(&["wear spread".into(), wear.wear_spread().to_string()]);
+    t.row(&["wear imbalance".into(), fmt_f64(wear.wear_imbalance())]);
+    let mut worst: Vec<_> = wear.segments.iter().collect();
+    worst.sort_by(|a, b| {
+        b.erase_cycles
+            .cmp(&a.erase_cycles)
+            .then(a.segment.cmp(&b.segment))
+    });
+    for s in worst.iter().take(3) {
+        t.row(&[
+            format!("most worn: seg {}", s.segment),
+            format!(
+                "{} cycles, bank {}, util {:.2}",
+                s.erase_cycles, s.bank, s.utilization
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+
+    if let Some(series) = store.time_series() {
+        println!();
+        println!(
+            "-- telemetry ({} windows of {}) --",
+            series.rows().len(),
+            series.window()
+        );
+        let mut t = Table::new(&{
+            let mut cols = vec!["window end"];
+            cols.extend(series.columns());
+            cols
+        });
+        let rows = series.rows();
+        let tail = rows.len().saturating_sub(5);
+        for (end, values) in &rows[tail..] {
+            let mut row = vec![end.to_string()];
+            row.extend(values.iter().map(|v| fmt_f64(*v)));
+            t.row(&row);
+        }
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let last: usize = opt_parse(args, "--last", 40)?;
+    let store = instrumented_run(args, Some(65_536))?;
+    let trace = store.trace();
+    println!(
+        "{} events emitted, showing the most recent {}:",
+        trace.total_emitted(),
+        trace.len().min(last)
+    );
+    let mut t = Table::new(&["time", "seq", "event"]);
+    for rec in trace.last(last) {
+        t.row(&[
+            rec.at.to_string(),
+            rec.seq.to_string(),
+            rec.event.to_string(),
+        ]);
     }
     print!("{}", t.render());
     Ok(())
