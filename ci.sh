@@ -42,6 +42,16 @@ ENVY_TRACE=1 cargo run --release -q -p envy-bench --bin fig13_throughput -- --qu
 cmp results/ci_smoke_fig13_plain.txt results/ci_smoke_fig13_traced.txt
 rm -f results/ci_smoke_fig13_plain.txt results/ci_smoke_fig13_traced.txt
 
+echo "== smoke: perf_wallclock --smoke (records, does not gate) =="
+# Wall-clock trajectory: every CI run refreshes results/BENCH_perf_wallclock.json
+# so data-plane slowdowns show up as numbers (see docs/PERFORMANCE.md).
+# No threshold is enforced — wall time on shared runners is too noisy to
+# gate on; the report-schema check below still validates the file.
+cargo run --release -q -p envy-bench --bin perf_wallclock -- --smoke \
+  > results/ci_smoke_perf_wallclock.txt
+test -s results/ci_smoke_perf_wallclock.txt
+test -s results/BENCH_perf_wallclock.json
+
 echo "== report schema check =="
 # Every committed results/BENCH_*.json must parse and carry report_version.
 cargo test --release -q -p envy-bench --test report_schema

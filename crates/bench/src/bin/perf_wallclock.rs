@@ -1,0 +1,160 @@
+//! Wall-clock performance harness: how fast the simulator itself runs.
+//!
+//! Every other binary in `src/bin/` reports *simulated* time; this one
+//! reports *host* time, establishing the repo's wall-clock trajectory so
+//! data-plane regressions show up as numbers rather than as slow CI.
+//! Two fixed-seed scenarios are timed end to end (setup: build + prefill
+//! + churn, then a timed TPC-A run at a fixed request rate):
+//!
+//! * `scaled` — the 256 MB configuration every `--quick` sweep uses;
+//! * `paper` — the paper's 2 GB configuration (Figure 12).
+//!
+//! Per scenario the report records nanoseconds of host time per
+//! transaction, transactions and host word accesses per wall second, the
+//! setup/run split, peak RSS so far (`VmHWM`, cumulative across the
+//! process), and the simulated achieved throughput as a determinism
+//! anchor: the simulated metrics must be bit-identical across runs even
+//! though the wall-clock ones never are.
+//!
+//! Usage: `perf_wallclock [--smoke] [--txns N]`. `--smoke` shrinks the
+//! transaction counts for CI, which records (but does not gate on) the
+//! result; see docs/PERFORMANCE.md for the measurement discipline.
+
+use envy_bench::{arg_u64, emit, timed_system_for, write_report_full};
+use envy_sim::report::{fmt_f64, Table};
+use envy_workload::run_timed;
+use std::time::Instant;
+
+/// Peak resident set size of this process so far, in kilobytes, from
+/// `/proc/self/status` (`VmHWM`); 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+struct Scenario {
+    name: &'static str,
+    paper: bool,
+    rate_tps: u64,
+    txns: u64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scaled_txns = arg_u64("txns", if smoke { 10_000 } else { 100_000 });
+    // The 2 GB system simulates ~5× slower per transaction; keep the
+    // harness under a minute at full size.
+    let paper_txns = arg_u64("paper-txns", if smoke { 2_000 } else { 20_000 });
+    let scenarios = [
+        Scenario {
+            name: "scaled",
+            paper: false,
+            rate_tps: 30_000,
+            txns: scaled_txns,
+        },
+        Scenario {
+            name: "paper",
+            paper: true,
+            rate_tps: 30_000,
+            txns: paper_txns,
+        },
+    ];
+
+    let total = Instant::now();
+    let mut table = Table::new(&[
+        "scenario",
+        "ns/txn",
+        "txn/s (wall)",
+        "word ops/s (wall)",
+        "setup s",
+        "run s",
+        "peak RSS MB",
+        "achieved TPS (sim)",
+    ]);
+    let mut points: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    for sc in &scenarios {
+        let t_setup = Instant::now();
+        let (mut store, driver) = timed_system_for(sc.paper, 0.8);
+        let setup_s = t_setup.elapsed().as_secs_f64();
+
+        let t_run = Instant::now();
+        let result = run_timed(
+            &mut store,
+            &driver,
+            sc.rate_tps as f64,
+            sc.txns / 10,
+            sc.txns,
+            42,
+        )
+        .expect("timed run");
+        let run_s = t_run.elapsed().as_secs_f64();
+
+        let words = store.stats().host_reads.get() + store.stats().host_writes.get();
+        let ns_per_txn = run_s * 1e9 / sc.txns as f64;
+        let txn_per_s = sc.txns as f64 / run_s;
+        let ops_per_s = words as f64 / (setup_s + run_s);
+        let rss_mb = peak_rss_kb() as f64 / 1024.0;
+        table.row(&[
+            format!("{} ({} txns)", sc.name, sc.txns),
+            fmt_f64(ns_per_txn),
+            fmt_f64(txn_per_s),
+            fmt_f64(ops_per_s),
+            fmt_f64(setup_s),
+            fmt_f64(run_s),
+            fmt_f64(rss_mb),
+            fmt_f64(result.achieved_tps),
+        ]);
+        points.push((
+            sc.name.to_string(),
+            vec![
+                ("txns", sc.txns as f64),
+                ("offered_tps", sc.rate_tps as f64),
+                ("ns_per_txn", ns_per_txn),
+                ("txn_per_sec_wall", txn_per_s),
+                ("word_ops_per_sec_wall", ops_per_s),
+                ("setup_seconds", setup_s),
+                ("run_seconds", run_s),
+                ("peak_rss_kb", peak_rss_kb() as f64),
+                ("achieved_tps_sim", result.achieved_tps),
+                ("cleaning_cost_sim", result.cleaning_cost),
+            ],
+        ));
+    }
+
+    // Reference wall-clock numbers for this repo's data-plane overhaul
+    // (interleaved min-of-N on the development machine; the methodology
+    // and full distributions are in docs/PERFORMANCE.md). Kept in the
+    // report so the trajectory has a fixed origin.
+    let reference = concat!(
+        "{\"fig13_scaled_sweep_seconds\": {\"before\": 1.100, \"after\": 0.676},",
+        " \"paper_smoke_seconds\": {\"before\": 4.036, \"after\": 2.543},",
+        " \"method\": \"interleaved min-of-N, --jobs 1, docs/PERFORMANCE.md\"}"
+    );
+
+    write_report_full(
+        "perf_wallclock",
+        1,
+        total.elapsed().as_secs_f64(),
+        &points,
+        &[("overhaul_reference", reference.to_string())],
+    )
+    .expect("write report");
+
+    emit(
+        "perf_wallclock",
+        "simulator wall-clock performance (host time, not simulated time)",
+        &table,
+    );
+}

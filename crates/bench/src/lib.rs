@@ -14,8 +14,8 @@ use envy_sim::report::Table;
 use envy_workload::{AnalyticTpca, TpcaScale};
 
 pub use sweep::{
-    jobs_arg, point_seed, time_series_json, trace_json, write_report_full, PointResult,
-    SweepOutcome, SweepSpec, REPORT_VERSION,
+    jobs_arg, point_seed, render_report, time_series_json, trace_json, write_report_full,
+    PointResult, SweepOutcome, SweepSpec, REPORT_VERSION,
 };
 
 /// The timed TPC-A configuration: the paper's 2 GB array with `--paper`,
@@ -24,7 +24,13 @@ pub use sweep::{
 /// segment size so erase work per reclaimed page matches the paper's
 /// hardware), at the given utilization.
 pub fn timed_config(utilization: f64) -> EnvyConfig {
-    let paper = std::env::args().any(|a| a == "--paper");
+    timed_config_for(std::env::args().any(|a| a == "--paper"), utilization)
+}
+
+/// [`timed_config`] with the scale chosen by the caller instead of
+/// sniffed from the command line — for binaries that run both scales in
+/// one process (see the `perf_wallclock` harness).
+pub fn timed_config_for(paper: bool, utilization: f64) -> EnvyConfig {
     let mut config = if paper {
         EnvyConfig::paper_2gb()
     } else {
@@ -53,7 +59,12 @@ pub fn timed_driver(config: &EnvyConfig) -> AnalyticTpca {
 /// cleaning — the paper measures a long-running system, not a freshly
 /// formatted one.
 pub fn churn_to_steady_state(store: &mut EnvyStore, driver: &AnalyticTpca) {
-    let paper = std::env::args().any(|a| a == "--paper");
+    churn_to_steady_state_for(std::env::args().any(|a| a == "--paper"), store, driver);
+}
+
+/// [`churn_to_steady_state`] with the scale chosen by the caller (the
+/// churn multiple differs between the scaled and 2 GB configurations).
+pub fn churn_to_steady_state_for(paper: bool, store: &mut EnvyStore, driver: &AnalyticTpca) {
     let total = store.config().geometry.total_pages();
     let free = total - store.config().logical_pages;
     let churn = if paper { free * 5 / 2 } else { free * 2 };
@@ -73,11 +84,17 @@ pub fn churn_to_steady_state(store: &mut EnvyStore, driver: &AnalyticTpca) {
 /// Sweeps that vary only workload parameters should build this once and
 /// [`EnvyStore::fork`] it per point instead of rebuilding.
 pub fn timed_system(utilization: f64) -> (EnvyStore, AnalyticTpca) {
-    let config = timed_config(utilization);
+    timed_system_for(std::env::args().any(|a| a == "--paper"), utilization)
+}
+
+/// [`timed_system`] with the scale chosen by the caller instead of
+/// sniffed from the command line.
+pub fn timed_system_for(paper: bool, utilization: f64) -> (EnvyStore, AnalyticTpca) {
+    let config = timed_config_for(paper, utilization);
     let driver = timed_driver(&config);
     let mut store = EnvyStore::new(config).expect("config is valid");
     store.prefill().expect("prefill fits");
-    churn_to_steady_state(&mut store, &driver);
+    churn_to_steady_state_for(paper, &mut store, &driver);
     if let Some(capacity) = trace_capacity_env() {
         store.enable_trace(capacity);
     }

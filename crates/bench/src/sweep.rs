@@ -241,8 +241,9 @@ pub fn write_report_full(
     Ok(path)
 }
 
-/// Render the report document (see [`write_report_full`]).
-pub(crate) fn render_report(
+/// Render the report document (see [`write_report_full`]). Public so
+/// tests can pin the rendered bytes without writing into `results/`.
+pub fn render_report(
     name: &str,
     quick: bool,
     jobs: usize,

@@ -1,0 +1,167 @@
+//! Behavior-neutrality contract for data-plane optimizations.
+//!
+//! The simulator's hot paths are periodically rewritten for wall-clock
+//! speed (O(1) buffer indexing, zero-copy reads, batched timing
+//! enqueue); none of that may change *simulated* behavior. These tests
+//! pin seeded end-to-end runs — TPC-A through the timed store, the
+//! hot/cold synthetic cleaning study, and a functional (payload-storing)
+//! workload — to golden digests captured before the optimizations
+//! landed. Every statistic, the final simulated clock, the telemetry
+//! rows, and the rendered report JSON participate in the digest, so any
+//! drift in simulated time, cleaning decisions, or data contents fails
+//! loudly.
+//!
+//! When a PR *intends* to change simulated behavior (a model fix, not an
+//! optimization), regenerate the goldens by running with
+//! `GOLDEN_PRINT=1` and updating the constants — and say so in the PR.
+
+use envy_bench::render_report;
+use envy_core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy_sim::time::Ns;
+use envy_workload::{run_timed, AnalyticTpca, CleaningStudy, TpcaScale};
+
+/// FNV-1a over a string: stable, dependency-free digest.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assert a digest matches its golden, or print it for (re)capture when
+/// `GOLDEN_PRINT=1`.
+fn check(name: &str, rendered: &str, golden: u64) {
+    let d = fnv1a(rendered);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        eprintln!("GOLDEN {name} = 0x{d:016x}");
+        eprintln!("---- {name} ----\n{rendered}\n----");
+        return;
+    }
+    assert_eq!(
+        d, golden,
+        "{name}: simulated behavior drifted from the golden digest.\n\
+         Rendered state:\n{rendered}\n\
+         If this change is intentional, re-capture with GOLDEN_PRINT=1."
+    );
+}
+
+const GOLDEN_TPCA_TIMED: u64 = 0x395a8091708e5997;
+const GOLDEN_HOT_COLD: u64 = 0xecbf35672a43a528;
+const GOLDEN_FUNCTIONAL: u64 = 0x17ec079093a63c29;
+const GOLDEN_REPORT_JSON: u64 = 0x844d6103010e5371;
+
+/// Seeded timed TPC-A through the store: the fig13/fig15 shape, scaled
+/// down. Exercises COW, flushing, cleaning, suspension and stalls; the
+/// digest covers every statistic and the final simulated clock.
+#[test]
+fn tpca_timed_run_matches_golden() {
+    // Must be large enough for TPC-A's minimum 1-branch layout (~12 MB).
+    let mut config = EnvyConfig::scaled(4, 64, 2048, 256)
+        .with_store_data(false)
+        .with_utilization(0.8);
+    config.word_bytes = 8;
+    let driver = AnalyticTpca::new(TpcaScale::fit_bytes(config.logical_bytes()));
+    let mut store = EnvyStore::new(config).expect("valid config");
+    store.prefill().expect("prefill fits");
+    // Churn (untimed) past the free space so the timed window below runs
+    // at cleaning steady state — the golden must cover CleanCopy/Erase
+    // background ops interacting with the simulated clock.
+    let free = store.config().geometry.total_pages() - store.config().logical_pages;
+    let mut rng = envy_sim::rng::Rng::seed_from(0xC0FFEE);
+    let accounts = driver.layout().scale.accounts();
+    for _ in 0..free * 2 {
+        let addr = driver.layout().account_addr(rng.below(accounts));
+        store.write(addr, &[0u8; 8]).expect("churn write");
+    }
+    store.enable_sampler(Ns::from_micros(500), 32);
+    let result = run_timed(&mut store, &driver, 30_000.0, 500, 5_000, 42).expect("timed run");
+    let series: Vec<String> = store
+        .time_series()
+        .expect("sampler enabled")
+        .rows()
+        .iter()
+        .map(|(end, vals)| format!("{}:{vals:?}", end.as_nanos()))
+        .collect();
+    let rendered = format!(
+        "result={result:?}\nnow={}\nbacklog={}\nstats={:?}\nseries={series:?}",
+        store.now().as_nanos(),
+        store.backlog().as_nanos(),
+        store.stats(),
+    );
+    check("GOLDEN_TPCA_TIMED", &rendered, GOLDEN_TPCA_TIMED);
+}
+
+/// Seeded hot/cold synthetic cleaning study (the fig06/fig08 shape):
+/// exercises locality gathering, shedding, and steady-state cleaning.
+#[test]
+fn hot_cold_synthetic_matches_golden() {
+    let outcome = CleaningStudy::sized(32, 128, PolicyKind::paper_default(), (10, 90))
+        .run()
+        .expect("study runs");
+    check("GOLDEN_HOT_COLD", &format!("{outcome:?}"), GOLDEN_HOT_COLD);
+}
+
+/// Functional run with payload storage: byte-exact contents survive
+/// buffered rewrites, flushes, cleans and transactions. Exercises the
+/// zero-copy read path and the combined insert-and-write entry point.
+#[test]
+fn functional_payload_run_matches_golden() {
+    let mut store = EnvyStore::new(EnvyConfig::small_test()).expect("valid config");
+    store.prefill().expect("prefill fits");
+    let pages = store.config().logical_pages;
+    // Mixed-size writes at page-straddling offsets, seeded.
+    let mut rng = envy_sim::rng::Rng::seed_from(0xBEEF);
+    for i in 0..6_000u64 {
+        let lp = rng.below(pages);
+        let offset = rng.below(200);
+        let len = 1 + rng.below(48) as usize;
+        let byte = (i % 251) as u8;
+        store.write(lp * 256 + offset, &vec![byte; len]).unwrap();
+        if i % 97 == 0 {
+            let txn = store.txn_begin().unwrap();
+            store
+                .write((lp * 256 + 300) % store.size(), &[0xAA])
+                .unwrap();
+            if i % 194 == 0 {
+                store.txn_abort(txn).unwrap();
+            } else {
+                store.txn_commit(txn).unwrap();
+            }
+        }
+    }
+    store.flush_all().unwrap();
+    store.check_invariants().unwrap();
+    // Checksum the whole logical array so data placement AND contents
+    // are pinned.
+    let mut sum = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf = vec![0u8; 4096];
+    let mut addr = 0;
+    while addr < store.size() {
+        let n = (store.size() - addr).min(4096) as usize;
+        store.read(addr, &mut buf[..n]).unwrap();
+        for b in &buf[..n] {
+            sum ^= u64::from(*b);
+            sum = sum.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        addr += n as u64;
+    }
+    let rendered = format!("checksum={sum:#x}\nstats={:?}", store.stats());
+    check("GOLDEN_FUNCTIONAL", &rendered, GOLDEN_FUNCTIONAL);
+}
+
+/// The rendered report document for fixed inputs is byte-stable — the
+/// `results/BENCH_*.json` trajectory must not silently change shape.
+#[test]
+fn report_json_rendering_matches_golden() {
+    let points = vec![
+        (
+            "p0".to_string(),
+            vec![("achieved_tps", 12345.5f64), ("cleaning_cost", 1.377)],
+        ),
+        ("p1".to_string(), vec![("ns_per_txn", 0.25f64)]),
+    ];
+    let json = render_report("unit_golden", false, 1, 0.0, &points, &[]);
+    check("GOLDEN_REPORT_JSON", &json, GOLDEN_REPORT_JSON);
+}

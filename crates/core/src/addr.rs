@@ -28,6 +28,10 @@ pub enum Location {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddrMap {
     page_bytes: u64,
+    /// `log2(page_bytes)` when the page size is a power of two (every
+    /// shipped geometry), so the per-access page/offset split is a
+    /// shift/mask instead of two 64-bit divisions on the timed hot path.
+    shift: Option<u32>,
 }
 
 impl AddrMap {
@@ -40,6 +44,9 @@ impl AddrMap {
         assert!(page_bytes > 0, "page size must be non-zero");
         AddrMap {
             page_bytes: page_bytes as u64,
+            shift: page_bytes
+                .is_power_of_two()
+                .then(|| page_bytes.trailing_zeros()),
         }
     }
 
@@ -49,13 +56,21 @@ impl AddrMap {
     }
 
     /// The logical page containing `addr`.
+    #[inline]
     pub fn page_of(&self, addr: u64) -> LogicalPage {
-        addr / self.page_bytes
+        match self.shift {
+            Some(s) => addr >> s,
+            None => addr / self.page_bytes,
+        }
     }
 
     /// Byte offset of `addr` within its page.
+    #[inline]
     pub fn offset_of(&self, addr: u64) -> usize {
-        (addr % self.page_bytes) as usize
+        match self.shift {
+            Some(_) => (addr & (self.page_bytes - 1)) as usize,
+            None => (addr % self.page_bytes) as usize,
+        }
     }
 
     /// Split `[addr, addr + len)` into per-page `(page, offset, len)`

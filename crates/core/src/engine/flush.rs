@@ -113,11 +113,7 @@ impl Engine {
         });
         self.flush_clock += 1;
         self.seg_last_write[phys as usize] = self.flush_clock;
-        ops.push(BgOp {
-            bank: self.flash.bank_of(phys),
-            kind: BgKind::Flush,
-            duration: t,
-        });
+        ops.push(BgOp::once(self.flash.bank_of(phys), BgKind::Flush, t));
         // The frame's contents are now in Flash; hand it back so the next
         // copy-on-write insert reuses it instead of allocating.
         if let Some(frame) = page.data {

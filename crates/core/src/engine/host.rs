@@ -61,6 +61,7 @@ impl Engine {
     ///
     /// [`EnvyError::OutOfBounds`] if the page is outside the logical
     /// array.
+    #[inline]
     pub fn read_page_bytes(
         &mut self,
         lp: LogicalPage,
@@ -70,22 +71,23 @@ impl Engine {
         self.check_page(lp, offset, buf.len())?;
         match self.page_table.lookup(lp) {
             Location::Sram => {
-                let found = self.buffer.read(lp, offset, buf);
-                debug_assert!(found, "SRAM mapping must be buffered");
-                if self.buffer.get(lp).is_none_or(|p| p.data.is_none()) {
-                    buf.fill(0xFF);
+                // One probe answers both residency and payload presence;
+                // a payload-less frame (store_data off) reads as erased.
+                match self.buffer.read_into(lp, offset, buf) {
+                    Some(true) => {}
+                    Some(false) => buf.fill(0xFF),
+                    None => {
+                        debug_assert!(false, "SRAM mapping must be buffered");
+                        buf.fill(0xFF);
+                    }
                 }
                 Ok(ReadSource::Sram)
             }
             Location::Flash(loc) => {
-                if self.flash.stores_data() {
-                    self.flash
-                        .read_page(loc.segment, loc.page, Some(&mut self.scratch))?;
-                    buf.copy_from_slice(&self.scratch[offset..offset + buf.len()]);
-                } else {
-                    self.flash.read_page(loc.segment, loc.page, None)?;
-                    buf.fill(0xFF);
-                }
+                // Zero-copy: the sub-page range lands straight in the
+                // caller's slice instead of round-tripping through scratch.
+                self.flash
+                    .read_page_into(loc.segment, loc.page, offset, buf)?;
                 Ok(ReadSource::Flash {
                     bank: self.flash.bank_of(loc.segment),
                 })
@@ -131,20 +133,24 @@ impl Engine {
                 while self.buffer.is_full() {
                     self.flush_tail(ops)?;
                 }
-                let initial = if self.flash.stores_data() {
-                    self.flash
-                        .read_page(loc.segment, loc.page, Some(&mut self.scratch))?;
-                    Some(&self.scratch[..])
-                } else {
-                    self.flash.read_page(loc.segment, loc.page, None)?;
-                    None
-                };
                 let origin = self.pos_of[loc.segment as usize];
                 debug_assert_ne!(origin, crate::engine::POS_NONE, "live data in the spare");
-                self.buffer
-                    .insert(lp, Some(origin), initial)
-                    .expect("buffer has space after flushing");
-                self.buffer.write(lp, offset, bytes);
+                // One probe claims the SRAM frame; the Flash original is
+                // read straight into it and the host bytes applied on top
+                // (no scratch round-trip, no second index probe).
+                match self
+                    .buffer
+                    .insert_frame(lp, Some(origin))
+                    .expect("buffer has space after flushing")
+                {
+                    Some(frame) => {
+                        self.flash.read_page_into(loc.segment, loc.page, 0, frame)?;
+                        frame[offset..offset + bytes.len()].copy_from_slice(bytes);
+                    }
+                    None => {
+                        self.flash.read_page(loc.segment, loc.page, None)?;
+                    }
+                }
                 // §6: the invalidated original is a free shadow copy for
                 // an open transaction.
                 if let Some(txn) = self.active_txn {
@@ -173,10 +179,14 @@ impl Engine {
                 if self.active_txn.is_some() {
                     self.txn_fresh.insert(lp);
                 }
-                self.buffer
-                    .insert(lp, None, None)
-                    .expect("buffer has space after flushing");
-                self.buffer.write(lp, offset, bytes);
+                if let Some(frame) = self
+                    .buffer
+                    .insert_frame(lp, None)
+                    .expect("buffer has space after flushing")
+                {
+                    frame.fill(0xFF);
+                    frame[offset..offset + bytes.len()].copy_from_slice(bytes);
+                }
                 self.page_table.map_sram(lp);
                 self.mmu.invalidate(lp);
                 self.stats.fresh_allocs.incr();

@@ -89,6 +89,10 @@ pub struct Engine {
     pub(crate) flush_clock: u64,
     /// Scratch page buffer reused by copies.
     pub(crate) scratch: Vec<u8>,
+    /// Persistent resident-scan buffer reused by cleaning and wear
+    /// leveling, so a paper-scale clean does not allocate a fresh list of
+    /// up to 65 536 residents per victim.
+    pub(crate) resident_scan: Vec<(u32, crate::addr::LogicalPage)>,
     /// Armed fault-injection state ([`FaultPlan`]); `None` when running
     /// clean. Boxed so the unarmed fast path carries one pointer.
     pub(crate) faults: Option<Box<faults::FaultState>>,
@@ -110,6 +114,7 @@ impl Engine {
         let buffer = WriteBuffer::new(
             config.buffer_pages,
             geo.page_bytes() as usize,
+            config.logical_pages,
             config.store_data,
         );
         let page_table = PageTable::new(config.logical_pages, &geo);
@@ -125,6 +130,7 @@ impl Engine {
         Ok(Engine {
             addr_map: AddrMap::new(geo.page_bytes()),
             scratch: vec![0xFF; geo.page_bytes() as usize],
+            resident_scan: Vec::new(),
             config,
             flash,
             buffer,

@@ -190,11 +190,11 @@ impl Engine {
                 None,
             )?;
             self.stats.clean_programs.incr();
-            ops.push(BgOp {
-                bank: self.flash.bank_of(dest),
-                kind: crate::timing::BgKind::CleanCopy,
-                duration: t,
-            });
+            ops.push(BgOp::once(
+                self.flash.bank_of(dest),
+                crate::timing::BgKind::CleanCopy,
+                t,
+            ));
         }
         self.complete_clean_tail(pos, victim, dest, ops)?;
         self.stats.cleans.incr();

@@ -108,8 +108,18 @@ impl Engine {
         to: u32,
         ops: &mut Vec<BgOp>,
     ) -> Result<(), EnvyError> {
-        for (page, lp) in self.page_table.residents_of(from) {
-            let t = self.copy_flash_page(
+        // Same batched shape as `clean_inner`: reuse the persistent scan
+        // buffer and coalesce the per-page WearCopy stream; early exits
+        // still flush the batch and hand the buffer back.
+        let residents = {
+            let mut buf = std::mem::take(&mut self.resident_scan);
+            self.page_table.residents_into(from, &mut buf);
+            buf
+        };
+        let mut batch = crate::timing::BgBatcher::new();
+        let mut failure = None;
+        for &(page, lp) in &residents {
+            let t = match self.copy_flash_page(
                 crate::addr::FlashLocation {
                     segment: from,
                     page,
@@ -117,14 +127,24 @@ impl Engine {
                 to,
                 lp,
                 Some(InjectionPoint::WearDuringCopy),
-            )?;
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
             self.stats.wear_programs.incr();
-            ops.push(BgOp {
-                bank: self.flash.bank_of(to),
-                kind: BgKind::WearCopy,
-                duration: t,
-            });
-            self.crash_point(InjectionPoint::WearAfterCopy)?;
+            batch.add(self.flash.bank_of(to), BgKind::WearCopy, t, ops);
+            if let Err(e) = self.crash_point(InjectionPoint::WearAfterCopy) {
+                failure = Some(e);
+                break;
+            }
+        }
+        batch.finish(ops);
+        self.resident_scan = residents;
+        if let Some(e) = failure {
+            return Err(e);
         }
         for (page, lp) in self.shadows.residents_of(from) {
             if self.flash.stores_data() {
@@ -142,11 +162,7 @@ impl Engine {
                 },
             );
             self.stats.wear_programs.incr();
-            ops.push(BgOp {
-                bank: self.flash.bank_of(to),
-                kind: BgKind::WearCopy,
-                duration: t,
-            });
+            ops.push(BgOp::once(self.flash.bank_of(to), BgKind::WearCopy, t));
             self.crash_point(InjectionPoint::WearAfterCopy)?;
         }
         Ok(())

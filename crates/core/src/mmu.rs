@@ -13,13 +13,24 @@
 use crate::addr::LogicalPage;
 use envy_sim::stats::Counter;
 
+/// Tag value for an empty MMU slot. Logical page numbers are bounded far
+/// below `u64::MAX` by the configuration's logical array size, so the
+/// sentinel can never collide with a real tag; packing tags as bare `u64`
+/// halves the table versus `Option<u64>` and drops the discriminant
+/// compare from the per-access hit check.
+const TAG_EMPTY: u64 = u64::MAX;
+
 /// Direct-mapped translation cache with hit/miss accounting.
 ///
 /// A zero-entry cache is legal and misses on every access (used to
 /// quantify the MMU's benefit in ablation runs).
 #[derive(Debug, Clone)]
 pub struct Mmu {
-    tags: Vec<Option<LogicalPage>>,
+    tags: Vec<u64>,
+    /// `entries - 1` when the slot count is a power of two (every shipped
+    /// configuration), so the per-access slot computation is a mask
+    /// instead of a 64-bit modulo. The mapping is identical either way.
+    mask: Option<u64>,
     hits: Counter,
     misses: Counter,
 }
@@ -28,7 +39,8 @@ impl Mmu {
     /// Create a cache with `entries` direct-mapped slots.
     pub fn new(entries: usize) -> Mmu {
         Mmu {
-            tags: vec![None; entries],
+            tags: vec![TAG_EMPTY; entries],
+            mask: (entries.is_power_of_two()).then(|| entries as u64 - 1),
             hits: Counter::default(),
             misses: Counter::default(),
         }
@@ -39,19 +51,29 @@ impl Mmu {
         self.tags.len()
     }
 
+    #[inline]
+    fn slot(&self, lp: LogicalPage) -> usize {
+        match self.mask {
+            Some(m) => (lp & m) as usize,
+            None => (lp % self.tags.len() as u64) as usize,
+        }
+    }
+
     /// Look up a translation; records and returns whether it hit, and
     /// fills the slot on a miss.
+    #[inline]
     pub fn access(&mut self, lp: LogicalPage) -> bool {
         if self.tags.is_empty() {
             self.misses.incr();
             return false;
         }
-        let slot = (lp % self.tags.len() as u64) as usize;
-        if self.tags[slot] == Some(lp) {
+        debug_assert_ne!(lp, TAG_EMPTY, "logical page collides with the empty tag");
+        let slot = self.slot(lp);
+        if self.tags[slot] == lp {
             self.hits.incr();
             true
         } else {
-            self.tags[slot] = Some(lp);
+            self.tags[slot] = lp;
             self.misses.incr();
             false
         }
@@ -63,15 +85,15 @@ impl Mmu {
         if self.tags.is_empty() {
             return;
         }
-        let slot = (lp % self.tags.len() as u64) as usize;
-        if self.tags[slot] == Some(lp) {
-            self.tags[slot] = None;
+        let slot = self.slot(lp);
+        if self.tags[slot] == lp {
+            self.tags[slot] = TAG_EMPTY;
         }
     }
 
     /// Drop every translation (power failure: the MMU is volatile).
     pub fn invalidate_all(&mut self) {
-        self.tags.fill(None);
+        self.tags.fill(TAG_EMPTY);
     }
 
     /// Hits so far.

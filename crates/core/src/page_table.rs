@@ -13,7 +13,40 @@
 use crate::addr::{FlashLocation, Location, LogicalPage};
 use envy_flash::FlashGeometry;
 
-const NO_PAGE: u64 = u64::MAX;
+/// Reverse-map encoding: `0` = empty, else `logical page + 1`. The zero
+/// empty value lets the allocator hand back lazily-zeroed pages instead
+/// of eagerly writing a sentinel across the whole (multi-megabyte at
+/// paper scale) table, and `u32` halves the clone cost of
+/// [`EnvyStore::fork`](crate::store::EnvyStore::fork).
+const REV_EMPTY: u32 = 0;
+
+/// Forward-map encoding: one word per logical page instead of a 12-byte
+/// [`Location`], shrinking the hottest lookup table by a third.
+const FWD_UNMAPPED: u64 = 0;
+const FWD_SRAM: u64 = 1;
+/// Flash locations are stored as `((segment << 32) | page) + FWD_FLASH_BASE`.
+const FWD_FLASH_BASE: u64 = 2;
+
+#[inline]
+fn fwd_encode_flash(loc: FlashLocation) -> u64 {
+    debug_assert!(loc.page < u32::MAX - 1, "page index near u32::MAX");
+    (((loc.segment as u64) << 32) | loc.page as u64) + FWD_FLASH_BASE
+}
+
+#[inline]
+fn fwd_decode(v: u64) -> Location {
+    match v {
+        FWD_UNMAPPED => Location::Unmapped,
+        FWD_SRAM => Location::Sram,
+        v => {
+            let packed = v - FWD_FLASH_BASE;
+            Location::Flash(FlashLocation {
+                segment: (packed >> 32) as u32,
+                page: packed as u32,
+            })
+        }
+    }
+}
 
 /// Forward (logical → physical) and reverse (physical → logical) page
 /// mappings.
@@ -34,23 +67,37 @@ const NO_PAGE: u64 = u64::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    forward: Vec<Location>,
-    /// `reverse[segment][page]` = logical page stored there, or `NO_PAGE`.
-    reverse: Vec<Vec<u64>>,
+    /// Packed forward map; see [`fwd_decode`].
+    forward: Vec<u64>,
+    /// Flat reverse map (`segment * pages_per_segment + page`); see
+    /// [`REV_EMPTY`].
+    reverse: Vec<u32>,
     pages_per_segment: u32,
 }
 
 impl PageTable {
     /// Create a table for `logical_pages` logical pages over the given
     /// Flash geometry, with everything unmapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_pages` does not fit the reverse map's `u32`
+    /// encoding (over four billion pages).
     pub fn new(logical_pages: u64, geo: &FlashGeometry) -> PageTable {
+        assert!(
+            logical_pages < u32::MAX as u64,
+            "logical page count exceeds the reverse-map encoding"
+        );
         PageTable {
-            forward: vec![Location::Unmapped; logical_pages as usize],
-            reverse: (0..geo.segments())
-                .map(|_| vec![NO_PAGE; geo.pages_per_segment() as usize])
-                .collect(),
+            forward: vec![FWD_UNMAPPED; logical_pages as usize],
+            reverse: vec![REV_EMPTY; geo.segments() as usize * geo.pages_per_segment() as usize],
             pages_per_segment: geo.pages_per_segment(),
         }
+    }
+
+    #[inline]
+    fn rev_index(&self, segment: u32, page: u32) -> usize {
+        segment as usize * self.pages_per_segment as usize + page as usize
     }
 
     /// Number of logical pages.
@@ -63,14 +110,17 @@ impl PageTable {
     /// # Panics
     ///
     /// Panics if `lp` is out of range.
+    #[inline]
     pub fn lookup(&self, lp: LogicalPage) -> Location {
-        self.forward[lp as usize]
+        fwd_decode(self.forward[lp as usize])
     }
 
     /// The logical page stored at a physical location, if any.
     pub fn logical_at(&self, loc: FlashLocation) -> Option<LogicalPage> {
-        let lp = self.reverse[loc.segment as usize][loc.page as usize];
-        (lp != NO_PAGE).then_some(lp)
+        let lp = self.reverse[self.rev_index(loc.segment, loc.page)];
+        // `.then`, not `.then_some`: the subtraction must stay lazy so an
+        // empty slot (0) cannot underflow.
+        (lp != REV_EMPTY).then(|| lp as u64 - 1)
     }
 
     /// Point a logical page at a Flash location (atomic repoint: the old
@@ -81,51 +131,72 @@ impl PageTable {
     /// Panics if the destination already holds a different logical page —
     /// the controller must never double-map a physical page.
     pub fn map_flash(&mut self, lp: LogicalPage, loc: FlashLocation) {
-        let dest = &mut self.reverse[loc.segment as usize][loc.page as usize];
+        let di = self.rev_index(loc.segment, loc.page);
+        let dest = self.reverse[di];
         assert!(
-            *dest == NO_PAGE || *dest == lp,
-            "physical page already holds logical page {dest}"
+            dest == REV_EMPTY || dest as u64 - 1 == lp,
+            "physical page already holds logical page {}",
+            dest as u64 - 1
         );
-        if let Location::Flash(old) = self.forward[lp as usize] {
-            self.reverse[old.segment as usize][old.page as usize] = NO_PAGE;
+        if let Location::Flash(old) = self.lookup(lp) {
+            let oi = self.rev_index(old.segment, old.page);
+            self.reverse[oi] = REV_EMPTY;
         }
-        self.forward[lp as usize] = Location::Flash(loc);
-        self.reverse[loc.segment as usize][loc.page as usize] = lp;
+        self.forward[lp as usize] = fwd_encode_flash(loc);
+        self.reverse[di] = lp as u32 + 1;
     }
 
     /// Point a logical page at the SRAM write buffer, clearing any Flash
     /// reverse mapping.
     pub fn map_sram(&mut self, lp: LogicalPage) {
-        if let Location::Flash(old) = self.forward[lp as usize] {
-            self.reverse[old.segment as usize][old.page as usize] = NO_PAGE;
+        if let Location::Flash(old) = self.lookup(lp) {
+            let oi = self.rev_index(old.segment, old.page);
+            self.reverse[oi] = REV_EMPTY;
         }
-        self.forward[lp as usize] = Location::Sram;
+        self.forward[lp as usize] = FWD_SRAM;
     }
 
     /// Return a logical page to the unmapped state.
     pub fn unmap(&mut self, lp: LogicalPage) {
-        if let Location::Flash(old) = self.forward[lp as usize] {
-            self.reverse[old.segment as usize][old.page as usize] = NO_PAGE;
+        if let Location::Flash(old) = self.lookup(lp) {
+            let oi = self.rev_index(old.segment, old.page);
+            self.reverse[oi] = REV_EMPTY;
         }
-        self.forward[lp as usize] = Location::Unmapped;
+        self.forward[lp as usize] = FWD_UNMAPPED;
     }
 
     /// Logical pages resident in a segment, in physical page order.
     /// This is the order the cleaner copies them in (§4.3: "when cleaning
     /// a segment, the order of the pages is maintained").
     pub fn residents_of(&self, segment: u32) -> Vec<(u32, LogicalPage)> {
-        self.reverse[segment as usize]
-            .iter()
-            .enumerate()
-            .filter_map(|(page, &lp)| (lp != NO_PAGE).then_some((page as u32, lp)))
-            .collect()
+        let mut out = Vec::new();
+        self.residents_into(segment, &mut out);
+        out
+    }
+
+    /// [`PageTable::residents_of`] into a caller-provided buffer (cleared
+    /// first), so steady-state cleaning can reuse one allocation instead
+    /// of building a fresh resident list per victim.
+    pub fn residents_into(&self, segment: u32, out: &mut Vec<(u32, LogicalPage)>) {
+        out.clear();
+        let base = self.rev_index(segment, 0);
+        out.extend(
+            self.reverse[base..base + self.pages_per_segment as usize]
+                .iter()
+                .enumerate()
+                // The subtraction must stay behind the filter so an empty
+                // slot (0) cannot underflow.
+                .filter(|&(_, &lp)| lp != REV_EMPTY)
+                .map(|(page, &lp)| (page as u32, lp as u64 - 1)),
+        );
     }
 
     /// Number of logical pages resident in a segment.
     pub fn resident_count(&self, segment: u32) -> u32 {
-        self.reverse[segment as usize]
+        let base = self.rev_index(segment, 0);
+        self.reverse[base..base + self.pages_per_segment as usize]
             .iter()
-            .filter(|&&lp| lp != NO_PAGE)
+            .filter(|&&lp| lp != REV_EMPTY)
             .count() as u32
     }
 
@@ -138,32 +209,36 @@ impl PageTable {
     ///
     /// Returns a description of the first violation found.
     pub fn check_consistency(&self) -> Result<(), String> {
-        for (lp, loc) in self.forward.iter().enumerate() {
-            if let Location::Flash(f) = loc {
-                if f.page >= self.pages_per_segment || f.segment as usize >= self.reverse.len() {
+        let pps = self.pages_per_segment as usize;
+        let segments = self.reverse.len() / pps.max(1);
+        for (lp, &v) in self.forward.iter().enumerate() {
+            if let Location::Flash(f) = fwd_decode(v) {
+                if f.page >= self.pages_per_segment || f.segment as usize >= segments {
                     return Err(format!("logical page {lp} maps out of range"));
                 }
-                let back = self.reverse[f.segment as usize][f.page as usize];
-                if back != lp as u64 {
+                let back = self.reverse[self.rev_index(f.segment, f.page)];
+                if back == REV_EMPTY || back as u64 - 1 != lp as u64 {
                     return Err(format!(
-                        "logical page {lp} maps to ({}, {}) but reverse holds {back}",
-                        f.segment, f.page
+                        "logical page {lp} maps to ({}, {}) but reverse holds {}",
+                        f.segment,
+                        f.page,
+                        back as i64 - 1
                     ));
                 }
             }
         }
-        for (seg, pages) in self.reverse.iter().enumerate() {
-            for (page, &lp) in pages.iter().enumerate() {
-                if lp != NO_PAGE {
-                    let fwd = self.forward.get(lp as usize).copied();
-                    match fwd {
-                        Some(Location::Flash(f))
-                            if f.segment as usize == seg && f.page as usize == page => {}
-                        _ => {
-                            return Err(format!(
-                                "reverse entry ({seg}, {page}) -> {lp} not mirrored forward"
-                            ));
-                        }
+        for (i, &entry) in self.reverse.iter().enumerate() {
+            if entry != REV_EMPTY {
+                let (seg, page) = (i / pps, i % pps);
+                let lp = entry as u64 - 1;
+                let fwd = self.forward.get(lp as usize).map(|&v| fwd_decode(v));
+                match fwd {
+                    Some(Location::Flash(f))
+                        if f.segment as usize == seg && f.page as usize == page => {}
+                    _ => {
+                        return Err(format!(
+                            "reverse entry ({seg}, {page}) -> {lp} not mirrored forward"
+                        ));
                     }
                 }
             }

@@ -194,6 +194,7 @@ impl EnvyStore {
     }
 
     /// Record a sampler row if the current window has elapsed.
+    #[inline]
     fn sample_if_due(&mut self) {
         let Some(sampler) = self.sampler.as_mut() else {
             return;
@@ -272,9 +273,16 @@ impl EnvyStore {
         Ok(())
     }
 
+    #[inline]
     fn words_in(&self, len: usize) -> u32 {
         let w = self.engine.config().word_bytes as usize;
-        (len.div_ceil(w)) as u32
+        // Word-or-smaller accesses (the vast majority of a word-level
+        // workload) skip the division.
+        if len <= w {
+            1
+        } else {
+            (len.div_ceil(w)) as u32
+        }
     }
 
     // ------------------------------------------------------------------
@@ -341,7 +349,75 @@ impl EnvyStore {
     /// # Errors
     ///
     /// [`EnvyError::OutOfBounds`].
+    #[inline]
     pub fn read_at(
+        &mut self,
+        now: Ns,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<TimedAccess, EnvyError> {
+        // Fast path for a word-or-smaller access inside one page — the
+        // shape of every access a word-level workload issues. Identical
+        // semantics to the general path with exactly one chunk and one
+        // word; it only skips the chunk/word loop machinery. The general
+        // path is outlined so this wrapper stays small enough to inline
+        // into the workload driver's access loop.
+        {
+            let cfg = self.engine.config();
+            let w = cfg.word_bytes as usize;
+            let pb = self.engine.addr_map.page_bytes();
+            let offset = self.engine.addr_map.offset_of(addr);
+            if !buf.is_empty() && buf.len() <= w && offset as u64 + buf.len() as u64 <= pb {
+                let (bus, suspend, flash_t) =
+                    (cfg.bus_overhead, cfg.suspend_penalty, cfg.timings.read);
+                let logical_pages = cfg.logical_pages;
+                let size = cfg.logical_bytes();
+                let lp = self.engine.addr_map.page_of(addr);
+                if lp >= logical_pages {
+                    return Err(EnvyError::OutOfBounds { addr, size });
+                }
+                let sram_t = Ns::from_nanos(100);
+                let start = now.max(self.clock);
+                self.engine.trace.set_now(start);
+                let src = self.engine.read_page_bytes(lp, offset, buf)?;
+                let (device_t, bank) = match src {
+                    ReadSource::Sram => (sram_t, None),
+                    ReadSource::Flash { bank } => (flash_t, Some(bank)),
+                    ReadSource::Unmapped => (sram_t, None),
+                };
+                let miss = !self.engine.mmu.access(lp);
+                let collided = self.timing.host_access(start, bank, &mut self.engine.stats);
+                let mut lat = bus + device_t;
+                if miss {
+                    lat += sram_t; // page-table lookup in SRAM
+                }
+                if collided {
+                    lat += suspend;
+                    self.engine.trace.set_now(start);
+                    self.engine.trace.emit(TraceEvent::Suspend {
+                        bank: bank.expect("collisions require a bank"),
+                    });
+                }
+                self.engine.stats.host_reads.incr();
+                self.engine.stats.read_latency.record(lat);
+                self.engine.stats.time_reads += lat;
+                let t = start + lat;
+                self.clock = t;
+                self.sample_if_due();
+                return Ok(TimedAccess {
+                    completed: t,
+                    latency: lat,
+                    words: 1,
+                });
+            }
+        }
+        self.read_at_general(now, addr, buf)
+    }
+
+    /// The general multi-chunk timed read ([`EnvyStore::read_at`]'s
+    /// fallback for accesses wider than a word or crossing a page).
+    #[inline(never)]
+    fn read_at_general(
         &mut self,
         now: Ns,
         addr: u64,
@@ -409,7 +485,90 @@ impl EnvyStore {
     /// # Errors
     ///
     /// [`EnvyError::OutOfBounds`], or cleaning errors.
+    #[inline]
     pub fn write_at(&mut self, now: Ns, addr: u64, bytes: &[u8]) -> Result<TimedAccess, EnvyError> {
+        // Fast path mirroring `read_at`'s: one chunk, one word, identical
+        // semantics to the outlined general loop.
+        {
+            let cfg = self.engine.config();
+            let w = cfg.word_bytes as usize;
+            let pb = self.engine.addr_map.page_bytes();
+            let offset = self.engine.addr_map.offset_of(addr);
+            if !bytes.is_empty() && bytes.len() <= w && offset as u64 + bytes.len() as u64 <= pb {
+                let (bus, suspend, flash_t) =
+                    (cfg.bus_overhead, cfg.suspend_penalty, cfg.timings.read);
+                let headroom = cfg.buffer_pages - cfg.flush_threshold;
+                let logical_pages = cfg.logical_pages;
+                let size = cfg.logical_bytes();
+                let lp = self.engine.addr_map.page_of(addr);
+                if lp >= logical_pages {
+                    return Err(EnvyError::OutOfBounds { addr, size });
+                }
+                let sram_t = Ns::from_nanos(100);
+                let start = now.max(self.clock);
+                self.engine.trace.set_now(start);
+                let mut stall = Ns::ZERO;
+                if self.timing.pending_flushes() >= headroom {
+                    stall = self
+                        .timing
+                        .drain_flushes(headroom - 1, &mut self.engine.stats);
+                    if stall > Ns::ZERO {
+                        self.engine.trace.set_now(start);
+                        self.engine.trace.emit(TraceEvent::Stall { waited: stall });
+                    }
+                }
+                self.ops.clear();
+                let result = self
+                    .engine
+                    .write_page_bytes(lp, offset, bytes, &mut self.ops)?;
+                self.timing.enqueue(&self.ops);
+                self.ops.clear();
+                let bank = match result.kind {
+                    WriteKind::CopyOnWrite { bank } => Some(bank),
+                    _ => None,
+                };
+                let miss = !self.engine.mmu.access(lp);
+                let collided = self.timing.host_access(start, bank, &mut self.engine.stats);
+                let mut lat = bus + sram_t;
+                if miss {
+                    lat += sram_t;
+                }
+                if bank.is_some() {
+                    lat += flash_t; // wide-bus Flash→SRAM page transfer
+                }
+                lat += stall;
+                if collided {
+                    lat += suspend;
+                    self.engine.trace.set_now(start);
+                    self.engine.trace.emit(TraceEvent::Suspend {
+                        bank: bank.expect("collisions require a bank"),
+                    });
+                }
+                self.engine.stats.host_writes.incr();
+                self.engine.stats.write_latency.record(lat);
+                self.engine.stats.time_writes += lat.saturating_sub(stall);
+                let t = start + lat;
+                self.clock = t;
+                self.sample_if_due();
+                return Ok(TimedAccess {
+                    completed: t,
+                    latency: lat,
+                    words: 1,
+                });
+            }
+        }
+        self.write_at_general(now, addr, bytes)
+    }
+
+    /// The general multi-chunk timed write ([`EnvyStore::write_at`]'s
+    /// fallback for accesses wider than a word or crossing a page).
+    #[inline(never)]
+    fn write_at_general(
+        &mut self,
+        now: Ns,
+        addr: u64,
+        bytes: &[u8],
+    ) -> Result<TimedAccess, EnvyError> {
         self.check_range(addr, bytes.len())?;
         let start = now.max(self.clock);
         let mut t = start;

@@ -37,15 +37,86 @@ pub enum BgKind {
     WearCopy,
 }
 
-/// One unit of background device work emitted by the engine.
+/// One unit of background device work emitted by the engine — or a run
+/// of `count` identical units (a cleaning sweep programs every resident
+/// of a victim segment at the same per-page cost, so the engine emits
+/// one batched record instead of up to a segment's worth of entries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BgOp {
     /// The bank the operation occupies.
     pub bank: u32,
     /// Operation class.
     pub kind: BgKind,
-    /// Device time.
+    /// Device time of each unit.
     pub duration: Ns,
+    /// Number of identical units (≥ 1 for meaningful work; 0 is a no-op).
+    pub count: u32,
+}
+
+impl BgOp {
+    /// A single background operation.
+    pub fn once(bank: u32, kind: BgKind, duration: Ns) -> BgOp {
+        BgOp {
+            bank,
+            kind,
+            duration,
+            count: 1,
+        }
+    }
+}
+
+/// Coalesces a stream of per-page background operations into batched
+/// [`BgOp`] records: consecutive operations with the same bank, kind and
+/// duration become one record with `count` incremented. The emitted
+/// stream replays through [`TimingState`] with an identical state
+/// trajectory to the per-op stream — batching compresses representation,
+/// not behavior.
+#[derive(Debug, Default)]
+pub struct BgBatcher {
+    run: Option<BgOp>,
+}
+
+impl BgBatcher {
+    /// An empty batcher.
+    pub fn new() -> BgBatcher {
+        BgBatcher::default()
+    }
+
+    /// Append one operation, extending the current run or flushing it.
+    pub fn add(&mut self, bank: u32, kind: BgKind, duration: Ns, ops: &mut Vec<BgOp>) {
+        match &mut self.run {
+            Some(run) if run.bank == bank && run.kind == kind && run.duration == duration => {
+                run.count += 1;
+            }
+            _ => {
+                if let Some(run) = self.run.take() {
+                    ops.push(run);
+                }
+                self.run = Some(BgOp::once(bank, kind, duration));
+            }
+        }
+    }
+
+    /// Emit the final run. Must be called before `ops` is consumed.
+    pub fn finish(&mut self, ops: &mut Vec<BgOp>) {
+        if let Some(run) = self.run.take() {
+            ops.push(run);
+        }
+    }
+}
+
+/// A run of `count` identical queued sub-operations of `per` each.
+/// [`TimingState`] executes sub-operations one at a time — a batch is a
+/// compressed queue segment, never a single long operation, so op-boundary
+/// effects (suspension checks, flush-pending decrements) happen exactly
+/// as they would with `count` individual entries.
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    kind: BgKind,
+    bank: u32,
+    /// Scaled (post-`parallel_ops`) duration of each sub-operation.
+    per: Ns,
+    count: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +130,7 @@ struct Pending {
 #[derive(Debug, Clone)]
 pub struct TimingState {
     cursor: Ns,
-    queue: VecDeque<Pending>,
+    queue: VecDeque<Batch>,
     current: Option<Pending>,
     pending_flushes: usize,
     parallel_ops: u32,
@@ -88,17 +159,45 @@ impl TimingState {
     /// program at `parallel_ops = 3` costs 1334 ns, never 0).
     pub fn enqueue(&mut self, ops: &[BgOp]) {
         for op in ops {
-            if op.kind == BgKind::Flush {
-                self.pending_flushes += 1;
-            }
-            self.queue.push_back(Pending {
-                kind: op.kind,
-                bank: op.bank,
-                remaining: Ns::from_nanos(
-                    op.duration.as_nanos().div_ceil(self.parallel_ops as u64),
-                ),
-            });
+            self.enqueue_batch(op.bank, op.kind, op.count, op.duration);
         }
+    }
+
+    /// Queue `count` identical background operations as one batch entry:
+    /// exactly equivalent to pushing `count` single operations — the
+    /// backlog grows by `count × div_ceil(duration, parallel_ops)` and
+    /// execution still settles one sub-operation at a time — but with
+    /// O(1) queue traffic instead of O(count).
+    pub fn enqueue_batch(&mut self, bank: u32, kind: BgKind, count: u32, duration: Ns) {
+        if count == 0 {
+            return;
+        }
+        if kind == BgKind::Flush {
+            self.pending_flushes += count as usize;
+        }
+        self.queue.push_back(Batch {
+            kind,
+            bank,
+            per: Ns::from_nanos(duration.as_nanos().div_ceil(self.parallel_ops as u64)),
+            count,
+        });
+    }
+
+    /// Take the next sub-operation off the queue head (decrementing the
+    /// head batch's count), preserving per-op queue dynamics.
+    fn next_subop(&mut self) -> Option<Pending> {
+        let front = self.queue.front_mut()?;
+        let sub = Pending {
+            kind: front.kind,
+            bank: front.bank,
+            remaining: front.per,
+        };
+        if front.count <= 1 {
+            self.queue.pop_front();
+        } else {
+            front.count -= 1;
+        }
+        Some(sub)
     }
 
     /// Number of flush programs not yet executed.
@@ -108,7 +207,11 @@ impl TimingState {
 
     /// Total backlog of background device time.
     pub fn backlog(&self) -> Ns {
-        let queued: Ns = self.queue.iter().map(|p| p.remaining).sum();
+        let queued: Ns = self
+            .queue
+            .iter()
+            .map(|b| Ns::from_nanos(b.per.as_nanos() * b.count as u64))
+            .sum();
         queued + self.current.map_or(Ns::ZERO, |c| c.remaining)
     }
 
@@ -123,10 +226,26 @@ impl TimingState {
     /// Execute background work in the window up to `now`, honouring any
     /// suspension in force. Time spent suspended while work was pending
     /// is attributed to suspension overhead.
+    #[inline]
     pub fn run_until(&mut self, now: Ns, stats: &mut EnvyStats) {
+        // Idle fast path: with no in-progress operation and an empty
+        // queue the loop below would only advance the cursor. Most host
+        // accesses in a read-heavy workload land here.
+        if self.current.is_none() && self.queue.is_empty() {
+            if self.cursor < now {
+                self.cursor = now;
+            }
+            return;
+        }
+        self.run_until_busy(now, stats)
+    }
+
+    /// [`TimingState::run_until`]'s settling loop when work is pending.
+    #[inline(never)]
+    fn run_until_busy(&mut self, now: Ns, stats: &mut EnvyStats) {
         while self.cursor < now {
             if self.current.is_none() {
-                self.current = self.queue.pop_front();
+                self.current = self.next_subop();
             }
             if self.current.is_none() {
                 self.cursor = now;
@@ -168,6 +287,7 @@ impl TimingState {
     /// latency; same-bank accesses within an ongoing suspension burst
     /// find the array already readable and merely push the resume point
     /// out.
+    #[inline]
     pub fn host_access(&mut self, now: Ns, bank: Option<u32>, stats: &mut EnvyStats) -> bool {
         self.run_until(now, stats);
         let Some(bank) = bank else {
@@ -197,7 +317,7 @@ impl TimingState {
         let mut spent = Ns::ZERO;
         while self.pending_flushes > max_pending {
             if self.current.is_none() {
-                self.current = self.queue.pop_front();
+                self.current = self.next_subop();
             }
             let Some(op) = self.current.take() else { break };
             spent += op.remaining;
@@ -222,11 +342,7 @@ mod tests {
     use super::*;
 
     fn op(kind: BgKind, us: u64, bank: u32) -> BgOp {
-        BgOp {
-            bank,
-            kind,
-            duration: Ns::from_micros(us),
-        }
+        BgOp::once(bank, kind, Ns::from_micros(us))
     }
 
     #[test]
@@ -323,21 +439,9 @@ mod tests {
             let mut stats = EnvyStats::default();
             // Durations chosen to not divide evenly: 1ns, 5ns, 4001ns.
             let ops = [
-                BgOp {
-                    bank: 0,
-                    kind: BgKind::Flush,
-                    duration: Ns::from_nanos(1),
-                },
-                BgOp {
-                    bank: 1,
-                    kind: BgKind::CleanCopy,
-                    duration: Ns::from_nanos(5),
-                },
-                BgOp {
-                    bank: 2,
-                    kind: BgKind::Erase,
-                    duration: Ns::from_nanos(4_001),
-                },
+                BgOp::once(0, BgKind::Flush, Ns::from_nanos(1)),
+                BgOp::once(1, BgKind::CleanCopy, Ns::from_nanos(5)),
+                BgOp::once(2, BgKind::Erase, Ns::from_nanos(4_001)),
             ];
             t.enqueue(&ops);
             let expected: u64 = ops
@@ -354,6 +458,97 @@ mod tests {
             assert!(stats.time_clean >= Ns::from_nanos(1), "p={parallel}");
             assert!(stats.time_erase >= Ns::from_nanos(1), "p={parallel}");
         }
+    }
+
+    /// `enqueue_batch(bank, kind, n, d)` must be indistinguishable from
+    /// enqueueing `n` single ops — same backlog, same attribution, same
+    /// suspension and flush-drain dynamics — across non-dividing
+    /// durations and parallelism factors (the batched form still costs
+    /// `n × div_ceil(d, parallel_ops)`, extending the conservation
+    /// property of `enqueue_rounds_durations_up_conserving_time`).
+    #[test]
+    fn enqueue_batch_equals_per_op_loop() {
+        for parallel in [1u32, 2, 3, 7] {
+            for (count, nanos) in [(1u32, 1u64), (3, 5), (5, 4_001), (64, 333)] {
+                let d = Ns::from_nanos(nanos);
+                let mut batched = TimingState::new(parallel, Ns::from_nanos(40));
+                let mut looped = TimingState::new(parallel, Ns::from_nanos(40));
+                for kind in [BgKind::CleanCopy, BgKind::Flush] {
+                    batched.enqueue_batch(0, kind, count, d);
+                    for _ in 0..count {
+                        looped.enqueue(&[BgOp::once(0, kind, d)]);
+                    }
+                }
+                let mut sb = EnvyStats::default();
+                let mut sl = EnvyStats::default();
+                assert_eq!(
+                    batched.backlog(),
+                    looped.backlog(),
+                    "p={parallel} n={count}"
+                );
+                assert_eq!(batched.pending_flushes(), looped.pending_flushes());
+                // Drive both through the same host-visible schedule,
+                // including an instant that lands exactly on a sub-op
+                // boundary (t = per) — a batch must expose the same
+                // "between ops" idle instant a per-op queue does.
+                let per = nanos.div_ceil(parallel as u64);
+                for t in [per / 2, per, per + 3, per * 2, per * (count as u64) + 9] {
+                    let t = Ns::from_nanos(t);
+                    batched.run_until(t, &mut sb);
+                    looped.run_until(t, &mut sl);
+                    assert_eq!(
+                        batched.host_access(t, Some(0), &mut sb),
+                        looped.host_access(t, Some(0), &mut sl),
+                        "p={parallel} n={count} t={t:?}"
+                    );
+                    assert_eq!(batched.backlog(), looped.backlog());
+                    assert_eq!(batched.cursor(), looped.cursor());
+                }
+                assert_eq!(
+                    batched.drain_flushes(0, &mut sb),
+                    looped.drain_flushes(0, &mut sl)
+                );
+                assert_eq!(batched.pending_flushes(), 0);
+                assert_eq!(
+                    format!("{sb:?}"),
+                    format!("{sl:?}"),
+                    "p={parallel} n={count}"
+                );
+            }
+        }
+    }
+
+    /// `BgBatcher` merges only runs of identical (bank, kind, duration)
+    /// operations and preserves stream order.
+    #[test]
+    fn batcher_coalesces_identical_runs_in_order() {
+        let mut ops = Vec::new();
+        let mut b = BgBatcher::new();
+        let d4 = Ns::from_micros(4);
+        let d9 = Ns::from_micros(9);
+        b.add(0, BgKind::CleanCopy, d4, &mut ops);
+        b.add(0, BgKind::CleanCopy, d4, &mut ops);
+        b.add(0, BgKind::CleanCopy, d9, &mut ops); // duration change splits
+        b.add(1, BgKind::CleanCopy, d9, &mut ops); // bank change splits
+        b.add(1, BgKind::Erase, d9, &mut ops); // kind change splits
+        b.finish(&mut ops);
+        assert_eq!(
+            ops,
+            vec![
+                BgOp {
+                    bank: 0,
+                    kind: BgKind::CleanCopy,
+                    duration: d4,
+                    count: 2
+                },
+                BgOp::once(0, BgKind::CleanCopy, d9),
+                BgOp::once(1, BgKind::CleanCopy, d9),
+                BgOp::once(1, BgKind::Erase, d9),
+            ]
+        );
+        // An unused batcher emits nothing.
+        BgBatcher::new().finish(&mut ops);
+        assert_eq!(ops.len(), 4);
     }
 
     #[test]

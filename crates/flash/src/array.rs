@@ -251,6 +251,44 @@ impl FlashArray {
         Ok(self.timings.read)
     }
 
+    /// Read a sub-page range straight into the caller's slice: the bytes
+    /// at `offset..offset + buf.len()` within the page land in `buf` with
+    /// no intermediate page-sized scratch copy. With payload storage
+    /// disabled, `buf` is filled with erased (0xFF) bytes.
+    ///
+    /// Counts and costs exactly like [`FlashArray::read_page`] — the
+    /// datapath still moves the whole page; only the host-side copy
+    /// narrows.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`], or [`FlashError::BadBufferLength`] if
+    /// the range extends past the end of the page.
+    pub fn read_page_into(
+        &mut self,
+        segment: u32,
+        page: u32,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<Ns, FlashError> {
+        self.check(segment, page)?;
+        let pb = self.geo.page_bytes() as usize;
+        if offset + buf.len() > pb {
+            return Err(FlashError::BadBufferLength {
+                expected: pb,
+                actual: offset + buf.len(),
+            });
+        }
+        if let Some(data) = &self.segments[segment as usize].data {
+            let start = page as usize * pb + offset;
+            buf.copy_from_slice(&data[start..start + buf.len()]);
+        } else {
+            buf.fill(0xFF);
+        }
+        self.stats.page_reads.incr();
+        Ok(self.timings.read)
+    }
+
     /// Program a page (one wide-bus transfer plus the Flash program time).
     ///
     /// The page must be erased — Flash cannot update in place. If payload
@@ -713,6 +751,34 @@ mod tests {
         ));
         let mut out = vec![0u8; 99];
         assert!(a.read_page(0, 0, Some(&mut out)).is_err());
+    }
+
+    #[test]
+    fn read_page_into_subrange() {
+        let mut a = small();
+        let data: Vec<u8> = (0..16).collect();
+        a.program_page(1, 2, Some(&data)).unwrap();
+        let mut out = [0u8; 5];
+        let cost = a.read_page_into(1, 2, 3, &mut out).unwrap();
+        assert_eq!(cost, Ns::from_nanos(100));
+        assert_eq!(out, [3, 4, 5, 6, 7]);
+        assert_eq!(a.stats().page_reads.get(), 1);
+        // Range past the page end is rejected.
+        let mut long = [0u8; 10];
+        assert!(matches!(
+            a.read_page_into(1, 2, 8, &mut long),
+            Err(FlashError::BadBufferLength {
+                expected: 16,
+                actual: 18
+            })
+        ));
+        // Stateless arrays fill erased bytes.
+        let geo = FlashGeometry::new(1, 1, 4, 8).unwrap();
+        let mut s = FlashArray::new(geo, FlashTimings::paper(), false);
+        s.program_page(0, 0, None).unwrap();
+        let mut out = [0u8; 4];
+        s.read_page_into(0, 0, 2, &mut out).unwrap();
+        assert_eq!(out, [0xFF; 4]);
     }
 
     #[test]

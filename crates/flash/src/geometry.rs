@@ -20,6 +20,11 @@ pub struct FlashGeometry {
     segments: u32,
     pages_per_segment: u32,
     page_bytes: u32,
+    /// `log2(segments / banks)` when the per-bank segment count is a
+    /// power of two (every shipped geometry), so [`FlashGeometry::bank_of`]
+    /// — on the datapath of every Flash read — is a shift rather than two
+    /// divisions.
+    bank_shift: Option<u32>,
 }
 
 impl FlashGeometry {
@@ -55,11 +60,15 @@ impl FlashGeometry {
                 "segment count must be divisible by bank count",
             ));
         }
+        let per_bank = segments / banks;
         Ok(FlashGeometry {
             banks,
             segments,
             pages_per_segment,
             page_bytes,
+            bank_shift: per_bank
+                .is_power_of_two()
+                .then(|| per_bank.trailing_zeros()),
         })
     }
 
@@ -96,8 +105,12 @@ impl FlashGeometry {
 
     /// Which bank a segment lives in. Segments are laid out contiguously
     /// within banks, matching Figure 4 (blocks stacked within a bank).
+    #[inline]
     pub fn bank_of(&self, segment: u32) -> u32 {
-        segment / self.segments_per_bank()
+        match self.bank_shift {
+            Some(s) => segment >> s,
+            None => segment / self.segments_per_bank(),
+        }
     }
 
     /// Total pages in the array.

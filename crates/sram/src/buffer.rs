@@ -11,8 +11,12 @@
 //! flushes pages back to where they came from (§4.3: "When a page is
 //! placed into the SRAM buffer, we record which segment it comes from.
 //! When it is flushed, it is written back to the same segment.").
-
-use std::collections::HashMap;
+//!
+//! The logical-page → frame index is a direct-map `Vec` over the bounded
+//! logical page space rather than a hash map: every host access probes
+//! the buffer, and at 4 bytes per logical page the index costs less SRAM
+//! than the page table's 6 bytes per mapping while making the probe a
+//! single array load.
 
 /// A page held in the SRAM write buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +30,33 @@ pub struct BufferedPage {
     pub data: Option<Box<[u8]>>,
 }
 
+/// Why an insert was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// Every frame is occupied — the caller must flush first.
+    BufferFull,
+    /// The page is already buffered — re-writes go through
+    /// [`WriteBuffer::write`], not a second insert.
+    AlreadyBuffered,
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::BufferFull => write!(f, "write buffer is full"),
+            InsertError::AlreadyBuffered => write!(f, "page is already buffered"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// Direct-map index encoding: `0` = not buffered, else `slot + 1`. The
+/// zero sentinel lets the (logical-page-sized, multi-megabyte at paper
+/// scale) index come from lazily-zeroed allocation instead of an eager
+/// sentinel fill.
+const IDX_EMPTY: u32 = 0;
+
 /// FIFO write buffer of page frames.
 ///
 /// Frames are stored in a slab so that a buffered page's contents can be
@@ -37,7 +68,7 @@ pub struct BufferedPage {
 /// ```
 /// use envy_sram::WriteBuffer;
 ///
-/// let mut buf = WriteBuffer::new(2, 16, false);
+/// let mut buf = WriteBuffer::new(2, 16, 64, false);
 /// buf.insert(7, Some(3), None).unwrap();
 /// buf.insert(9, None, None).unwrap();
 /// assert!(buf.is_full());
@@ -49,10 +80,12 @@ pub struct WriteBuffer {
     capacity: usize,
     page_bytes: usize,
     store_data: bool,
+    len: usize,
     slots: Vec<Option<BufferedPage>>,
     free: Vec<usize>,
     fifo: std::collections::VecDeque<usize>,
-    index: HashMap<u64, usize>,
+    /// `index[logical] = slot + 1`, [`IDX_EMPTY`] when not buffered.
+    index: Vec<u32>,
     /// Page frames handed back via [`WriteBuffer::recycle_frame`], reused
     /// by the next insert so steady-state copy-on-write/flush cycles do
     /// not allocate. Bounded by `capacity`.
@@ -60,39 +93,51 @@ pub struct WriteBuffer {
 }
 
 impl WriteBuffer {
-    /// Create a buffer of `capacity` page frames of `page_bytes` each.
+    /// Create a buffer of `capacity` page frames of `page_bytes` each,
+    /// indexing the logical page space `0..logical_pages`.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` or `page_bytes` is zero.
-    pub fn new(capacity: usize, page_bytes: usize, store_data: bool) -> WriteBuffer {
+    /// Panics if `capacity` or `page_bytes` is zero, or if `capacity`
+    /// overflows the slot index width.
+    pub fn new(
+        capacity: usize,
+        page_bytes: usize,
+        logical_pages: u64,
+        store_data: bool,
+    ) -> WriteBuffer {
         assert!(capacity > 0, "buffer capacity must be non-zero");
         assert!(page_bytes > 0, "page size must be non-zero");
+        assert!(
+            capacity < u32::MAX as usize,
+            "buffer capacity overflows the slot index"
+        );
         WriteBuffer {
             capacity,
             page_bytes,
             store_data,
+            len: 0,
             slots: (0..capacity).map(|_| None).collect(),
             free: (0..capacity).rev().collect(),
             fifo: std::collections::VecDeque::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: vec![IDX_EMPTY; logical_pages as usize],
             spare_frames: Vec::new(),
         }
     }
 
     /// Number of buffered pages.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.len
     }
 
     /// Whether the buffer holds no pages.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 
     /// Whether every frame is occupied.
     pub fn is_full(&self) -> bool {
-        self.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Frame capacity.
@@ -105,54 +150,98 @@ impl WriteBuffer {
         self.page_bytes
     }
 
-    /// Whether a logical page is buffered.
-    pub fn contains(&self, logical: u64) -> bool {
-        self.index.contains_key(&logical)
+    /// The occupied slot holding a logical page, if buffered. Pages
+    /// outside the indexed logical space are never buffered.
+    #[inline]
+    fn slot_of(&self, logical: u64) -> Option<usize> {
+        match self.index.get(logical as usize) {
+            Some(&entry) if entry != IDX_EMPTY => Some(entry as usize - 1),
+            _ => None,
+        }
     }
 
-    /// Insert a page at the FIFO head.
+    /// Whether a logical page is buffered.
+    #[inline]
+    pub fn contains(&self, logical: u64) -> bool {
+        self.slot_of(logical).is_some()
+    }
+
+    /// Insert a page at the FIFO head and expose its frame.
     ///
-    /// `initial` seeds the frame contents (the Flash copy made by
-    /// copy-on-write); ignored when payload storage is disabled.
-    ///
-    /// Returns `Err(())` if the buffer is full — the caller must flush
-    /// first — or if the page is already buffered (re-writes go through
-    /// [`WriteBuffer::write`], not a second insert).
+    /// This is the combined insert-and-fill entry point for the
+    /// copy-on-write path: one index probe claims the frame, and the
+    /// caller writes the Flash original plus the host bytes straight into
+    /// the returned slice (no intermediate scratch copy). The frame's
+    /// contents are **unspecified** — the caller must overwrite the whole
+    /// page or [`fill`](slice::fill) it. Returns `Ok(None)` when payload
+    /// storage is disabled.
     ///
     /// # Errors
     ///
-    /// See above; the error carries no payload.
-    #[allow(clippy::result_unit_err)]
-    pub fn insert(
+    /// [`InsertError::BufferFull`] or [`InsertError::AlreadyBuffered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is outside the indexed logical page space.
+    pub fn insert_frame(
         &mut self,
         logical: u64,
         origin: Option<u32>,
-        initial: Option<&[u8]>,
-    ) -> Result<(), ()> {
-        if self.is_full() || self.contains(logical) {
-            return Err(());
+    ) -> Result<Option<&mut [u8]>, InsertError> {
+        let entry = self
+            .index
+            .get_mut(logical as usize)
+            .expect("logical page within the indexed space");
+        if *entry != IDX_EMPTY {
+            return Err(InsertError::AlreadyBuffered);
+        }
+        if self.len == self.capacity {
+            return Err(InsertError::BufferFull);
         }
         let slot = self.free.pop().expect("free list tracks occupancy");
-        let data = if self.store_data {
-            let mut page = self
-                .spare_frames
+        *entry = slot as u32 + 1;
+        let data = self.store_data.then(|| {
+            self.spare_frames
                 .pop()
-                .unwrap_or_else(|| vec![0xFF; self.page_bytes].into_boxed_slice());
-            match initial {
-                Some(initial) => page.copy_from_slice(initial),
-                None => page.fill(0xFF),
-            }
-            Some(page)
-        } else {
-            None
-        };
+                .unwrap_or_else(|| vec![0xFF; self.page_bytes].into_boxed_slice())
+        });
         self.slots[slot] = Some(BufferedPage {
             logical,
             origin,
             data,
         });
         self.fifo.push_back(slot);
-        self.index.insert(logical, slot);
+        self.len += 1;
+        Ok(self.slots[slot]
+            .as_mut()
+            .expect("just inserted")
+            .data
+            .as_deref_mut())
+    }
+
+    /// Insert a page at the FIFO head.
+    ///
+    /// `initial` seeds the frame contents (the Flash copy made by
+    /// copy-on-write); `None` seeds erased (0xFF) bytes. Ignored when
+    /// payload storage is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError::BufferFull`] if the buffer is full — the caller
+    /// must flush first — or [`InsertError::AlreadyBuffered`] (re-writes
+    /// go through [`WriteBuffer::write`], not a second insert).
+    pub fn insert(
+        &mut self,
+        logical: u64,
+        origin: Option<u32>,
+        initial: Option<&[u8]>,
+    ) -> Result<(), InsertError> {
+        if let Some(frame) = self.insert_frame(logical, origin)? {
+            match initial {
+                Some(initial) => frame.copy_from_slice(initial),
+                None => frame.fill(0xFF),
+            }
+        }
         Ok(())
     }
 
@@ -169,7 +258,7 @@ impl WriteBuffer {
             offset + bytes.len() <= self.page_bytes,
             "write exceeds page bounds"
         );
-        let Some(&slot) = self.index.get(&logical) else {
+        let Some(slot) = self.slot_of(logical) else {
             return false;
         };
         if let Some(page) = self.slots[slot].as_mut().and_then(|p| p.data.as_mut()) {
@@ -186,24 +275,39 @@ impl WriteBuffer {
     ///
     /// Panics if `offset + buf.len()` exceeds the page size.
     pub fn read(&self, logical: u64, offset: usize, buf: &mut [u8]) -> bool {
+        self.read_into(logical, offset, buf).is_some()
+    }
+
+    /// Read bytes from a buffered page, reporting in one probe both
+    /// residency and whether payload bytes were copied.
+    ///
+    /// Returns `None` if the page is not buffered, `Some(true)` if `buf`
+    /// was filled from the frame, and `Some(false)` if the buffer tracks
+    /// residency only (payload storage disabled — the caller substitutes
+    /// erased bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + buf.len()` exceeds the page size.
+    pub fn read_into(&self, logical: u64, offset: usize, buf: &mut [u8]) -> Option<bool> {
         assert!(
             offset + buf.len() <= self.page_bytes,
             "read exceeds page bounds"
         );
-        let Some(&slot) = self.index.get(&logical) else {
-            return false;
-        };
-        if let Some(page) = self.slots[slot].as_ref().and_then(|p| p.data.as_ref()) {
-            buf.copy_from_slice(&page[offset..offset + buf.len()]);
+        let slot = self.slot_of(logical)?;
+        match self.slots[slot].as_ref().and_then(|p| p.data.as_ref()) {
+            Some(page) => {
+                buf.copy_from_slice(&page[offset..offset + buf.len()]);
+                Some(true)
+            }
+            None => Some(false),
         }
-        true
     }
 
     /// Borrow a buffered page.
     pub fn get(&self, logical: u64) -> Option<&BufferedPage> {
-        self.index
-            .get(&logical)
-            .and_then(|&slot| self.slots[slot].as_ref())
+        self.slot_of(logical)
+            .and_then(|slot| self.slots[slot].as_ref())
     }
 
     /// The oldest page (next flush candidate) without removing it.
@@ -217,18 +321,21 @@ impl WriteBuffer {
     pub fn pop_tail(&mut self) -> Option<BufferedPage> {
         let slot = self.fifo.pop_front()?;
         let page = self.slots[slot].take().expect("fifo tracks live slots");
-        self.index.remove(&page.logical);
+        self.index[page.logical as usize] = IDX_EMPTY;
         self.free.push(slot);
+        self.len -= 1;
         Some(page)
     }
 
     /// Remove a specific page (used when a cleaned/rolled-back page must
     /// leave the buffer out of FIFO order).
     pub fn remove(&mut self, logical: u64) -> Option<BufferedPage> {
-        let slot = self.index.remove(&logical)?;
+        let slot = self.slot_of(logical)?;
         let page = self.slots[slot].take().expect("index tracks live slots");
+        self.index[logical as usize] = IDX_EMPTY;
         self.fifo.retain(|&s| s != slot);
         self.free.push(slot);
+        self.len -= 1;
         Some(page)
     }
 
@@ -255,7 +362,7 @@ mod tests {
 
     #[test]
     fn fifo_order_is_insertion_order() {
-        let mut b = WriteBuffer::new(4, 8, false);
+        let mut b = WriteBuffer::new(4, 8, 64, false);
         for lp in [10, 20, 30] {
             b.insert(lp, None, None).unwrap();
         }
@@ -267,7 +374,7 @@ mod tests {
 
     #[test]
     fn rewrite_does_not_change_fifo_position() {
-        let mut b = WriteBuffer::new(4, 8, true);
+        let mut b = WriteBuffer::new(4, 8, 64, true);
         b.insert(1, None, None).unwrap();
         b.insert(2, None, None).unwrap();
         assert!(b.write(1, 0, &[42])); // rewrite of oldest page
@@ -276,24 +383,34 @@ mod tests {
 
     #[test]
     fn insert_full_fails() {
-        let mut b = WriteBuffer::new(2, 8, false);
+        let mut b = WriteBuffer::new(2, 8, 64, false);
         b.insert(1, None, None).unwrap();
         b.insert(2, None, None).unwrap();
         assert!(b.is_full());
-        assert!(b.insert(3, None, None).is_err());
+        assert_eq!(b.insert(3, None, None), Err(InsertError::BufferFull));
     }
 
     #[test]
     fn duplicate_insert_fails() {
-        let mut b = WriteBuffer::new(4, 8, false);
+        let mut b = WriteBuffer::new(4, 8, 64, false);
         b.insert(1, None, None).unwrap();
-        assert!(b.insert(1, None, None).is_err());
+        assert_eq!(b.insert(1, None, None), Err(InsertError::AlreadyBuffered));
         assert_eq!(b.len(), 1);
     }
 
     #[test]
+    fn duplicate_insert_reported_even_when_full() {
+        // AlreadyBuffered takes precedence over BufferFull: a re-write of
+        // a buffered page must never look like a capacity problem.
+        let mut b = WriteBuffer::new(2, 8, 64, false);
+        b.insert(1, None, None).unwrap();
+        b.insert(2, None, None).unwrap();
+        assert_eq!(b.insert(1, None, None), Err(InsertError::AlreadyBuffered));
+    }
+
+    #[test]
     fn data_roundtrip_with_seed() {
-        let mut b = WriteBuffer::new(2, 4, true);
+        let mut b = WriteBuffer::new(2, 4, 64, true);
         b.insert(5, Some(9), Some(&[1, 2, 3, 4])).unwrap();
         b.write(5, 1, &[9, 9]);
         let mut out = [0; 4];
@@ -305,16 +422,59 @@ mod tests {
     }
 
     #[test]
+    fn insert_frame_exposes_writable_frame() {
+        let mut b = WriteBuffer::new(2, 4, 64, true);
+        let frame = b.insert_frame(3, Some(1)).unwrap().unwrap();
+        frame.copy_from_slice(&[7, 8, 9, 10]);
+        let mut out = [0; 4];
+        assert_eq!(b.read_into(3, 0, &mut out), Some(true));
+        assert_eq!(out, [7, 8, 9, 10]);
+        assert_eq!(b.get(3).unwrap().origin, Some(1));
+    }
+
+    #[test]
+    fn insert_frame_stateless_returns_no_frame() {
+        let mut b = WriteBuffer::new(2, 4, 64, false);
+        assert_eq!(b.insert_frame(3, None), Ok(None));
+        assert!(b.contains(3));
+    }
+
+    #[test]
+    fn insert_seeds_erased_bytes_over_recycled_frames() {
+        // A recycled frame holds stale contents; an insert with no seed
+        // must still read back erased.
+        let mut b = WriteBuffer::new(1, 4, 64, true);
+        b.insert(1, None, Some(&[1, 2, 3, 4])).unwrap();
+        let popped = b.pop_tail().unwrap();
+        b.recycle_frame(popped.data.unwrap());
+        b.insert(2, None, None).unwrap();
+        let mut out = [0; 4];
+        assert_eq!(b.read_into(2, 0, &mut out), Some(true));
+        assert_eq!(out, [0xFF; 4]);
+    }
+
+    #[test]
     fn read_write_missing_page() {
-        let mut b = WriteBuffer::new(2, 4, true);
+        let mut b = WriteBuffer::new(2, 4, 64, true);
         assert!(!b.write(7, 0, &[0]));
         let mut out = [0; 1];
         assert!(!b.read(7, 0, &mut out));
+        assert_eq!(b.read_into(7, 0, &mut out), None);
+    }
+
+    #[test]
+    fn read_into_reports_payload_presence() {
+        let mut b = WriteBuffer::new(2, 4, 64, false);
+        b.insert(1, None, None).unwrap();
+        let mut out = [0xAB; 2];
+        // Residency-only mode: buffered, but no payload was copied.
+        assert_eq!(b.read_into(1, 0, &mut out), Some(false));
+        assert_eq!(out, [0xAB; 2]);
     }
 
     #[test]
     fn remove_out_of_order_keeps_fifo_consistent() {
-        let mut b = WriteBuffer::new(4, 8, false);
+        let mut b = WriteBuffer::new(4, 8, 64, false);
         for lp in [1, 2, 3] {
             b.insert(lp, None, None).unwrap();
         }
@@ -330,7 +490,7 @@ mod tests {
 
     #[test]
     fn slots_recycle_under_churn() {
-        let mut b = WriteBuffer::new(3, 8, true);
+        let mut b = WriteBuffer::new(3, 8, 256, true);
         for round in 0..100u64 {
             b.insert(round, None, None).unwrap();
             if b.is_full() {
@@ -342,7 +502,7 @@ mod tests {
 
     #[test]
     fn iter_is_oldest_first() {
-        let mut b = WriteBuffer::new(4, 8, false);
+        let mut b = WriteBuffer::new(4, 8, 64, false);
         for lp in [5, 6, 7] {
             b.insert(lp, None, None).unwrap();
         }
@@ -353,16 +513,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds page bounds")]
     fn write_past_page_end_panics() {
-        let mut b = WriteBuffer::new(1, 4, true);
+        let mut b = WriteBuffer::new(1, 4, 64, true);
         b.insert(1, None, None).unwrap();
         b.write(1, 3, &[0, 0]);
     }
 
     #[test]
     fn stateless_mode_tracks_residency_only() {
-        let mut b = WriteBuffer::new(2, 8, false);
+        let mut b = WriteBuffer::new(2, 8, 64, false);
         b.insert(1, Some(0), None).unwrap();
         assert!(b.write(1, 0, &[1, 2]));
         assert!(b.get(1).unwrap().data.is_none());
+    }
+
+    #[test]
+    fn out_of_space_pages_are_never_buffered() {
+        let b = WriteBuffer::new(2, 8, 64, false);
+        // Probes beyond the indexed logical space are cheap misses, not
+        // panics (the engine bounds-checks before inserting).
+        assert!(!b.contains(64));
+        assert!(!b.contains(u64::MAX));
     }
 }

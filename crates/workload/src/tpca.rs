@@ -146,13 +146,17 @@ impl TreeShape {
     /// a binary-search sequence of 8-byte key probes, and one 8-byte
     /// value read.
     pub fn for_each_search_access<F: FnMut(u64, usize)>(&self, key: u64, mut access: F) {
+        // The fanout is a power of two, so per-level subtree widths are
+        // shifts rather than a pow()/division pair on the innermost
+        // workload loop.
+        const _: () = assert!(FANOUT.is_power_of_two());
+        const FB: u32 = (FANOUT as u64).trailing_zeros();
         let top = self.levels.len() - 1;
         for level in (0..=top).rev() {
             // Keys per entry at this level; an internal entry's key is the
             // first key of the subtree below it.
-            let unit = (FANOUT as u64).pow(level as u32);
-            let group = unit * FANOUT as u64;
-            let node_idx = key / group;
+            let unit = 1u64 << (FB * level as u32);
+            let node_idx = key >> (FB * (level as u32 + 1));
             let node = self.node_addr(level, node_idx);
             access(node, 2); // header (leaf flag + count)
             let count = self.node_entries(level, node_idx);

@@ -6,6 +6,11 @@
 set -e
 OUT=results
 mkdir -p "$OUT"
+# Build the bench package once up front and invoke the binaries directly:
+# `cargo run` per figure pays a rebuild check ~20 times per sweep
+# (visible in results/run.log).
+cargo build --release -p envy-bench
+BIN=target/release
 for bin in table_fig01 table_fig12 fig06_cleaning_cost fig08_policy_comparison \
            fig09_partition_size fig10_segment_count fig13_throughput \
            fig14_utilization fig15_latency breakdown_53 lifetime_55 ext_parallel ext_cost_benefit \
@@ -13,6 +18,6 @@ for bin in table_fig01 table_fig12 fig06_cleaning_cost fig08_policy_comparison \
            abl_buffer_size abl_page_size abl_wear_threshold abl_lg_mechanisms abl_mmu \
            abl_drifting_hotspot; do
   echo "=== $bin ==="
-  cargo run --release -p envy-bench --bin "$bin" -- "$@" > "$OUT/$bin.txt"
+  "$BIN/$bin" "$@" > "$OUT/$bin.txt"
 done
 echo "all results in $OUT/"

@@ -5,11 +5,15 @@
 set -e
 OUT=results
 mkdir -p "$OUT"
-cargo run --release -p envy-bench --bin fig13_throughput -- --paper --txns=250000 > "$OUT/fig13_throughput_paper.txt"
+# One build up front; the binaries are then invoked directly instead of
+# paying a `cargo run` rebuild check per figure.
+cargo build --release -p envy-bench
+BIN=target/release
+"$BIN/fig13_throughput" --paper --txns=250000 > "$OUT/fig13_throughput_paper.txt"
 echo fig13 done
-cargo run --release -p envy-bench --bin fig15_latency   -- --paper --txns=250000 > "$OUT/fig15_latency_paper.txt"
+"$BIN/fig15_latency"    --paper --txns=250000 > "$OUT/fig15_latency_paper.txt"
 echo fig15 done
-cargo run --release -p envy-bench --bin breakdown_53    -- --paper --txns=200000 > "$OUT/breakdown_53_paper.txt"
+"$BIN/breakdown_53"     --paper --txns=200000 > "$OUT/breakdown_53_paper.txt"
 echo breakdown done
-cargo run --release -p envy-bench --bin lifetime_55     -- --paper --txns=200000 > "$OUT/lifetime_55_paper.txt"
+"$BIN/lifetime_55"      --paper --txns=200000 > "$OUT/lifetime_55_paper.txt"
 echo lifetime done
