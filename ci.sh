@@ -52,6 +52,36 @@ cargo run --release -q -p envy-bench --bin perf_wallclock -- --smoke \
 test -s results/ci_smoke_perf_wallclock.txt
 test -s results/BENCH_perf_wallclock.json
 
+echo "== smoke: ext_serve --quick (sharded serving scalability) =="
+# Closed-loop shard-count sweep plus the determinism anchor: a 1-shard
+# front-end run must land on exactly the monolithic store's simulated
+# clock and stats — the binary asserts it and prints the anchor line.
+cargo run --release -q -p envy-bench --bin ext_serve -- --quick \
+  > results/ci_smoke_ext_serve.txt
+grep -q "anchor: 1-shard front end == monolithic store" results/ci_smoke_ext_serve.txt
+test -s results/BENCH_ext_serve.json
+
+echo "== smoke: envy-served + 4-client socket loadgen =="
+# Serve on a Unix socket, drive 4 client connections closed-loop, then
+# shut the server down over the wire; the daemon must drain, report a
+# clean summary, and remove its socket file.
+SERVE_SOCK="results/ci_serve.sock"
+rm -f "$SERVE_SOCK"
+cargo build --release -q -p envy-server --bin envy-served
+cargo build --release -q --bin envy-cli
+./target/release/envy-served --unix "$SERVE_SOCK" --shards 2 --scale small \
+  > results/ci_smoke_serve_daemon.txt 2>&1 &
+SERVED_PID=$!
+for _ in $(seq 1 100); do test -S "$SERVE_SOCK" && break; sleep 0.1; done
+test -S "$SERVE_SOCK"
+./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
+  --clients 4 --txns 250 --shutdown > results/ci_smoke_serve_load.txt
+wait "$SERVED_PID"
+grep -Eq "completed txns +1000" results/ci_smoke_serve_load.txt
+grep -Eq "errors +0" results/ci_smoke_serve_load.txt
+grep -q "(0 timed out)" results/ci_smoke_serve_daemon.txt
+test ! -e "$SERVE_SOCK"
+
 echo "== report schema check =="
 # Every committed results/BENCH_*.json must parse and carry report_version.
 cargo test --release -q -p envy-bench --test report_schema

@@ -1,0 +1,275 @@
+//! `ext_serve` — extension: sharded serving scalability (the paper's §6
+//! multiple-controller organization).
+//!
+//! Drives the `envy-serve` front end closed-loop with a fixed offered
+//! workload (8 clients, skewed TPC-A mix) at 1, 2, 4 and 8 shards, each
+//! shard an independent eNVy controller forked from one churned
+//! steady-state baseline. On a single-CPU host the worker threads
+//! time-share, so the scaling metric is **aggregate simulated-time
+//! throughput**: completed transactions divided by the slowest shard's
+//! simulated-clock advance — the makespan a real multi-controller array
+//! would take for the same work. Wall-clock throughput and transaction
+//! latency percentiles are reported alongside, and an open-loop point
+//! at a fixed offered rate exercises the coordinated-omission-corrected
+//! latency accounting.
+//!
+//! A determinism anchor runs first: a single-submitter stream through
+//! the one-shard front end must land on exactly the simulated clock and
+//! controller statistics of the same stream applied synchronously to a
+//! monolithic store (`loadgen::run_monolithic`).
+
+use envy_bench::{
+    arg_u64, churn_to_steady_state_for, emit, jobs_arg, quick_mode, time_series_json,
+    write_report_full, PointResult, SweepSpec,
+};
+use envy_core::EnvyStore;
+use envy_server::loadgen::{run_inproc, run_monolithic};
+use envy_server::{LoadSpec, ServeConfig, ShardedStore};
+use envy_sim::report::Table;
+use envy_sim::time::Ns;
+use envy_workload::{AnalyticTpca, TpcaScale};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shard counts on the x-axis; the last one also samples queue depth.
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+fn us(ns: Ns) -> f64 {
+    ns.as_nanos() as f64 / 1_000.0
+}
+
+fn main() {
+    let started = Instant::now();
+    let quick = quick_mode();
+    let txns = arg_u64("txns", if quick { 150 } else { 1_500 });
+    let clients = arg_u64("clients", 8).max(1) as u32;
+    let rate = arg_u64("rate", if quick { 2_000 } else { 4_000 });
+
+    // One churned steady-state baseline; every shard of every point
+    // forks it, so all controllers start byte- and state-identical.
+    let config = ServeConfig::scaled(1);
+    let mut baseline = EnvyStore::new(config.store.clone()).expect("config is valid");
+    baseline.prefill().expect("prefill fits");
+    let driver = AnalyticTpca::new(TpcaScale::fit_bytes(config.store.logical_bytes()));
+    churn_to_steady_state_for(false, &mut baseline, &driver);
+
+    // Determinism anchor: one shard, one submitter — the front end must
+    // be indistinguishable from the monolithic store it wraps.
+    let anchor_spec = LoadSpec::closed(1, if quick { 100 } else { 400 }).with_seed(0xA5C0);
+    let mut mono = baseline.fork();
+    let mono_report = run_monolithic(&mut mono, &anchor_spec);
+    let front = ShardedStore::launch_from(vec![baseline.fork()], &ServeConfig::scaled(1));
+    let front_report = run_inproc(&front.handle(), &anchor_spec);
+    let anchor_outcome = front.shutdown();
+    let shard0 = &anchor_outcome.shards[0].store;
+    assert_eq!(shard0.now(), mono.now(), "anchor: simulated clock diverged");
+    assert_eq!(
+        shard0.stats(),
+        mono.stats(),
+        "anchor: controller stats diverged"
+    );
+    assert_eq!(front_report.completed_ops, mono_report.completed_ops);
+    println!(
+        "anchor: 1-shard front end == monolithic store ({} txns, sim {:.3} ms)",
+        mono_report.completed_txns,
+        shard0.now().as_nanos() as f64 / 1e6,
+    );
+    println!();
+    let anchor_point = (
+        "anchor".to_string(),
+        vec![
+            ("anchor_txns", mono_report.completed_txns as f64),
+            ("anchor_sim_us", us(shard0.now())),
+            ("anchor_match", 1.0),
+        ],
+    );
+
+    // Closed-loop shard-count sweep at a fixed offered workload.
+    let depth_json: Mutex<Option<String>> = Mutex::new(None);
+    let baseline = &baseline;
+    let sweep = SweepSpec::new("ext_serve", SHARD_COUNTS.to_vec()).run_with_jobs(
+        jobs_arg(),
+        |_, &shards| {
+            let config = ServeConfig::scaled(shards);
+            let stores = (0..shards).map(|_| baseline.fork()).collect();
+            let front = ShardedStore::launch_from(stores, &config);
+            let load = LoadSpec::closed(clients, txns).with_seed(0x5e47e);
+            let report = run_inproc(&front.handle(), &load);
+            let outcome = front.shutdown();
+            assert_eq!(report.errors, 0, "serving errors at {shards} shards");
+            let sim_us = us(outcome.max_sim_time());
+            let sim_tps = if sim_us > 0.0 {
+                report.completed_txns as f64 / (sim_us / 1e6)
+            } else {
+                0.0
+            };
+            let [p50, p95, p99, p999] = report
+                .txn_latency
+                .percentiles()
+                .expect("latencies recorded");
+            if shards == *SHARD_COUNTS.last().unwrap() {
+                *depth_json.lock().unwrap() =
+                    Some(time_series_json(&outcome.shards[0].depth_series));
+            }
+            let max_batch = outcome
+                .shards
+                .iter()
+                .map(|s| s.max_batch)
+                .max()
+                .unwrap_or(0);
+            PointResult::row(
+                format!("{shards} shards"),
+                vec![
+                    shards.to_string(),
+                    report.completed_txns.to_string(),
+                    format!("{:.2}", sim_us / 1e3),
+                    format!("{:.1}", sim_tps / 1e3),
+                    format!("{:.1}", report.throughput_tps() / 1e3),
+                    format!("{:.1}", us(p50)),
+                    format!("{:.1}", us(p95)),
+                    format!("{:.1}", us(p99)),
+                    format!("{:.1}", us(p999)),
+                    report.busy_retries.to_string(),
+                ],
+            )
+            .metric("shards", f64::from(shards))
+            .metric("completed_txns", report.completed_txns as f64)
+            .metric("sim_makespan_us", sim_us)
+            .metric("sim_tps", sim_tps)
+            .metric("wall_tps", report.throughput_tps())
+            .metric("p50_us", us(p50))
+            .metric("p95_us", us(p95))
+            .metric("p99_us", us(p99))
+            .metric("p999_us", us(p999))
+            .metric("busy_retries", report.busy_retries as f64)
+            .metric("max_batch", f64::from(max_batch))
+        },
+    );
+
+    let sim_tps_of = |i: usize| {
+        sweep.points[i]
+            .1
+            .iter()
+            .find(|(name, _)| *name == "sim_tps")
+            .map_or(0.0, |&(_, v)| v)
+    };
+    let base_tps = sim_tps_of(0);
+    let mut table = Table::new(&[
+        "shards",
+        "txns",
+        "sim ms",
+        "sim ktps",
+        "wall ktps",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "p999 us",
+        "busy",
+        "speedup",
+    ]);
+    for (i, row) in sweep.rows.iter().enumerate() {
+        let mut row = row.clone();
+        let speedup = if base_tps > 0.0 {
+            sim_tps_of(i) / base_tps
+        } else {
+            0.0
+        };
+        row.push(format!("{speedup:.2}x"));
+        table.row(&row);
+    }
+    emit(
+        "Section 6",
+        "sharded serving: closed-loop scaling (simulated-time aggregate)",
+        &table,
+    );
+    let last = sweep.points.len() - 1;
+    let scaling = if base_tps > 0.0 {
+        sim_tps_of(last) / base_tps
+    } else {
+        0.0
+    };
+    println!(
+        "aggregate simulated-time scaling 1 -> {} shards: {scaling:.2}x",
+        SHARD_COUNTS[last]
+    );
+    println!();
+
+    // One open-loop point: offered-rate pacing with latency measured
+    // from the scheduled start (queueing delay counts).
+    let open_shards = 4u32;
+    let open_front = ShardedStore::launch_from(
+        (0..open_shards).map(|_| baseline.fork()).collect(),
+        &ServeConfig::scaled(open_shards),
+    );
+    let open_dur = Duration::from_millis(if quick { 250 } else { 1_000 });
+    let open_spec = LoadSpec::closed(clients, 0)
+        .open(rate)
+        .with_duration(open_dur)
+        .with_seed(0x09e4);
+    let open_report = run_inproc(&open_front.handle(), &open_spec);
+    let open_outcome = open_front.shutdown();
+    assert_eq!(open_report.errors, 0, "open-loop serving errors");
+    let [p50, p95, p99, p999] = open_report
+        .txn_latency
+        .percentiles()
+        .expect("open-loop latencies recorded");
+    let mut open_table = Table::new(&[
+        "mode",
+        "offered tps",
+        "achieved tps",
+        "txns",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "p999 us",
+        "busy",
+    ]);
+    open_table.row(&[
+        format!("open/{open_shards} shards"),
+        rate.to_string(),
+        format!("{:.0}", open_report.throughput_tps()),
+        open_report.completed_txns.to_string(),
+        format!("{:.1}", us(p50)),
+        format!("{:.1}", us(p95)),
+        format!("{:.1}", us(p99)),
+        format!("{:.1}", us(p999)),
+        open_report.busy_retries.to_string(),
+    ]);
+    emit(
+        "Section 6",
+        "sharded serving: open-loop offered rate (coordinated-omission corrected)",
+        &open_table,
+    );
+    let open_point = (
+        format!("open/{open_shards}shards@{rate}tps"),
+        vec![
+            ("offered_tps", rate as f64),
+            ("achieved_tps", open_report.throughput_tps()),
+            ("completed_txns", open_report.completed_txns as f64),
+            ("sim_makespan_us", us(open_outcome.max_sim_time())),
+            ("p50_us", us(p50)),
+            ("p95_us", us(p95)),
+            ("p99_us", us(p99)),
+            ("p999_us", us(p999)),
+            ("busy_retries", open_report.busy_retries as f64),
+        ],
+    );
+
+    let mut points = vec![anchor_point];
+    points.extend(sweep.points.iter().cloned());
+    points.push(open_point);
+    let extras = match depth_json.into_inner().expect("no poisoned lock") {
+        Some(json) => vec![("queue_depth", json)],
+        None => Vec::new(),
+    };
+    match write_report_full(
+        "ext_serve",
+        sweep.jobs,
+        started.elapsed().as_secs_f64(),
+        &points,
+        &extras,
+    ) {
+        Ok(path) => eprintln!("  report: {}", path.display()),
+        Err(e) => eprintln!("  warning: could not write report: {e}"),
+    }
+}

@@ -402,4 +402,24 @@ mod tests {
         assert_eq!(seq.jobs, 1);
         assert_eq!(par.jobs, 4);
     }
+
+    #[test]
+    fn defaulted_jobs_match_sequential() {
+        // The `--jobs` default (available cores) must produce the same
+        // rows and metrics as a fully sequential run — the path every
+        // binary takes when no `--jobs` flag is passed.
+        let default_jobs = jobs_arg();
+        assert!(default_jobs >= 1);
+        let spec = SweepSpec::new("unit-default-jobs", (0u64..9).collect());
+        let run = |i: usize, p: &u64| {
+            PointResult::row(format!("d{p}"), vec![point_seed(7, i as u64).to_string()])
+                .metric("seeded", point_seed(7, i as u64) as f64)
+        };
+        let seq = spec.run_with_jobs(1, run);
+        let def = spec.run_with_jobs(default_jobs, run);
+        assert_eq!(seq.rows, def.rows);
+        assert_eq!(seq.points, def.points);
+        // jobs is clamped to the point count, never below 1.
+        assert_eq!(def.jobs, default_jobs.clamp(1, 9));
+    }
 }

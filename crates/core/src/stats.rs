@@ -108,6 +108,49 @@ pub struct TimeBreakdown {
 }
 
 impl EnvyStats {
+    /// Merge another controller's statistics into this one — the
+    /// aggregation a sharded front end performs over its shared-nothing
+    /// controllers (§6's multiple-controller organization). Counters and
+    /// histograms add; times sum. Derived metrics ([`cleaning_cost`],
+    /// [`breakdown`]) then describe the fleet as a whole.
+    ///
+    /// [`cleaning_cost`]: EnvyStats::cleaning_cost
+    /// [`breakdown`]: EnvyStats::breakdown
+    pub fn merge(&mut self, other: &EnvyStats) {
+        self.host_reads.add(other.host_reads.get());
+        self.host_writes.add(other.host_writes.get());
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.cow_ops.add(other.cow_ops.get());
+        self.fresh_allocs.add(other.fresh_allocs.get());
+        self.sram_write_hits.add(other.sram_write_hits.get());
+        self.pages_flushed.add(other.pages_flushed.get());
+        self.clean_programs.add(other.clean_programs.get());
+        self.shed_programs.add(other.shed_programs.get());
+        self.shadow_programs.add(other.shadow_programs.get());
+        self.cleans.add(other.cleans.get());
+        self.erases.add(other.erases.get());
+        self.wear_swaps.add(other.wear_swaps.get());
+        self.wear_programs.add(other.wear_programs.get());
+        self.time_reads += other.time_reads;
+        self.time_writes += other.time_writes;
+        self.time_flush += other.time_flush;
+        self.time_clean += other.time_clean;
+        self.time_erase += other.time_erase;
+        self.time_suspend += other.time_suspend;
+        self.suspensions.add(other.suspensions.get());
+        self.program_faults.add(other.program_faults.get());
+        self.program_retries.add(other.program_retries.get());
+        self.program_remaps.add(other.program_remaps.get());
+        self.erase_faults.add(other.erase_faults.get());
+        self.erase_retries.add(other.erase_retries.get());
+        self.recovery_scavenged.add(other.recovery_scavenged.get());
+        self.recovery_dropped_buffer
+            .add(other.recovery_dropped_buffer.get());
+        self.recovery_stale_shadows
+            .add(other.recovery_stale_shadows.get());
+    }
+
     /// The paper's cleaning-cost metric (§4.1). Zero before any flush.
     pub fn cleaning_cost(&self) -> f64 {
         let flushed = self.pages_flushed.get();
@@ -166,6 +209,29 @@ pub fn lifetime_days(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_adds_counters_histograms_and_times() {
+        let mut a = EnvyStats::default();
+        a.host_writes.add(3);
+        a.pages_flushed.add(10);
+        a.clean_programs.add(5);
+        a.time_reads = Ns::from_nanos(100);
+        a.read_latency.record(Ns::from_nanos(160));
+        let mut b = EnvyStats::default();
+        b.host_writes.add(7);
+        b.pages_flushed.add(10);
+        b.clean_programs.add(15);
+        b.time_reads = Ns::from_nanos(50);
+        b.read_latency.record(Ns::from_nanos(260));
+        a.merge(&b);
+        assert_eq!(a.host_writes.get(), 10);
+        assert_eq!(a.read_latency.count(), 2);
+        assert_eq!(a.read_latency.max(), Some(Ns::from_nanos(260)));
+        assert_eq!(a.time_reads, Ns::from_nanos(150));
+        // Derived fleet metric: 20 programs over 20 flushes.
+        assert!((a.cleaning_cost() - 1.0).abs() < 1e-12);
+    }
 
     #[test]
     fn cleaning_cost_definition() {

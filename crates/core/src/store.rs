@@ -794,6 +794,23 @@ mod tests {
         s
     }
 
+    /// Send-safety audit for the sharded serving layer: a store (and its
+    /// fork) must be movable into a worker thread. Every constituent is
+    /// owned data — no `Rc`, no raw pointers, no thread-affine interior
+    /// mutability — so this is a compile-time fact; the assertion keeps
+    /// it from regressing silently.
+    #[test]
+    fn envy_store_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<EnvyStore>();
+        assert_send::<Engine>();
+        assert_send::<EnvyStats>();
+        assert_send::<TraceRing>();
+        let s = store();
+        let forked = s.fork();
+        std::thread::spawn(move || drop(forked)).join().unwrap();
+    }
+
     #[test]
     fn byte_range_roundtrip_across_pages() {
         let mut s = store();

@@ -113,6 +113,29 @@ pub enum TraceEvent {
         /// The exhausted segment.
         segment: u32,
     },
+    /// A serving front end admitted a request into a shard's queue
+    /// (recorded by the shard worker in admission order).
+    ServeEnqueue {
+        /// Shard the request was routed to.
+        shard: u32,
+        /// Request id assigned by the front end.
+        seq: u64,
+    },
+    /// A shard worker drained a batch from its request queue.
+    ServeDispatch {
+        /// The dispatching shard.
+        shard: u32,
+        /// Requests in the drained batch.
+        batch: u32,
+    },
+    /// A shard worker finished executing a request and posted its
+    /// completion.
+    ServeComplete {
+        /// The executing shard.
+        shard: u32,
+        /// Request id assigned by the front end.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -143,6 +166,15 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ProgramFault { segment } => write!(f, "program-fault seg={segment}"),
             TraceEvent::EraseFault { segment } => write!(f, "erase-fault seg={segment}"),
             TraceEvent::Remap { segment } => write!(f, "remap from seg={segment}"),
+            TraceEvent::ServeEnqueue { shard, seq } => {
+                write!(f, "serve-enqueue shard={shard} seq={seq}")
+            }
+            TraceEvent::ServeDispatch { shard, batch } => {
+                write!(f, "serve-dispatch shard={shard} batch={batch}")
+            }
+            TraceEvent::ServeComplete { shard, seq } => {
+                write!(f, "serve-complete shard={shard} seq={seq}")
+            }
         }
     }
 }
@@ -199,6 +231,13 @@ impl TraceRing {
     /// with. Timestamps are monotone: an earlier `now` is ignored.
     pub fn set_now(&mut self, now: Ns) {
         self.now = self.now.max(now);
+    }
+
+    /// Record one event from an embedding layer (a serving front end, a
+    /// replay harness) that stamps its own [`TraceRing::set_now`]
+    /// timestamps. No-op when disabled, like every emit site.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.emit(event);
     }
 
     /// Record one event (no-op when disabled).

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # envy-server — a sharded concurrent front end over the eNVy store
+//!
+//! The paper's §6 scalability discussion grows eNVy beyond one datapath
+//! by putting **multiple controllers over independent banks**. This
+//! crate reproduces that organization as a serving layer: the logical
+//! word address space is statically sharded across N independent
+//! [`envy_core::EnvyStore`] instances — one per worker thread,
+//! shared-nothing — fronted by an admission-controlled request plane.
+//!
+//! * [`shard`] — the in-process client API: [`ShardedStore`] with
+//!   bounded per-shard MPSC request queues, batch-drain dispatch (up to
+//!   K requests per dispatch), typed completions, explicit backpressure
+//!   ([`Busy`] with a retry hint — never silent blocking), per-request
+//!   deadlines, and a graceful shutdown that drains every queue.
+//! * [`proto`] — a length-prefixed binary wire protocol for the same
+//!   request set.
+//! * [`net`] — TCP and Unix-socket serving with thread-per-connection
+//!   pipelining, plus a blocking/pipelined [`Client`].
+//! * [`loadgen`] — an open- and closed-loop multi-client load generator
+//!   driving a skewed TPC-A-style mix (reusing [`envy_workload`]).
+//!
+//! The `envy-served` binary wraps [`net::serve`] as a daemon; see
+//! `docs/SERVING.md` for the frame layout, the sharding function, the
+//! backpressure contract, and the shutdown semantics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use envy_server::{Request, Reply, ServeConfig, ShardedStore};
+//!
+//! let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+//! let handle = store.handle();
+//! handle
+//!     .call(Request::Write { addr: 4096, bytes: b"hello".to_vec() })
+//!     .unwrap();
+//! match handle.call(Request::Read { addr: 4096, len: 5 }).unwrap() {
+//!     Reply::Data(bytes) => assert_eq!(bytes, b"hello"),
+//!     other => panic!("unexpected reply {other:?}"),
+//! }
+//! let outcome = store.shutdown();
+//! assert_eq!(outcome.total_served(), 2);
+//! ```
+
+pub mod loadgen;
+pub mod net;
+pub mod proto;
+pub mod shard;
+
+pub use loadgen::{LoadMode, LoadReport, LoadSpec};
+pub use net::{serve, Client, ClientError, Listener, ServeSummary, ServerHandle};
+pub use proto::{WireBody, WireRequest};
+pub use shard::{
+    Busy, Reply, Request, Response, ServeConfig, ServeError, ServeOutcome, ShardHandle,
+    ShardOutcome, ShardPlan, ShardedStore, SubmitError, DEPTH_COLUMNS,
+};

@@ -1,0 +1,650 @@
+//! Open- and closed-loop multi-client load generation.
+//!
+//! Each client thread drives a skewed TPC-A-style transaction mix
+//! (reusing [`envy_workload`]'s analytic driver) against either the
+//! in-process [`ShardHandle`] or a socket [`Client`]. Transactions pick
+//! a shard uniformly and run the full three-index search +
+//! read-modify-write access list of one TPC-A transaction against that
+//! shard's slice; account skew follows the `hot_weight` /
+//! `hot_fraction` rule (a `hot_weight` fraction of transactions land in
+//! the first `hot_fraction` of accounts).
+//!
+//! * **Closed loop** — each client keeps one transaction in flight:
+//!   accesses pipeline within the transaction, the client awaits all
+//!   completions, records the latency, and starts the next. Throughput
+//!   is completion-limited.
+//! * **Open loop** — transaction *starts* are paced to an offered rate,
+//!   and latency is measured from the **scheduled** start, so queueing
+//!   delay from a saturated server counts against it (coordinated-
+//!   omission correction). A client still bounds itself to one
+//!   transaction's accesses outstanding.
+//!
+//! [`Busy`](crate::shard::Busy) rejections are retried after the hinted
+//! backoff and counted in [`LoadReport::busy_retries`] — backpressure is
+//! visible in the report, never silently absorbed.
+
+use crate::net::Client;
+use crate::proto::WireOutcome;
+use crate::shard::{apply, Request, Response, ServeError, ShardHandle, ShardPlan, SubmitError};
+use envy_core::EnvyStore;
+use envy_sim::rng::Rng;
+use envy_sim::stats::Histogram;
+use envy_sim::time::Ns;
+use envy_workload::tpca::{AnalyticTpca, TpcaScale, TraceAccess, Transaction};
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How transaction starts are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// One transaction in flight per client; next starts on completion.
+    Closed,
+    /// Transaction starts paced to an aggregate offered rate
+    /// (transactions per second across all clients).
+    Open {
+        /// Offered aggregate rate, transactions per second.
+        rate_tps: u64,
+    },
+}
+
+/// A load-generation run description.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client threads (or connections).
+    pub clients: u32,
+    /// Transactions per client; 0 means "until `duration` elapses".
+    pub txns_per_client: u64,
+    /// Wall-clock stop condition (checked between transactions).
+    pub duration: Option<Duration>,
+    /// Open or closed loop.
+    pub mode: LoadMode,
+    /// Base seed; each client derives an independent stream.
+    pub seed: u64,
+    /// Fraction of the account range that is "hot".
+    pub hot_fraction: f64,
+    /// Probability a transaction draws its account from the hot range.
+    pub hot_weight: f64,
+    /// Per-request deadline passed to the server, if any.
+    pub deadline: Option<Duration>,
+}
+
+impl LoadSpec {
+    /// A closed-loop spec with the default 10 %-hot / 90 %-weight skew.
+    pub fn closed(clients: u32, txns_per_client: u64) -> LoadSpec {
+        LoadSpec {
+            clients: clients.max(1),
+            txns_per_client,
+            duration: None,
+            mode: LoadMode::Closed,
+            seed: 0x5eed,
+            hot_fraction: 0.1,
+            hot_weight: 0.9,
+            deadline: None,
+        }
+    }
+
+    /// Switch to open-loop pacing at an aggregate rate (builder-style).
+    #[must_use]
+    pub fn open(mut self, rate_tps: u64) -> LoadSpec {
+        self.mode = LoadMode::Open {
+            rate_tps: rate_tps.max(1),
+        };
+        self
+    }
+
+    /// Set the wall-clock stop condition (builder-style).
+    #[must_use]
+    pub fn with_duration(mut self, d: Duration) -> LoadSpec {
+        self.duration = Some(d);
+        self
+    }
+
+    /// Set the base seed (builder-style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> LoadSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the per-request deadline (builder-style).
+    #[must_use]
+    pub fn with_deadline(mut self, d: Duration) -> LoadSpec {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Transactions fully completed.
+    pub completed_txns: u64,
+    /// Individual accesses completed successfully.
+    pub completed_ops: u64,
+    /// `Busy` rejections retried.
+    pub busy_retries: u64,
+    /// Accesses that expired past their deadline.
+    pub timeouts: u64,
+    /// Accesses that failed with any other typed error.
+    pub errors: u64,
+    /// Wall-clock duration of the run (max across clients).
+    pub wall: Duration,
+    /// Wall-clock transaction latency (closed: from first submit; open:
+    /// from scheduled start).
+    pub txn_latency: Histogram,
+}
+
+impl LoadReport {
+    /// Fold another client's report into this one (latencies merge,
+    /// counters add, wall takes the max).
+    pub fn merge(&mut self, other: &LoadReport) {
+        self.completed_txns += other.completed_txns;
+        self.completed_ops += other.completed_ops;
+        self.busy_retries += other.busy_retries;
+        self.timeouts += other.timeouts;
+        self.errors += other.errors;
+        self.wall = self.wall.max(other.wall);
+        self.txn_latency.merge(&other.txn_latency);
+    }
+
+    /// Completed transactions per wall-clock second.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed_txns as f64 / secs
+        }
+    }
+}
+
+/// The transaction shape a stream generates: full TPC-A when the
+/// minimum database layout fits the shard slice, otherwise a synthetic
+/// miniature with the same read-modify-write access pattern.
+enum Mix {
+    /// Three index searches + three record RMWs per transaction.
+    Tpca(Box<AnalyticTpca>, TpcaScale),
+    /// Three (read, write) record pairs at skew-drawn slots — the TPC-A
+    /// account/teller/branch shape without the index B-Trees, for slices
+    /// too small to hold the minimum database.
+    Synthetic {
+        /// 8-byte record slots available in the slice.
+        slots: u64,
+    },
+}
+
+/// Per-client deterministic transaction stream over one shard plan.
+struct TxnStream {
+    rng: Rng,
+    mix: Mix,
+    plan: ShardPlan,
+    hot_fraction: f64,
+    hot_weight: f64,
+}
+
+const SYNTH_RECORD: u64 = 8;
+
+impl TxnStream {
+    fn new(spec: &LoadSpec, plan: ShardPlan, client: u32) -> TxnStream {
+        let seed = spec
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(client as u64 + 1));
+        let scale = TpcaScale::fit_bytes(plan.shard_bytes());
+        let tpca = AnalyticTpca::new(scale);
+        let fits = tpca.layout().total_bytes <= plan.shard_bytes();
+        let mix = if fits {
+            Mix::Tpca(Box::new(tpca), scale)
+        } else {
+            Mix::Synthetic {
+                slots: (plan.shard_bytes() / SYNTH_RECORD).max(1),
+            }
+        };
+        TxnStream {
+            rng: Rng::seed_from(seed),
+            mix,
+            plan,
+            hot_fraction: spec.hot_fraction,
+            hot_weight: spec.hot_weight,
+        }
+    }
+
+    /// Draw a key in `0..keys` with the hot-range skew.
+    fn skewed_key(&mut self, keys: u64) -> u64 {
+        if self.hot_weight > 0.0 && self.rng.chance(self.hot_weight) {
+            let hot = ((keys as f64 * self.hot_fraction) as u64).max(1);
+            self.rng.below(hot)
+        } else {
+            self.rng.below(keys)
+        }
+    }
+
+    /// Draw the next transaction's global-address request list.
+    fn next_requests(&mut self, out: &mut Vec<Request>) {
+        out.clear();
+        let shard = self.rng.below(self.plan.shards() as u64) as u32;
+        let base = self.plan.base_of(shard);
+        match &self.mix {
+            Mix::Tpca(_, scale) => {
+                let account = self.skewed_key(scale.accounts());
+                let teller = account / 10_000;
+                let branch = teller / 10;
+                let delta = (self.rng.below(2_000) as i64) - 1_000;
+                let txn = Transaction {
+                    account,
+                    teller,
+                    branch,
+                    delta,
+                };
+                let fill = account as u8;
+                let Mix::Tpca(tpca, _) = &self.mix else {
+                    unreachable!()
+                };
+                tpca.for_each_access(&txn, |a: TraceAccess| {
+                    out.push(if a.write {
+                        Request::Write {
+                            addr: base + a.addr,
+                            bytes: vec![fill; a.len],
+                        }
+                    } else {
+                        Request::Read {
+                            addr: base + a.addr,
+                            len: a.len as u32,
+                        }
+                    });
+                });
+            }
+            Mix::Synthetic { slots } => {
+                let slots = *slots;
+                let account = self.skewed_key(slots);
+                // Tellers and branches concentrate 10× and 100× like the
+                // TPC-A hierarchy, folded back into the slot range.
+                for key in [account, (account / 10) % slots, (account / 100) % slots] {
+                    let addr = base + key * SYNTH_RECORD;
+                    out.push(Request::Read {
+                        addr,
+                        len: SYNTH_RECORD as u32,
+                    });
+                    out.push(Request::Write {
+                        addr,
+                        bytes: vec![key as u8; SYNTH_RECORD as usize],
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Shared pacing/termination bookkeeping for one client thread.
+struct ClientLoop {
+    report: LoadReport,
+    end: Option<Instant>,
+    txns_target: u64,
+    interval: Option<Duration>,
+    next_start: Instant,
+    started: Instant,
+}
+
+impl ClientLoop {
+    fn new(spec: &LoadSpec, started: Instant) -> ClientLoop {
+        let interval = match spec.mode {
+            LoadMode::Closed => None,
+            LoadMode::Open { rate_tps } => Some(Duration::from_secs_f64(
+                spec.clients as f64 / rate_tps as f64,
+            )),
+        };
+        ClientLoop {
+            report: LoadReport::default(),
+            end: spec.duration.map(|d| started + d),
+            txns_target: spec.txns_per_client,
+            interval,
+            next_start: started,
+            started,
+        }
+    }
+
+    /// Wait for the next scheduled start (open loop) and decide whether
+    /// to run another transaction. Returns the latency origin.
+    fn next_txn(&mut self) -> Option<Instant> {
+        if self.txns_target > 0 && self.report.completed_txns >= self.txns_target {
+            return None;
+        }
+        if let Some(end) = self.end {
+            if Instant::now() >= end {
+                return None;
+            }
+        }
+        match self.interval {
+            None => Some(Instant::now()),
+            Some(gap) => {
+                let scheduled = self.next_start;
+                self.next_start += gap;
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                Some(scheduled)
+            }
+        }
+    }
+
+    fn finish(mut self) -> LoadReport {
+        self.report.wall = self.started.elapsed();
+        self.report
+    }
+}
+
+/// Drive a load run against an in-process [`ShardHandle`].
+///
+/// Spawns `spec.clients` threads, each with its own deterministic
+/// transaction stream, and merges their reports.
+pub fn run_inproc(handle: &ShardHandle, spec: &LoadSpec) -> LoadReport {
+    let started = Instant::now();
+    let mut total = LoadReport::default();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..spec.clients)
+            .map(|c| {
+                let handle = handle.clone();
+                scope.spawn(move || inproc_client(&handle, spec, c, started))
+            })
+            .collect();
+        for w in workers {
+            total.merge(&w.join().expect("load client panicked"));
+        }
+    });
+    total.wall = started.elapsed();
+    total
+}
+
+fn inproc_client(
+    handle: &ShardHandle,
+    spec: &LoadSpec,
+    client: u32,
+    started: Instant,
+) -> LoadReport {
+    let mut stream = TxnStream::new(spec, *handle.plan(), client);
+    let mut lp = ClientLoop::new(spec, started);
+    let (tx, rx) = mpsc::channel::<Response>();
+    let mut reqs = Vec::new();
+    while let Some(t0) = lp.next_txn() {
+        stream.next_requests(&mut reqs);
+        let mut outstanding = 0usize;
+        for req in &reqs {
+            loop {
+                match handle.submit(req.clone(), spec.deadline, &tx) {
+                    Ok(_) => {
+                        outstanding += 1;
+                        break;
+                    }
+                    Err(SubmitError::Busy(b)) => {
+                        lp.report.busy_retries += 1;
+                        std::thread::sleep(b.retry_after);
+                    }
+                    Err(SubmitError::Rejected(ServeError::ShuttingDown)) => {
+                        drain(&rx, outstanding, &mut lp.report);
+                        return lp.finish();
+                    }
+                    Err(SubmitError::Rejected(_)) => {
+                        lp.report.errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        drain(&rx, outstanding, &mut lp.report);
+        lp.report.completed_txns += 1;
+        lp.report
+            .txn_latency
+            .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
+    }
+    lp.finish()
+}
+
+fn drain(rx: &mpsc::Receiver<Response>, outstanding: usize, report: &mut LoadReport) {
+    for _ in 0..outstanding {
+        match rx.recv() {
+            Ok(resp) => match resp.result {
+                Ok(_) => report.completed_ops += 1,
+                Err(ServeError::DeadlineExceeded) => report.timeouts += 1,
+                Err(_) => report.errors += 1,
+            },
+            Err(_) => return,
+        }
+    }
+}
+
+/// Replay the workload a single in-process client would submit, applied
+/// synchronously to a monolithic store — the single-controller
+/// reference of the determinism anchor (a one-shard [`ShardedStore`]
+/// run with the same spec must land on exactly this store's simulated
+/// clock and controller statistics).
+///
+/// The transaction stream is regenerated from the spec's seed, not
+/// recorded, so only a single-submitter order is reproducible: the spec
+/// must use one client, a transaction count (not a duration), and no
+/// deadline.
+///
+/// # Panics
+///
+/// If the spec uses more than one client, no transaction count, or a
+/// deadline — none of those orders are reproducible synchronously.
+///
+/// [`ShardedStore`]: crate::shard::ShardedStore
+pub fn run_monolithic(store: &mut EnvyStore, spec: &LoadSpec) -> LoadReport {
+    assert_eq!(
+        spec.clients, 1,
+        "the monolithic reference is single-submitter"
+    );
+    assert!(
+        spec.txns_per_client > 0,
+        "the monolithic reference needs a transaction count, not a duration"
+    );
+    assert!(
+        spec.deadline.is_none(),
+        "deadline expiry depends on wall-clock timing and is not replayable"
+    );
+    let plan = ShardPlan::new(1, store.size());
+    let mut stream = TxnStream::new(spec, plan, 0);
+    let started = Instant::now();
+    let mut report = LoadReport::default();
+    let mut reqs = Vec::new();
+    for _ in 0..spec.txns_per_client {
+        let t0 = Instant::now();
+        stream.next_requests(&mut reqs);
+        for req in &reqs {
+            match apply(store, req) {
+                Ok(_) => report.completed_ops += 1,
+                Err(_) => report.errors += 1,
+            }
+        }
+        report.completed_txns += 1;
+        report
+            .txn_latency
+            .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
+    }
+    report.wall = started.elapsed();
+    report
+}
+
+/// Drive a load run over sockets: one [`Client`] connection per client
+/// thread, built by `connect`. The caller supplies the server's
+/// [`ShardPlan`] (shard count and slice size), which the wire protocol
+/// does not carry.
+///
+/// # Errors
+///
+/// The first connection error; established clients that later fail stop
+/// individually and their partial counts are merged.
+pub fn run_socket<F>(connect: F, plan: ShardPlan, spec: &LoadSpec) -> io::Result<LoadReport>
+where
+    F: Fn() -> io::Result<Client> + Sync,
+{
+    let started = Instant::now();
+    let mut clients = Vec::with_capacity(spec.clients as usize);
+    for _ in 0..spec.clients {
+        clients.push(connect()?);
+    }
+    let mut total = LoadReport::default();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(c, client)| {
+                scope.spawn(move || socket_client(client, spec, plan, c as u32, started))
+            })
+            .collect();
+        for w in workers {
+            total.merge(&w.join().expect("socket load client panicked"));
+        }
+    });
+    total.wall = started.elapsed();
+    Ok(total)
+}
+
+fn socket_client(
+    mut client: Client,
+    spec: &LoadSpec,
+    plan: ShardPlan,
+    idx: u32,
+    started: Instant,
+) -> LoadReport {
+    let mut stream = TxnStream::new(spec, plan, idx);
+    let mut lp = ClientLoop::new(spec, started);
+    let mut reqs = Vec::new();
+    let mut pending: HashMap<u64, Request> = HashMap::new();
+    while let Some(t0) = lp.next_txn() {
+        stream.next_requests(&mut reqs);
+        pending.clear();
+        for req in &reqs {
+            match client.submit(req.clone(), spec.deadline) {
+                Ok(id) => {
+                    pending.insert(id, req.clone());
+                }
+                Err(_) => return lp.finish(),
+            }
+        }
+        // Await the whole transaction; Busy rejections are resubmitted
+        // under their original id after the hinted backoff.
+        while !pending.is_empty() {
+            let resp = match client.recv() {
+                Ok(resp) => resp,
+                Err(_) => return lp.finish(),
+            };
+            match resp.outcome {
+                WireOutcome::Busy(b) => {
+                    if let Some(req) = pending.get(&resp.id).cloned() {
+                        lp.report.busy_retries += 1;
+                        std::thread::sleep(b.retry_after);
+                        if client.submit_with_id(resp.id, req, spec.deadline).is_err() {
+                            return lp.finish();
+                        }
+                    }
+                }
+                WireOutcome::Reply(_) => {
+                    pending.remove(&resp.id);
+                    lp.report.completed_ops += 1;
+                }
+                WireOutcome::Err(ServeError::DeadlineExceeded) => {
+                    pending.remove(&resp.id);
+                    lp.report.timeouts += 1;
+                }
+                WireOutcome::Err(ServeError::ShuttingDown) => {
+                    pending.remove(&resp.id);
+                    return lp.finish();
+                }
+                WireOutcome::Err(_) => {
+                    pending.remove(&resp.id);
+                    lp.report.errors += 1;
+                }
+                WireOutcome::ShutdownAck => return lp.finish(),
+            }
+        }
+        lp.report.completed_txns += 1;
+        lp.report
+            .txn_latency
+            .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
+    }
+    lp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{ServeConfig, ShardedStore};
+
+    #[test]
+    fn txn_stream_is_deterministic_and_in_range() {
+        let spec = LoadSpec::closed(2, 4);
+        let plan = ShardPlan::new(4, 1 << 20);
+        let mut a = TxnStream::new(&spec, plan, 1);
+        let mut b = TxnStream::new(&spec, plan, 1);
+        let mut other = TxnStream::new(&spec, plan, 2);
+        let (mut ra, mut rb, mut rc) = (Vec::new(), Vec::new(), Vec::new());
+        let mut differs = false;
+        for _ in 0..32 {
+            a.next_requests(&mut ra);
+            b.next_requests(&mut rb);
+            other.next_requests(&mut rc);
+            assert_eq!(ra, rb, "same client stream must repeat exactly");
+            differs |= ra != rc;
+            for req in &ra {
+                let (addr, len) = match req {
+                    Request::Read { addr, len } => (*addr, *len as u64),
+                    Request::Write { addr, bytes } => (*addr, bytes.len() as u64),
+                    _ => unreachable!("tpca issues only reads and writes"),
+                };
+                plan.locate(addr, len).expect("access must route cleanly");
+            }
+        }
+        assert!(differs, "distinct clients must get distinct streams");
+    }
+
+    #[test]
+    fn closed_loop_inproc_completes_every_txn() {
+        let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+        let spec = LoadSpec::closed(2, 8);
+        let report = run_inproc(&store.handle(), &spec);
+        let outcome = store.shutdown();
+        assert_eq!(report.completed_txns, 16);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.timeouts, 0);
+        assert!(report.completed_ops > 0);
+        assert_eq!(report.completed_ops, outcome.total_served());
+        assert_eq!(report.txn_latency.count(), 16);
+        assert!(report.throughput_tps() > 0.0);
+    }
+
+    #[test]
+    fn monolithic_reference_matches_single_client_run() {
+        let config = ServeConfig::small(1);
+        let mut baseline = EnvyStore::new(config.store.clone()).unwrap();
+        baseline.prefill().unwrap();
+        let mut mono = baseline.fork();
+        let front = ShardedStore::launch_from(vec![baseline.fork()], &config);
+        let spec = LoadSpec::closed(1, 12).with_seed(7);
+        let report = run_inproc(&front.handle(), &spec);
+        let outcome = front.shutdown();
+        let mono_report = run_monolithic(&mut mono, &spec);
+        assert_eq!(report.completed_txns, mono_report.completed_txns);
+        assert_eq!(report.completed_ops, mono_report.completed_ops);
+        assert_eq!(outcome.shards[0].store.now(), mono.now());
+        assert_eq!(outcome.shards[0].store.stats(), mono.stats());
+    }
+
+    #[test]
+    fn open_loop_paces_scheduled_starts() {
+        let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+        // 1 client at 200 tps → 5 ms gap; 4 txns ≥ 15 ms of pacing.
+        let spec = LoadSpec::closed(1, 4).open(200);
+        let t0 = Instant::now();
+        let report = run_inproc(&store.handle(), &spec);
+        store.shutdown();
+        assert_eq!(report.completed_txns, 4);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(15),
+            "open loop must pace starts, ran in {:?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,667 @@
+//! TCP and Unix-socket serving over the [`proto`](crate::proto) frames.
+//!
+//! The server is thread-per-connection: each accepted connection gets a
+//! reader thread (decodes frames, admits requests into the sharded
+//! store) and a writer thread (drains typed completions back onto the
+//! socket). Requests **pipeline** — a client may have any number
+//! outstanding and completions may return out of order, matched by id.
+//!
+//! Graceful shutdown (via [`ServerHandle::request_shutdown`] or the
+//! wire `SHUTDOWN` opcode) stops accepting, stops reading, lets every
+//! admitted request complete and flush to its client, joins the
+//! connection threads, and only then drains the sharded store itself.
+//! A connection that dies mid-pipeline only loses its own completions:
+//! its writer keeps draining (discarding) so shard workers never block
+//! on a dead client, and every other connection is untouched.
+
+use crate::proto::{self, ProtoError, WireBody, WireOutcome, WireRequest, WireResponse, MAX_FRAME};
+use crate::shard::{
+    Reply, Request, Response, ServeError, ServeOutcome, ShardHandle, ShardedStore, SubmitError,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked reader waits before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Accept-loop poll interval.
+const ACCEPT_INTERVAL: Duration = Duration::from_millis(5);
+
+// ---------------------------------------------------------------------
+// Streams and listeners
+// ---------------------------------------------------------------------
+
+/// A connected byte stream: TCP or Unix.
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound server socket: TCP or Unix.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener and the path it is bound to (unlinked
+    /// when serving stops).
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Bind a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn bind_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Bind a Unix-domain listener, replacing a stale socket file if one
+    /// exists.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn bind_unix<P: AsRef<Path>>(path: P) -> io::Result<Listener> {
+        let path = path.as_ref();
+        let _ = std::fs::remove_file(path);
+        Ok(Listener::Unix(
+            UnixListener::bind(path)?,
+            path.to_path_buf(),
+        ))
+    }
+
+    /// A printable address clients can connect to: `host:port` for TCP,
+    /// the socket path for Unix.
+    pub fn describe(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<tcp>".into()),
+            Listener::Unix(_, p) => p.display().to_string(),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+            Listener::Unix(l, _) => Stream::Unix(l.accept()?.0),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// What a completed [`serve`] run reports.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests admitted into the sharded store.
+    pub requests: u64,
+    /// The drained store's per-shard outcomes.
+    pub outcome: ServeOutcome,
+}
+
+/// A running server; joinable back into a [`ServeSummary`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<ServeSummary>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to ([`Listener::describe`]).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Ask the server to shut down gracefully (idempotent, non-blocking).
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the server to finish (after a shutdown request, a wire
+    /// `SHUTDOWN`, or a fatal listener error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread panicked.
+    pub fn wait(self) -> ServeSummary {
+        self.join.join().expect("server accept thread panicked")
+    }
+
+    /// [`request_shutdown`](ServerHandle::request_shutdown) then
+    /// [`wait`](ServerHandle::wait).
+    pub fn shutdown(self) -> ServeSummary {
+        self.request_shutdown();
+        self.wait()
+    }
+}
+
+/// Serve a sharded store on a listener. Returns immediately; the
+/// returned handle joins the accept thread.
+///
+/// # Errors
+///
+/// Socket errors configuring the listener.
+pub fn serve(listener: Listener, store: ShardedStore) -> io::Result<ServerHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.describe();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("envy-serve-accept".into())
+        .spawn(move || accept_loop(listener, store, flag))
+        .expect("spawn accept thread");
+    Ok(ServerHandle { addr, stop, join })
+}
+
+fn accept_loop(listener: Listener, store: ShardedStore, stop: Arc<AtomicBool>) -> ServeSummary {
+    let requests = Arc::new(AtomicU64::new(0));
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut connections = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                connections += 1;
+                let handle = store.handle();
+                let flag = Arc::clone(&stop);
+                let reqs = Arc::clone(&requests);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name(format!("envy-serve-conn-{connections}"))
+                        .spawn(move || connection(stream, handle, flag, reqs))
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A fatal listener error stops the server gracefully.
+            Err(_) => stop.store(true, Ordering::SeqCst),
+        }
+        conns.retain(|c| !c.is_finished());
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+    drop(listener);
+    let outcome = store.shutdown();
+    ServeSummary {
+        connections,
+        requests: requests.load(Ordering::Relaxed),
+        outcome,
+    }
+}
+
+/// One poll step of the incremental frame reader.
+enum PollRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// No complete frame yet (timeout); buffered bytes are retained.
+    Idle,
+    /// Peer closed cleanly at a frame boundary.
+    Eof,
+}
+
+/// Incremental frame reader: accumulates across read timeouts so a
+/// timeout mid-frame never loses sync.
+struct FrameReader {
+    stream: Stream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn poll(&mut self) -> io::Result<PollRead> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.buf.len() >= 4 {
+                let len =
+                    u32::from_le_bytes(self.buf[..4].try_into().expect("4-byte header")) as usize;
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "announced frame exceeds MAX_FRAME",
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let payload = self.buf[4..4 + len].to_vec();
+                    self.buf.drain(..4 + len);
+                    return Ok(PollRead::Frame(payload));
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(PollRead::Eof)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "eof inside frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(PollRead::Idle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn wire_of(resp: Response) -> WireResponse {
+    WireResponse {
+        id: resp.id,
+        shard: resp.shard,
+        outcome: match resp.result {
+            Ok(reply) => WireOutcome::Reply(reply),
+            Err(e) => WireOutcome::Err(e),
+        },
+    }
+}
+
+fn send_direct(write: &Mutex<Stream>, resp: &WireResponse) {
+    let frame = proto::encode_response(resp);
+    let mut w = write.lock().expect("write half poisoned");
+    let _ = proto::write_frame(&mut *w, &frame);
+}
+
+fn connection(
+    stream: Stream,
+    handle: ShardHandle,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let write = Arc::new(Mutex::new(write_half));
+    let (rtx, rrx) = mpsc::channel::<Response>();
+    // Writer: drain completions onto the socket. Write errors (dead
+    // client) are swallowed — the drain must continue so shard workers
+    // are never coupled to a client's fate.
+    let writer = {
+        let write = Arc::clone(&write);
+        std::thread::Builder::new()
+            .name("envy-serve-writer".into())
+            .spawn(move || {
+                for resp in rrx {
+                    send_direct(&write, &wire_of(resp));
+                }
+            })
+            .expect("spawn connection writer")
+    };
+    let mut reader = FrameReader {
+        stream,
+        buf: Vec::new(),
+    };
+    while !stop.load(Ordering::SeqCst) {
+        match reader.poll() {
+            Ok(PollRead::Frame(payload)) => match proto::decode_request(&payload) {
+                Ok(wreq) => {
+                    if !handle_request(&handle, &write, &rtx, &requests, &stop, wreq) {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // Framing is unrecoverable after a bad payload only
+                    // if lengths lied; lengths were consistent, so
+                    // answer id 0 and keep the connection.
+                    send_direct(
+                        &write,
+                        &WireResponse {
+                            id: 0,
+                            shard: 0,
+                            outcome: WireOutcome::Err(ServeError::Store(
+                                "malformed request".into(),
+                            )),
+                        },
+                    );
+                }
+            },
+            Ok(PollRead::Idle) => {}
+            Ok(PollRead::Eof) | Err(_) => break,
+        }
+    }
+    // Stop admitting; in-flight jobs still hold sender clones, so the
+    // writer drains every admitted completion before exiting.
+    drop(rtx);
+    let _ = writer.join();
+}
+
+/// Handle one decoded request; returns `false` when the connection
+/// should stop reading (server shutdown requested).
+fn handle_request(
+    handle: &ShardHandle,
+    write: &Mutex<Stream>,
+    rtx: &Sender<Response>,
+    requests: &AtomicU64,
+    stop: &AtomicBool,
+    wreq: WireRequest,
+) -> bool {
+    let id = wreq.id;
+    let deadline = wreq.deadline();
+    match wreq.body {
+        WireBody::Shutdown => {
+            send_direct(
+                write,
+                &WireResponse {
+                    id,
+                    shard: 0,
+                    outcome: WireOutcome::ShutdownAck,
+                },
+            );
+            stop.store(true, Ordering::SeqCst);
+            false
+        }
+        WireBody::Req(req) => {
+            match handle.submit_with_id(id, req, deadline, rtx) {
+                Ok(()) => {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SubmitError::Busy(b)) => send_direct(
+                    write,
+                    &WireResponse {
+                        id,
+                        shard: b.shard,
+                        outcome: WireOutcome::Busy(b),
+                    },
+                ),
+                Err(SubmitError::Rejected(e)) => send_direct(
+                    write,
+                    &WireResponse {
+                        id,
+                        shard: 0,
+                        outcome: WireOutcome::Err(e),
+                    },
+                ),
+            }
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(io::Error),
+    /// The server sent a malformed frame.
+    Proto(ProtoError),
+    /// The request completed with a typed serving error.
+    Serve(ServeError),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Serve(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking protocol client. Requests may be pipelined with
+/// [`submit`](Client::submit) / [`recv`](Client::recv); the convenience
+/// calls assume no other completions are outstanding.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Tcp(TcpStream::connect(addr)?),
+            next_id: 0,
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect_unix<P: AsRef<Path>>(path: P) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+            next_id: 0,
+        })
+    }
+
+    /// Send a request without waiting; returns the id its completion
+    /// will carry. Any number may be outstanding; completions can
+    /// arrive out of order.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn submit(&mut self, req: Request, deadline: Option<Duration>) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submit_with_id(id, req, deadline)?;
+        Ok(id)
+    }
+
+    /// [`submit`](Client::submit) with a caller-chosen id (e.g. to retry
+    /// a [`Busy`](WireOutcome::Busy) rejection under its original id).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn submit_with_id(
+        &mut self,
+        id: u64,
+        req: Request,
+        deadline: Option<Duration>,
+    ) -> io::Result<()> {
+        let deadline_us = deadline
+            .map(|d| d.as_micros().clamp(1, u32::MAX as u128) as u32)
+            .unwrap_or(0);
+        let frame = proto::encode_request(&WireRequest {
+            id,
+            deadline_us,
+            body: WireBody::Req(req),
+        });
+        proto::write_frame(&mut self.stream, &frame)
+    }
+
+    /// Block for the next completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on EOF, otherwise socket or
+    /// protocol errors.
+    pub fn recv(&mut self) -> Result<WireResponse, ClientError> {
+        match proto::read_frame(&mut self.stream)? {
+            None => Err(ClientError::Disconnected),
+            Some(payload) => proto::decode_response(&payload).map_err(ClientError::Proto),
+        }
+    }
+
+    /// Submit and wait: retries through `Busy` backpressure (sleeping
+    /// each `retry_after`). Assumes no other completions are
+    /// outstanding.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket failure or a typed serving error.
+    pub fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
+        loop {
+            let id = self.submit(req.clone(), None)?;
+            let resp = self.recv()?;
+            debug_assert_eq!(resp.id, id, "call() must not be pipelined");
+            match resp.outcome {
+                WireOutcome::Reply(reply) => return Ok(reply),
+                WireOutcome::Err(e) => return Err(ClientError::Serve(e)),
+                WireOutcome::Busy(b) => std::thread::sleep(b.retry_after),
+                WireOutcome::ShutdownAck => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+
+    /// Read `len` bytes at a global address.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn read(&mut self, addr: u64, len: u32) -> Result<Vec<u8>, ClientError> {
+        match self.call(Request::Read { addr, len })? {
+            Reply::Data(bytes) => Ok(bytes),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Write bytes at a global address; returns the simulated latency.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<envy_sim::time::Ns, ClientError> {
+        match self.call(Request::Write {
+            addr,
+            bytes: bytes.to_vec(),
+        })? {
+            Reply::Done { latency } => Ok(latency),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Liveness probe against one shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn ping(&mut self, shard: u32) -> Result<(), ClientError> {
+        match self.call(Request::Ping { shard })? {
+            Reply::Pong => Ok(()),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Ask the server to shut down gracefully and wait for the ack.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = proto::encode_request(&WireRequest {
+            id,
+            deadline_us: 0,
+            body: WireBody::Shutdown,
+        });
+        proto::write_frame(&mut self.stream, &frame)?;
+        loop {
+            // Outstanding pipelined completions may land first.
+            match self.recv()?.outcome {
+                WireOutcome::ShutdownAck => return Ok(()),
+                _ => continue,
+            }
+        }
+    }
+}
+
+fn unexpected_reply() -> ProtoError {
+    // Reuse the protocol error type for a reply of the wrong kind.
+    ProtoError::mismatched_reply()
+}

@@ -1,0 +1,593 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload: len bytes  |
+//! +----------------+---------------------+
+//! ```
+//!
+//! `len` counts payload bytes only and is capped at [`MAX_FRAME`]; a
+//! larger announcement is a protocol error and the peer closes the
+//! connection.
+//!
+//! **Request payload** (client → server):
+//!
+//! ```text
+//! op: u8 | id: u64 LE | deadline_us: u32 LE | body…
+//! ```
+//!
+//! | op | body |
+//! |----|------|
+//! | `READ` (1)     | `addr: u64`, `len: u32` |
+//! | `WRITE` (2)    | `addr: u64`, payload = rest of frame |
+//! | `FLUSH` (3)    | `shard: u32` |
+//! | `PING` (4)     | `shard: u32` |
+//! | `SHUTDOWN` (5) | — |
+//!
+//! `deadline_us` is a relative deadline in microseconds (0 = none),
+//! measured from server receipt. `id` is chosen by the client and echoed
+//! verbatim in the response; responses may arrive out of submission
+//! order (pipelining), so ids are how a client matches completions.
+//!
+//! **Response payload** (server → client):
+//!
+//! ```text
+//! status: u8 | id: u64 LE | shard: u32 LE | body…
+//! ```
+//!
+//! | status | meaning | body |
+//! |--------|---------|------|
+//! | `DATA` (0)      | read data | the bytes |
+//! | `OK` (1)        | write/flush/ping done | `kind: u8` (0 write, 1 flush, 2 ping), then `latency_ns: u64` for writes |
+//! | `BUSY` (2)      | queue full, **not admitted** | `retry_after_ns: u64` |
+//! | `DEADLINE` (3)  | expired before dispatch | — |
+//! | `CROSSES` (4)   | spans two shards | `addr: u64`, `len: u64` |
+//! | `OOB` (5)       | outside the array | `addr: u64`, `size: u64` |
+//! | `ERR` (6)       | store failure | UTF-8 message |
+//! | `SHUTDOWN` (7)  | rejected: shutting down | — |
+//! | `ACK` (8)       | shutdown acknowledged | — |
+
+use crate::shard::{Busy, Reply, Request, ServeError};
+use envy_sim::time::Ns;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Maximum frame payload size (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Request opcodes.
+pub mod op {
+    /// Read a byte range.
+    pub const READ: u8 = 1;
+    /// Write a byte range.
+    pub const WRITE: u8 = 2;
+    /// Flush one shard's write buffer.
+    pub const FLUSH: u8 = 3;
+    /// Liveness probe.
+    pub const PING: u8 = 4;
+    /// Ask the server to shut down gracefully.
+    pub const SHUTDOWN: u8 = 5;
+}
+
+/// Response status codes.
+pub mod status {
+    /// Read data follows.
+    pub const DATA: u8 = 0;
+    /// Write / flush / ping completed.
+    pub const OK: u8 = 1;
+    /// Queue full — the request was **not** admitted.
+    pub const BUSY: u8 = 2;
+    /// Deadline expired before dispatch.
+    pub const DEADLINE: u8 = 3;
+    /// Range crosses a shard boundary.
+    pub const CROSSES: u8 = 4;
+    /// Range outside the global array.
+    pub const OOB: u8 = 5;
+    /// Store failure (message follows).
+    pub const ERR: u8 = 6;
+    /// Rejected because the server is shutting down.
+    pub const SHUTDOWN: u8 = 7;
+    /// Shutdown request acknowledged.
+    pub const ACK: u8 = 8;
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Relative deadline in microseconds from server receipt; 0 = none.
+    pub deadline_us: u32,
+    /// What to do.
+    pub body: WireBody,
+}
+
+impl WireRequest {
+    /// The deadline as a duration, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        (self.deadline_us > 0).then(|| Duration::from_micros(self.deadline_us as u64))
+    }
+}
+
+/// The request body: a store request or a control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireBody {
+    /// A store request, routed by global address.
+    Req(Request),
+    /// Graceful server shutdown.
+    Shutdown,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The id the request carried.
+    pub id: u64,
+    /// Shard that served (or rejected) the request.
+    pub shard: u32,
+    /// What happened.
+    pub outcome: WireOutcome,
+}
+
+/// The response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Completed.
+    Reply(Reply),
+    /// Completed with a typed serving error.
+    Err(ServeError),
+    /// Not admitted: queue full, retry after the hint.
+    Busy(Busy),
+    /// Shutdown acknowledged.
+    ShutdownAck,
+}
+
+/// A malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(&'static str);
+
+impl ProtoError {
+    /// A structurally valid reply of the wrong kind for its request.
+    pub(crate) fn mismatched_reply() -> ProtoError {
+        ProtoError("reply kind does not match the request")
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Encode a request frame payload.
+pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    let opcode = match &req.body {
+        WireBody::Req(Request::Read { .. }) => op::READ,
+        WireBody::Req(Request::Write { .. }) => op::WRITE,
+        WireBody::Req(Request::Flush { .. }) => op::FLUSH,
+        WireBody::Req(Request::Ping { .. }) => op::PING,
+        WireBody::Shutdown => op::SHUTDOWN,
+    };
+    buf.push(opcode);
+    put_u64(&mut buf, req.id);
+    put_u32(&mut buf, req.deadline_us);
+    match &req.body {
+        WireBody::Req(Request::Read { addr, len }) => {
+            put_u64(&mut buf, *addr);
+            put_u32(&mut buf, *len);
+        }
+        WireBody::Req(Request::Write { addr, bytes }) => {
+            put_u64(&mut buf, *addr);
+            buf.extend_from_slice(bytes);
+        }
+        WireBody::Req(Request::Flush { shard }) | WireBody::Req(Request::Ping { shard }) => {
+            put_u32(&mut buf, *shard);
+        }
+        WireBody::Shutdown => {}
+    }
+    buf
+}
+
+/// Encode a response frame payload.
+pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    let st = match &resp.outcome {
+        WireOutcome::Reply(Reply::Data(_)) => status::DATA,
+        WireOutcome::Reply(_) => status::OK,
+        WireOutcome::Err(ServeError::DeadlineExceeded) => status::DEADLINE,
+        WireOutcome::Err(ServeError::CrossesShard { .. }) => status::CROSSES,
+        WireOutcome::Err(ServeError::OutOfBounds { .. }) => status::OOB,
+        WireOutcome::Err(ServeError::ShuttingDown) => status::SHUTDOWN,
+        WireOutcome::Err(ServeError::Store(_)) => status::ERR,
+        WireOutcome::Busy(_) => status::BUSY,
+        WireOutcome::ShutdownAck => status::ACK,
+    };
+    buf.push(st);
+    put_u64(&mut buf, resp.id);
+    put_u32(&mut buf, resp.shard);
+    match &resp.outcome {
+        WireOutcome::Reply(Reply::Data(bytes)) => buf.extend_from_slice(bytes),
+        WireOutcome::Reply(Reply::Done { latency }) => {
+            buf.push(0);
+            put_u64(&mut buf, latency.as_nanos());
+        }
+        WireOutcome::Reply(Reply::Flushed) => buf.push(1),
+        WireOutcome::Reply(Reply::Pong) => buf.push(2),
+        WireOutcome::Err(ServeError::CrossesShard { addr, len }) => {
+            put_u64(&mut buf, *addr);
+            put_u64(&mut buf, *len);
+        }
+        WireOutcome::Err(ServeError::OutOfBounds { addr, size }) => {
+            put_u64(&mut buf, *addr);
+            put_u64(&mut buf, *size);
+        }
+        WireOutcome::Err(ServeError::Store(msg)) => buf.extend_from_slice(msg.as_bytes()),
+        WireOutcome::Err(ServeError::DeadlineExceeded)
+        | WireOutcome::Err(ServeError::ShuttingDown)
+        | WireOutcome::ShutdownAck => {}
+        WireOutcome::Busy(b) => put_u64(&mut buf, b.retry_after.as_nanos() as u64),
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let (&b, rest) = self.buf.split_first().ok_or(ProtoError("truncated u8"))?;
+        self.buf = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        if self.buf.len() < 4 {
+            return Err(ProtoError("truncated u32"));
+        }
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        if self.buf.len() < 8 {
+            return Err(ProtoError("truncated u64"));
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        std::mem::take(&mut self.buf)
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError("trailing bytes"))
+        }
+    }
+}
+
+/// Decode a request frame payload.
+///
+/// # Errors
+///
+/// [`ProtoError`] on a truncated body, trailing bytes, or an unknown
+/// opcode.
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, ProtoError> {
+    let mut c = Cursor { buf: payload };
+    let opcode = c.u8()?;
+    let id = c.u64()?;
+    let deadline_us = c.u32()?;
+    let body = match opcode {
+        op::READ => {
+            let addr = c.u64()?;
+            let len = c.u32()?;
+            c.done()?;
+            WireBody::Req(Request::Read { addr, len })
+        }
+        op::WRITE => {
+            let addr = c.u64()?;
+            let bytes = c.rest().to_vec();
+            WireBody::Req(Request::Write { addr, bytes })
+        }
+        op::FLUSH => {
+            let shard = c.u32()?;
+            c.done()?;
+            WireBody::Req(Request::Flush { shard })
+        }
+        op::PING => {
+            let shard = c.u32()?;
+            c.done()?;
+            WireBody::Req(Request::Ping { shard })
+        }
+        op::SHUTDOWN => {
+            c.done()?;
+            WireBody::Shutdown
+        }
+        _ => return Err(ProtoError("unknown opcode")),
+    };
+    Ok(WireRequest {
+        id,
+        deadline_us,
+        body,
+    })
+}
+
+/// Decode a response frame payload.
+///
+/// # Errors
+///
+/// [`ProtoError`] on a truncated body, trailing bytes, an unknown
+/// status, or non-UTF-8 in an `ERR` message.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, ProtoError> {
+    let mut c = Cursor { buf: payload };
+    let st = c.u8()?;
+    let id = c.u64()?;
+    let shard = c.u32()?;
+    let outcome = match st {
+        status::DATA => WireOutcome::Reply(Reply::Data(c.rest().to_vec())),
+        status::OK => match c.u8()? {
+            0 => {
+                let latency = Ns::from_nanos(c.u64()?);
+                c.done()?;
+                WireOutcome::Reply(Reply::Done { latency })
+            }
+            1 => {
+                c.done()?;
+                WireOutcome::Reply(Reply::Flushed)
+            }
+            2 => {
+                c.done()?;
+                WireOutcome::Reply(Reply::Pong)
+            }
+            _ => return Err(ProtoError("unknown ok kind")),
+        },
+        status::BUSY => {
+            let retry = c.u64()?;
+            c.done()?;
+            WireOutcome::Busy(Busy {
+                shard,
+                retry_after: Duration::from_nanos(retry),
+            })
+        }
+        status::DEADLINE => {
+            c.done()?;
+            WireOutcome::Err(ServeError::DeadlineExceeded)
+        }
+        status::CROSSES => {
+            let addr = c.u64()?;
+            let len = c.u64()?;
+            c.done()?;
+            WireOutcome::Err(ServeError::CrossesShard { addr, len })
+        }
+        status::OOB => {
+            let addr = c.u64()?;
+            let size = c.u64()?;
+            c.done()?;
+            WireOutcome::Err(ServeError::OutOfBounds { addr, size })
+        }
+        status::ERR => {
+            let msg = String::from_utf8(c.rest().to_vec())
+                .map_err(|_| ProtoError("non-utf8 error message"))?;
+            WireOutcome::Err(ServeError::Store(msg))
+        }
+        status::SHUTDOWN => {
+            c.done()?;
+            WireOutcome::Err(ServeError::ShuttingDown)
+        }
+        status::ACK => {
+            c.done()?;
+            WireOutcome::ShutdownAck
+        }
+        _ => return Err(ProtoError("unknown status")),
+    };
+    Ok(WireResponse { id, shard, outcome })
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload) and flush.
+///
+/// # Errors
+///
+/// I/O errors; `InvalidInput` if the payload exceeds [`MAX_FRAME`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` if the peer announces a frame larger than
+/// [`MAX_FRAME`]; `UnexpectedEof` on mid-frame EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (no bytes) from a torn header.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "announced frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: WireRequest) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: WireResponse) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(WireRequest {
+            id: 7,
+            deadline_us: 0,
+            body: WireBody::Req(Request::Read {
+                addr: 0xdead_beef,
+                len: 64,
+            }),
+        });
+        roundtrip_req(WireRequest {
+            id: u64::MAX,
+            deadline_us: 1_500,
+            body: WireBody::Req(Request::Write {
+                addr: 8,
+                bytes: b"payload".to_vec(),
+            }),
+        });
+        roundtrip_req(WireRequest {
+            id: 1,
+            deadline_us: 0,
+            body: WireBody::Req(Request::Flush { shard: 3 }),
+        });
+        roundtrip_req(WireRequest {
+            id: 2,
+            deadline_us: 9,
+            body: WireBody::Req(Request::Ping { shard: 0 }),
+        });
+        roundtrip_req(WireRequest {
+            id: 3,
+            deadline_us: 0,
+            body: WireBody::Shutdown,
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for outcome in [
+            WireOutcome::Reply(Reply::Data(vec![1, 2, 3])),
+            WireOutcome::Reply(Reply::Data(Vec::new())),
+            WireOutcome::Reply(Reply::Done {
+                latency: Ns::from_nanos(640),
+            }),
+            WireOutcome::Reply(Reply::Flushed),
+            WireOutcome::Reply(Reply::Pong),
+            WireOutcome::Busy(Busy {
+                shard: 2,
+                retry_after: Duration::from_micros(37),
+            }),
+            WireOutcome::Err(ServeError::DeadlineExceeded),
+            WireOutcome::Err(ServeError::CrossesShard { addr: 10, len: 20 }),
+            WireOutcome::Err(ServeError::OutOfBounds { addr: 99, size: 50 }),
+            WireOutcome::Err(ServeError::Store("boom".into())),
+            WireOutcome::Err(ServeError::ShuttingDown),
+            WireOutcome::ShutdownAck,
+        ] {
+            roundtrip_resp(WireResponse {
+                id: 42,
+                shard: 2,
+                outcome,
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Read with a truncated body.
+        let mut good = encode_request(&WireRequest {
+            id: 1,
+            deadline_us: 0,
+            body: WireBody::Req(Request::Read { addr: 0, len: 4 }),
+        });
+        good.pop();
+        assert!(decode_request(&good).is_err());
+        // Trailing garbage on a fixed-size body.
+        let mut resp = encode_response(&WireResponse {
+            id: 1,
+            shard: 0,
+            outcome: WireOutcome::Err(ServeError::DeadlineExceeded),
+        });
+        resp.push(0);
+        assert!(decode_response(&resp).is_err());
+    }
+
+    #[test]
+    fn framing_roundtrips_and_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"abc");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
+        let mut bogus: &[u8] = &(MAX_FRAME as u32 + 1).to_le_bytes()[..];
+        assert!(read_frame(&mut bogus).is_err());
+        // Torn header.
+        let mut torn: &[u8] = &[1, 0][..];
+        assert_eq!(
+            read_frame(&mut torn).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

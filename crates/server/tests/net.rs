@@ -1,0 +1,207 @@
+//! Socket serving: protocol roundtrips over TCP and Unix sockets,
+//! pipelining, malformed frames, killed connections, deadlines, and
+//! graceful drains.
+
+use envy_server::proto::{self, WireOutcome};
+use envy_server::{serve, Client, Listener, Reply, Request, ServeConfig, ServeError, ShardedStore};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn launch_tcp(config: ServeConfig) -> (envy_server::ServerHandle, String) {
+    let store = ShardedStore::launch(config).unwrap();
+    let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+    let handle = serve(listener, store).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn tcp_roundtrip_and_graceful_shutdown() {
+    let (server, addr) = launch_tcp(ServeConfig::small(2));
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.ping(0).unwrap();
+    client.ping(1).unwrap();
+    let latency = client.write(4096, b"over-tcp").unwrap();
+    assert!(latency.as_nanos() > 0);
+    assert_eq!(client.read(4096, 8).unwrap(), b"over-tcp");
+    // Cross-shard ranges surface the typed error over the wire.
+    let shard_bytes = {
+        let cfg = ServeConfig::small(2);
+        envy_core::EnvyStore::new(cfg.store).unwrap().size()
+    };
+    match client.read(shard_bytes - 4, 8) {
+        Err(envy_server::ClientError::Serve(ServeError::CrossesShard { .. })) => {}
+        other => panic!("expected CrossesShard, got {other:?}"),
+    }
+    let summary = server.shutdown();
+    assert_eq!(summary.connections, 1);
+    // 2 pings + write + read admitted; the crossing range was rejected
+    // at submission and never counted.
+    assert_eq!(summary.requests, 4);
+    assert_eq!(summary.outcome.total_served(), summary.requests);
+}
+
+#[test]
+fn unix_roundtrip_and_wire_shutdown() {
+    let path = std::env::temp_dir().join(format!("envy-serve-test-{}.sock", std::process::id()));
+    let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+    let listener = Listener::bind_unix(&path).unwrap();
+    let server = serve(listener, store).unwrap();
+
+    let mut client = Client::connect_unix(&path).unwrap();
+    client.write(128, b"unix").unwrap();
+    assert_eq!(client.read(128, 4).unwrap(), b"unix");
+    // Wire-level SHUTDOWN: acked, then the server drains and exits.
+    client.shutdown_server().unwrap();
+    let summary = server.wait();
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.outcome.total_served(), summary.requests);
+    assert!(!path.exists(), "socket file must be removed after serving");
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_by_id() {
+    let (server, addr) = launch_tcp(ServeConfig::small(2));
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..32u64 {
+        let id = client
+            .submit(
+                Request::Write {
+                    addr: i * 512,
+                    bytes: vec![i as u8; 16],
+                },
+                None,
+            )
+            .unwrap();
+        ids.push(id);
+    }
+    let mut seen = Vec::new();
+    for _ in 0..ids.len() {
+        let resp = client.recv().unwrap();
+        assert!(matches!(
+            resp.outcome,
+            WireOutcome::Reply(Reply::Done { .. })
+        ));
+        seen.push(resp.id);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, ids);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frame_answers_error_and_connection_survives() {
+    let (server, addr) = launch_tcp(ServeConfig::small(1));
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    // A syntactically valid frame with an unknown opcode.
+    let garbage = [0xee_u8; 16];
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(&garbage).unwrap();
+    raw.flush().unwrap();
+    let payload = proto::read_frame(&mut raw).unwrap().expect("error reply");
+    let resp = proto::decode_response(&payload).unwrap();
+    assert!(matches!(
+        resp.outcome,
+        WireOutcome::Err(ServeError::Store(_))
+    ));
+
+    // The same connection still serves well-formed requests.
+    let ping = proto::encode_request(&proto::WireRequest {
+        id: 9,
+        deadline_us: 0,
+        body: proto::WireBody::Req(Request::Ping { shard: 0 }),
+    });
+    proto::write_frame(&mut raw, &ping).unwrap();
+    let payload = proto::read_frame(&mut raw).unwrap().expect("pong");
+    let resp = proto::decode_response(&payload).unwrap();
+    assert_eq!(resp.id, 9);
+    assert!(matches!(resp.outcome, WireOutcome::Reply(Reply::Pong)));
+    server.shutdown();
+}
+
+#[test]
+fn killed_connection_leaves_other_clients_intact() {
+    let config = ServeConfig::small(1).with_service_delay(Duration::from_millis(2));
+    let (server, addr) = launch_tcp(config);
+    let mut victim = Client::connect_tcp(&addr).unwrap();
+    let mut survivor = Client::connect_tcp(&addr).unwrap();
+
+    // The victim floods a pipeline, then its socket dies mid-flight.
+    for i in 0..16u64 {
+        victim
+            .submit(
+                Request::Write {
+                    addr: i * 64,
+                    bytes: vec![1; 8],
+                },
+                None,
+            )
+            .unwrap();
+    }
+    drop(victim);
+
+    // The survivor keeps getting service while the victim's requests
+    // complete into the void.
+    for i in 0..8u64 {
+        survivor.write(8192 + i * 64, b"fine").unwrap();
+    }
+    assert_eq!(survivor.read(8192, 4).unwrap(), b"fine");
+    let summary = server.shutdown();
+    assert_eq!(summary.connections, 2);
+    // Every admitted request — including the dead client's — was served.
+    assert_eq!(summary.outcome.total_served(), summary.requests);
+}
+
+#[test]
+fn wire_deadline_surfaces_typed_timeout() {
+    let config = ServeConfig::small(1)
+        .with_batch_max(16)
+        .with_service_delay(Duration::from_millis(10));
+    let (server, addr) = launch_tcp(config);
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let deadline = Some(Duration::from_millis(1));
+    for i in 0..6u64 {
+        client
+            .submit(
+                Request::Write {
+                    addr: i * 64,
+                    bytes: vec![2; 8],
+                },
+                deadline,
+            )
+            .unwrap();
+    }
+    let mut timed_out = 0;
+    for _ in 0..6 {
+        match client.recv().unwrap().outcome {
+            WireOutcome::Err(ServeError::DeadlineExceeded) => timed_out += 1,
+            WireOutcome::Reply(_) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert!(timed_out > 0, "queued-behind-slow requests must expire");
+    let summary = server.shutdown();
+    assert_eq!(summary.outcome.total_timed_out(), timed_out);
+}
+
+#[test]
+fn socket_loadgen_closed_loop_over_tcp() {
+    let (server, addr) = launch_tcp(ServeConfig::small(2));
+    let store_plan = {
+        let cfg = ServeConfig::small(2);
+        let bytes = envy_core::EnvyStore::new(cfg.store).unwrap().size();
+        envy_server::ShardPlan::new(2, bytes)
+    };
+    let spec = envy_server::LoadSpec::closed(3, 5).with_seed(99);
+    let report =
+        envy_server::loadgen::run_socket(|| Client::connect_tcp(&addr), store_plan, &spec).unwrap();
+    assert_eq!(report.completed_txns, 15);
+    assert_eq!(report.errors, 0);
+    assert!(report.completed_ops > 0);
+    let summary = server.shutdown();
+    assert_eq!(summary.connections, 3);
+    assert_eq!(summary.outcome.total_served(), report.completed_ops);
+}

@@ -8,15 +8,21 @@
 //! envy-cli trace [options]               timed run + controller trace tail
 //! envy-cli trace-gen [options]           generate a TPC-A access trace
 //! envy-cli trace-replay --file <path>    replay a trace on an eNVy store
+//! envy-cli serve [options]               serve the sharded store over a socket
+//! envy-cli bench-serve [options]         closed-loop load against sharded shards
 //! ```
 //!
 //! Run `envy-cli <command> --help` for per-command options.
 
 use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy::server::{
+    loadgen, serve, Client, Listener, LoadSpec, ServeConfig, ShardPlan, ShardedStore,
+};
 use envy::sim::report::{fmt_f64, Table};
 use envy::sim::time::Ns;
 use envy::workload::{run_timed, AnalyticTpca, CleaningStudy, TpcaScale, Trace};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +38,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "trace-gen" => cmd_trace_gen(&args[1..]),
         "trace-replay" => cmd_trace_replay(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "bench-serve" => cmd_bench_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -77,7 +85,25 @@ commands:
       --seed <n>            RNG seed                        (default 42)
   trace-replay              replay a trace file on a fresh eNVy store
       --file <path>         trace file (required)
-      --untimed             ignore timestamps (state-only replay)";
+      --untimed             ignore timestamps (state-only replay)
+  serve                     serve the sharded front end over a socket
+                            (runs until a wire SHUTDOWN frame, see docs/SERVING.md)
+      --tcp <addr>          TCP listen address              (default 127.0.0.1:7033)
+      --unix <path>         Unix socket path (takes precedence over --tcp)
+      --shards <n>          shard count                     (default 4)
+      --scale <small|scaled>  per-shard array size          (default scaled)
+      --duration-secs <n>   serve n seconds, then drain     (default: until shutdown)
+  bench-serve               closed-loop load against an in-process sharded store,
+                            or a live server (--unix/--connect; --shards/--scale
+                            must then match the server's)
+      --shards <n>          shard count                     (default 4)
+      --clients <n>         client threads / connections    (default 4)
+      --txns <n>            transactions per client         (default 2000)
+      --scale <small|scaled>  per-shard array size          (default scaled)
+      --seed <n>            RNG seed                        (default 24301)
+      --unix <path>         drive a live server on a Unix socket
+      --connect <addr>      drive a live server over TCP
+      --shutdown            send a wire SHUTDOWN after the load (socket modes)";
 
 /// Find `--name <value>` in `args`.
 fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -415,4 +441,119 @@ fn cmd_trace_replay(args: &[String]) -> Result<(), String> {
         .check_invariants()
         .map_err(|e| format!("invariant violation: {e}"))?;
     Ok(())
+}
+
+/// Parse `--shards` / `--scale` into a [`ServeConfig`].
+fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
+    let shards: u32 = opt_parse(args, "--shards", 4)?;
+    match opt(args, "--scale").unwrap_or("scaled") {
+        "small" => Ok(ServeConfig::small(shards)),
+        "scaled" => Ok(ServeConfig::scaled(shards)),
+        other => Err(format!("unknown scale `{other}` (use small or scaled)")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let config = serve_config(args)?;
+    let shards = config.shards;
+    let store = ShardedStore::launch(config).map_err(|e| e.to_string())?;
+    let plan = *store.plan();
+    let listener = match opt(args, "--unix") {
+        Some(path) => Listener::bind_unix(path),
+        None => Listener::bind_tcp(opt(args, "--tcp").unwrap_or("127.0.0.1:7033")),
+    }
+    .map_err(|e| e.to_string())?;
+    let handle = serve(listener, store).map_err(|e| e.to_string())?;
+    println!(
+        "serving on {} ({} shards x {} bytes)",
+        handle.addr(),
+        shards,
+        plan.shard_bytes()
+    );
+    let duration: u64 = opt_parse(args, "--duration-secs", 0)?;
+    let summary = if duration == 0 {
+        handle.wait()
+    } else {
+        std::thread::sleep(Duration::from_secs(duration));
+        handle.shutdown()
+    };
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["connections".into(), summary.connections.to_string()]);
+    t.row(&["requests admitted".into(), summary.requests.to_string()]);
+    t.row(&["served".into(), summary.outcome.total_served().to_string()]);
+    t.row(&[
+        "timed out".into(),
+        summary.outcome.total_timed_out().to_string(),
+    ]);
+    t.row(&[
+        "sim makespan".into(),
+        summary.outcome.max_sim_time().to_string(),
+    ]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let config = serve_config(args)?;
+    let clients: u32 = opt_parse(args, "--clients", 4)?;
+    let txns: u64 = opt_parse(args, "--txns", 2_000)?;
+    let seed: u64 = opt_parse(args, "--seed", 24_301)?;
+    let spec = LoadSpec::closed(clients, txns).with_seed(seed);
+
+    // Socket mode: drive a live `envy-served` instead of an in-process
+    // store. `--shards`/`--scale` must describe the remote server — the
+    // wire protocol does not carry the shard plan.
+    if let Some(path) = opt(args, "--unix") {
+        let plan = ShardPlan::new(config.shards, config.store.logical_bytes());
+        let report = loadgen::run_socket(|| Client::connect_unix(path), plan, &spec)
+            .map_err(|e| e.to_string())?;
+        if flag(args, "--shutdown") {
+            let mut c = Client::connect_unix(path).map_err(|e| e.to_string())?;
+            c.shutdown_server().map_err(|e| format!("{e:?}"))?;
+        }
+        print_load_report(&report, None);
+        return Ok(());
+    }
+    if let Some(addr) = opt(args, "--connect") {
+        let plan = ShardPlan::new(config.shards, config.store.logical_bytes());
+        let report = loadgen::run_socket(|| Client::connect_tcp(addr), plan, &spec)
+            .map_err(|e| e.to_string())?;
+        if flag(args, "--shutdown") {
+            let mut c = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
+            c.shutdown_server().map_err(|e| format!("{e:?}"))?;
+        }
+        print_load_report(&report, None);
+        return Ok(());
+    }
+
+    let store = ShardedStore::launch(config).map_err(|e| e.to_string())?;
+    let report = loadgen::run_inproc(&store.handle(), &spec);
+    let outcome = store.shutdown();
+    print_load_report(&report, Some(outcome.max_sim_time()));
+    Ok(())
+}
+
+fn print_load_report(report: &loadgen::LoadReport, sim: Option<Ns>) {
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["completed txns".into(), report.completed_txns.to_string()]);
+    t.row(&["completed ops".into(), report.completed_ops.to_string()]);
+    t.row(&["busy retries".into(), report.busy_retries.to_string()]);
+    t.row(&["errors".into(), report.errors.to_string()]);
+    t.row(&["wall TPS".into(), fmt_f64(report.throughput_tps())]);
+    if let Some(sim) = sim {
+        let sim_tps = if sim.as_nanos() > 0 {
+            report.completed_txns as f64 / (sim.as_nanos() as f64 / 1e9)
+        } else {
+            0.0
+        };
+        t.row(&["sim makespan".into(), sim.to_string()]);
+        t.row(&["sim aggregate TPS".into(), fmt_f64(sim_tps)]);
+    }
+    if let Some([p50, p95, p99, p999]) = report.txn_latency.percentiles() {
+        t.row(&["txn p50".into(), p50.to_string()]);
+        t.row(&["txn p95".into(), p95.to_string()]);
+        t.row(&["txn p99".into(), p99.to_string()]);
+        t.row(&["txn p999".into(), p999.to_string()]);
+    }
+    print!("{}", t.render());
 }

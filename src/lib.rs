@@ -14,6 +14,9 @@
 //! * [`workload`] — TPC-A and synthetic access-pattern generators.
 //! * [`ramdisk`] — a block-device adapter and a minimal filesystem.
 //! * [`heap`] — a persistent allocator and a crash-safe append log.
+//! * [`server`] — a sharded concurrent front end: per-shard worker
+//!   threads with bounded queues and backpressure, a binary wire
+//!   protocol over TCP/Unix sockets, and a multi-client load generator.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use envy_core as core;
 pub use envy_flash as flash;
 pub use envy_heap as heap;
 pub use envy_ramdisk as ramdisk;
+pub use envy_server as server;
 pub use envy_sim as sim;
 pub use envy_sram as sram;
 pub use envy_workload as workload;
