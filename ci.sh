@@ -17,6 +17,32 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== smoke: concurrent read path (seqlock stress + digest anchors) =="
+# Release-mode rerun of the concurrency suites: the seqlock read path
+# only exhibits real races under optimized codegen and free-running
+# threads, so the debug-mode run above is not enough. The core suite
+# storms flush/clean/wear/recovery under concurrent readers asserting
+# no torn page is ever observed; the server suite pins the 1-reader and
+# inline front ends byte-identical to the monolithic store and
+# exercises the Busy retry contract (see docs/CONCURRENCY.md).
+cargo test --release -q -p envy-core --test concurrent_reads
+cargo test --release -q -p envy-server --test concurrent_read_path
+
+# Opt-in ThreadSanitizer pass over the same suites: CI_TSAN=1 ./ci.sh.
+# Requires a nightly toolchain (-Zsanitizer) and roughly 10-20x the
+# runtime, so default runs skip it; the seqlock protocol is written to
+# be TSan-clean (all cross-thread publication goes through the epoch's
+# acquire/release pairs — docs/CONCURRENCY.md documents the recipe).
+if [ "${CI_TSAN:-0}" = "1" ]; then
+  echo "== tsan: concurrent read path (nightly) =="
+  RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -q -p envy-core --test concurrent_reads \
+    --target x86_64-unknown-linux-gnu -Zbuild-std
+  RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -q -p envy-server --test concurrent_read_path \
+    --target x86_64-unknown-linux-gnu -Zbuild-std
+fi
+
 echo "== smoke: fig13_throughput --quick --jobs 2 =="
 mkdir -p results
 cargo run --release -q -p envy-bench --bin fig13_throughput -- --quick --jobs 2 \

@@ -24,7 +24,7 @@ use envy_bench::{
 };
 use envy_core::EnvyStore;
 use envy_server::loadgen::{run_inproc, run_monolithic};
-use envy_server::{LoadSpec, ServeConfig, ShardedStore};
+use envy_server::{LoadSpec, ReadPath, ServeConfig, ShardedStore};
 use envy_sim::report::Table;
 use envy_sim::time::Ns;
 use envy_workload::{AnalyticTpca, TpcaScale};
@@ -255,9 +255,136 @@ fn main() {
         ],
     );
 
+    // Concurrent in-shard read path: the read-heavy 95/5 record mix at
+    // the widest shard count, swept over read execution paths. Reads on
+    // the concurrent paths bypass the timed model via each shard's
+    // lock-free ReadView, so the figure of merit is wall-clock TPS.
+    let rh_shards = *SHARD_COUNTS.last().unwrap();
+    let rh_txns = arg_u64("read-txns", if quick { 300 } else { 3_000 });
+    let paths: [(&str, ReadPath); 5] = [
+        ("timed", ReadPath::Timed),
+        ("inline", ReadPath::Inline),
+        ("readers1", ReadPath::Readers(1)),
+        ("readers2", ReadPath::Readers(2)),
+        ("readers4", ReadPath::Readers(4)),
+    ];
+    let mut rh_table = Table::new(&[
+        "read path",
+        "txns",
+        "wall ktps",
+        "offloaded",
+        "retries",
+        "busy",
+        "p50 us",
+        "p99 us",
+        "speedup",
+    ]);
+    let mut rh_points: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut timed_wall_tps = 0.0;
+    for (name, path) in paths {
+        let config = ServeConfig::scaled(rh_shards).with_read_path(path);
+        let stores = (0..rh_shards).map(|_| baseline.fork()).collect();
+        let front = ShardedStore::launch_from(stores, &config);
+        let load = LoadSpec::closed(clients, rh_txns)
+            .with_seed(0x95f5)
+            .read_mostly(0.95);
+        let report = run_inproc(&front.handle(), &load);
+        let outcome = front.shutdown();
+        assert_eq!(report.errors, 0, "read-heavy serving errors ({name})");
+        let wall_tps = report.throughput_tps();
+        if name == "timed" {
+            timed_wall_tps = wall_tps;
+        }
+        let speedup = if timed_wall_tps > 0.0 {
+            wall_tps / timed_wall_tps
+        } else {
+            0.0
+        };
+        let [p50, _, p99, _] = report
+            .txn_latency
+            .percentiles()
+            .expect("read-heavy latencies recorded");
+        rh_table.row(&[
+            name.to_string(),
+            report.completed_txns.to_string(),
+            format!("{:.1}", wall_tps / 1e3),
+            outcome.total_reads_offloaded().to_string(),
+            outcome.total_read_retries().to_string(),
+            report.busy_retries.to_string(),
+            format!("{:.1}", us(p50)),
+            format!("{:.1}", us(p99)),
+            format!("{speedup:.2}x"),
+        ]);
+        rh_points.push((
+            format!("readheavy/{name}"),
+            vec![
+                ("shards", f64::from(rh_shards)),
+                (
+                    "reader_threads",
+                    match path {
+                        ReadPath::Timed => 0.0,
+                        ReadPath::Inline => -1.0,
+                        ReadPath::Readers(n) => f64::from(n),
+                    },
+                ),
+                ("completed_txns", report.completed_txns as f64),
+                ("wall_tps", wall_tps),
+                ("reads_offloaded", outcome.total_reads_offloaded() as f64),
+                ("read_retries", outcome.total_read_retries() as f64),
+                ("busy_retries", report.busy_retries as f64),
+                ("p50_us", us(p50)),
+                ("p99_us", us(p99)),
+                ("speedup_vs_timed", speedup),
+            ],
+        ));
+    }
+    emit(
+        "Section 6",
+        "concurrent read path: read-heavy 95/5 mix, wall-clock (8 shards)",
+        &rh_table,
+    );
+    println!();
+
+    // Backpressure burst: a deliberately small queue under a slow,
+    // pipelined burst must reject with Busy { retry_after }; the
+    // hinted-backoff retry loop still completes every transaction.
+    let burst_config = ServeConfig::scaled(1)
+        .with_queue_capacity(8)
+        .with_service_delay(Duration::from_micros(50));
+    let burst_front = ShardedStore::launch_from(vec![baseline.fork()], &burst_config);
+    let burst_spec = LoadSpec::closed(8, if quick { 20 } else { 100 }).with_seed(0xB057);
+    let burst_report = run_inproc(&burst_front.handle(), &burst_spec);
+    let burst_outcome = burst_front.shutdown();
+    assert!(
+        burst_report.busy_retries > 0,
+        "burst point must exercise Busy backpressure"
+    );
+    assert_eq!(burst_report.errors, 0, "burst serving errors");
+    assert_eq!(
+        burst_report.completed_txns,
+        8 * if quick { 20 } else { 100 },
+        "busy retries must complete every transaction"
+    );
+    println!(
+        "burst: queue=8, 8 pipelined clients -> {} Busy retries, all {} txns completed",
+        burst_report.busy_retries, burst_report.completed_txns
+    );
+    println!();
+    let burst_point = (
+        "burst/queue8".to_string(),
+        vec![
+            ("busy_retries", burst_report.busy_retries as f64),
+            ("completed_txns", burst_report.completed_txns as f64),
+            ("wall_tps", burst_report.throughput_tps()),
+            ("served", burst_outcome.total_served() as f64),
+        ],
+    );
+
     let mut points = vec![anchor_point];
     points.extend(sweep.points.iter().cloned());
     points.push(open_point);
+    points.extend(rh_points);
+    points.push(burst_point);
     let extras = match depth_json.into_inner().expect("no poisoned lock") {
         Some(json) => vec![("queue_depth", json)],
         None => Vec::new(),

@@ -73,6 +73,7 @@ fn main() {
     ];
 
     let total = Instant::now();
+    let mut scaled_store = None;
     let mut table = Table::new(&[
         "scenario",
         "ns/txn",
@@ -131,7 +132,63 @@ fn main() {
                 ("cleaning_cost_sim", result.cleaning_cost),
             ],
         ));
+        if !sc.paper {
+            scaled_store = Some(store);
+        }
     }
+
+    // Concurrent read path: raw lock-free ReadView throughput over the
+    // churned scaled store, swept over reader-thread counts. The store
+    // is quiescent, so this isolates the per-read cost of the seqlock
+    // path (snapshot, packed-table decode, copy, validate); the serving
+    // mix under writer interference is ext_serve's read-heavy sweep.
+    let store = scaled_store.expect("scaled scenario ran");
+    let view = store.read_view();
+    let size = store.size();
+    let reads_per_thread = arg_u64("view-reads", if smoke { 200_000 } else { 1_000_000 });
+    let mut view_table = Table::new(&["reader threads", "total reads", "Mreads/s (wall)"]);
+    for threads in [1u64, 2, 4] {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let view = view.clone();
+                s.spawn(move || {
+                    let mut seed = 0x243F_6A88_85A3_08D3 ^ (t + 1).wrapping_mul(0x9E37);
+                    let mut buf = [0u8; 8];
+                    for _ in 0..reads_per_thread {
+                        // xorshift64*: cheap seeded address stream.
+                        seed ^= seed >> 12;
+                        seed ^= seed << 25;
+                        seed ^= seed >> 27;
+                        let addr = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) % (size - 8);
+                        view.read(addr, &mut buf).expect("in-bounds view read");
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let total_reads = reads_per_thread * threads;
+        let mreads = total_reads as f64 / secs / 1e6;
+        view_table.row(&[
+            threads.to_string(),
+            total_reads.to_string(),
+            fmt_f64(mreads),
+        ]);
+        points.push((
+            format!("view_reads/t{threads}"),
+            vec![
+                ("reader_threads", threads as f64),
+                ("total_reads", total_reads as f64),
+                ("reads_per_sec_wall", total_reads as f64 / secs),
+                ("run_seconds", secs),
+            ],
+        ));
+    }
+    emit(
+        "perf_wallclock",
+        "lock-free ReadView throughput (quiescent store, host time)",
+        &view_table,
+    );
 
     // Reference wall-clock numbers for this repo's data-plane overhaul
     // (interleaved min-of-N on the development machine; the methodology

@@ -54,6 +54,7 @@ impl Engine {
         };
         let origin = tail.origin;
         let logical = tail.logical;
+        let stores = self.buffer.stores_data();
         // Resolve the destination first — it may trigger a clean, which
         // never touches the buffer.
         let pos = self.policy_flush_target(origin, ops)?;
@@ -65,7 +66,15 @@ impl Engine {
             // of record; recovery scavenges the orphan.
             let chips = self.torn_chips();
             let pg = self.write_cursor(phys);
-            let data = self.buffer.peek_tail().and_then(|t| t.data.as_deref());
+            // Stage the tail payload through the controller scratch: the
+            // program call needs a plain slice, and the buffered frame
+            // (shared with concurrent readers) stays live until the pop.
+            if stores {
+                self.buffer
+                    .read_into(logical, 0, &mut self.scratch)
+                    .expect("tail page is buffered");
+            }
+            let data = stores.then_some(self.scratch.as_slice());
             self.flash.program_page_torn(phys, pg, data, chips)?;
             return Err(EnvyError::PowerLoss);
         }
@@ -83,7 +92,14 @@ impl Engine {
                     .emit(crate::trace::TraceEvent::Remap { segment: exhausted });
             }
             let pg = self.write_cursor(phys);
-            let data = self.buffer.peek_tail().and_then(|t| t.data.as_deref());
+            // Re-stage each attempt: target re-resolution above may have
+            // cleaned, and cleaning shares the scratch page.
+            if stores {
+                self.buffer
+                    .read_into(logical, 0, &mut self.scratch)
+                    .expect("tail page is buffered");
+            }
+            let data = stores.then_some(self.scratch.as_slice());
             match self.flash.program_page(phys, pg, data) {
                 Ok(t) => break (t, pg),
                 Err(FlashError::ProgramFailed { .. }) => {
@@ -105,7 +121,7 @@ impl Engine {
         );
         self.mmu.invalidate(logical);
         self.crash_point(InjectionPoint::FlushAfterMap)?;
-        let page = self.buffer.pop_tail().expect("peeked above");
+        self.buffer.pop_tail().expect("peeked above");
         self.stats.pages_flushed.incr();
         self.trace.emit(crate::trace::TraceEvent::Flush {
             lp: logical,
@@ -114,11 +130,6 @@ impl Engine {
         self.flush_clock += 1;
         self.seg_last_write[phys as usize] = self.flush_clock;
         ops.push(BgOp::once(self.flash.bank_of(phys), BgKind::Flush, t));
-        // The frame's contents are now in Flash; hand it back so the next
-        // copy-on-write insert reuses it instead of allocating.
-        if let Some(frame) = page.data {
-            self.buffer.recycle_frame(frame);
-        }
         Ok(())
     }
 }

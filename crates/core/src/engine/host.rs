@@ -136,16 +136,19 @@ impl Engine {
                 let origin = self.pos_of[loc.segment as usize];
                 debug_assert_ne!(origin, crate::engine::POS_NONE, "live data in the spare");
                 // One probe claims the SRAM frame; the Flash original is
-                // read straight into it and the host bytes applied on top
-                // (no scratch round-trip, no second index probe).
+                // staged through the controller's scratch page with the
+                // host bytes applied on top, then lands in the shared
+                // frame arena as one whole-page store.
                 match self
                     .buffer
                     .insert_frame(lp, Some(origin))
                     .expect("buffer has space after flushing")
                 {
-                    Some(frame) => {
-                        self.flash.read_page_into(loc.segment, loc.page, 0, frame)?;
-                        frame[offset..offset + bytes.len()].copy_from_slice(bytes);
+                    Some(mut frame) => {
+                        self.flash
+                            .read_page_into(loc.segment, loc.page, 0, &mut self.scratch)?;
+                        self.scratch[offset..offset + bytes.len()].copy_from_slice(bytes);
+                        frame.copy_from_slice(&self.scratch);
                     }
                     None => {
                         self.flash.read_page(loc.segment, loc.page, None)?;
@@ -179,13 +182,13 @@ impl Engine {
                 if self.active_txn.is_some() {
                     self.txn_fresh.insert(lp);
                 }
-                if let Some(frame) = self
+                if let Some(mut frame) = self
                     .buffer
                     .insert_frame(lp, None)
                     .expect("buffer has space after flushing")
                 {
                     frame.fill(0xFF);
-                    frame[offset..offset + bytes.len()].copy_from_slice(bytes);
+                    frame.write(offset, bytes);
                 }
                 self.page_table.map_sram(lp);
                 self.mmu.invalidate(lp);

@@ -160,9 +160,7 @@ impl Engine {
             .collect();
         let dropped = stale.len() as u64;
         for lp in stale {
-            if let Some(frame) = self.buffer.remove(lp).and_then(|p| p.data) {
-                self.buffer.recycle_frame(frame);
-            }
+            self.buffer.remove(lp);
         }
         self.stats.recovery_dropped_buffer.add(dropped);
         dropped

@@ -159,9 +159,7 @@ impl Engine {
         for (lp, shadow) in self.shadows.drop_txn(txn) {
             match self.page_table.lookup(lp) {
                 Location::Sram => {
-                    if let Some(frame) = self.buffer.remove(lp).and_then(|p| p.data) {
-                        self.buffer.recycle_frame(frame);
-                    }
+                    self.buffer.remove(lp);
                 }
                 Location::Flash(cur) => {
                     // The dirty version was flushed during the
@@ -180,9 +178,7 @@ impl Engine {
         for lp in fresh {
             match self.page_table.lookup(lp) {
                 Location::Sram => {
-                    if let Some(frame) = self.buffer.remove(lp).and_then(|p| p.data) {
-                        self.buffer.recycle_frame(frame);
-                    }
+                    self.buffer.remove(lp);
                 }
                 Location::Flash(cur) => {
                     self.flash.invalidate_page(cur.segment, cur.page)?;

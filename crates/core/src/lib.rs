@@ -48,6 +48,7 @@ pub mod store;
 pub mod telemetry;
 pub mod timing;
 pub mod trace;
+pub mod view;
 
 pub use config::{EnvyConfig, PolicyKind};
 pub use engine::{Engine, FaultPlan, InjectionPoint, ReadSource, RecoveryReport, WriteKind};
@@ -58,3 +59,4 @@ pub use store::{EnvyStore, TimedAccess, SAMPLER_COLUMNS};
 pub use telemetry::{SegmentReport, SegmentSnapshot};
 pub use timing::{BgKind, BgOp};
 pub use trace::{TraceEvent, TraceRecord, TraceRing};
+pub use view::ReadView;

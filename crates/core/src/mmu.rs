@@ -12,13 +12,14 @@
 
 use crate::addr::LogicalPage;
 use envy_sim::stats::Counter;
+use envy_sync::{SharedWords, WordsView};
 
 /// Tag value for an empty MMU slot. Logical page numbers are bounded far
 /// below `u64::MAX` by the configuration's logical array size, so the
 /// sentinel can never collide with a real tag; packing tags as bare `u64`
 /// halves the table versus `Option<u64>` and drops the discriminant
 /// compare from the per-access hit check.
-const TAG_EMPTY: u64 = u64::MAX;
+pub(crate) const TAG_EMPTY: u64 = u64::MAX;
 
 /// Direct-mapped translation cache with hit/miss accounting.
 ///
@@ -26,7 +27,10 @@ const TAG_EMPTY: u64 = u64::MAX;
 /// quantify the MMU's benefit in ablation runs).
 #[derive(Debug, Clone)]
 pub struct Mmu {
-    tags: Vec<u64>,
+    /// Tag words, shared with concurrent readers (a reader probing the
+    /// cache only needs residency hints; hit/miss *accounting* stays on
+    /// the writer, whose timing model is single-threaded by design).
+    tags: SharedWords,
     /// `entries - 1` when the slot count is a power of two (every shipped
     /// configuration), so the per-access slot computation is a mask
     /// instead of a 64-bit modulo. The mapping is identical either way.
@@ -39,7 +43,7 @@ impl Mmu {
     /// Create a cache with `entries` direct-mapped slots.
     pub fn new(entries: usize) -> Mmu {
         Mmu {
-            tags: vec![TAG_EMPTY; entries],
+            tags: SharedWords::new(entries, TAG_EMPTY),
             mask: (entries.is_power_of_two()).then(|| entries as u64 - 1),
             hits: Counter::default(),
             misses: Counter::default(),
@@ -69,14 +73,29 @@ impl Mmu {
         }
         debug_assert_ne!(lp, TAG_EMPTY, "logical page collides with the empty tag");
         let slot = self.slot(lp);
-        if self.tags[slot] == lp {
+        if self.tags.get(slot) == lp {
             self.hits.incr();
             true
         } else {
-            self.tags[slot] = lp;
+            self.tags.set(slot, lp);
             self.misses.incr();
             false
         }
+    }
+
+    /// Non-mutating residency probe: whether `lp` currently hits, without
+    /// touching the tag array or the hit/miss counters. This is the
+    /// reader-thread variant of [`Mmu::access`] — concurrent readers may
+    /// consult the cache but only the writer trains it.
+    #[inline]
+    pub fn peek(&self, lp: LogicalPage) -> bool {
+        !self.tags.is_empty() && self.tags.get(self.slot(lp)) == lp
+    }
+
+    /// Reader handle to the tag words plus the slot mask, for lock-free
+    /// concurrent residency probes.
+    pub fn reader_tags(&self) -> (WordsView, Option<u64>) {
+        (self.tags.view(), self.mask)
     }
 
     /// Drop a translation after its mapping changed (copy-on-write, flush,
@@ -86,8 +105,8 @@ impl Mmu {
             return;
         }
         let slot = self.slot(lp);
-        if self.tags[slot] == lp {
-            self.tags[slot] = TAG_EMPTY;
+        if self.tags.get(slot) == lp {
+            self.tags.set(slot, TAG_EMPTY);
         }
     }
 

@@ -23,6 +23,7 @@ use crate::timing::{BgOp, TimingState};
 use crate::trace::{TraceEvent, TraceRing};
 use envy_sim::stats::TimeSeries;
 use envy_sim::time::Ns;
+use envy_sync::SharedEpoch;
 
 /// Columns of the store's periodic time series (see
 /// [`EnvyStore::enable_sampler`]): per-window host word counts and
@@ -86,6 +87,12 @@ pub struct EnvyStore {
     clock: Ns,
     ops: Vec<BgOp>,
     sampler: Option<Sampler>,
+    /// Seqlock epoch guarding every mutating entry point: odd while a
+    /// mutation is in flight, even when the device state is quiescent.
+    /// Concurrent [`ReadView`](crate::ReadView)s snapshot/validate it
+    /// around lock-free copies of the page table, SRAM index and page
+    /// payloads, so they only ever observe published states.
+    epoch: SharedEpoch,
 }
 
 impl EnvyStore {
@@ -103,6 +110,7 @@ impl EnvyStore {
             clock: Ns::ZERO,
             ops: Vec::new(),
             sampler: None,
+            epoch: SharedEpoch::new(),
         })
     }
 
@@ -128,6 +136,9 @@ impl EnvyStore {
             clock: Ns::ZERO,
             ops: Vec::new(),
             sampler: None,
+            // A fork has its own writer, so it gets a fresh epoch; views
+            // of the original keep watching the original.
+            epoch: SharedEpoch::new(),
         }
     }
 
@@ -262,6 +273,7 @@ impl EnvyStore {
     ///
     /// See [`Engine::prefill`].
     pub fn prefill(&mut self) -> Result<(), EnvyError> {
+        let _guard = self.epoch.write_guard();
         self.engine.prefill()
     }
 
@@ -319,6 +331,7 @@ impl EnvyStore {
     /// [`EnvyError::OutOfBounds`], or cleaning errors.
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
         self.check_range(addr, bytes.len())?;
+        let _guard = self.epoch.write_guard();
         let mut cursor = 0;
         for c in self.engine.addr_map.chunks(addr, bytes.len()) {
             self.ops.clear();
@@ -487,6 +500,7 @@ impl EnvyStore {
     /// [`EnvyError::OutOfBounds`], or cleaning errors.
     #[inline]
     pub fn write_at(&mut self, now: Ns, addr: u64, bytes: &[u8]) -> Result<TimedAccess, EnvyError> {
+        let _guard = self.epoch.write_guard();
         // Fast path mirroring `read_at`'s: one chunk, one word, identical
         // semantics to the outlined general loop.
         {
@@ -684,6 +698,7 @@ impl EnvyStore {
     ///
     /// See [`Engine::txn_begin`].
     pub fn txn_begin(&mut self) -> Result<u64, EnvyError> {
+        let _guard = self.epoch.write_guard();
         self.ops.clear();
         let mut ops = std::mem::take(&mut self.ops);
         let id = self.engine.txn_begin(&mut ops);
@@ -698,6 +713,7 @@ impl EnvyStore {
     ///
     /// See [`Engine::txn_commit`].
     pub fn txn_commit(&mut self, txn: u64) -> Result<(), EnvyError> {
+        let _guard = self.epoch.write_guard();
         self.engine.txn_commit(txn)
     }
 
@@ -707,6 +723,7 @@ impl EnvyStore {
     ///
     /// See [`Engine::txn_abort`].
     pub fn txn_abort(&mut self, txn: u64) -> Result<(), EnvyError> {
+        let _guard = self.epoch.write_guard();
         self.engine.txn_abort(txn)
     }
 
@@ -716,6 +733,7 @@ impl EnvyStore {
     ///
     /// Propagates cleaning errors.
     pub fn flush_all(&mut self) -> Result<(), EnvyError> {
+        let _guard = self.epoch.write_guard();
         self.ops.clear();
         let mut ops = std::mem::take(&mut self.ops);
         let r = self.engine.flush_all(&mut ops);
@@ -732,6 +750,7 @@ impl EnvyStore {
     /// clock is kept — it models wall time, which a power cut does not
     /// rewind.
     pub fn power_failure(&mut self) {
+        let _guard = self.epoch.write_guard();
         self.engine.power_failure();
         self.ops.clear();
         let config = self.engine.config();
@@ -751,12 +770,27 @@ impl EnvyStore {
     ///
     /// See [`Engine::recover`].
     pub fn recover(&mut self) -> Result<RecoveryReport, EnvyError> {
+        let _guard = self.epoch.write_guard();
         self.ops.clear();
         let mut ops = std::mem::take(&mut self.ops);
         let r = self.engine.recover(&mut ops);
         ops.clear();
         self.ops = ops;
         r
+    }
+
+    /// A lock-free reader handle over this store's live state.
+    ///
+    /// The view (and its clones) can be moved to other threads and read
+    /// concurrently with this store's mutating operations: every mutating
+    /// entry point brackets itself in the store's seqlock epoch, and the
+    /// view retries any copy that overlaps a mutation. See
+    /// [`ReadView`](crate::ReadView) and `docs/CONCURRENCY.md`.
+    ///
+    /// Direct mutation through [`engine_mut`](Self::engine_mut) bypasses
+    /// the epoch; do not combine it with live views on other threads.
+    pub fn read_view(&self) -> crate::view::ReadView {
+        crate::view::ReadView::new(&self.engine, &self.epoch)
     }
 
     /// Verify all cross-structure invariants (test support).

@@ -12,6 +12,7 @@ use crate::error::FlashError;
 use crate::geometry::{FlashGeometry, FlashTimings};
 use envy_sim::stats::Counter;
 use envy_sim::time::Ns;
+use envy_sync::{ArenaView, SharedArena};
 
 /// Lifecycle state of one Flash page.
 ///
@@ -88,17 +89,15 @@ impl FlashFaults {
 #[derive(Debug, Clone)]
 struct Segment {
     pages: Vec<PageState>,
-    data: Option<Vec<u8>>,
     erase_cycles: u64,
     valid: u32,
     invalid: u32,
 }
 
 impl Segment {
-    fn new(pages_per_segment: u32, page_bytes: u32, store_data: bool) -> Segment {
+    fn new(pages_per_segment: u32) -> Segment {
         Segment {
             pages: vec![PageState::Erased; pages_per_segment as usize],
-            data: store_data.then(|| vec![0xFF; (pages_per_segment * page_bytes) as usize]),
             erase_cycles: 0,
             valid: 0,
             invalid: 0,
@@ -133,6 +132,11 @@ pub struct FlashArray {
     geo: FlashGeometry,
     timings: FlashTimings,
     segments: Vec<Segment>,
+    /// Page payloads for the whole array, one flat arena indexed by
+    /// `(segment * pages_per_segment + page) * page_bytes`. Stored as a
+    /// shared atomic arena so concurrent readers (see `envy_sync`) can
+    /// copy page bytes while the single writer mutates; `Clone` deep-copies.
+    payload: Option<SharedArena>,
     stats: FlashStats,
     /// Armed fault schedule; `None` (the default) is the zero-overhead
     /// fault-free path.
@@ -143,15 +147,33 @@ impl FlashArray {
     /// Create an array, fully erased.
     pub fn new(geo: FlashGeometry, timings: FlashTimings, store_data: bool) -> FlashArray {
         let segments = (0..geo.segments())
-            .map(|_| Segment::new(geo.pages_per_segment(), geo.page_bytes(), store_data))
+            .map(|_| Segment::new(geo.pages_per_segment()))
             .collect();
+        let payload = store_data.then(|| {
+            let bytes = geo.total_pages() as usize * geo.page_bytes() as usize;
+            SharedArena::new(bytes, 0xFF)
+        });
         FlashArray {
             geo,
             timings,
             segments,
+            payload,
             stats: FlashStats::default(),
             faults: None,
         }
+    }
+
+    /// Byte offset of a page's payload within the flat arena.
+    #[inline]
+    fn page_base(&self, segment: u32, page: u32) -> usize {
+        (segment as usize * self.geo.pages_per_segment() as usize + page as usize)
+            * self.geo.page_bytes() as usize
+    }
+
+    /// Reader handle to the payload arena (if payload storage is enabled),
+    /// for lock-free concurrent page reads validated by an external epoch.
+    pub fn payload_view(&self) -> Option<ArenaView> {
+        self.payload.as_ref().map(SharedArena::view)
     }
 
     /// Arm a deterministic fault schedule (replacing any previous one).
@@ -177,7 +199,7 @@ impl FlashArray {
 
     /// Whether payload bytes are stored.
     pub fn stores_data(&self) -> bool {
-        self.segments[0].data.is_some()
+        self.payload.is_some()
     }
 
     /// Operation counters.
@@ -240,9 +262,8 @@ impl FlashArray {
                     actual: buf.len(),
                 });
             }
-            if let Some(data) = &self.segments[segment as usize].data {
-                let start = page as usize * pb;
-                buf.copy_from_slice(&data[start..start + pb]);
+            if let Some(data) = &self.payload {
+                data.read_bytes(self.page_base(segment, page), buf);
             } else {
                 buf.fill(0xFF);
             }
@@ -279,9 +300,8 @@ impl FlashArray {
                 actual: offset + buf.len(),
             });
         }
-        if let Some(data) = &self.segments[segment as usize].data {
-            let start = page as usize * pb + offset;
-            buf.copy_from_slice(&data[start..start + buf.len()]);
+        if let Some(data) = &self.payload {
+            data.read_bytes(self.page_base(segment, page) + offset, buf);
         } else {
             buf.fill(0xFF);
         }
@@ -345,9 +365,9 @@ impl FlashArray {
         }
         *state = PageState::Valid;
         seg.valid += 1;
-        if let (Some(store), Some(data)) = (&mut seg.data, data) {
-            let start = page as usize * pb;
-            store[start..start + pb].copy_from_slice(data);
+        if let (Some(store), Some(data)) = (&self.payload, data) {
+            let base = (segment as usize * pps as usize + page as usize) * pb;
+            store.write_bytes(base, data);
         }
         let cost = self.timings.program_at(seg.erase_cycles);
         self.stats.page_programs.incr();
@@ -393,10 +413,11 @@ impl FlashArray {
         // scavenger can find and invalidate it.
         *state = PageState::Valid;
         seg.valid += 1;
-        if let (Some(store), Some(data)) = (&mut seg.data, data) {
+        if let (Some(store), Some(data)) = (&self.payload, data) {
             let torn = (chips_programmed as usize).min(pb);
-            let start = page as usize * pb;
-            store[start..start + torn].copy_from_slice(&data[..torn]);
+            let pps = self.geo.pages_per_segment() as usize;
+            let base = (segment as usize * pps + page as usize) * pb;
+            store.write_bytes(base, &data[..torn]);
         }
         Ok(())
     }
@@ -422,8 +443,9 @@ impl FlashArray {
         }
         seg.pages.fill(PageState::Invalid);
         seg.invalid = pps;
-        if let Some(data) = &mut seg.data {
-            data.fill(0x00);
+        if let Some(data) = &self.payload {
+            let len = pps as usize * self.geo.page_bytes() as usize;
+            data.fill(segment as usize * len, len, 0x00);
         }
         Ok(())
     }
@@ -493,8 +515,9 @@ impl FlashArray {
                 // indeterminate until a successful erase.
                 seg.pages.fill(PageState::Invalid);
                 seg.invalid = pps;
-                if let Some(data) = &mut seg.data {
-                    data.fill(0x00);
+                if let Some(data) = &self.payload {
+                    let len = pps as usize * self.geo.page_bytes() as usize;
+                    data.fill(segment as usize * len, len, 0x00);
                 }
                 return Err(FlashError::EraseFailed { segment });
             }
@@ -502,8 +525,9 @@ impl FlashArray {
         seg.pages.fill(PageState::Erased);
         seg.invalid = 0;
         seg.erase_cycles += 1;
-        if let Some(data) = &mut seg.data {
-            data.fill(0xFF);
+        if let Some(data) = &self.payload {
+            let len = pps as usize * self.geo.page_bytes() as usize;
+            data.fill(segment as usize * len, len, 0xFF);
         }
         let cost = self.timings.erase_at(seg.erase_cycles);
         self.stats.segment_erases.incr();

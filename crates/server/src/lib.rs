@@ -47,10 +47,10 @@ pub mod net;
 pub mod proto;
 pub mod shard;
 
-pub use loadgen::{LoadMode, LoadReport, LoadSpec};
+pub use loadgen::{run_inproc, run_monolithic, run_socket, LoadMode, LoadReport, LoadSpec};
 pub use net::{serve, Client, ClientError, Listener, ServeSummary, ServerHandle};
 pub use proto::{WireBody, WireRequest};
 pub use shard::{
-    Busy, Reply, Request, Response, ServeConfig, ServeError, ServeOutcome, ShardHandle,
+    Busy, ReadPath, Reply, Request, Response, ServeConfig, ServeError, ServeOutcome, ShardHandle,
     ShardOutcome, ShardPlan, ShardedStore, SubmitError, DEPTH_COLUMNS,
 };

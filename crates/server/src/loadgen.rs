@@ -68,6 +68,11 @@ pub struct LoadSpec {
     pub hot_weight: f64,
     /// Per-request deadline passed to the server, if any.
     pub deadline: Option<Duration>,
+    /// `Some(p)` switches every client to the read-heavy record mix:
+    /// skew-drawn 8-byte record accesses where each access is a read
+    /// with probability `p` and a write otherwise (e.g. `0.95` for the
+    /// 95/5 serving mix). `None` keeps the TPC-A transaction shape.
+    pub read_fraction: Option<f64>,
 }
 
 impl LoadSpec {
@@ -82,6 +87,7 @@ impl LoadSpec {
             hot_fraction: 0.1,
             hot_weight: 0.9,
             deadline: None,
+            read_fraction: None,
         }
     }
 
@@ -112,6 +118,18 @@ impl LoadSpec {
     #[must_use]
     pub fn with_deadline(mut self, d: Duration) -> LoadSpec {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Switch to the read-heavy record mix with the given read
+    /// probability (builder-style); `0.95` is the 95/5 serving mix.
+    #[must_use]
+    pub fn read_mostly(mut self, read_fraction: f64) -> LoadSpec {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction is a probability"
+        );
+        self.read_fraction = Some(read_fraction);
         self
     }
 }
@@ -173,6 +191,15 @@ enum Mix {
         /// 8-byte record slots available in the slice.
         slots: u64,
     },
+    /// Skew-drawn 8-byte record accesses with a fixed read probability
+    /// per access ([`LoadSpec::read_fraction`]) — the read-heavy
+    /// serving mix the concurrent read path is built for.
+    ReadMostly {
+        /// 8-byte record slots available in the slice.
+        slots: u64,
+        /// Probability that an access is a read.
+        read_fraction: f64,
+    },
 }
 
 /// Per-client deterministic transaction stream over one shard plan.
@@ -194,7 +221,12 @@ impl TxnStream {
         let scale = TpcaScale::fit_bytes(plan.shard_bytes());
         let tpca = AnalyticTpca::new(scale);
         let fits = tpca.layout().total_bytes <= plan.shard_bytes();
-        let mix = if fits {
+        let mix = if let Some(read_fraction) = spec.read_fraction {
+            Mix::ReadMostly {
+                slots: (plan.shard_bytes() / SYNTH_RECORD).max(1),
+                read_fraction,
+            }
+        } else if fits {
             Mix::Tpca(Box::new(tpca), scale)
         } else {
             Mix::Synthetic {
@@ -254,6 +286,29 @@ impl TxnStream {
                         }
                     });
                 });
+            }
+            Mix::ReadMostly {
+                slots,
+                read_fraction,
+            } => {
+                let (slots, rf) = (*slots, *read_fraction);
+                // Six accesses per transaction, matching the TPC-A
+                // access count so throughput stays comparable per txn.
+                for _ in 0..6 {
+                    let key = self.skewed_key(slots);
+                    let addr = base + key * SYNTH_RECORD;
+                    out.push(if self.rng.chance(rf) {
+                        Request::Read {
+                            addr,
+                            len: SYNTH_RECORD as u32,
+                        }
+                    } else {
+                        Request::Write {
+                            addr,
+                            bytes: vec![key as u8; SYNTH_RECORD as usize],
+                        }
+                    });
+                }
             }
             Mix::Synthetic { slots } => {
                 let slots = *slots;

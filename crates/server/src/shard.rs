@@ -24,7 +24,7 @@
 //! simulated-time metrics depend only on the request subsequence it
 //! received — the determinism anchor the differential tests pin.
 
-use envy_core::{EnvyConfig, EnvyError, EnvyStats, EnvyStore, TraceEvent};
+use envy_core::{EnvyConfig, EnvyError, EnvyStats, EnvyStore, ReadView, TraceEvent};
 use envy_sim::stats::TimeSeries;
 use envy_sim::time::Ns;
 use std::fmt;
@@ -258,6 +258,32 @@ impl ShardPlan {
 // Configuration
 // ---------------------------------------------------------------------
 
+/// How read-only requests are executed.
+///
+/// Writes, flushes and all background machinery (timing replay,
+/// cleaning, wear leveling) always run on the shard's single writer
+/// thread; this knob only moves reads off it. The concurrent paths use
+/// the store's lock-free [`ReadView`] — optimistic seqlock copies
+/// validated against the writer's epoch — so they bypass the simulated
+/// latency model and the controller's read statistics entirely. See
+/// `docs/CONCURRENCY.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Legacy single-threaded path: reads queue behind writes on the
+    /// shard worker and replay the timing model. Bit-for-bit identical
+    /// to the pre-concurrency front end — the differential anchor.
+    #[default]
+    Timed,
+    /// Reads execute immediately on the *submitting* thread via the
+    /// shard's [`ReadView`]; only mutations are queued. Cheapest path:
+    /// no queue hop, no wakeup — reads scale with client threads.
+    Inline,
+    /// `n ≥ 1` dedicated reader threads per shard; reads are fanned out
+    /// round-robin to bounded per-reader queues (full queues reject
+    /// [`Busy`], like the writer queue).
+    Readers(u32),
+}
+
 /// Configuration of a [`ShardedStore`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -282,6 +308,8 @@ pub struct ServeConfig {
     /// Artificial per-request service delay (wall clock) — a pacing and
     /// test knob modeling a slower device; `None` in production.
     pub service_delay: Option<Duration>,
+    /// How read-only requests are executed (see [`ReadPath`]).
+    pub read_path: ReadPath,
 }
 
 impl ServeConfig {
@@ -298,6 +326,7 @@ impl ServeConfig {
             depth_window: Duration::from_millis(10),
             depth_rows: 1_024,
             service_delay: None,
+            read_path: ReadPath::Timed,
         }
     }
 
@@ -321,6 +350,7 @@ impl ServeConfig {
             depth_window: Duration::from_millis(10),
             depth_rows: 4_096,
             service_delay: None,
+            read_path: ReadPath::Timed,
         }
     }
 
@@ -344,6 +374,13 @@ impl ServeConfig {
         self.service_delay = Some(delay);
         self
     }
+
+    /// Set the read execution path (builder-style).
+    #[must_use]
+    pub fn with_read_path(mut self, path: ReadPath) -> ServeConfig {
+        self.read_path = path;
+        self
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -361,6 +398,106 @@ struct ShardLink {
     tx: SyncSender<Job>,
     depth: Arc<AtomicUsize>,
     est_ns: Arc<AtomicU64>,
+}
+
+/// Counters shared between the submit path, the reader threads and
+/// shutdown reporting.
+#[derive(Debug, Default)]
+struct ReadCounters {
+    /// Reads completed off the writer thread.
+    offloaded: AtomicU64,
+    /// Optimistic-read retries (epoch conflicts) across those reads.
+    retries: AtomicU64,
+}
+
+/// Per-shard concurrent-read machinery (absent under
+/// [`ReadPath::Timed`]).
+struct ShardReaders {
+    /// Lock-free view of the shard's store, for inline execution.
+    view: ReadView,
+    /// Bounded per-reader queues (empty under [`ReadPath::Inline`]).
+    queues: Vec<SyncSender<Job>>,
+    /// Round-robin cursor over `queues`.
+    rr: AtomicUsize,
+    counters: Arc<ReadCounters>,
+}
+
+/// Execute one shard-local read via a lock-free view and deliver its
+/// completion. Shared by the inline path and the reader threads.
+fn view_read(
+    view: &ReadView,
+    counters: &ReadCounters,
+    shard: u32,
+    id: u64,
+    addr: u64,
+    len: u32,
+    reply: &Sender<Response>,
+) {
+    let mut buf = vec![0u8; len as usize];
+    let result = match view.read(addr, &mut buf) {
+        Ok(r) => {
+            counters.retries.fetch_add(r, Ordering::Relaxed);
+            Ok(Reply::Data(buf))
+        }
+        Err(EnvyError::OutOfBounds { addr, .. }) => Err(ServeError::OutOfBounds {
+            addr,
+            size: view.size(),
+        }),
+        Err(e) => Err(ServeError::Store(e.to_string())),
+    };
+    counters.offloaded.fetch_add(1, Ordering::Relaxed);
+    let _ = reply.send(Response { id, shard, result });
+}
+
+/// A dedicated reader thread: drains its bounded queue, executing each
+/// read against the shard's lock-free view. Exits once the close flag
+/// is up and the queue is empty (every admitted read still completes)
+/// or all submitters are gone.
+fn run_reader(
+    shard: u32,
+    view: ReadView,
+    rx: Receiver<Job>,
+    closed: &Closed,
+    counters: &ReadCounters,
+) {
+    loop {
+        let job = match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if !closed.load(Ordering::SeqCst) {
+                    continue;
+                }
+                match rx.try_recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        if job.deadline.is_some_and(|d| Instant::now() > d) {
+            let _ = job.reply.send(Response {
+                id: job.id,
+                shard,
+                result: Err(ServeError::DeadlineExceeded),
+            });
+            continue;
+        }
+        match job.req {
+            Request::Read { addr, len } => {
+                view_read(&view, counters, shard, job.id, addr, len, &job.reply);
+            }
+            // Routing sends only reads here.
+            other => {
+                let _ = job.reply.send(Response {
+                    id: job.id,
+                    shard,
+                    result: Err(ServeError::Store(format!(
+                        "non-read request {other:?} routed to a reader"
+                    ))),
+                });
+            }
+        }
+    }
 }
 
 /// Shared close flag: set once by [`ShardedStore::shutdown`]; checked by
@@ -384,6 +521,12 @@ pub struct ShardOutcome {
     pub max_batch: u32,
     /// Queue-depth samples over wall-clock time.
     pub depth_series: TimeSeries,
+    /// Reads served off the writer thread (inline or by reader
+    /// threads); 0 under [`ReadPath::Timed`]. These bypass the timing
+    /// model, so they are *not* in the store's `host_reads`.
+    pub reads_offloaded: u64,
+    /// Optimistic-read retries (seqlock conflicts) across those reads.
+    pub read_retries: u64,
 }
 
 /// Everything a [`ShardedStore::shutdown`] returns: per-shard outcomes,
@@ -424,6 +567,16 @@ impl ServeOutcome {
     pub fn total_timed_out(&self) -> u64 {
         self.shards.iter().map(|s| s.timed_out).sum()
     }
+
+    /// Total reads served off the writer threads across shards.
+    pub fn total_reads_offloaded(&self) -> u64 {
+        self.shards.iter().map(|s| s.reads_offloaded).sum()
+    }
+
+    /// Total optimistic-read retries across shards.
+    pub fn total_read_retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_retries).sum()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -441,6 +594,8 @@ pub struct ShardHandle {
     links: Arc<Vec<ShardLink>>,
     next_id: Arc<AtomicU64>,
     closed: Closed,
+    /// One entry per shard when a concurrent read path is configured.
+    readers: Option<Arc<Vec<ShardReaders>>>,
 }
 
 impl fmt::Debug for ShardHandle {
@@ -457,6 +612,7 @@ impl fmt::Debug for ShardHandle {
 pub struct ShardedStore {
     handle: ShardHandle,
     workers: Vec<JoinHandle<ShardOutcome>>,
+    reader_threads: Vec<JoinHandle<()>>,
 }
 
 impl ShardedStore {
@@ -493,11 +649,45 @@ impl ShardedStore {
         );
         let plan = ShardPlan::new(stores.len() as u32, shard_bytes);
         let closed: Closed = Arc::new(AtomicBool::new(false));
+        let per_shard_readers = match config.read_path {
+            ReadPath::Timed => None,
+            ReadPath::Inline => Some(0),
+            ReadPath::Readers(n) => {
+                assert!(n >= 1, "ReadPath::Readers needs at least one reader");
+                Some(n as usize)
+            }
+        };
         let mut links = Vec::with_capacity(stores.len());
         let mut workers = Vec::with_capacity(stores.len());
+        let mut reader_threads = Vec::new();
+        let mut shard_readers = Vec::with_capacity(stores.len());
         for (i, mut store) in stores.into_iter().enumerate() {
             if let Some(capacity) = config.trace_capacity {
                 store.enable_trace(capacity);
+            }
+            if let Some(n) = per_shard_readers {
+                let view = store.read_view();
+                let counters = Arc::new(ReadCounters::default());
+                let mut queues = Vec::with_capacity(n);
+                for r in 0..n {
+                    let (qtx, qrx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+                    queues.push(qtx);
+                    let view = view.clone();
+                    let closed = Arc::clone(&closed);
+                    let counters = Arc::clone(&counters);
+                    reader_threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("envy-shard-{i}-reader-{r}"))
+                            .spawn(move || run_reader(i as u32, view, qrx, &closed, &counters))
+                            .expect("spawn shard reader"),
+                    );
+                }
+                shard_readers.push(ShardReaders {
+                    view,
+                    queues,
+                    rr: AtomicUsize::new(0),
+                    counters,
+                });
             }
             let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
             let depth = Arc::new(AtomicUsize::new(0));
@@ -522,14 +712,17 @@ impl ShardedStore {
             );
             links.push(ShardLink { tx, depth, est_ns });
         }
+        let readers = per_shard_readers.map(|_| Arc::new(shard_readers));
         ShardedStore {
             handle: ShardHandle {
                 plan,
                 links: Arc::new(links),
                 next_id: Arc::new(AtomicU64::new(0)),
                 closed,
+                readers,
             },
             workers,
+            reader_threads,
         }
     }
 
@@ -549,12 +742,22 @@ impl ShardedStore {
     /// — then join and return the per-shard outcomes.
     pub fn shutdown(self) -> ServeOutcome {
         self.handle.closed.store(true, Ordering::SeqCst);
+        let readers = self.handle.readers.clone();
         drop(self.handle);
-        let shards = self
+        let mut shards: Vec<ShardOutcome> = self
             .workers
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
             .collect();
+        for r in self.reader_threads {
+            r.join().expect("shard reader panicked");
+        }
+        if let Some(readers) = readers {
+            for (s, r) in shards.iter_mut().zip(readers.iter()) {
+                s.reads_offloaded = r.counters.offloaded.load(Ordering::Relaxed);
+                s.read_retries = r.counters.retries.load(Ordering::Relaxed);
+            }
+        }
         ServeOutcome { shards }
     }
 }
@@ -645,6 +848,40 @@ impl ShardHandle {
             },
             other => other,
         };
+        // Concurrent read path: reads never queue behind mutations.
+        if let Some(readers) = &self.readers {
+            if let Request::Read { addr, len } = local {
+                let sr = &readers[shard as usize];
+                if sr.queues.is_empty() {
+                    // Inline: execute on this (submitting) thread.
+                    view_read(&sr.view, &sr.counters, shard, id, addr, len, reply);
+                    return Ok(());
+                }
+                let n = sr.queues.len();
+                let start = sr.rr.fetch_add(1, Ordering::Relaxed) % n;
+                let mut job = Job {
+                    id,
+                    req: Request::Read { addr, len },
+                    deadline: deadline.map(|d| Instant::now() + d),
+                    reply: reply.clone(),
+                };
+                // Round-robin with overflow onto the next reader; only
+                // a full sweep of full queues is Busy.
+                for k in 0..n {
+                    match sr.queues[(start + k) % n].try_send(job) {
+                        Ok(()) => return Ok(()),
+                        Err(TrySendError::Full(j)) => job = j,
+                        Err(TrySendError::Disconnected(_)) => {
+                            return Err(SubmitError::Rejected(ServeError::ShuttingDown))
+                        }
+                    }
+                }
+                return Err(SubmitError::Busy(Busy {
+                    shard,
+                    retry_after: self.retry_hint(shard),
+                }));
+            }
+        }
         let job = Job {
             id,
             req: local,
@@ -850,6 +1087,10 @@ impl Worker {
             batches,
             max_batch,
             depth_series: series,
+            // Patched from the shared counters at shutdown when a
+            // concurrent read path is configured.
+            reads_offloaded: 0,
+            read_retries: 0,
         }
     }
 

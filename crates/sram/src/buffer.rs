@@ -12,13 +12,22 @@
 //! placed into the SRAM buffer, we record which segment it comes from.
 //! When it is flushed, it is written back to the same segment.").
 //!
-//! The logical-page → frame index is a direct-map `Vec` over the bounded
+//! The logical-page → frame index is a direct-map array over the bounded
 //! logical page space rather than a hash map: every host access probes
 //! the buffer, and at 4 bytes per logical page the index costs less SRAM
 //! than the page table's 6 bytes per mapping while making the probe a
 //! single array load.
+//!
+//! Both the index and the page frames are published to concurrent readers
+//! (see `envy_sync`): index entries are single atomic `u32` words and the
+//! frames live in a fixed atomic arena, so a reader validating against the
+//! store's epoch can copy a buffered page lock-free while the single
+//! writer mutates behind it.
 
-/// A page held in the SRAM write buffer.
+use envy_sync::{ArenaView, SharedArena, SharedSlots, SlotsView};
+
+/// Metadata for a page held in the SRAM write buffer. Payload bytes (when
+/// stored) live in the buffer's shared frame arena, not here.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferedPage {
     /// Logical page number.
@@ -26,8 +35,6 @@ pub struct BufferedPage {
     /// Origin segment (or partition, under the hybrid policy) recorded at
     /// copy-on-write time; `None` for pages that never lived in Flash.
     pub origin: Option<u32>,
-    /// Page contents when payload storage is enabled.
-    pub data: Option<Box<[u8]>>,
 }
 
 /// Why an insert was refused.
@@ -52,16 +59,61 @@ impl std::fmt::Display for InsertError {
 impl std::error::Error for InsertError {}
 
 /// Direct-map index encoding: `0` = not buffered, else `slot + 1`. The
-/// zero sentinel lets the (logical-page-sized, multi-megabyte at paper
-/// scale) index come from lazily-zeroed allocation instead of an eager
-/// sentinel fill.
+/// zero sentinel keeps "not buffered" the all-zeroes state, so a reader
+/// racing an insert can only ever observe empty or a fully-formed entry.
 const IDX_EMPTY: u32 = 0;
+
+/// Exclusive access to one page frame claimed by
+/// [`WriteBuffer::insert_frame`].
+///
+/// The frame's contents are **unspecified** on claim — the caller must
+/// overwrite the whole page or [`FrameMut::fill`] it before relying on any
+/// byte.
+#[derive(Debug)]
+pub struct FrameMut<'a> {
+    arena: &'a SharedArena,
+    base: usize,
+    len: usize,
+}
+
+impl FrameMut<'_> {
+    /// Frame length in bytes (the page size).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the frame has zero bytes (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set every byte of the frame to `value`.
+    pub fn fill(&mut self, value: u8) {
+        self.arena.fill(self.base, self.len, value);
+    }
+
+    /// Overwrite the whole frame. `src` must be page-sized.
+    pub fn copy_from_slice(&mut self, src: &[u8]) {
+        assert_eq!(src.len(), self.len, "frame copy must be page-sized");
+        self.arena.write_bytes(self.base, src);
+    }
+
+    /// Write `bytes` at `offset` within the frame.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) {
+        assert!(
+            offset + bytes.len() <= self.len,
+            "frame write exceeds page bounds"
+        );
+        self.arena.write_bytes(self.base + offset, bytes);
+    }
+}
 
 /// FIFO write buffer of page frames.
 ///
-/// Frames are stored in a slab so that a buffered page's contents can be
-/// updated in place (that is the buffer's purpose) while FIFO order is
-/// tracked separately.
+/// Frames are stored in a fixed slab so that a buffered page's contents
+/// can be updated in place (that is the buffer's purpose) while FIFO order
+/// is tracked separately. Steady-state copy-on-write/flush cycles never
+/// allocate: slots and frames are recycled by index.
 ///
 /// # Example
 ///
@@ -79,17 +131,17 @@ const IDX_EMPTY: u32 = 0;
 pub struct WriteBuffer {
     capacity: usize,
     page_bytes: usize,
-    store_data: bool,
     len: usize,
     slots: Vec<Option<BufferedPage>>,
     free: Vec<usize>,
     fifo: std::collections::VecDeque<usize>,
     /// `index[logical] = slot + 1`, [`IDX_EMPTY`] when not buffered.
-    index: Vec<u32>,
-    /// Page frames handed back via [`WriteBuffer::recycle_frame`], reused
-    /// by the next insert so steady-state copy-on-write/flush cycles do
-    /// not allocate. Bounded by `capacity`.
-    spare_frames: Vec<Box<[u8]>>,
+    /// Atomic words shared with concurrent readers.
+    index: SharedSlots,
+    /// Page frame slab: slot `s` occupies bytes
+    /// `s * page_bytes .. (s + 1) * page_bytes`. `None` when payload
+    /// storage is disabled (residency-only mode).
+    frames: Option<SharedArena>,
 }
 
 impl WriteBuffer {
@@ -115,13 +167,12 @@ impl WriteBuffer {
         WriteBuffer {
             capacity,
             page_bytes,
-            store_data,
             len: 0,
             slots: (0..capacity).map(|_| None).collect(),
             free: (0..capacity).rev().collect(),
             fifo: std::collections::VecDeque::with_capacity(capacity),
-            index: vec![IDX_EMPTY; logical_pages as usize],
-            spare_frames: Vec::new(),
+            index: SharedSlots::new(logical_pages as usize, IDX_EMPTY),
+            frames: store_data.then(|| SharedArena::new(capacity * page_bytes, 0xFF)),
         }
     }
 
@@ -150,13 +201,33 @@ impl WriteBuffer {
         self.page_bytes
     }
 
+    /// Whether page payloads are stored (vs. residency-only tracking).
+    pub fn stores_data(&self) -> bool {
+        self.frames.is_some()
+    }
+
+    /// Reader handle to the direct-map index (`slot + 1` encoding), for
+    /// lock-free concurrent probes validated by an external epoch.
+    pub fn reader_index(&self) -> SlotsView {
+        self.index.view()
+    }
+
+    /// Reader handle to the frame slab, if payload storage is enabled.
+    pub fn reader_frames(&self) -> Option<ArenaView> {
+        self.frames.as_ref().map(SharedArena::view)
+    }
+
     /// The occupied slot holding a logical page, if buffered. Pages
     /// outside the indexed logical space are never buffered.
     #[inline]
     fn slot_of(&self, logical: u64) -> Option<usize> {
-        match self.index.get(logical as usize) {
-            Some(&entry) if entry != IDX_EMPTY => Some(entry as usize - 1),
-            _ => None,
+        if (logical as usize) < self.index.len() {
+            match self.index.get(logical as usize) {
+                IDX_EMPTY => None,
+                entry => Some(entry as usize - 1),
+            }
+        } else {
+            None
         }
     }
 
@@ -171,10 +242,9 @@ impl WriteBuffer {
     /// This is the combined insert-and-fill entry point for the
     /// copy-on-write path: one index probe claims the frame, and the
     /// caller writes the Flash original plus the host bytes straight into
-    /// the returned slice (no intermediate scratch copy). The frame's
-    /// contents are **unspecified** — the caller must overwrite the whole
-    /// page or [`fill`](slice::fill) it. Returns `Ok(None)` when payload
-    /// storage is disabled.
+    /// the returned frame. The frame's contents are **unspecified** — the
+    /// caller must overwrite the whole page or [`FrameMut::fill`] it.
+    /// Returns `Ok(None)` when payload storage is disabled.
     ///
     /// # Errors
     ///
@@ -187,36 +257,27 @@ impl WriteBuffer {
         &mut self,
         logical: u64,
         origin: Option<u32>,
-    ) -> Result<Option<&mut [u8]>, InsertError> {
-        let entry = self
-            .index
-            .get_mut(logical as usize)
-            .expect("logical page within the indexed space");
-        if *entry != IDX_EMPTY {
+    ) -> Result<Option<FrameMut<'_>>, InsertError> {
+        assert!(
+            (logical as usize) < self.index.len(),
+            "logical page within the indexed space"
+        );
+        if self.index.get(logical as usize) != IDX_EMPTY {
             return Err(InsertError::AlreadyBuffered);
         }
         if self.len == self.capacity {
             return Err(InsertError::BufferFull);
         }
         let slot = self.free.pop().expect("free list tracks occupancy");
-        *entry = slot as u32 + 1;
-        let data = self.store_data.then(|| {
-            self.spare_frames
-                .pop()
-                .unwrap_or_else(|| vec![0xFF; self.page_bytes].into_boxed_slice())
-        });
-        self.slots[slot] = Some(BufferedPage {
-            logical,
-            origin,
-            data,
-        });
+        self.slots[slot] = Some(BufferedPage { logical, origin });
         self.fifo.push_back(slot);
         self.len += 1;
-        Ok(self.slots[slot]
-            .as_mut()
-            .expect("just inserted")
-            .data
-            .as_deref_mut())
+        self.index.set(logical as usize, slot as u32 + 1);
+        Ok(self.frames.as_ref().map(|arena| FrameMut {
+            arena,
+            base: slot * self.page_bytes,
+            len: self.page_bytes,
+        }))
     }
 
     /// Insert a page at the FIFO head.
@@ -236,7 +297,7 @@ impl WriteBuffer {
         origin: Option<u32>,
         initial: Option<&[u8]>,
     ) -> Result<(), InsertError> {
-        if let Some(frame) = self.insert_frame(logical, origin)? {
+        if let Some(mut frame) = self.insert_frame(logical, origin)? {
             match initial {
                 Some(initial) => frame.copy_from_slice(initial),
                 None => frame.fill(0xFF),
@@ -261,8 +322,8 @@ impl WriteBuffer {
         let Some(slot) = self.slot_of(logical) else {
             return false;
         };
-        if let Some(page) = self.slots[slot].as_mut().and_then(|p| p.data.as_mut()) {
-            page[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if let Some(arena) = &self.frames {
+            arena.write_bytes(slot * self.page_bytes + offset, bytes);
         }
         true
     }
@@ -295,16 +356,16 @@ impl WriteBuffer {
             "read exceeds page bounds"
         );
         let slot = self.slot_of(logical)?;
-        match self.slots[slot].as_ref().and_then(|p| p.data.as_ref()) {
-            Some(page) => {
-                buf.copy_from_slice(&page[offset..offset + buf.len()]);
+        match &self.frames {
+            Some(arena) => {
+                arena.read_bytes(slot * self.page_bytes + offset, buf);
                 Some(true)
             }
             None => Some(false),
         }
     }
 
-    /// Borrow a buffered page.
+    /// Borrow a buffered page's metadata.
     pub fn get(&self, logical: u64) -> Option<&BufferedPage> {
         self.slot_of(logical)
             .and_then(|slot| self.slots[slot].as_ref())
@@ -321,7 +382,7 @@ impl WriteBuffer {
     pub fn pop_tail(&mut self) -> Option<BufferedPage> {
         let slot = self.fifo.pop_front()?;
         let page = self.slots[slot].take().expect("fifo tracks live slots");
-        self.index[page.logical as usize] = IDX_EMPTY;
+        self.index.set(page.logical as usize, IDX_EMPTY);
         self.free.push(slot);
         self.len -= 1;
         Some(page)
@@ -332,20 +393,11 @@ impl WriteBuffer {
     pub fn remove(&mut self, logical: u64) -> Option<BufferedPage> {
         let slot = self.slot_of(logical)?;
         let page = self.slots[slot].take().expect("index tracks live slots");
-        self.index[logical as usize] = IDX_EMPTY;
+        self.index.set(logical as usize, IDX_EMPTY);
         self.fifo.retain(|&s| s != slot);
         self.free.push(slot);
         self.len -= 1;
         Some(page)
-    }
-
-    /// Return a page frame (taken from a popped [`BufferedPage`]) for
-    /// reuse by future inserts. Wrong-sized frames and overflow beyond
-    /// one frame per slot are dropped.
-    pub fn recycle_frame(&mut self, frame: Box<[u8]>) {
-        if frame.len() == self.page_bytes && self.spare_frames.len() < self.capacity {
-            self.spare_frames.push(frame);
-        }
     }
 
     /// Iterate over buffered pages in FIFO order (oldest first).
@@ -418,13 +470,12 @@ mod tests {
         assert_eq!(out, [1, 9, 9, 4]);
         let page = b.get(5).unwrap();
         assert_eq!(page.origin, Some(9));
-        assert_eq!(page.data.as_deref(), Some(&[1u8, 9, 9, 4][..]));
     }
 
     #[test]
     fn insert_frame_exposes_writable_frame() {
         let mut b = WriteBuffer::new(2, 4, 64, true);
-        let frame = b.insert_frame(3, Some(1)).unwrap().unwrap();
+        let mut frame = b.insert_frame(3, Some(1)).unwrap().unwrap();
         frame.copy_from_slice(&[7, 8, 9, 10]);
         let mut out = [0; 4];
         assert_eq!(b.read_into(3, 0, &mut out), Some(true));
@@ -435,18 +486,17 @@ mod tests {
     #[test]
     fn insert_frame_stateless_returns_no_frame() {
         let mut b = WriteBuffer::new(2, 4, 64, false);
-        assert_eq!(b.insert_frame(3, None), Ok(None));
+        assert!(b.insert_frame(3, None).unwrap().is_none());
         assert!(b.contains(3));
     }
 
     #[test]
-    fn insert_seeds_erased_bytes_over_recycled_frames() {
-        // A recycled frame holds stale contents; an insert with no seed
-        // must still read back erased.
+    fn insert_seeds_erased_bytes_over_reused_frames() {
+        // A reused frame slot holds stale contents; an insert with no
+        // seed must still read back erased.
         let mut b = WriteBuffer::new(1, 4, 64, true);
         b.insert(1, None, Some(&[1, 2, 3, 4])).unwrap();
-        let popped = b.pop_tail().unwrap();
-        b.recycle_frame(popped.data.unwrap());
+        b.pop_tail().unwrap();
         b.insert(2, None, None).unwrap();
         let mut out = [0; 4];
         assert_eq!(b.read_into(2, 0, &mut out), Some(true));
@@ -521,9 +571,11 @@ mod tests {
     #[test]
     fn stateless_mode_tracks_residency_only() {
         let mut b = WriteBuffer::new(2, 8, 64, false);
+        assert!(!b.stores_data());
         b.insert(1, Some(0), None).unwrap();
         assert!(b.write(1, 0, &[1, 2]));
-        assert!(b.get(1).unwrap().data.is_none());
+        let mut out = [0u8; 2];
+        assert_eq!(b.read_into(1, 0, &mut out), Some(false));
     }
 
     #[test]
@@ -533,5 +585,19 @@ mod tests {
         // panics (the engine bounds-checks before inserting).
         assert!(!b.contains(64));
         assert!(!b.contains(u64::MAX));
+    }
+
+    #[test]
+    fn reader_handles_track_writer_state() {
+        let mut b = WriteBuffer::new(2, 4, 64, true);
+        let idx = b.reader_index();
+        let frames = b.reader_frames().unwrap();
+        b.insert(5, None, Some(&[1, 2, 3, 4])).unwrap();
+        let slot = idx.get(5) as usize - 1;
+        let mut out = [0u8; 4];
+        frames.read_bytes(slot * 4, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        b.pop_tail().unwrap();
+        assert_eq!(idx.get(5), 0);
     }
 }

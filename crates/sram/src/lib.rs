@@ -16,4 +16,4 @@ pub mod array;
 pub mod buffer;
 
 pub use array::SramArray;
-pub use buffer::{BufferedPage, InsertError, WriteBuffer};
+pub use buffer::{BufferedPage, FrameMut, InsertError, WriteBuffer};

@@ -1,0 +1,314 @@
+//! Byte-addressed arena over `AtomicU64` words.
+//!
+//! Page payloads (flash array contents, SRAM buffer frames) live here so the
+//! single writer can mutate them while readers copy concurrently without a
+//! data race. Every access is word-granular and relaxed — on mainstream
+//! hardware these compile to plain loads/stores — and cross-word consistency
+//! is the epoch's job, not the arena's.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const WORD: usize = 8;
+
+/// Fixed-size byte arena backed by atomic 64-bit words.
+///
+/// Writer-side methods (`write_bytes`, `fill`) assume a **single writer**:
+/// sub-word edges are handled with load/merge/store, which would lose
+/// updates under concurrent writers. Readers may call `read_bytes` at any
+/// time; a read that races a write returns a possibly mixed byte string,
+/// which the caller must discard via epoch validation.
+#[derive(Debug)]
+pub struct AtomicArena {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl AtomicArena {
+    /// New arena of `len` bytes, filled with `fill` in every byte.
+    pub fn new(len: usize, fill: u8) -> Self {
+        let word = u64::from_le_bytes([fill; WORD]);
+        let words = (0..len.div_ceil(WORD))
+            .map(|_| AtomicU64::new(word))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { words, len }
+    }
+
+    /// Arena length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the arena holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `offset..offset + len` lies inside the arena. Readers use
+    /// this to reject ranges computed from stale metadata before touching
+    /// the arena (then retry via the epoch), rather than panicking.
+    pub fn in_bounds(&self, offset: usize, len: usize) -> bool {
+        offset.checked_add(len).is_some_and(|end| end <= self.len)
+    }
+
+    /// Copy `buf.len()` bytes starting at `offset` into `buf`.
+    ///
+    /// Panics if the range is out of bounds; callers on the optimistic read
+    /// path must pre-check with [`AtomicArena::in_bounds`].
+    pub fn read_bytes(&self, offset: usize, buf: &mut [u8]) {
+        assert!(
+            self.in_bounds(offset, buf.len()),
+            "arena read out of bounds"
+        );
+        let mut off = offset;
+        let mut i = 0;
+        let head = off % WORD;
+        if head != 0 && i < buf.len() {
+            let n = (WORD - head).min(buf.len());
+            let w = self.words[off / WORD].load(Ordering::Relaxed).to_le_bytes();
+            buf[..n].copy_from_slice(&w[head..head + n]);
+            off += n;
+            i += n;
+        }
+        while buf.len() - i >= WORD {
+            let w = self.words[off / WORD].load(Ordering::Relaxed).to_le_bytes();
+            buf[i..i + WORD].copy_from_slice(&w);
+            off += WORD;
+            i += WORD;
+        }
+        if i < buf.len() {
+            let n = buf.len() - i;
+            let w = self.words[off / WORD].load(Ordering::Relaxed).to_le_bytes();
+            buf[i..].copy_from_slice(&w[..n]);
+        }
+    }
+
+    /// Write `bytes` starting at `offset`. Single-writer only.
+    pub fn write_bytes(&self, offset: usize, bytes: &[u8]) {
+        assert!(
+            self.in_bounds(offset, bytes.len()),
+            "arena write out of bounds"
+        );
+        let mut off = offset;
+        let mut i = 0;
+        let head = off % WORD;
+        if head != 0 && i < bytes.len() {
+            let n = (WORD - head).min(bytes.len());
+            let slot = &self.words[off / WORD];
+            let mut w = slot.load(Ordering::Relaxed).to_le_bytes();
+            w[head..head + n].copy_from_slice(&bytes[..n]);
+            slot.store(u64::from_le_bytes(w), Ordering::Relaxed);
+            off += n;
+            i += n;
+        }
+        while bytes.len() - i >= WORD {
+            let mut w = [0u8; WORD];
+            w.copy_from_slice(&bytes[i..i + WORD]);
+            self.words[off / WORD].store(u64::from_le_bytes(w), Ordering::Relaxed);
+            off += WORD;
+            i += WORD;
+        }
+        if i < bytes.len() {
+            let n = bytes.len() - i;
+            let slot = &self.words[off / WORD];
+            let mut w = slot.load(Ordering::Relaxed).to_le_bytes();
+            w[..n].copy_from_slice(&bytes[i..]);
+            slot.store(u64::from_le_bytes(w), Ordering::Relaxed);
+        }
+    }
+
+    /// Fill `offset..offset + len` with `value`. Single-writer only.
+    pub fn fill(&self, offset: usize, len: usize, value: u8) {
+        assert!(self.in_bounds(offset, len), "arena fill out of bounds");
+        let word = u64::from_le_bytes([value; WORD]);
+        let mut off = offset;
+        let mut remaining = len;
+        let head = off % WORD;
+        if head != 0 && remaining > 0 {
+            let n = (WORD - head).min(remaining);
+            let slot = &self.words[off / WORD];
+            let mut w = slot.load(Ordering::Relaxed).to_le_bytes();
+            w[head..head + n].fill(value);
+            slot.store(u64::from_le_bytes(w), Ordering::Relaxed);
+            off += n;
+            remaining -= n;
+        }
+        while remaining >= WORD {
+            self.words[off / WORD].store(word, Ordering::Relaxed);
+            off += WORD;
+            remaining -= WORD;
+        }
+        if remaining > 0 {
+            let slot = &self.words[off / WORD];
+            let mut w = slot.load(Ordering::Relaxed).to_le_bytes();
+            w[..remaining].fill(value);
+            slot.store(u64::from_le_bytes(w), Ordering::Relaxed);
+        }
+    }
+
+    /// Independent copy of the current contents.
+    pub fn deep_copy(&self) -> Self {
+        let words = self
+            .words
+            .iter()
+            .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            words,
+            len: self.len,
+        }
+    }
+}
+
+/// Owner handle to an [`AtomicArena`], held by the writer-side structure.
+///
+/// `Clone` deep-copies the contents (fork semantics); use
+/// [`SharedArena::view`] to hand readers a cheap shared handle instead.
+#[derive(Debug)]
+pub struct SharedArena {
+    inner: Arc<AtomicArena>,
+}
+
+impl SharedArena {
+    /// New arena of `len` bytes filled with `fill`.
+    pub fn new(len: usize, fill: u8) -> Self {
+        Self {
+            inner: Arc::new(AtomicArena::new(len, fill)),
+        }
+    }
+
+    /// Arena length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the arena holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// See [`AtomicArena::read_bytes`].
+    pub fn read_bytes(&self, offset: usize, buf: &mut [u8]) {
+        self.inner.read_bytes(offset, buf);
+    }
+
+    /// See [`AtomicArena::write_bytes`].
+    pub fn write_bytes(&self, offset: usize, bytes: &[u8]) {
+        self.inner.write_bytes(offset, bytes);
+    }
+
+    /// See [`AtomicArena::fill`].
+    pub fn fill(&self, offset: usize, len: usize, value: u8) {
+        self.inner.fill(offset, len, value);
+    }
+
+    /// Cheap reader handle sharing this arena's storage.
+    pub fn view(&self) -> ArenaView {
+        ArenaView {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Clone for SharedArena {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::new(self.inner.deep_copy()),
+        }
+    }
+}
+
+/// Reader handle to a [`SharedArena`]. Cheap to clone; read-only.
+#[derive(Debug, Clone)]
+pub struct ArenaView {
+    inner: Arc<AtomicArena>,
+}
+
+impl ArenaView {
+    /// Arena length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the arena holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// See [`AtomicArena::in_bounds`].
+    pub fn in_bounds(&self, offset: usize, len: usize) -> bool {
+        self.inner.in_bounds(offset, len)
+    }
+
+    /// See [`AtomicArena::read_bytes`].
+    pub fn read_bytes(&self, offset: usize, buf: &mut [u8]) {
+        self.inner.read_bytes(offset, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unaligned() {
+        let a = AtomicArena::new(64, 0xFF);
+        let mut buf = [0u8; 64];
+        a.read_bytes(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0xFF));
+
+        let payload: Vec<u8> = (0..23).collect();
+        a.write_bytes(3, &payload);
+        let mut got = vec![0u8; 23];
+        a.read_bytes(3, &mut got);
+        assert_eq!(got, payload);
+        // Neighbours untouched.
+        let mut edge = [0u8; 3];
+        a.read_bytes(0, &mut edge);
+        assert_eq!(edge, [0xFF; 3]);
+        let mut tail = [0u8; 8];
+        a.read_bytes(26, &mut tail);
+        assert_eq!(tail, [0xFF; 8]);
+    }
+
+    #[test]
+    fn fill_partial_words() {
+        let a = AtomicArena::new(32, 0x00);
+        a.fill(5, 17, 0xAB);
+        let mut buf = [0u8; 32];
+        a.read_bytes(0, &mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            let want = if (5..22).contains(&i) { 0xAB } else { 0x00 };
+            assert_eq!(b, want, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn odd_length_arena() {
+        let a = AtomicArena::new(13, 0x11);
+        let mut buf = [0u8; 13];
+        a.read_bytes(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0x11));
+        a.write_bytes(8, &[1, 2, 3, 4, 5]);
+        a.read_bytes(0, &mut buf);
+        assert_eq!(&buf[8..], &[1, 2, 3, 4, 5]);
+        assert!(!a.in_bounds(8, 6));
+        assert!(a.in_bounds(8, 5));
+        assert!(!a.in_bounds(usize::MAX, 2));
+    }
+
+    #[test]
+    fn shared_clone_is_deep() {
+        let owner = SharedArena::new(16, 0);
+        let view = owner.view();
+        let fork = owner.clone();
+        owner.write_bytes(0, &[9; 16]);
+        let mut buf = [0u8; 16];
+        view.read_bytes(0, &mut buf);
+        assert_eq!(buf, [9; 16]); // view shares the original
+        fork.read_bytes(0, &mut buf);
+        assert_eq!(buf, [0; 16]); // fork is independent
+    }
+}

@@ -1,0 +1,199 @@
+//! Seqlock-style epoch counter shared between one writer and many readers.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A seqlock sequence counter.
+///
+/// Even values mean "quiescent"; an odd value means a writer is mid-mutation.
+/// The writer bumps the counter to odd at the start of a mutating operation
+/// and back to even at the end, so readers that observe an even value before
+/// *and* after copying data know the copy is a consistent published state.
+#[derive(Debug)]
+pub struct SeqEpoch {
+    seq: AtomicU64,
+}
+
+impl SeqEpoch {
+    /// New epoch starting at the given (even) value.
+    pub fn with_value(value: u64) -> Self {
+        debug_assert!(value.is_multiple_of(2), "epoch must start even");
+        Self {
+            seq: AtomicU64::new(value),
+        }
+    }
+
+    /// New epoch starting at zero.
+    pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Current raw counter value (relaxed; diagnostic use only).
+    pub fn value(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Writer side: mark a mutation in progress (counter becomes odd).
+    ///
+    /// The `Release` fence orders the odd store before any subsequent data
+    /// stores, so a reader that missed the odd marker cannot have seen any
+    /// of the mutation's effects either.
+    pub fn write_begin(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert!(
+            s.is_multiple_of(2),
+            "nested or concurrent epoch write_begin"
+        );
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+    }
+
+    /// Writer side: publish the mutation (counter becomes even again).
+    pub fn write_end(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert!(s % 2 == 1, "write_end without write_begin");
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Reader side: snapshot the counter. Returns `None` while a mutation is
+    /// in progress (odd counter) — the caller should back off and retry.
+    pub fn optimistic_read(&self) -> Option<u64> {
+        let s = self.seq.load(Ordering::Acquire);
+        s.is_multiple_of(2).then_some(s)
+    }
+
+    /// Reader side: confirm that no mutation started since `snapshot` was
+    /// taken. Must be called **after** all data loads of the attempt; the
+    /// `Acquire` fence keeps those loads from sinking past the check.
+    pub fn validate(&self, snapshot: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == snapshot
+    }
+}
+
+impl Default for SeqEpoch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard for one writer-side mutation: odd on construction, even on
+/// drop. Drop-based so that early `?` returns (e.g. injected crash faults)
+/// can never leave the epoch stuck odd. Holds its own handle to the
+/// counter (no borrow of the owner), so the guarded structure stays freely
+/// borrowable while the guard is live.
+#[derive(Debug)]
+pub struct EpochWriteGuard {
+    epoch: Arc<SeqEpoch>,
+}
+
+impl Drop for EpochWriteGuard {
+    fn drop(&mut self) {
+        self.epoch.write_end();
+    }
+}
+
+/// Owner handle to an epoch, held by the structure the writer mutates.
+///
+/// `Clone` **forks** the epoch: the clone gets a fresh, independent counter
+/// (rounded up to even). This matches deep-copy semantics of the store it
+/// guards — a forked store has its own writer and its own readers.
+#[derive(Debug)]
+pub struct SharedEpoch {
+    inner: Arc<SeqEpoch>,
+}
+
+impl SharedEpoch {
+    /// New epoch at zero.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(SeqEpoch::new()),
+        }
+    }
+
+    /// Enter a writer-side mutation; the returned guard publishes on drop.
+    pub fn write_guard(&self) -> EpochWriteGuard {
+        self.inner.write_begin();
+        EpochWriteGuard {
+            epoch: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Cheap reader handle sharing this epoch.
+    pub fn view(&self) -> EpochView {
+        EpochView {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Current raw counter value (diagnostic).
+    pub fn value(&self) -> u64 {
+        self.inner.value()
+    }
+}
+
+impl Clone for SharedEpoch {
+    fn clone(&self) -> Self {
+        let v = self.inner.value();
+        Self {
+            inner: Arc::new(SeqEpoch::with_value(v & !1)),
+        }
+    }
+}
+
+impl Default for SharedEpoch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reader handle to a [`SharedEpoch`]. Cheap to clone (shares the counter).
+#[derive(Debug, Clone)]
+pub struct EpochView {
+    inner: Arc<SeqEpoch>,
+}
+
+impl EpochView {
+    /// See [`SeqEpoch::optimistic_read`].
+    pub fn optimistic_read(&self) -> Option<u64> {
+        self.inner.optimistic_read()
+    }
+
+    /// See [`SeqEpoch::validate`].
+    pub fn validate(&self, snapshot: u64) -> bool {
+        self.inner.validate(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_publishes_on_drop() {
+        let e = SharedEpoch::new();
+        let v = e.view();
+        assert_eq!(v.optimistic_read(), Some(0));
+        {
+            let _g = e.write_guard();
+            assert_eq!(v.optimistic_read(), None);
+        }
+        assert_eq!(v.optimistic_read(), Some(2));
+        assert!(v.validate(2));
+        assert!(!v.validate(0));
+    }
+
+    #[test]
+    fn clone_forks_even() {
+        let e = SharedEpoch::new();
+        {
+            let _g = e.write_guard();
+        }
+        let f = e.clone();
+        assert_eq!(f.value() % 2, 0);
+        // Mutating the fork does not disturb the original's readers.
+        let v = e.view();
+        let _g = f.write_guard();
+        assert_eq!(v.optimistic_read(), Some(2));
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared fixed-size arrays of atomic `u64` / `u32` entries.
+//!
+//! Packed page-table words, MMU tag words, and SRAM buffer index slots all
+//! fit in one machine word, so a single atomic load can never observe a torn
+//! entry. The writer publishes entries with `Release`; readers load relaxed
+//! and rely on the surrounding epoch validation (see [`crate::SeqEpoch`])
+//! for cross-entry consistency.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Owner handle to a shared array of `u64` entries.
+///
+/// `Clone` deep-copies (fork semantics); [`SharedWords::view`] hands readers
+/// a cheap shared handle.
+#[derive(Debug)]
+pub struct SharedWords {
+    inner: Arc<[AtomicU64]>,
+}
+
+impl SharedWords {
+    /// New array of `len` entries, each initialised to `init`.
+    pub fn new(len: usize, init: u64) -> Self {
+        Self {
+            inner: (0..len).map(|_| AtomicU64::new(init)).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the array has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Writer-side load (relaxed; the writer is the only mutator).
+    pub fn get(&self, i: usize) -> u64 {
+        self.inner[i].load(Ordering::Relaxed)
+    }
+
+    /// Publish a new entry value (`Release`).
+    pub fn set(&self, i: usize, value: u64) {
+        self.inner[i].store(value, Ordering::Release);
+    }
+
+    /// Set every entry to `value`.
+    pub fn fill(&self, value: u64) {
+        for w in self.inner.iter() {
+            w.store(value, Ordering::Release);
+        }
+    }
+
+    /// Cheap reader handle sharing this array.
+    pub fn view(&self) -> WordsView {
+        WordsView {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Clone for SharedWords {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self
+                .inner
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// Reader handle to [`SharedWords`]. Cheap to clone; read-only.
+#[derive(Debug, Clone)]
+pub struct WordsView {
+    inner: Arc<[AtomicU64]>,
+}
+
+impl WordsView {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the array has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Relaxed load; pair with epoch validation for cross-entry consistency.
+    pub fn get(&self, i: usize) -> u64 {
+        self.inner[i].load(Ordering::Relaxed)
+    }
+}
+
+/// Owner handle to a shared array of `u32` entries (SRAM buffer index).
+///
+/// Same contract as [`SharedWords`].
+#[derive(Debug)]
+pub struct SharedSlots {
+    inner: Arc<[AtomicU32]>,
+}
+
+impl SharedSlots {
+    /// New array of `len` entries, each initialised to `init`.
+    pub fn new(len: usize, init: u32) -> Self {
+        Self {
+            inner: (0..len).map(|_| AtomicU32::new(init)).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the array has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Writer-side load (relaxed; the writer is the only mutator).
+    pub fn get(&self, i: usize) -> u32 {
+        self.inner[i].load(Ordering::Relaxed)
+    }
+
+    /// Publish a new entry value (`Release`).
+    pub fn set(&self, i: usize, value: u32) {
+        self.inner[i].store(value, Ordering::Release);
+    }
+
+    /// Set every entry to `value`.
+    pub fn fill(&self, value: u32) {
+        for w in self.inner.iter() {
+            w.store(value, Ordering::Release);
+        }
+    }
+
+    /// Cheap reader handle sharing this array.
+    pub fn view(&self) -> SlotsView {
+        SlotsView {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Clone for SharedSlots {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self
+                .inner
+                .iter()
+                .map(|w| AtomicU32::new(w.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// Reader handle to [`SharedSlots`]. Cheap to clone; read-only.
+#[derive(Debug, Clone)]
+pub struct SlotsView {
+    inner: Arc<[AtomicU32]>,
+}
+
+impl SlotsView {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the array has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Relaxed load; pair with epoch validation for cross-entry consistency.
+    pub fn get(&self, i: usize) -> u32 {
+        self.inner[i].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_share_and_fork() {
+        let w = SharedWords::new(4, 7);
+        let v = w.view();
+        let fork = w.clone();
+        w.set(2, 99);
+        assert_eq!(v.get(2), 99);
+        assert_eq!(fork.get(2), 7);
+        w.fill(1);
+        assert_eq!(v.get(0), 1);
+    }
+
+    #[test]
+    fn slots_share_and_fork() {
+        let s = SharedSlots::new(3, 0);
+        let v = s.view();
+        let fork = s.clone();
+        s.set(1, 42);
+        assert_eq!(v.get(1), 42);
+        assert_eq!(fork.get(1), 0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(v.len(), 3);
+    }
+}
