@@ -14,6 +14,31 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
+echo "== doc link check =="
+# Every relative markdown link in README.md and docs/*.md must resolve
+# to a file in the repo (anchors stripped, absolute URLs skipped).
+LINK_FAIL=0
+for f in README.md docs/*.md; do
+  dir=$(dirname "$f")
+  for link in $(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//'); do
+    case "$link" in
+      http://*|https://*|\#*) continue ;;
+    esac
+    target=${link%%#*}
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "broken link in $f: $link"
+      LINK_FAIL=1
+    fi
+  done
+done
+test "$LINK_FAIL" = "0"
+
+echo "== cargo test --doc =="
+# Doctests are the executable half of the rustdoc pass (the transaction
+# and recovery examples run for real); keep them green on their own.
+cargo test --workspace --doc -q
+
 echo "== cargo test =="
 cargo test --workspace -q
 
@@ -55,7 +80,7 @@ echo "== smoke: ext_fault_recovery --quick --jobs 2 =="
 # once (fixed seeds); the binary exits nonzero if any recovery fails.
 cargo run --release -q -p envy-bench --bin ext_fault_recovery -- --quick --jobs 2 \
   > results/ci_smoke_fault_recovery.txt
-grep -q "17/17 injection points crashed and recovered" results/ci_smoke_fault_recovery.txt
+grep -q "21/21 injection points crashed and recovered" results/ci_smoke_fault_recovery.txt
 test -s results/BENCH_ext_fault_recovery.json
 
 echo "== smoke: trace overhead (tracing must be behavior-neutral) =="
@@ -87,6 +112,16 @@ cargo run --release -q -p envy-bench --bin ext_serve -- --quick \
 grep -q "anchor: 1-shard front end == monolithic store" results/ci_smoke_ext_serve.txt
 test -s results/BENCH_ext_serve.json
 
+echo "== smoke: ext_txn --quick (atomic transactions over the wire) =="
+# Abort-rate sweep and cleaner-pressure table plus the wire anchor: a
+# seeded atomic TPC-A run (nonzero aborts) through a real TCP server
+# must match the monolithic in-process replay exactly — the binary
+# asserts it (clock, stats, bytes) and prints the anchor line.
+cargo run --release -q -p envy-bench --bin ext_txn -- --quick \
+  > results/ci_smoke_ext_txn.txt
+grep -q "anchor: atomic TPC-A over the wire == monolithic replay" results/ci_smoke_ext_txn.txt
+test -s results/BENCH_ext_txn.json
+
 echo "== smoke: envy-served + 4-client socket loadgen =="
 # Serve on a Unix socket, drive 4 client connections closed-loop, then
 # shut the server down over the wire; the daemon must drain, report a
@@ -101,10 +136,16 @@ SERVED_PID=$!
 for _ in $(seq 1 100); do test -S "$SERVE_SOCK" && break; sleep 0.1; done
 test -S "$SERVE_SOCK"
 ./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
-  --clients 4 --txns 250 --shutdown > results/ci_smoke_serve_load.txt
+  --clients 4 --txns 250 > results/ci_smoke_serve_load.txt
+# Second leg: the same daemon serves atomic transactions (TXN_BEGIN ..
+# TXN_COMMIT/TXN_ABORT over the wire) with a seeded abort fraction.
+./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
+  --clients 2 --txns 100 --atomic 0.2 --shutdown > results/ci_smoke_serve_txn.txt
 wait "$SERVED_PID"
 grep -Eq "completed txns +1000" results/ci_smoke_serve_load.txt
 grep -Eq "errors +0" results/ci_smoke_serve_load.txt
+grep -Eq "aborted txns +[1-9]" results/ci_smoke_serve_txn.txt
+grep -Eq "errors +0" results/ci_smoke_serve_txn.txt
 grep -q "(0 timed out)" results/ci_smoke_serve_daemon.txt
 test ! -e "$SERVE_SOCK"
 

@@ -6,11 +6,13 @@
 //! repository's deterministic fault layer two ways:
 //!
 //! * **Crash matrix** — for every numbered injection point (flush,
-//!   clean, erase, wear swap, transaction commit) a workload is driven
-//!   until the armed power failure fires, then the store is recovered
-//!   and the recovery report is tabulated: what debris each crash class
-//!   leaves (orphaned programs scavenged, stale buffer entries dropped,
-//!   stale shadows released, a clean resumed from the journal).
+//!   clean, erase, wear swap, transaction commit and rollback) a
+//!   workload is driven until the armed power failure fires, then the
+//!   store is recovered and the recovery report is tabulated: what
+//!   debris each crash class leaves (orphaned programs scavenged, stale
+//!   buffer entries dropped, stale shadows released, a clean resumed
+//!   from the journal, an in-flight transaction committed or rolled
+//!   back all-or-nothing — `docs/TRANSACTIONS.md`).
 //! * **Fault-rate sweep** — steady-state churn under increasing injected
 //!   `program_error` rates, showing the retry/remap cost surfacing in
 //!   [`envy_core::EnvyStats`] and the effect on cleaning cost. Rate 0
@@ -54,6 +56,7 @@ fn crash_point(point: InjectionPoint, max_steps: u64) -> (u64, RecoveryReport) {
     s.arm_faults(FaultPlan::crash_at(point, 1));
     let mut rng = Rng::seed_from(0xFA17 ^ point.index() as u64);
     let mut txn: Option<u64> = None;
+    let mut txn_seq = 0u64;
     let mut steps = 0;
     for step in 0..max_steps {
         steps = step + 1;
@@ -67,7 +70,15 @@ fn crash_point(point: InjectionPoint, max_steps: u64) -> (u64, RecoveryReport) {
                 Err(e) => Err(e),
             }
         } else if phase == 20 && txn.is_some() {
-            let r = s.txn_commit(txn.unwrap());
+            // Alternate resolution so both the commit and the rollback
+            // injection points are reachable.
+            let id = txn.unwrap();
+            txn_seq += 1;
+            let r = if txn_seq % 2 == 0 {
+                s.txn_abort(id)
+            } else {
+                s.txn_commit(id)
+            };
             if r.is_ok() {
                 txn = None;
             }
@@ -135,6 +146,11 @@ fn main() {
     let outcome = SweepSpec::new("ext_fault_recovery", points).run(|_, &point| match point {
         Point::Crash(p) => {
             let (steps, r) = crash_point(p, max_steps);
+            let resolution = match (r.txn_completed, r.txn_rolled_back) {
+                (Some(_), _) => "committed",
+                (_, Some(_)) => "rolled back",
+                _ => "-",
+            };
             PointResult::row(
                 format!("crash:{}", p.label()),
                 vec![
@@ -145,6 +161,7 @@ fn main() {
                     r.dropped_buffer_pages.to_string(),
                     r.released_shadows.to_string(),
                     r.buffered_pages.to_string(),
+                    resolution.to_string(),
                 ],
             )
             .metric("steps_to_crash", steps as f64)
@@ -152,6 +169,10 @@ fn main() {
             .metric("dropped_buffer", r.dropped_buffer_pages as f64)
             .metric("released_shadows", r.released_shadows as f64)
             .metric("resumed_clean", r.resumed_clean as u64 as f64)
+            .metric(
+                "txn_resolved",
+                (r.txn_completed.is_some() || r.txn_rolled_back.is_some()) as u64 as f64,
+            )
         }
         Point::Rate(rate) => {
             let s = rate_run(rate, writes);
@@ -190,6 +211,7 @@ fn main() {
         "dropped buf",
         "released shadows",
         "buffered",
+        "txn at crash",
     ]);
     for row in &outcome.rows[..crash_count] {
         crash_table.row(row);

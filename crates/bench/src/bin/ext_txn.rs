@@ -1,0 +1,261 @@
+//! `ext_txn` — extension: end-to-end ACID transactions over the wire
+//! (the paper's §3.4 per-operation atomicity, grown to multi-page
+//! transactions served remotely).
+//!
+//! Three studies over one churned steady-state baseline:
+//!
+//! * **Wire anchor** — a seeded atomic TPC-A stream (with a nonzero
+//!   abort draw) through a real TCP server must land on exactly the
+//!   simulated clock, controller statistics (commit/abort/shadow
+//!   counters included) and bytes of the same spec replayed
+//!   synchronously against a monolithic store. This is the digest that
+//!   pins the whole wire transaction path — framing, ownership checks,
+//!   journaled commit, rollback — to the in-process engine.
+//! * **Abort-rate sweep** — closed-loop atomic TPC-A at 0 %, 5 %, 20 %
+//!   and 50 % seeded aborts: transaction latency percentiles (begin
+//!   through commit/abort), measured abort share, slot conflicts, and
+//!   the cleaning work the shadow pages add.
+//! * **Cleaner pressure** — the same offered load run plain vs. atomic:
+//!   every transactional write pins its pre-image as a shadow page
+//!   until commit (§6), capacity the cleaner must carry, so the atomic
+//!   row shows the cost of the rollback guarantee in cleaning traffic.
+
+use envy_bench::{
+    arg_u64, churn_to_steady_state_for, emit, jobs_arg, quick_mode, write_report_full, PointResult,
+    SweepSpec,
+};
+use envy_core::EnvyStore;
+use envy_server::loadgen::{run_inproc, run_monolithic, run_socket};
+use envy_server::{serve, Client, Listener, LoadSpec, ServeConfig, ShardedStore};
+use envy_sim::report::Table;
+use envy_sim::time::Ns;
+use envy_workload::{AnalyticTpca, TpcaScale};
+use std::time::Instant;
+
+/// Seeded abort percentages on the sweep's x-axis.
+const ABORT_PERCENTS: [u32; 4] = [0, 5, 20, 50];
+
+fn us(ns: Ns) -> f64 {
+    ns.as_nanos() as f64 / 1_000.0
+}
+
+fn main() {
+    let started = Instant::now();
+    let quick = quick_mode();
+    let txns = arg_u64("txns", if quick { 120 } else { 1_000 });
+    let clients = arg_u64("clients", 4).max(1) as u32;
+
+    // One churned steady-state baseline; every point forks it, so all
+    // runs start byte- and state-identical with the cleaner hot.
+    let config = ServeConfig::scaled(1);
+    let mut baseline = EnvyStore::new(config.store.clone()).expect("config is valid");
+    baseline.prefill().expect("prefill fits");
+    let driver = AnalyticTpca::new(TpcaScale::fit_bytes(config.store.logical_bytes()));
+    churn_to_steady_state_for(false, &mut baseline, &driver);
+
+    // ----------------------------------------------------------------
+    // Wire anchor: atomic TPC-A over TCP == synchronous monolithic
+    // replay, down to the simulated clock and every statistic.
+    // ----------------------------------------------------------------
+    let anchor_spec = LoadSpec::closed(1, if quick { 60 } else { 240 })
+        .with_seed(0xAC1D)
+        .atomic(0.2);
+    let mut mono = baseline.fork();
+    let mono_report = run_monolithic(&mut mono, &anchor_spec);
+    let front = ShardedStore::launch_from(vec![baseline.fork()], &ServeConfig::scaled(1));
+    let plan = *front.plan();
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind ephemeral TCP port");
+    let server = serve(listener, front).expect("serve");
+    let addr = server.addr().to_string();
+    let wire_report =
+        run_socket(|| Client::connect_tcp(&addr), plan, &anchor_spec).expect("socket load run");
+    let mut summary = server.shutdown();
+    assert!(
+        mono_report.aborted_txns > 0,
+        "anchor seed must draw nonzero aborts"
+    );
+    assert_eq!(wire_report.completed_txns, mono_report.completed_txns);
+    assert_eq!(wire_report.aborted_txns, mono_report.aborted_txns);
+    assert_eq!(wire_report.completed_ops, mono_report.completed_ops);
+    assert_eq!(wire_report.errors, 0, "anchor run must be error-free");
+    {
+        let served = &summary.outcome.shards[0].store;
+        assert_eq!(served.now(), mono.now(), "anchor: simulated clock diverged");
+        assert_eq!(served.stats(), mono.stats(), "anchor: stats diverged");
+    }
+    let mut got = vec![0u8; mono.size() as usize];
+    let mut want = vec![0u8; mono.size() as usize];
+    summary.outcome.shards[0].store.read(0, &mut got).unwrap();
+    mono.read(0, &mut want).unwrap();
+    assert_eq!(got, want, "anchor: contents diverged");
+    println!(
+        "anchor: atomic TPC-A over the wire == monolithic replay \
+         ({} committed, {} aborted, sim {:.3} ms)",
+        mono_report.completed_txns,
+        mono_report.aborted_txns,
+        mono.now().as_nanos() as f64 / 1e6,
+    );
+    println!();
+    let anchor_point = (
+        "anchor".to_string(),
+        vec![
+            ("anchor_committed", mono_report.completed_txns as f64),
+            ("anchor_aborted", mono_report.aborted_txns as f64),
+            ("anchor_sim_us", us(mono.now())),
+            ("anchor_match", 1.0),
+        ],
+    );
+
+    // ----------------------------------------------------------------
+    // Abort-rate sweep: closed-loop atomic TPC-A, 2 shards.
+    // ----------------------------------------------------------------
+    let baseline = &baseline;
+    let sweep =
+        SweepSpec::new("ext_txn", ABORT_PERCENTS.to_vec()).run_with_jobs(jobs_arg(), |_, &pct| {
+            let shards = 2u32;
+            let config = ServeConfig::scaled(shards);
+            let stores = (0..shards).map(|_| baseline.fork()).collect();
+            let front = ShardedStore::launch_from(stores, &config);
+            let load = LoadSpec::closed(clients, txns)
+                .with_seed(0x7A_C1D0 + u64::from(pct))
+                .atomic(f64::from(pct) / 100.0);
+            let report = run_inproc(&front.handle(), &load);
+            let outcome = front.shutdown();
+            assert_eq!(report.errors, 0, "serving errors at {pct}% aborts");
+            for shard in &outcome.shards {
+                assert_eq!(
+                    shard.store.engine().active_txn(),
+                    None,
+                    "transaction left open at {pct}% aborts"
+                );
+            }
+            let total = report.completed_txns + report.aborted_txns;
+            let measured = if total > 0 {
+                report.aborted_txns as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            };
+            let stats = outcome.aggregate_stats();
+            let [p50, p95, p99, _] = report
+                .txn_latency
+                .percentiles()
+                .expect("latencies recorded");
+            PointResult::row(
+                format!("{pct}% aborts"),
+                vec![
+                    pct.to_string(),
+                    report.completed_txns.to_string(),
+                    report.aborted_txns.to_string(),
+                    format!("{measured:.1}"),
+                    report.txn_conflicts.to_string(),
+                    format!("{:.1}", us(p50)),
+                    format!("{:.1}", us(p95)),
+                    format!("{:.1}", us(p99)),
+                    stats.shadow_pages_pinned.get().to_string(),
+                    stats.cleans.get().to_string(),
+                ],
+            )
+            .metric("abort_pct_seeded", f64::from(pct))
+            .metric("committed_txns", report.completed_txns as f64)
+            .metric("aborted_txns", report.aborted_txns as f64)
+            .metric("abort_pct_measured", measured)
+            .metric("txn_conflicts", report.txn_conflicts as f64)
+            .metric("txn_p50_us", us(p50))
+            .metric("txn_p95_us", us(p95))
+            .metric("txn_p99_us", us(p99))
+            .metric(
+                "shadow_pages_pinned",
+                stats.shadow_pages_pinned.get() as f64,
+            )
+            .metric("cleans", stats.cleans.get() as f64)
+            .metric("wall_tps", report.throughput_tps())
+        });
+    let mut table = Table::new(&[
+        "seeded %",
+        "committed",
+        "aborted",
+        "measured %",
+        "conflicts",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "shadows",
+        "cleans",
+    ]);
+    for row in &sweep.rows {
+        table.row(row);
+    }
+    emit(
+        "Section 3.4 + 6",
+        "atomic TPC-A: seeded abort-rate sweep (closed loop, 2 shards)",
+        &table,
+    );
+    println!();
+
+    // ----------------------------------------------------------------
+    // Cleaner pressure: the same offered load, plain vs. atomic.
+    // ----------------------------------------------------------------
+    let mut pressure_rows: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut pressure_table = Table::new(&[
+        "mode",
+        "txns",
+        "shadows pinned",
+        "cleans",
+        "clean programs",
+        "commits",
+        "aborts",
+    ]);
+    for (name, atomic) in [("plain", None), ("atomic", Some(0.05))] {
+        let front = ShardedStore::launch_from(vec![baseline.fork()], &ServeConfig::scaled(1));
+        let mut load = LoadSpec::closed(clients, txns).with_seed(0xC1EA);
+        if let Some(a) = atomic {
+            load = load.atomic(a);
+        }
+        let report = run_inproc(&front.handle(), &load);
+        let outcome = front.shutdown();
+        assert_eq!(report.errors, 0, "cleaner-pressure errors ({name})");
+        let stats = outcome.aggregate_stats();
+        pressure_table.row(&[
+            name.to_string(),
+            (report.completed_txns + report.aborted_txns).to_string(),
+            stats.shadow_pages_pinned.get().to_string(),
+            stats.cleans.get().to_string(),
+            stats.clean_programs.get().to_string(),
+            stats.txn_commits.get().to_string(),
+            stats.txn_aborts.get().to_string(),
+        ]);
+        pressure_rows.push((
+            format!("pressure/{name}"),
+            vec![
+                ("txns", (report.completed_txns + report.aborted_txns) as f64),
+                (
+                    "shadow_pages_pinned",
+                    stats.shadow_pages_pinned.get() as f64,
+                ),
+                ("cleans", stats.cleans.get() as f64),
+                ("clean_programs", stats.clean_programs.get() as f64),
+                ("txn_commits", stats.txn_commits.get() as f64),
+                ("txn_aborts", stats.txn_aborts.get() as f64),
+            ],
+        ));
+    }
+    emit(
+        "Section 6",
+        "cleaner pressure: shadow pages pinned by open transactions",
+        &pressure_table,
+    );
+
+    let mut points = vec![anchor_point];
+    points.extend(sweep.points.iter().cloned());
+    points.extend(pressure_rows);
+    match write_report_full(
+        "ext_txn",
+        sweep.jobs,
+        started.elapsed().as_secs_f64(),
+        &points,
+        &[],
+    ) {
+        Ok(path) => eprintln!("  report: {}", path.display()),
+        Err(e) => eprintln!("  warning: could not write report: {e}"),
+    }
+}

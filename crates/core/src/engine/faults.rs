@@ -64,17 +64,31 @@ pub enum InjectionPoint {
     WearDuringCopy,
     /// Wear swap: between two relocation copies.
     WearAfterCopy,
-    /// Commit: requested but the commit point not yet reached — the
-    /// transaction must abort on recovery.
+    /// Commit: requested but the commit record not yet journaled — the
+    /// transaction must roll back on recovery.
     CommitBefore,
-    /// Commit: the atomic commit point passed, shadow bookkeeping not
-    /// yet released — the transaction must be durable on recovery.
+    /// Commit: the commit record cleared after a full release — the
+    /// transaction is durable and recovery has nothing to do.
     CommitAfterPoint,
+    /// Commit: the commit record journaled, shadow bookkeeping not yet
+    /// released — recovery must finish the commit (release the shadows
+    /// and clear the record), never roll back.
+    CommitAfterJournal,
+    /// Abort: requested but no page restored yet — recovery must finish
+    /// the rollback (the transaction stays open across the crash).
+    AbortBefore,
+    /// Abort: between two page restores (a prefix of the written pages
+    /// repointed at their shadows, the rest still showing transaction
+    /// data) — recovery must restore the remainder.
+    AbortMidRollback,
+    /// Abort: every page restored, the transaction id not yet cleared —
+    /// recovery re-runs an empty rollback and closes the transaction.
+    AbortAfterRollback,
 }
 
 impl InjectionPoint {
     /// Every injection point, in catalog order. `ALL[i].index() == i`.
-    pub const ALL: [InjectionPoint; 17] = [
+    pub const ALL: [InjectionPoint; 21] = [
         InjectionPoint::FlushBeforeProgram,
         InjectionPoint::FlushDuringProgram,
         InjectionPoint::FlushAfterProgram,
@@ -92,6 +106,10 @@ impl InjectionPoint {
         InjectionPoint::WearAfterCopy,
         InjectionPoint::CommitBefore,
         InjectionPoint::CommitAfterPoint,
+        InjectionPoint::CommitAfterJournal,
+        InjectionPoint::AbortBefore,
+        InjectionPoint::AbortMidRollback,
+        InjectionPoint::AbortAfterRollback,
     ];
 
     /// Stable catalog number of this point.
@@ -135,6 +153,10 @@ impl InjectionPoint {
             InjectionPoint::WearAfterCopy => "wear_after_copy",
             InjectionPoint::CommitBefore => "commit_before",
             InjectionPoint::CommitAfterPoint => "commit_after_point",
+            InjectionPoint::CommitAfterJournal => "commit_after_journal",
+            InjectionPoint::AbortBefore => "abort_before",
+            InjectionPoint::AbortMidRollback => "abort_mid_rollback",
+            InjectionPoint::AbortAfterRollback => "abort_after_rollback",
         }
     }
 }

@@ -157,7 +157,9 @@ impl Engine {
                 // §6: the invalidated original is a free shadow copy for
                 // an open transaction.
                 if let Some(txn) = self.active_txn {
-                    self.shadows.insert_if_absent(lp, loc, txn);
+                    if self.shadows.insert_if_absent(lp, loc, txn) {
+                        self.stats.shadow_pages_pinned.incr();
+                    }
                 }
                 self.flash.invalidate_page(loc.segment, loc.page)?;
                 self.page_table.map_sram(lp);

@@ -74,6 +74,14 @@ pub struct Engine {
     pub(crate) txn_fresh: std::collections::HashSet<crate::addr::LogicalPage>,
     pub(crate) active_txn: Option<u64>,
     pub(crate) next_txn_id: u64,
+    /// Durable commit record (battery-backed SRAM, §6 + §3.4): set at
+    /// the atomic commit point of [`Engine::txn_commit`] and cleared
+    /// once the shadow release completes. [`Engine::recover`] treats a
+    /// surviving record as "committed" and finishes the release.
+    pub(crate) txn_journal: Option<u64>,
+    /// Scratch rollback list reused by abort/recovery so a rollback
+    /// does not allocate per transaction.
+    pub(crate) txn_scratch: Vec<(crate::addr::LogicalPage, crate::addr::FlashLocation)>,
     pub(crate) journal: Option<CleanJournal>,
     pub(crate) wear_in_progress: bool,
     /// Segment parked with cold data by the last wear swap; ineligible
@@ -145,6 +153,8 @@ impl Engine {
             txn_fresh: std::collections::HashSet::new(),
             active_txn: None,
             next_txn_id: 1,
+            txn_journal: None,
+            txn_scratch: Vec::new(),
             journal: None,
             wear_in_progress: false,
             wear_parked: None,

@@ -9,9 +9,10 @@
 //! in-flight background-operation timing — is discarded by
 //! [`Engine::power_failure`] and rebuilt here.
 //!
-//! [`Engine::recover`] restores the invariants in four steps, each
+//! [`Engine::recover`] restores the invariants in five steps, each
 //! matched to the debris one class of crash leaves behind (the full
-//! catalog is in `docs/CRASH_CONSISTENCY.md`):
+//! catalog is in `docs/CRASH_CONSISTENCY.md` and, for transactions,
+//! `docs/TRANSACTIONS.md`):
 //!
 //! 1. release shadow bookkeeping of transactions that already passed
 //!    their commit point (crash between commit point and release);
@@ -21,7 +22,12 @@
 //! 3. drop buffered pages whose logical page no longer maps to SRAM (a
 //!    flush that repointed the page table but never popped the buffer);
 //! 4. replay the clean journal, completing any interrupted clean or
-//!    wear relocation.
+//!    wear relocation (this also relocates pinned transaction shadows
+//!    off the victim);
+//! 5. resolve an in-flight transaction to all-or-nothing: a journaled
+//!    commit record finishes the commit (release the shadows, clear the
+//!    record); an open uncommitted transaction rolls back to its
+//!    pre-transaction page images.
 
 use crate::addr::{Location, LogicalPage};
 use crate::engine::Engine;
@@ -60,6 +66,12 @@ pub struct RecoveryReport {
     /// Shadow entries released because their transaction had already
     /// passed its commit point.
     pub released_shadows: u64,
+    /// A journaled commit record was found; the commit was completed
+    /// (the transaction's writes are durable and visible).
+    pub txn_completed: Option<u64>,
+    /// An open, uncommitted transaction was found; it was rolled back
+    /// to its pre-transaction page images (its writes are gone).
+    pub txn_rolled_back: Option<u64>,
 }
 
 impl Engine {
@@ -108,6 +120,24 @@ impl Engine {
         } else {
             false
         };
+        // 5. Resolve an in-flight transaction to all-or-nothing. This
+        // runs after the clean replay so any shadows the interrupted
+        // clean was relocating have already landed at their final
+        // locations. A journaled commit record wins — the transaction
+        // passed its durable commit point, so finish the release;
+        // otherwise an open transaction never committed and rolls back.
+        let txn_completed = if let Some(txn) = self.txn_journal {
+            self.finish_commit(txn);
+            Some(txn)
+        } else {
+            None
+        };
+        let txn_rolled_back = if let Some(txn) = self.active_txn {
+            self.rollback_active(txn)?;
+            Some(txn)
+        } else {
+            None
+        };
         self.check_invariants()
             .map_err(|_| EnvyError::CorruptState)?;
         Ok(RecoveryReport {
@@ -117,6 +147,8 @@ impl Engine {
             scavenged_pages,
             dropped_buffer_pages,
             released_shadows,
+            txn_completed,
+            txn_rolled_back,
         })
     }
 

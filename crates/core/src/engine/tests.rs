@@ -495,7 +495,7 @@ fn power_failure_preserves_buffered_writes() {
 }
 
 #[test]
-fn recovery_with_open_txn_reports_shadows() {
+fn recovery_rolls_back_open_txn() {
     let mut e = small(PolicyKind::paper_default());
     write_lp(&mut e, 3, 1);
     let mut ops = Vec::new();
@@ -503,10 +503,14 @@ fn recovery_with_open_txn_reports_shadows() {
     write_lp(&mut e, 3, 2);
     e.power_failure();
     let report = e.recover(&mut ops).unwrap();
-    assert_eq!(report.shadow_pages, 1);
-    // The application decides: roll back the in-flight transaction.
-    e.txn_abort(txn).unwrap();
+    // All-or-nothing: the uncommitted transaction is gone.
+    assert_eq!(report.txn_rolled_back, Some(txn));
+    assert_eq!(report.txn_completed, None);
+    assert_eq!(report.shadow_pages, 0);
+    assert_eq!(e.active_txn(), None);
+    assert!(e.txn_abort(txn).is_err(), "already resolved by recovery");
     assert_eq!(read_byte(&mut e, 3), 1);
+    assert_eq!(e.stats().txn_aborts.get(), 1);
 }
 
 #[test]
@@ -579,7 +583,7 @@ fn recovery_paths_table() {
             check: |r| assert!(r.resumed_clean),
         },
         Case {
-            name: "open-transaction shadow pages",
+            name: "open-transaction rolled back",
             setup: |e, ops| {
                 write_lp(e, 3, 1);
                 let txn = e.txn_begin(ops).unwrap();
@@ -587,7 +591,8 @@ fn recovery_paths_table() {
                 let _ = txn;
             },
             check: |r| {
-                assert_eq!(r.shadow_pages, 1);
+                assert!(r.txn_rolled_back.is_some());
+                assert_eq!(r.shadow_pages, 0);
                 assert_eq!(r.released_shadows, 0);
             },
         },
@@ -700,7 +705,7 @@ fn empty_fault_plan_is_behavior_neutral() {
 }
 
 #[test]
-fn commit_crash_before_point_leaves_txn_open_and_abortable() {
+fn commit_crash_before_journal_rolls_back() {
     let mut e = small(PolicyKind::paper_default());
     write_lp(&mut e, 5, 0x10);
     let mut ops = Vec::new();
@@ -710,12 +715,39 @@ fn commit_crash_before_point_leaves_txn_open_and_abortable() {
     assert_eq!(e.txn_commit(txn), Err(crate::error::EnvyError::PowerLoss));
     e.power_failure();
     let report = e.recover(&mut ops).unwrap();
-    // The commit was never acknowledged: the transaction is still open
-    // and the application rolls it back.
-    assert_eq!(e.active_txn(), Some(txn));
-    assert_eq!(report.shadow_pages, 1);
-    e.txn_abort(txn).unwrap();
+    // The commit record never reached the journal: the unacknowledged
+    // commit never happened, and recovery rolls the transaction back.
+    assert_eq!(report.txn_rolled_back, Some(txn));
+    assert_eq!(e.active_txn(), None);
+    assert_eq!(report.shadow_pages, 0);
     assert_eq!(read_byte(&mut e, 5), 0x10);
+    e.check_invariants().unwrap();
+}
+
+#[test]
+fn commit_crash_after_journal_completes_commit() {
+    // The satellite case: power fails *between* the journaled commit
+    // record and the shadow release. The record wins — recovery finishes
+    // the commit, never rolls back.
+    let mut e = small(PolicyKind::paper_default());
+    write_lp(&mut e, 5, 0x10);
+    let mut ops = Vec::new();
+    let txn = e.txn_begin(&mut ops).unwrap();
+    write_lp(&mut e, 5, 0x20);
+    e.arm_faults(FaultPlan::crash_at(InjectionPoint::CommitAfterJournal, 1));
+    assert_eq!(e.txn_commit(txn), Err(crate::error::EnvyError::PowerLoss));
+    assert_eq!(e.commit_record(), Some(txn), "record survives the crash");
+    assert_eq!(e.shadow_pages(), 1, "release had not run yet");
+    e.power_failure();
+    let report = e.recover(&mut ops).unwrap();
+    assert_eq!(report.txn_completed, Some(txn));
+    assert_eq!(report.txn_rolled_back, None);
+    assert_eq!(e.commit_record(), None);
+    assert_eq!(e.active_txn(), None);
+    assert_eq!(report.shadow_pages, 0);
+    assert!(e.txn_abort(txn).is_err(), "nothing left to abort");
+    assert_eq!(read_byte(&mut e, 5), 0x20);
+    assert_eq!(e.stats().txn_commits.get(), 1);
     e.check_invariants().unwrap();
 }
 
@@ -730,13 +762,84 @@ fn commit_crash_after_point_is_durable() {
     assert_eq!(e.txn_commit(txn), Err(crate::error::EnvyError::PowerLoss));
     e.power_failure();
     let report = e.recover(&mut ops).unwrap();
-    // The commit point was passed: the transaction is durable; recovery
-    // released the stale shadow bookkeeping.
+    // The commit had fully completed (record written, shadows released,
+    // record cleared): recovery finds nothing to resolve.
     assert_eq!(e.active_txn(), None);
-    assert_eq!(report.released_shadows, 1);
+    assert_eq!(report.txn_completed, None);
+    assert_eq!(report.txn_rolled_back, None);
     assert_eq!(report.shadow_pages, 0);
     assert!(e.txn_abort(txn).is_err(), "nothing left to abort");
     assert_eq!(read_byte(&mut e, 5), 0x20);
+    e.check_invariants().unwrap();
+}
+
+#[test]
+fn abort_crash_points_roll_back_fully() {
+    // Crash at every point inside txn_abort over a multi-page write set;
+    // recovery must complete the rollback (no partial visibility).
+    for (i, point) in [
+        InjectionPoint::AbortBefore,
+        InjectionPoint::AbortMidRollback,
+        InjectionPoint::AbortAfterRollback,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut e = small(PolicyKind::paper_default());
+        for lp in 0..4 {
+            write_lp(&mut e, lp, 0x10 + lp as u8);
+        }
+        let mut ops = Vec::new();
+        let txn = e.txn_begin(&mut ops).unwrap();
+        for lp in 0..4 {
+            write_lp(&mut e, lp, 0x90 + lp as u8);
+        }
+        // Fire on the second hit for the mid-rollback point so at least
+        // one page is already restored when power cuts.
+        let nth = if point == InjectionPoint::AbortMidRollback {
+            2
+        } else {
+            1
+        };
+        e.arm_faults(FaultPlan::crash_at(point, nth));
+        assert_eq!(
+            e.txn_abort(txn),
+            Err(crate::error::EnvyError::PowerLoss),
+            "case {i}: {point:?}"
+        );
+        e.power_failure();
+        let report = e.recover(&mut ops).unwrap();
+        assert_eq!(report.txn_rolled_back, Some(txn), "case {i}: {point:?}");
+        assert_eq!(e.active_txn(), None);
+        assert_eq!(report.shadow_pages, 0);
+        for lp in 0..4 {
+            assert_eq!(
+                read_byte(&mut e, lp),
+                0x10 + lp as u8,
+                "case {i}: {point:?} page {lp} must show pre-transaction data"
+            );
+        }
+        assert_eq!(e.stats().txn_aborts.get(), 1, "counted exactly once");
+        e.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn abort_crash_restores_fresh_pages_to_unmapped() {
+    // A page born inside the transaction has no shadow; a crashed abort
+    // must still return it to the unmapped (erased) state. No prefill,
+    // so the page really is unmapped before the transaction.
+    let mut e = Engine::new(EnvyConfig::small_test()).unwrap();
+    let fresh_lp = 5;
+    let mut ops = Vec::new();
+    let txn = e.txn_begin(&mut ops).unwrap();
+    write_lp(&mut e, fresh_lp, 0x42);
+    e.arm_faults(FaultPlan::crash_at(InjectionPoint::AbortBefore, 1));
+    assert_eq!(e.txn_abort(txn), Err(crate::error::EnvyError::PowerLoss));
+    e.power_failure();
+    let report = e.recover(&mut ops).unwrap();
+    assert_eq!(report.txn_rolled_back, Some(txn));
+    assert_eq!(read_byte(&mut e, fresh_lp), 0xFF, "fresh page unmapped");
     e.check_invariants().unwrap();
 }
 
@@ -778,14 +881,30 @@ fn crash_recover_verify(point: InjectionPoint, seed: u64) -> bool {
             continue;
         }
         if phase == 20 {
-            if let Some((id, _)) = txn {
-                match e.txn_commit(id) {
-                    Ok(()) => txn = None,
-                    Err(PowerLoss) => {
-                        crashed = true;
-                        break;
+            if let Some((id, ref snapshot)) = txn {
+                // Alternate commit and abort so both resolution paths
+                // (and their crash points) get exercised.
+                if (step / 37) % 2 == 0 {
+                    match e.txn_commit(id) {
+                        Ok(()) => txn = None,
+                        Err(PowerLoss) => {
+                            crashed = true;
+                            break;
+                        }
+                        Err(err) => panic!("txn_commit: {err}"),
                     }
-                    Err(err) => panic!("txn_commit: {err}"),
+                } else {
+                    match e.txn_abort(id) {
+                        Ok(()) => {
+                            mirror = snapshot.clone();
+                            txn = None;
+                        }
+                        Err(PowerLoss) => {
+                            crashed = true;
+                            break;
+                        }
+                        Err(err) => panic!("txn_abort: {err}"),
+                    }
                 }
                 continue;
             }
@@ -815,19 +934,38 @@ fn crash_recover_verify(point: InjectionPoint, seed: u64) -> bool {
     assert!(e.crash_fired());
     e.power_failure();
     let mut rops = Vec::new();
-    e.recover(&mut rops)
+    let report = e
+        .recover(&mut rops)
         .unwrap_or_else(|err| panic!("recover after {point:?}: {err}"));
     e.check_invariants()
         .unwrap_or_else(|err| panic!("invariants after {point:?}: {err}"));
+    assert_eq!(
+        e.active_txn(),
+        None,
+        "no transaction stays open across recovery after {point:?}"
+    );
     if let Some((id, snapshot)) = txn {
-        if e.active_txn() == Some(id) {
-            // The unacknowledged transaction is rolled back; every page
-            // it touched (including the in-flight one) reverts.
-            e.txn_abort(id).unwrap();
+        if report.txn_rolled_back == Some(id) {
+            // The transaction never reached its durable commit point (or
+            // was already aborting): every page it touched — including
+            // the in-flight one — reverts to the begin-time snapshot.
             mirror = snapshot;
             in_flight = None;
+        } else {
+            // The commit record survived the crash (recovery finished
+            // the release) or the commit fully completed before it:
+            // every acknowledged transaction write is durable, which the
+            // full-mirror sweep below verifies.
+            assert!(
+                report.txn_completed == Some(id) || report.txn_completed.is_none(),
+                "foreign transaction resolved after {point:?}: {report:?}"
+            );
         }
-        // Otherwise the commit point was passed: txn writes are durable.
+    } else {
+        assert_eq!(
+            report.txn_rolled_back, None,
+            "no open transaction, nothing to roll back after {point:?}"
+        );
     }
     if let Some((lp, v)) = in_flight {
         let got = read_byte(&mut e, lp);

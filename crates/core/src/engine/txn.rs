@@ -6,10 +6,36 @@
 //! application can roll back a transaction simply by copying data back
 //! from Flash."
 //!
-//! The controller keeps a directory of shadow copies per open transaction,
-//! protects them across cleaning and wear leveling (they are relocated,
-//! not lost), commits by forgetting them, and aborts by repointing the
-//! page table at the shadows.
+//! The controller keeps a directory of shadow copies per open transaction
+//! (the [`ShadowTable`]), protects them across cleaning and wear leveling
+//! (they are relocated, not lost), commits by journaling a durable commit
+//! record and then forgetting the shadows, and aborts by repointing the
+//! page table at the shadows. After a power failure,
+//! [`Engine::recover`] resolves an in-flight transaction to
+//! all-or-nothing: a journaled commit record finishes the commit, an open
+//! uncommitted transaction rolls back. The full lifecycle, the per-crash-
+//! point debris catalog, and the wire-level rules live in
+//! `docs/TRANSACTIONS.md`.
+//!
+//! The public entry points are the [`crate::EnvyStore`] wrappers:
+//!
+//! ```
+//! use envy_core::{EnvyConfig, EnvyStore};
+//!
+//! let mut store = EnvyStore::new(EnvyConfig::small_test()).unwrap();
+//! store.prefill().unwrap();
+//! let before = store.stats().txn_commits.get();
+//!
+//! let txn = store.txn_begin().unwrap();
+//! store.write(0, &[7u8; 16]).unwrap(); // captures a shadow copy
+//! store.write(4096, &[9u8; 16]).unwrap();
+//! store.txn_commit(txn).unwrap(); // both pages durable, atomically
+//!
+//! let mut buf = [0u8; 16];
+//! store.read(0, &mut buf).unwrap();
+//! assert_eq!(buf, [7u8; 16]);
+//! assert_eq!(store.stats().txn_commits.get(), before + 1);
+//! ```
 
 use crate::addr::{FlashLocation, Location, LogicalPage};
 use crate::engine::{Engine, InjectionPoint};
@@ -35,9 +61,21 @@ impl ShadowTable {
     }
 
     /// Record the pre-transaction location of `lp`, keeping only the
-    /// first (oldest) shadow per page within a transaction.
-    pub(crate) fn insert_if_absent(&mut self, lp: LogicalPage, loc: FlashLocation, txn: u64) {
-        self.entries.entry(lp).or_insert((loc, txn));
+    /// first (oldest) shadow per page within a transaction. Returns
+    /// whether a new shadow was pinned (`false` when the page already
+    /// has one).
+    pub(crate) fn insert_if_absent(
+        &mut self,
+        lp: LogicalPage,
+        loc: FlashLocation,
+        txn: u64,
+    ) -> bool {
+        let mut inserted = false;
+        self.entries.entry(lp).or_insert_with(|| {
+            inserted = true;
+            (loc, txn)
+        });
+        inserted
     }
 
     /// The shadow pages located in `segment`, in page order.
@@ -68,19 +106,33 @@ impl ShadowTable {
         (before - self.entries.len()) as u64
     }
 
-    /// Remove and return all shadows belonging to `txn`.
-    pub(crate) fn drop_txn(&mut self, txn: u64) -> Vec<(LogicalPage, FlashLocation)> {
-        let mut removed: Vec<(LogicalPage, FlashLocation)> = self
-            .entries
-            .iter()
-            .filter(|(_, (_, t))| *t == txn)
-            .map(|(&lp, (loc, _))| (lp, *loc))
-            .collect();
-        removed.sort_unstable_by_key(|&(lp, _)| lp);
-        for (lp, _) in &removed {
-            self.entries.remove(lp);
-        }
-        removed
+    /// Drop all shadows belonging to `txn` in place (no allocation —
+    /// this is the commit hot path). Returns how many were released.
+    pub(crate) fn release_txn(&mut self, txn: u64) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, (_, t)| *t != txn);
+        (before - self.entries.len()) as u64
+    }
+
+    /// Collect the shadows belonging to `txn` into `out` (cleared
+    /// first), sorted by logical page so rollback order is
+    /// deterministic. Entries are *not* removed — the rollback removes
+    /// each one only once its page is restored, so a crash mid-rollback
+    /// leaves the directory describing exactly the unrestored remainder.
+    pub(crate) fn pages_of_into(&self, txn: u64, out: &mut Vec<(LogicalPage, FlashLocation)>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|(_, (_, t))| *t == txn)
+                .map(|(&lp, (loc, _))| (lp, *loc)),
+        );
+        out.sort_unstable_by_key(|&(lp, _)| lp);
+    }
+
+    /// Remove a single shadow entry (its page has been restored).
+    pub(crate) fn remove(&mut self, lp: LogicalPage) {
+        self.entries.remove(&lp);
     }
 
     /// Verify every shadow references an invalid Flash page (the state
@@ -121,14 +173,17 @@ impl Engine {
         Ok(id)
     }
 
-    /// Commit: release the shadow pages (they become ordinary invalid
-    /// data for the cleaner to reclaim).
+    /// Commit: make the transaction durable, then release its shadow
+    /// pages (they become ordinary invalid data for the cleaner to
+    /// reclaim).
     ///
-    /// The atomic commit point is clearing the transaction id in
-    /// battery-backed SRAM. A power failure before it leaves the
-    /// transaction open (the unacknowledged commit never happened); one
-    /// after it leaves a committed transaction whose stale shadow
-    /// bookkeeping [`Engine::recover`] releases.
+    /// The atomic commit point is writing the commit record into the
+    /// persistent transaction journal (battery-backed SRAM, the same
+    /// replay machinery as §3.4 cleaning). A power failure before it
+    /// leaves the transaction open — [`Engine::recover`] rolls it back;
+    /// one after it leaves a durable commit record — recovery finishes
+    /// the release and the transaction stays committed. Either way the
+    /// multi-page write set is all-or-nothing.
     ///
     /// # Errors
     ///
@@ -139,11 +194,25 @@ impl Engine {
             return Err(EnvyError::NoSuchTxn { txn });
         }
         self.crash_point(InjectionPoint::CommitBefore)?;
-        self.active_txn = None;
+        // The durable commit point: once this record is journaled,
+        // recovery completes the commit instead of rolling back.
+        self.txn_journal = Some(txn);
+        self.crash_point(InjectionPoint::CommitAfterJournal)?;
+        self.finish_commit(txn);
         self.crash_point(InjectionPoint::CommitAfterPoint)?;
-        self.shadows.drop_txn(txn);
-        self.txn_fresh.clear();
         Ok(())
+    }
+
+    /// Release a journaled commit: drop the shadow directory entries in
+    /// place, close the transaction, and clear the commit record. Called
+    /// from [`Engine::txn_commit`] and, after a crash that left the
+    /// record behind, from [`Engine::recover`].
+    pub(crate) fn finish_commit(&mut self, txn: u64) {
+        self.shadows.release_txn(txn);
+        self.txn_fresh.clear();
+        self.active_txn = None;
+        self.txn_journal = None;
+        self.stats.txn_commits.add(1);
     }
 
     /// Abort: restore every written page to its shadow copy by repointing
@@ -151,30 +220,48 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction.
+    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction;
+    /// [`EnvyError::PowerLoss`] at an armed injection point (the
+    /// rollback then completes inside [`Engine::recover`]).
     pub fn txn_abort(&mut self, txn: u64) -> Result<(), EnvyError> {
         if self.active_txn != Some(txn) {
             return Err(EnvyError::NoSuchTxn { txn });
         }
-        for (lp, shadow) in self.shadows.drop_txn(txn) {
-            match self.page_table.lookup(lp) {
-                Location::Sram => {
-                    self.buffer.remove(lp);
-                }
-                Location::Flash(cur) => {
-                    // The dirty version was flushed during the
-                    // transaction; discard it.
-                    self.flash.invalidate_page(cur.segment, cur.page)?;
-                }
-                Location::Unmapped => unreachable!("shadowed page cannot be unmapped"),
+        self.crash_point(InjectionPoint::AbortBefore)?;
+        self.rollback_active(txn)
+    }
+
+    /// Roll the open transaction `txn` back page by page and close it.
+    /// Shared by [`Engine::txn_abort`] and [`Engine::recover`] (an
+    /// uncommitted transaction found open after a crash); idempotent
+    /// under re-execution, so a crash at any point inside simply leaves
+    /// the remainder for recovery.
+    pub(crate) fn rollback_active(&mut self, txn: u64) -> Result<(), EnvyError> {
+        let mut scratch = std::mem::take(&mut self.txn_scratch);
+        self.shadows.pages_of_into(txn, &mut scratch);
+        let mut outcome = Ok(());
+        for &(lp, shadow) in &scratch {
+            if let Err(e) = self.rollback_page(lp, shadow) {
+                outcome = Err(e);
+                break;
             }
-            self.flash.revalidate_page(shadow.segment, shadow.page)?;
-            self.page_table.map_flash(lp, shadow);
-            self.mmu.invalidate(lp);
+            // The page is restored; only now does its directory entry
+            // go away, so a crash below leaves exactly the unrestored
+            // remainder for recovery to finish.
+            self.shadows.remove(lp);
+            if let Err(e) = self.crash_point(InjectionPoint::AbortMidRollback) {
+                outcome = Err(e);
+                break;
+            }
         }
+        scratch.clear();
+        self.txn_scratch = scratch;
+        outcome?;
         // Pages born inside the transaction return to the unmapped state
-        // (reads observe erased bytes again).
-        let fresh: Vec<crate::addr::LogicalPage> = self.txn_fresh.drain().collect();
+        // (reads observe erased bytes again). Sorted so a mid-rollback
+        // crash is deterministic under a replayed fault plan.
+        let mut fresh: Vec<LogicalPage> = self.txn_fresh.iter().copied().collect();
+        fresh.sort_unstable();
         for lp in fresh {
             match self.page_table.lookup(lp) {
                 Location::Sram => {
@@ -187,14 +274,45 @@ impl Engine {
             }
             self.page_table.unmap(lp);
             self.mmu.invalidate(lp);
+            self.txn_fresh.remove(&lp);
+            self.crash_point(InjectionPoint::AbortMidRollback)?;
         }
+        self.crash_point(InjectionPoint::AbortAfterRollback)?;
         self.active_txn = None;
+        self.stats.txn_aborts.add(1);
+        Ok(())
+    }
+
+    /// Restore one page to its pre-transaction shadow copy.
+    fn rollback_page(&mut self, lp: LogicalPage, shadow: FlashLocation) -> Result<(), EnvyError> {
+        match self.page_table.lookup(lp) {
+            Location::Sram => {
+                self.buffer.remove(lp);
+            }
+            Location::Flash(cur) => {
+                // The dirty version was flushed during the
+                // transaction; discard it.
+                self.flash.invalidate_page(cur.segment, cur.page)?;
+            }
+            Location::Unmapped => unreachable!("shadowed page cannot be unmapped"),
+        }
+        self.flash.revalidate_page(shadow.segment, shadow.page)?;
+        self.page_table.map_flash(lp, shadow);
+        self.mmu.invalidate(lp);
         Ok(())
     }
 
     /// The currently open transaction, if any.
     pub fn active_txn(&self) -> Option<u64> {
         self.active_txn
+    }
+
+    /// The journaled-but-unreleased commit record, if any. Non-`None`
+    /// only in the window between the durable commit point and the
+    /// shadow release — the state a crash at
+    /// [`InjectionPoint::CommitAfterJournal`] leaves behind.
+    pub fn commit_record(&self) -> Option<u64> {
+        self.txn_journal
     }
 
     /// Number of protected shadow pages.

@@ -79,6 +79,16 @@ pub struct EnvyStats {
     /// Shadow pages released by recovery because their transaction was
     /// already committed or aborted at the crash.
     pub recovery_stale_shadows: Counter,
+    /// Transactions committed (including commits completed by recovery
+    /// from a journaled commit record).
+    pub txn_commits: Counter,
+    /// Transactions aborted (explicit aborts plus uncommitted
+    /// transactions rolled back by recovery).
+    pub txn_aborts: Counter,
+    /// Shadow pages pinned against the cleaner by open transactions
+    /// (cumulative: each first copy-on-write of a page inside a
+    /// transaction pins one shadow).
+    pub shadow_pages_pinned: Counter,
 }
 
 /// A normalized busy-time breakdown, as in §5.3 ("approximately 40 % of
@@ -149,6 +159,10 @@ impl EnvyStats {
             .add(other.recovery_dropped_buffer.get());
         self.recovery_stale_shadows
             .add(other.recovery_stale_shadows.get());
+        self.txn_commits.add(other.txn_commits.get());
+        self.txn_aborts.add(other.txn_aborts.get());
+        self.shadow_pages_pinned
+            .add(other.shadow_pages_pinned.get());
     }
 
     /// The paper's cleaning-cost metric (§4.1). Zero before any flush.

@@ -110,8 +110,15 @@ fn case(g: &mut Gen) {
                         Err(e) => panic!("txn_commit: {e}"),
                     }
                 } else {
-                    s.txn_abort(id).unwrap();
-                    mirror = snapshot;
+                    match s.txn_abort(id) {
+                        Ok(()) => mirror = snapshot,
+                        Err(EnvyError::PowerLoss) => {
+                            txn = Some((id, snapshot));
+                            crashed = true;
+                            break;
+                        }
+                        Err(e) => panic!("txn_abort: {e}"),
+                    }
                 }
                 txn_writes = 0;
             }
@@ -139,19 +146,39 @@ fn case(g: &mut Gen) {
     }
     if crashed {
         s.power_failure();
-        s.recover().unwrap();
+        let report = s.recover().unwrap();
+        s.check_invariants().unwrap();
+        // Recovery resolves a transaction all-or-nothing; nothing stays
+        // open across it.
+        assert_eq!(s.engine().active_txn(), None, "txn open after recovery");
+        match txn.take() {
+            Some((id, snapshot)) => {
+                if report.txn_rolled_back == Some(id) {
+                    // No durable commit record: the transaction (and the
+                    // in-flight write, if it was the crash site) is gone.
+                    mirror = snapshot;
+                    in_flight = None;
+                } else {
+                    // The journaled commit record survived (recovery
+                    // finished the release) or the commit had fully
+                    // completed: every acknowledged write stands, which
+                    // the full sweep below verifies.
+                    assert!(
+                        report.txn_completed == Some(id) || report.txn_completed.is_none(),
+                        "foreign transaction resolved: {report:?}"
+                    );
+                }
+            }
+            None => assert_eq!(report.txn_rolled_back, None, "phantom rollback"),
+        }
+    } else if let Some((id, snapshot)) = txn.take() {
+        // The crash never fired; close the straggler without tripping
+        // the still-armed plan's abort injection points.
+        s.arm_faults(FaultPlan::default());
+        s.txn_abort(id).unwrap();
+        mirror = snapshot;
     }
     s.check_invariants().unwrap();
-    if let Some((id, snapshot)) = txn {
-        if s.engine().active_txn() == Some(id) {
-            // The commit never happened (or its crash hit before the
-            // commit point): roll back, in-flight write included.
-            s.txn_abort(id).unwrap();
-            mirror = snapshot;
-            in_flight = None;
-        }
-        // Otherwise the commit point was passed and the writes stand.
-    }
     if let Some((lp, v)) = in_flight {
         let got = read_uniform(&mut s, lp);
         assert!(

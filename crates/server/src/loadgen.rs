@@ -25,7 +25,9 @@
 
 use crate::net::Client;
 use crate::proto::WireOutcome;
-use crate::shard::{apply, Request, Response, ServeError, ShardHandle, ShardPlan, SubmitError};
+use crate::shard::{
+    apply, Reply, Request, Response, ServeError, ShardHandle, ShardPlan, SubmitError,
+};
 use envy_core::EnvyStore;
 use envy_sim::rng::Rng;
 use envy_sim::stats::Histogram;
@@ -73,6 +75,13 @@ pub struct LoadSpec {
     /// with probability `p` and a write otherwise (e.g. `0.95` for the
     /// 95/5 serving mix). `None` keeps the TPC-A transaction shape.
     pub read_fraction: Option<f64>,
+    /// `Some(a)` runs every transaction **atomically**: the access list
+    /// is bracketed by `TxnBegin` / `TxnCommit` on its shard, writes go
+    /// through `TxnWrite`, each transaction appends a history record,
+    /// and a seeded `a` fraction of transactions deliberately `TxnAbort`
+    /// instead of committing (exercising rollback under load). `None`
+    /// keeps the non-atomic per-access shape.
+    pub abort_fraction: Option<f64>,
 }
 
 impl LoadSpec {
@@ -88,6 +97,7 @@ impl LoadSpec {
             hot_weight: 0.9,
             deadline: None,
             read_fraction: None,
+            abort_fraction: None,
         }
     }
 
@@ -132,13 +142,32 @@ impl LoadSpec {
         self.read_fraction = Some(read_fraction);
         self
     }
+
+    /// Run every transaction atomically (builder-style): bracketed by
+    /// `TxnBegin`/`TxnCommit`, with a seeded `abort_fraction` of
+    /// transactions rolling back via `TxnAbort` instead.
+    #[must_use]
+    pub fn atomic(mut self, abort_fraction: f64) -> LoadSpec {
+        assert!(
+            (0.0..=1.0).contains(&abort_fraction),
+            "abort fraction is a probability"
+        );
+        self.abort_fraction = Some(abort_fraction);
+        self
+    }
 }
 
 /// What a load run measured.
 #[derive(Debug, Clone, Default)]
 pub struct LoadReport {
-    /// Transactions fully completed.
+    /// Transactions fully completed (committed, in atomic mode).
     pub completed_txns: u64,
+    /// Transactions rolled back via `TxnAbort` (deliberate seeded
+    /// aborts, plus any forced by in-transaction timeouts or errors).
+    pub aborted_txns: u64,
+    /// `TxnBegin` attempts refused because another client held the
+    /// shard's transaction slot, retried after a backoff.
+    pub txn_conflicts: u64,
     /// Individual accesses completed successfully.
     pub completed_ops: u64,
     /// `Busy` rejections retried.
@@ -159,6 +188,8 @@ impl LoadReport {
     /// counters add, wall takes the max).
     pub fn merge(&mut self, other: &LoadReport) {
         self.completed_txns += other.completed_txns;
+        self.aborted_txns += other.aborted_txns;
+        self.txn_conflicts += other.txn_conflicts;
         self.completed_ops += other.completed_ops;
         self.busy_retries += other.busy_retries;
         self.timeouts += other.timeouts;
@@ -209,9 +240,20 @@ struct TxnStream {
     plan: ShardPlan,
     hot_fraction: f64,
     hot_weight: f64,
+    /// `Some(a)`: bracket every transaction with begin/commit and
+    /// deliberately abort an `a` fraction.
+    abort_fraction: Option<f64>,
+    /// Sequence number into this client's history ring (atomic mode).
+    history_seq: u64,
 }
 
 const SYNTH_RECORD: u64 = 8;
+/// One TPC-A history record: (account, teller, branch, delta) packed.
+const HISTORY_RECORD: u64 = 16;
+/// Placeholder transaction id in generated `TxnWrite`/`TxnCommit`/
+/// `TxnAbort` requests; the driver patches in the id the shard's
+/// `TxnStarted` reply assigned before submitting them.
+pub const TXN_PATCH: u64 = u64::MAX;
 
 impl TxnStream {
     fn new(spec: &LoadSpec, plan: ShardPlan, client: u32) -> TxnStream {
@@ -239,6 +281,8 @@ impl TxnStream {
             plan,
             hot_fraction: spec.hot_fraction,
             hot_weight: spec.hot_weight,
+            abort_fraction: spec.abort_fraction,
+            history_seq: 0,
         }
     }
 
@@ -328,6 +372,60 @@ impl TxnStream {
                 }
             }
         }
+        if let Some(abort) = self.abort_fraction {
+            // Atomic mode: the same access list, run as one transaction.
+            // Writes go through TxnWrite so a crash (or the seeded
+            // abort below) takes all of them back together.
+            for req in out.iter_mut() {
+                if let Request::Write { addr, bytes } = req {
+                    *req = Request::TxnWrite {
+                        addr: *addr,
+                        bytes: std::mem::take(bytes),
+                        txn: TXN_PATCH,
+                    };
+                }
+            }
+            // The TPC-A history append: one record per transaction,
+            // ring-addressed into the slack past the database layout
+            // (address math only — the layout itself is untouched, so
+            // non-atomic runs are byte-for-byte unaffected).
+            if let Mix::Tpca(tpca, _) = &self.mix {
+                let used = tpca.layout().total_bytes;
+                let slots = (self.plan.shard_bytes() - used) / HISTORY_RECORD;
+                if slots > 0 {
+                    let slot = self.history_seq % slots;
+                    self.history_seq += 1;
+                    out.push(Request::TxnWrite {
+                        addr: base + used + slot * HISTORY_RECORD,
+                        bytes: vec![(self.history_seq % 251) as u8; HISTORY_RECORD as usize],
+                        txn: TXN_PATCH,
+                    });
+                }
+            }
+            out.insert(0, Request::TxnBegin { shard });
+            out.push(if self.rng.chance(abort) {
+                Request::TxnAbort {
+                    shard,
+                    txn: TXN_PATCH,
+                }
+            } else {
+                Request::TxnCommit {
+                    shard,
+                    txn: TXN_PATCH,
+                }
+            });
+        }
+    }
+}
+
+/// Substitute the shard-assigned transaction id for [`TXN_PATCH`] in a
+/// generated request.
+fn patch_txn(req: &Request, txn: u64) -> Request {
+    match req.clone() {
+        Request::TxnWrite { addr, bytes, .. } => Request::TxnWrite { addr, bytes, txn },
+        Request::TxnCommit { shard, .. } => Request::TxnCommit { shard, txn },
+        Request::TxnAbort { shard, .. } => Request::TxnAbort { shard, txn },
+        other => other,
     }
 }
 
@@ -362,7 +460,10 @@ impl ClientLoop {
     /// Wait for the next scheduled start (open loop) and decide whether
     /// to run another transaction. Returns the latency origin.
     fn next_txn(&mut self) -> Option<Instant> {
-        if self.txns_target > 0 && self.report.completed_txns >= self.txns_target {
+        // Aborted transactions count toward the per-client target —
+        // "run N transactions" bounds work, not commit luck.
+        let done = self.report.completed_txns + self.report.aborted_txns;
+        if self.txns_target > 0 && done >= self.txns_target {
             return None;
         }
         if let Some(end) = self.end {
@@ -412,6 +513,10 @@ pub fn run_inproc(handle: &ShardHandle, spec: &LoadSpec) -> LoadReport {
     total
 }
 
+/// Backoff before retrying a `TxnBegin` that lost the shard's
+/// transaction slot to another client.
+const TXN_CONFLICT_BACKOFF: Duration = Duration::from_micros(200);
+
 fn inproc_client(
     handle: &ShardHandle,
     spec: &LoadSpec,
@@ -422,8 +527,18 @@ fn inproc_client(
     let mut lp = ClientLoop::new(spec, started);
     let (tx, rx) = mpsc::channel::<Response>();
     let mut reqs = Vec::new();
+    let atomic = spec.abort_fraction.is_some();
     while let Some(t0) = lp.next_txn() {
         stream.next_requests(&mut reqs);
+        if atomic {
+            if inproc_txn(handle, spec, &reqs, &tx, &rx, &mut lp.report).is_none() {
+                return lp.finish();
+            }
+            lp.report
+                .txn_latency
+                .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
+            continue;
+        }
         let mut outstanding = 0usize;
         for req in &reqs {
             loop {
@@ -454,6 +569,132 @@ fn inproc_client(
             .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
     }
     lp.finish()
+}
+
+/// Submit one request (no pipelining) and await its completion.
+/// `None` means the server is shutting down or the completion channel
+/// died — the client should stop.
+fn call_inproc(
+    handle: &ShardHandle,
+    req: &Request,
+    deadline: Option<Duration>,
+    tx: &mpsc::Sender<Response>,
+    rx: &mpsc::Receiver<Response>,
+    report: &mut LoadReport,
+) -> Option<Result<Reply, ServeError>> {
+    loop {
+        match handle.submit(req.clone(), deadline, tx) {
+            Ok(_) => break,
+            Err(SubmitError::Busy(b)) => {
+                report.busy_retries += 1;
+                std::thread::sleep(b.retry_after);
+            }
+            Err(SubmitError::Rejected(ServeError::ShuttingDown)) => return None,
+            Err(SubmitError::Rejected(e)) => return Some(Err(e)),
+        }
+    }
+    rx.recv().ok().map(|resp| resp.result)
+}
+
+/// Run one atomic transaction against the in-process handle: begin
+/// (retrying slot conflicts), pipeline the body under the assigned id,
+/// then commit — or abort, when the stream said so or any body access
+/// failed. Begin and the commit/abort run without the per-request
+/// deadline: a transaction, once opened, must be resolved.
+///
+/// `None` means the server is shutting down.
+fn inproc_txn(
+    handle: &ShardHandle,
+    spec: &LoadSpec,
+    reqs: &[Request],
+    tx: &mpsc::Sender<Response>,
+    rx: &mpsc::Receiver<Response>,
+    report: &mut LoadReport,
+) -> Option<()> {
+    let (begin, rest) = reqs.split_first().expect("atomic txn has a begin");
+    let (tail, body) = rest.split_last().expect("atomic txn has a commit/abort");
+    let txn = loop {
+        match call_inproc(handle, begin, None, tx, rx, report)? {
+            Ok(Reply::TxnStarted { txn }) => {
+                report.completed_ops += 1;
+                break txn;
+            }
+            Ok(other) => unreachable!("begin answered {other:?}"),
+            Err(ServeError::TxnBusy { .. }) => {
+                report.txn_conflicts += 1;
+                std::thread::sleep(TXN_CONFLICT_BACKOFF);
+            }
+            Err(_) => {
+                report.errors += 1;
+                return Some(());
+            }
+        }
+    };
+    let mut outstanding = 0usize;
+    let mut clean = true;
+    for req in body {
+        let req = patch_txn(req, txn);
+        loop {
+            match handle.submit(req.clone(), spec.deadline, tx) {
+                Ok(_) => {
+                    outstanding += 1;
+                    break;
+                }
+                Err(SubmitError::Busy(b)) => {
+                    report.busy_retries += 1;
+                    std::thread::sleep(b.retry_after);
+                }
+                Err(SubmitError::Rejected(ServeError::ShuttingDown)) => {
+                    drain(rx, outstanding, report);
+                    return None;
+                }
+                Err(SubmitError::Rejected(_)) => {
+                    report.errors += 1;
+                    clean = false;
+                    break;
+                }
+            }
+        }
+    }
+    for _ in 0..outstanding {
+        match rx.recv() {
+            Ok(resp) => match resp.result {
+                Ok(_) => report.completed_ops += 1,
+                Err(ServeError::DeadlineExceeded) => {
+                    report.timeouts += 1;
+                    clean = false;
+                }
+                Err(_) => {
+                    report.errors += 1;
+                    clean = false;
+                }
+            },
+            Err(_) => return None,
+        }
+    }
+    let tail = if clean {
+        patch_txn(tail, txn)
+    } else {
+        // A transaction with a failed access must not commit partially
+        // acknowledged state; roll the whole thing back.
+        let (Request::TxnCommit { shard, .. } | Request::TxnAbort { shard, .. }) = tail else {
+            unreachable!("atomic txn tail is commit/abort")
+        };
+        Request::TxnAbort { shard: *shard, txn }
+    };
+    match call_inproc(handle, &tail, None, tx, rx, report)? {
+        Ok(Reply::Committed { .. }) => {
+            report.completed_txns += 1;
+            report.completed_ops += 1;
+        }
+        Ok(Reply::Aborted { .. }) => {
+            report.aborted_txns += 1;
+            report.completed_ops += 1;
+        }
+        Ok(other) => unreachable!("commit/abort answered {other:?}"),
+        Err(_) => report.errors += 1,
+    }
+    Some(())
 }
 
 fn drain(rx: &mpsc::Receiver<Response>, outstanding: usize, report: &mut LoadReport) {
@@ -504,16 +745,47 @@ pub fn run_monolithic(store: &mut EnvyStore, spec: &LoadSpec) -> LoadReport {
     let started = Instant::now();
     let mut report = LoadReport::default();
     let mut reqs = Vec::new();
+    let atomic = spec.abort_fraction.is_some();
     for _ in 0..spec.txns_per_client {
         let t0 = Instant::now();
         stream.next_requests(&mut reqs);
-        for req in &reqs {
-            match apply(store, req) {
-                Ok(_) => report.completed_ops += 1,
-                Err(_) => report.errors += 1,
+        if atomic {
+            // Same protocol order as a served client: begin, body under
+            // the assigned id, commit/abort — so the one-shard served
+            // run and this replay stay op-for-op identical.
+            let (begin, rest) = reqs.split_first().expect("atomic txn has a begin");
+            let (tail, body) = rest.split_last().expect("atomic txn has a commit/abort");
+            let txn = match apply(store, begin) {
+                Ok(Reply::TxnStarted { txn }) => txn,
+                other => panic!("monolithic begin answered {other:?}"),
+            };
+            report.completed_ops += 1;
+            for req in body {
+                match apply(store, &patch_txn(req, txn)) {
+                    Ok(_) => report.completed_ops += 1,
+                    Err(_) => report.errors += 1,
+                }
             }
+            match apply(store, &patch_txn(tail, txn)) {
+                Ok(Reply::Committed { .. }) => {
+                    report.completed_txns += 1;
+                    report.completed_ops += 1;
+                }
+                Ok(Reply::Aborted { .. }) => {
+                    report.aborted_txns += 1;
+                    report.completed_ops += 1;
+                }
+                other => panic!("monolithic commit/abort answered {other:?}"),
+            }
+        } else {
+            for req in &reqs {
+                match apply(store, req) {
+                    Ok(_) => report.completed_ops += 1,
+                    Err(_) => report.errors += 1,
+                }
+            }
+            report.completed_txns += 1;
         }
-        report.completed_txns += 1;
         report
             .txn_latency
             .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
@@ -568,8 +840,18 @@ fn socket_client(
     let mut lp = ClientLoop::new(spec, started);
     let mut reqs = Vec::new();
     let mut pending: HashMap<u64, Request> = HashMap::new();
+    let atomic = spec.abort_fraction.is_some();
     while let Some(t0) = lp.next_txn() {
         stream.next_requests(&mut reqs);
+        if atomic {
+            if socket_txn(&mut client, spec, &reqs, &mut lp.report).is_none() {
+                return lp.finish();
+            }
+            lp.report
+                .txn_latency
+                .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
+            continue;
+        }
         pending.clear();
         for req in &reqs {
             match client.submit(req.clone(), spec.deadline) {
@@ -621,6 +903,124 @@ fn socket_client(
             .record(Ns::from_nanos(t0.elapsed().as_nanos() as u64));
     }
     lp.finish()
+}
+
+/// Submit one request over the socket and await its completion,
+/// resubmitting through `Busy` backpressure under the original id.
+/// `None` means the connection or server is gone.
+fn call_socket(
+    client: &mut Client,
+    req: &Request,
+    deadline: Option<Duration>,
+    report: &mut LoadReport,
+) -> Option<Result<Reply, ServeError>> {
+    let id = client.submit(req.clone(), deadline).ok()?;
+    loop {
+        let resp = client.recv().ok()?;
+        debug_assert_eq!(resp.id, id, "atomic txns submit one op at a time");
+        match resp.outcome {
+            WireOutcome::Reply(reply) => return Some(Ok(reply)),
+            WireOutcome::Err(e) => return Some(Err(e)),
+            WireOutcome::Busy(b) => {
+                report.busy_retries += 1;
+                std::thread::sleep(b.retry_after);
+                client.submit_with_id(id, req.clone(), deadline).ok()?;
+            }
+            WireOutcome::ShutdownAck => return None,
+        }
+    }
+}
+
+/// [`inproc_txn`]'s socket twin: begin (retrying slot conflicts),
+/// pipeline the body under the assigned id, commit — or abort on the
+/// seeded decision or any body failure. `None` means the connection or
+/// server is gone.
+fn socket_txn(
+    client: &mut Client,
+    spec: &LoadSpec,
+    reqs: &[Request],
+    report: &mut LoadReport,
+) -> Option<()> {
+    let (begin, rest) = reqs.split_first().expect("atomic txn has a begin");
+    let (tail, body) = rest.split_last().expect("atomic txn has a commit/abort");
+    let txn = loop {
+        match call_socket(client, begin, None, report)? {
+            Ok(Reply::TxnStarted { txn }) => {
+                report.completed_ops += 1;
+                break txn;
+            }
+            Ok(other) => unreachable!("begin answered {other:?}"),
+            Err(ServeError::TxnBusy { .. }) => {
+                report.txn_conflicts += 1;
+                std::thread::sleep(TXN_CONFLICT_BACKOFF);
+            }
+            Err(_) => {
+                report.errors += 1;
+                return Some(());
+            }
+        }
+    };
+    // Pipeline the body; Busy rejections resubmit under their id.
+    let mut pending: HashMap<u64, Request> = HashMap::new();
+    for req in body {
+        let req = patch_txn(req, txn);
+        match client.submit(req.clone(), spec.deadline) {
+            Ok(id) => {
+                pending.insert(id, req);
+            }
+            Err(_) => return None,
+        }
+    }
+    let mut clean = true;
+    while !pending.is_empty() {
+        let resp = client.recv().ok()?;
+        match resp.outcome {
+            WireOutcome::Busy(b) => {
+                if let Some(req) = pending.get(&resp.id).cloned() {
+                    report.busy_retries += 1;
+                    std::thread::sleep(b.retry_after);
+                    client.submit_with_id(resp.id, req, spec.deadline).ok()?;
+                }
+            }
+            WireOutcome::Reply(_) => {
+                pending.remove(&resp.id);
+                report.completed_ops += 1;
+            }
+            WireOutcome::Err(ServeError::DeadlineExceeded) => {
+                pending.remove(&resp.id);
+                report.timeouts += 1;
+                clean = false;
+            }
+            WireOutcome::Err(ServeError::ShuttingDown) => return None,
+            WireOutcome::Err(_) => {
+                pending.remove(&resp.id);
+                report.errors += 1;
+                clean = false;
+            }
+            WireOutcome::ShutdownAck => return None,
+        }
+    }
+    let tail = if clean {
+        patch_txn(tail, txn)
+    } else {
+        let (Request::TxnCommit { shard, .. } | Request::TxnAbort { shard, .. }) = tail else {
+            unreachable!("atomic txn tail is commit/abort")
+        };
+        Request::TxnAbort { shard: *shard, txn }
+    };
+    match call_socket(client, &tail, None, report)? {
+        Ok(Reply::Committed { .. }) => {
+            report.completed_txns += 1;
+            report.completed_ops += 1;
+        }
+        Ok(Reply::Aborted { .. }) => {
+            report.aborted_txns += 1;
+            report.completed_ops += 1;
+        }
+        Ok(other) => unreachable!("commit/abort answered {other:?}"),
+        Err(_) => report.errors += 1,
+    }
+    Some(())
 }
 
 #[cfg(test)]
@@ -683,6 +1083,103 @@ mod tests {
         let mono_report = run_monolithic(&mut mono, &spec);
         assert_eq!(report.completed_txns, mono_report.completed_txns);
         assert_eq!(report.completed_ops, mono_report.completed_ops);
+        assert_eq!(outcome.shards[0].store.now(), mono.now());
+        assert_eq!(outcome.shards[0].store.stats(), mono.stats());
+    }
+
+    #[test]
+    fn atomic_stream_brackets_every_txn() {
+        let spec = LoadSpec::closed(1, 4).atomic(0.5).with_seed(3);
+        let plan = ShardPlan::new(2, 1 << 20);
+        let mut stream = TxnStream::new(&spec, plan, 0);
+        let mut reqs = Vec::new();
+        let (mut commits, mut aborts) = (0u32, 0u32);
+        for _ in 0..64 {
+            stream.next_requests(&mut reqs);
+            let Some(Request::TxnBegin { shard }) = reqs.first().cloned() else {
+                panic!("atomic txn must start with TxnBegin: {reqs:?}");
+            };
+            match reqs.last() {
+                Some(Request::TxnCommit { shard: s, txn }) => {
+                    assert_eq!((*s, *txn), (shard, TXN_PATCH));
+                    commits += 1;
+                }
+                Some(Request::TxnAbort { shard: s, txn }) => {
+                    assert_eq!((*s, *txn), (shard, TXN_PATCH));
+                    aborts += 1;
+                }
+                other => panic!("atomic txn must end with commit/abort: {other:?}"),
+            }
+            // No plain writes remain, and every body access stays on
+            // the begin's shard.
+            for req in &reqs[1..reqs.len() - 1] {
+                match req {
+                    Request::Read { addr, len } => {
+                        assert_eq!(plan.locate(*addr, *len as u64).unwrap().0, shard);
+                    }
+                    Request::TxnWrite { addr, bytes, txn } => {
+                        assert_eq!(*txn, TXN_PATCH);
+                        assert_eq!(plan.locate(*addr, bytes.len() as u64).unwrap().0, shard);
+                    }
+                    other => panic!("unexpected body request {other:?}"),
+                }
+            }
+        }
+        assert!(commits > 0 && aborts > 0, "0.5 must draw both outcomes");
+    }
+
+    #[test]
+    fn atomic_closed_loop_commits_and_aborts() {
+        let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+        let spec = LoadSpec::closed(2, 12).atomic(0.3).with_seed(17);
+        let report = run_inproc(&store.handle(), &spec);
+        let outcome = store.shutdown();
+        assert_eq!(report.completed_txns + report.aborted_txns, 24);
+        assert!(report.aborted_txns > 0, "0.3 abort draw over 24 txns");
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.timeouts, 0);
+        // Every access the loadgen counted was served — plus the
+        // TxnBusy-answered begin attempts, which the shard serves as
+        // typed errors — and no shard is left with an open transaction.
+        assert_eq!(
+            report.completed_ops + report.txn_conflicts,
+            outcome.total_served()
+        );
+        for shard in &outcome.shards {
+            assert_eq!(shard.store.engine().active_txn(), None);
+        }
+        let commits: u64 = outcome
+            .shards
+            .iter()
+            .map(|s| s.store.stats().txn_commits.get())
+            .sum();
+        let aborts: u64 = outcome
+            .shards
+            .iter()
+            .map(|s| s.store.stats().txn_aborts.get())
+            .sum();
+        assert_eq!(commits, report.completed_txns);
+        assert_eq!(aborts, report.aborted_txns);
+    }
+
+    #[test]
+    fn atomic_monolithic_reference_matches_single_client_run() {
+        let config = ServeConfig::small(1);
+        let mut baseline = EnvyStore::new(config.store.clone()).unwrap();
+        baseline.prefill().unwrap();
+        let mut mono = baseline.fork();
+        let front = ShardedStore::launch_from(vec![baseline.fork()], &config);
+        let spec = LoadSpec::closed(1, 12).with_seed(7).atomic(0.25);
+        let report = run_inproc(&front.handle(), &spec);
+        let outcome = front.shutdown();
+        let mono_report = run_monolithic(&mut mono, &spec);
+        assert_eq!(report.completed_txns, mono_report.completed_txns);
+        assert_eq!(report.aborted_txns, mono_report.aborted_txns);
+        assert!(mono_report.aborted_txns > 0, "0.25 abort draw over 12 txns");
+        assert_eq!(report.completed_ops, mono_report.completed_ops);
+        // The served store and the synchronous replay agree on the
+        // simulated clock and every statistic — commit journaling and
+        // rollback included.
         assert_eq!(outcome.shards[0].store.now(), mono.now());
         assert_eq!(outcome.shards[0].store.stats(), mono.stats());
     }

@@ -13,11 +13,22 @@
 //! A connection that dies mid-pipeline only loses its own completions:
 //! its writer keeps draining (discarding) so shard workers never block
 //! on a dead client, and every other connection is untouched.
+//!
+//! # Transactions and disconnects
+//!
+//! A transaction opened over the wire is owned by the connection that
+//! opened it. When a connection ends — clean EOF, socket error, or
+//! server shutdown — any transaction it started and never resolved is
+//! **aborted** on its shard, so a crashed client cannot pin shadow
+//! pages (and the shard's single transaction slot) forever. The abort
+//! happens after the writer drains, so a commit or abort that was
+//! already admitted always wins over the disconnect cleanup.
 
 use crate::proto::{self, ProtoError, WireBody, WireOutcome, WireRequest, WireResponse, MAX_FRAME};
 use crate::shard::{
     Reply, Request, Response, ServeError, ServeOutcome, ShardHandle, ShardedStore, SubmitError,
 };
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -353,15 +364,34 @@ fn connection(
     }
     let write = Arc::new(Mutex::new(write_half));
     let (rtx, rrx) = mpsc::channel::<Response>();
+    // Transactions this connection opened and has not yet resolved:
+    // txn id → owning shard. The writer thread maintains it from the
+    // completion stream (it sees every TxnStarted / Committed / Aborted
+    // in shard order), and the tail of `connection` aborts whatever is
+    // left after a disconnect.
+    let open_txns: Arc<Mutex<HashMap<u64, u32>>> = Arc::new(Mutex::new(HashMap::new()));
     // Writer: drain completions onto the socket. Write errors (dead
     // client) are swallowed — the drain must continue so shard workers
     // are never coupled to a client's fate.
     let writer = {
         let write = Arc::clone(&write);
+        let open_txns = Arc::clone(&open_txns);
         std::thread::Builder::new()
             .name("envy-serve-writer".into())
             .spawn(move || {
                 for resp in rrx {
+                    match resp.result {
+                        Ok(Reply::TxnStarted { txn }) => {
+                            open_txns
+                                .lock()
+                                .expect("txn table poisoned")
+                                .insert(txn, resp.shard);
+                        }
+                        Ok(Reply::Committed { txn }) | Ok(Reply::Aborted { txn }) => {
+                            open_txns.lock().expect("txn table poisoned").remove(&txn);
+                        }
+                        _ => {}
+                    }
                     send_direct(&write, &wire_of(resp));
                 }
             })
@@ -403,6 +433,17 @@ fn connection(
     // writer drains every admitted completion before exiting.
     drop(rtx);
     let _ = writer.join();
+    // Abort-on-disconnect: anything still in the table was begun by
+    // this connection and never committed or aborted. Best-effort — a
+    // racing resolution surfaces as NoSuchTxn and is ignored.
+    let orphans: Vec<(u64, u32)> = open_txns
+        .lock()
+        .expect("txn table poisoned")
+        .drain()
+        .collect();
+    for (txn, shard) in orphans {
+        let _ = handle.call(Request::TxnAbort { shard, txn });
+    }
 }
 
 /// Handle one decoded request; returns `false` when the connection
@@ -633,6 +674,74 @@ impl Client {
     pub fn ping(&mut self, shard: u32) -> Result<(), ClientError> {
         match self.call(Request::Ping { shard })? {
             Reply::Pong => Ok(()),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Open a transaction on one shard; returns the transaction id to
+    /// pass to [`txn_write`](Client::txn_write) and
+    /// [`txn_commit`](Client::txn_commit). One transaction may be open
+    /// per shard at a time ([`ServeError::TxnBusy`] otherwise); if this
+    /// connection drops without resolving it, the server aborts it.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn txn_begin(&mut self, shard: u32) -> Result<u64, ClientError> {
+        match self.call(Request::TxnBegin { shard })? {
+            Reply::TxnStarted { txn } => Ok(txn),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Write bytes at a global address under an open transaction; the
+    /// write is invisible to a crash until the commit. The address must
+    /// land on the shard that issued `txn`.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call); [`ServeError::NoSuchTxn`] if `txn` is
+    /// not the shard's open transaction.
+    pub fn txn_write(
+        &mut self,
+        addr: u64,
+        bytes: &[u8],
+        txn: u64,
+    ) -> Result<envy_sim::time::Ns, ClientError> {
+        match self.call(Request::TxnWrite {
+            addr,
+            bytes: bytes.to_vec(),
+            txn,
+        })? {
+            Reply::Done { latency } => Ok(latency),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Durably commit an open transaction: after this returns, every
+    /// write made under `txn` survives any crash atomically.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call); [`ServeError::NoSuchTxn`] if `txn` is
+    /// not the shard's open transaction.
+    pub fn txn_commit(&mut self, shard: u32, txn: u64) -> Result<(), ClientError> {
+        match self.call(Request::TxnCommit { shard, txn })? {
+            Reply::Committed { .. } => Ok(()),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Roll back an open transaction: every write made under `txn` is
+    /// undone, byte-exactly, before this returns.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call); [`ServeError::NoSuchTxn`] if `txn` is
+    /// not the shard's open transaction.
+    pub fn txn_abort(&mut self, shard: u32, txn: u64) -> Result<(), ClientError> {
+        match self.call(Request::TxnAbort { shard, txn })? {
+            Reply::Aborted { .. } => Ok(()),
             _ => Err(ClientError::Proto(unexpected_reply())),
         }
     }

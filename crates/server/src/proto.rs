@@ -20,11 +20,15 @@
 //!
 //! | op | body |
 //! |----|------|
-//! | `READ` (1)     | `addr: u64`, `len: u32` |
-//! | `WRITE` (2)    | `addr: u64`, payload = rest of frame |
-//! | `FLUSH` (3)    | `shard: u32` |
-//! | `PING` (4)     | `shard: u32` |
-//! | `SHUTDOWN` (5) | — |
+//! | `READ` (1)       | `addr: u64`, `len: u32` |
+//! | `WRITE` (2)      | `addr: u64`, payload = rest of frame |
+//! | `FLUSH` (3)      | `shard: u32` |
+//! | `PING` (4)       | `shard: u32` |
+//! | `SHUTDOWN` (5)   | — |
+//! | `TXN_BEGIN` (6)  | `shard: u32` |
+//! | `TXN_WRITE` (7)  | `addr: u64`, `txn: u64`, payload = rest of frame |
+//! | `TXN_COMMIT` (8) | `shard: u32`, `txn: u64` |
+//! | `TXN_ABORT` (9)  | `shard: u32`, `txn: u64` |
 //!
 //! `deadline_us` is a relative deadline in microseconds (0 = none),
 //! measured from server receipt. `id` is chosen by the client and echoed
@@ -40,7 +44,7 @@
 //! | status | meaning | body |
 //! |--------|---------|------|
 //! | `DATA` (0)      | read data | the bytes |
-//! | `OK` (1)        | write/flush/ping done | `kind: u8` (0 write, 1 flush, 2 ping), then `latency_ns: u64` for writes |
+//! | `OK` (1)        | operation done | `kind: u8` (0 write, 1 flush, 2 ping, 3 txn begun, 4 committed, 5 aborted), then `latency_ns: u64` for writes / `txn: u64` for kinds 3–5 |
 //! | `BUSY` (2)      | queue full, **not admitted** | `retry_after_ns: u64` |
 //! | `DEADLINE` (3)  | expired before dispatch | — |
 //! | `CROSSES` (4)   | spans two shards | `addr: u64`, `len: u64` |
@@ -48,6 +52,8 @@
 //! | `ERR` (6)       | store failure | UTF-8 message |
 //! | `SHUTDOWN` (7)  | rejected: shutting down | — |
 //! | `ACK` (8)       | shutdown acknowledged | — |
+//! | `TXN_BUSY` (9)  | shard already has an open transaction | `txn: u64` (the open one) |
+//! | `NO_TXN` (10)   | no such open transaction on the shard | `txn: u64` (the id presented) |
 
 use crate::shard::{Busy, Reply, Request, ServeError};
 use envy_sim::time::Ns;
@@ -70,6 +76,14 @@ pub mod op {
     pub const PING: u8 = 4;
     /// Ask the server to shut down gracefully.
     pub const SHUTDOWN: u8 = 5;
+    /// Open a transaction on one shard.
+    pub const TXN_BEGIN: u8 = 6;
+    /// Write a byte range under an open transaction.
+    pub const TXN_WRITE: u8 = 7;
+    /// Durably commit an open transaction.
+    pub const TXN_COMMIT: u8 = 8;
+    /// Roll back an open transaction.
+    pub const TXN_ABORT: u8 = 9;
 }
 
 /// Response status codes.
@@ -92,6 +106,10 @@ pub mod status {
     pub const SHUTDOWN: u8 = 7;
     /// Shutdown request acknowledged.
     pub const ACK: u8 = 8;
+    /// The shard already has an open transaction.
+    pub const TXN_BUSY: u8 = 9;
+    /// No open transaction with the presented id on that shard.
+    pub const NO_TXN: u8 = 10;
 }
 
 /// A decoded request frame.
@@ -184,6 +202,10 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
         WireBody::Req(Request::Write { .. }) => op::WRITE,
         WireBody::Req(Request::Flush { .. }) => op::FLUSH,
         WireBody::Req(Request::Ping { .. }) => op::PING,
+        WireBody::Req(Request::TxnBegin { .. }) => op::TXN_BEGIN,
+        WireBody::Req(Request::TxnWrite { .. }) => op::TXN_WRITE,
+        WireBody::Req(Request::TxnCommit { .. }) => op::TXN_COMMIT,
+        WireBody::Req(Request::TxnAbort { .. }) => op::TXN_ABORT,
         WireBody::Shutdown => op::SHUTDOWN,
     };
     buf.push(opcode);
@@ -198,8 +220,20 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
             put_u64(&mut buf, *addr);
             buf.extend_from_slice(bytes);
         }
-        WireBody::Req(Request::Flush { shard }) | WireBody::Req(Request::Ping { shard }) => {
+        WireBody::Req(Request::Flush { shard })
+        | WireBody::Req(Request::Ping { shard })
+        | WireBody::Req(Request::TxnBegin { shard }) => {
             put_u32(&mut buf, *shard);
+        }
+        WireBody::Req(Request::TxnWrite { addr, bytes, txn }) => {
+            put_u64(&mut buf, *addr);
+            put_u64(&mut buf, *txn);
+            buf.extend_from_slice(bytes);
+        }
+        WireBody::Req(Request::TxnCommit { shard, txn })
+        | WireBody::Req(Request::TxnAbort { shard, txn }) => {
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *txn);
         }
         WireBody::Shutdown => {}
     }
@@ -216,6 +250,8 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         WireOutcome::Err(ServeError::CrossesShard { .. }) => status::CROSSES,
         WireOutcome::Err(ServeError::OutOfBounds { .. }) => status::OOB,
         WireOutcome::Err(ServeError::ShuttingDown) => status::SHUTDOWN,
+        WireOutcome::Err(ServeError::TxnBusy { .. }) => status::TXN_BUSY,
+        WireOutcome::Err(ServeError::NoSuchTxn { .. }) => status::NO_TXN,
         WireOutcome::Err(ServeError::Store(_)) => status::ERR,
         WireOutcome::Busy(_) => status::BUSY,
         WireOutcome::ShutdownAck => status::ACK,
@@ -231,6 +267,18 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         }
         WireOutcome::Reply(Reply::Flushed) => buf.push(1),
         WireOutcome::Reply(Reply::Pong) => buf.push(2),
+        WireOutcome::Reply(Reply::TxnStarted { txn }) => {
+            buf.push(3);
+            put_u64(&mut buf, *txn);
+        }
+        WireOutcome::Reply(Reply::Committed { txn }) => {
+            buf.push(4);
+            put_u64(&mut buf, *txn);
+        }
+        WireOutcome::Reply(Reply::Aborted { txn }) => {
+            buf.push(5);
+            put_u64(&mut buf, *txn);
+        }
         WireOutcome::Err(ServeError::CrossesShard { addr, len }) => {
             put_u64(&mut buf, *addr);
             put_u64(&mut buf, *len);
@@ -239,6 +287,8 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
             put_u64(&mut buf, *addr);
             put_u64(&mut buf, *size);
         }
+        WireOutcome::Err(ServeError::TxnBusy { txn })
+        | WireOutcome::Err(ServeError::NoSuchTxn { txn }) => put_u64(&mut buf, *txn),
         WireOutcome::Err(ServeError::Store(msg)) => buf.extend_from_slice(msg.as_bytes()),
         WireOutcome::Err(ServeError::DeadlineExceeded)
         | WireOutcome::Err(ServeError::ShuttingDown)
@@ -331,6 +381,29 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, ProtoError> {
             c.done()?;
             WireBody::Shutdown
         }
+        op::TXN_BEGIN => {
+            let shard = c.u32()?;
+            c.done()?;
+            WireBody::Req(Request::TxnBegin { shard })
+        }
+        op::TXN_WRITE => {
+            let addr = c.u64()?;
+            let txn = c.u64()?;
+            let bytes = c.rest().to_vec();
+            WireBody::Req(Request::TxnWrite { addr, bytes, txn })
+        }
+        op::TXN_COMMIT => {
+            let shard = c.u32()?;
+            let txn = c.u64()?;
+            c.done()?;
+            WireBody::Req(Request::TxnCommit { shard, txn })
+        }
+        op::TXN_ABORT => {
+            let shard = c.u32()?;
+            let txn = c.u64()?;
+            c.done()?;
+            WireBody::Req(Request::TxnAbort { shard, txn })
+        }
         _ => return Err(ProtoError("unknown opcode")),
     };
     Ok(WireRequest {
@@ -366,6 +439,21 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, ProtoError> {
             2 => {
                 c.done()?;
                 WireOutcome::Reply(Reply::Pong)
+            }
+            3 => {
+                let txn = c.u64()?;
+                c.done()?;
+                WireOutcome::Reply(Reply::TxnStarted { txn })
+            }
+            4 => {
+                let txn = c.u64()?;
+                c.done()?;
+                WireOutcome::Reply(Reply::Committed { txn })
+            }
+            5 => {
+                let txn = c.u64()?;
+                c.done()?;
+                WireOutcome::Reply(Reply::Aborted { txn })
             }
             _ => return Err(ProtoError("unknown ok kind")),
         },
@@ -405,6 +493,16 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, ProtoError> {
         status::ACK => {
             c.done()?;
             WireOutcome::ShutdownAck
+        }
+        status::TXN_BUSY => {
+            let txn = c.u64()?;
+            c.done()?;
+            WireOutcome::Err(ServeError::TxnBusy { txn })
+        }
+        status::NO_TXN => {
+            let txn = c.u64()?;
+            c.done()?;
+            WireOutcome::Err(ServeError::NoSuchTxn { txn })
         }
         _ => return Err(ProtoError("unknown status")),
     };
@@ -516,6 +614,30 @@ mod tests {
             deadline_us: 0,
             body: WireBody::Shutdown,
         });
+        roundtrip_req(WireRequest {
+            id: 4,
+            deadline_us: 0,
+            body: WireBody::Req(Request::TxnBegin { shard: 1 }),
+        });
+        roundtrip_req(WireRequest {
+            id: 5,
+            deadline_us: 700,
+            body: WireBody::Req(Request::TxnWrite {
+                addr: 4_096,
+                bytes: b"txn payload".to_vec(),
+                txn: 11,
+            }),
+        });
+        roundtrip_req(WireRequest {
+            id: 6,
+            deadline_us: 0,
+            body: WireBody::Req(Request::TxnCommit { shard: 2, txn: 11 }),
+        });
+        roundtrip_req(WireRequest {
+            id: 7,
+            deadline_us: 0,
+            body: WireBody::Req(Request::TxnAbort { shard: 0, txn: 12 }),
+        });
     }
 
     #[test]
@@ -538,6 +660,11 @@ mod tests {
             WireOutcome::Err(ServeError::Store("boom".into())),
             WireOutcome::Err(ServeError::ShuttingDown),
             WireOutcome::ShutdownAck,
+            WireOutcome::Reply(Reply::TxnStarted { txn: 9 }),
+            WireOutcome::Reply(Reply::Committed { txn: 9 }),
+            WireOutcome::Reply(Reply::Aborted { txn: 10 }),
+            WireOutcome::Err(ServeError::TxnBusy { txn: 9 }),
+            WireOutcome::Err(ServeError::NoSuchTxn { txn: 77 }),
         ] {
             roundtrip_resp(WireResponse {
                 id: 42,

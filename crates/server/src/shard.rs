@@ -77,6 +77,41 @@ pub enum Request {
         /// Shard to bounce the probe off.
         shard: u32,
     },
+    /// Open a transaction on one shard (§6: one hardware transaction
+    /// per controller). Replies [`Reply::TxnStarted`] with the id every
+    /// subsequent transactional request must carry.
+    TxnBegin {
+        /// Shard to open the transaction on.
+        shard: u32,
+    },
+    /// Write bytes at global address `addr` under the open transaction
+    /// `txn`. Routed by address like [`Request::Write`]; the target
+    /// shard must be the one that started `txn`, or the request fails
+    /// with [`ServeError::NoSuchTxn`].
+    TxnWrite {
+        /// Global byte address.
+        addr: u64,
+        /// Payload.
+        bytes: Vec<u8>,
+        /// The transaction id from [`Reply::TxnStarted`].
+        txn: u64,
+    },
+    /// Commit the open transaction: all of its writes become durable
+    /// atomically (see `docs/TRANSACTIONS.md`).
+    TxnCommit {
+        /// Shard that owns the transaction.
+        shard: u32,
+        /// The transaction id.
+        txn: u64,
+    },
+    /// Abort the open transaction: every page it touched reverts to its
+    /// pre-transaction image.
+    TxnAbort {
+        /// Shard that owns the transaction.
+        shard: u32,
+        /// The transaction id.
+        txn: u64,
+    },
 }
 
 /// A successful completion.
@@ -93,6 +128,22 @@ pub enum Reply {
     Flushed,
     /// Ping answer.
     Pong,
+    /// A transaction opened; carry this id in every
+    /// [`Request::TxnWrite`] / commit / abort for it.
+    TxnStarted {
+        /// The new transaction's id.
+        txn: u64,
+    },
+    /// The transaction committed — all of its writes are durable.
+    Committed {
+        /// The committed transaction's id.
+        txn: u64,
+    },
+    /// The transaction rolled back — none of its writes survive.
+    Aborted {
+        /// The aborted transaction's id.
+        txn: u64,
+    },
 }
 
 /// A typed serving failure (always delivered as a completion or a
@@ -118,6 +169,18 @@ pub enum ServeError {
     },
     /// The front end is shutting down and no longer admits requests.
     ShuttingDown,
+    /// The target shard already has an open transaction; one hardware
+    /// transaction per controller (§6). Commit or abort it first.
+    TxnBusy {
+        /// The id of the transaction already open on the shard.
+        txn: u64,
+    },
+    /// The transaction id is not open on the target shard (never
+    /// started there, already committed, or already aborted).
+    NoSuchTxn {
+        /// The offending id.
+        txn: u64,
+    },
     /// The shard's controller failed the operation.
     Store(String),
 }
@@ -133,6 +196,12 @@ impl fmt::Display for ServeError {
                 write!(f, "address {addr:#x} outside sharded array of {size} bytes")
             }
             ServeError::ShuttingDown => write!(f, "front end is shutting down"),
+            ServeError::TxnBusy { txn } => {
+                write!(f, "shard already has open transaction {txn}")
+            }
+            ServeError::NoSuchTxn { txn } => {
+                write!(f, "no open transaction {txn} on this shard")
+            }
             ServeError::Store(e) => write!(f, "store error: {e}"),
         }
     }
@@ -781,10 +850,15 @@ impl ShardHandle {
     pub fn route(&self, req: &Request) -> Result<u32, ServeError> {
         match *req {
             Request::Read { addr, len } => self.plan.locate(addr, len as u64).map(|(s, _)| s),
-            Request::Write { addr, ref bytes } => {
-                self.plan.locate(addr, bytes.len() as u64).map(|(s, _)| s)
-            }
-            Request::Flush { shard } | Request::Ping { shard } => {
+            Request::Write { addr, ref bytes }
+            | Request::TxnWrite {
+                addr, ref bytes, ..
+            } => self.plan.locate(addr, bytes.len() as u64).map(|(s, _)| s),
+            Request::Flush { shard }
+            | Request::Ping { shard }
+            | Request::TxnBegin { shard }
+            | Request::TxnCommit { shard, .. }
+            | Request::TxnAbort { shard, .. } => {
                 if shard < self.plan.shards() {
                     Ok(shard)
                 } else {
@@ -845,6 +919,11 @@ impl ShardHandle {
             Request::Write { addr, bytes } => Request::Write {
                 addr: addr - self.plan.base_of(shard),
                 bytes,
+            },
+            Request::TxnWrite { addr, bytes, txn } => Request::TxnWrite {
+                addr: addr - self.plan.base_of(shard),
+                bytes,
+                txn,
             },
             other => other,
         };
@@ -978,6 +1057,32 @@ pub fn apply(store: &mut EnvyStore, req: &Request) -> Result<Reply, ServeError> 
             Ok(Reply::Flushed)
         }
         Request::Ping { .. } => Ok(Reply::Pong),
+        Request::TxnBegin { .. } => {
+            let txn = store.txn_begin().map_err(map_store_err(store))?;
+            Ok(Reply::TxnStarted { txn })
+        }
+        Request::TxnWrite { addr, bytes, txn } => {
+            // Ownership first: a shard-local write under a foreign or
+            // closed transaction id must not touch the store (it would
+            // silently join whatever transaction IS open).
+            if store.engine().active_txn() != Some(*txn) {
+                return Err(ServeError::NoSuchTxn { txn: *txn });
+            }
+            let access = store
+                .write_at(store.now(), *addr, bytes)
+                .map_err(map_store_err(store))?;
+            Ok(Reply::Done {
+                latency: access.latency,
+            })
+        }
+        Request::TxnCommit { txn, .. } => {
+            store.txn_commit(*txn).map_err(map_store_err(store))?;
+            Ok(Reply::Committed { txn: *txn })
+        }
+        Request::TxnAbort { txn, .. } => {
+            store.txn_abort(*txn).map_err(map_store_err(store))?;
+            Ok(Reply::Aborted { txn: *txn })
+        }
     }
 }
 
@@ -985,6 +1090,8 @@ fn map_store_err(store: &EnvyStore) -> impl Fn(EnvyError) -> ServeError + '_ {
     let size = store.size();
     move |e| match e {
         EnvyError::OutOfBounds { addr, .. } => ServeError::OutOfBounds { addr, size },
+        EnvyError::TxnAlreadyOpen { txn } => ServeError::TxnBusy { txn },
+        EnvyError::NoSuchTxn { txn } => ServeError::NoSuchTxn { txn },
         other => ServeError::Store(other.to_string()),
     }
 }
@@ -1273,6 +1380,133 @@ mod tests {
         let h = store.handle();
         let hint = h.retry_hint(0);
         assert!(hint >= RETRY_MIN && hint <= RETRY_MAX);
+        store.shutdown();
+    }
+
+    fn read_bytes(h: &ShardHandle, addr: u64, len: u32) -> Vec<u8> {
+        match h.call(Request::Read { addr, len }).unwrap() {
+            Reply::Data(d) => d,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txn_commit_roundtrip_across_shards() {
+        let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+        let h = store.handle();
+        let base = h.plan().shard_bytes();
+        // Independent transactions on each shard: per-shard ids may
+        // collide (each shard numbers its own), so the pair (shard,
+        // txn) is the identity.
+        let t0 = match h.call(Request::TxnBegin { shard: 0 }).unwrap() {
+            Reply::TxnStarted { txn } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        let t1 = match h.call(Request::TxnBegin { shard: 1 }).unwrap() {
+            Reply::TxnStarted { txn } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        h.call(Request::TxnWrite {
+            addr: 64,
+            bytes: b"zero".to_vec(),
+            txn: t0,
+        })
+        .unwrap();
+        h.call(Request::TxnWrite {
+            addr: base + 64,
+            bytes: b"one!".to_vec(),
+            txn: t1,
+        })
+        .unwrap();
+        assert!(matches!(
+            h.call(Request::TxnCommit { shard: 0, txn: t0 }).unwrap(),
+            Reply::Committed { .. }
+        ));
+        assert!(matches!(
+            h.call(Request::TxnAbort { shard: 1, txn: t1 }).unwrap(),
+            Reply::Aborted { .. }
+        ));
+        assert_eq!(read_bytes(&h, 64, 4), b"zero");
+        // Shard 1's write rolled back to the prefill contents.
+        assert_ne!(read_bytes(&h, base + 64, 4), b"one!");
+        store.shutdown();
+    }
+
+    #[test]
+    fn txn_ownership_errors_are_typed() {
+        let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+        let h = store.handle();
+        let txn = match h.call(Request::TxnBegin { shard: 0 }).unwrap() {
+            Reply::TxnStarted { txn } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        // A second begin on the same shard is refused with the open id.
+        match h.call(Request::TxnBegin { shard: 0 }).unwrap_err() {
+            ServeError::TxnBusy { txn: open } => assert_eq!(open, txn),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A write under the wrong id never reaches the store.
+        match h
+            .call(Request::TxnWrite {
+                addr: 0,
+                bytes: vec![1u8; 4],
+                txn: txn + 1,
+            })
+            .unwrap_err()
+        {
+            ServeError::NoSuchTxn { txn: t } => assert_eq!(t, txn + 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Commit under the wrong id likewise.
+        assert!(matches!(
+            h.call(Request::TxnCommit {
+                shard: 0,
+                txn: txn + 1
+            })
+            .unwrap_err(),
+            ServeError::NoSuchTxn { .. }
+        ));
+        // The real commit still succeeds after the failed attempts.
+        h.call(Request::TxnWrite {
+            addr: 128,
+            bytes: b"kept".to_vec(),
+            txn,
+        })
+        .unwrap();
+        h.call(Request::TxnCommit { shard: 0, txn }).unwrap();
+        assert_eq!(read_bytes(&h, 128, 4), b"kept");
+        // Nothing is open any more.
+        assert!(matches!(
+            h.call(Request::TxnAbort { shard: 0, txn }).unwrap_err(),
+            ServeError::NoSuchTxn { .. }
+        ));
+        store.shutdown();
+    }
+
+    #[test]
+    fn txn_requests_route_like_their_kin() {
+        let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+        let h = store.handle();
+        // TxnWrite routes by address like Write.
+        assert_eq!(
+            h.route(&Request::TxnWrite {
+                addr: h.plan().shard_bytes() + 8,
+                bytes: vec![0u8; 4],
+                txn: 1,
+            })
+            .unwrap(),
+            1
+        );
+        // Shard-addressed ops validate the shard index.
+        assert!(matches!(
+            h.route(&Request::TxnBegin { shard: 9 }).unwrap_err(),
+            ServeError::OutOfBounds { .. }
+        ));
+        assert!(matches!(
+            h.route(&Request::TxnCommit { shard: 9, txn: 1 })
+                .unwrap_err(),
+            ServeError::OutOfBounds { .. }
+        ));
         store.shutdown();
     }
 }

@@ -146,7 +146,21 @@ fn run_round(shards: u32, seed: u64) -> u64 {
                         bytes: bytes.clone(),
                     }
                 }
-                Request::Flush { shard } | Request::Ping { shard } => {
+                Request::TxnWrite { addr, bytes, txn } => {
+                    if *addr / shard_bytes != i as u64 {
+                        continue;
+                    }
+                    Request::TxnWrite {
+                        addr: addr - base,
+                        bytes: bytes.clone(),
+                        txn: *txn,
+                    }
+                }
+                Request::Flush { shard }
+                | Request::Ping { shard }
+                | Request::TxnBegin { shard }
+                | Request::TxnCommit { shard, .. }
+                | Request::TxnAbort { shard, .. } => {
                     if *shard != i as u32 {
                         continue;
                     }

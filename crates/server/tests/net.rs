@@ -188,6 +188,122 @@ fn wire_deadline_surfaces_typed_timeout() {
 }
 
 #[test]
+fn wire_transaction_commit_abort_and_ownership() {
+    let (server, addr) = launch_tcp(ServeConfig::small(2));
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let shard_bytes = {
+        let cfg = ServeConfig::small(2);
+        envy_core::EnvyStore::new(cfg.store).unwrap().size()
+    };
+
+    // Committed multi-page transaction: all writes visible after.
+    let txn = client.txn_begin(0).unwrap();
+    client.txn_write(0, b"alpha", txn).unwrap();
+    client.txn_write(512, b"bravo", txn).unwrap();
+    client.txn_commit(0, txn).unwrap();
+    assert_eq!(client.read(0, 5).unwrap(), b"alpha");
+    assert_eq!(client.read(512, 5).unwrap(), b"bravo");
+
+    // Aborted transaction: the write is undone byte-exactly.
+    let txn = client.txn_begin(0).unwrap();
+    client.txn_write(0, b"nope!", txn).unwrap();
+    client.txn_abort(0, txn).unwrap();
+    assert_eq!(client.read(0, 5).unwrap(), b"alpha");
+
+    // Ownership errors arrive typed over the wire.
+    let txn = client.txn_begin(1).unwrap();
+    match client.txn_begin(1) {
+        Err(envy_server::ClientError::Serve(ServeError::TxnBusy { txn: open })) => {
+            assert_eq!(open, txn);
+        }
+        other => panic!("expected TxnBusy, got {other:?}"),
+    }
+    match client.txn_write(shard_bytes, b"x", txn + 1) {
+        Err(envy_server::ClientError::Serve(ServeError::NoSuchTxn { .. })) => {}
+        other => panic!("expected NoSuchTxn, got {other:?}"),
+    }
+    client.txn_abort(1, txn).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_aborts_open_transaction() {
+    let (server, addr) = launch_tcp(ServeConfig::small(1));
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.write(64, b"base").unwrap();
+
+    // Open a transaction, write under it, and vanish without resolving.
+    let txn = client.txn_begin(0).unwrap();
+    client.txn_write(64, b"gone", txn).unwrap();
+    drop(client);
+
+    // The server aborts the orphan: a fresh connection sees the
+    // pre-transaction bytes and can open its own transaction (the
+    // shard's single slot was released).
+    let mut fresh = Client::connect_tcp(&addr).unwrap();
+    let opened = std::time::Instant::now();
+    loop {
+        match fresh.txn_begin(0) {
+            Ok(t) => {
+                assert_eq!(fresh.read(64, 4).unwrap(), b"base");
+                fresh.txn_abort(0, t).unwrap();
+                break;
+            }
+            Err(envy_server::ClientError::Serve(ServeError::TxnBusy { .. })) => {
+                // The disconnect cleanup races connection teardown.
+                assert!(
+                    opened.elapsed() < Duration::from_secs(5),
+                    "orphaned transaction never aborted"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("txn_begin: {e}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// The acceptance anchor for transactions over the wire: a seeded
+/// atomic TPC-A run through a real TCP server — with a nonzero seeded
+/// abort draw — must land on exactly the simulated clock, statistics
+/// (commit/abort/shadow counters included), and bytes of the same
+/// spec replayed synchronously against a monolithic store.
+#[test]
+fn socket_atomic_tpca_matches_monolithic_replay() {
+    let config = ServeConfig::small(1);
+    let mut baseline = envy_core::EnvyStore::new(config.store.clone()).unwrap();
+    baseline.prefill().unwrap();
+    let mut mono = baseline.fork();
+    let store = ShardedStore::launch_from(vec![baseline.fork()], &config);
+    let plan = *store.plan();
+    let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+    let server = serve(listener, store).unwrap();
+    let addr = server.addr().to_string();
+
+    let spec = envy_server::LoadSpec::closed(1, 24)
+        .with_seed(41)
+        .atomic(0.2);
+    let report =
+        envy_server::loadgen::run_socket(|| Client::connect_tcp(&addr), plan, &spec).unwrap();
+    let mut summary = server.shutdown();
+    let mono_report = envy_server::loadgen::run_monolithic(&mut mono, &spec);
+
+    assert!(report.aborted_txns > 0, "seeded abort draw must be nonzero");
+    assert_eq!(report.completed_txns, mono_report.completed_txns);
+    assert_eq!(report.aborted_txns, mono_report.aborted_txns);
+    assert_eq!(report.completed_ops, mono_report.completed_ops);
+    assert_eq!(report.errors, 0);
+    let served = &summary.outcome.shards[0].store;
+    assert_eq!(served.now(), mono.now(), "simulated clock diverged");
+    assert_eq!(served.stats(), mono.stats(), "statistics diverged");
+    let mut got = vec![0u8; served.size() as usize];
+    let mut want = vec![0u8; mono.size() as usize];
+    summary.outcome.shards[0].store.read(0, &mut got).unwrap();
+    mono.read(0, &mut want).unwrap();
+    assert_eq!(got, want, "contents diverged");
+}
+
+#[test]
 fn socket_loadgen_closed_loop_over_tcp() {
     let (server, addr) = launch_tcp(ServeConfig::small(2));
     let store_plan = {

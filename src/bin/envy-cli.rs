@@ -101,6 +101,8 @@ commands:
       --txns <n>            transactions per client         (default 2000)
       --scale <small|scaled>  per-shard array size          (default scaled)
       --seed <n>            RNG seed                        (default 24301)
+      --atomic <f>          run every transaction atomically (TXN_BEGIN ..
+                            TXN_COMMIT), aborting a seeded fraction f (0..=1)
       --unix <path>         drive a live server on a Unix socket
       --connect <addr>      drive a live server over TCP
       --shutdown            send a wire SHUTDOWN after the load (socket modes)";
@@ -498,7 +500,15 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let clients: u32 = opt_parse(args, "--clients", 4)?;
     let txns: u64 = opt_parse(args, "--txns", 2_000)?;
     let seed: u64 = opt_parse(args, "--seed", 24_301)?;
-    let spec = LoadSpec::closed(clients, txns).with_seed(seed);
+    let mut spec = LoadSpec::closed(clients, txns).with_seed(seed);
+    if let Some(f) = opt(args, "--atomic") {
+        let frac: f64 = f
+            .parse()
+            .ok()
+            .filter(|f| (0.0..=1.0).contains(f))
+            .ok_or_else(|| format!("invalid value `{f}` for --atomic (want 0..=1)"))?;
+        spec = spec.atomic(frac);
+    }
 
     // Socket mode: drive a live `envy-served` instead of an in-process
     // store. `--shards`/`--scale` must describe the remote server — the
@@ -536,6 +546,10 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
 fn print_load_report(report: &loadgen::LoadReport, sim: Option<Ns>) {
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["completed txns".into(), report.completed_txns.to_string()]);
+    if report.aborted_txns > 0 || report.txn_conflicts > 0 {
+        t.row(&["aborted txns".into(), report.aborted_txns.to_string()]);
+        t.row(&["txn conflicts".into(), report.txn_conflicts.to_string()]);
+    }
     t.row(&["completed ops".into(), report.completed_ops.to_string()]);
     t.row(&["busy retries".into(), report.busy_retries.to_string()]);
     t.row(&["errors".into(), report.errors.to_string()]);
