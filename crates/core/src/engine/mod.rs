@@ -74,6 +74,9 @@ pub struct Engine {
     pub(crate) txn_fresh: std::collections::HashSet<crate::addr::LogicalPage>,
     pub(crate) active_txn: Option<u64>,
     pub(crate) next_txn_id: u64,
+    /// Increment between successive transaction ids (see
+    /// [`Engine::seed_txn_ids`]); 1 for a standalone controller.
+    pub(crate) txn_id_stride: u64,
     /// Durable commit record (battery-backed SRAM, §6 + §3.4): set at
     /// the atomic commit point of [`Engine::txn_commit`] and cleared
     /// once the shadow release completes. [`Engine::recover`] treats a
@@ -153,6 +156,7 @@ impl Engine {
             txn_fresh: std::collections::HashSet::new(),
             active_txn: None,
             next_txn_id: 1,
+            txn_id_stride: 1,
             txn_journal: None,
             txn_scratch: Vec::new(),
             journal: None,

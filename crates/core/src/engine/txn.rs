@@ -168,9 +168,36 @@ impl Engine {
         }
         self.flush_all(ops)?;
         let id = self.next_txn_id;
-        self.next_txn_id += 1;
+        self.next_txn_id += self.txn_id_stride;
         self.active_txn = Some(id);
         Ok(id)
+    }
+
+    /// Partition the transaction-id space for multi-controller
+    /// deployments: the next transaction gets id `first` and each
+    /// subsequent one advances by `stride`. Giving every controller a
+    /// distinct residue (`first = index + 1`, `stride = controllers`)
+    /// makes ids globally unique across controllers, so an id presented
+    /// to the wrong controller can never match its open transaction —
+    /// it is refused with [`EnvyError::NoSuchTxn`] instead of silently
+    /// joining a foreign transaction.
+    ///
+    /// Ids only identify a transaction while it is open; re-seeding may
+    /// reuse ids of already-resolved transactions, which is harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is open, if `stride` is zero, or if
+    /// `first` is zero (id 0 is reserved as "never a transaction").
+    pub fn seed_txn_ids(&mut self, first: u64, stride: u64) {
+        assert!(
+            self.active_txn.is_none(),
+            "cannot re-seed transaction ids while a transaction is open"
+        );
+        assert!(stride > 0, "transaction id stride must be nonzero");
+        assert!(first > 0, "transaction ids start at 1");
+        self.next_txn_id = first;
+        self.txn_id_stride = stride;
     }
 
     /// Commit: make the transaction durable, then release its shadow

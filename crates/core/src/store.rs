@@ -707,6 +707,17 @@ impl EnvyStore {
         id
     }
 
+    /// Partition the transaction-id space for multi-controller
+    /// deployments. See [`Engine::seed_txn_ids`].
+    ///
+    /// # Panics
+    ///
+    /// See [`Engine::seed_txn_ids`].
+    pub fn seed_txn_ids(&mut self, first: u64, stride: u64) {
+        let _guard = self.epoch.write_guard();
+        self.engine.seed_txn_ids(first, stride);
+    }
+
     /// Commit a transaction.
     ///
     /// # Errors
@@ -978,6 +989,23 @@ mod tests {
         s.txn_commit(txn).unwrap();
         s.read(512, &mut out).unwrap();
         assert_eq!(out, [1; 16]);
+    }
+
+    #[test]
+    fn seeded_txn_ids_stride_and_stay_unique() {
+        let mut s = store();
+        s.seed_txn_ids(2, 4);
+        let a = s.txn_begin().unwrap();
+        s.txn_commit(a).unwrap();
+        let b = s.txn_begin().unwrap();
+        // An id from a different residue class is never this store's
+        // transaction, even while one is open.
+        assert!(matches!(
+            s.txn_commit(b + 1),
+            Err(EnvyError::NoSuchTxn { .. })
+        ));
+        s.txn_abort(b).unwrap();
+        assert_eq!((a, b), (2, 6));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::proto::{self, ProtoError, WireBody, WireOutcome, WireRequest, WireRes
 use crate::shard::{
     Reply, Request, Response, ServeError, ServeOutcome, ShardHandle, ShardedStore, SubmitError,
 };
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -364,12 +364,15 @@ fn connection(
     }
     let write = Arc::new(Mutex::new(write_half));
     let (rtx, rrx) = mpsc::channel::<Response>();
-    // Transactions this connection opened and has not yet resolved:
-    // txn id → owning shard. The writer thread maintains it from the
-    // completion stream (it sees every TxnStarted / Committed / Aborted
-    // in shard order), and the tail of `connection` aborts whatever is
-    // left after a disconnect.
-    let open_txns: Arc<Mutex<HashMap<u64, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+    // Transactions this connection opened and has not yet resolved,
+    // keyed by (owning shard, txn id) — ids are globally unique across
+    // shards (disjoint residues, see `ShardedStore::launch_from`), but
+    // the shard is kept in the key anyway so an id alone can never
+    // resolve the wrong entry. The writer thread maintains the set from
+    // the completion stream (it sees every TxnStarted / Committed /
+    // Aborted in shard order), and the tail of `connection` aborts
+    // whatever is left after a disconnect.
+    let open_txns: Arc<Mutex<HashSet<(u32, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
     // Writer: drain completions onto the socket. Write errors (dead
     // client) are swallowed — the drain must continue so shard workers
     // are never coupled to a client's fate.
@@ -385,10 +388,13 @@ fn connection(
                             open_txns
                                 .lock()
                                 .expect("txn table poisoned")
-                                .insert(txn, resp.shard);
+                                .insert((resp.shard, txn));
                         }
                         Ok(Reply::Committed { txn }) | Ok(Reply::Aborted { txn }) => {
-                            open_txns.lock().expect("txn table poisoned").remove(&txn);
+                            open_txns
+                                .lock()
+                                .expect("txn table poisoned")
+                                .remove(&(resp.shard, txn));
                         }
                         _ => {}
                     }
@@ -436,12 +442,12 @@ fn connection(
     // Abort-on-disconnect: anything still in the table was begun by
     // this connection and never committed or aborted. Best-effort — a
     // racing resolution surfaces as NoSuchTxn and is ignored.
-    let orphans: Vec<(u64, u32)> = open_txns
+    let orphans: Vec<(u32, u64)> = open_txns
         .lock()
         .expect("txn table poisoned")
         .drain()
         .collect();
-    for (txn, shard) in orphans {
+    for (shard, txn) in orphans {
         let _ = handle.call(Request::TxnAbort { shard, txn });
     }
 }

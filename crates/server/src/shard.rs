@@ -734,6 +734,14 @@ impl ShardedStore {
             if let Some(capacity) = config.trace_capacity {
                 store.enable_trace(capacity);
             }
+            // Disjoint id residues per shard: shard i issues ids
+            // i+1, i+1+N, ... so a transaction id can never match on
+            // the wrong shard (a misrouted TxnWrite is refused with
+            // NoSuchTxn instead of silently joining a foreign
+            // transaction). A single shard degenerates to 1, 2, 3, ...
+            // — identical to a monolithic store, which the digest
+            // anchors rely on.
+            store.seed_txn_ids(i as u64 + 1, plan.shards() as u64);
             if let Some(n) = per_shard_readers {
                 let view = store.read_view();
                 let counters = Arc::new(ReadCounters::default());
@@ -1395,9 +1403,9 @@ mod tests {
         let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
         let h = store.handle();
         let base = h.plan().shard_bytes();
-        // Independent transactions on each shard: per-shard ids may
-        // collide (each shard numbers its own), so the pair (shard,
-        // txn) is the identity.
+        // Independent transactions on each shard. Ids are globally
+        // unique (each shard draws from a disjoint residue class), so
+        // concurrent transactions can never alias across shards.
         let t0 = match h.call(Request::TxnBegin { shard: 0 }).unwrap() {
             Reply::TxnStarted { txn } => txn,
             other => panic!("unexpected {other:?}"),
@@ -1406,6 +1414,20 @@ mod tests {
             Reply::TxnStarted { txn } => txn,
             other => panic!("unexpected {other:?}"),
         };
+        assert_ne!(t0, t1, "transaction ids must be unique across shards");
+        // A write that routes to shard 1 but carries shard 0's id must
+        // be refused — it must not join shard 1's open transaction.
+        match h
+            .call(Request::TxnWrite {
+                addr: base + 128,
+                bytes: vec![0xAB; 4],
+                txn: t0,
+            })
+            .unwrap_err()
+        {
+            ServeError::NoSuchTxn { txn } => assert_eq!(txn, t0),
+            other => panic!("unexpected {other:?}"),
+        }
         h.call(Request::TxnWrite {
             addr: 64,
             bytes: b"zero".to_vec(),

@@ -263,6 +263,52 @@ fn disconnect_aborts_open_transaction() {
     server.shutdown();
 }
 
+#[test]
+fn disconnect_aborts_open_transactions_on_every_shard() {
+    let (server, addr) = launch_tcp(ServeConfig::small(2));
+    let shard_bytes = {
+        let cfg = ServeConfig::small(2);
+        envy_core::EnvyStore::new(cfg.store).unwrap().size()
+    };
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.write(64, b"zero").unwrap();
+    client.write(shard_bytes + 64, b"one!").unwrap();
+
+    // One connection holds an unresolved transaction on BOTH shards,
+    // then vanishes. Ids are globally unique and the cleanup table is
+    // keyed by (shard, txn), so neither entry can shadow the other:
+    // both transactions must be aborted, releasing both slots.
+    let t0 = client.txn_begin(0).unwrap();
+    let t1 = client.txn_begin(1).unwrap();
+    assert_ne!(t0, t1, "transaction ids must be unique across shards");
+    client.txn_write(64, b"lost", t0).unwrap();
+    client.txn_write(shard_bytes + 64, b"lost", t1).unwrap();
+    drop(client);
+
+    let mut fresh = Client::connect_tcp(&addr).unwrap();
+    for (shard, base, want) in [(0u32, 0u64, b"zero"), (1, shard_bytes, b"one!")] {
+        let opened = std::time::Instant::now();
+        loop {
+            match fresh.txn_begin(shard) {
+                Ok(t) => {
+                    assert_eq!(fresh.read(base + 64, 4).unwrap(), want);
+                    fresh.txn_abort(shard, t).unwrap();
+                    break;
+                }
+                Err(envy_server::ClientError::Serve(ServeError::TxnBusy { .. })) => {
+                    assert!(
+                        opened.elapsed() < Duration::from_secs(5),
+                        "orphaned transaction on shard {shard} never aborted"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("txn_begin: {e}"),
+            }
+        }
+    }
+    server.shutdown();
+}
+
 /// The acceptance anchor for transactions over the wire: a seeded
 /// atomic TPC-A run through a real TCP server — with a nonzero seeded
 /// abort draw — must land on exactly the simulated clock, statistics
