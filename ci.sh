@@ -80,7 +80,7 @@ echo "== smoke: ext_fault_recovery --quick --jobs 2 =="
 # once (fixed seeds); the binary exits nonzero if any recovery fails.
 cargo run --release -q -p envy-bench --bin ext_fault_recovery -- --quick --jobs 2 \
   > results/ci_smoke_fault_recovery.txt
-grep -q "21/21 injection points crashed and recovered" results/ci_smoke_fault_recovery.txt
+grep -q "23/23 injection points crashed and recovered" results/ci_smoke_fault_recovery.txt
 test -s results/BENCH_ext_fault_recovery.json
 
 echo "== smoke: trace overhead (tracing must be behavior-neutral) =="
@@ -113,7 +113,8 @@ grep -q "anchor: 1-shard front end == monolithic store" results/ci_smoke_ext_ser
 test -s results/BENCH_ext_serve.json
 
 echo "== smoke: ext_txn --quick (atomic transactions over the wire) =="
-# Abort-rate sweep and cleaner-pressure table plus the wire anchor: a
+# Abort-rate sweep (4 transaction slots per shard), 1/2/4/8-slot
+# concurrency sweep, and cleaner-pressure table plus the wire anchor: a
 # seeded atomic TPC-A run (nonzero aborts) through a real TCP server
 # must match the monolithic in-process replay exactly — the binary
 # asserts it (clock, stats, bytes) and prints the anchor line.
@@ -130,15 +131,16 @@ SERVE_SOCK="results/ci_serve.sock"
 rm -f "$SERVE_SOCK"
 cargo build --release -q -p envy-server --bin envy-served
 cargo build --release -q --bin envy-cli
-./target/release/envy-served --unix "$SERVE_SOCK" --shards 2 --scale small \
+./target/release/envy-served --unix "$SERVE_SOCK" --shards 2 --txn-slots 4 --scale small \
   > results/ci_smoke_serve_daemon.txt 2>&1 &
 SERVED_PID=$!
 for _ in $(seq 1 100); do test -S "$SERVE_SOCK" && break; sleep 0.1; done
 test -S "$SERVE_SOCK"
 ./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
   --clients 4 --txns 250 > results/ci_smoke_serve_load.txt
-# Second leg: the same daemon serves atomic transactions (TXN_BEGIN ..
-# TXN_COMMIT/TXN_ABORT over the wire) with a seeded abort fraction.
+# Second leg: the same daemon (4 transaction slots per shard) serves
+# atomic transactions (TXN_BEGIN .. TXN_COMMIT/TXN_ABORT over the wire)
+# with a seeded abort fraction; write-set conflicts abort-and-retry.
 ./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
   --clients 2 --txns 100 --atomic 0.2 --shutdown > results/ci_smoke_serve_txn.txt
 wait "$SERVED_PID"

@@ -38,64 +38,81 @@ enum Point {
 }
 
 /// Small untimed store with frequent cleaning and wear swaps, so every
-/// injection point is reachable quickly.
+/// injection point is reachable quickly. Two transaction slots, so the
+/// crash matrix covers interleaved in-flight transactions.
 fn crash_config() -> EnvyConfig {
     EnvyConfig::scaled(2, 8, 32, PAGE as u32)
         .with_policy(PolicyKind::LocalityGathering)
         .with_utilization(0.7)
         .with_buffer_pages(8)
         .with_wear_threshold(5)
+        .with_txn_slots(2)
 }
 
 /// Drive writes and transactions until the armed crash fires; returns
-/// the steps taken and the recovery report.
+/// the steps taken and the recovery report. Up to two transactions are
+/// kept in flight with transactional writes interleaved between them
+/// and with plain writes, so shadow-page cleaning, multi-record commit
+/// journaling, and multi-transaction recovery are all reachable.
 fn crash_point(point: InjectionPoint, max_steps: u64) -> (u64, RecoveryReport) {
     let mut s = EnvyStore::new(crash_config()).expect("config is valid");
     s.prefill().expect("prefill fits");
     let n = s.config().logical_pages;
     s.arm_faults(FaultPlan::crash_at(point, 1));
     let mut rng = Rng::seed_from(0xFA17 ^ point.index() as u64);
-    let mut txn: Option<u64> = None;
+    let mut open: Vec<u64> = Vec::new();
     let mut txn_seq = 0u64;
     let mut steps = 0;
     for step in 0..max_steps {
         steps = step + 1;
         let phase = step % 37;
-        let r = if phase == 0 && txn.is_none() {
+        let r = if (phase == 0 || phase == 7) && open.len() < 2 {
             match s.txn_begin() {
                 Ok(id) => {
-                    txn = Some(id);
+                    open.push(id);
                     Ok(())
                 }
                 Err(e) => Err(e),
             }
-        } else if phase == 20 && txn.is_some() {
+        } else if phase == 20 && !open.is_empty() {
             // Alternate resolution so both the commit and the rollback
-            // injection points are reachable.
-            let id = txn.unwrap();
+            // injection points are reachable; the oldest transaction
+            // resolves while the younger one stays in flight.
+            let id = open.remove(0);
             txn_seq += 1;
-            let r = if txn_seq % 2 == 0 {
+            if txn_seq.is_multiple_of(2) {
                 s.txn_abort(id)
             } else {
                 s.txn_commit(id)
-            };
-            if r.is_ok() {
-                txn = None;
             }
-            r
         } else {
             // Hot region with occasional full-range writes (see the
-            // wear-leveling test recipe).
+            // wear-leveling test recipe), spread over both open write
+            // sets and the plain path.
             let lp = if step % 8 == 7 {
                 rng.below(n)
             } else {
                 rng.below(64.min(n))
             };
-            s.write(lp * PAGE, &[rng.next_u64() as u8; 4])
+            let data = [rng.next_u64() as u8; 4];
+            // Transactional writes stay inside a narrow region: every
+            // distinct page in a write set pins a shadow until the
+            // transaction resolves, and the small crash store cannot
+            // afford wide write sets without starving the cleaner.
+            match (phase % 3, open.as_slice()) {
+                (1, [first, ..]) => s.txn_write(*first, rng.below(8.min(n)) * PAGE, &data),
+                (2, [_, second]) => {
+                    s.txn_write(*second, (8 + rng.below(8)).min(n - 1) * PAGE, &data)
+                }
+                _ => s.write(lp * PAGE, &data),
+            }
         };
         match r {
             Ok(()) => {}
             Err(EnvyError::PowerLoss) => break,
+            // A write landed on a page another open transaction owns:
+            // the refusal is the isolation contract, not a failure.
+            Err(EnvyError::TxnConflict { .. }) => {}
             Err(e) => panic!("unexpected error driving {point:?}: {e}"),
         }
     }
@@ -146,10 +163,11 @@ fn main() {
     let outcome = SweepSpec::new("ext_fault_recovery", points).run(|_, &point| match point {
         Point::Crash(p) => {
             let (steps, r) = crash_point(p, max_steps);
-            let resolution = match (r.txn_completed, r.txn_rolled_back) {
-                (Some(_), _) => "committed",
-                (_, Some(_)) => "rolled back",
-                _ => "-",
+            let resolution = match (r.txn_completed.len(), r.txn_rolled_back.len()) {
+                (0, 0) => "-".to_string(),
+                (c, 0) => format!("{c} committed"),
+                (0, b) => format!("{b} rolled back"),
+                (c, b) => format!("{c} committed, {b} rolled back"),
             };
             PointResult::row(
                 format!("crash:{}", p.label()),
@@ -161,7 +179,7 @@ fn main() {
                     r.dropped_buffer_pages.to_string(),
                     r.released_shadows.to_string(),
                     r.buffered_pages.to_string(),
-                    resolution.to_string(),
+                    resolution,
                 ],
             )
             .metric("steps_to_crash", steps as f64)
@@ -171,7 +189,7 @@ fn main() {
             .metric("resumed_clean", r.resumed_clean as u64 as f64)
             .metric(
                 "txn_resolved",
-                (r.txn_completed.is_some() || r.txn_rolled_back.is_some()) as u64 as f64,
+                (!r.txn_completed.is_empty() || !r.txn_rolled_back.is_empty()) as u64 as f64,
             )
         }
         Point::Rate(rate) => {

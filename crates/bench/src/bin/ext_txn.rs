@@ -2,7 +2,7 @@
 //! (the paper's §3.4 per-operation atomicity, grown to multi-page
 //! transactions served remotely).
 //!
-//! Three studies over one churned steady-state baseline:
+//! Four studies over one churned steady-state baseline:
 //!
 //! * **Wire anchor** — a seeded atomic TPC-A stream (with a nonzero
 //!   abort draw) through a real TCP server must land on exactly the
@@ -12,9 +12,14 @@
 //!   pins the whole wire transaction path — framing, ownership checks,
 //!   journaled commit, rollback — to the in-process engine.
 //! * **Abort-rate sweep** — closed-loop atomic TPC-A at 0 %, 5 %, 20 %
-//!   and 50 % seeded aborts: transaction latency percentiles (begin
-//!   through commit/abort), measured abort share, slot conflicts, and
-//!   the cleaning work the shadow pages add.
+//!   and 50 % seeded aborts, with 4 transaction slots per shard:
+//!   transaction latency percentiles (begin through commit/abort),
+//!   measured abort share, slot-full begin refusals, write-set conflict
+//!   refusals and retries, and the cleaning work the shadow pages add.
+//! * **Concurrency sweep** — the same load at a fixed abort draw while
+//!   the per-shard slot table grows 1 → 2 → 4 → 8: slot-full begin
+//!   refusals collapse as soon as concurrent transactions can coexist,
+//!   leaving only genuine write-set conflicts.
 //! * **Cleaner pressure** — the same offered load run plain vs. atomic:
 //!   every transactional write pins its pre-image as a shadow page
 //!   until commit (§6), capacity the cleaner must carry, so the atomic
@@ -34,6 +39,13 @@ use std::time::Instant;
 
 /// Seeded abort percentages on the sweep's x-axis.
 const ABORT_PERCENTS: [u32; 4] = [0, 5, 20, 50];
+
+/// Per-shard transaction slot counts on the concurrency sweep's x-axis.
+const SLOT_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Slot table size for the abort-rate sweep: wide enough that the four
+/// closed-loop clients practically never collide on `begin`.
+const SWEEP_SLOTS: u32 = 4;
 
 fn us(ns: Ns) -> f64 {
     ns.as_nanos() as f64 / 1_000.0
@@ -113,7 +125,7 @@ fn main() {
     let sweep =
         SweepSpec::new("ext_txn", ABORT_PERCENTS.to_vec()).run_with_jobs(jobs_arg(), |_, &pct| {
             let shards = 2u32;
-            let config = ServeConfig::scaled(shards);
+            let config = ServeConfig::scaled(shards).with_txn_slots(SWEEP_SLOTS);
             let stores = (0..shards).map(|_| baseline.fork()).collect();
             let front = ShardedStore::launch_from(stores, &config);
             let load = LoadSpec::closed(clients, txns)
@@ -123,9 +135,8 @@ fn main() {
             let outcome = front.shutdown();
             assert_eq!(report.errors, 0, "serving errors at {pct}% aborts");
             for shard in &outcome.shards {
-                assert_eq!(
-                    shard.store.engine().active_txn(),
-                    None,
+                assert!(
+                    shard.store.engine().open_txns().is_empty(),
                     "transaction left open at {pct}% aborts"
                 );
             }
@@ -148,6 +159,8 @@ fn main() {
                     report.aborted_txns.to_string(),
                     format!("{measured:.1}"),
                     report.txn_conflicts.to_string(),
+                    report.txn_conflict_refusals.to_string(),
+                    report.txn_conflict_retries.to_string(),
                     format!("{:.1}", us(p50)),
                     format!("{:.1}", us(p95)),
                     format!("{:.1}", us(p99)),
@@ -160,6 +173,8 @@ fn main() {
             .metric("aborted_txns", report.aborted_txns as f64)
             .metric("abort_pct_measured", measured)
             .metric("txn_conflicts", report.txn_conflicts as f64)
+            .metric("txn_conflict_refusals", report.txn_conflict_refusals as f64)
+            .metric("txn_conflict_retries", report.txn_conflict_retries as f64)
             .metric("txn_p50_us", us(p50))
             .metric("txn_p95_us", us(p95))
             .metric("txn_p99_us", us(p99))
@@ -175,7 +190,9 @@ fn main() {
         "committed",
         "aborted",
         "measured %",
+        "slot busy",
         "conflicts",
+        "retries",
         "p50 us",
         "p95 us",
         "p99 us",
@@ -187,8 +204,80 @@ fn main() {
     }
     emit(
         "Section 3.4 + 6",
-        "atomic TPC-A: seeded abort-rate sweep (closed loop, 2 shards)",
+        "atomic TPC-A: seeded abort-rate sweep (closed loop, 2 shards, 4 slots)",
         &table,
+    );
+    println!();
+
+    // ----------------------------------------------------------------
+    // Concurrency sweep: per-shard slot table 1 -> 2 -> 4 -> 8 at a
+    // fixed 20 % abort draw. Slot-full begin refusals collapse once
+    // transactions can coexist; only write-set conflicts remain.
+    // ----------------------------------------------------------------
+    let conc = SweepSpec::new("ext_txn_slots", SLOT_COUNTS.to_vec()).run_with_jobs(
+        jobs_arg(),
+        |_, &slots| {
+            let shards = 2u32;
+            let config = ServeConfig::scaled(shards).with_txn_slots(slots);
+            let stores = (0..shards).map(|_| baseline.fork()).collect();
+            let front = ShardedStore::launch_from(stores, &config);
+            let load = LoadSpec::closed(clients, txns)
+                .with_seed(0x510_7500 + u64::from(slots))
+                .atomic(0.2);
+            let report = run_inproc(&front.handle(), &load);
+            let outcome = front.shutdown();
+            assert_eq!(report.errors, 0, "serving errors at {slots} slots");
+            for shard in &outcome.shards {
+                assert!(
+                    shard.store.engine().open_txns().is_empty(),
+                    "transaction left open at {slots} slots"
+                );
+            }
+            let [p50, _, p99, _] = report
+                .txn_latency
+                .percentiles()
+                .expect("latencies recorded");
+            PointResult::row(
+                format!("{slots} slots"),
+                vec![
+                    slots.to_string(),
+                    report.completed_txns.to_string(),
+                    report.aborted_txns.to_string(),
+                    report.txn_conflicts.to_string(),
+                    report.txn_conflict_refusals.to_string(),
+                    report.txn_conflict_retries.to_string(),
+                    format!("{:.1}", us(p50)),
+                    format!("{:.1}", us(p99)),
+                ],
+            )
+            .metric("txn_slots", f64::from(slots))
+            .metric("committed_txns", report.completed_txns as f64)
+            .metric("aborted_txns", report.aborted_txns as f64)
+            .metric("txn_conflicts", report.txn_conflicts as f64)
+            .metric("txn_conflict_refusals", report.txn_conflict_refusals as f64)
+            .metric("txn_conflict_retries", report.txn_conflict_retries as f64)
+            .metric("txn_p50_us", us(p50))
+            .metric("txn_p99_us", us(p99))
+            .metric("wall_tps", report.throughput_tps())
+        },
+    );
+    let mut conc_table = Table::new(&[
+        "slots",
+        "committed",
+        "aborted",
+        "slot busy",
+        "conflicts",
+        "retries",
+        "p50 us",
+        "p99 us",
+    ]);
+    for row in &conc.rows {
+        conc_table.row(row);
+    }
+    emit(
+        "Section 6 (extension)",
+        "atomic TPC-A: per-shard transaction slots 1/2/4/8 (20% aborts)",
+        &conc_table,
     );
     println!();
 
@@ -247,6 +336,7 @@ fn main() {
 
     let mut points = vec![anchor_point];
     points.extend(sweep.points.iter().cloned());
+    points.extend(conc.points.iter().cloned());
     points.extend(pressure_rows);
     match write_report_full(
         "ext_txn",

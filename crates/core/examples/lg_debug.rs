@@ -16,7 +16,7 @@ fn main() {
     let mut ops = Vec::new();
     for step in 0..60_000u64 {
         let lp = dist.sample(&mut rng);
-        e.write_page_bytes(lp, 0, &[1], &mut ops).unwrap();
+        e.write_page_bytes(lp, 0, &[1], None, &mut ops).unwrap();
         ops.clear();
         if step % 10000 == 9999 {
             let utils: Vec<String> = (0..e.positions())

@@ -102,6 +102,12 @@ pub struct EnvyConfig {
     /// (§4.3: "Care must be taken to prevent flushes from the SRAM write
     /// buffer from destroying locality"). On by default.
     pub lg_flush_to_origin: bool,
+    /// Concurrent-transaction slots per controller (§6 extension). The
+    /// paper's hardware facility is a single slot; raising this lets N
+    /// transactions be open at once, isolated by per-page write sets
+    /// (`docs/TRANSACTIONS.md`). 1 by default — the paper-faithful
+    /// configuration every digest anchor runs under.
+    pub txn_slots: u32,
 }
 
 impl EnvyConfig {
@@ -130,6 +136,7 @@ impl EnvyConfig {
             parallel_ops: 1,
             lg_redistribute: true,
             lg_flush_to_origin: true,
+            txn_slots: 1,
         }
     }
 
@@ -173,6 +180,7 @@ impl EnvyConfig {
             parallel_ops: 1,
             lg_redistribute: true,
             lg_flush_to_origin: true,
+            txn_slots: 1,
         }
     }
 
@@ -234,6 +242,13 @@ impl EnvyConfig {
         self
     }
 
+    /// Set the number of concurrent-transaction slots (1 = the paper's
+    /// single hardware facility).
+    pub fn with_txn_slots(mut self, slots: u32) -> EnvyConfig {
+        self.txn_slots = slots;
+        self
+    }
+
     /// The logical array size in bytes.
     pub fn logical_bytes(&self) -> u64 {
         self.logical_pages * self.geometry.page_bytes() as u64
@@ -290,6 +305,9 @@ impl EnvyConfig {
         }
         if self.parallel_ops == 0 {
             return Err(EnvyError::BadConfig("parallel_ops must be at least 1"));
+        }
+        if self.txn_slots == 0 {
+            return Err(EnvyError::BadConfig("txn_slots must be at least 1"));
         }
         if let PolicyKind::Hybrid {
             segments_per_partition,
@@ -357,6 +375,12 @@ mod tests {
     }
 
     #[test]
+    fn zero_txn_slots_rejected() {
+        let c = EnvyConfig::small_test().with_txn_slots(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn hybrid_zero_partition_rejected() {
         let c = EnvyConfig::small_test().with_policy(PolicyKind::Hybrid {
             segments_per_partition: 0,
@@ -385,6 +409,7 @@ mod tests {
             .with_wear_threshold(10)
             .with_parallel_ops(4)
             .with_mmu_entries(0)
+            .with_txn_slots(4)
             .with_store_data(false);
         assert_eq!(c.policy, PolicyKind::Fifo);
         assert_eq!(c.buffer_pages, 32);
@@ -392,6 +417,7 @@ mod tests {
         assert_eq!(c.wear_threshold, 10);
         assert_eq!(c.parallel_ops, 4);
         assert_eq!(c.mmu_entries, 0);
+        assert_eq!(c.txn_slots, 4);
         assert!(!c.store_data);
     }
 

@@ -84,11 +84,17 @@ pub enum InjectionPoint {
     /// Abort: every page restored, the transaction id not yet cleared —
     /// recovery re-runs an empty rollback and closes the transaction.
     AbortAfterRollback,
+    /// Begin: the write buffer drained, no slot taken yet — recovery has
+    /// no transaction to resolve (the begin was never acknowledged).
+    BeginAfterDrain,
+    /// Begin: the slot is taken but the id was never returned to the
+    /// caller — recovery rolls back an empty transaction.
+    BeginAfterOpen,
 }
 
 impl InjectionPoint {
     /// Every injection point, in catalog order. `ALL[i].index() == i`.
-    pub const ALL: [InjectionPoint; 21] = [
+    pub const ALL: [InjectionPoint; 23] = [
         InjectionPoint::FlushBeforeProgram,
         InjectionPoint::FlushDuringProgram,
         InjectionPoint::FlushAfterProgram,
@@ -110,6 +116,8 @@ impl InjectionPoint {
         InjectionPoint::AbortBefore,
         InjectionPoint::AbortMidRollback,
         InjectionPoint::AbortAfterRollback,
+        InjectionPoint::BeginAfterDrain,
+        InjectionPoint::BeginAfterOpen,
     ];
 
     /// Stable catalog number of this point.
@@ -157,6 +165,8 @@ impl InjectionPoint {
             InjectionPoint::AbortBefore => "abort_before",
             InjectionPoint::AbortMidRollback => "abort_mid_rollback",
             InjectionPoint::AbortAfterRollback => "abort_after_rollback",
+            InjectionPoint::BeginAfterDrain => "begin_after_drain",
+            InjectionPoint::BeginAfterOpen => "begin_after_open",
         }
     }
 }

@@ -99,22 +99,70 @@ impl Engine {
         }
     }
 
+    /// Refuse a write that would cross transaction isolation, and
+    /// validate a transactional writer's id. The write-set rule: a page
+    /// owned by an open transaction may only be written by that
+    /// transaction; everyone else — another transaction or a plain
+    /// write — gets [`EnvyError::TxnConflict`], an abort decision rather
+    /// than a silent join or a busy wait.
+    fn check_txn_isolation(
+        &mut self,
+        lp: LogicalPage,
+        writer: Option<u64>,
+    ) -> Result<(), EnvyError> {
+        if let Some(txn) = writer {
+            if !self.open_txns.contains(&txn) {
+                return Err(EnvyError::NoSuchTxn { txn });
+            }
+        }
+        if let Some(holder) = self.txn_owner_of(lp) {
+            if writer != Some(holder) {
+                self.stats.txn_conflict_refusals.incr();
+                return Err(EnvyError::TxnConflict { holder });
+            }
+        }
+        Ok(())
+    }
+
     /// Write bytes within one logical page, with transparent in-place
     /// update semantics: a Flash-resident page is copied into SRAM first
     /// (copy-on-write, §3.1), and the page table is repointed atomically.
     /// Any flushing or cleaning this triggers is appended to `ops`.
     ///
+    /// `writer` is the transaction performing the write (`None` for a
+    /// plain host write). A transactional first write pins the page's
+    /// pre-image into the writer's write set; a plain write never does —
+    /// and either kind is refused with [`EnvyError::TxnConflict`] when
+    /// the page already belongs to a *different* open transaction.
+    ///
     /// # Errors
     ///
-    /// [`EnvyError::OutOfBounds`], or a propagated cleaning error.
+    /// [`EnvyError::OutOfBounds`]; [`EnvyError::NoSuchTxn`] for an
+    /// unknown `writer`; [`EnvyError::TxnConflict`] on a write-set hit;
+    /// or a propagated cleaning error.
     pub fn write_page_bytes(
         &mut self,
         lp: LogicalPage,
         offset: usize,
         bytes: &[u8],
+        writer: Option<u64>,
         ops: &mut Vec<BgOp>,
     ) -> Result<WriteResult, EnvyError> {
         self.check_page(lp, offset, bytes.len())?;
+        if writer.is_some() || !self.open_txns.is_empty() {
+            self.check_txn_isolation(lp, writer)?;
+            // A transactional write to an SRAM-resident page it does not
+            // own yet has no Flash pre-image to pin (a plain write pulled
+            // the page into SRAM after the transaction began). Drain the
+            // buffer so the page is Flash-resident and the copy-on-write
+            // below yields a durable shadow.
+            if writer.is_some()
+                && self.txn_owner_of(lp).is_none()
+                && self.page_table.lookup(lp) == Location::Sram
+            {
+                self.flush_all(ops)?;
+            }
+        }
         match self.page_table.lookup(lp) {
             Location::Sram => {
                 // §3.2: "Changes can be made directly in SRAM."
@@ -154,9 +202,10 @@ impl Engine {
                         self.flash.read_page(loc.segment, loc.page, None)?;
                     }
                 }
-                // §6: the invalidated original is a free shadow copy for
-                // an open transaction.
-                if let Some(txn) = self.active_txn {
+                // §6: the invalidated original is a free shadow copy —
+                // pinned only for a *transactional* writer. A plain write
+                // leaves no shadow and joins no transaction.
+                if let Some(txn) = writer {
                     if self.shadows.insert_if_absent(lp, loc, txn) {
                         self.stats.shadow_pages_pinned.incr();
                     }
@@ -180,9 +229,10 @@ impl Engine {
                     self.flush_tail(ops)?;
                 }
                 // A page born inside a transaction has no Flash shadow;
-                // rollback must return it to the unmapped state.
-                if self.active_txn.is_some() {
-                    self.txn_fresh.insert(lp);
+                // rollback must return it to the unmapped state. It joins
+                // the writer's write set — a plain fresh write joins none.
+                if let Some(txn) = writer {
+                    self.txn_fresh.insert(lp, txn);
                 }
                 if let Some(mut frame) = self
                     .buffer

@@ -69,19 +69,25 @@ pub struct Engine {
     pub(crate) spare: u32,
     pub(crate) stats: EnvyStats,
     pub(crate) shadows: ShadowTable,
-    /// Pages first created (fresh-allocated) inside the open transaction:
-    /// they have no Flash shadow, and rollback returns them to unmapped.
-    pub(crate) txn_fresh: std::collections::HashSet<crate::addr::LogicalPage>,
-    pub(crate) active_txn: Option<u64>,
+    /// Pages first created (fresh-allocated) inside an open transaction,
+    /// mapped to their writer: they have no Flash shadow, and rollback
+    /// returns them to unmapped. Together with the shadow directory this
+    /// is the per-transaction write set.
+    pub(crate) txn_fresh: std::collections::HashMap<crate::addr::LogicalPage, u64>,
+    /// Slot table of open transactions, in begin order. Capacity is
+    /// [`crate::EnvyConfig::txn_slots`]; recovery rolls back survivors
+    /// in this order.
+    pub(crate) open_txns: Vec<u64>,
     pub(crate) next_txn_id: u64,
     /// Increment between successive transaction ids (see
     /// [`Engine::seed_txn_ids`]); 1 for a standalone controller.
     pub(crate) txn_id_stride: u64,
-    /// Durable commit record (battery-backed SRAM, §6 + §3.4): set at
-    /// the atomic commit point of [`Engine::txn_commit`] and cleared
-    /// once the shadow release completes. [`Engine::recover`] treats a
-    /// surviving record as "committed" and finishes the release.
-    pub(crate) txn_journal: Option<u64>,
+    /// Durable commit records (battery-backed SRAM, §6 + §3.4): a record
+    /// is pushed at the atomic commit point of [`Engine::txn_commit`] and
+    /// removed once that transaction's shadow release completes.
+    /// [`Engine::recover`] treats each surviving record as "committed"
+    /// and finishes the release independently.
+    pub(crate) txn_journal: Vec<u64>,
     /// Scratch rollback list reused by abort/recovery so a rollback
     /// does not allocate per transaction.
     pub(crate) txn_scratch: Vec<(crate::addr::LogicalPage, crate::addr::FlashLocation)>,
@@ -153,11 +159,11 @@ impl Engine {
             spare,
             stats: EnvyStats::default(),
             shadows: ShadowTable::default(),
-            txn_fresh: std::collections::HashSet::new(),
-            active_txn: None,
+            txn_fresh: std::collections::HashMap::new(),
+            open_txns: Vec::new(),
             next_txn_id: 1,
             txn_id_stride: 1,
-            txn_journal: None,
+            txn_journal: Vec::new(),
             txn_scratch: Vec::new(),
             journal: None,
             wear_in_progress: false,
@@ -172,6 +178,25 @@ impl Engine {
     /// The configuration this engine was built with.
     pub fn config(&self) -> &EnvyConfig {
         &self.config
+    }
+
+    /// Resize the transaction slot table. The capacity only gates
+    /// [`Engine::txn_begin`], so resizing an existing engine (e.g. a
+    /// fork of a churned baseline) is safe at any point where no more
+    /// than `slots` transactions are already open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or below the number of currently open
+    /// transactions.
+    pub fn set_txn_slots(&mut self, slots: u32) {
+        assert!(slots >= 1, "at least one transaction slot");
+        assert!(
+            self.open_txns.len() <= slots as usize,
+            "cannot shrink the slot table below {} open transactions",
+            self.open_txns.len()
+        );
+        self.config.txn_slots = slots;
     }
 
     /// Snapshot the engine for an independent experiment run: the clone

@@ -24,10 +24,11 @@
 //! 4. replay the clean journal, completing any interrupted clean or
 //!    wear relocation (this also relocates pinned transaction shadows
 //!    off the victim);
-//! 5. resolve an in-flight transaction to all-or-nothing: a journaled
-//!    commit record finishes the commit (release the shadows, clear the
-//!    record); an open uncommitted transaction rolls back to its
-//!    pre-transaction page images.
+//! 5. resolve every in-flight transaction to all-or-nothing,
+//!    independently: each journaled commit record finishes its commit
+//!    (release that transaction's shadows, clear its record); each open
+//!    uncommitted transaction rolls back to its pre-transaction page
+//!    images, in begin order.
 
 use crate::addr::{Location, LogicalPage};
 use crate::engine::Engine;
@@ -49,7 +50,7 @@ pub struct CleanJournal {
 }
 
 /// What recovery found and did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// A mid-clean journal was found and the clean was completed.
     pub resumed_clean: bool,
@@ -66,12 +67,13 @@ pub struct RecoveryReport {
     /// Shadow entries released because their transaction had already
     /// passed its commit point.
     pub released_shadows: u64,
-    /// A journaled commit record was found; the commit was completed
-    /// (the transaction's writes are durable and visible).
-    pub txn_completed: Option<u64>,
-    /// An open, uncommitted transaction was found; it was rolled back
-    /// to its pre-transaction page images (its writes are gone).
-    pub txn_rolled_back: Option<u64>,
+    /// Journaled commit records found, in commit order; each commit was
+    /// completed (that transaction's writes are durable and visible).
+    pub txn_completed: Vec<u64>,
+    /// Open, uncommitted transactions found, in begin order; each was
+    /// rolled back to its pre-transaction page images (its writes are
+    /// gone).
+    pub txn_rolled_back: Vec<u64>,
 }
 
 impl Engine {
@@ -103,13 +105,13 @@ impl Engine {
     pub fn recover(&mut self, ops: &mut Vec<BgOp>) -> Result<RecoveryReport, EnvyError> {
         self.mmu.invalidate_all();
         // 1. Transactions past their commit point: the shadow directory
-        // may still hold entries for them; release them. With no open
-        // transaction, fresh-page tracking is stale too.
-        let released_shadows = self.shadows.release_stale(self.active_txn);
+        // and fresh-page map may still hold entries for them; release
+        // everything not owned by a still-open transaction.
+        let released_shadows = self.shadows.release_stale(&self.open_txns);
         self.stats.recovery_stale_shadows.add(released_shadows);
-        if self.active_txn.is_none() {
-            self.txn_fresh.clear();
-        }
+        let open = std::mem::take(&mut self.open_txns);
+        self.txn_fresh.retain(|_, t| open.contains(t));
+        self.open_txns = open;
         // 2–3. Flush/copy debris.
         let scavenged_pages = self.scavenge_orphans()?;
         let dropped_buffer_pages = self.drop_stale_buffer_entries();
@@ -120,24 +122,21 @@ impl Engine {
         } else {
             false
         };
-        // 5. Resolve an in-flight transaction to all-or-nothing. This
-        // runs after the clean replay so any shadows the interrupted
-        // clean was relocating have already landed at their final
-        // locations. A journaled commit record wins — the transaction
-        // passed its durable commit point, so finish the release;
-        // otherwise an open transaction never committed and rolls back.
-        let txn_completed = if let Some(txn) = self.txn_journal {
+        // 5. Resolve every in-flight transaction to all-or-nothing,
+        // independently. This runs after the clean replay so any shadows
+        // the interrupted clean was relocating have already landed at
+        // their final locations. A journaled commit record wins — that
+        // transaction passed its durable commit point, so finish its
+        // release; every remaining open transaction never committed and
+        // rolls back, in begin order.
+        let txn_completed: Vec<u64> = self.txn_journal.clone();
+        for &txn in &txn_completed {
             self.finish_commit(txn);
-            Some(txn)
-        } else {
-            None
-        };
-        let txn_rolled_back = if let Some(txn) = self.active_txn {
-            self.rollback_active(txn)?;
-            Some(txn)
-        } else {
-            None
-        };
+        }
+        let txn_rolled_back: Vec<u64> = self.open_txns.clone();
+        for &txn in &txn_rolled_back {
+            self.rollback_open(txn)?;
+        }
         self.check_invariants()
             .map_err(|_| EnvyError::CorruptState)?;
         Ok(RecoveryReport {

@@ -6,15 +6,21 @@
 //! application can roll back a transaction simply by copying data back
 //! from Flash."
 //!
-//! The controller keeps a directory of shadow copies per open transaction
-//! (the [`ShadowTable`]), protects them across cleaning and wear leveling
-//! (they are relocated, not lost), commits by journaling a durable commit
-//! record and then forgetting the shadows, and aborts by repointing the
-//! page table at the shadows. After a power failure,
-//! [`Engine::recover`] resolves an in-flight transaction to
-//! all-or-nothing: a journaled commit record finishes the commit, an open
-//! uncommitted transaction rolls back. The full lifecycle, the per-crash-
-//! point debris catalog, and the wire-level rules live in
+//! The controller keeps a slot table of up to
+//! [`crate::EnvyConfig::txn_slots`] concurrently open transactions,
+//! isolated by per-page *write sets*: the shadow directory (the
+//! [`ShadowTable`], keyed by page and owner) plus the fresh-page map. A
+//! write to a page inside another open transaction's write set is refused
+//! with [`crate::EnvyError::TxnConflict`] — an abort decision for the
+//! caller, never a silent join or a busy wait — and that rule applies to
+//! plain non-transactional writes too. Shadows are protected across
+//! cleaning and wear leveling (relocated, not lost); commit journals a
+//! durable commit record and then forgets that transaction's shadows;
+//! abort repoints the page table at them. After a power failure,
+//! [`Engine::recover`] resolves every in-flight transaction independently
+//! to all-or-nothing: each journaled commit record finishes its commit,
+//! each open uncommitted transaction rolls back. The full lifecycle, the
+//! per-crash-point debris catalog, and the wire-level rules live in
 //! `docs/TRANSACTIONS.md`.
 //!
 //! The public entry points are the [`crate::EnvyStore`] wrappers:
@@ -27,8 +33,8 @@
 //! let before = store.stats().txn_commits.get();
 //!
 //! let txn = store.txn_begin().unwrap();
-//! store.write(0, &[7u8; 16]).unwrap(); // captures a shadow copy
-//! store.write(4096, &[9u8; 16]).unwrap();
+//! store.txn_write(txn, 0, &[7u8; 16]).unwrap(); // captures a shadow copy
+//! store.txn_write(txn, 4096, &[9u8; 16]).unwrap();
 //! store.txn_commit(txn).unwrap(); // both pages durable, atomically
 //!
 //! let mut buf = [0u8; 16];
@@ -97,12 +103,17 @@ impl ShadowTable {
         }
     }
 
-    /// Remove every shadow whose transaction is not the `active` one —
-    /// bookkeeping left behind when power failed between a commit point
-    /// and the release. Returns how many were released.
-    pub(crate) fn release_stale(&mut self, active: Option<u64>) -> u64 {
+    /// The open transaction whose write set contains `lp`, if any.
+    pub(crate) fn owner_of(&self, lp: LogicalPage) -> Option<u64> {
+        self.entries.get(&lp).map(|&(_, txn)| txn)
+    }
+
+    /// Remove every shadow whose transaction is not in the `open` slot
+    /// table — bookkeeping left behind when power failed between a
+    /// commit point and the release. Returns how many were released.
+    pub(crate) fn release_stale(&mut self, open: &[u64]) -> u64 {
         let before = self.entries.len();
-        self.entries.retain(|_, (_, txn)| Some(*txn) == active);
+        self.entries.retain(|_, (_, txn)| open.contains(txn));
         (before - self.entries.len()) as u64
     }
 
@@ -155,21 +166,29 @@ impl Engine {
     /// logical page is Flash-resident and the copy-on-write of each
     /// subsequent write yields a durable shadow copy.
     ///
-    /// Only one transaction may be open at a time (the paper's hardware
-    /// mechanism is a single controller facility).
+    /// Up to [`crate::EnvyConfig::txn_slots`] transactions may be open at
+    /// once (the paper's hardware mechanism is a single controller
+    /// facility; the slot table is the §6 extension), isolated by
+    /// per-page write sets.
     ///
     /// # Errors
     ///
-    /// [`EnvyError::TxnAlreadyOpen`] if a transaction is open; cleaning
-    /// errors from the drain.
+    /// [`EnvyError::TxnSlotsFull`] if every slot is occupied; cleaning
+    /// errors from the drain; [`EnvyError::PowerLoss`] at an armed
+    /// injection point.
     pub fn txn_begin(&mut self, ops: &mut Vec<BgOp>) -> Result<u64, EnvyError> {
-        if let Some(txn) = self.active_txn {
-            return Err(EnvyError::TxnAlreadyOpen { txn });
+        if self.open_txns.len() >= self.config.txn_slots as usize {
+            return Err(EnvyError::TxnSlotsFull {
+                slots: self.config.txn_slots,
+            });
         }
         self.flush_all(ops)?;
+        self.crash_point(InjectionPoint::BeginAfterDrain)?;
         let id = self.next_txn_id;
         self.next_txn_id += self.txn_id_stride;
-        self.active_txn = Some(id);
+        self.open_txns.push(id);
+        self.stats.open_txns.add(1);
+        self.crash_point(InjectionPoint::BeginAfterOpen)?;
         Ok(id)
     }
 
@@ -191,7 +210,7 @@ impl Engine {
     /// `first` is zero (id 0 is reserved as "never a transaction").
     pub fn seed_txn_ids(&mut self, first: u64, stride: u64) {
         assert!(
-            self.active_txn.is_none(),
+            self.open_txns.is_empty(),
             "cannot re-seed transaction ids while a transaction is open"
         );
         assert!(stride > 0, "transaction id stride must be nonzero");
@@ -214,31 +233,33 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction;
+    /// [`EnvyError::NoSuchTxn`] if `txn` is not an open transaction;
     /// [`EnvyError::PowerLoss`] at an armed injection point.
     pub fn txn_commit(&mut self, txn: u64) -> Result<(), EnvyError> {
-        if self.active_txn != Some(txn) {
+        if !self.open_txns.contains(&txn) {
             return Err(EnvyError::NoSuchTxn { txn });
         }
         self.crash_point(InjectionPoint::CommitBefore)?;
         // The durable commit point: once this record is journaled,
-        // recovery completes the commit instead of rolling back.
-        self.txn_journal = Some(txn);
+        // recovery completes this transaction's commit instead of
+        // rolling it back — independently of any other open transaction.
+        self.txn_journal.push(txn);
         self.crash_point(InjectionPoint::CommitAfterJournal)?;
         self.finish_commit(txn);
         self.crash_point(InjectionPoint::CommitAfterPoint)?;
         Ok(())
     }
 
-    /// Release a journaled commit: drop the shadow directory entries in
-    /// place, close the transaction, and clear the commit record. Called
-    /// from [`Engine::txn_commit`] and, after a crash that left the
-    /// record behind, from [`Engine::recover`].
+    /// Release a journaled commit: drop the transaction's shadow
+    /// directory entries in place, forget its fresh pages, free its
+    /// slot, and clear its commit record. Other open transactions are
+    /// untouched. Called from [`Engine::txn_commit`] and, after a crash
+    /// that left the record behind, from [`Engine::recover`].
     pub(crate) fn finish_commit(&mut self, txn: u64) {
         self.shadows.release_txn(txn);
-        self.txn_fresh.clear();
-        self.active_txn = None;
-        self.txn_journal = None;
+        self.txn_fresh.retain(|_, t| *t != txn);
+        self.open_txns.retain(|&t| t != txn);
+        self.txn_journal.retain(|&t| t != txn);
         self.stats.txn_commits.add(1);
     }
 
@@ -247,23 +268,24 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`EnvyError::NoSuchTxn`] if `txn` is not the open transaction;
+    /// [`EnvyError::NoSuchTxn`] if `txn` is not an open transaction;
     /// [`EnvyError::PowerLoss`] at an armed injection point (the
     /// rollback then completes inside [`Engine::recover`]).
     pub fn txn_abort(&mut self, txn: u64) -> Result<(), EnvyError> {
-        if self.active_txn != Some(txn) {
+        if !self.open_txns.contains(&txn) {
             return Err(EnvyError::NoSuchTxn { txn });
         }
         self.crash_point(InjectionPoint::AbortBefore)?;
-        self.rollback_active(txn)
+        self.rollback_open(txn)
     }
 
     /// Roll the open transaction `txn` back page by page and close it.
     /// Shared by [`Engine::txn_abort`] and [`Engine::recover`] (an
     /// uncommitted transaction found open after a crash); idempotent
     /// under re-execution, so a crash at any point inside simply leaves
-    /// the remainder for recovery.
-    pub(crate) fn rollback_active(&mut self, txn: u64) -> Result<(), EnvyError> {
+    /// the remainder for recovery. Only `txn`'s write set is touched —
+    /// other open transactions keep their slots and shadows.
+    pub(crate) fn rollback_open(&mut self, txn: u64) -> Result<(), EnvyError> {
         let mut scratch = std::mem::take(&mut self.txn_scratch);
         self.shadows.pages_of_into(txn, &mut scratch);
         let mut outcome = Ok(());
@@ -287,7 +309,12 @@ impl Engine {
         // Pages born inside the transaction return to the unmapped state
         // (reads observe erased bytes again). Sorted so a mid-rollback
         // crash is deterministic under a replayed fault plan.
-        let mut fresh: Vec<LogicalPage> = self.txn_fresh.iter().copied().collect();
+        let mut fresh: Vec<LogicalPage> = self
+            .txn_fresh
+            .iter()
+            .filter(|&(_, t)| *t == txn)
+            .map(|(&lp, _)| lp)
+            .collect();
         fresh.sort_unstable();
         for lp in fresh {
             match self.page_table.lookup(lp) {
@@ -305,7 +332,7 @@ impl Engine {
             self.crash_point(InjectionPoint::AbortMidRollback)?;
         }
         self.crash_point(InjectionPoint::AbortAfterRollback)?;
-        self.active_txn = None;
+        self.open_txns.retain(|&t| t != txn);
         self.stats.txn_aborts.add(1);
         Ok(())
     }
@@ -329,17 +356,24 @@ impl Engine {
         Ok(())
     }
 
-    /// The currently open transaction, if any.
-    pub fn active_txn(&self) -> Option<u64> {
-        self.active_txn
+    /// The currently open transactions, in begin order.
+    pub fn open_txns(&self) -> &[u64] {
+        &self.open_txns
     }
 
-    /// The journaled-but-unreleased commit record, if any. Non-`None`
-    /// only in the window between the durable commit point and the
-    /// shadow release — the state a crash at
+    /// The open transaction (if any) whose write set contains the page.
+    pub fn txn_owner_of(&self, lp: LogicalPage) -> Option<u64> {
+        self.shadows
+            .owner_of(lp)
+            .or_else(|| self.txn_fresh.get(&lp).copied())
+    }
+
+    /// The journaled-but-unreleased commit records, in commit order.
+    /// Non-empty only in the window between a transaction's durable
+    /// commit point and its shadow release — the state a crash at
     /// [`InjectionPoint::CommitAfterJournal`] leaves behind.
-    pub fn commit_record(&self) -> Option<u64> {
-        self.txn_journal
+    pub fn commit_records(&self) -> &[u64] {
+        &self.txn_journal
     }
 
     /// Number of protected shadow pages.

@@ -23,16 +23,29 @@ pub enum EnvyError {
     /// An error bubbled up from the Flash substrate. The controller is
     /// supposed to make these impossible; seeing one is a controller bug.
     Flash(FlashError),
-    /// A transaction was opened while another is still open (the
-    /// controller supports one hardware transaction at a time, §6).
-    TxnAlreadyOpen {
-        /// The id of the open transaction.
-        txn: u64,
+    /// Every concurrent-transaction slot is occupied (§6 extension;
+    /// [`crate::EnvyConfig::txn_slots`] slots per controller). The ids of
+    /// the open transactions are deliberately not reported — transaction
+    /// ids are capability-like for transactional writes and must not leak
+    /// to arbitrary callers.
+    TxnSlotsFull {
+        /// Slot-table capacity of this controller.
+        slots: u32,
     },
     /// The transaction id is unknown (already committed or aborted).
     NoSuchTxn {
         /// Offending id.
         txn: u64,
+    },
+    /// The written page is in the write set of another open transaction.
+    /// This is an abort decision for the caller, not a busy-wait: the
+    /// write did not execute and will keep failing until the holder
+    /// resolves.
+    TxnConflict {
+        /// The transaction owning the page. Only surfaced controller-
+        /// side; the serving layer does not echo foreign ids over the
+        /// wire.
+        holder: u64,
     },
     /// Recovery found the persistent structures inconsistent. Use
     /// [`crate::engine::Engine::check_invariants`] for a description.
@@ -56,10 +69,13 @@ impl fmt::Display for EnvyError {
             }
             EnvyError::BadConfig(why) => write!(f, "invalid configuration: {why}"),
             EnvyError::Flash(e) => write!(f, "flash substrate error: {e}"),
-            EnvyError::TxnAlreadyOpen { txn } => {
-                write!(f, "transaction {txn} is already open")
+            EnvyError::TxnSlotsFull { slots } => {
+                write!(f, "all {slots} transaction slots are occupied")
             }
             EnvyError::NoSuchTxn { txn } => write!(f, "no open transaction with id {txn}"),
+            EnvyError::TxnConflict { holder } => {
+                write!(f, "page is in the write set of open transaction {holder}")
+            }
             EnvyError::CorruptState => {
                 write!(f, "persistent state inconsistent after recovery")
             }

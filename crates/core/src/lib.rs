@@ -55,7 +55,7 @@ pub use engine::{Engine, FaultPlan, InjectionPoint, ReadSource, RecoveryReport, 
 pub use error::EnvyError;
 pub use memory::{Memory, VecMemory};
 pub use stats::{lifetime_days, EnvyStats, TimeBreakdown};
-pub use store::{EnvyStore, TimedAccess, SAMPLER_COLUMNS};
+pub use store::{EnvyStore, TimedAccess, TxnMemory, SAMPLER_COLUMNS};
 pub use telemetry::{SegmentReport, SegmentSnapshot};
 pub use timing::{BgKind, BgOp};
 pub use trace::{TraceEvent, TraceRecord, TraceRing};

@@ -89,6 +89,13 @@ pub struct EnvyStats {
     /// (cumulative: each first copy-on-write of a page inside a
     /// transaction pins one shadow).
     pub shadow_pages_pinned: Counter,
+    /// Writes refused with [`crate::EnvyError::TxnConflict`]: the page
+    /// was in the write set of another open transaction (includes plain
+    /// non-transactional writes refused the same way).
+    pub txn_conflict_refusals: Counter,
+    /// Transactions opened (begin operations that were granted a slot;
+    /// cumulative, not a gauge).
+    pub open_txns: Counter,
 }
 
 /// A normalized busy-time breakdown, as in §5.3 ("approximately 40 % of
@@ -163,6 +170,9 @@ impl EnvyStats {
         self.txn_aborts.add(other.txn_aborts.get());
         self.shadow_pages_pinned
             .add(other.shadow_pages_pinned.get());
+        self.txn_conflict_refusals
+            .add(other.txn_conflict_refusals.get());
+        self.open_txns.add(other.open_txns.get());
     }
 
     /// The paper's cleaning-cost metric (§4.1). Zero before any flush.

@@ -147,6 +147,19 @@ impl EnvyStore {
         self.engine.config()
     }
 
+    /// Resize the transaction slot table (see
+    /// [`crate::EnvyConfig::txn_slots`]). Lets a fork of a shared
+    /// baseline serve a different concurrency level without rebuilding
+    /// and re-churning the device state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or below the number of currently open
+    /// transactions.
+    pub fn set_txn_slots(&mut self, slots: u32) {
+        self.engine.set_txn_slots(slots);
+    }
+
     /// Controller statistics.
     pub fn stats(&self) -> &EnvyStats {
         self.engine.stats()
@@ -328,8 +341,26 @@ impl EnvyStore {
     ///
     /// # Errors
     ///
-    /// [`EnvyError::OutOfBounds`], or cleaning errors.
+    /// [`EnvyError::OutOfBounds`], cleaning errors, or
+    /// [`EnvyError::TxnConflict`] when the range hits an open
+    /// transaction's write set.
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
+        self.write_as(addr, bytes, None)
+    }
+
+    /// Write a byte range (untimed) inside transaction `txn`: each
+    /// touched page joins the transaction's write set (its pre-image is
+    /// pinned as a shadow).
+    ///
+    /// # Errors
+    ///
+    /// As [`EnvyStore::write`], plus [`EnvyError::NoSuchTxn`] if `txn`
+    /// is not open.
+    pub fn txn_write(&mut self, txn: u64, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
+        self.write_as(addr, bytes, Some(txn))
+    }
+
+    fn write_as(&mut self, addr: u64, bytes: &[u8], writer: Option<u64>) -> Result<(), EnvyError> {
         self.check_range(addr, bytes.len())?;
         let _guard = self.epoch.write_guard();
         let mut cursor = 0;
@@ -339,6 +370,7 @@ impl EnvyStore {
                 c.page,
                 c.offset,
                 &bytes[cursor..cursor + c.len],
+                writer,
                 &mut self.ops,
             )?;
             self.engine
@@ -497,9 +529,41 @@ impl EnvyStore {
     ///
     /// # Errors
     ///
-    /// [`EnvyError::OutOfBounds`], or cleaning errors.
+    /// [`EnvyError::OutOfBounds`], cleaning errors, or
+    /// [`EnvyError::TxnConflict`] when the range hits an open
+    /// transaction's write set.
     #[inline]
     pub fn write_at(&mut self, now: Ns, addr: u64, bytes: &[u8]) -> Result<TimedAccess, EnvyError> {
+        self.write_at_as(now, addr, bytes, None)
+    }
+
+    /// Write a byte range with full timing inside transaction `txn` —
+    /// the timed counterpart of [`EnvyStore::txn_write`]. Timing is
+    /// identical to [`EnvyStore::write_at`] for the same device state.
+    ///
+    /// # Errors
+    ///
+    /// As [`EnvyStore::write_at`], plus [`EnvyError::NoSuchTxn`] if
+    /// `txn` is not open.
+    #[inline]
+    pub fn txn_write_at(
+        &mut self,
+        now: Ns,
+        txn: u64,
+        addr: u64,
+        bytes: &[u8],
+    ) -> Result<TimedAccess, EnvyError> {
+        self.write_at_as(now, addr, bytes, Some(txn))
+    }
+
+    #[inline]
+    fn write_at_as(
+        &mut self,
+        now: Ns,
+        addr: u64,
+        bytes: &[u8],
+        writer: Option<u64>,
+    ) -> Result<TimedAccess, EnvyError> {
         let _guard = self.epoch.write_guard();
         // Fast path mirroring `read_at`'s: one chunk, one word, identical
         // semantics to the outlined general loop.
@@ -532,9 +596,9 @@ impl EnvyStore {
                     }
                 }
                 self.ops.clear();
-                let result = self
-                    .engine
-                    .write_page_bytes(lp, offset, bytes, &mut self.ops)?;
+                let result =
+                    self.engine
+                        .write_page_bytes(lp, offset, bytes, writer, &mut self.ops)?;
                 self.timing.enqueue(&self.ops);
                 self.ops.clear();
                 let bank = match result.kind {
@@ -571,7 +635,7 @@ impl EnvyStore {
                 });
             }
         }
-        self.write_at_general(now, addr, bytes)
+        self.write_at_general(now, addr, bytes, writer)
     }
 
     /// The general multi-chunk timed write ([`EnvyStore::write_at`]'s
@@ -582,6 +646,7 @@ impl EnvyStore {
         now: Ns,
         addr: u64,
         bytes: &[u8],
+        writer: Option<u64>,
     ) -> Result<TimedAccess, EnvyError> {
         self.check_range(addr, bytes.len())?;
         let start = now.max(self.clock);
@@ -616,6 +681,7 @@ impl EnvyStore {
                 c.page,
                 c.offset,
                 &bytes[cursor..cursor + c.len],
+                writer,
                 &mut self.ops,
             )?;
             self.timing.enqueue(&self.ops);
@@ -828,6 +894,51 @@ impl Memory for EnvyStore {
     }
 }
 
+/// A [`Memory`] view that routes every write through an open
+/// transaction's write set ([`EnvyStore::txn_write`]).
+///
+/// Plain writes never join an open transaction (they are refused with
+/// [`EnvyError::TxnConflict`] if they hit a page a transaction owns),
+/// so [`Memory`]-generic structures — the heap allocator, the B-Tree,
+/// the functional TPC-A database — opt into transactional semantics by
+/// running against this view instead of the bare store. Reads pass
+/// straight through: transactional writes land in place (the shadow
+/// directory holds the pre-images), so the transaction observes its own
+/// in-flight data.
+#[derive(Debug)]
+pub struct TxnMemory<'a> {
+    store: &'a mut EnvyStore,
+    txn: u64,
+}
+
+impl<'a> TxnMemory<'a> {
+    /// Wrap `store` so writes execute under the open transaction `txn`
+    /// (from [`EnvyStore::txn_begin`]). The borrow ends when the view is
+    /// dropped; commit or abort the transaction on the store itself.
+    pub fn new(store: &'a mut EnvyStore, txn: u64) -> TxnMemory<'a> {
+        TxnMemory { store, txn }
+    }
+
+    /// The wrapped transaction id.
+    pub fn txn(&self) -> u64 {
+        self.txn
+    }
+}
+
+impl Memory for TxnMemory<'_> {
+    fn size(&self) -> u64 {
+        self.store.size()
+    }
+
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EnvyError> {
+        self.store.read(addr, buf)
+    }
+
+    fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnvyError> {
+        self.store.txn_write(self.txn, addr, bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -978,14 +1089,20 @@ mod tests {
         let mut s = store();
         s.write(512, &[7; 16]).unwrap();
         let txn = s.txn_begin().unwrap();
-        s.write(512, &[9; 16]).unwrap();
+        s.txn_write(txn, 512, &[9; 16]).unwrap();
+        // A plain write to the page in the open write set is refused —
+        // never silently joined to the transaction.
+        assert!(matches!(
+            s.write(512, &[8; 16]),
+            Err(EnvyError::TxnConflict { .. })
+        ));
         s.txn_abort(txn).unwrap();
         let mut out = [0u8; 16];
         s.read(512, &mut out).unwrap();
         assert_eq!(out, [7; 16]);
 
         let txn = s.txn_begin().unwrap();
-        s.write(512, &[1; 16]).unwrap();
+        s.txn_write(txn, 512, &[1; 16]).unwrap();
         s.txn_commit(txn).unwrap();
         s.read(512, &mut out).unwrap();
         assert_eq!(out, [1; 16]);

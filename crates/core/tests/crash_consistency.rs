@@ -72,14 +72,19 @@ fn case(g: &mut Gen) {
     let n = s.config().logical_pages;
     let mut mirror = vec![0xFFu8; n as usize];
     s.arm_faults(random_plan(g));
-    // Open transaction: (id, mirror snapshot at begin).
+    // Open transaction: (id, mirror snapshot at begin). Plain writes
+    // executed while it is open land in *both* the mirror and the
+    // snapshot — they are independent of the transaction and survive
+    // its abort.
     let mut txn: Option<(u64, Vec<u8>)> = None;
     // Writes inside the open transaction: every shadow page is capacity
     // the cleaner must carry, so an unbounded transaction exhausts the
     // array. The paper's hardware transactions are short; keep ours so.
     let mut txn_writes = 0u32;
-    // Plain write cut off by the crash: may land fully old or fully new.
-    let mut in_flight: Option<(u64, u8)> = None;
+    // Write cut off by the crash: may land fully old or fully new. The
+    // flag records whether it was transactional (and so vanishes with a
+    // rollback) or plain (unaffected by the transaction's fate).
+    let mut in_flight: Option<(u64, u8, bool)> = None;
     let mut crashed = false;
     let steps = g.range(200, 3_000);
     let hot = g.range(16, n);
@@ -125,18 +130,41 @@ fn case(g: &mut Gen) {
         } else if roll < 16 {
             let lp = g.below(n);
             assert_eq!(read_uniform(&mut s, lp), mirror[lp as usize]);
+        } else if txn.is_some() && !g.chance(0.2) {
+            // Transactional write: joins the open write set.
+            let id = txn.as_ref().unwrap().0;
+            let lp = g.below(hot);
+            let v = g.byte();
+            match s.txn_write(id, lp * PAGE, &[v; PAGE as usize]) {
+                Ok(()) => {
+                    mirror[lp as usize] = v;
+                    txn_writes += 1;
+                }
+                Err(EnvyError::PowerLoss) => {
+                    in_flight = Some((lp, v, true));
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("txn_write: {e}"),
+            }
         } else {
+            // Plain write — independent of any open transaction. It may
+            // be refused with a conflict when it hits the open write
+            // set; then it simply did not happen.
             let lp = g.below(hot);
             let v = g.byte();
             match write_page(&mut s, lp, v) {
                 Ok(()) => {
                     mirror[lp as usize] = v;
-                    if txn.is_some() {
-                        txn_writes += 1;
+                    if let Some((_, snapshot)) = txn.as_mut() {
+                        snapshot[lp as usize] = v;
                     }
                 }
+                Err(EnvyError::TxnConflict { .. }) => {
+                    assert!(txn.is_some(), "conflict with no open transaction");
+                }
                 Err(EnvyError::PowerLoss) => {
-                    in_flight = Some((lp, v));
+                    in_flight = Some((lp, v, false));
                     crashed = true;
                     break;
                 }
@@ -148,28 +176,39 @@ fn case(g: &mut Gen) {
         s.power_failure();
         let report = s.recover().unwrap();
         s.check_invariants().unwrap();
-        // Recovery resolves a transaction all-or-nothing; nothing stays
-        // open across it.
-        assert_eq!(s.engine().active_txn(), None, "txn open after recovery");
+        // Recovery resolves every transaction all-or-nothing; nothing
+        // stays open across it.
+        assert!(s.engine().open_txns().is_empty(), "txn open after recovery");
         match txn.take() {
             Some((id, snapshot)) => {
-                if report.txn_rolled_back == Some(id) {
-                    // No durable commit record: the transaction (and the
-                    // in-flight write, if it was the crash site) is gone.
+                if report.txn_rolled_back.contains(&id) {
+                    // No durable commit record: the transaction (and a
+                    // transactional in-flight write) is gone. A plain
+                    // in-flight write is untouched by the rollback.
                     mirror = snapshot;
-                    in_flight = None;
+                    if matches!(in_flight, Some((_, _, true))) {
+                        in_flight = None;
+                    }
                 } else {
                     // The journaled commit record survived (recovery
                     // finished the release) or the commit had fully
                     // completed: every acknowledged write stands, which
                     // the full sweep below verifies.
                     assert!(
-                        report.txn_completed == Some(id) || report.txn_completed.is_none(),
+                        report.txn_completed == [id] || report.txn_completed.is_empty(),
                         "foreign transaction resolved: {report:?}"
                     );
                 }
             }
-            None => assert_eq!(report.txn_rolled_back, None, "phantom rollback"),
+            None => {
+                // A begin cut between taking the slot and returning the
+                // id may roll back an (empty) unacknowledged
+                // transaction; anything else rolled back is a phantom.
+                assert!(
+                    report.txn_rolled_back.len() <= 1,
+                    "phantom rollback: {report:?}"
+                );
+            }
         }
     } else if let Some((id, snapshot)) = txn.take() {
         // The crash never fired; close the straggler without tripping
@@ -179,7 +218,7 @@ fn case(g: &mut Gen) {
         mirror = snapshot;
     }
     s.check_invariants().unwrap();
-    if let Some((lp, v)) = in_flight {
+    if let Some((lp, v, _)) = in_flight {
         let got = read_uniform(&mut s, lp);
         assert!(
             got == mirror[lp as usize] || got == v,
@@ -201,4 +240,216 @@ fn case(g: &mut Gen) {
 #[test]
 fn randomized_crash_consistency() {
     cases(0xC4A5_4C0A_5157, 220, case);
+}
+
+/// One simulated client of the concurrent checker: its open transaction
+/// (if any) and the per-page undo values captured at first write.
+#[derive(Default)]
+struct TxnClient {
+    open: Option<u64>,
+    /// `lp -> pre-transaction byte`, for pages this transaction wrote.
+    undo: std::collections::HashMap<u64, u8>,
+    writes: u32,
+}
+
+/// Randomized concurrent-transaction checker: K seeded clients issue
+/// interleaved begin/write/commit/abort against one controller with K
+/// transaction slots, while a random fault plan (drawn from the full
+/// injection-point catalog, including the begin points) is armed.
+///
+/// Checked properties:
+///
+/// * **isolation** — a write to a page in another open transaction's
+///   write set is refused with `TxnConflict` naming the holder; it never
+///   executes and never joins;
+/// * **serializability of committed write sets** — write sets are
+///   disjoint by construction (conflicts are refused), so the final
+///   state must equal the mirror that applies each committed
+///   transaction's writes and undoes each aborted/rolled-back one;
+/// * **all-or-nothing under crash** — after a crash, each transaction
+///   open at the cut is independently either completed (journaled
+///   record) or rolled back whole, per the recovery report.
+fn concurrent_case(g: &mut Gen) {
+    const K: usize = 4;
+    let mut s = EnvyStore::new(config().with_txn_slots(K as u32)).unwrap();
+    s.prefill().unwrap();
+    let n = s.config().logical_pages;
+    let mut mirror = vec![0xFFu8; n as usize];
+    s.arm_faults(random_plan(g));
+    let mut clients: Vec<TxnClient> = (0..K).map(|_| TxnClient::default()).collect();
+    let mut crashed = false;
+    // A write cut mid-operation: (page, new byte, writer id if any).
+    let mut in_flight: Option<(u64, u8, Option<u64>)> = None;
+    let steps = g.range(300, 2_500);
+    let hot = g.range(16, n);
+    'steps: for _ in 0..steps {
+        let c = g.below(K as u64) as usize;
+        let roll = g.below(100);
+        if clients[c].open.is_none() {
+            if roll < 40 {
+                match s.txn_begin() {
+                    Ok(id) => clients[c].open = Some(id),
+                    Err(EnvyError::TxnSlotsFull { .. }) => {
+                        panic!("slot table full with {K} slots and {K} clients")
+                    }
+                    Err(EnvyError::PowerLoss) => {
+                        crashed = true;
+                        break 'steps;
+                    }
+                    Err(e) => panic!("txn_begin: {e}"),
+                }
+            } else if roll < 55 {
+                // Plain write from an idle client.
+                let lp = g.below(hot);
+                let v = g.byte();
+                match s.write(lp * PAGE, &[v; PAGE as usize]) {
+                    Ok(()) => mirror[lp as usize] = v,
+                    Err(EnvyError::TxnConflict { holder }) => {
+                        let owned = clients
+                            .iter()
+                            .any(|cl| cl.open == Some(holder) && cl.undo.contains_key(&lp));
+                        assert!(owned, "conflict names non-holder {holder} for page {lp}");
+                    }
+                    Err(EnvyError::PowerLoss) => {
+                        in_flight = Some((lp, v, None));
+                        crashed = true;
+                        break 'steps;
+                    }
+                    Err(e) => panic!("write: {e}"),
+                }
+            } else {
+                let lp = g.below(n);
+                assert_eq!(read_uniform(&mut s, lp), mirror[lp as usize]);
+            }
+        } else if roll < 25 || clients[c].writes >= 12 {
+            let id = clients[c].open.take().unwrap();
+            let undo = std::mem::take(&mut clients[c].undo);
+            clients[c].writes = 0;
+            if g.chance(0.6) {
+                match s.txn_commit(id) {
+                    Ok(()) => {}
+                    Err(EnvyError::PowerLoss) => {
+                        clients[c].open = Some(id);
+                        clients[c].undo = undo;
+                        crashed = true;
+                        break 'steps;
+                    }
+                    Err(e) => panic!("txn_commit: {e}"),
+                }
+            } else {
+                match s.txn_abort(id) {
+                    Ok(()) => {
+                        for (&lp, &old) in &undo {
+                            mirror[lp as usize] = old;
+                        }
+                    }
+                    Err(EnvyError::PowerLoss) => {
+                        clients[c].open = Some(id);
+                        clients[c].undo = undo;
+                        crashed = true;
+                        break 'steps;
+                    }
+                    Err(e) => panic!("txn_abort: {e}"),
+                }
+            }
+        } else {
+            let id = clients[c].open.unwrap();
+            let lp = g.below(hot);
+            let v = g.byte();
+            let foreign_holder = clients
+                .iter()
+                .find(|cl| cl.open.is_some() && cl.open != Some(id) && cl.undo.contains_key(&lp))
+                .and_then(|cl| cl.open);
+            match s.txn_write(id, lp * PAGE, &[v; PAGE as usize]) {
+                Ok(()) => {
+                    assert_eq!(
+                        foreign_holder, None,
+                        "write to page {lp} owned by {foreign_holder:?} succeeded"
+                    );
+                    let old = mirror[lp as usize];
+                    clients[c].undo.entry(lp).or_insert(old);
+                    mirror[lp as usize] = v;
+                    clients[c].writes += 1;
+                }
+                Err(EnvyError::TxnConflict { holder }) => {
+                    assert_eq!(
+                        Some(holder),
+                        foreign_holder,
+                        "conflict names {holder}, expected {foreign_holder:?}"
+                    );
+                }
+                Err(EnvyError::PowerLoss) => {
+                    in_flight = Some((lp, v, Some(id)));
+                    crashed = true;
+                    break 'steps;
+                }
+                Err(e) => panic!("txn_write: {e}"),
+            }
+        }
+    }
+    if crashed {
+        s.power_failure();
+        let report = s.recover().unwrap();
+        s.check_invariants().unwrap();
+        assert!(s.engine().open_txns().is_empty(), "txn open after recovery");
+        // Resolve each client's transaction per the report,
+        // independently: completed write sets stand, rolled-back ones
+        // are undone whole.
+        for cl in &mut clients {
+            let Some(id) = cl.open.take() else { continue };
+            let undo = std::mem::take(&mut cl.undo);
+            if report.txn_completed.contains(&id) {
+                continue;
+            }
+            assert!(
+                report.txn_rolled_back.contains(&id) || report.txn_completed.is_empty(),
+                "transaction {id} neither completed nor rolled back: {report:?}"
+            );
+            if report.txn_rolled_back.contains(&id) {
+                for (&lp, &old) in &undo {
+                    mirror[lp as usize] = old;
+                }
+                if matches!(in_flight, Some((_, _, Some(w))) if w == id) {
+                    in_flight = None;
+                }
+            }
+        }
+    } else {
+        // Close stragglers cleanly (committing half, aborting half).
+        s.arm_faults(FaultPlan::default());
+        for (i, cl) in clients.iter_mut().enumerate() {
+            let Some(id) = cl.open.take() else { continue };
+            let undo = std::mem::take(&mut cl.undo);
+            if i % 2 == 0 {
+                s.txn_commit(id).unwrap();
+            } else {
+                s.txn_abort(id).unwrap();
+                for (&lp, &old) in &undo {
+                    mirror[lp as usize] = old;
+                }
+            }
+        }
+    }
+    s.check_invariants().unwrap();
+    if let Some((lp, v, _)) = in_flight {
+        let got = read_uniform(&mut s, lp);
+        assert!(
+            got == mirror[lp as usize] || got == v,
+            "in-flight page {lp}: got {got:#04x}, want old {:#04x} or new {v:#04x}",
+            mirror[lp as usize]
+        );
+        mirror[lp as usize] = got;
+    }
+    for lp in 0..n {
+        assert_eq!(
+            read_uniform(&mut s, lp),
+            mirror[lp as usize],
+            "committed state diverges from the serial mirror at page {lp}"
+        );
+    }
+}
+
+#[test]
+fn randomized_concurrent_transactions() {
+    cases(0xC0C_4773_1D05, 160, concurrent_case);
 }

@@ -19,6 +19,7 @@ OPTIONS:
     --tcp ADDR          listen on a TCP address (default 127.0.0.1:7033)
     --unix PATH         listen on a Unix-domain socket instead
     --shards N          number of shards / worker threads (default 4)
+    --txn-slots N       concurrent transactions per shard (default 1)
     --scale small|scaled   per-shard store configuration (default small)
     --queue N           per-shard bounded queue capacity
     --batch N           max requests drained per dispatch
@@ -31,6 +32,7 @@ struct Args {
     tcp: String,
     unix: Option<String>,
     shards: u32,
+    txn_slots: Option<u32>,
     scale: String,
     queue: Option<usize>,
     batch: Option<usize>,
@@ -43,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         tcp: "127.0.0.1:7033".into(),
         unix: None,
         shards: 4,
+        txn_slots: None,
         scale: "small".into(),
         queue: None,
         batch: None,
@@ -60,6 +63,13 @@ fn parse_args() -> Result<Args, String> {
                 args.shards = value("--shards")?
                     .parse()
                     .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--txn-slots" => {
+                args.txn_slots = Some(
+                    value("--txn-slots")?
+                        .parse()
+                        .map_err(|e| format!("--txn-slots: {e}"))?,
+                );
             }
             "--scale" => args.scale = value("--scale")?,
             "--queue" => {
@@ -96,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
     if args.shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    if args.txn_slots == Some(0) {
+        return Err("--txn-slots must be at least 1".into());
+    }
     Ok(args)
 }
 
@@ -121,6 +134,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(slots) = args.txn_slots {
+        config = config.with_txn_slots(slots);
+    }
     if let Some(q) = args.queue {
         config.queue_capacity = q.max(1);
     }

@@ -165,9 +165,17 @@ pub struct LoadReport {
     /// Transactions rolled back via `TxnAbort` (deliberate seeded
     /// aborts, plus any forced by in-transaction timeouts or errors).
     pub aborted_txns: u64,
-    /// `TxnBegin` attempts refused because another client held the
-    /// shard's transaction slot, retried after a backoff.
+    /// `TxnBegin` attempts refused because every transaction slot on
+    /// the shard was occupied, retried after a jittered backoff.
     pub txn_conflicts: u64,
+    /// Transactional writes refused with `TXN_CONFLICT` (the page was
+    /// in another open transaction's write set). Each refusal forces
+    /// the whole transaction to abort and retry.
+    pub txn_conflict_refusals: u64,
+    /// Whole transactions aborted and re-run after a conflict refusal —
+    /// reported separately from the refusals themselves (one retry can
+    /// follow several refused writes in the same attempt).
+    pub txn_conflict_retries: u64,
     /// Individual accesses completed successfully.
     pub completed_ops: u64,
     /// `Busy` rejections retried.
@@ -190,6 +198,8 @@ impl LoadReport {
         self.completed_txns += other.completed_txns;
         self.aborted_txns += other.aborted_txns;
         self.txn_conflicts += other.txn_conflicts;
+        self.txn_conflict_refusals += other.txn_conflict_refusals;
+        self.txn_conflict_retries += other.txn_conflict_retries;
         self.completed_ops += other.completed_ops;
         self.busy_retries += other.busy_retries;
         self.timeouts += other.timeouts;
@@ -513,9 +523,49 @@ pub fn run_inproc(handle: &ShardHandle, spec: &LoadSpec) -> LoadReport {
     total
 }
 
-/// Backoff before retrying a `TxnBegin` that lost the shard's
-/// transaction slot to another client.
-const TXN_CONFLICT_BACKOFF: Duration = Duration::from_micros(200);
+/// Base delay before retrying a refused transactional request (a
+/// `TxnBegin` that found every slot taken, or a transaction aborted on
+/// a write-set conflict).
+const TXN_RETRY_BASE: Duration = Duration::from_micros(200);
+
+/// Transactions a client retries after conflict-forced aborts before
+/// counting the transaction as an error and moving on.
+const TXN_RETRY_CAP: u32 = 32;
+
+/// Seeded, jittered backoff for transactional retries. Conflicts are
+/// abort decisions: the losers must not retry in lockstep, or they
+/// collide again on the very same pages. Each pause draws uniformly
+/// from [0.5×, 1.5×) of an exponentially growing base (capped), and a
+/// success resets the growth. When the server supplied a `retry_after`
+/// hint it floors the base — the hint is honored, never undercut.
+struct Backoff {
+    rng: Rng,
+    streak: u32,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            rng: Rng::seed_from(seed),
+            streak: 0,
+        }
+    }
+
+    /// Sleep one jittered delay and grow the streak.
+    fn pause(&mut self, hint: Option<Duration>) {
+        let mut base = TXN_RETRY_BASE.max(hint.unwrap_or(Duration::ZERO));
+        base = base.saturating_mul(1u32 << self.streak.min(4));
+        let nanos = (base.as_nanos() as u64).max(1);
+        let jittered = nanos / 2 + self.rng.below(nanos);
+        self.streak = self.streak.saturating_add(1);
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+
+    /// A retried operation succeeded: fall back to the base delay.
+    fn reset(&mut self) {
+        self.streak = 0;
+    }
+}
 
 fn inproc_client(
     handle: &ShardHandle,
@@ -527,11 +577,12 @@ fn inproc_client(
     let mut lp = ClientLoop::new(spec, started);
     let (tx, rx) = mpsc::channel::<Response>();
     let mut reqs = Vec::new();
+    let mut backoff = Backoff::new(spec.seed ^ 0xB0FF ^ u64::from(client));
     let atomic = spec.abort_fraction.is_some();
     while let Some(t0) = lp.next_txn() {
         stream.next_requests(&mut reqs);
         if atomic {
-            if inproc_txn(handle, spec, &reqs, &tx, &rx, &mut lp.report).is_none() {
+            if inproc_txn(handle, spec, &reqs, &tx, &rx, &mut lp.report, &mut backoff).is_none() {
                 return lp.finish();
             }
             lp.report
@@ -596,10 +647,22 @@ fn call_inproc(
     rx.recv().ok().map(|resp| resp.result)
 }
 
+/// How one attempt of an atomic transaction ended.
+enum TxnAttempt {
+    /// Committed, deliberately aborted, or failed on a non-conflict
+    /// error — either way the transaction is finished.
+    Resolved,
+    /// A write hit another open transaction's write set: the attempt
+    /// was aborted whole and should be retried after a backoff.
+    Conflicted,
+}
+
 /// Run one atomic transaction against the in-process handle: begin
-/// (retrying slot conflicts), pipeline the body under the assigned id,
-/// then commit — or abort, when the stream said so or any body access
-/// failed. Begin and the commit/abort run without the per-request
+/// (retrying slot-full refusals with jittered backoff), pipeline the
+/// body under the assigned id, then commit — or abort, when the stream
+/// said so or any body access failed. A write-set conflict aborts the
+/// attempt and retries the whole transaction, up to [`TXN_RETRY_CAP`]
+/// times. Begin and the commit/abort run without the per-request
 /// deadline: a transaction, once opened, must be resolved.
 ///
 /// `None` means the server is shutting down.
@@ -610,28 +673,53 @@ fn inproc_txn(
     tx: &mpsc::Sender<Response>,
     rx: &mpsc::Receiver<Response>,
     report: &mut LoadReport,
+    backoff: &mut Backoff,
 ) -> Option<()> {
+    for _ in 0..TXN_RETRY_CAP {
+        match inproc_txn_once(handle, spec, reqs, tx, rx, report, backoff)? {
+            TxnAttempt::Resolved => return Some(()),
+            TxnAttempt::Conflicted => {
+                report.txn_conflict_retries += 1;
+                backoff.pause(None);
+            }
+        }
+    }
+    report.errors += 1;
+    Some(())
+}
+
+fn inproc_txn_once(
+    handle: &ShardHandle,
+    spec: &LoadSpec,
+    reqs: &[Request],
+    tx: &mpsc::Sender<Response>,
+    rx: &mpsc::Receiver<Response>,
+    report: &mut LoadReport,
+    backoff: &mut Backoff,
+) -> Option<TxnAttempt> {
     let (begin, rest) = reqs.split_first().expect("atomic txn has a begin");
     let (tail, body) = rest.split_last().expect("atomic txn has a commit/abort");
     let txn = loop {
         match call_inproc(handle, begin, None, tx, rx, report)? {
             Ok(Reply::TxnStarted { txn }) => {
                 report.completed_ops += 1;
+                backoff.reset();
                 break txn;
             }
             Ok(other) => unreachable!("begin answered {other:?}"),
-            Err(ServeError::TxnBusy { .. }) => {
+            Err(ServeError::TxnBusy) => {
                 report.txn_conflicts += 1;
-                std::thread::sleep(TXN_CONFLICT_BACKOFF);
+                backoff.pause(None);
             }
             Err(_) => {
                 report.errors += 1;
-                return Some(());
+                return Some(TxnAttempt::Resolved);
             }
         }
     };
     let mut outstanding = 0usize;
     let mut clean = true;
+    let mut conflicted = false;
     for req in body {
         let req = patch_txn(req, txn);
         loop {
@@ -664,6 +752,11 @@ fn inproc_txn(
                     report.timeouts += 1;
                     clean = false;
                 }
+                Err(ServeError::TxnConflict) => {
+                    report.txn_conflict_refusals += 1;
+                    clean = false;
+                    conflicted = true;
+                }
                 Err(_) => {
                     report.errors += 1;
                     clean = false;
@@ -688,13 +781,22 @@ fn inproc_txn(
             report.completed_ops += 1;
         }
         Ok(Reply::Aborted { .. }) => {
-            report.aborted_txns += 1;
+            // A conflict-forced abort is bookkeeping for the retry, not
+            // a resolved transaction; only deliberate (or error-forced)
+            // aborts count.
+            if !conflicted {
+                report.aborted_txns += 1;
+            }
             report.completed_ops += 1;
         }
         Ok(other) => unreachable!("commit/abort answered {other:?}"),
         Err(_) => report.errors += 1,
     }
-    Some(())
+    Some(if conflicted {
+        TxnAttempt::Conflicted
+    } else {
+        TxnAttempt::Resolved
+    })
 }
 
 fn drain(rx: &mpsc::Receiver<Response>, outstanding: usize, report: &mut LoadReport) {
@@ -840,11 +942,12 @@ fn socket_client(
     let mut lp = ClientLoop::new(spec, started);
     let mut reqs = Vec::new();
     let mut pending: HashMap<u64, Request> = HashMap::new();
+    let mut backoff = Backoff::new(spec.seed ^ 0xB0FF ^ u64::from(idx));
     let atomic = spec.abort_fraction.is_some();
     while let Some(t0) = lp.next_txn() {
         stream.next_requests(&mut reqs);
         if atomic {
-            if socket_txn(&mut client, spec, &reqs, &mut lp.report).is_none() {
+            if socket_txn(&mut client, spec, &reqs, &mut lp.report, &mut backoff).is_none() {
                 return lp.finish();
             }
             lp.report
@@ -931,32 +1034,56 @@ fn call_socket(
     }
 }
 
-/// [`inproc_txn`]'s socket twin: begin (retrying slot conflicts),
-/// pipeline the body under the assigned id, commit — or abort on the
-/// seeded decision or any body failure. `None` means the connection or
+/// [`inproc_txn`]'s socket twin: begin (retrying slot-full refusals
+/// with jittered backoff), pipeline the body under the assigned id,
+/// commit — or abort on the seeded decision or any body failure.
+/// Write-set conflicts abort the attempt and retry the transaction
+/// whole, up to [`TXN_RETRY_CAP`] times. `None` means the connection or
 /// server is gone.
 fn socket_txn(
     client: &mut Client,
     spec: &LoadSpec,
     reqs: &[Request],
     report: &mut LoadReport,
+    backoff: &mut Backoff,
 ) -> Option<()> {
+    for _ in 0..TXN_RETRY_CAP {
+        match socket_txn_once(client, spec, reqs, report, backoff)? {
+            TxnAttempt::Resolved => return Some(()),
+            TxnAttempt::Conflicted => {
+                report.txn_conflict_retries += 1;
+                backoff.pause(None);
+            }
+        }
+    }
+    report.errors += 1;
+    Some(())
+}
+
+fn socket_txn_once(
+    client: &mut Client,
+    spec: &LoadSpec,
+    reqs: &[Request],
+    report: &mut LoadReport,
+    backoff: &mut Backoff,
+) -> Option<TxnAttempt> {
     let (begin, rest) = reqs.split_first().expect("atomic txn has a begin");
     let (tail, body) = rest.split_last().expect("atomic txn has a commit/abort");
     let txn = loop {
         match call_socket(client, begin, None, report)? {
             Ok(Reply::TxnStarted { txn }) => {
                 report.completed_ops += 1;
+                backoff.reset();
                 break txn;
             }
             Ok(other) => unreachable!("begin answered {other:?}"),
-            Err(ServeError::TxnBusy { .. }) => {
+            Err(ServeError::TxnBusy) => {
                 report.txn_conflicts += 1;
-                std::thread::sleep(TXN_CONFLICT_BACKOFF);
+                backoff.pause(None);
             }
             Err(_) => {
                 report.errors += 1;
-                return Some(());
+                return Some(TxnAttempt::Resolved);
             }
         }
     };
@@ -972,6 +1099,7 @@ fn socket_txn(
         }
     }
     let mut clean = true;
+    let mut conflicted = false;
     while !pending.is_empty() {
         let resp = client.recv().ok()?;
         match resp.outcome {
@@ -992,6 +1120,12 @@ fn socket_txn(
                 clean = false;
             }
             WireOutcome::Err(ServeError::ShuttingDown) => return None,
+            WireOutcome::Err(ServeError::TxnConflict) => {
+                pending.remove(&resp.id);
+                report.txn_conflict_refusals += 1;
+                clean = false;
+                conflicted = true;
+            }
             WireOutcome::Err(_) => {
                 pending.remove(&resp.id);
                 report.errors += 1;
@@ -1014,13 +1148,19 @@ fn socket_txn(
             report.completed_ops += 1;
         }
         Ok(Reply::Aborted { .. }) => {
-            report.aborted_txns += 1;
+            if !conflicted {
+                report.aborted_txns += 1;
+            }
             report.completed_ops += 1;
         }
         Ok(other) => unreachable!("commit/abort answered {other:?}"),
         Err(_) => report.errors += 1,
     }
-    Some(())
+    Some(if conflicted {
+        TxnAttempt::Conflicted
+    } else {
+        TxnAttempt::Resolved
+    })
 }
 
 #[cfg(test)]
@@ -1139,14 +1279,15 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert_eq!(report.timeouts, 0);
         // Every access the loadgen counted was served — plus the
-        // TxnBusy-answered begin attempts, which the shard serves as
-        // typed errors — and no shard is left with an open transaction.
+        // TxnBusy-answered begin attempts and TxnConflict-refused
+        // writes, which the shard serves as typed errors — and no shard
+        // is left with an open transaction.
         assert_eq!(
-            report.completed_ops + report.txn_conflicts,
+            report.completed_ops + report.txn_conflicts + report.txn_conflict_refusals,
             outcome.total_served()
         );
         for shard in &outcome.shards {
-            assert_eq!(shard.store.engine().active_txn(), None);
+            assert!(shard.store.engine().open_txns().is_empty());
         }
         let commits: u64 = outcome
             .shards

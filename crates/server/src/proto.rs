@@ -52,8 +52,15 @@
 //! | `ERR` (6)       | store failure | UTF-8 message |
 //! | `SHUTDOWN` (7)  | rejected: shutting down | — |
 //! | `ACK` (8)       | shutdown acknowledged | — |
-//! | `TXN_BUSY` (9)  | shard already has an open transaction | `txn: u64` (the open one) |
+//! | `TXN_BUSY` (9)  | every transaction slot on the shard is occupied | — |
 //! | `NO_TXN` (10)   | no such open transaction on the shard | `txn: u64` (the id presented) |
+//! | `TXN_CONFLICT` (11) | page is in another open transaction's write set | — |
+//!
+//! `TXN_BUSY` and `TXN_CONFLICT` deliberately carry **no** transaction
+//! id: ids are capability-like (knowing one is enough to issue
+//! `TXN_WRITE`/`TXN_COMMIT` against it), so refusals never echo a
+//! *foreign* id. `NO_TXN` only echoes the id the client itself
+//! presented.
 
 use crate::shard::{Busy, Reply, Request, ServeError};
 use envy_sim::time::Ns;
@@ -106,10 +113,12 @@ pub mod status {
     pub const SHUTDOWN: u8 = 7;
     /// Shutdown request acknowledged.
     pub const ACK: u8 = 8;
-    /// The shard already has an open transaction.
+    /// Every transaction slot on the shard is occupied.
     pub const TXN_BUSY: u8 = 9;
     /// No open transaction with the presented id on that shard.
     pub const NO_TXN: u8 = 10;
+    /// The page is in another open transaction's write set.
+    pub const TXN_CONFLICT: u8 = 11;
 }
 
 /// A decoded request frame.
@@ -250,8 +259,9 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         WireOutcome::Err(ServeError::CrossesShard { .. }) => status::CROSSES,
         WireOutcome::Err(ServeError::OutOfBounds { .. }) => status::OOB,
         WireOutcome::Err(ServeError::ShuttingDown) => status::SHUTDOWN,
-        WireOutcome::Err(ServeError::TxnBusy { .. }) => status::TXN_BUSY,
+        WireOutcome::Err(ServeError::TxnBusy) => status::TXN_BUSY,
         WireOutcome::Err(ServeError::NoSuchTxn { .. }) => status::NO_TXN,
+        WireOutcome::Err(ServeError::TxnConflict) => status::TXN_CONFLICT,
         WireOutcome::Err(ServeError::Store(_)) => status::ERR,
         WireOutcome::Busy(_) => status::BUSY,
         WireOutcome::ShutdownAck => status::ACK,
@@ -287,11 +297,12 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
             put_u64(&mut buf, *addr);
             put_u64(&mut buf, *size);
         }
-        WireOutcome::Err(ServeError::TxnBusy { txn })
-        | WireOutcome::Err(ServeError::NoSuchTxn { txn }) => put_u64(&mut buf, *txn),
+        WireOutcome::Err(ServeError::NoSuchTxn { txn }) => put_u64(&mut buf, *txn),
         WireOutcome::Err(ServeError::Store(msg)) => buf.extend_from_slice(msg.as_bytes()),
         WireOutcome::Err(ServeError::DeadlineExceeded)
         | WireOutcome::Err(ServeError::ShuttingDown)
+        | WireOutcome::Err(ServeError::TxnBusy)
+        | WireOutcome::Err(ServeError::TxnConflict)
         | WireOutcome::ShutdownAck => {}
         WireOutcome::Busy(b) => put_u64(&mut buf, b.retry_after.as_nanos() as u64),
     }
@@ -495,14 +506,17 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, ProtoError> {
             WireOutcome::ShutdownAck
         }
         status::TXN_BUSY => {
-            let txn = c.u64()?;
             c.done()?;
-            WireOutcome::Err(ServeError::TxnBusy { txn })
+            WireOutcome::Err(ServeError::TxnBusy)
         }
         status::NO_TXN => {
             let txn = c.u64()?;
             c.done()?;
             WireOutcome::Err(ServeError::NoSuchTxn { txn })
+        }
+        status::TXN_CONFLICT => {
+            c.done()?;
+            WireOutcome::Err(ServeError::TxnConflict)
         }
         _ => return Err(ProtoError("unknown status")),
     };
@@ -663,8 +677,9 @@ mod tests {
             WireOutcome::Reply(Reply::TxnStarted { txn: 9 }),
             WireOutcome::Reply(Reply::Committed { txn: 9 }),
             WireOutcome::Reply(Reply::Aborted { txn: 10 }),
-            WireOutcome::Err(ServeError::TxnBusy { txn: 9 }),
+            WireOutcome::Err(ServeError::TxnBusy),
             WireOutcome::Err(ServeError::NoSuchTxn { txn: 77 }),
+            WireOutcome::Err(ServeError::TxnConflict),
         ] {
             roundtrip_resp(WireResponse {
                 id: 42,

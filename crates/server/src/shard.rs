@@ -77,9 +77,12 @@ pub enum Request {
         /// Shard to bounce the probe off.
         shard: u32,
     },
-    /// Open a transaction on one shard (§6: one hardware transaction
-    /// per controller). Replies [`Reply::TxnStarted`] with the id every
-    /// subsequent transactional request must carry.
+    /// Open a transaction on one shard. Up to the configured number of
+    /// transaction slots may be open concurrently per controller
+    /// (default 1, the paper's §6 single hardware transaction), each
+    /// isolated by its per-page write set. Replies
+    /// [`Reply::TxnStarted`] with the id every subsequent transactional
+    /// request must carry.
     TxnBegin {
         /// Shard to open the transaction on.
         shard: u32,
@@ -167,20 +170,24 @@ pub enum ServeError {
         /// Global logical size in bytes.
         size: u64,
     },
-    /// The front end is shutting down and no longer admits requests.
-    ShuttingDown,
-    /// The target shard already has an open transaction; one hardware
-    /// transaction per controller (§6). Commit or abort it first.
-    TxnBusy {
-        /// The id of the transaction already open on the shard.
-        txn: u64,
-    },
+    /// Every transaction slot on the target shard is occupied; commit
+    /// or abort one first. Carries no id: transaction ids are
+    /// capability-like (knowing one is enough to write under it), so a
+    /// refusal never leaks a foreign transaction's id.
+    TxnBusy,
     /// The transaction id is not open on the target shard (never
     /// started there, already committed, or already aborted).
     NoSuchTxn {
         /// The offending id.
         txn: u64,
     },
+    /// The page is in another open transaction's write set. An abort
+    /// decision, not a busy-wait: retry the whole transaction (or the
+    /// plain write) after backing off. Carries no id — see
+    /// [`ServeError::TxnBusy`] on why refusals never name the holder.
+    TxnConflict,
+    /// The front end is shutting down and no longer admits requests.
+    ShuttingDown,
     /// The shard's controller failed the operation.
     Store(String),
 }
@@ -196,11 +203,14 @@ impl fmt::Display for ServeError {
                 write!(f, "address {addr:#x} outside sharded array of {size} bytes")
             }
             ServeError::ShuttingDown => write!(f, "front end is shutting down"),
-            ServeError::TxnBusy { txn } => {
-                write!(f, "shard already has open transaction {txn}")
+            ServeError::TxnBusy => {
+                write!(f, "all transaction slots on this shard are occupied")
             }
             ServeError::NoSuchTxn { txn } => {
                 write!(f, "no open transaction {txn} on this shard")
+            }
+            ServeError::TxnConflict => {
+                write!(f, "page is in another open transaction's write set")
             }
             ServeError::Store(e) => write!(f, "store error: {e}"),
         }
@@ -448,6 +458,16 @@ impl ServeConfig {
     #[must_use]
     pub fn with_read_path(mut self, path: ReadPath) -> ServeConfig {
         self.read_path = path;
+        self
+    }
+
+    /// Set the number of concurrent transaction slots per shard
+    /// (builder-style). The default of 1 is the paper-faithful
+    /// configuration; raising it lets several transactions interleave
+    /// on one controller, isolated by per-page write sets.
+    #[must_use]
+    pub fn with_txn_slots(mut self, slots: u32) -> ServeConfig {
+        self.store.txn_slots = slots;
         self
     }
 }
@@ -734,6 +754,9 @@ impl ShardedStore {
             if let Some(capacity) = config.trace_capacity {
                 store.enable_trace(capacity);
             }
+            // Caller-built stores (forks of a shared baseline) carry the
+            // baseline's slot table; the serve config is authoritative.
+            store.set_txn_slots(config.store.txn_slots);
             // Disjoint id residues per shard: shard i issues ids
             // i+1, i+1+N, ... so a transaction id can never match on
             // the wrong shard (a misrouted TxnWrite is refused with
@@ -1070,14 +1093,12 @@ pub fn apply(store: &mut EnvyStore, req: &Request) -> Result<Reply, ServeError> 
             Ok(Reply::TxnStarted { txn })
         }
         Request::TxnWrite { addr, bytes, txn } => {
-            // Ownership first: a shard-local write under a foreign or
-            // closed transaction id must not touch the store (it would
-            // silently join whatever transaction IS open).
-            if store.engine().active_txn() != Some(*txn) {
-                return Err(ServeError::NoSuchTxn { txn: *txn });
-            }
+            // The store checks ownership itself: an unknown id (foreign
+            // shard or already closed) is NoSuchTxn before any bytes
+            // move, and a page in another open transaction's write set
+            // is a conflict refusal.
             let access = store
-                .write_at(store.now(), *addr, bytes)
+                .txn_write_at(store.now(), *txn, *addr, bytes)
                 .map_err(map_store_err(store))?;
             Ok(Reply::Done {
                 latency: access.latency,
@@ -1098,8 +1119,11 @@ fn map_store_err(store: &EnvyStore) -> impl Fn(EnvyError) -> ServeError + '_ {
     let size = store.size();
     move |e| match e {
         EnvyError::OutOfBounds { addr, .. } => ServeError::OutOfBounds { addr, size },
-        EnvyError::TxnAlreadyOpen { txn } => ServeError::TxnBusy { txn },
+        EnvyError::TxnSlotsFull { .. } => ServeError::TxnBusy,
         EnvyError::NoSuchTxn { txn } => ServeError::NoSuchTxn { txn },
+        // The holder's id stops here: it is controller-side diagnostic
+        // state, never echoed to a peer that does not own it.
+        EnvyError::TxnConflict { .. } => ServeError::TxnConflict,
         other => ServeError::Store(other.to_string()),
     }
 }
@@ -1462,11 +1486,12 @@ mod tests {
             Reply::TxnStarted { txn } => txn,
             other => panic!("unexpected {other:?}"),
         };
-        // A second begin on the same shard is refused with the open id.
-        match h.call(Request::TxnBegin { shard: 0 }).unwrap_err() {
-            ServeError::TxnBusy { txn: open } => assert_eq!(open, txn),
-            other => panic!("unexpected {other:?}"),
-        }
+        // A second begin on the same shard is refused — and the refusal
+        // does not leak the holder's id (ids are capability-like).
+        assert!(matches!(
+            h.call(Request::TxnBegin { shard: 0 }).unwrap_err(),
+            ServeError::TxnBusy
+        ));
         // A write under the wrong id never reaches the store.
         match h
             .call(Request::TxnWrite {
@@ -1502,6 +1527,63 @@ mod tests {
             h.call(Request::TxnAbort { shard: 0, txn }).unwrap_err(),
             ServeError::NoSuchTxn { .. }
         ));
+        store.shutdown();
+    }
+
+    #[test]
+    fn concurrent_txn_slots_isolate_write_sets() {
+        let store = ShardedStore::launch(ServeConfig::small(1).with_txn_slots(2)).unwrap();
+        let h = store.handle();
+        let begin =
+            |h: &crate::shard::ShardHandle| match h.call(Request::TxnBegin { shard: 0 }).unwrap() {
+                Reply::TxnStarted { txn } => txn,
+                other => panic!("unexpected {other:?}"),
+            };
+        let t0 = begin(&h);
+        let t1 = begin(&h);
+        assert_ne!(t0, t1);
+        // Both slots taken: a third begin is refused without an id.
+        assert!(matches!(
+            h.call(Request::TxnBegin { shard: 0 }).unwrap_err(),
+            ServeError::TxnBusy
+        ));
+        h.call(Request::TxnWrite {
+            addr: 0,
+            bytes: b"zero".to_vec(),
+            txn: t0,
+        })
+        .unwrap();
+        // t1 hitting t0's page is a typed conflict, with no foreign id.
+        assert!(matches!(
+            h.call(Request::TxnWrite {
+                addr: 0,
+                bytes: b"one!".to_vec(),
+                txn: t1,
+            })
+            .unwrap_err(),
+            ServeError::TxnConflict
+        ));
+        // A plain write to that page is refused the same way (the old
+        // behavior silently joined it to the open transaction).
+        assert!(matches!(
+            h.call(Request::Write {
+                addr: 0,
+                bytes: b"plny".to_vec(),
+            })
+            .unwrap_err(),
+            ServeError::TxnConflict
+        ));
+        // t1 writes its own page; both resolve independently.
+        h.call(Request::TxnWrite {
+            addr: 512,
+            bytes: b"one!".to_vec(),
+            txn: t1,
+        })
+        .unwrap();
+        h.call(Request::TxnAbort { shard: 0, txn: t0 }).unwrap();
+        h.call(Request::TxnCommit { shard: 0, txn: t1 }).unwrap();
+        assert_ne!(read_bytes(&h, 0, 4), b"zero", "t0 rolled back");
+        assert_eq!(read_bytes(&h, 512, 4), b"one!", "t1 committed");
         store.shutdown();
     }
 

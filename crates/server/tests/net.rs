@@ -210,12 +210,11 @@ fn wire_transaction_commit_abort_and_ownership() {
     client.txn_abort(0, txn).unwrap();
     assert_eq!(client.read(0, 5).unwrap(), b"alpha");
 
-    // Ownership errors arrive typed over the wire.
+    // Ownership errors arrive typed over the wire — and the slot-full
+    // refusal carries no transaction id (ids are capability-like).
     let txn = client.txn_begin(1).unwrap();
     match client.txn_begin(1) {
-        Err(envy_server::ClientError::Serve(ServeError::TxnBusy { txn: open })) => {
-            assert_eq!(open, txn);
-        }
+        Err(envy_server::ClientError::Serve(ServeError::TxnBusy)) => {}
         other => panic!("expected TxnBusy, got {other:?}"),
     }
     match client.txn_write(shard_bytes, b"x", txn + 1) {
@@ -223,6 +222,44 @@ fn wire_transaction_commit_abort_and_ownership() {
         other => panic!("expected NoSuchTxn, got {other:?}"),
     }
     client.txn_abort(1, txn).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn plain_write_never_joins_another_connections_transaction() {
+    // Regression test for the silent-join bug: a plain WRITE from one
+    // connection used to be absorbed into whatever transaction another
+    // connection had open on the shard — acknowledged, then silently
+    // undone by that transaction's abort. Now a plain write to a page
+    // in the open write set is refused with TXN_CONFLICT, and a plain
+    // write to any other page executes independently and survives the
+    // abort.
+    let (server, addr) = launch_tcp(ServeConfig::small(1));
+    let mut alice = Client::connect_tcp(&addr).unwrap();
+    let mut bob = Client::connect_tcp(&addr).unwrap();
+    alice.write(0, b"base").unwrap();
+    alice.write(512, b"hold").unwrap();
+
+    let txn = alice.txn_begin(0).unwrap();
+    alice.txn_write(0, b"mine", txn).unwrap();
+
+    // Bob's plain write to the page in Alice's write set: typed
+    // conflict, no foreign transaction id attached.
+    match bob.write(0, b"bobs") {
+        Err(envy_server::ClientError::Serve(ServeError::TxnConflict)) => {}
+        other => panic!("expected TxnConflict, got {other:?}"),
+    }
+    // Bob's plain write to an unowned page: acknowledged and durable,
+    // independent of Alice's transaction.
+    bob.write(512, b"bobs").unwrap();
+
+    alice.txn_abort(0, txn).unwrap();
+    assert_eq!(alice.read(0, 4).unwrap(), b"base", "txn write rolled back");
+    assert_eq!(
+        bob.read(512, 4).unwrap(),
+        b"bobs",
+        "acknowledged plain write must survive the foreign abort"
+    );
     server.shutdown();
 }
 
@@ -249,7 +286,7 @@ fn disconnect_aborts_open_transaction() {
                 fresh.txn_abort(0, t).unwrap();
                 break;
             }
-            Err(envy_server::ClientError::Serve(ServeError::TxnBusy { .. })) => {
+            Err(envy_server::ClientError::Serve(ServeError::TxnBusy)) => {
                 // The disconnect cleanup races connection teardown.
                 assert!(
                     opened.elapsed() < Duration::from_secs(5),
@@ -295,7 +332,7 @@ fn disconnect_aborts_open_transactions_on_every_shard() {
                     fresh.txn_abort(shard, t).unwrap();
                     break;
                 }
-                Err(envy_server::ClientError::Serve(ServeError::TxnBusy { .. })) => {
+                Err(envy_server::ClientError::Serve(ServeError::TxnBusy)) => {
                     assert!(
                         opened.elapsed() < Duration::from_secs(5),
                         "orphaned transaction on shard {shard} never aborted"

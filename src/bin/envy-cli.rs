@@ -91,12 +91,14 @@ commands:
       --tcp <addr>          TCP listen address              (default 127.0.0.1:7033)
       --unix <path>         Unix socket path (takes precedence over --tcp)
       --shards <n>          shard count                     (default 4)
+      --txn-slots <n>       concurrent transactions per shard (default 1)
       --scale <small|scaled>  per-shard array size          (default scaled)
       --duration-secs <n>   serve n seconds, then drain     (default: until shutdown)
   bench-serve               closed-loop load against an in-process sharded store,
                             or a live server (--unix/--connect; --shards/--scale
                             must then match the server's)
       --shards <n>          shard count                     (default 4)
+      --txn-slots <n>       concurrent transactions per shard (default 1)
       --clients <n>         client threads / connections    (default 4)
       --txns <n>            transactions per client         (default 2000)
       --scale <small|scaled>  per-shard array size          (default scaled)
@@ -448,11 +450,16 @@ fn cmd_trace_replay(args: &[String]) -> Result<(), String> {
 /// Parse `--shards` / `--scale` into a [`ServeConfig`].
 fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
     let shards: u32 = opt_parse(args, "--shards", 4)?;
-    match opt(args, "--scale").unwrap_or("scaled") {
-        "small" => Ok(ServeConfig::small(shards)),
-        "scaled" => Ok(ServeConfig::scaled(shards)),
-        other => Err(format!("unknown scale `{other}` (use small or scaled)")),
+    let slots: u32 = opt_parse(args, "--txn-slots", 1)?;
+    if slots == 0 {
+        return Err("--txn-slots must be at least 1".into());
     }
+    let config = match opt(args, "--scale").unwrap_or("scaled") {
+        "small" => ServeConfig::small(shards),
+        "scaled" => ServeConfig::scaled(shards),
+        other => return Err(format!("unknown scale `{other}` (use small or scaled)")),
+    };
+    Ok(config.with_txn_slots(slots))
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -546,9 +553,17 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
 fn print_load_report(report: &loadgen::LoadReport, sim: Option<Ns>) {
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["completed txns".into(), report.completed_txns.to_string()]);
-    if report.aborted_txns > 0 || report.txn_conflicts > 0 {
+    if report.aborted_txns > 0 || report.txn_conflicts > 0 || report.txn_conflict_refusals > 0 {
         t.row(&["aborted txns".into(), report.aborted_txns.to_string()]);
-        t.row(&["txn conflicts".into(), report.txn_conflicts.to_string()]);
+        t.row(&["slot-busy begins".into(), report.txn_conflicts.to_string()]);
+        t.row(&[
+            "write-set conflicts".into(),
+            report.txn_conflict_refusals.to_string(),
+        ]);
+        t.row(&[
+            "conflict retries".into(),
+            report.txn_conflict_retries.to_string(),
+        ]);
     }
     t.row(&["completed ops".into(), report.completed_ops.to_string()]);
     t.row(&["busy retries".into(), report.busy_retries.to_string()]);

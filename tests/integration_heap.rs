@@ -1,8 +1,8 @@
 //! Cross-crate integration: the persistent heap structures over the
 //! eNVy controller, across cleaning and power failures.
 
-use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
-use envy::heap::{Arena, Log};
+use envy::core::{EnvyConfig, EnvyError, EnvyStore, PolicyKind, TxnMemory};
+use envy::heap::{Arena, HeapError, Log};
 use envy::sim::rng::Rng;
 
 fn store() -> EnvyStore {
@@ -91,15 +91,27 @@ fn log_survives_interrupted_clean() {
 
 #[test]
 fn log_inside_storage_transaction() {
-    // A storage-level transaction (§6) can wrap log appends: abort makes
-    // the appended records vanish atomically.
+    // A storage-level transaction (§6) wraps log appends when the writes
+    // are routed through its write set: abort makes the records vanish
+    // atomically. Writes never join a transaction implicitly — a plain
+    // append while the transaction owns the log's pages is refused with
+    // a typed conflict, not folded into the rollback.
     let mut s = store();
     let log = Log::create(&mut s, 0, 64 * 1024).unwrap();
     log.append(&mut s, b"before").unwrap();
     let txn = s.txn_begin().unwrap();
-    log.append(&mut s, b"inside-1").unwrap();
-    log.append(&mut s, b"inside-2").unwrap();
-    assert_eq!(log.len(&mut s).unwrap(), 3);
+    {
+        let mut mem = TxnMemory::new(&mut s, txn);
+        log.append(&mut mem, b"inside-1").unwrap();
+        log.append(&mut mem, b"inside-2").unwrap();
+        assert_eq!(log.len(&mut mem).unwrap(), 3);
+    }
+    // The log's pages are in the transaction's write set, so the plain
+    // path is refused up front — nothing lands, nothing joins.
+    assert!(matches!(
+        log.append(&mut s, b"plain"),
+        Err(HeapError::Memory(EnvyError::TxnConflict { .. }))
+    ));
     s.txn_abort(txn).unwrap();
     let records = log.records(&mut s).unwrap();
     assert_eq!(records.len(), 1);

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full TPC-A stack on the eNVy controller
 //! under every cleaning policy.
 
-use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
+use envy::core::{EnvyConfig, EnvyStore, PolicyKind, TxnMemory};
 use envy::sim::rng::Rng;
 use envy::workload::{FunctionalTpca, TpcaLayout, TpcaScale, Transaction};
 
@@ -102,11 +102,16 @@ fn tpca_transactional_abort_reverses_a_transfer() {
     db.run_transaction(&mut store, &txn_spec).unwrap();
     assert_eq!(db.balance(&mut store, 2, 42_000).unwrap(), 777);
 
-    // Wrap the storage-level transaction (§6) around a TPC-A update and
-    // abort: all three record updates roll back together.
+    // Wrap the storage-level transaction (§6) around a TPC-A update by
+    // routing its writes through the transaction's write set, then
+    // abort: all three record updates roll back together. (Writes never
+    // join a transaction implicitly — `TxnMemory` is the opt-in.)
     let hw = store.txn_begin().unwrap();
-    db.run_transaction(&mut store, &txn_spec).unwrap();
-    assert_eq!(db.balance(&mut store, 2, 42_000).unwrap(), 1_554);
+    {
+        let mut mem = TxnMemory::new(&mut store, hw);
+        db.run_transaction(&mut mem, &txn_spec).unwrap();
+        assert_eq!(db.balance(&mut mem, 2, 42_000).unwrap(), 1_554);
+    }
     store.txn_abort(hw).unwrap();
     assert_eq!(db.balance(&mut store, 2, 42_000).unwrap(), 777);
     assert_eq!(db.balance(&mut store, 1, 4).unwrap(), 777);

@@ -104,7 +104,7 @@ fn txn_abort_is_exact_inverse() {
 
         let txn = envy.txn_begin().unwrap();
         for (addr, v) in &during {
-            envy.write(*addr, &v.to_le_bytes()).unwrap();
+            envy.txn_write(txn, *addr, &v.to_le_bytes()).unwrap();
         }
         let mut dirty = vec![0u8; SIZE as usize];
         envy.read(0, &mut dirty).unwrap();
