@@ -110,6 +110,12 @@ echo "== smoke: ext_serve --quick (sharded serving scalability) =="
 cargo run --release -q -p envy-bench --bin ext_serve -- --quick \
   > results/ci_smoke_ext_serve.txt
 grep -q "anchor: 1-shard front end == monolithic store" results/ci_smoke_ext_serve.txt
+# The quick run also drives the event-loop connection axis: a closed-loop
+# socket-vs-in-process ratio, a 100/1000-connection open-loop mini-sweep
+# (the 10k point is full-run only), and the idle-connection cost table.
+grep -q "socket drivers at" results/ci_smoke_ext_serve.txt
+grep -q "p999 growth 100 -> 1000 connections" results/ci_smoke_ext_serve.txt
+grep -q "idle-connection cost" results/ci_smoke_ext_serve.txt
 test -s results/BENCH_ext_serve.json
 
 echo "== smoke: ext_txn --quick (atomic transactions over the wire) =="
@@ -123,16 +129,17 @@ cargo run --release -q -p envy-bench --bin ext_txn -- --quick \
 grep -q "anchor: atomic TPC-A over the wire == monolithic replay" results/ci_smoke_ext_txn.txt
 test -s results/BENCH_ext_txn.json
 
-echo "== smoke: envy-served + 4-client socket loadgen =="
-# Serve on a Unix socket, drive 4 client connections closed-loop, then
-# shut the server down over the wire; the daemon must drain, report a
-# clean summary, and remove its socket file.
+echo "== smoke: envy-served (epoll driver) + 4-client socket loadgen =="
+# Serve on a Unix socket under the default epoll event loop, drive 4
+# client connections closed-loop, then shut the server down over the
+# wire; the daemon must drain, report a clean summary, and remove its
+# socket file.
 SERVE_SOCK="results/ci_serve.sock"
 rm -f "$SERVE_SOCK"
 cargo build --release -q -p envy-server --bin envy-served
 cargo build --release -q --bin envy-cli
 ./target/release/envy-served --unix "$SERVE_SOCK" --shards 2 --txn-slots 4 --scale small \
-  > results/ci_smoke_serve_daemon.txt 2>&1 &
+  --net-driver epoll > results/ci_smoke_serve_daemon.txt 2>&1 &
 SERVED_PID=$!
 for _ in $(seq 1 100); do test -S "$SERVE_SOCK" && break; sleep 0.1; done
 test -S "$SERVE_SOCK"
@@ -149,6 +156,27 @@ grep -Eq "errors +0" results/ci_smoke_serve_load.txt
 grep -Eq "aborted txns +[1-9]" results/ci_smoke_serve_txn.txt
 grep -Eq "errors +0" results/ci_smoke_serve_txn.txt
 grep -q "(0 timed out)" results/ci_smoke_serve_daemon.txt
+grep -q "epoll driver" results/ci_smoke_serve_daemon.txt
+test ! -e "$SERVE_SOCK"
+
+echo "== smoke: envy-served (threads driver A/B) =="
+# The legacy thread-per-connection driver stays selectable and must
+# serve the same load cleanly — the cross-driver equivalence tests in
+# crates/server/tests/driver_diff.rs pin the wire bytes; this leg pins
+# the daemon wiring.
+rm -f "$SERVE_SOCK"
+./target/release/envy-served --unix "$SERVE_SOCK" --shards 2 --txn-slots 4 --scale small \
+  --net-driver threads --idle-timeout-ms 30000 \
+  > results/ci_smoke_serve_daemon_threads.txt 2>&1 &
+SERVED_PID=$!
+for _ in $(seq 1 100); do test -S "$SERVE_SOCK" && break; sleep 0.1; done
+test -S "$SERVE_SOCK"
+./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
+  --clients 4 --txns 250 --shutdown > results/ci_smoke_serve_load_threads.txt
+wait "$SERVED_PID"
+grep -Eq "completed txns +1000" results/ci_smoke_serve_load_threads.txt
+grep -Eq "errors +0" results/ci_smoke_serve_load_threads.txt
+grep -q "threads driver" results/ci_smoke_serve_daemon_threads.txt
 test ! -e "$SERVE_SOCK"
 
 echo "== report schema check =="

@@ -23,11 +23,15 @@ use envy_bench::{
     write_report_full, PointResult, SweepSpec,
 };
 use envy_core::EnvyStore;
-use envy_server::loadgen::{run_inproc, run_monolithic};
-use envy_server::{LoadSpec, ReadPath, ServeConfig, ShardedStore};
+use envy_server::loadgen::{run_inproc, run_monolithic, run_socket};
+use envy_server::{
+    raise_nofile, serve_with, Client, Listener, LoadSpec, NetConfig, NetDriver, ReadPath,
+    ServeConfig, ShardPlan, ShardedStore,
+};
 use envy_sim::report::Table;
 use envy_sim::time::Ns;
 use envy_workload::{AnalyticTpca, TpcaScale};
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -38,7 +42,70 @@ fn us(ns: Ns) -> f64 {
     ns.as_nanos() as f64 / 1_000.0
 }
 
+/// Open file descriptors of this process (`/proc/self/fd`).
+fn fd_count() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count() as u64)
+        .unwrap_or(0)
+}
+
+/// Resident set size in KiB (`/proc/self/status` `VmRSS`).
+fn rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Connect, retrying briefly: a burst of sequential connects can
+/// overflow the listener backlog between accept sweeps.
+fn connect_retry(path: &Path) -> Client {
+    let start = Instant::now();
+    loop {
+        match Client::connect_unix(path) {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(
+                    start.elapsed() < Duration::from_secs(10),
+                    "could not connect to {}: {e}",
+                    path.display()
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Hidden helper mode: hold `n` idle connections to `path` from a child
+/// process. The container's hard fd limit (20000) cannot be raised even
+/// by root, and a single-process 10k-connection harness needs two fds
+/// per connection (client end + server end); parking the client ends in
+/// a child gives each side its own fd budget. Prints `ready` once all
+/// connections are up, then holds them until stdin reaches EOF.
+fn hold_idle(n: u64, path: &Path) -> ! {
+    use std::io::Read;
+    let conns: Vec<Client> = (0..n).map(|_| connect_retry(path)).collect();
+    println!("ready");
+    let mut buf = [0u8; 64];
+    while matches!(std::io::stdin().read(&mut buf), Ok(1..)) {}
+    drop(conns);
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--hold-idle") {
+        let n = std::env::args()
+            .nth(2)
+            .and_then(|v| v.parse().ok())
+            .expect("--hold-idle N PATH");
+        let path = std::env::args().nth(3).expect("--hold-idle N PATH");
+        hold_idle(n, Path::new(&path));
+    }
     let started = Instant::now();
     let quick = quick_mode();
     let txns = arg_u64("txns", if quick { 150 } else { 1_500 });
@@ -380,11 +447,287 @@ fn main() {
         ],
     );
 
+    // Event-driven socket path: the connection-count load axis. All
+    // socket stages run the epoll driver over a Unix socket against an
+    // 8-shard Inline front end (the fastest in-process read path, so
+    // the comparison is against the strongest baseline).
+    let sock_shards = *SHARD_COUNTS.last().unwrap();
+    let active = arg_u64("active-conns", if quick { 50 } else { 100 }).max(1) as u32;
+    let sock_path =
+        std::env::temp_dir().join(format!("envy-ext-serve-{}.sock", std::process::id()));
+    let launch_sock = |driver: NetDriver| {
+        let config = ServeConfig::scaled(sock_shards).with_read_path(ReadPath::Inline);
+        let stores = (0..sock_shards).map(|_| baseline.fork()).collect();
+        let front = ShardedStore::launch_from(stores, &config);
+        let plan: ShardPlan = *front.plan();
+        let listener = Listener::bind_unix(&sock_path).expect("bind unix socket");
+        let server = serve_with(
+            listener,
+            front,
+            NetConfig {
+                driver,
+                idle_timeout: None,
+            },
+        )
+        .expect("serve over unix socket");
+        (server, plan)
+    };
+
+    // Socket-vs-in-process wall TPS at `active` connections: the same
+    // read-heavy closed-loop load through the wire and through the
+    // in-process handle. The gap is the whole socket tax — syscalls,
+    // framing, and the event loop itself.
+    let conn_txns = arg_u64("conn-txns", if quick { 10 } else { 40 });
+    let ratio_spec = LoadSpec::closed(active, conn_txns)
+        .with_seed(0xC099)
+        .read_mostly(0.95);
+    let inproc_front = ShardedStore::launch_from(
+        (0..sock_shards).map(|_| baseline.fork()).collect(),
+        &ServeConfig::scaled(sock_shards).with_read_path(ReadPath::Inline),
+    );
+    let inproc_report = run_inproc(&inproc_front.handle(), &ratio_spec);
+    inproc_front.shutdown();
+    let (server, plan) = launch_sock(NetDriver::Epoll);
+    let sock_report = run_socket(|| Client::connect_unix(&sock_path), plan, &ratio_spec)
+        .expect("socket ratio load run");
+    server.shutdown();
+    assert_eq!(sock_report.errors, 0, "socket ratio serving errors");
+    // The same wire load under the thread-per-connection driver: the
+    // apples-to-apples comparison for the event-loop rewrite (both pay
+    // the full socket tax; only the connection model differs).
+    let (server_t, plan_t) = launch_sock(NetDriver::Threads);
+    let sock_t_report = run_socket(|| Client::connect_unix(&sock_path), plan_t, &ratio_spec)
+        .expect("socket ratio load run (threads)");
+    server_t.shutdown();
+    assert_eq!(sock_t_report.errors, 0, "threads ratio serving errors");
+    let inproc_tps = inproc_report.throughput_tps();
+    let sock_tps = sock_report.throughput_tps();
+    let sock_t_tps = sock_t_report.throughput_tps();
+    let sock_gap = if sock_tps > 0.0 {
+        inproc_tps / sock_tps
+    } else {
+        f64::INFINITY
+    };
+    let epoll_over_threads = if sock_t_tps > 0.0 {
+        sock_tps / sock_t_tps
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "socket tax at {active} connections (8 shards, inline reads, read-heavy): \
+         in-process {:.1} ktps vs socket {:.1} ktps -> {:.2}x",
+        inproc_tps / 1e3,
+        sock_tps / 1e3,
+        sock_gap
+    );
+    println!(
+        "socket drivers at {active} connections: epoll {:.1} ktps vs threads {:.1} ktps \
+         -> {:.2}x",
+        sock_tps / 1e3,
+        sock_t_tps / 1e3,
+        epoll_over_threads
+    );
+    println!();
+    let ratio_point = (
+        format!("conn_ratio/{active}conns"),
+        vec![
+            ("active_conns", f64::from(active)),
+            ("inproc_wall_tps", inproc_tps),
+            ("socket_wall_tps", sock_tps),
+            ("socket_threads_wall_tps", sock_t_tps),
+            ("inproc_over_socket", sock_gap),
+            ("epoll_over_threads", epoll_over_threads),
+        ],
+    );
+
+    // Connection-count sweep: `count` total connections, of which
+    // `active` drive an open-loop (coordinated-omission-corrected)
+    // offered rate and the rest sit idle — the service-scale shape
+    // where almost every connection is quiet at any instant. Idle
+    // connections must not cost latency: the acceptance bar is p999 at
+    // the widest count within 1.5x of the 100-connection p999.
+    let conn_counts: &[u64] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    // Full runs hold each point for 5 s (~7 500 samples), long enough
+    // that p999 is an average over several samples rather than the
+    // single worst scheduling hiccup of a short window.
+    let conn_rate = arg_u64("conn-rate", if quick { 800 } else { 1_500 });
+    let conn_dur = Duration::from_millis(if quick { 400 } else { 5_000 });
+    // Idle connections are parked in a child process (see `hold_idle`),
+    // so this process only holds their server ends: one fd per idle
+    // connection plus two per active one.
+    let nofile_need = conn_counts.iter().max().unwrap() + u64::from(active) * 2 + 512;
+    let nofile = raise_nofile(nofile_need).unwrap_or(0);
+    let mut conn_table = Table::new(&[
+        "conns",
+        "active",
+        "achieved tps",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "busy",
+        "fds",
+        "rss MiB",
+    ]);
+    let mut conn_points: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut p999_by_count: Vec<(u64, f64)> = Vec::new();
+    for &count in conn_counts {
+        if count + u64::from(active) * 2 + 256 > nofile {
+            println!(
+                "conn_sweep: skipping {count} connections (fd limit {nofile} < {})",
+                count + u64::from(active) * 2 + 256
+            );
+            continue;
+        }
+        let (server, plan) = launch_sock(NetDriver::Epoll);
+        let idle_count = count.saturating_sub(u64::from(active));
+        let holder = if idle_count > 0 {
+            let exe = std::env::current_exe().expect("current exe");
+            let mut child = std::process::Command::new(exe)
+                .arg("--hold-idle")
+                .arg(idle_count.to_string())
+                .arg(&sock_path)
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn idle holder");
+            let mut ready = String::new();
+            std::io::BufRead::read_line(
+                &mut std::io::BufReader::new(child.stdout.take().expect("holder stdout")),
+                &mut ready,
+            )
+            .expect("idle holder handshake");
+            assert_eq!(ready.trim(), "ready", "idle holder failed to connect");
+            Some(child)
+        } else {
+            None
+        };
+        // Unmeasured warmup: the rows with idle connections get seconds
+        // of implicit settling while the holder connects; give the bare
+        // row the same benefit so its tail is steady-state too.
+        let warmup = LoadSpec::closed(active, 0)
+            .open(conn_rate)
+            .with_duration(Duration::from_millis(if quick { 100 } else { 500 }))
+            .with_seed(0xC5EE ^ 1)
+            .read_mostly(0.95);
+        run_socket(|| Client::connect_unix(&sock_path), plan, &warmup)
+            .expect("conn sweep warmup run");
+        let spec = LoadSpec::closed(active, 0)
+            .open(conn_rate)
+            .with_duration(conn_dur)
+            .with_seed(0xC5EE)
+            .read_mostly(0.95);
+        let report = run_socket(|| Client::connect_unix(&sock_path), plan, &spec)
+            .expect("conn sweep load run");
+        let fds = fd_count();
+        let rss = rss_kb();
+        if let Some(mut child) = holder {
+            drop(child.stdin.take());
+            let _ = child.wait();
+        }
+        server.shutdown();
+        assert_eq!(report.errors, 0, "conn sweep serving errors at {count}");
+        let [p50, _, p99, p999] = report
+            .txn_latency
+            .percentiles()
+            .expect("conn sweep latencies recorded");
+        conn_table.row(&[
+            count.to_string(),
+            active.to_string(),
+            format!("{:.0}", report.throughput_tps()),
+            format!("{:.1}", us(p50)),
+            format!("{:.1}", us(p99)),
+            format!("{:.1}", us(p999)),
+            report.busy_retries.to_string(),
+            fds.to_string(),
+            format!("{:.1}", rss as f64 / 1024.0),
+        ]);
+        p999_by_count.push((count, us(p999)));
+        conn_points.push((
+            format!("conn_sweep/{count}conns"),
+            vec![
+                ("total_conns", count as f64),
+                ("active_conns", f64::from(active)),
+                ("offered_tps", conn_rate as f64),
+                ("achieved_tps", report.throughput_tps()),
+                ("p50_us", us(p50)),
+                ("p99_us", us(p99)),
+                ("p999_us", us(p999)),
+                ("busy_retries", report.busy_retries as f64),
+                ("fds", fds as f64),
+                ("rss_kb", rss as f64),
+            ],
+        ));
+    }
+    emit(
+        "Section 6",
+        "event-loop socket serving: connection-count sweep (open loop, CO-corrected)",
+        &conn_table,
+    );
+    if let (Some(&(_, first)), Some(&(widest, last))) =
+        (p999_by_count.first(), p999_by_count.last())
+    {
+        if p999_by_count.len() > 1 && first > 0.0 {
+            println!(
+                "p999 growth {} -> {widest} connections: {:.2}x",
+                p999_by_count[0].0,
+                last / first
+            );
+            println!();
+        }
+    }
+
+    // Idle-connection memory: fd and RSS cost per quiet connection
+    // under the event loop vs thread-per-connection (two OS threads
+    // and stacks each) — the memory win that motivates the rewrite.
+    let mem_conns = arg_u64("mem-conns", if quick { 200 } else { 500 });
+    let mut mem_table = Table::new(&["driver", "idle conns", "fds/conn", "rss KiB/conn"]);
+    let mut mem_points: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    for driver in [NetDriver::Epoll, NetDriver::Threads] {
+        let (server, _plan) = launch_sock(driver);
+        let fd0 = fd_count();
+        let rss0 = rss_kb();
+        let idle: Vec<Client> = (0..mem_conns).map(|_| connect_retry(&sock_path)).collect();
+        // Let the server finish materializing per-connection state
+        // (the threads driver spawns two threads per connection).
+        std::thread::sleep(Duration::from_millis(200));
+        let fd_per = (fd_count().saturating_sub(fd0)) as f64 / mem_conns as f64;
+        let rss_per = (rss_kb().saturating_sub(rss0)) as f64 / mem_conns as f64;
+        drop(idle);
+        server.shutdown();
+        mem_table.row(&[
+            driver.name().to_string(),
+            mem_conns.to_string(),
+            format!("{fd_per:.2}"),
+            format!("{rss_per:.1}"),
+        ]);
+        mem_points.push((
+            format!("conn_mem/{}", driver.name()),
+            vec![
+                ("idle_conns", mem_conns as f64),
+                ("fds_per_conn", fd_per),
+                ("rss_kb_per_conn", rss_per),
+            ],
+        ));
+    }
+    emit(
+        "Section 6",
+        "idle-connection cost: event loop vs thread-per-connection",
+        &mem_table,
+    );
+    println!();
+
     let mut points = vec![anchor_point];
     points.extend(sweep.points.iter().cloned());
     points.push(open_point);
     points.extend(rh_points);
     points.push(burst_point);
+    points.push(ratio_point);
+    points.extend(conn_points);
+    points.extend(mem_points);
     let extras = match depth_json.into_inner().expect("no poisoned lock") {
         Some(json) => vec![("queue_depth", json)],
         None => Vec::new(),

@@ -5,7 +5,7 @@
 //! `--duration-secs` expiry, or a fatal listener error. Exits 0 after a
 //! graceful drain and prints a per-run summary.
 
-use envy_server::{serve, Listener, ServeConfig, ShardedStore};
+use envy_server::{serve_with, Listener, NetConfig, NetDriver, ServeConfig, ShardedStore};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -25,6 +25,8 @@ OPTIONS:
     --batch N           max requests drained per dispatch
     --trace N           enable controller tracing with an N-event ring
     --duration-secs S   shut down automatically after S seconds
+    --net-driver D      connection driver: epoll|poll|threads (default epoll)
+    --idle-timeout-ms T reap connections silent for more than T ms
     --help              print this help
 ";
 
@@ -38,6 +40,8 @@ struct Args {
     batch: Option<usize>,
     trace: Option<usize>,
     duration_secs: Option<u64>,
+    net_driver: NetDriver,
+    idle_timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         batch: None,
         trace: None,
         duration_secs: None,
+        net_driver: NetDriver::default(),
+        idle_timeout_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -98,6 +104,19 @@ fn parse_args() -> Result<Args, String> {
                     value("--duration-secs")?
                         .parse()
                         .map_err(|e| format!("--duration-secs: {e}"))?,
+                );
+            }
+            "--net-driver" => {
+                let v = value("--net-driver")?;
+                args.net_driver = NetDriver::parse(&v).ok_or_else(|| {
+                    format!("--net-driver: unknown driver {v} (use epoll|poll|threads)")
+                })?;
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = Some(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--idle-timeout-ms: {e}"))?,
                 );
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -166,7 +185,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let handle = match serve(listener, store) {
+    let net = NetConfig {
+        driver: args.net_driver,
+        idle_timeout: args.idle_timeout_ms.map(Duration::from_millis),
+    };
+    let handle = match serve_with(listener, store, net) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("envy-served: serve failed: {e}");
@@ -174,10 +197,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "envy-served listening on {} ({} shards x {} bytes)",
+        "envy-served listening on {} ({} shards x {} bytes, {} driver)",
         handle.addr(),
         plan.shards(),
-        plan.shard_bytes()
+        plan.shard_bytes(),
+        args.net_driver.name(),
     );
 
     let summary = match args.duration_secs {

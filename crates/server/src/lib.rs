@@ -15,8 +15,13 @@
 //!   deadlines, and a graceful shutdown that drains every queue.
 //! * [`proto`] — a length-prefixed binary wire protocol for the same
 //!   request set.
-//! * [`net`] — TCP and Unix-socket serving with thread-per-connection
-//!   pipelining, plus a blocking/pipelined [`Client`].
+//! * [`net`] — TCP and Unix-socket serving with two interchangeable
+//!   connection drivers (a readiness-driven event loop, default, and
+//!   the original thread-per-connection model — see [`NetDriver`]),
+//!   plus a blocking/pipelined [`Client`].
+//! * [`evloop`] — the event-loop internals: an epoll/poll readiness
+//!   shim over raw syscalls, a cross-thread [`Waker`], and the
+//!   per-connection state machines.
 //! * [`loadgen`] — an open- and closed-loop multi-client load generator
 //!   driving a skewed TPC-A-style mix (reusing [`envy_workload`]).
 //!
@@ -42,13 +47,18 @@
 //! assert_eq!(outcome.total_served(), 2);
 //! ```
 
+pub mod evloop;
 pub mod loadgen;
 pub mod net;
 pub mod proto;
 pub mod shard;
 
+pub use evloop::{raise_nofile, Waker};
 pub use loadgen::{run_inproc, run_monolithic, run_socket, LoadMode, LoadReport, LoadSpec};
-pub use net::{serve, Client, ClientError, Listener, ServeSummary, ServerHandle};
+pub use net::{
+    serve, serve_with, Client, ClientError, Listener, NetConfig, NetDriver, ServeSummary,
+    ServerHandle,
+};
 pub use proto::{WireBody, WireRequest};
 pub use shard::{
     Busy, ReadPath, Reply, Request, Response, ServeConfig, ServeError, ServeOutcome, ShardHandle,

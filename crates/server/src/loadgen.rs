@@ -938,6 +938,10 @@ fn socket_client(
     idx: u32,
     started: Instant,
 ) -> LoadReport {
+    // Cork the client: pipelined submits batch into one buffer that
+    // the next recv() flushes, so an N-op transaction costs one write
+    // syscall instead of N.
+    let _ = client.set_corked(true);
     let mut stream = TxnStream::new(spec, plan, idx);
     let mut lp = ClientLoop::new(spec, started);
     let mut reqs = Vec::new();

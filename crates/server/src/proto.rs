@@ -252,6 +252,14 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
 /// Encode a response frame payload.
 pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16);
+    encode_response_into(&mut buf, resp);
+    buf
+}
+
+/// Append a response frame payload to `buf` (no length prefix). The
+/// allocation-reusing twin of [`encode_response`]: the event-loop
+/// driver encodes every response into a pooled buffer.
+pub fn encode_response_into(buf: &mut Vec<u8>, resp: &WireResponse) {
     let st = match &resp.outcome {
         WireOutcome::Reply(Reply::Data(_)) => status::DATA,
         WireOutcome::Reply(_) => status::OK,
@@ -267,46 +275,62 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         WireOutcome::ShutdownAck => status::ACK,
     };
     buf.push(st);
-    put_u64(&mut buf, resp.id);
-    put_u32(&mut buf, resp.shard);
+    put_u64(buf, resp.id);
+    put_u32(buf, resp.shard);
     match &resp.outcome {
         WireOutcome::Reply(Reply::Data(bytes)) => buf.extend_from_slice(bytes),
         WireOutcome::Reply(Reply::Done { latency }) => {
             buf.push(0);
-            put_u64(&mut buf, latency.as_nanos());
+            put_u64(buf, latency.as_nanos());
         }
         WireOutcome::Reply(Reply::Flushed) => buf.push(1),
         WireOutcome::Reply(Reply::Pong) => buf.push(2),
         WireOutcome::Reply(Reply::TxnStarted { txn }) => {
             buf.push(3);
-            put_u64(&mut buf, *txn);
+            put_u64(buf, *txn);
         }
         WireOutcome::Reply(Reply::Committed { txn }) => {
             buf.push(4);
-            put_u64(&mut buf, *txn);
+            put_u64(buf, *txn);
         }
         WireOutcome::Reply(Reply::Aborted { txn }) => {
             buf.push(5);
-            put_u64(&mut buf, *txn);
+            put_u64(buf, *txn);
         }
         WireOutcome::Err(ServeError::CrossesShard { addr, len }) => {
-            put_u64(&mut buf, *addr);
-            put_u64(&mut buf, *len);
+            put_u64(buf, *addr);
+            put_u64(buf, *len);
         }
         WireOutcome::Err(ServeError::OutOfBounds { addr, size }) => {
-            put_u64(&mut buf, *addr);
-            put_u64(&mut buf, *size);
+            put_u64(buf, *addr);
+            put_u64(buf, *size);
         }
-        WireOutcome::Err(ServeError::NoSuchTxn { txn }) => put_u64(&mut buf, *txn),
+        WireOutcome::Err(ServeError::NoSuchTxn { txn }) => put_u64(buf, *txn),
         WireOutcome::Err(ServeError::Store(msg)) => buf.extend_from_slice(msg.as_bytes()),
         WireOutcome::Err(ServeError::DeadlineExceeded)
         | WireOutcome::Err(ServeError::ShuttingDown)
         | WireOutcome::Err(ServeError::TxnBusy)
         | WireOutcome::Err(ServeError::TxnConflict)
         | WireOutcome::ShutdownAck => {}
-        WireOutcome::Busy(b) => put_u64(&mut buf, b.retry_after.as_nanos() as u64),
+        WireOutcome::Busy(b) => put_u64(buf, b.retry_after.as_nanos() as u64),
     }
-    buf
+}
+
+/// Encode a whole response **frame** (length prefix + payload) into
+/// `buf`, clearing it first. Returns `false` — with `buf` cleared —
+/// if the payload would exceed [`MAX_FRAME`] (the blocking writer
+/// swallows the same condition as an ignored `write_frame` error).
+pub fn encode_response_frame_into(buf: &mut Vec<u8>, resp: &WireResponse) -> bool {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+    encode_response_into(buf, resp);
+    let len = buf.len() - 4;
+    if len > MAX_FRAME {
+        buf.clear();
+        return false;
+    }
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -581,6 +605,103 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+// ---------------------------------------------------------------------
+// Incremental decoding
+// ---------------------------------------------------------------------
+
+/// A frame announced a payload larger than [`MAX_FRAME`] — the typed
+/// error of the incremental decoder (the peer is desynchronized or
+/// hostile; the connection must close).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The announced payload length.
+    pub announced: usize,
+}
+
+impl fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "announced frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            self.announced
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Incremental frame decoder for nonblocking readers: bytes arrive in
+/// arbitrary chunks ([`push`](FrameDecoder::push)), complete frames
+/// come out ([`next_frame`](FrameDecoder::next_frame)). One internal
+/// buffer is reused for the connection's lifetime — no per-frame
+/// allocation; consumed bytes are compacted away lazily.
+///
+/// Decodes exactly the same byte stream as the blocking
+/// [`read_frame`]: a split at any byte boundary yields identical
+/// frames, and an over-large announcement is the same hard error.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Compact once this many consumed bytes accumulate at the front.
+const DECODER_COMPACT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame payload, or `None` if more bytes are
+    /// needed. The returned slice borrows the internal buffer and is
+    /// consumed by the call — process it before the next `push`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameTooLarge`] if the header announces more than
+    /// [`MAX_FRAME`] bytes; the stream cannot be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameTooLarge> {
+        if self.start >= DECODER_COMPACT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4-byte header");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameTooLarge { announced: len });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let payload_start = self.start + 4;
+        self.start = payload_start + len;
+        Ok(Some(&self.buf[payload_start..payload_start + len]))
+    }
+
+    /// Whether undecoded bytes are buffered (an EOF now would be a
+    /// mid-frame EOF, like [`read_frame`]'s `UnexpectedEof`).
+    pub fn mid_frame(&self) -> bool {
+        self.start < self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -731,5 +852,56 @@ mod tests {
             read_frame(&mut torn).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn incremental_decoder_matches_blocking_reader() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[7u8; 300]).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        assert!(!dec.mid_frame());
+        let mut r = &stream[..];
+        let mut want = Vec::new();
+        while let Some(p) = read_frame(&mut r).unwrap() {
+            want.push(p);
+        }
+        assert_eq!(got, want);
+
+        // Oversized announcement is the same hard error.
+        let mut dec = FrameDecoder::new();
+        dec.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(
+            dec.next_frame().unwrap_err(),
+            FrameTooLarge {
+                announced: MAX_FRAME + 1
+            }
+        );
+    }
+
+    #[test]
+    fn frame_encode_into_reuses_buffer() {
+        let resp = WireResponse {
+            id: 3,
+            shard: 1,
+            outcome: WireOutcome::Reply(Reply::Pong),
+        };
+        let mut buf = Vec::new();
+        assert!(encode_response_frame_into(&mut buf, &resp));
+        let mut blocking = Vec::new();
+        write_frame(&mut blocking, &encode_response(&resp)).unwrap();
+        assert_eq!(buf, blocking);
+        // Reuse leaves no stale bytes behind.
+        assert!(encode_response_frame_into(&mut buf, &resp));
+        assert_eq!(buf, blocking);
     }
 }

@@ -481,6 +481,10 @@ struct Job {
     req: Request,
     deadline: Option<Instant>,
     reply: Sender<Response>,
+    /// Rung after the completion is posted, so a parked event loop
+    /// wakes without polling the channel (see
+    /// [`ShardHandle::submit_with_notify`]).
+    notify: Option<Arc<crate::evloop::Waker>>,
 }
 
 struct ShardLink {
@@ -569,6 +573,9 @@ fn run_reader(
                 shard,
                 result: Err(ServeError::DeadlineExceeded),
             });
+            if let Some(w) = &job.notify {
+                w.wake();
+            }
             continue;
         }
         match job.req {
@@ -585,6 +592,9 @@ fn run_reader(
                     ))),
                 });
             }
+        }
+        if let Some(w) = &job.notify {
+            w.wake();
         }
     }
 }
@@ -937,6 +947,28 @@ impl ShardHandle {
         deadline: Option<Duration>,
         reply: &Sender<Response>,
     ) -> Result<(), SubmitError> {
+        self.submit_with_notify(id, req, deadline, reply, None)
+    }
+
+    /// [`submit_with_id`](ShardHandle::submit_with_id) with a
+    /// completion wakeup: after the completion is posted to `reply`,
+    /// the given [`Waker`](crate::evloop::Waker) is rung so an event
+    /// loop parked in `epoll_wait`/`poll` observes it without polling
+    /// the channel. Inline reads (see [`ReadPath::Inline`]) complete
+    /// synchronously on the calling thread before this returns, so no
+    /// wake is issued for them.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](ShardHandle::submit).
+    pub fn submit_with_notify(
+        &self,
+        id: u64,
+        req: Request,
+        deadline: Option<Duration>,
+        reply: &Sender<Response>,
+        notify: Option<&Arc<crate::evloop::Waker>>,
+    ) -> Result<(), SubmitError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(SubmitError::Rejected(ServeError::ShuttingDown));
         }
@@ -974,6 +1006,7 @@ impl ShardHandle {
                     req: Request::Read { addr, len },
                     deadline: deadline.map(|d| Instant::now() + d),
                     reply: reply.clone(),
+                    notify: notify.cloned(),
                 };
                 // Round-robin with overflow onto the next reader; only
                 // a full sweep of full queues is Busy.
@@ -997,6 +1030,7 @@ impl ShardHandle {
             req: local,
             deadline: deadline.map(|d| Instant::now() + d),
             reply: reply.clone(),
+            notify: notify.cloned(),
         };
         // Count before sending so the worker's decrement can never race
         // the gauge below zero; a rejected send takes the count back.
@@ -1192,6 +1226,9 @@ impl Worker {
             }
             let t0 = Instant::now();
             self.trace_batch(&batch);
+            // One wake per distinct event loop per batch (not per job):
+            // wakes coalesce, so ringing after the batch is enough.
+            let mut wakers: Vec<Arc<crate::evloop::Waker>> = Vec::new();
             for job in batch.drain(..) {
                 let result = if job.deadline.is_some_and(|d| Instant::now() > d) {
                     timed_out += 1;
@@ -1211,6 +1248,14 @@ impl Worker {
                     shard: self.shard,
                     result,
                 });
+                if let Some(w) = job.notify {
+                    if !wakers.iter().any(|k| Arc::ptr_eq(k, &w)) {
+                        wakers.push(w);
+                    }
+                }
+            }
+            for w in wakers {
+                w.wake();
             }
             let per_op = (t0.elapsed().as_nanos() as u64 / n as u64).max(1);
             // EWMA (3 old + 1 new) / 4, kept in integers.

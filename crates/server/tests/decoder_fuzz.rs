@@ -1,0 +1,192 @@
+//! Fuzz-style seeded tests for the incremental frame decoder: any
+//! split of a byte stream — 1-byte drip or random chunks — must yield
+//! exactly the frames the blocking reader yields, truncation must
+//! never fabricate a frame, and malformed input must surface typed
+//! errors, never panics.
+
+use envy_server::proto::{self, FrameDecoder, FrameTooLarge, MAX_FRAME};
+use envy_sim::rng::Rng;
+use std::io;
+
+/// Everything the blocking reader extracts from a stream: the complete
+/// frames and how it ended (`None` = clean EOF at a boundary).
+fn blocking_decode(stream: &[u8]) -> (Vec<Vec<u8>>, Option<io::ErrorKind>) {
+    let mut cur = io::Cursor::new(stream);
+    let mut frames = Vec::new();
+    loop {
+        match proto::read_frame(&mut cur) {
+            Ok(Some(p)) => frames.push(p),
+            Ok(None) => return (frames, None),
+            Err(e) => return (frames, Some(e.kind())),
+        }
+    }
+}
+
+/// Feed the stream to the incremental decoder in the given chunk
+/// sizes; returns the frames plus whether it ended mid-frame.
+fn incremental_decode(
+    stream: &[u8],
+    mut chunk_of: impl FnMut() -> usize,
+) -> Result<(Vec<Vec<u8>>, bool), FrameTooLarge> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut off = 0;
+    while off < stream.len() {
+        let n = chunk_of().clamp(1, stream.len() - off);
+        dec.push(&stream[off..off + n]);
+        off += n;
+        while let Some(frame) = dec.next_frame()? {
+            frames.push(frame.to_vec());
+        }
+    }
+    // An empty stream never entered the loop; poll once for symmetry.
+    while let Some(frame) = dec.next_frame()? {
+        frames.push(frame.to_vec());
+    }
+    Ok((frames, dec.mid_frame()))
+}
+
+/// A seeded stream of valid frames (sizes spanning empty to multi-chunk),
+/// optionally truncated mid-frame.
+fn seeded_stream(rng: &mut Rng) -> Vec<u8> {
+    let mut stream = Vec::new();
+    let frames = 1 + rng.below(24);
+    for _ in 0..frames {
+        // Bias small, but include payloads bigger than one read chunk.
+        let len = match rng.below(10) {
+            0 => 0,
+            1..=6 => rng.below(600) as usize,
+            7 | 8 => rng.below(5_000) as usize,
+            _ => 40_000 + rng.below(60_000) as usize,
+        };
+        let mut payload = vec![0u8; len];
+        for b in payload.iter_mut() {
+            *b = rng.below(256) as u8;
+        }
+        proto::write_frame(&mut stream, &payload).unwrap();
+    }
+    if rng.chance(0.5) {
+        // Truncate somewhere strictly inside the final frame's bytes.
+        let cut = 1 + rng.below(stream.len() as u64 - 1) as usize;
+        stream.truncate(cut);
+    }
+    stream
+}
+
+#[test]
+fn random_splits_match_blocking_reader_across_seeds() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from(0xF_0221 + seed);
+        let stream = seeded_stream(&mut rng);
+        let (want_frames, want_end) = blocking_decode(&stream);
+
+        let mut chunk_rng = rng.fork();
+        let (got_frames, mid) = incremental_decode(&stream, || 1 + chunk_rng.below(4096) as usize)
+            .expect("valid streams never overflow MAX_FRAME");
+
+        assert_eq!(got_frames, want_frames, "seed {seed}: frames diverged");
+        match want_end {
+            // Clean boundary EOF: the decoder must be empty too.
+            None => assert!(!mid, "seed {seed}: decoder stuck mid-frame"),
+            // Torn stream: the blocking reader reports UnexpectedEof;
+            // the decoder simply ends mid-frame with no extra frames.
+            Some(kind) => {
+                assert_eq!(kind, io::ErrorKind::UnexpectedEof, "seed {seed}");
+                assert!(mid, "seed {seed}: truncated stream must end mid-frame");
+            }
+        }
+    }
+}
+
+#[test]
+fn one_byte_drip_matches_blocking_reader() {
+    for seed in 0..6u64 {
+        let mut rng = Rng::seed_from(0x1B17E + seed);
+        let stream = seeded_stream(&mut rng);
+        let (want_frames, want_end) = blocking_decode(&stream);
+        let (got_frames, mid) =
+            incremental_decode(&stream, || 1).expect("valid streams never overflow MAX_FRAME");
+        assert_eq!(got_frames, want_frames, "seed {seed}: frames diverged");
+        assert_eq!(mid, want_end.is_some(), "seed {seed}: end state diverged");
+    }
+}
+
+#[test]
+fn oversized_announcement_is_a_typed_error_not_a_panic() {
+    let announced = (MAX_FRAME + 1) as u32;
+    let mut stream = announced.to_le_bytes().to_vec();
+    stream.extend_from_slice(&[0xab; 64]);
+
+    // Blocking reader: InvalidData.
+    let (frames, end) = blocking_decode(&stream);
+    assert!(frames.is_empty());
+    assert_eq!(end, Some(io::ErrorKind::InvalidData));
+
+    // Incremental decoder: typed FrameTooLarge carrying the announced
+    // length, byte-split-independent, and stable on re-poll.
+    for chunk in [1usize, 3, 64] {
+        let mut dec = FrameDecoder::new();
+        let mut off = 0;
+        let mut err = None;
+        while off < stream.len() {
+            let n = chunk.min(stream.len() - off);
+            dec.push(&stream[off..off + n]);
+            off += n;
+            match dec.next_frame() {
+                Ok(Some(_)) => panic!("oversized frame must never decode"),
+                Ok(None) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            err,
+            Some(FrameTooLarge {
+                announced: announced as usize
+            }),
+            "chunk size {chunk}"
+        );
+        // The error is sticky — the stream cannot resynchronize.
+        assert!(dec.next_frame().is_err());
+    }
+}
+
+#[test]
+fn valid_frames_before_an_oversized_one_still_decode() {
+    let mut stream = Vec::new();
+    proto::write_frame(&mut stream, b"ok-1").unwrap();
+    proto::write_frame(&mut stream, &[9u8; 1000]).unwrap();
+    stream.extend_from_slice(&u32::MAX.to_le_bytes());
+    stream.extend_from_slice(b"junk");
+
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut err = None;
+    for b in &stream {
+        dec.push(std::slice::from_ref(b));
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => frames.push(f.to_vec()),
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        if err.is_some() {
+            break;
+        }
+    }
+    assert_eq!(frames.len(), 2);
+    assert_eq!(frames[0], b"ok-1");
+    assert_eq!(frames[1], vec![9u8; 1000]);
+    assert_eq!(
+        err,
+        Some(FrameTooLarge {
+            announced: u32::MAX as usize
+        })
+    );
+}

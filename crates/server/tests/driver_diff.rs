@@ -1,0 +1,237 @@
+//! Driver-equivalence tests: the event-loop drivers (`epoll`, `poll`)
+//! and the thread-per-connection driver must be indistinguishable on
+//! the wire — byte-identical responses for a seeded pipelined workload
+//! and identical `ServeSummary` accounting — and must run the same
+//! disconnect cleanup for half-closed sockets.
+
+use envy_server::proto::{self, WireBody, WireRequest};
+use envy_server::{
+    serve_with, Client, Listener, NetConfig, NetDriver, Request, ServeConfig, ServeError,
+    ShardedStore,
+};
+use envy_sim::rng::Rng;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Build a seeded pipelined request blob: a deterministic interleave of
+/// writes, reads, pings, and a few malformed (unknown-opcode) frames.
+/// One shard + FIFO dispatch means completion order equals admission
+/// order, so both drivers must answer with identical byte streams.
+fn seeded_blob(frames: usize) -> (Vec<u8>, u64) {
+    let shard_bytes = {
+        let cfg = ServeConfig::small(1);
+        envy_core::EnvyStore::new(cfg.store).unwrap().size()
+    };
+    let mut rng = Rng::seed_from(0xD1FF_9);
+    let mut blob = Vec::new();
+    let mut admitted = 0u64;
+    for i in 0..frames as u64 {
+        if rng.chance(0.05) {
+            // Unknown opcode: syntactically a frame, semantically
+            // garbage. Answered with a typed error under id 0; not
+            // admitted, so it never counts as a request.
+            let garbage = vec![0xee_u8; 8 + rng.below(16) as usize];
+            blob.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+            blob.extend_from_slice(&garbage);
+            continue;
+        }
+        let addr = rng.below(shard_bytes - 600);
+        let req = match rng.below(3) {
+            0 => Request::Write {
+                addr,
+                bytes: vec![(i % 251) as u8; 1 + rng.below(500) as usize],
+            },
+            1 => Request::Read {
+                addr,
+                len: 1 + rng.below(500) as u32,
+            },
+            _ => Request::Ping { shard: 0 },
+        };
+        let frame = proto::encode_request(&WireRequest {
+            id: i,
+            deadline_us: 0,
+            body: WireBody::Req(req),
+        });
+        blob.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&frame);
+        admitted += 1;
+    }
+    (blob, admitted)
+}
+
+/// Run the blob against a fresh 1-shard server under `driver`; return
+/// the raw response bytes and the summary's request count.
+fn run_driver(driver: NetDriver, blob: &[u8], frames: usize) -> (Vec<u8>, u64) {
+    let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+    let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+    let server = serve_with(
+        listener,
+        store,
+        NetConfig {
+            driver,
+            idle_timeout: None,
+        },
+    )
+    .unwrap();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(blob).unwrap();
+    let mut bytes = Vec::new();
+    for _ in 0..frames {
+        let payload = proto::read_frame(&mut raw)
+            .expect("read response frame")
+            .expect("response before eof");
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    drop(raw);
+    let summary = server.shutdown();
+    (bytes, summary.requests)
+}
+
+#[test]
+fn drivers_produce_identical_wire_bytes_and_counts() {
+    const FRAMES: usize = 200;
+    let (blob, admitted) = seeded_blob(FRAMES);
+    let (epoll_bytes, epoll_reqs) = run_driver(NetDriver::Epoll, &blob, FRAMES);
+    let (poll_bytes, poll_reqs) = run_driver(NetDriver::Poll, &blob, FRAMES);
+    let (thread_bytes, thread_reqs) = run_driver(NetDriver::Threads, &blob, FRAMES);
+
+    assert_eq!(epoll_reqs, admitted, "epoll driver request count");
+    assert_eq!(poll_reqs, admitted, "poll driver request count");
+    assert_eq!(thread_reqs, admitted, "threads driver request count");
+    assert!(!epoll_bytes.is_empty());
+    assert_eq!(
+        epoll_bytes, thread_bytes,
+        "epoll and threads drivers must answer byte-identically"
+    );
+    assert_eq!(
+        epoll_bytes, poll_bytes,
+        "epoll and poll backends must answer byte-identically"
+    );
+}
+
+/// A half-closed socket — the client shuts down only its **write**
+/// side and keeps reading — must still get its open transactions
+/// aborted (the EOF runs the same disconnect cleanup as a full close),
+/// releasing the shard's transaction slot within the idle timeout.
+fn half_close_aborts_open_txn(driver: NetDriver) {
+    let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+    let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+    let server = serve_with(
+        listener,
+        store,
+        NetConfig {
+            driver,
+            idle_timeout: Some(Duration::from_millis(300)),
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.write(64, b"base").unwrap();
+    let txn = client.txn_begin(0).unwrap();
+    client.txn_write(64, b"gone", txn).unwrap();
+    // Half-close: no more requests will come, but the read side stays
+    // open — a client that crashed between encode and close behaves
+    // exactly like this.
+    client.shutdown_write().unwrap();
+
+    let mut fresh = Client::connect_tcp(&addr).unwrap();
+    let opened = Instant::now();
+    loop {
+        match fresh.txn_begin(0) {
+            Ok(t) => {
+                // The orphan was aborted: pre-transaction bytes, slot free.
+                assert_eq!(fresh.read(64, 4).unwrap(), b"base");
+                fresh.txn_abort(0, t).unwrap();
+                break;
+            }
+            Err(envy_server::ClientError::Serve(ServeError::TxnBusy)) => {
+                assert!(
+                    opened.elapsed() < Duration::from_secs(5),
+                    "half-closed connection's transaction never aborted ({driver:?})"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("txn_begin: {e}"),
+        }
+    }
+    // After the cleanup the server closes its end, so the half-closed
+    // client's read side sees EOF rather than hanging forever.
+    match client.recv() {
+        Err(envy_server::ClientError::Disconnected) => {}
+        other => panic!("expected server-side close, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn half_closed_socket_aborts_txn_under_epoll() {
+    half_close_aborts_open_txn(NetDriver::Epoll);
+}
+
+#[test]
+fn half_closed_socket_aborts_txn_under_poll_backend() {
+    half_close_aborts_open_txn(NetDriver::Poll);
+}
+
+#[test]
+fn half_closed_socket_aborts_txn_under_threads() {
+    half_close_aborts_open_txn(NetDriver::Threads);
+}
+
+/// A connection that goes fully silent (no EOF at all) is reaped by
+/// the idle timeout and its transaction aborted — the teardown path
+/// that EOF-based cleanup alone can never catch.
+fn silent_connection_reaped_by_idle_timeout(driver: NetDriver) {
+    let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+    let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+    let server = serve_with(
+        listener,
+        store,
+        NetConfig {
+            driver,
+            idle_timeout: Some(Duration::from_millis(200)),
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let _txn = client.txn_begin(0).unwrap();
+    // No shutdown, no EOF: the socket just goes quiet, still open.
+
+    let mut fresh = Client::connect_tcp(&addr).unwrap();
+    let opened = Instant::now();
+    loop {
+        // The fresh connection keeps talking, so only the silent one
+        // can hit the idle timeout.
+        match fresh.txn_begin(0) {
+            Ok(t) => {
+                fresh.txn_abort(0, t).unwrap();
+                break;
+            }
+            Err(envy_server::ClientError::Serve(ServeError::TxnBusy)) => {
+                assert!(
+                    opened.elapsed() < Duration::from_secs(5),
+                    "silent connection's transaction never aborted ({driver:?})"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("txn_begin: {e}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn silent_connection_reaped_under_epoll() {
+    silent_connection_reaped_by_idle_timeout(NetDriver::Epoll);
+}
+
+#[test]
+fn silent_connection_reaped_under_threads() {
+    silent_connection_reaped_by_idle_timeout(NetDriver::Threads);
+}

@@ -16,7 +16,8 @@
 
 use envy::core::{EnvyConfig, EnvyStore, PolicyKind};
 use envy::server::{
-    loadgen, serve, Client, Listener, LoadSpec, ServeConfig, ShardPlan, ShardedStore,
+    loadgen, serve_with, Client, Listener, LoadSpec, NetConfig, NetDriver, ServeConfig, ShardPlan,
+    ShardedStore,
 };
 use envy::sim::report::{fmt_f64, Table};
 use envy::sim::time::Ns;
@@ -94,6 +95,8 @@ commands:
       --txn-slots <n>       concurrent transactions per shard (default 1)
       --scale <small|scaled>  per-shard array size          (default scaled)
       --duration-secs <n>   serve n seconds, then drain     (default: until shutdown)
+      --net-driver <d>      connection driver: epoll|poll|threads (default epoll)
+      --idle-timeout-ms <n> reap connections silent > n ms  (default: never)
   bench-serve               closed-loop load against an in-process sharded store,
                             or a live server (--unix/--connect; --shards/--scale
                             must then match the server's)
@@ -472,12 +475,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => Listener::bind_tcp(opt(args, "--tcp").unwrap_or("127.0.0.1:7033")),
     }
     .map_err(|e| e.to_string())?;
-    let handle = serve(listener, store).map_err(|e| e.to_string())?;
+    let driver = match opt(args, "--net-driver") {
+        None => NetDriver::default(),
+        Some(name) => NetDriver::parse(name)
+            .ok_or_else(|| format!("unknown net driver `{name}` (use epoll|poll|threads)"))?,
+    };
+    let idle_ms: u64 = opt_parse(args, "--idle-timeout-ms", 0)?;
+    let net = NetConfig {
+        driver,
+        idle_timeout: (idle_ms > 0).then(|| Duration::from_millis(idle_ms)),
+    };
+    let handle = serve_with(listener, store, net).map_err(|e| e.to_string())?;
     println!(
-        "serving on {} ({} shards x {} bytes)",
+        "serving on {} ({} shards x {} bytes, {} driver)",
         handle.addr(),
         shards,
-        plan.shard_bytes()
+        plan.shard_bytes(),
+        driver.name(),
     );
     let duration: u64 = opt_parse(args, "--duration-secs", 0)?;
     let summary = if duration == 0 {
