@@ -129,6 +129,17 @@ cargo run --release -q -p envy-bench --bin ext_txn -- --quick \
 grep -q "anchor: atomic TPC-A over the wire == monolithic replay" results/ci_smoke_ext_txn.txt
 test -s results/BENCH_ext_txn.json
 
+echo "== smoke: ext_ycsb --quick (KV serving under YCSB mixes) =="
+# YCSB A-E over the KV wire ops plus the KV wire anchor: a seeded atomic
+# YCSB-A run (nonzero aborts) through a real TCP server must match the
+# monolithic in-process replay exactly — the binary asserts it (clock,
+# stats, bytes) and prints the anchor line. The report also carries the
+# uniform-vs-zipfian wear rows (see docs/KV.md).
+cargo run --release -q -p envy-bench --bin ext_ycsb -- --quick \
+  > results/ci_smoke_ext_ycsb.txt
+grep -q "anchor: atomic YCSB-A over the wire == monolithic replay" results/ci_smoke_ext_ycsb.txt
+test -s results/BENCH_ext_ycsb.json
+
 echo "== smoke: envy-served (epoll driver) + 4-client socket loadgen =="
 # Serve on a Unix socket under the default epoll event loop, drive 4
 # client connections closed-loop, then shut the server down over the
@@ -145,6 +156,20 @@ for _ in $(seq 1 100); do test -S "$SERVE_SOCK" && break; sleep 0.1; done
 test -S "$SERVE_SOCK"
 ./target/release/envy-cli bench-serve --unix "$SERVE_SOCK" --shards 2 --scale small \
   --clients 4 --txns 250 > results/ci_smoke_serve_load.txt
+# KV leg: the same daemon serves the four KV wire ops (docs/KV.md);
+# put/get/scan/delete round-trip through envy-cli against shard 1.
+./target/release/envy-cli kv-put --unix "$SERVE_SOCK" --shard 1 --key 7 --value hello \
+  > results/ci_smoke_serve_kv.txt
+./target/release/envy-cli kv-get --unix "$SERVE_SOCK" --shard 1 --key 7 \
+  >> results/ci_smoke_serve_kv.txt
+./target/release/envy-cli kv-scan --unix "$SERVE_SOCK" --shard 1 --start 0 --limit 5 \
+  >> results/ci_smoke_serve_kv.txt
+./target/release/envy-cli kv-del --unix "$SERVE_SOCK" --shard 1 --key 7 \
+  >> results/ci_smoke_serve_kv.txt
+./target/release/envy-cli kv-get --unix "$SERVE_SOCK" --shard 1 --key 7 \
+  >> results/ci_smoke_serve_kv.txt
+printf 'ok\nhello\n7\thello\n(1 records)\ndeleted\n(miss)\n' \
+  | cmp - results/ci_smoke_serve_kv.txt
 # Second leg: the same daemon (4 transaction slots per shard) serves
 # atomic transactions (TXN_BEGIN .. TXN_COMMIT/TXN_ABORT over the wire)
 # with a seeded abort fraction; write-set conflicts abort-and-retry.

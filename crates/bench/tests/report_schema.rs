@@ -56,3 +56,56 @@ fn every_committed_report_parses_and_is_versioned() {
     }
     assert!(checked >= 10, "only {checked} reports found in results/");
 }
+
+/// The YCSB report carries a fixed point set the docs and EXPERIMENTS.md
+/// quote: the wire anchor (must have matched), every mix at 1 and 8
+/// shards with throughput + tail latencies, and the wear-under-skew
+/// rows with a lifetime projection.
+#[test]
+fn ext_ycsb_report_carries_anchor_mixes_and_wear_rows() {
+    let text = std::fs::read_to_string(results_dir().join("BENCH_ext_ycsb.json"))
+        .expect("results/BENCH_ext_ycsb.json committed");
+    let doc = parse(&text).expect("well-formed report");
+    let points = doc
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("points array");
+    let metric = |label: &str, key: &str| -> f64 {
+        points
+            .iter()
+            .find(|p| p.get("label").and_then(Value::as_str) == Some(label))
+            .unwrap_or_else(|| panic!("missing point {label:?}"))
+            .get("metrics")
+            .and_then(|m| m.get(key))
+            .and_then(Value::as_number)
+            .unwrap_or_else(|| panic!("point {label:?} missing metric {key:?}"))
+    };
+    assert_eq!(
+        metric("anchor", "anchor_match"),
+        1.0,
+        "the socket-vs-monolithic anchor must have matched"
+    );
+    assert!(metric("anchor", "anchor_aborted") > 0.0);
+    for mix in ["A", "B", "C", "D", "E"] {
+        for shards in [1.0, 8.0] {
+            let label = format!("{mix} x{shards:.0}");
+            assert_eq!(metric(&label, "shards"), shards);
+            assert!(metric(&label, "wall_tps") > 0.0, "{label}: zero throughput");
+            for pct in ["p50_us", "p99_us", "p999_us"] {
+                assert!(metric(&label, pct) > 0.0, "{label}: missing {pct}");
+            }
+        }
+    }
+    for row in ["wear/uniform", "wear/zipfian"] {
+        assert!(
+            metric(row, "pages_flushed") > 0.0,
+            "{row}: no flush traffic"
+        );
+        assert!(metric(row, "flushes_per_op") > 0.0);
+        let days = metric(row, "lifetime_days");
+        assert!(
+            days.is_finite() && days > 0.0,
+            "{row}: lifetime projection must be finite, got {days}"
+        );
+    }
+}

@@ -324,6 +324,108 @@ impl BTree {
         }
     }
 
+    /// Remove a key; returns its value if it was present.
+    ///
+    /// Deletion is *lazy*: the entry is removed from its leaf but no
+    /// rebalancing, merging, or node reclamation happens (the region
+    /// uses a bump allocator, so node pages are never freed anyway).
+    /// Internal separator keys are left untouched — a stale separator
+    /// still routes correctly because it only ever *over*-partitions
+    /// the key space — and a leaf may become empty, which every read
+    /// path (`get`, `get_probed`, `scan`) tolerates. The trade-off is
+    /// classic for append-friendly NVM indexes: deletes cost one leaf
+    /// rewrite and space is returned only to the leaf, not the region.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn delete<M: Memory>(&mut self, mem: &mut M, key: u64) -> Result<Option<u64>, BTreeError> {
+        let mut addr = self.root;
+        loop {
+            let mut node = Node::load(mem, addr)?;
+            if node.leaf {
+                return match node.leaf_search(key) {
+                    Ok(i) => {
+                        let (_, old) = node.entries.remove(i);
+                        node.store(mem, addr)?;
+                        Ok(Some(old))
+                    }
+                    Err(_) => Ok(None),
+                };
+            }
+            if node.entries.is_empty() {
+                return Ok(None);
+            }
+            addr = node.entries[node.child_index(key)].1;
+        }
+    }
+
+    /// Ordered range read: up to `limit` `(key, value)` pairs with
+    /// `key >= start`, in ascending key order.
+    ///
+    /// The traversal is a pruned in-order walk: a subtree is skipped
+    /// when the *next* separator key is `<= start`, since every key it
+    /// holds is strictly below that separator. Leaves have no sibling
+    /// links (nodes are immovable once bump-allocated), so the walk
+    /// descends from the root; with fanout 32 the extra internal reads
+    /// are one node per level per ~32 leaves visited.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors.
+    pub fn scan<M: Memory>(
+        &self,
+        mem: &mut M,
+        start: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>, BTreeError> {
+        let mut out = Vec::with_capacity(limit.min(FANOUT));
+        if limit > 0 {
+            self.scan_node(mem, self.root, start, limit, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn scan_node<M: Memory>(
+        &self,
+        mem: &mut M,
+        addr: u64,
+        start: u64,
+        limit: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> Result<(), BTreeError> {
+        let node = Node::load(mem, addr)?;
+        if node.leaf {
+            let from = match node.leaf_search(start) {
+                Ok(i) | Err(i) => i,
+            };
+            for &(k, v) in &node.entries[from..] {
+                if out.len() == limit {
+                    break;
+                }
+                out.push((k, v));
+            }
+            return Ok(());
+        }
+        for i in 0..node.entries.len() {
+            if out.len() == limit {
+                break;
+            }
+            // Subtree i only holds keys < separator i+1: child_index
+            // routes any key >= that separator further right. If that
+            // bound is <= start the whole subtree is below the range.
+            if node
+                .entries
+                .get(i + 1)
+                .is_some_and(|&(sep, _)| sep <= start)
+            {
+                continue;
+            }
+            self.scan_node(mem, node.entries[i].1, start, limit, out)?;
+        }
+        Ok(())
+    }
+
     /// Bulk-load a fresh tree from strictly ascending `(key, value)`
     /// pairs, packing leaves full and building internal levels bottom-up
     /// (how the TPC-A database is initialized).
@@ -566,6 +668,99 @@ mod tests {
             }
         }
         assert_eq!(err, Some(BTreeError::OutOfSpace));
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        assert_eq!(t.delete(&mut m, 5).unwrap(), None);
+        t.insert(&mut m, 5, 50).unwrap();
+        assert_eq!(t.delete(&mut m, 5).unwrap(), Some(50));
+        assert_eq!(t.get(&mut m, 5).unwrap(), None);
+        assert_eq!(t.delete(&mut m, 5).unwrap(), None);
+        // Reinsertion after delete works.
+        t.insert(&mut m, 5, 51).unwrap();
+        assert_eq!(t.get(&mut m, 5).unwrap(), Some(51));
+    }
+
+    #[test]
+    fn delete_many_leaves_survivors_intact() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        for i in 0..5_000u64 {
+            t.insert(&mut m, i, i * 2).unwrap();
+        }
+        // Empty out every even key — many leaves end up sparse or empty.
+        for i in (0..5_000u64).step_by(2) {
+            assert_eq!(t.delete(&mut m, i).unwrap(), Some(i * 2), "key {i}");
+        }
+        for i in 0..5_000u64 {
+            let want = if i % 2 == 1 { Some(i * 2) } else { None };
+            assert_eq!(t.get(&mut m, i).unwrap(), want, "key {i}");
+            assert_eq!(t.get_probed(&mut m, i).unwrap(), want, "probed {i}");
+        }
+    }
+
+    #[test]
+    fn delete_whole_tree_then_refill() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        for i in 0..2_000u64 {
+            t.insert(&mut m, i, i).unwrap();
+        }
+        for i in 0..2_000u64 {
+            t.delete(&mut m, i).unwrap();
+        }
+        assert_eq!(t.scan(&mut m, 0, 10).unwrap(), vec![]);
+        for i in 0..2_000u64 {
+            t.insert(&mut m, i, i + 1).unwrap();
+        }
+        assert_eq!(t.get(&mut m, 1_999).unwrap(), Some(2_000));
+    }
+
+    #[test]
+    fn scan_returns_sorted_ranges() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 2 * 1024 * 1024).unwrap();
+        let mut keys: Vec<u64> = (0..4_000).map(|i| i * 3).collect();
+        let mut rng = envy_sim::rng::Rng::seed_from(9);
+        rng.shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(&mut m, k, k + 1).unwrap();
+        }
+        // From an existing key.
+        let got = t.scan(&mut m, 300, 5).unwrap();
+        assert_eq!(
+            got,
+            vec![(300, 301), (303, 304), (306, 307), (309, 310), (312, 313)]
+        );
+        // From a key between entries.
+        let got = t.scan(&mut m, 301, 2).unwrap();
+        assert_eq!(got, vec![(303, 304), (306, 307)]);
+        // Past the end.
+        assert_eq!(t.scan(&mut m, 12_000, 4).unwrap(), vec![]);
+        // Zero limit.
+        assert_eq!(t.scan(&mut m, 0, 0).unwrap(), vec![]);
+        // Unbounded-ish: whole tree comes back sorted.
+        let all = t.scan(&mut m, 0, 10_000).unwrap();
+        assert_eq!(all.len(), 4_000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scan_skips_deleted_entries() {
+        let mut m = mem();
+        let mut t = BTree::create(&mut m, 0, 1024 * 1024).unwrap();
+        for i in 0..100u64 {
+            t.insert(&mut m, i, i).unwrap();
+        }
+        for i in 40..60u64 {
+            t.delete(&mut m, i).unwrap();
+        }
+        let got = t.scan(&mut m, 35, 10).unwrap();
+        let want: Vec<(u64, u64)> = (35..40).chain(60..65).map(|i| (i, i)).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

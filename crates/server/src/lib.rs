@@ -54,7 +54,9 @@ pub mod proto;
 pub mod shard;
 
 pub use evloop::{raise_nofile, Waker};
-pub use loadgen::{run_inproc, run_monolithic, run_socket, LoadMode, LoadReport, LoadSpec};
+pub use loadgen::{
+    run_inproc, run_monolithic, run_socket, ycsb_load_requests, LoadMode, LoadReport, LoadSpec,
+};
 pub use net::{
     serve, serve_with, Client, ClientError, Listener, NetConfig, NetDriver, ServeSummary,
     ServerHandle,
@@ -62,5 +64,5 @@ pub use net::{
 pub use proto::{WireBody, WireRequest};
 pub use shard::{
     Busy, ReadPath, Reply, Request, Response, ServeConfig, ServeError, ServeOutcome, ShardHandle,
-    ShardOutcome, ShardPlan, ShardedStore, SubmitError, DEPTH_COLUMNS,
+    ShardOutcome, ShardPlan, ShardedStore, SubmitError, DEPTH_COLUMNS, KV_SCAN_LIMIT,
 };

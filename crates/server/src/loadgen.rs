@@ -33,6 +33,7 @@ use envy_sim::rng::Rng;
 use envy_sim::stats::Histogram;
 use envy_sim::time::Ns;
 use envy_workload::tpca::{AnalyticTpca, TpcaScale, TraceAccess, Transaction};
+use envy_workload::ycsb::{YcsbConfig, YcsbOp, YcsbStream};
 use std::collections::HashMap;
 use std::io;
 use std::sync::mpsc;
@@ -82,6 +83,14 @@ pub struct LoadSpec {
     /// instead of committing (exercising rollback under load). `None`
     /// keeps the non-atomic per-access shape.
     pub abort_fraction: Option<f64>,
+    /// `Some(config)` switches every client to a YCSB key-value mix
+    /// over the `envy-kv` wire operations instead of the TPC-A address
+    /// mixes. Keys route to shards by `key % shards`; each "transaction"
+    /// is one YCSB operation. Combines with
+    /// [`atomic`](LoadSpec::atomic): every operation is then bracketed
+    /// by `TxnBegin`/`TxnCommit`, updates run as read-modify-write
+    /// inside the transaction, and a seeded fraction roll back.
+    pub ycsb: Option<YcsbConfig>,
 }
 
 impl LoadSpec {
@@ -98,6 +107,7 @@ impl LoadSpec {
             deadline: None,
             read_fraction: None,
             abort_fraction: None,
+            ycsb: None,
         }
     }
 
@@ -155,6 +165,32 @@ impl LoadSpec {
         self.abort_fraction = Some(abort_fraction);
         self
     }
+
+    /// Switch every client to a YCSB key-value mix (builder-style).
+    /// Takes precedence over [`read_mostly`](LoadSpec::read_mostly).
+    #[must_use]
+    pub fn with_ycsb(mut self, config: YcsbConfig) -> LoadSpec {
+        self.ycsb = Some(config);
+        self
+    }
+}
+
+/// The deterministic YCSB load phase: one standalone `KvPut` per
+/// initial record, keys `0..records` in order, routed by
+/// `key % shards`. Both sides of the determinism anchor run exactly
+/// this sequence — the monolithic reference through
+/// [`apply`](crate::shard::apply), the served run over its connection —
+/// so the stores enter the measured phase byte-identical.
+pub fn ycsb_load_requests(config: &YcsbConfig, shards: u32) -> Vec<Request> {
+    let shards = shards.max(1) as u64;
+    (0..config.records)
+        .map(|key| Request::KvPut {
+            shard: (key % shards) as u32,
+            key,
+            txn: 0,
+            value: config.value_for(key, 0),
+        })
+        .collect()
 }
 
 /// What a load run measured.
@@ -241,6 +277,11 @@ enum Mix {
         /// Probability that an access is a read.
         read_fraction: f64,
     },
+    /// One YCSB key-value operation per "transaction" over the KV wire
+    /// ops ([`LoadSpec::ycsb`]). Keys route to shards by `key % shards`,
+    /// so each shard's KV index holds the keys congruent to its id and
+    /// a workload-E scan walks one shard's slice of the key space.
+    Ycsb(Box<YcsbStream>),
 }
 
 /// Per-client deterministic transaction stream over one shard plan.
@@ -273,7 +314,9 @@ impl TxnStream {
         let scale = TpcaScale::fit_bytes(plan.shard_bytes());
         let tpca = AnalyticTpca::new(scale);
         let fits = tpca.layout().total_bytes <= plan.shard_bytes();
-        let mix = if let Some(read_fraction) = spec.read_fraction {
+        let mix = if let Some(ycsb) = &spec.ycsb {
+            Mix::Ycsb(Box::new(YcsbStream::new(ycsb, client, spec.clients.max(1))))
+        } else if let Some(read_fraction) = spec.read_fraction {
             Mix::ReadMostly {
                 slots: (plan.shard_bytes() / SYNTH_RECORD).max(1),
                 read_fraction,
@@ -309,6 +352,81 @@ impl TxnStream {
     /// Draw the next transaction's global-address request list.
     fn next_requests(&mut self, out: &mut Vec<Request>) {
         out.clear();
+        if let Mix::Ycsb(stream) = &mut self.mix {
+            let shards = self.plan.shards() as u64;
+            let op = stream.next_op(&mut self.rng);
+            let atomic = self.abort_fraction.is_some();
+            let shard = match op {
+                YcsbOp::Read { key } => {
+                    let shard = (key % shards) as u32;
+                    out.push(Request::KvGet { shard, key });
+                    shard
+                }
+                YcsbOp::Update { key } => {
+                    let shard = (key % shards) as u32;
+                    let value = stream.config().value_for(key, stream.version());
+                    if atomic {
+                        // Read-modify-write inside the transaction: the
+                        // read observes the committed value, the write
+                        // lands in the transaction's write set so the
+                        // seeded abort below takes it back.
+                        out.push(Request::KvGet { shard, key });
+                        out.push(Request::KvPut {
+                            shard,
+                            key,
+                            txn: TXN_PATCH,
+                            value,
+                        });
+                    } else {
+                        out.push(Request::KvPut {
+                            shard,
+                            key,
+                            txn: 0,
+                            value,
+                        });
+                    }
+                    shard
+                }
+                YcsbOp::Insert { key } => {
+                    let shard = (key % shards) as u32;
+                    let value = stream.config().value_for(key, stream.version());
+                    out.push(Request::KvPut {
+                        shard,
+                        key,
+                        txn: if atomic { TXN_PATCH } else { 0 },
+                        value,
+                    });
+                    shard
+                }
+                YcsbOp::Scan { start, limit } => {
+                    let shard = (start % shards) as u32;
+                    out.push(Request::KvScan {
+                        shard,
+                        start,
+                        limit,
+                    });
+                    shard
+                }
+            };
+            if let Some(abort) = self.abort_fraction {
+                // Atomic mode brackets every operation — reads and
+                // scans included, so the driver's begin/commit protocol
+                // holds uniformly across the mix.
+                out.insert(0, Request::TxnBegin { shard });
+                out.push(if self.rng.chance(abort) {
+                    Request::TxnAbort {
+                        shard,
+                        txn: TXN_PATCH,
+                    }
+                } else {
+                    Request::TxnCommit {
+                        shard,
+                        txn: TXN_PATCH,
+                    }
+                });
+            }
+            return;
+        }
         let shard = self.rng.below(self.plan.shards() as u64) as u32;
         let base = self.plan.base_of(shard);
         match &self.mix {
@@ -364,6 +482,7 @@ impl TxnStream {
                     });
                 }
             }
+            Mix::Ycsb(_) => unreachable!("ycsb streams return above"),
             Mix::Synthetic { slots } => {
                 let slots = *slots;
                 let account = self.skewed_key(slots);
@@ -435,6 +554,22 @@ fn patch_txn(req: &Request, txn: u64) -> Request {
         Request::TxnWrite { addr, bytes, .. } => Request::TxnWrite { addr, bytes, txn },
         Request::TxnCommit { shard, .. } => Request::TxnCommit { shard, txn },
         Request::TxnAbort { shard, .. } => Request::TxnAbort { shard, txn },
+        Request::KvPut {
+            shard,
+            key,
+            value,
+            txn: TXN_PATCH,
+        } => Request::KvPut {
+            shard,
+            key,
+            txn,
+            value,
+        },
+        Request::KvDelete {
+            shard,
+            key,
+            txn: TXN_PATCH,
+        } => Request::KvDelete { shard, key, txn },
         other => other,
     }
 }
@@ -1325,6 +1460,145 @@ mod tests {
         // The served store and the synchronous replay agree on the
         // simulated clock and every statistic — commit journaling and
         // rollback included.
+        assert_eq!(outcome.shards[0].store.now(), mono.now());
+        assert_eq!(outcome.shards[0].store.stats(), mono.stats());
+    }
+
+    #[test]
+    fn ycsb_stream_is_deterministic_and_kv_shaped() {
+        use envy_workload::ycsb::YcsbMix;
+        let config = YcsbConfig::standard(YcsbMix::A, 500);
+        let spec = LoadSpec::closed(2, 4).with_seed(21).with_ycsb(config);
+        let plan = ShardPlan::new(4, 1 << 20);
+        let mut a = TxnStream::new(&spec, plan, 1);
+        let mut b = TxnStream::new(&spec, plan, 1);
+        let mut other = TxnStream::new(&spec, plan, 0);
+        let (mut ra, mut rb, mut rc) = (Vec::new(), Vec::new(), Vec::new());
+        let mut differs = false;
+        let (mut gets, mut puts) = (0u32, 0u32);
+        for _ in 0..64 {
+            a.next_requests(&mut ra);
+            b.next_requests(&mut rb);
+            other.next_requests(&mut rc);
+            assert_eq!(ra, rb, "same client stream must repeat exactly");
+            differs |= ra != rc;
+            for req in &ra {
+                match req {
+                    Request::KvGet { shard, key } => {
+                        assert_eq!(*shard as u64, key % 4);
+                        gets += 1;
+                    }
+                    Request::KvPut {
+                        shard, key, txn, ..
+                    } => {
+                        assert_eq!(*shard as u64, key % 4);
+                        assert_eq!(*txn, 0, "non-atomic puts are standalone");
+                        puts += 1;
+                    }
+                    other => panic!("mix A issues only gets and puts: {other:?}"),
+                }
+            }
+        }
+        assert!(differs, "distinct clients must get distinct streams");
+        assert!(gets > 0 && puts > 0, "mix A draws both reads and updates");
+    }
+
+    #[test]
+    fn ycsb_atomic_stream_brackets_every_op() {
+        use envy_workload::ycsb::YcsbMix;
+        let config = YcsbConfig::standard(YcsbMix::A, 500);
+        let spec = LoadSpec::closed(1, 4)
+            .with_seed(5)
+            .with_ycsb(config)
+            .atomic(0.5);
+        let plan = ShardPlan::new(2, 1 << 20);
+        let mut stream = TxnStream::new(&spec, plan, 0);
+        let mut reqs = Vec::new();
+        let (mut commits, mut aborts, mut rmws) = (0u32, 0u32, 0u32);
+        for _ in 0..64 {
+            stream.next_requests(&mut reqs);
+            let Some(Request::TxnBegin { shard }) = reqs.first().cloned() else {
+                panic!("atomic ycsb op must start with TxnBegin: {reqs:?}");
+            };
+            match reqs.last() {
+                Some(Request::TxnCommit { shard: s, txn }) => {
+                    assert_eq!((*s, *txn), (shard, TXN_PATCH));
+                    commits += 1;
+                }
+                Some(Request::TxnAbort { shard: s, txn }) => {
+                    assert_eq!((*s, *txn), (shard, TXN_PATCH));
+                    aborts += 1;
+                }
+                other => panic!("atomic ycsb op must end with commit/abort: {other:?}"),
+            }
+            let body = &reqs[1..reqs.len() - 1];
+            for req in body {
+                match req {
+                    Request::KvGet { shard: s, .. } => assert_eq!(*s, shard),
+                    Request::KvPut { shard: s, txn, .. } => {
+                        assert_eq!((*s, *txn), (shard, TXN_PATCH));
+                    }
+                    other => panic!("unexpected ycsb body request {other:?}"),
+                }
+            }
+            // Updates run as read-modify-write inside the transaction.
+            if body.len() == 2 {
+                assert!(matches!(body[0], Request::KvGet { .. }));
+                assert!(matches!(body[1], Request::KvPut { .. }));
+                rmws += 1;
+            }
+        }
+        assert!(commits > 0 && aborts > 0, "0.5 must draw both outcomes");
+        assert!(rmws > 0, "mix A must draw updates");
+    }
+
+    #[test]
+    fn ycsb_closed_loop_serves_a_loaded_store() {
+        use envy_workload::ycsb::YcsbMix;
+        let config = YcsbConfig::standard(YcsbMix::B, 64);
+        let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+        let handle = store.handle();
+        for req in ycsb_load_requests(&config, 2) {
+            handle.call(req).unwrap();
+        }
+        let spec = LoadSpec::closed(2, 16).with_seed(9).with_ycsb(config);
+        let report = run_inproc(&handle, &spec);
+        store.shutdown();
+        assert_eq!(report.completed_txns, 32);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.timeouts, 0);
+    }
+
+    #[test]
+    fn ycsb_monolithic_reference_matches_single_client_run() {
+        use envy_workload::ycsb::YcsbMix;
+        // Workload D inserts as well as reads, so this anchors gets,
+        // puts, and index growth — plus the atomic bracket.
+        let kv = YcsbConfig::standard(YcsbMix::D, 64);
+        let config = ServeConfig::small(1);
+        let mut baseline = EnvyStore::new(config.store.clone()).unwrap();
+        baseline.prefill().unwrap();
+        let mut mono = baseline.fork();
+        let front = ShardedStore::launch_from(vec![baseline.fork()], &config);
+        let handle = front.handle();
+        let load = ycsb_load_requests(&kv, 1);
+        for req in &load {
+            handle.call(req.clone()).unwrap();
+        }
+        for req in &load {
+            apply(&mut mono, req).unwrap();
+        }
+        let spec = LoadSpec::closed(1, 24)
+            .with_seed(7)
+            .with_ycsb(kv)
+            .atomic(0.25);
+        let report = run_inproc(&handle, &spec);
+        let outcome = front.shutdown();
+        let mono_report = run_monolithic(&mut mono, &spec);
+        assert_eq!(report.completed_txns, mono_report.completed_txns);
+        assert_eq!(report.aborted_txns, mono_report.aborted_txns);
+        assert!(mono_report.aborted_txns > 0, "0.25 abort draw over 24 ops");
+        assert_eq!(report.completed_ops, mono_report.completed_ops);
         assert_eq!(outcome.shards[0].store.now(), mono.now());
         assert_eq!(outcome.shards[0].store.stats(), mono.stats());
     }

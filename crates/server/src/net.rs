@@ -974,6 +974,81 @@ impl Client {
         }
     }
 
+    /// Look up a key in one shard's KV region; `None` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn kv_get(&mut self, shard: u32, key: u64) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.call(Request::KvGet { shard, key })? {
+            Reply::KvValue(v) => Ok(v),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Insert or replace a key in one shard's KV region. `txn = 0` runs
+    /// the put standalone; a nonzero id from
+    /// [`txn_begin`](Client::txn_begin) on the same shard makes it part
+    /// of that transaction.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call); [`ServeError::Store`] wrapping the
+    /// value-size cap, [`ServeError::NoSuchTxn`] for a dead id.
+    pub fn kv_put(
+        &mut self,
+        shard: u32,
+        key: u64,
+        value: &[u8],
+        txn: u64,
+    ) -> Result<(), ClientError> {
+        match self.call(Request::KvPut {
+            shard,
+            key,
+            txn,
+            value: value.to_vec(),
+        })? {
+            Reply::KvPutDone => Ok(()),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Delete a key from one shard's KV region; returns whether it
+    /// existed. `txn` as in [`kv_put`](Client::kv_put).
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn kv_delete(&mut self, shard: u32, key: u64, txn: u64) -> Result<bool, ClientError> {
+        match self.call(Request::KvDelete { shard, key, txn })? {
+            Reply::KvDeleted { existed } => Ok(existed),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
+    /// Ordered range read from one shard's KV region: up to `limit`
+    /// `(key, value)` records with `key >= start`, ascending. The server
+    /// clamps `limit` to [`crate::KV_SCAN_LIMIT`].
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Client::call).
+    pub fn kv_scan(
+        &mut self,
+        shard: u32,
+        start: u64,
+        limit: u32,
+    ) -> Result<Vec<(u64, Vec<u8>)>, ClientError> {
+        match self.call(Request::KvScan {
+            shard,
+            start,
+            limit,
+        })? {
+            Reply::KvRange(items) => Ok(items),
+            _ => Err(ClientError::Proto(unexpected_reply())),
+        }
+    }
+
     /// Shut down this client's **write** side only (half-close): the
     /// server sees EOF and runs its disconnect cleanup, while this
     /// client can still [`recv`](Client::recv) responses already in

@@ -29,6 +29,10 @@
 //! | `TXN_WRITE` (7)  | `addr: u64`, `txn: u64`, payload = rest of frame |
 //! | `TXN_COMMIT` (8) | `shard: u32`, `txn: u64` |
 //! | `TXN_ABORT` (9)  | `shard: u32`, `txn: u64` |
+//! | `KV_GET` (10)    | `shard: u32`, `key: u64` |
+//! | `KV_PUT` (11)    | `shard: u32`, `key: u64`, `txn: u64` (0 = standalone), value = rest of frame |
+//! | `KV_DELETE` (12) | `shard: u32`, `key: u64`, `txn: u64` (0 = standalone) |
+//! | `KV_SCAN` (13)   | `shard: u32`, `start: u64`, `limit: u32` |
 //!
 //! `deadline_us` is a relative deadline in microseconds (0 = none),
 //! measured from server receipt. `id` is chosen by the client and echoed
@@ -55,6 +59,7 @@
 //! | `TXN_BUSY` (9)  | every transaction slot on the shard is occupied | — |
 //! | `NO_TXN` (10)   | no such open transaction on the shard | `txn: u64` (the id presented) |
 //! | `TXN_CONFLICT` (11) | page is in another open transaction's write set | — |
+//! | `KV` (12)       | key-value operation result | `kind: u8` (0 get miss, 1 get hit, 2 put done, 3 deleted, 4 scan), then the value bytes for kind 1, `existed: u8` for kind 3, or `count: u32` followed by `count` × (`key: u64`, `len: u32`, value bytes) for kind 4 |
 //!
 //! `TXN_BUSY` and `TXN_CONFLICT` deliberately carry **no** transaction
 //! id: ids are capability-like (knowing one is enough to issue
@@ -91,6 +96,14 @@ pub mod op {
     pub const TXN_COMMIT: u8 = 8;
     /// Roll back an open transaction.
     pub const TXN_ABORT: u8 = 9;
+    /// Look up a key in one shard's KV region.
+    pub const KV_GET: u8 = 10;
+    /// Insert or replace a key (optionally under an open transaction).
+    pub const KV_PUT: u8 = 11;
+    /// Delete a key (optionally under an open transaction).
+    pub const KV_DELETE: u8 = 12;
+    /// Ordered range read from a start key.
+    pub const KV_SCAN: u8 = 13;
 }
 
 /// Response status codes.
@@ -119,6 +132,8 @@ pub mod status {
     pub const NO_TXN: u8 = 10;
     /// The page is in another open transaction's write set.
     pub const TXN_CONFLICT: u8 = 11;
+    /// Key-value operation result (kind byte follows).
+    pub const KV: u8 = 12;
 }
 
 /// A decoded request frame.
@@ -215,6 +230,10 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
         WireBody::Req(Request::TxnWrite { .. }) => op::TXN_WRITE,
         WireBody::Req(Request::TxnCommit { .. }) => op::TXN_COMMIT,
         WireBody::Req(Request::TxnAbort { .. }) => op::TXN_ABORT,
+        WireBody::Req(Request::KvGet { .. }) => op::KV_GET,
+        WireBody::Req(Request::KvPut { .. }) => op::KV_PUT,
+        WireBody::Req(Request::KvDelete { .. }) => op::KV_DELETE,
+        WireBody::Req(Request::KvScan { .. }) => op::KV_SCAN,
         WireBody::Shutdown => op::SHUTDOWN,
     };
     buf.push(opcode);
@@ -244,6 +263,35 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
             put_u32(&mut buf, *shard);
             put_u64(&mut buf, *txn);
         }
+        WireBody::Req(Request::KvGet { shard, key }) => {
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *key);
+        }
+        WireBody::Req(Request::KvPut {
+            shard,
+            key,
+            txn,
+            value,
+        }) => {
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *key);
+            put_u64(&mut buf, *txn);
+            buf.extend_from_slice(value);
+        }
+        WireBody::Req(Request::KvDelete { shard, key, txn }) => {
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *key);
+            put_u64(&mut buf, *txn);
+        }
+        WireBody::Req(Request::KvScan {
+            shard,
+            start,
+            limit,
+        }) => {
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *start);
+            put_u32(&mut buf, *limit);
+        }
         WireBody::Shutdown => {}
     }
     buf
@@ -262,6 +310,9 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
 pub fn encode_response_into(buf: &mut Vec<u8>, resp: &WireResponse) {
     let st = match &resp.outcome {
         WireOutcome::Reply(Reply::Data(_)) => status::DATA,
+        WireOutcome::Reply(
+            Reply::KvValue(_) | Reply::KvPutDone | Reply::KvDeleted { .. } | Reply::KvRange(_),
+        ) => status::KV,
         WireOutcome::Reply(_) => status::OK,
         WireOutcome::Err(ServeError::DeadlineExceeded) => status::DEADLINE,
         WireOutcome::Err(ServeError::CrossesShard { .. }) => status::CROSSES,
@@ -296,6 +347,25 @@ pub fn encode_response_into(buf: &mut Vec<u8>, resp: &WireResponse) {
         WireOutcome::Reply(Reply::Aborted { txn }) => {
             buf.push(5);
             put_u64(buf, *txn);
+        }
+        WireOutcome::Reply(Reply::KvValue(None)) => buf.push(0),
+        WireOutcome::Reply(Reply::KvValue(Some(value))) => {
+            buf.push(1);
+            buf.extend_from_slice(value);
+        }
+        WireOutcome::Reply(Reply::KvPutDone) => buf.push(2),
+        WireOutcome::Reply(Reply::KvDeleted { existed }) => {
+            buf.push(3);
+            buf.push(u8::from(*existed));
+        }
+        WireOutcome::Reply(Reply::KvRange(items)) => {
+            buf.push(4);
+            put_u32(buf, items.len() as u32);
+            for (key, value) in items {
+                put_u64(buf, *key);
+                put_u32(buf, value.len() as u32);
+                buf.extend_from_slice(value);
+            }
         }
         WireOutcome::Err(ServeError::CrossesShard { addr, len }) => {
             put_u64(buf, *addr);
@@ -349,21 +419,21 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        if self.buf.len() < 4 {
-            return Err(ProtoError("truncated u32"));
-        }
-        let (head, rest) = self.buf.split_at(4);
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<4>()
+            .ok_or(ProtoError("truncated u32"))?;
         self.buf = rest;
-        Ok(u32::from_le_bytes(head.try_into().unwrap()))
+        Ok(u32::from_le_bytes(*head))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        if self.buf.len() < 8 {
-            return Err(ProtoError("truncated u64"));
-        }
-        let (head, rest) = self.buf.split_at(8);
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<8>()
+            .ok_or(ProtoError("truncated u64"))?;
         self.buf = rest;
-        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+        Ok(u64::from_le_bytes(*head))
     }
 
     fn rest(&mut self) -> &'a [u8] {
@@ -438,6 +508,42 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, ProtoError> {
             let txn = c.u64()?;
             c.done()?;
             WireBody::Req(Request::TxnAbort { shard, txn })
+        }
+        op::KV_GET => {
+            let shard = c.u32()?;
+            let key = c.u64()?;
+            c.done()?;
+            WireBody::Req(Request::KvGet { shard, key })
+        }
+        op::KV_PUT => {
+            let shard = c.u32()?;
+            let key = c.u64()?;
+            let txn = c.u64()?;
+            let value = c.rest().to_vec();
+            WireBody::Req(Request::KvPut {
+                shard,
+                key,
+                txn,
+                value,
+            })
+        }
+        op::KV_DELETE => {
+            let shard = c.u32()?;
+            let key = c.u64()?;
+            let txn = c.u64()?;
+            c.done()?;
+            WireBody::Req(Request::KvDelete { shard, key, txn })
+        }
+        op::KV_SCAN => {
+            let shard = c.u32()?;
+            let start = c.u64()?;
+            let limit = c.u32()?;
+            c.done()?;
+            WireBody::Req(Request::KvScan {
+                shard,
+                start,
+                limit,
+            })
         }
         _ => return Err(ProtoError("unknown opcode")),
     };
@@ -542,6 +648,43 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, ProtoError> {
             c.done()?;
             WireOutcome::Err(ServeError::TxnConflict)
         }
+        status::KV => match c.u8()? {
+            0 => {
+                c.done()?;
+                WireOutcome::Reply(Reply::KvValue(None))
+            }
+            1 => WireOutcome::Reply(Reply::KvValue(Some(c.rest().to_vec()))),
+            2 => {
+                c.done()?;
+                WireOutcome::Reply(Reply::KvPutDone)
+            }
+            3 => {
+                let existed = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtoError("bad kv delete flag")),
+                };
+                c.done()?;
+                WireOutcome::Reply(Reply::KvDeleted { existed })
+            }
+            4 => {
+                let count = c.u32()? as usize;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let key = c.u64()?;
+                    let len = c.u32()? as usize;
+                    if c.buf.len() < len {
+                        return Err(ProtoError("truncated kv scan item"));
+                    }
+                    let (value, rest) = c.buf.split_at(len);
+                    items.push((key, value.to_vec()));
+                    c.buf = rest;
+                }
+                c.done()?;
+                WireOutcome::Reply(Reply::KvRange(items))
+            }
+            _ => return Err(ProtoError("unknown kv kind")),
+        },
         _ => return Err(ProtoError("unknown status")),
     };
     Ok(WireResponse { id, shard, outcome })
@@ -773,6 +916,49 @@ mod tests {
             deadline_us: 0,
             body: WireBody::Req(Request::TxnAbort { shard: 0, txn: 12 }),
         });
+        roundtrip_req(WireRequest {
+            id: 8,
+            deadline_us: 0,
+            body: WireBody::Req(Request::KvGet { shard: 1, key: 99 }),
+        });
+        roundtrip_req(WireRequest {
+            id: 9,
+            deadline_us: 250,
+            body: WireBody::Req(Request::KvPut {
+                shard: 0,
+                key: u64::MAX,
+                txn: 0,
+                value: b"kv value".to_vec(),
+            }),
+        });
+        roundtrip_req(WireRequest {
+            id: 10,
+            deadline_us: 0,
+            body: WireBody::Req(Request::KvPut {
+                shard: 2,
+                key: 7,
+                txn: 13,
+                value: Vec::new(),
+            }),
+        });
+        roundtrip_req(WireRequest {
+            id: 11,
+            deadline_us: 0,
+            body: WireBody::Req(Request::KvDelete {
+                shard: 3,
+                key: 42,
+                txn: 0,
+            }),
+        });
+        roundtrip_req(WireRequest {
+            id: 12,
+            deadline_us: 0,
+            body: WireBody::Req(Request::KvScan {
+                shard: 0,
+                start: 100,
+                limit: 16,
+            }),
+        });
     }
 
     #[test]
@@ -801,6 +987,18 @@ mod tests {
             WireOutcome::Err(ServeError::TxnBusy),
             WireOutcome::Err(ServeError::NoSuchTxn { txn: 77 }),
             WireOutcome::Err(ServeError::TxnConflict),
+            WireOutcome::Reply(Reply::KvValue(None)),
+            WireOutcome::Reply(Reply::KvValue(Some(b"hit".to_vec()))),
+            WireOutcome::Reply(Reply::KvValue(Some(Vec::new()))),
+            WireOutcome::Reply(Reply::KvPutDone),
+            WireOutcome::Reply(Reply::KvDeleted { existed: true }),
+            WireOutcome::Reply(Reply::KvDeleted { existed: false }),
+            WireOutcome::Reply(Reply::KvRange(Vec::new())),
+            WireOutcome::Reply(Reply::KvRange(vec![
+                (1, b"one".to_vec()),
+                (2, Vec::new()),
+                (3, vec![0xab; 300]),
+            ])),
         ] {
             roundtrip_resp(WireResponse {
                 id: 42,
@@ -830,6 +1028,21 @@ mod tests {
         });
         resp.push(0);
         assert!(decode_response(&resp).is_err());
+        // KV frames with truncated bodies.
+        let mut kv_get = encode_request(&WireRequest {
+            id: 2,
+            deadline_us: 0,
+            body: WireBody::Req(Request::KvGet { shard: 0, key: 9 }),
+        });
+        kv_get.pop();
+        assert!(decode_request(&kv_get).is_err());
+        let mut kv_scan = encode_response(&WireResponse {
+            id: 3,
+            shard: 0,
+            outcome: WireOutcome::Reply(Reply::KvRange(vec![(5, b"v".to_vec())])),
+        });
+        kv_scan.pop();
+        assert!(decode_response(&kv_scan).is_err());
     }
 
     #[test]

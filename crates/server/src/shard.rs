@@ -24,7 +24,7 @@
 //! simulated-time metrics depend only on the request subsequence it
 //! received — the determinism anchor the differential tests pin.
 
-use envy_core::{EnvyConfig, EnvyError, EnvyStats, EnvyStore, ReadView, TraceEvent};
+use envy_core::{EnvyConfig, EnvyError, EnvyStats, EnvyStore, ReadView, TraceEvent, TxnMemory};
 use envy_sim::stats::TimeSeries;
 use envy_sim::time::Ns;
 use std::fmt;
@@ -115,6 +115,49 @@ pub enum Request {
         /// The transaction id.
         txn: u64,
     },
+    /// Look up a key in the target shard's KV region (see
+    /// `docs/KV.md`). Routed by `shard`: the key space is partitioned
+    /// by the client (key → shard), not by byte address.
+    KvGet {
+        /// Shard whose KV region holds the key.
+        shard: u32,
+        /// The key.
+        key: u64,
+    },
+    /// Insert or replace a key in the target shard's KV region.
+    KvPut {
+        /// Shard whose KV region holds the key.
+        shard: u32,
+        /// The key.
+        key: u64,
+        /// Open transaction to run under (`0` = standalone: the put is
+        /// its own atomic unit). A nonzero id must come from
+        /// [`Reply::TxnStarted`] on the same shard.
+        txn: u64,
+        /// The value (at most [`envy_kv::MAX_VALUE`] bytes).
+        value: Vec<u8>,
+    },
+    /// Delete a key from the target shard's KV region.
+    KvDelete {
+        /// Shard whose KV region holds the key.
+        shard: u32,
+        /// The key.
+        key: u64,
+        /// Open transaction to run under (`0` = standalone).
+        txn: u64,
+    },
+    /// Ordered range read: up to `limit` records with key ≥ `start`,
+    /// ascending, from the target shard's KV region. `limit` is capped
+    /// at [`KV_SCAN_LIMIT`] server-side so a reply always fits a wire
+    /// frame.
+    KvScan {
+        /// Shard whose KV region to scan.
+        shard: u32,
+        /// First key of the range (inclusive).
+        start: u64,
+        /// Maximum records to return.
+        limit: u32,
+    },
 }
 
 /// A successful completion.
@@ -147,6 +190,20 @@ pub enum Reply {
         /// The aborted transaction's id.
         txn: u64,
     },
+    /// Answer to [`Request::KvGet`]: the value, or `None` on a miss.
+    KvValue(Option<Vec<u8>>),
+    /// Answer to [`Request::KvPut`]: the record is stored (durably so
+    /// only once the owning transaction — or the standalone op — has
+    /// committed through the journal).
+    KvPutDone,
+    /// Answer to [`Request::KvDelete`].
+    KvDeleted {
+        /// Whether the key existed before the delete.
+        existed: bool,
+    },
+    /// Answer to [`Request::KvScan`]: `(key, value)` records in
+    /// ascending key order.
+    KvRange(Vec<(u64, Vec<u8>)>),
 }
 
 /// A typed serving failure (always delivered as a completion or a
@@ -899,7 +956,11 @@ impl ShardHandle {
             | Request::Ping { shard }
             | Request::TxnBegin { shard }
             | Request::TxnCommit { shard, .. }
-            | Request::TxnAbort { shard, .. } => {
+            | Request::TxnAbort { shard, .. }
+            | Request::KvGet { shard, .. }
+            | Request::KvPut { shard, .. }
+            | Request::KvDelete { shard, .. }
+            | Request::KvScan { shard, .. } => {
                 if shard < self.plan.shards() {
                     Ok(shard)
                 } else {
@@ -1146,6 +1207,82 @@ pub fn apply(store: &mut EnvyStore, req: &Request) -> Result<Reply, ServeError> 
             store.txn_abort(*txn).map_err(map_store_err(store))?;
             Ok(Reply::Aborted { txn: *txn })
         }
+        Request::KvGet { key, .. } => {
+            let size = store.size();
+            let kv = kv_open(store)?;
+            let value = kv.get(store, *key).map_err(map_kv_err(size))?;
+            Ok(Reply::KvValue(value))
+        }
+        Request::KvPut {
+            key, txn, value, ..
+        } => {
+            let size = store.size();
+            let mut kv = kv_open(store)?;
+            if *txn == 0 {
+                kv.put(store, *key, value).map_err(map_kv_err(size))?;
+            } else {
+                // All index and record writes of this put join the
+                // transaction's write set: they revert together on
+                // abort and conflict like any other transactional page.
+                let mut mem = TxnMemory::new(store, *txn);
+                kv.put(&mut mem, *key, value).map_err(map_kv_err(size))?;
+            }
+            Ok(Reply::KvPutDone)
+        }
+        Request::KvDelete { key, txn, .. } => {
+            let size = store.size();
+            let mut kv = kv_open(store)?;
+            let existed = if *txn == 0 {
+                kv.delete(store, *key).map_err(map_kv_err(size))?
+            } else {
+                let mut mem = TxnMemory::new(store, *txn);
+                kv.delete(&mut mem, *key).map_err(map_kv_err(size))?
+            };
+            Ok(Reply::KvDeleted { existed })
+        }
+        Request::KvScan { start, limit, .. } => {
+            let size = store.size();
+            let kv = kv_open(store)?;
+            let limit = (*limit).min(KV_SCAN_LIMIT) as usize;
+            let items = kv.scan(store, *start, limit).map_err(map_kv_err(size))?;
+            Ok(Reply::KvRange(items))
+        }
+    }
+}
+
+/// Server-side cap on [`Request::KvScan`] result counts: 128 records of
+/// [`envy_kv::MAX_VALUE`] bytes is ~526 KiB of reply body, safely under
+/// the wire protocol's 1 MiB frame limit.
+pub const KV_SCAN_LIMIT: u32 = 128;
+
+/// Open the shard's KV region (the whole logical array, region base 0),
+/// creating it on first touch. Erased Flash reads back as `0xFF`, so a
+/// fresh shard can never alias the magic and the create is reached on
+/// exactly the first KV request — deterministically, in both the worker
+/// and the monolithic-replay execution paths.
+fn kv_open(store: &mut EnvyStore) -> Result<envy_kv::KvStore, ServeError> {
+    let size = store.size();
+    match envy_kv::KvStore::open(store, 0) {
+        Ok(kv) => Ok(kv),
+        Err(envy_kv::KvError::BadMagic) => {
+            envy_kv::KvStore::create(store, 0, size).map_err(map_kv_err(size))
+        }
+        Err(e) => Err(map_kv_err(size)(e)),
+    }
+}
+
+fn map_kv_err(size: u64) -> impl Fn(envy_kv::KvError) -> ServeError {
+    move |e| match e {
+        // Transaction machinery surfaces through the memory layer when
+        // the KV store runs over TxnMemory; route those to the same
+        // typed refusals the raw transactional ops use.
+        envy_kv::KvError::Memory(EnvyError::OutOfBounds { addr, .. }) => {
+            ServeError::OutOfBounds { addr, size }
+        }
+        envy_kv::KvError::Memory(EnvyError::TxnSlotsFull { .. }) => ServeError::TxnBusy,
+        envy_kv::KvError::Memory(EnvyError::NoSuchTxn { txn }) => ServeError::NoSuchTxn { txn },
+        envy_kv::KvError::Memory(EnvyError::TxnConflict { .. }) => ServeError::TxnConflict,
+        other => ServeError::Store(other.to_string()),
     }
 }
 
@@ -1372,6 +1509,170 @@ mod tests {
         // word-granularity accesses, so just assert presence).
         assert!(outcome.shards[0].store.stats().host_writes.get() > 0);
         assert!(outcome.shards[1].store.stats().host_writes.get() > 0);
+    }
+
+    #[test]
+    fn kv_roundtrip_through_shards() {
+        let store = ShardedStore::launch(ServeConfig::small(2)).unwrap();
+        let h = store.handle();
+        // First KV touch auto-creates each shard's KV region.
+        h.call(Request::KvPut {
+            shard: 0,
+            key: 7,
+            txn: 0,
+            value: b"zero".to_vec(),
+        })
+        .unwrap();
+        h.call(Request::KvPut {
+            shard: 1,
+            key: 7,
+            txn: 0,
+            value: b"one".to_vec(),
+        })
+        .unwrap();
+        // Same key, independent per-shard keyspaces.
+        match h.call(Request::KvGet { shard: 0, key: 7 }).unwrap() {
+            Reply::KvValue(Some(v)) => assert_eq!(v, b"zero"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::KvGet { shard: 1, key: 7 }).unwrap() {
+            Reply::KvValue(Some(v)) => assert_eq!(v, b"one"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::KvGet { shard: 0, key: 8 }).unwrap() {
+            Reply::KvValue(None) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match h
+            .call(Request::KvDelete {
+                shard: 0,
+                key: 7,
+                txn: 0,
+            })
+            .unwrap()
+        {
+            Reply::KvDeleted { existed } => assert!(existed),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h
+            .call(Request::KvScan {
+                shard: 1,
+                start: 0,
+                limit: 10,
+            })
+            .unwrap()
+        {
+            Reply::KvRange(items) => assert_eq!(items, vec![(7, b"one".to_vec())]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Out-of-range shard is a typed refusal, same as the other
+        // shard-addressed ops.
+        let err = h.call(Request::KvGet { shard: 9, key: 1 }).unwrap_err();
+        assert!(matches!(err, ServeError::OutOfBounds { .. }));
+        store.shutdown();
+    }
+
+    #[test]
+    fn kv_txn_commit_and_abort() {
+        let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+        let h = store.handle();
+        h.call(Request::KvPut {
+            shard: 0,
+            key: 1,
+            txn: 0,
+            value: b"base".to_vec(),
+        })
+        .unwrap();
+        // Abort path: the replacement and the insert both vanish.
+        let txn = match h.call(Request::TxnBegin { shard: 0 }).unwrap() {
+            Reply::TxnStarted { txn } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        h.call(Request::KvPut {
+            shard: 0,
+            key: 1,
+            txn,
+            value: b"spec".to_vec(),
+        })
+        .unwrap();
+        h.call(Request::KvPut {
+            shard: 0,
+            key: 2,
+            txn,
+            value: b"new".to_vec(),
+        })
+        .unwrap();
+        h.call(Request::TxnAbort { shard: 0, txn }).unwrap();
+        match h.call(Request::KvGet { shard: 0, key: 1 }).unwrap() {
+            Reply::KvValue(Some(v)) => assert_eq!(v, b"base"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::KvGet { shard: 0, key: 2 }).unwrap() {
+            Reply::KvValue(None) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Commit path: the delete survives.
+        let txn = match h.call(Request::TxnBegin { shard: 0 }).unwrap() {
+            Reply::TxnStarted { txn } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        match h
+            .call(Request::KvDelete {
+                shard: 0,
+                key: 1,
+                txn,
+            })
+            .unwrap()
+        {
+            Reply::KvDeleted { existed } => assert!(existed),
+            other => panic!("unexpected {other:?}"),
+        }
+        h.call(Request::TxnCommit { shard: 0, txn }).unwrap();
+        match h.call(Request::KvGet { shard: 0, key: 1 }).unwrap() {
+            Reply::KvValue(None) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // A KV write under a dead transaction is the usual typed error.
+        let err = h
+            .call(Request::KvPut {
+                shard: 0,
+                key: 3,
+                txn,
+                value: b"x".to_vec(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::NoSuchTxn { .. }));
+        store.shutdown();
+    }
+
+    #[test]
+    fn kv_scan_limit_is_clamped() {
+        let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+        let h = store.handle();
+        for key in 0..200u64 {
+            h.call(Request::KvPut {
+                shard: 0,
+                key,
+                txn: 0,
+                value: vec![key as u8; 16],
+            })
+            .unwrap();
+        }
+        match h
+            .call(Request::KvScan {
+                shard: 0,
+                start: 0,
+                limit: u32::MAX,
+            })
+            .unwrap()
+        {
+            Reply::KvRange(items) => {
+                assert_eq!(items.len(), KV_SCAN_LIMIT as usize);
+                assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        store.shutdown();
     }
 
     #[test]

@@ -160,7 +160,11 @@ fn run_round(shards: u32, seed: u64) -> u64 {
                 | Request::Ping { shard }
                 | Request::TxnBegin { shard }
                 | Request::TxnCommit { shard, .. }
-                | Request::TxnAbort { shard, .. } => {
+                | Request::TxnAbort { shard, .. }
+                | Request::KvGet { shard, .. }
+                | Request::KvPut { shard, .. }
+                | Request::KvDelete { shard, .. }
+                | Request::KvScan { shard, .. } => {
                     if *shard != i as u32 {
                         continue;
                     }

@@ -15,9 +15,16 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// Build a seeded pipelined request blob: a deterministic interleave of
-/// writes, reads, pings, and a few malformed (unknown-opcode) frames.
-/// One shard + FIFO dispatch means completion order equals admission
-/// order, so both drivers must answer with identical byte streams.
+/// writes, reads, pings, the four KV operations, and a few malformed
+/// (unknown-opcode) frames. One shard + FIFO dispatch means completion
+/// order equals admission order, so both drivers must answer with
+/// identical byte streams.
+///
+/// Raw writes draw from the top half of the shard only: the KV store's
+/// B-Tree nodes grow from the region base, and a raw write landing in a
+/// live index node could forge a cyclic child pointer (a hang, not a
+/// typed error). Clobbered *heap* blocks in the top half surface as
+/// typed `Corrupt` errors, which both drivers must report identically.
 fn seeded_blob(frames: usize) -> (Vec<u8>, u64) {
     let shard_bytes = {
         let cfg = ServeConfig::small(1);
@@ -36,8 +43,9 @@ fn seeded_blob(frames: usize) -> (Vec<u8>, u64) {
             blob.extend_from_slice(&garbage);
             continue;
         }
-        let addr = rng.below(shard_bytes - 600);
-        let req = match rng.below(3) {
+        let addr = shard_bytes / 2 + rng.below(shard_bytes / 2 - 600);
+        let key = rng.below(64);
+        let req = match rng.below(7) {
             0 => Request::Write {
                 addr,
                 bytes: vec![(i % 251) as u8; 1 + rng.below(500) as usize],
@@ -46,7 +54,24 @@ fn seeded_blob(frames: usize) -> (Vec<u8>, u64) {
                 addr,
                 len: 1 + rng.below(500) as u32,
             },
-            _ => Request::Ping { shard: 0 },
+            2 => Request::Ping { shard: 0 },
+            3 => Request::KvPut {
+                shard: 0,
+                key,
+                txn: 0,
+                value: vec![(i % 251) as u8; 1 + rng.below(200) as usize],
+            },
+            4 => Request::KvGet { shard: 0, key },
+            5 => Request::KvDelete {
+                shard: 0,
+                key,
+                txn: 0,
+            },
+            _ => Request::KvScan {
+                shard: 0,
+                start: key,
+                limit: 1 + rng.below(16) as u32,
+            },
         };
         let frame = proto::encode_request(&WireRequest {
             id: i,
@@ -109,6 +134,88 @@ fn drivers_produce_identical_wire_bytes_and_counts() {
         epoll_bytes, poll_bytes,
         "epoll and poll backends must answer byte-identically"
     );
+}
+
+/// A malformed KV frame — a valid `KV_PUT` opcode whose payload is
+/// truncated mid-field — must be answered with a typed error under
+/// id 0, and the connection must survive: a well-formed KV request
+/// pipelined right behind it still gets its real answer.
+fn malformed_kv_frame_errors_id0_and_survives(driver: NetDriver) {
+    let store = ShardedStore::launch(ServeConfig::small(1)).unwrap();
+    let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+    let server = serve_with(
+        listener,
+        store,
+        NetConfig {
+            driver,
+            idle_timeout: None,
+        },
+    )
+    .unwrap();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+
+    let full = proto::encode_request(&WireRequest {
+        id: 7,
+        deadline_us: 0,
+        body: WireBody::Req(Request::KvPut {
+            shard: 0,
+            key: 42,
+            txn: 0,
+            value: vec![0xAB; 16],
+        }),
+    });
+    // `KV_PUT`'s value is "rest of frame", so a short value is still a
+    // valid put; cut into the fixed fields (the `key`/`txn` words) to
+    // make the frame undecodable.
+    let truncated = &full[..20];
+    let mut blob = Vec::new();
+    blob.extend_from_slice(&(truncated.len() as u32).to_le_bytes());
+    blob.extend_from_slice(truncated);
+    let follow = proto::encode_request(&WireRequest {
+        id: 8,
+        deadline_us: 0,
+        body: WireBody::Req(Request::KvGet { shard: 0, key: 42 }),
+    });
+    blob.extend_from_slice(&(follow.len() as u32).to_le_bytes());
+    blob.extend_from_slice(&follow);
+    raw.write_all(&blob).unwrap();
+
+    let first = proto::read_frame(&mut raw).unwrap().expect("error frame");
+    let first = proto::decode_response(&first).unwrap();
+    assert_eq!(first.id, 0, "malformed frames are answered under id 0");
+    assert!(
+        matches!(first.outcome, envy_server::proto::WireOutcome::Err(_)),
+        "malformed KV frame must surface a typed error, got {:?} ({driver:?})",
+        first.outcome,
+    );
+    let second = proto::read_frame(&mut raw).unwrap().expect("reply frame");
+    let second = proto::decode_response(&second).unwrap();
+    assert_eq!(second.id, 8, "the connection must survive the bad frame");
+    assert!(
+        matches!(
+            second.outcome,
+            envy_server::proto::WireOutcome::Reply(envy_server::Reply::KvValue(None))
+        ),
+        "the truncated put must not have executed, got {:?} ({driver:?})",
+        second.outcome,
+    );
+    drop(raw);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_kv_frame_survives_under_epoll() {
+    malformed_kv_frame_errors_id0_and_survives(NetDriver::Epoll);
+}
+
+#[test]
+fn malformed_kv_frame_survives_under_poll_backend() {
+    malformed_kv_frame_errors_id0_and_survives(NetDriver::Poll);
+}
+
+#[test]
+fn malformed_kv_frame_survives_under_threads() {
+    malformed_kv_frame_errors_id0_and_survives(NetDriver::Threads);
 }
 
 /// A half-closed socket — the client shuts down only its **write**

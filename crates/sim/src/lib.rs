@@ -37,7 +37,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use dist::{Bimodal, Exponential, UniformRange, Zipf};
+pub use dist::{Bimodal, Exponential, Latest, UniformRange, Zipf};
 pub use event::EventQueue;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, MeanVar, TimeSeries, TimeWeighted};

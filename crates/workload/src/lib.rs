@@ -14,13 +14,18 @@
 //!   the [`envy_core::Memory`] interface, and an *analytic* driver that
 //!   generates the identical address trace arithmetically for
 //!   full-scale (2 GB) timing runs.
+//! * [`ycsb`] — the five core YCSB key-value serving mixes (A–E) with
+//!   zipfian and latest key popularity, generated as deterministic
+//!   per-client operation streams for the `envy-kv` serving benchmarks.
 
 pub mod synthetic;
 pub mod tpca;
 pub mod trace;
+pub mod ycsb;
 
 pub use synthetic::{CleaningOutcome, CleaningStudy};
 pub use tpca::{
     run_timed, AnalyticTpca, FunctionalTpca, RunResult, TpcaLayout, TpcaScale, Transaction,
 };
 pub use trace::{ReplayStats, Trace, TraceEvent, TracingMemory};
+pub use ycsb::{YcsbConfig, YcsbMix, YcsbOp, YcsbStream};

@@ -1,0 +1,404 @@
+//! YCSB-style key-value workload mixes over a sharded KV store.
+//!
+//! The Yahoo! Cloud Serving Benchmark's core workloads are the standard
+//! access patterns for key-value serving systems, and the NVMM
+//! literature uses them as the canonical non-TPC-A stress for stores
+//! like eNVy. This module generates the five classic mixes:
+//!
+//! | mix | operations            | key distribution  | models            |
+//! |-----|-----------------------|-------------------|-------------------|
+//! | A   | 50% read / 50% update | zipfian           | session stores    |
+//! | B   | 95% read / 5% update  | zipfian           | photo tagging     |
+//! | C   | 100% read             | zipfian           | profile caches    |
+//! | D   | 95% read / 5% insert  | latest            | status feeds      |
+//! | E   | 95% scan / 5% insert  | zipfian           | threaded convs    |
+//!
+//! A [`YcsbStream`] is a pure function of its seed-driven RNG: the same
+//! `(config, client, clients)` triple and RNG stream reproduces the
+//! identical operation sequence, which is what lets the serving bench
+//! anchor a socket run against an in-process replay byte-for-byte.
+//!
+//! Keys are plain `u64`s. The initial load phase owns keys
+//! `0..records`; inserts from client `c` of `n` extend the space with
+//! keys `records + c + k*n` (disjoint per-client strides, so concurrent
+//! clients never collide on a fresh key). The "latest" distribution
+//! ranks keys by this stream's view of insertion recency.
+
+use envy_sim::dist::{Latest, UniformRange, Zipf};
+use envy_sim::rng::Rng;
+
+/// The five core YCSB workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 50% read / 50% update, zipfian keys.
+    A,
+    /// 95% read / 5% update, zipfian keys.
+    B,
+    /// 100% read, zipfian keys.
+    C,
+    /// 95% read / 5% insert, latest-skewed keys.
+    D,
+    /// 95% scan / 5% insert, zipfian scan starts.
+    E,
+}
+
+impl YcsbMix {
+    /// Parse a mix letter (case-insensitive).
+    pub fn parse(s: &str) -> Option<YcsbMix> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" => Some(YcsbMix::A),
+            "b" => Some(YcsbMix::B),
+            "c" => Some(YcsbMix::C),
+            "d" => Some(YcsbMix::D),
+            "e" => Some(YcsbMix::E),
+            _ => None,
+        }
+    }
+
+    /// The mix's canonical lowercase letter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            YcsbMix::A => "a",
+            YcsbMix::B => "b",
+            YcsbMix::C => "c",
+            YcsbMix::D => "d",
+            YcsbMix::E => "e",
+        }
+    }
+}
+
+/// One generated key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point lookup.
+    Read {
+        /// The key.
+        key: u64,
+    },
+    /// Overwrite an existing key's value.
+    Update {
+        /// The key.
+        key: u64,
+    },
+    /// Add a fresh key.
+    Insert {
+        /// The new key (unique per stream).
+        key: u64,
+    },
+    /// Ordered range read.
+    Scan {
+        /// First key of the range.
+        start: u64,
+        /// Records to read.
+        limit: u32,
+    },
+}
+
+/// Parameters shared by every client of one YCSB run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YcsbConfig {
+    /// Which mix to generate.
+    pub mix: YcsbMix,
+    /// Records preloaded before the measured run (keys `0..records`).
+    pub records: u64,
+    /// Value size in bytes (values are deterministic fills).
+    pub value_len: usize,
+    /// Zipfian exponent (YCSB's default constant is 0.99).
+    pub zipf_s: f64,
+    /// Scan lengths draw uniformly from `1..=scan_max` (workload E).
+    pub scan_max: u32,
+}
+
+impl YcsbConfig {
+    /// The standard parameters for a mix: YCSB's 0.99 zipfian constant,
+    /// 100-byte values, scans of up to 100 records.
+    pub fn standard(mix: YcsbMix, records: u64) -> YcsbConfig {
+        assert!(records > 0, "ycsb needs at least one preloaded record");
+        YcsbConfig {
+            mix,
+            records,
+            value_len: 100,
+            zipf_s: 0.99,
+            scan_max: 100,
+        }
+    }
+
+    /// The deterministic value bytes for a key (shared by the load
+    /// phase and by updates, so replays agree byte-for-byte).
+    pub fn value_for(&self, key: u64, version: u64) -> Vec<u8> {
+        let fill = (key ^ version.wrapping_mul(0x9E37)) as u8;
+        vec![fill; self.value_len]
+    }
+}
+
+/// Headroom multiplier for the popularity CDFs: a stream can insert up
+/// to this many times the initial record count before latest-skew draws
+/// start clamping to the oldest item.
+const GROWTH_HEADROOM: u64 = 2;
+
+/// One client's deterministic YCSB operation stream.
+#[derive(Debug, Clone)]
+pub struct YcsbStream {
+    config: YcsbConfig,
+    zipf: Zipf,
+    latest: Latest,
+    scan_len: UniformRange,
+    /// This stream's view of the record count (initial + own inserts).
+    population: u64,
+    /// Inserts drawn so far by this stream.
+    inserted: u64,
+    client: u64,
+    clients: u64,
+    /// Monotone per-key version counter (distinguishes update values
+    /// from load values without shared state).
+    version: u64,
+}
+
+impl YcsbStream {
+    /// Create the stream for `client` of `clients`.
+    ///
+    /// # Panics
+    ///
+    /// If `clients == 0` or `client >= clients`.
+    pub fn new(config: &YcsbConfig, client: u32, clients: u32) -> YcsbStream {
+        assert!(clients > 0 && client < clients, "client id out of range");
+        let capacity = config.records * GROWTH_HEADROOM;
+        YcsbStream {
+            zipf: Zipf::new(capacity, config.zipf_s),
+            latest: Latest::new(capacity, config.zipf_s),
+            scan_len: UniformRange::new(1, config.scan_max as u64 + 1),
+            population: config.records,
+            inserted: 0,
+            client: client as u64,
+            clients: clients as u64,
+            version: 0,
+            config: config.clone(),
+        }
+    }
+
+    /// The run's shared configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Map a recency *position* (0 = oldest) to its key: the load keys
+    /// in order, then this stream's inserts in order.
+    fn key_at(&self, position: u64) -> u64 {
+        if position < self.config.records {
+            position
+        } else {
+            self.config.records + self.client + (position - self.config.records) * self.clients
+        }
+    }
+
+    /// A zipfian-popular existing key (position by rank, folded into
+    /// the current population).
+    fn zipf_key(&self, rng: &mut Rng) -> u64 {
+        self.key_at(self.zipf.sample(rng) % self.population)
+    }
+
+    /// A recency-skewed existing key.
+    fn latest_key(&self, rng: &mut Rng) -> u64 {
+        self.key_at(self.latest.sample(rng, self.population))
+    }
+
+    /// The next fresh key for an insert.
+    fn insert_key(&mut self) -> u64 {
+        let key = self.config.records + self.client + self.inserted * self.clients;
+        self.inserted += 1;
+        self.population += 1;
+        key
+    }
+
+    /// Draw the next operation.
+    pub fn next_op(&mut self, rng: &mut Rng) -> YcsbOp {
+        self.version += 1;
+        match self.config.mix {
+            YcsbMix::A => {
+                if rng.chance(0.5) {
+                    YcsbOp::Read {
+                        key: self.zipf_key(rng),
+                    }
+                } else {
+                    YcsbOp::Update {
+                        key: self.zipf_key(rng),
+                    }
+                }
+            }
+            YcsbMix::B => {
+                if rng.chance(0.95) {
+                    YcsbOp::Read {
+                        key: self.zipf_key(rng),
+                    }
+                } else {
+                    YcsbOp::Update {
+                        key: self.zipf_key(rng),
+                    }
+                }
+            }
+            YcsbMix::C => YcsbOp::Read {
+                key: self.zipf_key(rng),
+            },
+            YcsbMix::D => {
+                if rng.chance(0.95) {
+                    YcsbOp::Read {
+                        key: self.latest_key(rng),
+                    }
+                } else {
+                    YcsbOp::Insert {
+                        key: self.insert_key(),
+                    }
+                }
+            }
+            YcsbMix::E => {
+                if rng.chance(0.95) {
+                    YcsbOp::Scan {
+                        start: self.zipf_key(rng),
+                        limit: self.scan_len.sample(rng) as u32,
+                    }
+                } else {
+                    YcsbOp::Insert {
+                        key: self.insert_key(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The monotone version counter (advances once per op), used to
+    /// vary update values deterministically.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(mix: YcsbMix, n: usize, seed: u64) -> Vec<YcsbOp> {
+        let config = YcsbConfig::standard(mix, 1_000);
+        let mut stream = YcsbStream::new(&config, 0, 1);
+        let mut rng = Rng::seed_from(seed);
+        (0..n).map(|_| stream.next_op(&mut rng)).collect()
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E] {
+            assert_eq!(ops(mix, 500, 42), ops(mix, 500, 42), "mix {mix:?}");
+        }
+    }
+
+    #[test]
+    fn mix_ratios_are_roughly_right() {
+        let count = |mix, pred: fn(&YcsbOp) -> bool| {
+            ops(mix, 10_000, 7).iter().filter(|o| pred(o)).count() as f64 / 10_000.0
+        };
+        let read = |o: &YcsbOp| matches!(o, YcsbOp::Read { .. });
+        let update = |o: &YcsbOp| matches!(o, YcsbOp::Update { .. });
+        let insert = |o: &YcsbOp| matches!(o, YcsbOp::Insert { .. });
+        let scan = |o: &YcsbOp| matches!(o, YcsbOp::Scan { .. });
+        assert!((count(YcsbMix::A, read) - 0.5).abs() < 0.03);
+        assert!((count(YcsbMix::A, update) - 0.5).abs() < 0.03);
+        assert!((count(YcsbMix::B, read) - 0.95).abs() < 0.01);
+        assert!((count(YcsbMix::C, read) - 1.0).abs() < 1e-9);
+        assert!((count(YcsbMix::D, insert) - 0.05).abs() < 0.01);
+        assert!((count(YcsbMix::E, scan) - 0.95).abs() < 0.01);
+        assert!((count(YcsbMix::E, insert) - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipfian_mixes_skew_to_hot_keys() {
+        // Rank 0 is the hottest key; the head must dominate.
+        let reads: Vec<u64> = ops(YcsbMix::C, 20_000, 11)
+            .iter()
+            .filter_map(|o| match o {
+                YcsbOp::Read { key } => Some(*key),
+                _ => None,
+            })
+            .collect();
+        let head = reads.iter().filter(|&&k| k < 10).count() as f64;
+        let frac = head / reads.len() as f64;
+        assert!(
+            (0.25..0.50).contains(&frac),
+            "hottest-10 fraction {frac} outside the zipfian band"
+        );
+    }
+
+    #[test]
+    fn latest_mix_prefers_recent_keys() {
+        let config = YcsbConfig::standard(YcsbMix::D, 1_000);
+        let mut stream = YcsbStream::new(&config, 0, 1);
+        let mut rng = Rng::seed_from(13);
+        let mut recent = 0u64;
+        let mut reads = 0u64;
+        for _ in 0..20_000 {
+            if let YcsbOp::Read { key } = stream.next_op(&mut rng) {
+                reads += 1;
+                // "Recent" = the newest 10% of the *initial* keyspace
+                // or any inserted key.
+                if key >= 900 {
+                    recent += 1;
+                }
+            }
+        }
+        let frac = recent as f64 / reads as f64;
+        assert!(
+            frac > 0.5,
+            "latest distribution puts only {frac} of reads on recent keys"
+        );
+    }
+
+    #[test]
+    fn insert_keys_are_disjoint_across_clients() {
+        let config = YcsbConfig::standard(YcsbMix::D, 100);
+        let mut seen = std::collections::HashSet::new();
+        for client in 0..4u32 {
+            let mut stream = YcsbStream::new(&config, client, 4);
+            let mut rng = Rng::seed_from(client as u64 + 1);
+            for _ in 0..500 {
+                if let YcsbOp::Insert { key } = stream.next_op(&mut rng) {
+                    assert!(key >= 100, "inserts extend past the load range");
+                    assert!(seen.insert(key), "key {key} drawn by two clients");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reads_stay_within_the_live_keyspace() {
+        let config = YcsbConfig::standard(YcsbMix::D, 50);
+        let mut stream = YcsbStream::new(&config, 1, 3);
+        let mut rng = Rng::seed_from(99);
+        let mut live: std::collections::HashSet<u64> = (0..50).collect();
+        for _ in 0..5_000 {
+            match stream.next_op(&mut rng) {
+                YcsbOp::Insert { key } => {
+                    live.insert(key);
+                }
+                YcsbOp::Read { key } => {
+                    assert!(live.contains(&key), "read of never-inserted key {key}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scan_limits_respect_the_cap() {
+        for op in ops(YcsbMix::E, 5_000, 3) {
+            if let YcsbOp::Scan { limit, .. } = op {
+                assert!((1..=100).contains(&limit));
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_deterministic_and_sized() {
+        let config = YcsbConfig::standard(YcsbMix::A, 10);
+        assert_eq!(config.value_for(3, 0), config.value_for(3, 0));
+        assert_eq!(config.value_for(3, 0).len(), 100);
+        assert_ne!(config.value_for(3, 1), config.value_for(3, 2));
+    }
+}

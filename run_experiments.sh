@@ -14,7 +14,7 @@ BIN=target/release
 for bin in table_fig01 table_fig12 fig06_cleaning_cost fig08_policy_comparison \
            fig09_partition_size fig10_segment_count fig13_throughput \
            fig14_utilization fig15_latency breakdown_53 lifetime_55 ext_parallel ext_cost_benefit \
-           ext_fault_recovery ext_observability ext_serve ext_txn \
+           ext_fault_recovery ext_observability ext_serve ext_txn ext_ycsb \
            abl_buffer_size abl_page_size abl_wear_threshold abl_lg_mechanisms abl_mmu \
            abl_drifting_hotspot; do
   echo "=== $bin ==="

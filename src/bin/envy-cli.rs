@@ -10,6 +10,7 @@
 //! envy-cli trace-replay --file <path>    replay a trace on an eNVy store
 //! envy-cli serve [options]               serve the sharded store over a socket
 //! envy-cli bench-serve [options]         closed-loop load against sharded shards
+//! envy-cli kv-get|kv-put|kv-del|kv-scan  key-value ops against a live server
 //! ```
 //!
 //! Run `envy-cli <command> --help` for per-command options.
@@ -41,6 +42,10 @@ fn main() -> ExitCode {
         "trace-replay" => cmd_trace_replay(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "bench-serve" => cmd_bench_serve(&args[1..]),
+        "kv-get" => cmd_kv(&args[1..], KvCmd::Get),
+        "kv-put" => cmd_kv(&args[1..], KvCmd::Put),
+        "kv-del" => cmd_kv(&args[1..], KvCmd::Del),
+        "kv-scan" => cmd_kv(&args[1..], KvCmd::Scan),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -110,7 +115,18 @@ commands:
                             TXN_COMMIT), aborting a seeded fraction f (0..=1)
       --unix <path>         drive a live server on a Unix socket
       --connect <addr>      drive a live server over TCP
-      --shutdown            send a wire SHUTDOWN after the load (socket modes)";
+      --shutdown            send a wire SHUTDOWN after the load (socket modes)
+  kv-get | kv-put | kv-del | kv-scan
+                            one key-value operation against a live server
+                            (see docs/KV.md); shared options:
+      --connect <addr>      server TCP address              (default 127.0.0.1:7033)
+      --unix <path>         server Unix socket path (takes precedence)
+      --shard <n>           target shard                    (default 0)
+      --key <n>             the key (get/put/del)
+      --value <text>        the value (put; utf-8 text)
+      --txn <n>             run under an open transaction id (put/del)
+      --start <n>           first key of the range (scan)   (default 0)
+      --limit <n>           max records returned (scan)     (default 10)";
 
 /// Find `--name <value>` in `args`.
 fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -561,6 +577,60 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let report = loadgen::run_inproc(&store.handle(), &spec);
     let outcome = store.shutdown();
     print_load_report(&report, Some(outcome.max_sim_time()));
+    Ok(())
+}
+
+enum KvCmd {
+    Get,
+    Put,
+    Del,
+    Scan,
+}
+
+fn cmd_kv(args: &[String], cmd: KvCmd) -> Result<(), String> {
+    let mut client = match opt(args, "--unix") {
+        Some(path) => Client::connect_unix(path),
+        None => Client::connect_tcp(opt(args, "--connect").unwrap_or("127.0.0.1:7033")),
+    }
+    .map_err(|e| e.to_string())?;
+    let shard: u32 = opt_parse(args, "--shard", 0)?;
+    let txn: u64 = opt_parse(args, "--txn", 0)?;
+    let key = || -> Result<u64, String> {
+        opt(args, "--key")
+            .ok_or("this kv command requires --key <n>")?
+            .parse()
+            .map_err(|_| "invalid --key".into())
+    };
+    match cmd {
+        KvCmd::Get => match client.kv_get(shard, key()?).map_err(|e| format!("{e:?}"))? {
+            Some(value) => println!("{}", String::from_utf8_lossy(&value)),
+            None => println!("(miss)"),
+        },
+        KvCmd::Put => {
+            let value = opt(args, "--value").ok_or("kv-put requires --value <text>")?;
+            client
+                .kv_put(shard, key()?, value.as_bytes(), txn)
+                .map_err(|e| format!("{e:?}"))?;
+            println!("ok");
+        }
+        KvCmd::Del => {
+            let existed = client
+                .kv_delete(shard, key()?, txn)
+                .map_err(|e| format!("{e:?}"))?;
+            println!("{}", if existed { "deleted" } else { "(miss)" });
+        }
+        KvCmd::Scan => {
+            let start: u64 = opt_parse(args, "--start", 0)?;
+            let limit: u32 = opt_parse(args, "--limit", 10)?;
+            let items = client
+                .kv_scan(shard, start, limit)
+                .map_err(|e| format!("{e:?}"))?;
+            for (k, value) in &items {
+                println!("{k}\t{}", String::from_utf8_lossy(value));
+            }
+            println!("({} records)", items.len());
+        }
+    }
     Ok(())
 }
 

@@ -14,6 +14,8 @@
 //! * [`workload`] — TPC-A and synthetic access-pattern generators.
 //! * [`ramdisk`] — a block-device adapter and a minimal filesystem.
 //! * [`heap`] — a persistent allocator and a crash-safe append log.
+//! * [`kv`] — a key-value store layering a [`btree`] index over [`heap`]
+//!   records: variable-size values, ordered scans, delete.
 //! * [`server`] — a sharded concurrent front end: per-shard worker
 //!   threads with bounded queues and backpressure, a binary wire
 //!   protocol over TCP/Unix sockets, and a multi-client load generator.
@@ -41,6 +43,7 @@ pub use envy_btree as btree;
 pub use envy_core as core;
 pub use envy_flash as flash;
 pub use envy_heap as heap;
+pub use envy_kv as kv;
 pub use envy_ramdisk as ramdisk;
 pub use envy_server as server;
 pub use envy_sim as sim;

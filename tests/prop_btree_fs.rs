@@ -33,6 +33,45 @@ fn btree_matches_btreemap_on_ram() {
     });
 }
 
+/// Full op mix — insert, delete, point get, ordered scan — matches
+/// BTreeMap for arbitrary interleavings, including scans that start
+/// inside lazily-emptied leaves.
+#[test]
+fn btree_delete_scan_match_btreemap() {
+    cases(0xB7EE_0004, 48, |g| {
+        let ops = g.vec_of(1, 400, |g| (g.below(4) as u8, g.below(500), g.u64()));
+        let mut mem = VecMemory::new(2 * 1024 * 1024);
+        let mut tree = BTree::create(&mut mem, 0, 2 * 1024 * 1024).unwrap();
+        let mut model = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 | 1 => {
+                    // Insert twice as often as the others so the tree
+                    // actually grows multiple levels.
+                    let expected = model.insert(k, v);
+                    assert_eq!(tree.insert(&mut mem, k, v).unwrap(), expected);
+                }
+                2 => {
+                    let expected = model.remove(&k);
+                    assert_eq!(tree.delete(&mut mem, k).unwrap(), expected);
+                }
+                _ => {
+                    let limit = (v % 17) as usize;
+                    let expected: Vec<(u64, u64)> = model
+                        .range(k..)
+                        .take(limit)
+                        .map(|(a, b)| (*a, *b))
+                        .collect();
+                    assert_eq!(tree.scan(&mut mem, k, limit).unwrap(), expected);
+                }
+            }
+        }
+        // Final full scan is the sorted model.
+        let all: Vec<(u64, u64)> = model.iter().map(|(a, b)| (*a, *b)).collect();
+        assert_eq!(tree.scan(&mut mem, 0, usize::MAX).unwrap(), all);
+    });
+}
+
 /// The same B-Tree behaviour holds over the eNVy store (copy-on-write
 /// and cleaning underneath must be invisible).
 #[test]
